@@ -1,0 +1,46 @@
+//! Criterion bench for Figure 2's data: simulation with memory-curve
+//! recording enabled, and the CSV export path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_sim::engine::SimConfig;
+use dtb_sim::run::run_trace;
+use dtb_trace::programs::Program;
+
+fn bench_fig2(c: &mut Criterion) {
+    let trace = Program::Cfrac
+        .generate()
+        .compile()
+        .expect("preset traces are well-formed");
+    let cfg = PolicyConfig::paper();
+
+    c.bench_function("fig2/simulate_with_curve_cfrac", |b| {
+        let sim = SimConfig::paper().with_curve();
+        b.iter(|| black_box(run_trace(&trace, PolicyKind::DtbMem, &cfg, &sim)))
+    });
+
+    c.bench_function("fig2/curve_overhead_vs_plain_cfrac", |b| {
+        let sim = SimConfig::paper();
+        b.iter(|| black_box(run_trace(&trace, PolicyKind::DtbMem, &cfg, &sim)))
+    });
+
+    let sim = SimConfig::paper().with_curve();
+    let run = run_trace(&trace, PolicyKind::Full, &cfg, &sim);
+    c.bench_function("fig2/csv_export", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(16 * 1024);
+            run.curve.write_csv(&mut out).expect("vec write");
+            black_box(out)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion bench for the real collector (`dtb-heap`): allocation, the
+//! write barrier, and scavenges under different boundary policies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtb_core::policy::PolicyKind;
+use dtb_core::time::Bytes;
+use dtb_heap::{collect_now, configure, Gc, GcCell, HeapConfig, Trace, Tracer};
+
+struct Node {
+    _label: u64,
+    next: GcCell<Option<Gc<Node>>>,
+}
+
+// SAFETY: `next` is the only Gc-bearing field.
+unsafe impl Trace for Node {
+    fn trace(&self, t: &mut Tracer) {
+        self.next.trace(t);
+    }
+    fn root(&self) {
+        self.next.root();
+    }
+    fn unroot(&self) {
+        self.next.unroot();
+    }
+}
+
+fn node(label: u64) -> Gc<Node> {
+    Gc::new(Node {
+        _label: label,
+        next: GcCell::new(None),
+    })
+}
+
+fn bench_heap(c: &mut Criterion) {
+    // Auto-collection with a FULL policy and a 4 MB trigger keeps the
+    // heap bounded while criterion drives millions of allocations.
+    configure(
+        HeapConfig::default()
+            .with_policy(PolicyKind::Full)
+            .with_trigger(Bytes::from_mb(4)),
+    );
+    c.bench_function("heap/alloc_and_release", |b| {
+        b.iter(|| black_box(node(1)))
+    });
+
+    configure(HeapConfig::manual_full().with_trigger(Bytes::from_mb(1024)));
+    collect_now(); // clear the alloc garbage
+
+    c.bench_function("heap/write_barrier_set", |b| {
+        let owner = node(0);
+        let target = node(1);
+        b.iter(|| {
+            owner.next.set(&owner, Some(target.clone()));
+        })
+    });
+    collect_now();
+
+    // Scavenge cost over a linked structure, per policy.
+    let mut group = c.benchmark_group("heap/scavenge_1000_nodes");
+    for kind in [PolicyKind::Full, PolicyKind::Fixed1, PolicyKind::DtbFm] {
+        group.bench_function(kind.label(), |b| {
+            configure(
+                HeapConfig::manual_full()
+                    .with_policy(kind)
+                    .with_trigger(Bytes::from_mb(1024)),
+            );
+            // A live chain of 1000 nodes plus churn garbage.
+            let head = node(0);
+            let mut cur = head.clone();
+            for i in 1..1000 {
+                let n = node(i);
+                cur.next.set(&cur, Some(n.clone()));
+                cur = n;
+            }
+            b.iter(|| {
+                // Some garbage each iteration, then a scavenge.
+                for i in 0..50 {
+                    let _ = node(10_000 + i);
+                }
+                black_box(collect_now())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_heap
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench for the ablation axes: DTBMEM's live-data estimators,
+//! the when-to-collect triggers, and the dual-constraint policy — the
+//! runtime cost of each design variant on the same workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtb_core::policy::{DtbDual, DtbMem, LiveEstimate, PolicyConfig, PolicyKind};
+use dtb_core::time::Bytes;
+use dtb_sim::engine::{simulate, SimConfig};
+use dtb_sim::run::run_trace;
+use dtb_sim::trigger::Trigger;
+use dtb_trace::programs::Program;
+
+fn bench_ablation(c: &mut Criterion) {
+    let trace = Program::Cfrac
+        .generate()
+        .compile()
+        .expect("preset traces are well-formed");
+
+    let mut estimates = c.benchmark_group("ablation/dtbmem_estimate");
+    for (name, kind) in [
+        ("traced", LiveEstimate::Traced),
+        ("midpoint", LiveEstimate::Midpoint),
+        ("surviving", LiveEstimate::Surviving),
+    ] {
+        estimates.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = DtbMem::with_estimate(Bytes::from_kb(3000), kind);
+                black_box(simulate(&trace, &mut p, &SimConfig::paper()))
+            })
+        });
+    }
+    estimates.finish();
+
+    let mut triggers = c.benchmark_group("ablation/trigger");
+    for (name, trigger) in [
+        ("allocation_1mb", Trigger::paper()),
+        (
+            "memory_growth_1_5x",
+            Trigger::MemoryGrowth {
+                factor: 1.5,
+                min_allocation: Bytes::new(100_000),
+            },
+        ),
+        ("memory_ceiling_3000kb", Trigger::MemoryCeiling(Bytes::from_kb(3000))),
+    ] {
+        triggers.bench_function(name, |b| {
+            let cfg = SimConfig {
+                trigger,
+                ..SimConfig::paper()
+            };
+            b.iter(|| {
+                black_box(run_trace(
+                    &trace,
+                    PolicyKind::DtbMem,
+                    &PolicyConfig::paper(),
+                    &cfg,
+                ))
+            })
+        });
+    }
+    triggers.finish();
+
+    c.bench_function("ablation/dtbdual", |b| {
+        b.iter(|| {
+            let mut p = DtbDual::new(Bytes::new(50_000), Bytes::from_kb(3000));
+            black_box(simulate(&trace, &mut p, &SimConfig::paper()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ablation
+}
+criterion_main!(benches);

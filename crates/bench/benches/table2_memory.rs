@@ -1,0 +1,43 @@
+//! Criterion bench for regenerating Table 2's data: simulating every
+//! collector's memory behaviour over a workload.
+//!
+//! Uses the CFRAC preset (the smallest workload) so a bench iteration is
+//! a full six-collector column; the `repro_table2` binary produces the
+//! full table over all programs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_sim::engine::SimConfig;
+use dtb_sim::run::{run_column, run_trace};
+use dtb_trace::programs::Program;
+
+fn bench_table2(c: &mut Criterion) {
+    let trace = Program::Cfrac
+        .generate()
+        .compile()
+        .expect("preset traces are well-formed");
+    let cfg = PolicyConfig::paper();
+    let sim = SimConfig::paper();
+
+    c.bench_function("table2/full_column_cfrac", |b| {
+        b.iter(|| black_box(run_column(&trace, &cfg, &sim)))
+    });
+
+    let mut per_policy = c.benchmark_group("table2/per_policy_cfrac");
+    for kind in PolicyKind::ALL {
+        per_policy.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(run_trace(&trace, kind, &cfg, &sim)))
+        });
+    }
+    per_policy.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table2
+}
+criterion_main!(benches);

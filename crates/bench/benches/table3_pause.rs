@@ -1,0 +1,74 @@
+//! Criterion bench for Table 3's data: pause-time measurement of the
+//! pause-constrained collectors, plus the cost of the boundary decisions
+//! themselves (the policy code that runs at every scavenge).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtb_core::history::{ScavengeHistory, ScavengeRecord};
+use dtb_core::policy::{
+    DtbFm, FeedMed, NoSurvivalInfo, PolicyConfig, PolicyKind, ScavengeContext, TbPolicy,
+};
+use dtb_core::time::{Bytes, VirtualTime};
+use dtb_sim::engine::SimConfig;
+use dtb_sim::run::run_trace;
+use dtb_trace::programs::Program;
+
+fn synthetic_history(n: usize) -> ScavengeHistory {
+    (1..=n as u64)
+        .map(|i| ScavengeRecord {
+            at: VirtualTime::from_bytes(i * 1_000_000),
+            boundary: VirtualTime::from_bytes((i - 1) * 1_000_000),
+            traced: Bytes::new(40_000 + (i % 7) * 4_000),
+            surviving: Bytes::new(500_000 + i * 10_000),
+            reclaimed: Bytes::new(400_000),
+            mem_before: Bytes::new(900_000 + i * 10_000),
+        })
+        .collect()
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let trace = Program::Cfrac
+        .generate()
+        .compile()
+        .expect("preset traces are well-formed");
+    let cfg = PolicyConfig::paper();
+    let sim = SimConfig::paper();
+
+    let mut runs = c.benchmark_group("table3/pause_constrained_run_cfrac");
+    for kind in [PolicyKind::FeedMed, PolicyKind::DtbFm] {
+        runs.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(run_trace(&trace, kind, &cfg, &sim)))
+        });
+    }
+    runs.finish();
+
+    // The per-scavenge decision cost: what the mutator pays in the pause
+    // before tracing begins.
+    let history = synthetic_history(100);
+    let est = NoSurvivalInfo;
+    let ctx = ScavengeContext {
+        now: VirtualTime::from_bytes(101 * 1_000_000),
+        mem_before: Bytes::new(2_000_000),
+        history: &history,
+        survival: &est,
+    };
+    let mut decisions = c.benchmark_group("table3/boundary_decision");
+    decisions.bench_function("DTBFM", |b| {
+        let mut p = DtbFm::new(Bytes::new(50_000));
+        b.iter(|| black_box(p.select_boundary(&ctx)))
+    });
+    decisions.bench_function("FEEDMED", |b| {
+        let mut p = FeedMed::new(Bytes::new(50_000));
+        b.iter(|| black_box(p.select_boundary(&ctx)))
+    });
+    decisions.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table3
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench for Table 4's data: the tracing work each collector
+//! performs, measured as simulator throughput per policy, and the oracle
+//! heap's scavenge primitives that dominate it.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_core::time::VirtualTime;
+use dtb_sim::engine::SimConfig;
+use dtb_sim::heap::{OracleHeap, SimObject};
+use dtb_sim::run::run_trace;
+use dtb_trace::programs::Program;
+
+fn filled_heap(n: u64) -> OracleHeap {
+    let mut h = OracleHeap::new();
+    for i in 0..n {
+        h.insert(SimObject {
+            birth: VirtualTime::from_bytes((i + 1) * 64),
+            size: 64,
+            death: if i % 3 == 0 {
+                Some(VirtualTime::from_bytes((i + 1) * 64 + 4_096))
+            } else {
+                None
+            },
+        });
+    }
+    h
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let trace = Program::Cfrac
+        .generate()
+        .compile()
+        .expect("preset traces are well-formed");
+    let cfg = PolicyConfig::paper();
+    let sim = SimConfig::paper();
+
+    // The cheap and expensive ends of the tracing spectrum.
+    let mut group = c.benchmark_group("table4/tracing_extremes_cfrac");
+    for kind in [PolicyKind::Fixed1, PolicyKind::Full, PolicyKind::DtbMem] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(run_trace(&trace, kind, &cfg, &sim)))
+        });
+    }
+    group.finish();
+
+    // The scavenge primitive: partitioning + reclaiming a 50k-object heap.
+    c.bench_function("table4/oracle_heap_full_scavenge_50k", |b| {
+        b.iter_batched(
+            || filled_heap(50_000),
+            |mut h| {
+                black_box(h.scavenge(VirtualTime::ZERO, VirtualTime::from_bytes(10_000_000)))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("table4/survival_snapshot_50k", |b| {
+        let h = filled_heap(50_000);
+        b.iter(|| black_box(h.survival_snapshot(VirtualTime::from_bytes(10_000_000))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table4
+}
+criterion_main!(benches);

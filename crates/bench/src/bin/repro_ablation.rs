@@ -1,0 +1,122 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. `DTBMEM`'s live-data estimate `L_est` — the paper takes the midpoint
+//!    of `S_{n-1}` and `Trace_{n-1}`; how do the two endpoints behave?
+//! 2. The when-to-collect trigger — the paper fixes 1 MB of allocation;
+//!    what do memory-growth and memory-ceiling triggers change?
+//! 3. The `DTBDUAL` extension — both constraints at once.
+
+use dtb_core::policy::{DtbDual, DtbMem, LiveEstimate, PolicyConfig, PolicyKind};
+use dtb_core::time::Bytes;
+use dtb_sim::engine::{simulate, SimConfig};
+use dtb_sim::run::run_trace;
+use dtb_sim::trigger::Trigger;
+use dtb_trace::programs::Program;
+
+fn main() {
+    let trace = Program::Espresso2
+        .generate()
+        .compile()
+        .expect("preset traces are well-formed");
+    let sim = SimConfig::paper();
+
+    println!("== Ablation 1: DTBMEM live-data estimate (ESPRESSO(2), 3000 KB budget) ==\n");
+    println!(
+        "{:>10}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "estimate", "mem mean", "mem max", "traced", "overhead"
+    );
+    for (name, kind) in [
+        ("Traced", LiveEstimate::Traced),
+        ("Midpoint", LiveEstimate::Midpoint),
+        ("Surviving", LiveEstimate::Surviving),
+    ] {
+        let mut policy = DtbMem::with_estimate(Bytes::from_kb(3000), kind);
+        let run = simulate(&trace, &mut policy, &sim);
+        println!(
+            "{:>10}  {:>6.0} KB  {:>6.0} KB  {:>6.0} KB  {:>8.1}%",
+            name,
+            run.report.mem_kb().0,
+            run.report.mem_kb().1,
+            run.report.traced_kb(),
+            run.report.overhead_pct,
+        );
+    }
+    println!(
+        "\nTraced under-estimates live data, running closer to the budget with \
+         less tracing;\nSurviving over-estimates, tracing more for extra \
+         headroom; Midpoint sits between —\nthe constraint holds under all \
+         three, so the design is robust to the estimate."
+    );
+
+    println!("\n== Ablation 2: when-to-collect trigger (ESPRESSO(2), DTBMEM) ==\n");
+    println!(
+        "{:>28}  {:>5}  {:>9}  {:>9}  {:>9}",
+        "trigger", "GCs", "mem max", "traced", "overhead"
+    );
+    for (name, trigger) in [
+        ("allocation 1 MB (paper)", Trigger::paper()),
+        ("allocation 0.5 MB", Trigger::Allocation(Bytes::new(500_000))),
+        (
+            "memory growth 1.5x",
+            Trigger::MemoryGrowth {
+                factor: 1.5,
+                min_allocation: Bytes::new(100_000),
+            },
+        ),
+        (
+            "memory ceiling 3000 KB",
+            Trigger::MemoryCeiling(Bytes::from_kb(3000)),
+        ),
+    ] {
+        let cfg = SimConfig {
+            trigger,
+            ..SimConfig::paper()
+        };
+        let run = run_trace(&trace, PolicyKind::DtbMem, &PolicyConfig::paper(), &cfg);
+        println!(
+            "{:>28}  {:>5}  {:>6.0} KB  {:>6.0} KB  {:>8.1}%",
+            name,
+            run.report.collections,
+            run.report.mem_kb().1,
+            run.report.traced_kb(),
+            run.report.overhead_pct,
+        );
+    }
+    println!(
+        "\nWhat-to-collect (the boundary) and when-to-collect are orthogonal: \
+         the memory\nconstraint holds under every trigger; the trigger moves \
+         the frequency/overhead point."
+    );
+
+    println!("\n== Ablation 3: DTBDUAL — both constraints at once (ESPRESSO(2)) ==\n");
+    println!(
+        "{:>8}  {:>12}  {:>9}  {:>9}",
+        "policy", "median pause", "mem max", "overhead"
+    );
+    for (name, run) in [
+        (
+            "DTBFM",
+            run_trace(&trace, PolicyKind::DtbFm, &PolicyConfig::paper(), &sim),
+        ),
+        (
+            "DTBMEM",
+            run_trace(&trace, PolicyKind::DtbMem, &PolicyConfig::paper(), &sim),
+        ),
+        ("DTBDUAL", {
+            let mut dual = DtbDual::new(Bytes::new(50_000), Bytes::from_kb(3000));
+            simulate(&trace, &mut dual, &sim)
+        }),
+    ] {
+        println!(
+            "{:>8}  {:>9.1} ms  {:>6.0} KB  {:>8.1}%",
+            name,
+            run.report.pause_median_ms,
+            run.report.mem_kb().1,
+            run.report.overhead_pct,
+        );
+    }
+    println!(
+        "\nDTBDUAL holds the pause budget like DTBFM while staying inside \
+         DTBMEM's memory\nceiling whenever both are simultaneously feasible."
+    );
+}

@@ -1,0 +1,109 @@
+//! Checks the paper's Section 6.1 / 6.2 qualitative claims against the
+//! regenerated evaluation matrix and prints PASS/FAIL for each.
+
+use dtb_bench::full_matrix;
+use dtb_core::policy::PolicyKind;
+use dtb_sim::metrics::SimReport;
+use dtb_trace::programs::Program;
+
+fn report(
+    matrix: &[(Program, Vec<SimReport>)],
+    p: Program,
+    k: PolicyKind,
+) -> &SimReport {
+    let (_, col) = matrix.iter().find(|(q, _)| *q == p).expect("program");
+    let idx = PolicyKind::ALL.iter().position(|q| *q == k).expect("policy");
+    &col[idx]
+}
+
+fn check(name: &str, ok: bool, detail: String) {
+    println!("[{}] {name}\n       {detail}", if ok { "PASS" } else { "FAIL" });
+}
+
+fn main() {
+    let matrix = full_matrix();
+    let mem_budget_kb = 3000.0;
+    println!("Section 6.1/6.2 claims, re-checked on the synthetic traces\n");
+
+    // §6.1: DTBMEM respects the 3000 KB constraint when feasible.
+    for p in [Program::Ghost1, Program::Espresso1, Program::Espresso2, Program::Cfrac] {
+        let r = report(&matrix, p, PolicyKind::DtbMem);
+        let (_, max_kb) = r.mem_kb();
+        check(
+            &format!("DTBMEM max memory <= 3000 KB on {p} (feasible case)"),
+            max_kb <= mem_budget_kb * 1.01,
+            format!("max = {max_kb:.0} KB"),
+        );
+    }
+
+    // §6.1: over-constrained cases come within ~7% of FULL.
+    for p in [Program::Ghost2, Program::Sis] {
+        let mem = report(&matrix, p, PolicyKind::DtbMem).mem_kb().1;
+        let full = report(&matrix, p, PolicyKind::Full).mem_kb().1;
+        check(
+            &format!("over-constrained DTBMEM within 10% of FULL on {p}"),
+            mem <= full * 1.10,
+            format!("DTBMEM {mem:.0} KB vs FULL {full:.0} KB"),
+        );
+    }
+
+    // §6.1: when feasible, DTBMEM CPU overhead ≈ FIXED1 (the cheap end).
+    for p in [Program::Ghost1, Program::Espresso1] {
+        // CFRAC is excluded: with only 4 collections the mandatory
+        // initial full scavenge dominates every policy's overhead.
+        let dtb = report(&matrix, p, PolicyKind::DtbMem).overhead_pct;
+        let fixed1 = report(&matrix, p, PolicyKind::Fixed1).overhead_pct;
+        let full = report(&matrix, p, PolicyKind::Full).overhead_pct;
+        check(
+            &format!("feasible DTBMEM overhead near FIXED1, well under FULL on {p}"),
+            dtb <= fixed1 * 2.0 && dtb < full * 0.5,
+            format!("DTBMEM {dtb:.1}% vs FIXED1 {fixed1:.1}% vs FULL {full:.1}%"),
+        );
+    }
+
+    // §6.1: much over-constrained DTBMEM degrades to FULL (SIS).
+    {
+        let dtb = report(&matrix, Program::Sis, PolicyKind::DtbMem).overhead_pct;
+        let full = report(&matrix, Program::Sis, PolicyKind::Full).overhead_pct;
+        check(
+            "over-constrained DTBMEM degrades to FULL-like overhead on SIS",
+            dtb >= full * 0.8,
+            format!("DTBMEM {dtb:.1}% vs FULL {full:.1}%"),
+        );
+    }
+
+    // §6.2: DTBFM median pause is near the 100 ms budget on the
+    // allocation-heavy programs.
+    for p in [Program::Ghost1, Program::Ghost2, Program::Espresso2] {
+        let med = report(&matrix, p, PolicyKind::DtbFm).pause_median_ms;
+        check(
+            &format!("DTBFM median pause within 25% of the 100 ms budget on {p}"),
+            (75.0..=125.0).contains(&med),
+            format!("median = {med:.1} ms"),
+        );
+    }
+
+    // §6.2: DTBFM uses no more memory than FEEDMED (it reclaims the
+    // tenured garbage FEEDMED strands); ESPRESSO is the paper's showcase.
+    for p in [Program::Espresso2, Program::Espresso1] {
+        let dtb = report(&matrix, p, PolicyKind::DtbFm).mem_kb().0;
+        let fm = report(&matrix, p, PolicyKind::FeedMed).mem_kb().0;
+        check(
+            &format!("DTBFM mean memory <= FEEDMED on {p}"),
+            dtb <= fm * 1.02,
+            format!("DTBFM {dtb:.0} KB vs FEEDMED {fm:.0} KB"),
+        );
+    }
+
+    // §6.2: DTBFM's 90th percentile is not catastrophically worse than
+    // FEEDMED's (interactive response stays comparable).
+    for p in [Program::Ghost1, Program::Espresso2] {
+        let dtb = report(&matrix, p, PolicyKind::DtbFm).pause_p90_ms;
+        let fm = report(&matrix, p, PolicyKind::FeedMed).pause_p90_ms;
+        check(
+            &format!("DTBFM p90 pause within 4x of FEEDMED on {p}"),
+            dtb <= fm * 4.0,
+            format!("DTBFM {dtb:.0} ms vs FEEDMED {fm:.0} ms"),
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table 2: mean and maximum memory allocated (kilobytes) for
+//! each collector over each workload. Published values in brackets.
+
+use dtb_bench::table::{vs_paper, TextTable};
+use dtb_bench::{collector_rows, full_matrix, paper};
+use dtb_core::policy::PolicyKind;
+use dtb_trace::programs::Program;
+
+fn main() {
+    println!("Table 2: Mean and Maximum Memory Allocated (Kilobytes)");
+    println!("measured [paper]\n");
+    let matrix = full_matrix();
+
+    for metric in ["Mean", "Max"] {
+        let mut t = TextTable::new(
+            std::iter::once("Collector".to_string())
+                .chain(Program::ALL.iter().map(|p| p.label().to_string())),
+        );
+        for (i, label) in collector_rows().iter().enumerate() {
+            let mut cells = vec![label.to_string()];
+            for (p, reports) in &matrix {
+                let r = &reports[i];
+                let (mean_kb, max_kb) = r.mem_kb();
+                let measured = if metric == "Mean" { mean_kb } else { max_kb };
+                let published = match i {
+                    0..=5 => paper::table2(PolicyKind::ALL[i], *p),
+                    6 => paper::table2_nogc(*p),
+                    _ => paper::table2_live(*p),
+                };
+                let published = if metric == "Mean" {
+                    published.0
+                } else {
+                    published.1
+                };
+                cells.push(vs_paper(measured, published));
+            }
+            t.row(cells);
+        }
+        println!("== {metric} memory (KB) ==");
+        println!("{}", t.render());
+    }
+}

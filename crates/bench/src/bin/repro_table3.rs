@@ -1,0 +1,41 @@
+//! Regenerates Table 3: median and 90th-percentile pause times
+//! (milliseconds). Published values in brackets.
+
+use dtb_bench::table::{vs_paper, TextTable};
+use dtb_bench::{full_matrix, paper};
+use dtb_core::policy::PolicyKind;
+use dtb_trace::programs::Program;
+
+fn main() {
+    println!("Table 3: Median and 90th Percentile Pause Times (Milliseconds)");
+    println!("measured [paper]\n");
+    let matrix = full_matrix();
+
+    for metric in ["Median (50th)", "90th percentile"] {
+        let mut t = TextTable::new(
+            std::iter::once("Collector".to_string())
+                .chain(Program::ALL.iter().map(|p| p.label().to_string())),
+        );
+        for (i, kind) in PolicyKind::ALL.iter().enumerate() {
+            let mut cells = vec![kind.label().to_string()];
+            for (p, reports) in &matrix {
+                let r = &reports[i];
+                let measured = if metric.starts_with("Median") {
+                    r.pause_median_ms
+                } else {
+                    r.pause_p90_ms
+                };
+                let published = paper::table3(*kind, *p);
+                let published = if metric.starts_with("Median") {
+                    published.0
+                } else {
+                    published.1
+                };
+                cells.push(vs_paper(measured, published));
+            }
+            t.row(cells);
+        }
+        println!("== {metric} pause (ms) ==");
+        println!("{}", t.render());
+    }
+}

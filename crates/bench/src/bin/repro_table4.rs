@@ -1,0 +1,41 @@
+//! Regenerates Table 4: total kilobytes traced and estimated CPU overhead
+//! (percent). Published values in brackets.
+
+use dtb_bench::table::{vs_paper, TextTable};
+use dtb_bench::{full_matrix, paper};
+use dtb_core::policy::PolicyKind;
+use dtb_trace::programs::Program;
+
+fn main() {
+    println!("Table 4: Total Bytes Traced (Kilobytes) and Estimated CPU Overhead (%)");
+    println!("measured [paper]\n");
+    let matrix = full_matrix();
+
+    for metric in ["Traced (KB)", "Overhead (%)"] {
+        let mut t = TextTable::new(
+            std::iter::once("Collector".to_string())
+                .chain(Program::ALL.iter().map(|p| p.label().to_string())),
+        );
+        for (i, kind) in PolicyKind::ALL.iter().enumerate() {
+            let mut cells = vec![kind.label().to_string()];
+            for (p, reports) in &matrix {
+                let r = &reports[i];
+                let measured = if metric.starts_with("Traced") {
+                    r.traced_kb()
+                } else {
+                    r.overhead_pct
+                };
+                let published = paper::table4(*kind, *p);
+                let published = if metric.starts_with("Traced") {
+                    published.0
+                } else {
+                    published.1
+                };
+                cells.push(vs_paper(measured, published));
+            }
+            t.row(cells);
+        }
+        println!("== {metric} ==");
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,54 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! * `repro_table2` — mean and maximum memory per collector per workload;
+//! * `repro_table3` — median and 90th-percentile pause times;
+//! * `repro_table4` — total bytes traced and estimated CPU overhead;
+//! * `repro_table56` — workload descriptions and allocation behaviour;
+//! * `repro_fig2` — the memory-over-time curves (CSV series);
+//! * `repro_claims` — the §6.1/§6.2 qualitative claims, checked;
+//! * Criterion benches (`benches/`) measure simulator and policy cost.
+//!
+//! [`paper`] embeds the published numbers so every printer can show
+//! paper-vs-measured side by side; [`table`] renders aligned text tables.
+
+pub mod paper;
+pub mod table;
+
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_sim::engine::SimConfig;
+use dtb_sim::metrics::SimReport;
+use dtb_sim::run::run_column;
+use dtb_trace::programs::Program;
+
+/// Runs the full evaluation matrix with the paper's parameters: every
+/// collector (plus baselines) over every workload.
+///
+/// This is the data behind Tables 2, 3 and 4. Takes a few seconds in
+/// release mode.
+pub fn full_matrix() -> Vec<(Program, Vec<SimReport>)> {
+    matrix_for(&PolicyConfig::paper(), &SimConfig::paper())
+}
+
+/// Runs the evaluation matrix with explicit parameters.
+pub fn matrix_for(cfg: &PolicyConfig, sim: &SimConfig) -> Vec<(Program, Vec<SimReport>)> {
+    Program::ALL
+        .iter()
+        .map(|p| {
+            let trace = p
+                .generate()
+                .compile()
+                .expect("preset traces are well-formed");
+            (*p, run_column(&trace, cfg, sim))
+        })
+        .collect()
+}
+
+/// The row labels of Tables 2–4, in order: six collectors, then the
+/// baselines that appear only in Table 2.
+pub fn collector_rows() -> Vec<&'static str> {
+    let mut rows: Vec<&'static str> = PolicyKind::ALL.iter().map(|k| k.label()).collect();
+    rows.push("No GC");
+    rows.push("LIVE");
+    rows
+}

@@ -1,0 +1,123 @@
+//! Plain-text table rendering for the `repro_*` binaries.
+//!
+//! Renders aligned columns with a header row, in the visual style of the
+//! paper's tables, with paper-published values shown in brackets next to
+//! each measured value.
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header cells.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table with right-aligned data columns (first column
+    /// left-aligned).
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String]| {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[0]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", cell, width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Formats a measured value with the paper's published value in brackets:
+/// `"1262 [1262]"`.
+pub fn vs_paper(measured: f64, paper: f64) -> String {
+    format!("{} [{}]", fmt_num(measured), fmt_num(paper))
+}
+
+/// Formats a number with no trailing noise: integers without decimals,
+/// small values with one decimal place.
+pub fn fmt_num(v: f64) -> String {
+    if v >= 100.0 || v == v.trunc() {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(["Collector", "A", "B"]);
+        t.row(["FULL", "1", "22"]);
+        t.row(["FIXED1", "333", "4"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Collector"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Data columns right-aligned to equal width.
+        assert!(lines[2].ends_with(" 22"));
+        assert!(lines[3].ends_with("  4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        TextTable::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(1262.4), "1262");
+        assert_eq!(fmt_num(15.0), "15");
+        assert_eq!(fmt_num(4.13), "4.1");
+        assert_eq!(vs_paper(1260.0, 1262.0), "1260 [1262]");
+    }
+}

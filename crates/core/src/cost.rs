@@ -1,0 +1,157 @@
+//! The simulation cost model.
+//!
+//! The paper evaluates every collector under one machine model: a CPU that
+//! executes 10 million instructions per second, whose collector traces
+//! 500 kilobytes per second. Pause times are therefore *directly
+//! proportional to storage traced* — a user-facing pause-time constraint in
+//! milliseconds converts losslessly into a `Trace_max` byte budget, which is
+//! what the policies actually consume.
+
+use crate::time::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Machine parameters converting between traced bytes, pause seconds, and
+/// CPU overhead.
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::cost::CostModel;
+/// use dtb_core::time::Bytes;
+///
+/// let m = CostModel::paper();
+/// // The paper's 100 ms pause budget is a 50 000-byte trace budget.
+/// assert_eq!(m.trace_budget_for_pause_ms(100.0), Bytes::new(50_000));
+/// assert!((m.pause_ms(Bytes::new(50_000)) - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Mutator speed, instructions per second (paper: 10 million).
+    pub instructions_per_second: u64,
+    /// Collector tracing rate, bytes per second (paper: 500 000; the paper
+    /// speaks of "500 kilobytes per second" and converts 100 ms to "50
+    /// thousand bytes traced", so kilobyte = 1000 bytes here).
+    pub trace_bytes_per_second: u64,
+}
+
+impl CostModel {
+    /// The configuration used throughout the paper's evaluation
+    /// (approximating Ungar & Jackson's measurement machine).
+    pub const fn paper() -> CostModel {
+        CostModel {
+            instructions_per_second: 10_000_000,
+            trace_bytes_per_second: 500_000,
+        }
+    }
+
+    /// Creates a cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is zero.
+    pub fn new(instructions_per_second: u64, trace_bytes_per_second: u64) -> CostModel {
+        assert!(instructions_per_second > 0, "instruction rate must be positive");
+        assert!(trace_bytes_per_second > 0, "trace rate must be positive");
+        CostModel {
+            instructions_per_second,
+            trace_bytes_per_second,
+        }
+    }
+
+    /// Pause time, in milliseconds, for a scavenge that traces `traced`
+    /// bytes.
+    pub fn pause_ms(&self, traced: Bytes) -> f64 {
+        traced.as_u64() as f64 / self.trace_bytes_per_second as f64 * 1000.0
+    }
+
+    /// Seconds the collector spends tracing `traced` bytes.
+    pub fn trace_seconds(&self, traced: Bytes) -> f64 {
+        traced.as_u64() as f64 / self.trace_bytes_per_second as f64
+    }
+
+    /// Converts a pause-time budget in milliseconds to the equivalent
+    /// `Trace_max` byte budget.
+    ///
+    /// Non-positive budgets map to [`Bytes::ZERO`].
+    pub fn trace_budget_for_pause_ms(&self, pause_ms: f64) -> Bytes {
+        if pause_ms.is_nan() || pause_ms <= 0.0 {
+            return Bytes::ZERO;
+        }
+        Bytes::new((pause_ms / 1000.0 * self.trace_bytes_per_second as f64) as u64)
+    }
+
+    /// CPU overhead, in percent, of tracing `traced_total` bytes during a
+    /// program that runs for `program_seconds` of mutator time.
+    ///
+    /// This matches Table 4's "Estimated CPU Overhead (%)": time spent
+    /// tracing divided by program execution time.
+    pub fn overhead_percent(&self, traced_total: Bytes, program_seconds: f64) -> f64 {
+        if program_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.trace_seconds(traced_total) / program_seconds * 100.0
+    }
+
+    /// Mutator execution seconds implied by an instruction count.
+    pub fn seconds_for_instructions(&self, instructions: u64) -> f64 {
+        instructions as f64 / self.instructions_per_second as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_round_trip() {
+        let m = CostModel::paper();
+        assert_eq!(m.instructions_per_second, 10_000_000);
+        assert_eq!(m.trace_bytes_per_second, 500_000);
+        // 100 ms ⟷ 50 KB (decimal) as stated in Section 5.
+        assert_eq!(m.trace_budget_for_pause_ms(100.0), Bytes::new(50_000));
+        assert!((m.pause_ms(Bytes::new(50_000)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pause_scales_linearly_with_traced_bytes() {
+        let m = CostModel::paper();
+        let one = m.pause_ms(Bytes::new(10_000));
+        let two = m.pause_ms(Bytes::new(20_000));
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_percent_matches_hand_computation() {
+        let m = CostModel::paper();
+        // Tracing 1 MB (decimal-ish) takes 2 s; over a 100 s program that is 2 %.
+        let pct = m.overhead_percent(Bytes::new(1_000_000), 100.0);
+        assert!((pct - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_clamp() {
+        let m = CostModel::paper();
+        assert_eq!(m.trace_budget_for_pause_ms(0.0), Bytes::ZERO);
+        assert_eq!(m.trace_budget_for_pause_ms(-5.0), Bytes::ZERO);
+        assert_eq!(m.trace_budget_for_pause_ms(f64::NAN), Bytes::ZERO);
+        assert_eq!(m.overhead_percent(Bytes::new(1), 0.0), 0.0);
+    }
+
+    #[test]
+    fn seconds_for_instructions() {
+        let m = CostModel::paper();
+        assert!((m.seconds_for_instructions(10_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace rate must be positive")]
+    fn zero_trace_rate_rejected() {
+        let _ = CostModel::new(1, 0);
+    }
+}

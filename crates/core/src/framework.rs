@@ -1,0 +1,139 @@
+//! The Demers et al. formal model: threatened and immune sets.
+//!
+//! Demers, Weiser, Hayes, Boehm, Bobrow and Shenker's framework describes
+//! any (partially) generational collection as a partition of the object
+//! space into a *threatened* set — objects the collector traces and can
+//! reclaim — and an *immune* set — objects guaranteed to survive this
+//! collection unexamined. The dynamic threatening boundary instantiates the
+//! partition by birth time; this module provides that classification plus
+//! the write-barrier predicate shared by the simulator and the real heap.
+
+use crate::time::VirtualTime;
+use serde::{Deserialize, Serialize};
+
+/// Which side of the threatening boundary an object falls on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SetMembership {
+    /// Born after the boundary: traced this scavenge, reclaimable.
+    Threatened,
+    /// Born at or before the boundary: survives unexamined.
+    Immune,
+}
+
+/// Classifies an object by birth time against a boundary.
+///
+/// The convention throughout this workspace: an object is **threatened iff
+/// it was born strictly after the boundary**. A boundary of
+/// [`VirtualTime::ZERO`] therefore threatens everything except objects born
+/// at the very first allocation instant — and since births are assigned
+/// *after* the clock advances past zero, in practice everything.
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::framework::{classify, SetMembership};
+/// use dtb_core::time::VirtualTime;
+///
+/// let tb = VirtualTime::from_bytes(1000);
+/// assert_eq!(classify(VirtualTime::from_bytes(1500), tb), SetMembership::Threatened);
+/// assert_eq!(classify(VirtualTime::from_bytes(1000), tb), SetMembership::Immune);
+/// assert_eq!(classify(VirtualTime::from_bytes(500), tb), SetMembership::Immune);
+/// ```
+pub fn classify(birth: VirtualTime, boundary: VirtualTime) -> SetMembership {
+    if birth > boundary {
+        SetMembership::Threatened
+    } else {
+        SetMembership::Immune
+    }
+}
+
+/// True when a pointer from `src_birth` to `dst_birth` points
+/// **forward in time** (old → young).
+///
+/// The DTB collector keeps a *single* remembered set holding all
+/// forward-in-time pointers, because any of them could cross a future
+/// boundary. Classic generational collectors only remember pointers that
+/// cross a generation boundary; with a movable boundary every old→young
+/// pointer is potentially boundary-crossing.
+pub fn is_forward_in_time(src_birth: VirtualTime, dst_birth: VirtualTime) -> bool {
+    src_birth < dst_birth
+}
+
+/// True when a pointer must be recorded in the remembered set, given a
+/// minimum boundary `tb_min` the collector promises never to go above
+/// (never to make younger objects immune).
+///
+/// Figure 1's pointer *a*: a forward-in-time pointer whose *source* is
+/// younger than `tb_min` can never cross the boundary (both ends will
+/// always be threatened together), so it need not be remembered.
+pub fn must_remember(
+    src_birth: VirtualTime,
+    dst_birth: VirtualTime,
+    tb_min: VirtualTime,
+) -> bool {
+    is_forward_in_time(src_birth, dst_birth) && src_birth <= tb_min
+}
+
+/// True when a remembered pointer is a *root* for a scavenge with boundary
+/// `tb`: its source is immune and its destination threatened.
+///
+/// At scavenge time only pointers crossing the boundary are traced
+/// (Figure 1's pointer *d*); remembered pointers entirely inside the
+/// threatened region are discovered by ordinary tracing, and pointers
+/// entirely inside the immune region are irrelevant.
+pub fn crosses_boundary(src_birth: VirtualTime, dst_birth: VirtualTime, tb: VirtualTime) -> bool {
+    classify(src_birth, tb) == SetMembership::Immune
+        && classify(dst_birth, tb) == SetMembership::Threatened
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> VirtualTime {
+        VirtualTime::from_bytes(v)
+    }
+
+    #[test]
+    fn classification_is_strict_after() {
+        assert_eq!(classify(t(11), t(10)), SetMembership::Threatened);
+        assert_eq!(classify(t(10), t(10)), SetMembership::Immune);
+        assert_eq!(classify(t(9), t(10)), SetMembership::Immune);
+    }
+
+    #[test]
+    fn zero_boundary_threatens_everything_born_later() {
+        assert_eq!(classify(t(1), VirtualTime::ZERO), SetMembership::Threatened);
+        // An object born exactly at the origin is immune by the strict rule;
+        // real clocks advance before the first birth, so this never occurs.
+        assert_eq!(classify(t(0), VirtualTime::ZERO), SetMembership::Immune);
+    }
+
+    #[test]
+    fn forward_in_time_is_strict() {
+        assert!(is_forward_in_time(t(5), t(6)));
+        assert!(!is_forward_in_time(t(6), t(6)));
+        assert!(!is_forward_in_time(t(7), t(6)));
+    }
+
+    #[test]
+    fn figure1_pointer_a_need_not_be_remembered() {
+        // Pointer a: source and destination both younger than TB_min.
+        let tb_min = t(100);
+        assert!(!must_remember(t(150), t(160), tb_min));
+        // Pointer d/f/k analogues: source at or older than TB_min.
+        assert!(must_remember(t(50), t(160), tb_min));
+        assert!(must_remember(t(100), t(160), tb_min));
+        // Backward pointers are never remembered.
+        assert!(!must_remember(t(50), t(40), tb_min));
+    }
+
+    #[test]
+    fn crossing_requires_immune_source_and_threatened_destination() {
+        let tb = t(100);
+        assert!(crosses_boundary(t(50), t(150), tb)); // old → young across TB
+        assert!(!crosses_boundary(t(120), t(150), tb)); // both threatened
+        assert!(!crosses_boundary(t(50), t(80), tb)); // both immune
+        assert!(!crosses_boundary(t(150), t(50), tb)); // young → old
+    }
+}

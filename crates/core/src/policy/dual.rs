@@ -1,0 +1,162 @@
+//! A dual-constraint policy: both budgets at once.
+//!
+//! The paper provides one policy per constraint and leaves combining them
+//! open ("we allow a memory-constraint policy to be used *instead* if the
+//! user so desires"). `DTBDUAL` implements the natural composition: the
+//! memory-constrained boundary, clamped forward until the predicted trace
+//! fits the pause budget.
+//!
+//! The two constraints pull in opposite directions — satisfying a pause
+//! budget wants a *younger* boundary (less traced), satisfying a memory
+//! budget wants an *older* one (less tenured garbage) — so when they
+//! conflict one has to win. The pause budget wins here: pauses are the
+//! user-visible constraint, and a missed memory target degrades gradually
+//! while a missed pause target is a visible freeze.
+
+use super::{DtbFm, DtbMem, ScavengeContext, TbPolicy};
+use crate::constraint::Constraint;
+use crate::time::{Bytes, VirtualTime};
+
+/// `DTBDUAL`: memory-constrained boundary, pause-budget clamped.
+///
+/// Selects `max(TB_mem, TB_pause)`: the memory policy proposes a (possibly
+/// deep) boundary, and if tracing from there would blow the pause budget,
+/// the boundary advances to the youngest point where the predicted trace
+/// fits. Both component policies see the same history, so their individual
+/// dynamics (backward sweeps, over-constraint degradation) are preserved.
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::policy::{DtbDual, TbPolicy};
+/// use dtb_core::time::Bytes;
+///
+/// let policy = DtbDual::new(Bytes::new(50_000), Bytes::from_kb(3000));
+/// assert_eq!(policy.name(), "DTBDUAL");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DtbDual {
+    pause: DtbFm,
+    memory: DtbMem,
+}
+
+impl DtbDual {
+    /// Creates a dual-constraint policy with a trace budget (`Trace_max`)
+    /// and a memory budget (`Mem_max`).
+    pub fn new(trace_max: Bytes, mem_max: Bytes) -> DtbDual {
+        DtbDual {
+            pause: DtbFm::new(trace_max),
+            memory: DtbMem::new(mem_max),
+        }
+    }
+
+    /// The pause budget in bytes traced.
+    pub fn trace_max(&self) -> Bytes {
+        self.pause.trace_max()
+    }
+
+    /// The memory budget.
+    pub fn mem_max(&self) -> Bytes {
+        self.memory.mem_max()
+    }
+}
+
+impl TbPolicy for DtbDual {
+    fn name(&self) -> &str {
+        "DTBDUAL"
+    }
+
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+        let tb_mem = self.memory.select_boundary(ctx);
+        // Would tracing from the memory boundary fit the pause budget?
+        if ctx.survival.surviving_born_after(tb_mem) <= self.trace_max() {
+            return tb_mem;
+        }
+        // No: let the pause-constrained policy decide, and never go deeper
+        // than it allows.
+        let tb_pause = self.pause.select_boundary(ctx);
+        tb_mem.max(tb_pause)
+    }
+
+    fn constraint(&self) -> Option<Constraint> {
+        // The binding, user-visible constraint.
+        Some(Constraint::trace(self.trace_max()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::super::NoSurvivalInfo;
+    use super::*;
+    use crate::history::ScavengeHistory;
+
+    #[test]
+    fn first_scavenge_is_full() {
+        let mut p = DtbDual::new(Bytes::new(50_000), Bytes::from_kb(3000));
+        let h = ScavengeHistory::new();
+        let est = NoSurvivalInfo;
+        assert_eq!(
+            p.select_boundary(&ctx(100, 0, &h, &est)),
+            VirtualTime::ZERO
+        );
+    }
+
+    #[test]
+    fn memory_boundary_used_when_pause_budget_fits() {
+        // Estimator says tracing anything costs nothing: memory wins.
+        let mut p = DtbDual::new(Bytes::new(50_000), Bytes::new(3000));
+        let est = NoSurvivalInfo;
+        let mut h = ScavengeHistory::new();
+        h.push(rec(10_000, 0, 800, 1200, 2000));
+        let mut mem_only = DtbMem::new(Bytes::new(3000));
+        let c = ctx(20_000, 4000, &h, &est);
+        assert_eq!(p.select_boundary(&c), mem_only.select_boundary(&c));
+    }
+
+    #[test]
+    fn pause_budget_clamps_a_too_deep_memory_boundary() {
+        // Over-constrained memory wants TB = 0, but tracing everything
+        // would cost 1 MB against a 50 KB budget: the boundary advances.
+        let mut p = DtbDual::new(Bytes::new(50_000), Bytes::new(100));
+        let est = TableEstimator {
+            // Live bytes born after 0 are huge; born after t=10_000 small.
+            entries: vec![(5_000, 1_000_000), (15_000, 10_000)],
+        };
+        let mut h = ScavengeHistory::new();
+        // Previous scavenge blew the pause budget, so the pause policy
+        // mediates with the estimator instead of extrapolating.
+        h.push(rec(10_000, 0, 90_000, 1200, 92_000));
+        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est));
+        assert!(
+            tb > VirtualTime::ZERO,
+            "pause budget should veto the full collection"
+        );
+    }
+
+    #[test]
+    fn reports_the_pause_constraint() {
+        let p = DtbDual::new(Bytes::new(50_000), Bytes::from_kb(3000));
+        assert_eq!(p.constraint(), Some(Constraint::trace(Bytes::new(50_000))));
+        assert_eq!(p.trace_max(), Bytes::new(50_000));
+        assert_eq!(p.mem_max(), Bytes::from_kb(3000));
+    }
+
+    #[test]
+    fn boundary_always_legal() {
+        let mut p = DtbDual::new(Bytes::new(77), Bytes::new(5_000));
+        let est = NoSurvivalInfo;
+        let mut h = ScavengeHistory::new();
+        let mut t = 0u64;
+        for i in 1..40u64 {
+            t += 1_000;
+            let c = ctx(t, i * 100, &h, &est);
+            let tb = p.select_boundary(&c);
+            assert!(tb <= c.now);
+            if let Some(prev) = h.last() {
+                assert!(tb <= prev.at);
+            }
+            h.push(rec(t, tb.as_u64(), (i * 31) % 200, i * 11, i * 25));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Ungar & Jackson's Feedback Mediation, in the threatening-boundary frame.
+
+use super::{clamp_boundary, ScavengeContext, TbPolicy};
+use crate::constraint::Constraint;
+use crate::time::{Bytes, VirtualTime};
+
+/// `FEEDMED`: advance the boundary only when the pause budget was exceeded.
+///
+/// Table 1's formulation: if the previous scavenge traced more than
+/// `Trace_max`,
+///
+/// ```text
+/// TB_n ← least { t_k | 0 ≤ k < n, t_k ≥ TB_{n-1},
+///                Trace_max ≥ Σ_{j=k}^{n-1} Born_j }
+/// ```
+///
+/// where `Born_j` is the storage allocated between `t_j` and `t_{j+1}` that
+/// is still live at `t_n`; otherwise `TB_n ← TB_{n-1}`. The suffix sum
+/// `Σ_{j=k}^{n-1} Born_j` is exactly the surviving storage born after
+/// `t_k`, which the [`SurvivalEstimator`](super::SurvivalEstimator)
+/// supplies, so the search is: the *oldest* previous scavenge time, no
+/// older than the current boundary, whose predicted trace fits the budget.
+///
+/// Two boundary cases the paper leaves implicit:
+///
+/// * if no candidate fits (even tracing only the storage born since
+///   `t_{n-1}` would blow the budget), the boundary advances to `t_{n-1}`
+///   — the most aggressive promotion available, mirroring Feedback
+///   Mediation's "promote enough objects to get under the budget";
+/// * before any scavenge has completed, the boundary is `0` (initial full
+///   collection).
+///
+/// The defining weakness the paper exploits: when pauses run *under*
+/// budget, `FEEDMED` leaves the boundary in place, so tenured garbage
+/// stranded by earlier mediation is never reclaimed. [`DtbFm`](super::DtbFm)
+/// fixes exactly this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FeedMed {
+    trace_max: Bytes,
+}
+
+impl FeedMed {
+    /// Creates a Feedback Mediation policy with the given trace budget
+    /// (`Trace_max`, bytes).
+    pub fn new(trace_max: Bytes) -> FeedMed {
+        FeedMed { trace_max }
+    }
+
+    /// The pause budget expressed in bytes traced.
+    pub fn trace_max(&self) -> Bytes {
+        self.trace_max
+    }
+}
+
+/// The mediation step shared by `FEEDMED` and `DTBFM`.
+///
+/// Finds the oldest admissible boundary among previous scavenge times at or
+/// after `prev_tb` whose predicted trace fits `trace_max`; falls back to
+/// `t_{n-1}` when none fits. Must only be called with a non-empty history.
+pub(super) fn mediate(ctx: &ScavengeContext<'_>, trace_max: Bytes, prev_tb: VirtualTime) -> VirtualTime {
+    let last_time = ctx
+        .history
+        .last()
+        .expect("mediate requires at least one completed scavenge")
+        .at;
+    for (_, t_k) in ctx.history.times_at_or_after(prev_tb) {
+        if ctx.survival.surviving_born_after(t_k) <= trace_max {
+            return clamp_boundary(t_k, last_time);
+        }
+    }
+    last_time
+}
+
+impl TbPolicy for FeedMed {
+    fn name(&self) -> &str {
+        "FEEDMED"
+    }
+
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+        let Some(last) = ctx.history.last() else {
+            return VirtualTime::ZERO; // initial full collection
+        };
+        if last.traced > self.trace_max {
+            mediate(ctx, self.trace_max, last.boundary)
+        } else {
+            last.boundary
+        }
+    }
+
+    fn constraint(&self) -> Option<Constraint> {
+        Some(Constraint::trace(self.trace_max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::super::NoSurvivalInfo;
+    use super::*;
+    use crate::history::ScavengeHistory;
+
+    #[test]
+    fn first_scavenge_is_full() {
+        let mut p = FeedMed::new(Bytes::new(50));
+        let est = NoSurvivalInfo;
+        let h = ScavengeHistory::new();
+        assert_eq!(p.select_boundary(&ctx(100, 0, &h, &est)), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn under_budget_keeps_boundary_in_place() {
+        let mut p = FeedMed::new(Bytes::new(50));
+        let est = NoSurvivalInfo;
+        let mut h = ScavengeHistory::new();
+        h.push(rec(100, 30, 40, 40, 80)); // traced 40 <= 50
+        assert_eq!(
+            p.select_boundary(&ctx(200, 0, &h, &est)),
+            VirtualTime::from_bytes(30)
+        );
+    }
+
+    #[test]
+    fn over_budget_advances_to_oldest_fitting_time() {
+        let mut p = FeedMed::new(Bytes::new(50));
+        // Predicted trace: born-after-100 = 80, born-after-200 = 45.
+        let est = TableEstimator {
+            entries: vec![(150, 35), (250, 45)],
+        };
+        let mut h = ScavengeHistory::new();
+        h.push(rec(100, 0, 90, 90, 150)); // traced 90 > 50 at next decision? no: this is scavenge 0
+        h.push(rec(200, 100, 90, 120, 200)); // traced 90 > 50 → mediate
+        let tb = p.select_boundary(&ctx(300, 0, &h, &est));
+        // Candidates ≥ TB_{n-1}=100: t=100 (predict 80 > 50), t=200 (predict 45 ≤ 50).
+        assert_eq!(tb, VirtualTime::from_bytes(200));
+    }
+
+    #[test]
+    fn over_budget_with_no_fitting_candidate_falls_back_to_prev_time() {
+        let mut p = FeedMed::new(Bytes::new(10));
+        // Even storage born after the last scavenge exceeds the budget.
+        let est = TableEstimator {
+            entries: vec![(250, 100)],
+        };
+        let mut h = ScavengeHistory::new();
+        h.push(rec(100, 0, 20, 20, 40));
+        h.push(rec(200, 100, 20, 30, 60));
+        let tb = p.select_boundary(&ctx(300, 0, &h, &est));
+        assert_eq!(tb, VirtualTime::from_bytes(200));
+    }
+
+    #[test]
+    fn boundary_never_moves_backward() {
+        // Feedback Mediation candidates are restricted to t_k ≥ TB_{n-1}.
+        let mut p = FeedMed::new(Bytes::new(50));
+        let est = TableEstimator {
+            entries: vec![(50, 10)],
+        };
+        let mut h = ScavengeHistory::new();
+        h.push(rec(100, 0, 20, 20, 40));
+        h.push(rec(200, 150, 90, 90, 180)); // over budget, TB_{n-1} = 150
+        let tb = p.select_boundary(&ctx(300, 0, &h, &est));
+        assert!(tb >= VirtualTime::from_bytes(150));
+    }
+
+    #[test]
+    fn reports_trace_constraint() {
+        let p = FeedMed::new(Bytes::new(50_000));
+        match p.constraint() {
+            Some(Constraint::Trace(b)) => assert_eq!(b, Bytes::new(50_000)),
+            other => panic!("unexpected constraint {other:?}"),
+        }
+    }
+}

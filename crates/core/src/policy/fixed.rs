@@ -1,0 +1,126 @@
+//! Classic generational collection: `TB_n ← t_{n-k}`.
+
+use super::{ScavengeContext, TbPolicy};
+use crate::time::VirtualTime;
+
+/// `FIXED-k`: the threatening boundary is pinned `k` scavenges in the past.
+///
+/// This models a traditional two-generation collector whose promotion
+/// policy tenures objects after surviving `k` collections: at scavenge `n`
+/// the boundary is `t_{n-k}`, so anything that has survived `k` scavenges is
+/// immune. The paper evaluates `FIXED1` (tenure after one survival — lowest
+/// CPU overhead, unbounded tenured garbage) and `FIXED4`.
+///
+/// Until `k` scavenges have completed the boundary is `0`, i.e. the first
+/// few collections are full — matching the paper's convention that every
+/// collector starts with a full collection.
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::policy::{Fixed, TbPolicy};
+///
+/// let fixed1 = Fixed::new(1);
+/// let fixed4 = Fixed::new(4);
+/// assert_eq!(fixed1.name(), "FIXED1");
+/// assert_eq!(fixed4.name(), "FIXED4");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fixed {
+    k: usize,
+    name: String,
+}
+
+impl Fixed {
+    /// Creates a `FIXED-k` policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`: the boundary would be the current scavenge time,
+    /// threatening nothing that has ever been scavenged *or allocated* — the
+    /// degenerate "collect nothing" collector.
+    pub fn new(k: usize) -> Fixed {
+        assert!(k > 0, "FIXED-k requires k >= 1");
+        Fixed {
+            k,
+            name: format!("FIXED{k}"),
+        }
+    }
+
+    /// The number of scavenges an object must survive before tenure.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl TbPolicy for Fixed {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+        ctx.history
+            .back(self.k)
+            .map(|r| r.at)
+            .unwrap_or(VirtualTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::super::NoSurvivalInfo;
+    use super::*;
+    use crate::history::ScavengeHistory;
+
+    #[test]
+    fn fixed1_tracks_previous_scavenge_time() {
+        let mut p = Fixed::new(1);
+        let est = NoSurvivalInfo;
+        let mut h = ScavengeHistory::new();
+        assert_eq!(p.select_boundary(&ctx(100, 0, &h, &est)), VirtualTime::ZERO);
+        h.push(rec(100, 0, 10, 10, 20));
+        assert_eq!(
+            p.select_boundary(&ctx(200, 0, &h, &est)),
+            VirtualTime::from_bytes(100)
+        );
+        h.push(rec(200, 100, 5, 12, 30));
+        assert_eq!(
+            p.select_boundary(&ctx(300, 0, &h, &est)),
+            VirtualTime::from_bytes(200)
+        );
+    }
+
+    #[test]
+    fn fixed4_is_full_until_four_scavenges_exist() {
+        let mut p = Fixed::new(4);
+        let est = NoSurvivalInfo;
+        let mut h = ScavengeHistory::new();
+        for (i, t) in [100u64, 200, 300].iter().enumerate() {
+            assert_eq!(
+                p.select_boundary(&ctx(*t, 0, &h, &est)),
+                VirtualTime::ZERO,
+                "scavenge {i} should still be full"
+            );
+            h.push(rec(*t, 0, 1, 1, 2));
+        }
+        h.push(rec(400, 0, 1, 1, 2));
+        // With four completed scavenges, boundary is t_{n-4} = 100.
+        assert_eq!(
+            p.select_boundary(&ctx(500, 0, &h, &est)),
+            VirtualTime::from_bytes(100)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn k_zero_rejected() {
+        let _ = Fixed::new(0);
+    }
+
+    #[test]
+    fn name_includes_k() {
+        assert_eq!(Fixed::new(7).name(), "FIXED7");
+        assert_eq!(Fixed::new(7).k(), 7);
+    }
+}

@@ -1,0 +1,74 @@
+//! The non-generational full collector: `TB_n ← 0`.
+
+use super::{ScavengeContext, TbPolicy};
+use crate::time::VirtualTime;
+
+/// `FULL`: every scavenge threatens the whole heap.
+///
+/// Traces all reachable storage and reclaims all garbage at every
+/// collection. It is the memory-optimal and CPU-pessimal endpoint of the
+/// trade-off space; the paper uses it as the baseline every other collector
+/// is judged against (Tables 2 and 4), and over-constrained `DTBMEM`
+/// degrades to it.
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::policy::{Full, TbPolicy, ScavengeContext, NoSurvivalInfo};
+/// use dtb_core::history::ScavengeHistory;
+/// use dtb_core::time::{Bytes, VirtualTime};
+///
+/// let mut full = Full::new();
+/// let history = ScavengeHistory::new();
+/// let ctx = ScavengeContext {
+///     now: VirtualTime::from_bytes(2_000_000),
+///     mem_before: Bytes::new(700_000),
+///     history: &history,
+///     survival: &NoSurvivalInfo,
+/// };
+/// assert_eq!(full.select_boundary(&ctx), VirtualTime::ZERO);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Full;
+
+impl Full {
+    /// Creates the full-collection policy.
+    pub fn new() -> Full {
+        Full
+    }
+}
+
+impl TbPolicy for Full {
+    fn name(&self) -> &str {
+        "FULL"
+    }
+
+    fn select_boundary(&mut self, _ctx: &ScavengeContext<'_>) -> VirtualTime {
+        VirtualTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::super::NoSurvivalInfo;
+    use super::*;
+    use crate::history::ScavengeHistory;
+
+    #[test]
+    fn always_zero_regardless_of_history() {
+        let mut p = Full::new();
+        let est = NoSurvivalInfo;
+        let mut h = ScavengeHistory::new();
+        assert_eq!(p.select_boundary(&ctx(100, 10, &h, &est)), VirtualTime::ZERO);
+        h.push(rec(100, 0, 50, 50, 100));
+        h.push(rec(200, 0, 60, 60, 110));
+        assert_eq!(p.select_boundary(&ctx(300, 10, &h, &est)), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn reports_no_constraint() {
+        assert!(Full::new().constraint().is_none());
+        assert_eq!(Full::new().name(), "FULL");
+    }
+}

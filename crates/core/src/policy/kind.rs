@@ -1,0 +1,160 @@
+//! Named policy construction for harnesses and configuration files.
+
+use super::{DtbFm, DtbMem, FeedMed, Fixed, Full, TbPolicy};
+use crate::cost::CostModel;
+use crate::time::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The six collector configurations evaluated in the paper, as data.
+///
+/// Lets benchmark harnesses, tests, and CLI tools iterate over "all the
+/// collectors in Table 1" without hard-coding constructor calls.
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::policy::{PolicyKind, PolicyConfig};
+///
+/// let cfg = PolicyConfig::paper();
+/// let mut names: Vec<&str> = Vec::new();
+/// for kind in PolicyKind::ALL {
+///     names.push(kind.label());
+///     let _policy = kind.build(&cfg);
+/// }
+/// assert_eq!(names, ["FULL", "FIXED1", "FIXED4", "DTBMEM", "FEEDMED", "DTBFM"]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Non-generational full collection.
+    Full,
+    /// Classic generational, tenure after 1 survived scavenge.
+    Fixed1,
+    /// Classic generational, tenure after 4 survived scavenges.
+    Fixed4,
+    /// Memory-constrained dynamic threatening boundary.
+    DtbMem,
+    /// Ungar–Jackson Feedback Mediation.
+    FeedMed,
+    /// Pause-constrained dynamic threatening boundary.
+    DtbFm,
+}
+
+impl PolicyKind {
+    /// All six collectors, in the row order of the paper's tables.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Full,
+        PolicyKind::Fixed1,
+        PolicyKind::Fixed4,
+        PolicyKind::DtbMem,
+        PolicyKind::FeedMed,
+        PolicyKind::DtbFm,
+    ];
+
+    /// The label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Full => "FULL",
+            PolicyKind::Fixed1 => "FIXED1",
+            PolicyKind::Fixed4 => "FIXED4",
+            PolicyKind::DtbMem => "DTBMEM",
+            PolicyKind::FeedMed => "FEEDMED",
+            PolicyKind::DtbFm => "DTBFM",
+        }
+    }
+
+    /// Instantiates the policy under a configuration.
+    pub fn build(self, cfg: &PolicyConfig) -> Box<dyn TbPolicy> {
+        match self {
+            PolicyKind::Full => Box::new(Full::new()),
+            PolicyKind::Fixed1 => Box::new(Fixed::new(1)),
+            PolicyKind::Fixed4 => Box::new(Fixed::new(4)),
+            PolicyKind::DtbMem => Box::new(DtbMem::new(cfg.mem_max)),
+            PolicyKind::FeedMed => Box::new(FeedMed::new(cfg.trace_max)),
+            PolicyKind::DtbFm => Box::new(DtbFm::new(cfg.trace_max)),
+        }
+    }
+
+    /// Parses a table label (case-insensitive): `"DTBFM"`, `"fixed1"`, ….
+    pub fn parse(label: &str) -> Option<PolicyKind> {
+        Some(match label.to_ascii_uppercase().as_str() {
+            "FULL" => PolicyKind::Full,
+            "FIXED1" => PolicyKind::Fixed1,
+            "FIXED4" => PolicyKind::Fixed4,
+            "DTBMEM" => PolicyKind::DtbMem,
+            "FEEDMED" => PolicyKind::FeedMed,
+            "DTBFM" => PolicyKind::DtbFm,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Constraint values shared by the constrained policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// `Trace_max` for `FEEDMED` and `DTBFM` (bytes traced per scavenge).
+    pub trace_max: Bytes,
+    /// `Mem_max` for `DTBMEM` (total bytes in use).
+    pub mem_max: Bytes,
+}
+
+impl PolicyConfig {
+    /// The paper's Section 5 configuration: 100 ms pauses (50 000 bytes at
+    /// 500 KB/s) and a 3000-kilobyte memory constraint.
+    pub fn paper() -> PolicyConfig {
+        PolicyConfig {
+            trace_max: CostModel::paper().trace_budget_for_pause_ms(100.0),
+            mem_max: Bytes::from_kb(3000),
+        }
+    }
+
+    /// A configuration with explicit budgets.
+    pub fn new(trace_max: Bytes, mem_max: Bytes) -> PolicyConfig {
+        PolicyConfig { trace_max, mem_max }
+    }
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_round_trip_through_labels() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.label()), Some(kind));
+            assert_eq!(PolicyKind::parse(&kind.label().to_lowercase()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("NOPE"), None);
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        let cfg = PolicyConfig::paper();
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.build(&cfg).name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let cfg = PolicyConfig::paper();
+        assert_eq!(cfg.trace_max, Bytes::new(50_000));
+        assert_eq!(cfg.mem_max, Bytes::from_kb(3000));
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(PolicyKind::DtbFm.to_string(), "DTBFM");
+    }
+}

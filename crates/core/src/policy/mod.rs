@@ -1,0 +1,286 @@
+//! Threatening-boundary selection policies (Table 1 of the paper).
+//!
+//! A [`TbPolicy`] is consulted immediately before every scavenge. Given the
+//! current allocation-clock time `t_n`, the memory in use `Mem_n`, the
+//! [`ScavengeHistory`] of completed collections, and a
+//! [`SurvivalEstimator`], it returns the threatening boundary `TB_n`:
+//! objects born **strictly after** `TB_n` are threatened (traced, and
+//! reclaimed if unreachable); objects born at or before it are immune.
+//!
+//! The six collectors the paper evaluates correspond to:
+//!
+//! * [`Full`] — `TB_n = 0`: a non-generational full collection every time.
+//! * [`Fixed`]`(1)` / `Fixed(4)` — `TB_n = t_{n-1}` / `t_{n-4}`: classic
+//!   generational promotion after a fixed number of survived scavenges.
+//! * [`FeedMed`] — Ungar & Jackson's Feedback Mediation: advance the
+//!   boundary only when the pause budget was exceeded.
+//! * [`DtbFm`] — the paper's pause-time-constrained policy: Feedback
+//!   Mediation on over-budget pauses, plus *backward* boundary motion on
+//!   under-budget pauses to reclaim tenured garbage.
+//! * [`DtbMem`] — the paper's memory-constrained policy: place the boundary
+//!   so predicted tenured garbage keeps total memory within `Mem_max`.
+//!
+//! Beyond the paper, [`DtbDual`] composes both constraints (pause budget
+//! wins on conflict), and [`LiveEstimate`] exposes `DTBMEM`'s live-data
+//! estimator for ablation.
+
+mod dtbfm;
+mod dtbmem;
+mod dual;
+mod feedmed;
+mod fixed;
+mod full;
+mod kind;
+
+pub use dtbfm::DtbFm;
+pub use dtbmem::{DtbMem, LiveEstimate};
+pub use dual::DtbDual;
+pub use feedmed::FeedMed;
+pub use fixed::Fixed;
+pub use full::Full;
+pub use kind::{PolicyConfig, PolicyKind};
+
+use crate::history::ScavengeHistory;
+use crate::time::{Bytes, VirtualTime};
+
+/// Everything a policy may consult when choosing `TB_n`.
+///
+/// Lifetimes tie the context to the collector's state for the duration of
+/// one boundary decision; policies never retain it.
+#[derive(Clone, Copy)]
+pub struct ScavengeContext<'a> {
+    /// `t_n`: the allocation-clock time of the imminent scavenge.
+    pub now: VirtualTime,
+    /// `Mem_n`: bytes of storage in use just before the scavenge.
+    pub mem_before: Bytes,
+    /// Records of scavenges `0 .. n-1`.
+    pub history: &'a ScavengeHistory,
+    /// Survival information for Feedback Mediation's `Born_j` sums.
+    pub survival: &'a dyn SurvivalEstimator,
+}
+
+impl<'a> ScavengeContext<'a> {
+    /// `t_{n-1}`, the time of the previous scavenge, if one has happened.
+    pub fn prev_time(&self) -> Option<VirtualTime> {
+        self.history.last().map(|r| r.at)
+    }
+
+    /// `TB_{n-1}`, the boundary used by the previous scavenge.
+    pub fn prev_boundary(&self) -> Option<VirtualTime> {
+        self.history.last().map(|r| r.boundary)
+    }
+}
+
+impl core::fmt::Debug for ScavengeContext<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ScavengeContext")
+            .field("now", &self.now)
+            .field("mem_before", &self.mem_before)
+            .field("completed_scavenges", &self.history.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Supplies the survival estimates Feedback Mediation needs.
+///
+/// `Σ_{j=k}^{n-1} Born_j` in Table 1 — the storage allocated after `t_k`
+/// that is still live at `t_n` — is exactly the storage a scavenge with
+/// boundary `t_k` would trace. Implementors answer that question:
+///
+/// * the trace-driven simulator answers it exactly from its lifetime
+///   oracle;
+/// * a real collector answers it conservatively from the objects currently
+///   registered in the heap (reachable or not), which over-estimates and
+///   therefore never under-mediates.
+pub trait SurvivalEstimator {
+    /// Estimated bytes the collector would trace with boundary `tb` at the
+    /// imminent scavenge: storage born strictly after `tb` and surviving.
+    fn surviving_born_after(&self, tb: VirtualTime) -> Bytes;
+}
+
+/// A [`SurvivalEstimator`] for callers with no survival information.
+///
+/// Always answers zero, which makes Feedback Mediation keep the youngest
+/// admissible boundary. Useful in tests and for policies that never consult
+/// the estimator ([`Full`], [`Fixed`], [`DtbMem`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoSurvivalInfo;
+
+impl SurvivalEstimator for NoSurvivalInfo {
+    fn surviving_born_after(&self, _tb: VirtualTime) -> Bytes {
+        Bytes::ZERO
+    }
+}
+
+/// A boundary-selection policy: the single point of variation among all the
+/// collectors in the paper.
+///
+/// Implementations must be deterministic functions of the context (plus any
+/// internal state they carry), and must return a boundary no later than
+/// `ctx.now`.
+pub trait TbPolicy {
+    /// A short stable identifier, e.g. `"DTBFM"`, used in reports.
+    fn name(&self) -> &str;
+
+    /// Chooses the threatening boundary `TB_n` for the imminent scavenge.
+    ///
+    /// Returning [`VirtualTime::ZERO`] requests a full collection. The
+    /// returned boundary is clamped by callers to `[0, ctx.now]`.
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime;
+
+    /// The constraint this policy tracks, for reporting. `None` for
+    /// unconstrained policies.
+    fn constraint(&self) -> Option<crate::constraint::Constraint> {
+        None
+    }
+}
+
+impl<P: TbPolicy + ?Sized> TbPolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+        (**self).select_boundary(ctx)
+    }
+    fn constraint(&self) -> Option<crate::constraint::Constraint> {
+        (**self).constraint()
+    }
+}
+
+/// Clamps a candidate boundary into the legal range `[0, latest]`.
+///
+/// The paper's policies never threaten *less* than the storage allocated
+/// since the previous scavenge ("we always want to trace an object at least
+/// once"), so `latest` is normally `t_{n-1}`.
+pub(crate) fn clamp_boundary(candidate: VirtualTime, latest: VirtualTime) -> VirtualTime {
+    candidate.min(latest)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for policy unit tests.
+    use super::*;
+    use crate::history::ScavengeRecord;
+
+    /// An estimator backed by an explicit piecewise table:
+    /// `surviving_born_after(tb)` is the sum of `sizes` of entries with
+    /// `birth > tb`.
+    pub struct TableEstimator {
+        /// (birth, surviving bytes born at that instant)
+        pub entries: Vec<(u64, u64)>,
+    }
+
+    impl SurvivalEstimator for TableEstimator {
+        fn surviving_born_after(&self, tb: VirtualTime) -> Bytes {
+            Bytes::new(
+                self.entries
+                    .iter()
+                    .filter(|(birth, _)| VirtualTime::from_bytes(*birth) > tb)
+                    .map(|(_, sz)| *sz)
+                    .sum(),
+            )
+        }
+    }
+
+    /// Builds a record with the fields policies actually read.
+    pub fn rec(at: u64, boundary: u64, traced: u64, surviving: u64, mem_before: u64) -> ScavengeRecord {
+        ScavengeRecord {
+            at: VirtualTime::from_bytes(at),
+            boundary: VirtualTime::from_bytes(boundary),
+            traced: Bytes::new(traced),
+            surviving: Bytes::new(surviving),
+            reclaimed: Bytes::new(mem_before.saturating_sub(surviving)),
+            mem_before: Bytes::new(mem_before),
+        }
+    }
+
+    /// Convenience: a context over `history` at time `now` with `mem` in use.
+    pub fn ctx<'a>(
+        now: u64,
+        mem: u64,
+        history: &'a ScavengeHistory,
+        survival: &'a dyn SurvivalEstimator,
+    ) -> ScavengeContext<'a> {
+        ScavengeContext {
+            now: VirtualTime::from_bytes(now),
+            mem_before: Bytes::new(mem),
+            history,
+            survival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn context_prev_accessors() {
+        let mut h = ScavengeHistory::new();
+        let est = NoSurvivalInfo;
+        {
+            let c = ctx(100, 50, &h, &est);
+            assert_eq!(c.prev_time(), None);
+            assert_eq!(c.prev_boundary(), None);
+        }
+        h.push(rec(100, 40, 10, 10, 20));
+        let c = ctx(200, 50, &h, &est);
+        assert_eq!(c.prev_time(), Some(VirtualTime::from_bytes(100)));
+        assert_eq!(c.prev_boundary(), Some(VirtualTime::from_bytes(40)));
+    }
+
+    #[test]
+    fn no_survival_info_is_zero_everywhere() {
+        assert_eq!(
+            NoSurvivalInfo.surviving_born_after(VirtualTime::ZERO),
+            Bytes::ZERO
+        );
+    }
+
+    #[test]
+    fn table_estimator_is_monotone_nonincreasing() {
+        let est = TableEstimator {
+            entries: vec![(10, 5), (20, 7), (30, 2)],
+        };
+        let mut prev = u64::MAX;
+        for tb in [0u64, 10, 15, 20, 25, 30, 40] {
+            let v = est
+                .surviving_born_after(VirtualTime::from_bytes(tb))
+                .as_u64();
+            assert!(v <= prev, "estimator must be non-increasing in tb");
+            prev = v;
+        }
+        assert_eq!(
+            est.surviving_born_after(VirtualTime::ZERO),
+            Bytes::new(14)
+        );
+        assert_eq!(
+            est.surviving_born_after(VirtualTime::from_bytes(10)),
+            Bytes::new(9)
+        );
+    }
+
+    #[test]
+    fn boxed_policy_delegates() {
+        let mut boxed: Box<dyn TbPolicy> = Box::new(Full::new());
+        let h = ScavengeHistory::new();
+        let est = NoSurvivalInfo;
+        let c = ctx(500, 100, &h, &est);
+        assert_eq!(boxed.name(), "FULL");
+        assert_eq!(boxed.select_boundary(&c), VirtualTime::ZERO);
+        assert!(boxed.constraint().is_none());
+    }
+
+    #[test]
+    fn clamp_boundary_caps_at_latest() {
+        assert_eq!(
+            clamp_boundary(VirtualTime::from_bytes(10), VirtualTime::from_bytes(5)),
+            VirtualTime::from_bytes(5)
+        );
+        assert_eq!(
+            clamp_boundary(VirtualTime::from_bytes(3), VirtualTime::from_bytes(5)),
+            VirtualTime::from_bytes(3)
+        );
+    }
+}

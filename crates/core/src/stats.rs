@@ -1,0 +1,294 @@
+//! Summary statistics used by the paper's tables.
+//!
+//! Table 2 reports mean/maximum memory, Table 3 median/90th-percentile
+//! pause times, Table 4 total traced storage and CPU overhead. This module
+//! provides the two accumulators those tables need: an exact
+//! order-statistics summary over a recorded sample set ([`SampleStats`])
+//! and a weighted running mean/max accumulator for memory-over-time curves
+//! ([`WeightedStats`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Exact order statistics over an explicit sample set.
+///
+/// Used for pause times: one sample per scavenge (a program has at most a
+/// few hundred collections, so keeping all samples is cheap and exact).
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::stats::SampleStats;
+///
+/// let mut s = SampleStats::new();
+/// for v in [10.0, 20.0, 30.0, 40.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.median(), Some(25.0));
+/// assert_eq!(s.percentile(90.0), Some(37.0)); // interpolated rank
+/// assert_eq!(s.max(), Some(40.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleStats {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleStats {
+    /// Creates an empty sample set.
+    pub fn new() -> SampleStats {
+        SampleStats::default()
+    }
+
+    /// Records one sample. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn sorted_samples(&mut self) -> &[f64] {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            self.sorted = true;
+        }
+        &self.samples
+    }
+
+    /// The `p`-th percentile (0–100) by linear interpolation between
+    /// closest ranks; `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        let s = self.sorted_samples();
+        if s.is_empty() {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = p / 100.0 * (s.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(s[lo] + (s[hi] - s[lo]) * frac)
+    }
+
+    /// The median (50th percentile); `None` when empty.
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// The largest sample; `None` when empty.
+    pub fn max(&mut self) -> Option<f64> {
+        self.sorted_samples().last().copied()
+    }
+
+    /// The smallest sample; `None` when empty.
+    pub fn min(&mut self) -> Option<f64> {
+        self.sorted_samples().first().copied()
+    }
+
+    /// The arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// The sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// A read-only view of the raw samples, in insertion order is *not*
+    /// guaranteed (they may have been sorted by a percentile query).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl FromIterator<f64> for SampleStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = SampleStats::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for SampleStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// Weight-averaged mean and maximum of a piecewise-constant signal.
+///
+/// Used for memory-in-use: the signal holds value `v` for a weight `w` (an
+/// allocation-clock span), and Table 2's *mean memory* is the
+/// weight-averaged value over the whole run. Recording with weight zero
+/// still updates the maximum (a spike between allocations counts for the
+/// max but not the mean).
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::stats::WeightedStats;
+///
+/// let mut m = WeightedStats::new();
+/// m.record(100.0, 1.0);
+/// m.record(300.0, 3.0);
+/// assert_eq!(m.mean(), Some(250.0));
+/// assert_eq!(m.max(), Some(300.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WeightedStats {
+    weighted_sum: f64,
+    total_weight: f64,
+    max: Option<f64>,
+}
+
+impl WeightedStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> WeightedStats {
+        WeightedStats::default()
+    }
+
+    /// Records that the signal held `value` for `weight` units.
+    ///
+    /// Non-finite values or negative weights are ignored.
+    pub fn record(&mut self, value: f64, weight: f64) {
+        if !value.is_finite() || !weight.is_finite() || weight < 0.0 {
+            return;
+        }
+        self.weighted_sum += value * weight;
+        self.total_weight += weight;
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// The weight-averaged mean; `None` before any positive-weight sample.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total_weight > 0.0 {
+            Some(self.weighted_sum / self.total_weight)
+        } else {
+            None
+        }
+    }
+
+    /// The maximum observed value; `None` before any sample.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Total weight recorded so far.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_answer_none() {
+        let mut s = SampleStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.median(), None);
+        assert_eq!(s.percentile(90.0), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s: SampleStats = [42.0].into_iter().collect();
+        assert_eq!(s.median(), Some(42.0));
+        assert_eq!(s.percentile(0.0), Some(42.0));
+        assert_eq!(s.percentile(100.0), Some(42.0));
+        assert_eq!(s.min(), Some(42.0));
+    }
+
+    #[test]
+    fn median_interpolates_even_counts() {
+        let mut s: SampleStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.median(), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_90_of_ten_samples() {
+        let mut s: SampleStats = (1..=10).map(|v| v as f64).collect();
+        // rank = 0.9 · 9 = 8.1 ⇒ 9 + 0.1·(10−9) = 9.1
+        assert!((s.percentile(90.0).unwrap() - 9.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let mut s: SampleStats = [1.0, 2.0].into_iter().collect();
+        assert_eq!(s.percentile(-5.0), Some(1.0));
+        assert_eq!(s.percentile(200.0), Some(2.0));
+    }
+
+    #[test]
+    fn records_ignore_non_finite() {
+        let mut s = SampleStats::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interleaved_record_and_query() {
+        let mut s = SampleStats::new();
+        s.record(3.0);
+        assert_eq!(s.median(), Some(3.0));
+        s.record(1.0); // must re-sort
+        assert_eq!(s.median(), Some(2.0));
+        s.record(2.0);
+        assert_eq!(s.median(), Some(2.0));
+        assert_eq!(s.len(), 3);
+        assert!((s.sum() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_weighs_by_duration() {
+        let mut m = WeightedStats::new();
+        m.record(10.0, 9.0);
+        m.record(100.0, 1.0);
+        assert_eq!(m.mean(), Some(19.0));
+        assert_eq!(m.max(), Some(100.0));
+        assert_eq!(m.total_weight(), 10.0);
+    }
+
+    #[test]
+    fn zero_weight_updates_only_max() {
+        let mut m = WeightedStats::new();
+        m.record(500.0, 0.0);
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.max(), Some(500.0));
+        m.record(10.0, 2.0);
+        assert_eq!(m.mean(), Some(10.0));
+        assert_eq!(m.max(), Some(500.0));
+    }
+
+    #[test]
+    fn negative_weight_ignored() {
+        let mut m = WeightedStats::new();
+        m.record(5.0, -1.0);
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.max(), None);
+    }
+}

@@ -1,0 +1,328 @@
+//! Virtual time and byte-quantity newtypes.
+//!
+//! The paper measures time on an **allocation clock**: the virtual time `t`
+//! is the number of bytes the mutator has allocated since program start.
+//! Object ages, scavenge times `t_n`, and threatening boundaries `TB_n` are
+//! all points on this clock. [`VirtualTime`] keeps those quantities
+//! statically distinct from byte *amounts* ([`Bytes`]) such as traced or
+//! surviving storage, even though both are byte counts underneath.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// A point on the allocation clock, measured in bytes allocated so far.
+///
+/// `VirtualTime` is totally ordered: later allocation points compare
+/// greater. The origin [`VirtualTime::ZERO`] denotes program start; a
+/// threatening boundary of `ZERO` threatens every object (a full
+/// collection).
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::time::VirtualTime;
+///
+/// let birth = VirtualTime::from_bytes(1024);
+/// let now = VirtualTime::from_bytes(4096);
+/// assert!(birth < now);
+/// assert_eq!(now.elapsed_since(birth).as_u64(), 3072);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The start of program execution (zero bytes allocated).
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Creates a virtual time from a raw allocation-byte count.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        VirtualTime(bytes)
+    }
+
+    /// Returns the raw byte count of this allocation point.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span of allocation between `earlier` and `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn elapsed_since(self, earlier: VirtualTime) -> Bytes {
+        debug_assert!(earlier <= self, "elapsed_since: earlier > self");
+        Bytes(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Moves this time forward by an allocation amount.
+    pub fn advance(self, by: Bytes) -> VirtualTime {
+        VirtualTime(self.0 + by.0)
+    }
+
+    /// Moves this time backward by an allocation amount, saturating at zero.
+    pub fn rewind(self, by: Bytes) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(by.0))
+    }
+
+    /// Scales this time by a non-negative factor, saturating at zero.
+    ///
+    /// Used by policies that place the boundary at a fraction of the current
+    /// clock (e.g. `DTBMEM`'s `t_n · (Mem_max − L_est)/Mem_n`). Negative or
+    /// NaN factors clamp to [`VirtualTime::ZERO`].
+    pub fn scale(self, factor: f64) -> VirtualTime {
+        if !factor.is_finite() || factor <= 0.0 {
+            return VirtualTime::ZERO;
+        }
+        let scaled = (self.0 as f64) * factor;
+        if scaled >= u64::MAX as f64 {
+            VirtualTime(u64::MAX)
+        } else {
+            VirtualTime(scaled as u64)
+        }
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t@{}", self.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An amount of storage, in bytes.
+///
+/// Used for traced storage (`Trace_n`), surviving storage (`S_n`), memory
+/// in use (`Mem_n`), and constraint values (`Trace_max`, `Mem_max`).
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::time::Bytes;
+///
+/// let budget = Bytes::from_kb(50);
+/// assert_eq!(budget.as_u64(), 50 * 1024);
+/// assert_eq!(budget + Bytes::new(1), Bytes::new(51_201));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a byte amount.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Creates a byte amount from kilobytes (1 KB = 1024 bytes).
+    pub const fn from_kb(kb: u64) -> Self {
+        Bytes(kb * 1024)
+    }
+
+    /// Creates a byte amount from megabytes (1 MB = 1024² bytes).
+    pub const fn from_mb(mb: u64) -> Self {
+        Bytes(mb * 1024 * 1024)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the amount in (binary) kilobytes as a float.
+    pub fn as_kb(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Returns true if this amount is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtraction that saturates at zero instead of underflowing.
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction; `None` when `rhs > self`.
+    pub fn checked_sub(self, rhs: Bytes) -> Option<Bytes> {
+        self.0.checked_sub(rhs.0).map(Bytes)
+    }
+
+    /// Returns `self / rhs` as a float ratio; `None` when `rhs` is zero.
+    pub fn ratio(self, rhs: Bytes) -> Option<f64> {
+        if rhs.0 == 0 {
+            None
+        } else {
+            Some(self.0 as f64 / rhs.0 as f64)
+        }
+    }
+
+    /// Returns the midpoint of two amounts, rounding down.
+    ///
+    /// `DTBMEM` uses this for its live-data estimate
+    /// `L_est = (S_{n-1} + Trace_{n-1}) / 2`.
+    pub fn midpoint(self, rhs: Bytes) -> Bytes {
+        // Average without overflow.
+        Bytes((self.0 / 2) + (rhs.0 / 2) + ((self.0 % 2 + rhs.0 % 2) / 2))
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    /// # Panics
+    ///
+    /// Panics on underflow, like integer subtraction. Use
+    /// [`Bytes::saturating_sub`] where a clamped result is wanted.
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Bytes {
+    fn from(v: u64) -> Bytes {
+        Bytes(v)
+    }
+}
+
+impl From<Bytes> for u64 {
+    fn from(v: Bytes) -> u64 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_time_ordering_follows_allocation() {
+        let a = VirtualTime::from_bytes(10);
+        let b = VirtualTime::from_bytes(20);
+        assert!(a < b);
+        assert_eq!(b.elapsed_since(a), Bytes::new(10));
+    }
+
+    #[test]
+    fn advance_and_rewind_are_inverse_within_range() {
+        let t = VirtualTime::from_bytes(100);
+        assert_eq!(t.advance(Bytes::new(50)).rewind(Bytes::new(50)), t);
+    }
+
+    #[test]
+    fn rewind_saturates_at_origin() {
+        let t = VirtualTime::from_bytes(10);
+        assert_eq!(t.rewind(Bytes::new(100)), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn scale_clamps_pathological_factors() {
+        let t = VirtualTime::from_bytes(1000);
+        assert_eq!(t.scale(-1.0), VirtualTime::ZERO);
+        assert_eq!(t.scale(f64::NAN), VirtualTime::ZERO);
+        assert_eq!(t.scale(0.5), VirtualTime::from_bytes(500));
+        assert_eq!(t.scale(1.0), t);
+    }
+
+    #[test]
+    fn scale_saturates_at_max() {
+        let t = VirtualTime::from_bytes(u64::MAX / 2);
+        assert_eq!(t.scale(1e30), VirtualTime::from_bytes(u64::MAX));
+    }
+
+    #[test]
+    fn bytes_arithmetic() {
+        let a = Bytes::new(100);
+        let b = Bytes::new(30);
+        assert_eq!(a + b, Bytes::new(130));
+        assert_eq!(a - b, Bytes::new(70));
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_sub(b), Some(Bytes::new(70)));
+    }
+
+    #[test]
+    fn bytes_ratio_handles_zero_denominator() {
+        assert_eq!(Bytes::new(5).ratio(Bytes::ZERO), None);
+        assert_eq!(Bytes::new(5).ratio(Bytes::new(10)), Some(0.5));
+    }
+
+    #[test]
+    fn midpoint_is_average() {
+        assert_eq!(Bytes::new(10).midpoint(Bytes::new(20)), Bytes::new(15));
+        assert_eq!(Bytes::new(11).midpoint(Bytes::new(12)), Bytes::new(11));
+        // No overflow at the top of the range.
+        let big = Bytes::new(u64::MAX);
+        assert_eq!(big.midpoint(big), big);
+    }
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(Bytes::from_kb(1), Bytes::new(1024));
+        assert_eq!(Bytes::from_mb(1), Bytes::new(1024 * 1024));
+        assert!((Bytes::from_kb(3).as_kb() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_bytes() {
+        let total: Bytes = [Bytes::new(1), Bytes::new(2), Bytes::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Bytes::new(6));
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert_eq!(format!("{:?}", VirtualTime::from_bytes(7)), "t@7");
+        assert_eq!(format!("{:?}", Bytes::new(7)), "7B");
+    }
+}

@@ -1,0 +1,76 @@
+//! The heap-level public API: configuration, explicit collection, and
+//! introspection of this thread's heap.
+
+use crate::config::HeapConfig;
+use crate::state::{with_state, CollectionOutcome, HeapStats};
+use dtb_core::history::ScavengeHistory;
+use dtb_core::stats::SampleStats;
+
+/// Reconfigures this thread's heap (policy, budgets, trigger).
+///
+/// Existing objects are kept; only future boundary decisions change. The
+/// scavenge history carries over, so a newly-installed policy sees the
+/// past collections.
+///
+/// # Example
+///
+/// ```
+/// use dtb_heap::{configure, HeapConfig};
+/// use dtb_core::policy::{PolicyConfig, PolicyKind};
+/// use dtb_core::time::Bytes;
+///
+/// configure(
+///     HeapConfig::default()
+///         .with_policy(PolicyKind::DtbMem)
+///         .with_budgets(PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(3000))),
+/// );
+/// ```
+pub fn configure(config: HeapConfig) {
+    with_state(|s| s.reconfigure(config));
+}
+
+/// Runs a scavenge now, with the configured boundary policy.
+pub fn collect_now() -> CollectionOutcome {
+    with_state(|s| s.collect())
+}
+
+/// A snapshot of this thread's heap counters.
+pub fn heap_stats() -> HeapStats {
+    with_state(|s| s.stats())
+}
+
+/// The full scavenge history of this thread's heap.
+pub fn history() -> ScavengeHistory {
+    with_state(|s| s.history())
+}
+
+/// Pause-time samples (milliseconds) of every scavenge so far.
+pub fn pause_stats() -> SampleStats {
+    with_state(|s| s.pause_stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gc;
+
+    #[test]
+    fn stats_track_allocation() {
+        configure(HeapConfig::manual_full());
+        let before = heap_stats();
+        let _g = Gc::new([0u8; 256]);
+        let after = heap_stats();
+        assert!(after.allocated_total > before.allocated_total);
+        assert!(after.mem_in_use > before.mem_in_use);
+        assert_eq!(after.object_count, before.object_count + 1);
+    }
+
+    #[test]
+    fn collect_now_records_history_and_pauses() {
+        configure(HeapConfig::manual_full());
+        let n = history().len();
+        collect_now();
+        assert_eq!(history().len(), n + 1);
+        assert_eq!(pause_stats().len(), n + 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! `GcCell`: interior mutability with a write barrier.
+//!
+//! Mutating a heap object can create **forward-in-time pointers** (an old
+//! object pointing at a younger one). With a movable threatening boundary,
+//! any such pointer may cross a future boundary, so the collector keeps a
+//! *single remembered set* of every object that has performed such a store
+//! (Section 4.2 of the paper). `GcCell` is the only way to mutate data
+//! inside the heap, and every mutating method takes the **owning object's
+//! handle** so the barrier can register the source.
+//!
+//! The owner argument is validated: the cell must lie inside the owner's
+//! allocation, so passing the wrong owner panics instead of corrupting
+//! the remembered set.
+
+use crate::gc::Gc;
+use crate::state::with_state;
+use crate::trace_trait::{Trace, Tracer};
+use std::cell::{Ref, RefCell, RefMut};
+
+/// A mutable slot inside a garbage-collected object.
+///
+/// # Example
+///
+/// ```
+/// use dtb_heap::{Gc, GcCell, Trace, Tracer};
+///
+/// struct Node {
+///     next: GcCell<Option<Gc<Node>>>,
+/// }
+/// // SAFETY: `next` is the only field holding Gc edges.
+/// unsafe impl Trace for Node {
+///     fn trace(&self, t: &mut Tracer) { self.next.trace(t) }
+///     fn root(&self) { self.next.root() }
+///     fn unroot(&self) { self.next.unroot() }
+/// }
+///
+/// let first = Gc::new(Node { next: GcCell::new(None) });
+/// let second = Gc::new(Node { next: GcCell::new(None) });
+/// // The write barrier records `first` (the owner) in the remembered set.
+/// first.next.set(&first, Some(second.clone()));
+/// assert!(Gc::ptr_eq(
+///     first.next.borrow().as_ref().unwrap(),
+///     &second,
+/// ));
+/// ```
+pub struct GcCell<T: Trace> {
+    inner: RefCell<T>,
+}
+
+impl<T: Trace> GcCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: T) -> GcCell<T> {
+        GcCell {
+            inner: RefCell::new(value),
+        }
+    }
+
+    /// Immutably borrows the contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is currently mutably borrowed.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.inner.borrow()
+    }
+
+    /// Checks that this cell lives inside `owner`'s allocation; the write
+    /// barrier depends on the owner being the true containing object.
+    fn assert_owned_by<O: Trace + 'static>(&self, owner: &Gc<O>) {
+        let cell_addr = self as *const _ as usize;
+        let erased = owner.erased();
+        // SAFETY: owner is a live handle; reading its header is valid.
+        let (base, size) = unsafe {
+            let b = erased.as_ref();
+            (erased.as_ptr() as *const u8 as usize, b.header.size as usize)
+        };
+        assert!(
+            cell_addr >= base && cell_addr < base + size,
+            "write barrier: the cell at {cell_addr:#x} is not inside the \
+             claimed owner object [{base:#x}, {:#x}); pass the Gc handle of \
+             the object that directly contains this GcCell",
+            base + size
+        );
+    }
+
+    /// Replaces the contents, registering `owner` in the remembered set.
+    ///
+    /// `owner` must be the heap object that directly contains this cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` does not contain this cell, or if the cell is
+    /// currently borrowed.
+    pub fn set<O: Trace + 'static>(&self, owner: &Gc<O>, value: T) {
+        drop(self.replace(owner, value));
+    }
+
+    /// Replaces the contents and returns the old value (re-rooted for use
+    /// on the stack).
+    ///
+    /// # Panics
+    ///
+    /// See [`GcCell::set`].
+    pub fn replace<O: Trace + 'static>(&self, owner: &Gc<O>, value: T) -> T {
+        self.assert_owned_by(owner);
+        with_state(|s| s.remember(owner.erased()));
+        // The new value moves into the heap: its handles stop rooting.
+        value.unroot();
+        let old = self.inner.replace(value);
+        // The old value moves out to the caller's stack: re-root it.
+        old.root();
+        old
+    }
+
+    /// Mutably borrows the contents, registering `owner` in the remembered
+    /// set. The contents are rooted for the duration of the borrow, so a
+    /// scavenge triggered by allocation inside the borrow scope cannot
+    /// collect them.
+    ///
+    /// # Panics
+    ///
+    /// See [`GcCell::set`]; also panics if already borrowed.
+    pub fn borrow_mut<O: Trace + 'static>(
+        &self,
+        owner: &Gc<O>,
+    ) -> GcCellRefMut<'_, T> {
+        self.assert_owned_by(owner);
+        with_state(|s| s.remember(owner.erased()));
+        let guard = self.inner.borrow_mut();
+        // Root the contents while the mutator can replace heap edges.
+        guard.root();
+        GcCellRefMut { guard }
+    }
+}
+
+impl<T: Trace + Default> GcCell<T> {
+    /// Takes the contents, leaving `T::default()`.
+    ///
+    /// # Panics
+    ///
+    /// See [`GcCell::set`].
+    pub fn take<O: Trace + 'static>(&self, owner: &Gc<O>) -> T {
+        self.replace(owner, T::default())
+    }
+}
+
+/// The guard returned by [`GcCell::borrow_mut`]; contents stay rooted
+/// until it drops.
+pub struct GcCellRefMut<'a, T: Trace> {
+    guard: RefMut<'a, T>,
+}
+
+impl<T: Trace> std::ops::Deref for GcCellRefMut<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: Trace> std::ops::DerefMut for GcCellRefMut<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: Trace> Drop for GcCellRefMut<'_, T> {
+    fn drop(&mut self) {
+        // The contents are back inside the heap only.
+        self.guard.unroot();
+    }
+}
+
+// SAFETY: delegates to the contents. A mutably-borrowed cell is skipped:
+// its contents are rooted by the outstanding guard, so the collector
+// reaches them through the root set instead.
+unsafe impl<T: Trace> Trace for GcCell<T> {
+    fn trace(&self, tracer: &mut Tracer) {
+        if let Ok(v) = self.inner.try_borrow() {
+            v.trace(tracer);
+        }
+    }
+    fn root(&self) {
+        if let Ok(v) = self.inner.try_borrow() {
+            v.root();
+        }
+    }
+    fn unroot(&self) {
+        if let Ok(v) = self.inner.try_borrow() {
+            v.unroot();
+        }
+    }
+}
+
+impl<T: Trace + std::fmt::Debug> std::fmt::Debug for GcCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_borrow() {
+            Ok(v) => f.debug_tuple("GcCell").field(&*v).finish(),
+            Err(_) => f.write_str("GcCell(<mutably borrowed>)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_trace_for_pod;
+
+    struct Holder {
+        slot: GcCell<Option<Gc<u64>>>,
+        counter: GcCell<u32>,
+    }
+    // SAFETY: both cells are traced.
+    unsafe impl Trace for Holder {
+        fn trace(&self, t: &mut Tracer) {
+            self.slot.trace(t);
+            self.counter.trace(t);
+        }
+        fn root(&self) {
+            self.slot.root();
+            self.counter.root();
+        }
+        fn unroot(&self) {
+            self.slot.unroot();
+            self.counter.unroot();
+        }
+    }
+
+    struct Unrelated(#[allow(dead_code)] u8);
+    impl_trace_for_pod!(Unrelated);
+
+    fn holder() -> Gc<Holder> {
+        Gc::new(Holder {
+            slot: GcCell::new(None),
+            counter: GcCell::new(0),
+        })
+    }
+
+    #[test]
+    fn set_and_borrow_round_trip() {
+        let h = holder();
+        let target = Gc::new(99u64);
+        h.slot.set(&h, Some(target.clone()));
+        assert!(Gc::ptr_eq(h.slot.borrow().as_ref().unwrap(), &target));
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let h = holder();
+        let first = Gc::new(1u64);
+        let second = Gc::new(2u64);
+        h.slot.set(&h, Some(first.clone()));
+        let old = h.slot.replace(&h, Some(second));
+        assert!(Gc::ptr_eq(old.as_ref().unwrap(), &first));
+    }
+
+    #[test]
+    fn borrow_mut_guard_mutates() {
+        let h = holder();
+        *h.counter.borrow_mut(&h) = 5;
+        assert_eq!(*h.counter.borrow(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not inside the claimed owner")]
+    fn wrong_owner_is_rejected() {
+        let h = holder();
+        let imposter = Gc::new(Unrelated(0));
+        h.counter.set(&imposter, 1);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let h = holder();
+        assert!(format!("{:?}", h.counter).contains("GcCell"));
+    }
+}

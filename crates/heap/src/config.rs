@@ -1,0 +1,118 @@
+//! Heap configuration: the two user-facing knobs plus machine parameters.
+
+use dtb_core::cost::CostModel;
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_core::time::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the per-thread garbage-collected heap.
+///
+/// True to the paper's thesis, the tuning surface is two
+/// directly-meaningful budgets inside [`PolicyConfig`] — a pause-time
+/// budget (as `Trace_max`) or a memory budget (`Mem_max`) — selected by
+/// the [`PolicyKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HeapConfig {
+    /// The boundary-selection policy.
+    pub policy: PolicyKind,
+    /// Budgets consumed by the constrained policies.
+    pub budgets: PolicyConfig,
+    /// Allocation between automatic scavenges.
+    pub gc_trigger: Bytes,
+    /// Machine model used to attribute pause times.
+    pub cost: CostModel,
+    /// When false, scavenges only run on explicit
+    /// [`collect_now`](crate::collect_now) calls.
+    pub auto_collect: bool,
+}
+
+impl HeapConfig {
+    /// The paper's configuration with the pause-constrained `DTBFM`
+    /// policy: 100 ms pauses, 1 MB trigger.
+    pub fn paper_dtbfm() -> HeapConfig {
+        HeapConfig {
+            policy: PolicyKind::DtbFm,
+            budgets: PolicyConfig::paper(),
+            gc_trigger: Bytes::new(1_000_000),
+            cost: CostModel::paper(),
+            auto_collect: true,
+        }
+    }
+
+    /// The paper's configuration with the memory-constrained `DTBMEM`
+    /// policy: 3000 KB memory budget, 1 MB trigger.
+    pub fn paper_dtbmem() -> HeapConfig {
+        HeapConfig {
+            policy: PolicyKind::DtbMem,
+            ..HeapConfig::paper_dtbfm()
+        }
+    }
+
+    /// Manual-only full collection (tests and deterministic examples).
+    pub fn manual_full() -> HeapConfig {
+        HeapConfig {
+            policy: PolicyKind::Full,
+            auto_collect: false,
+            ..HeapConfig::paper_dtbfm()
+        }
+    }
+
+    /// Manual-only `FIXED1` generational collection (tests).
+    pub fn manual_fixed1() -> HeapConfig {
+        HeapConfig {
+            policy: PolicyKind::Fixed1,
+            auto_collect: false,
+            ..HeapConfig::paper_dtbfm()
+        }
+    }
+
+    /// Sets the policy, keeping everything else.
+    pub fn with_policy(mut self, policy: PolicyKind) -> HeapConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the budgets, keeping everything else.
+    pub fn with_budgets(mut self, budgets: PolicyConfig) -> HeapConfig {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Sets the automatic-collection trigger, keeping everything else.
+    pub fn with_trigger(mut self, trigger: Bytes) -> HeapConfig {
+        self.gc_trigger = trigger;
+        self
+    }
+}
+
+impl Default for HeapConfig {
+    /// Defaults to the paper's `DTBFM` configuration.
+    fn default() -> Self {
+        HeapConfig::paper_dtbfm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_only_where_stated() {
+        let fm = HeapConfig::paper_dtbfm();
+        let mem = HeapConfig::paper_dtbmem();
+        assert_eq!(fm.policy, PolicyKind::DtbFm);
+        assert_eq!(mem.policy, PolicyKind::DtbMem);
+        assert_eq!(fm.gc_trigger, mem.gc_trigger);
+        assert!(fm.auto_collect);
+        assert!(!HeapConfig::manual_full().auto_collect);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = HeapConfig::default()
+            .with_policy(PolicyKind::Fixed4)
+            .with_trigger(Bytes::new(500));
+        assert_eq!(c.policy, PolicyKind::Fixed4);
+        assert_eq!(c.gc_trigger, Bytes::new(500));
+    }
+}

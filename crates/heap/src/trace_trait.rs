@@ -1,0 +1,317 @@
+//! The `Trace` trait: how the collector walks object graphs.
+//!
+//! Every type stored in the garbage-collected heap implements [`Trace`].
+//! The collector uses three recursive walks:
+//!
+//! * [`Trace::trace`] — visit every [`Gc`](crate::Gc) edge (marking);
+//! * [`Trace::unroot`] — a value is moving *into* the heap; its `Gc`
+//!   handles stop being stack roots;
+//! * [`Trace::root`] — a value is moving *out* of the heap back onto the
+//!   stack; its `Gc` handles become stack roots again.
+//!
+//! # Safety
+//!
+//! `Trace` is an `unsafe trait`: an implementation that fails to visit
+//! every reachable `Gc` edge in all three walks can cause the collector to
+//! free a reachable object. Implement it by delegating to every field, or
+//! use the [`impl_trace_for_pod!`](crate::impl_trace_for_pod) macro for
+//! types with no `Gc` edges.
+
+use crate::gc::ErasedGcBox;
+use std::ptr::NonNull;
+
+/// The marking visitor handed to [`Trace::trace`].
+#[derive(Debug, Default)]
+pub struct Tracer {
+    pub(crate) reached: Vec<NonNull<ErasedGcBox>>,
+}
+
+impl Tracer {
+    pub(crate) fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Called by `Gc`'s `Trace` impl: records an edge to a heap object.
+    pub(crate) fn edge(&mut self, target: NonNull<ErasedGcBox>) {
+        self.reached.push(target);
+    }
+}
+
+/// Types that can live in the garbage-collected heap.
+///
+/// # Safety
+///
+/// All three methods must visit **every** `Gc` handle reachable through
+/// `self` (exactly once each). Missing an edge in `trace` can free live
+/// objects; missing one in `root`/`unroot` corrupts root counts.
+pub unsafe trait Trace {
+    /// Visits every `Gc` edge for marking.
+    fn trace(&self, tracer: &mut Tracer);
+    /// Transitions every `Gc` handle to non-root (value moved into heap).
+    fn root(&self);
+    /// Transitions every `Gc` handle to root (value moved out of heap).
+    fn unroot(&self);
+}
+
+/// Implements [`Trace`] as a no-op for plain-old-data types containing no
+/// `Gc` handles.
+///
+/// ```
+/// # use dtb_heap::impl_trace_for_pod;
+/// struct Rgb(u8, u8, u8);
+/// impl_trace_for_pod!(Rgb);
+/// ```
+#[macro_export]
+macro_rules! impl_trace_for_pod {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            // SAFETY: the caller asserts the type holds no Gc handles.
+            unsafe impl $crate::Trace for $ty {
+                fn trace(&self, _tracer: &mut $crate::Tracer) {}
+                fn root(&self) {}
+                fn unroot(&self) {}
+            }
+        )*
+    };
+}
+
+impl_trace_for_pod!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+    &'static str
+);
+
+// SAFETY: delegates to the payload when present.
+unsafe impl<T: Trace> Trace for Option<T> {
+    fn trace(&self, tracer: &mut Tracer) {
+        if let Some(v) = self {
+            v.trace(tracer);
+        }
+    }
+    fn root(&self) {
+        if let Some(v) = self {
+            v.root();
+        }
+    }
+    fn unroot(&self) {
+        if let Some(v) = self {
+            v.unroot();
+        }
+    }
+}
+
+// SAFETY: delegates to every element.
+unsafe impl<T: Trace> Trace for Vec<T> {
+    fn trace(&self, tracer: &mut Tracer) {
+        for v in self {
+            v.trace(tracer);
+        }
+    }
+    fn root(&self) {
+        for v in self {
+            v.root();
+        }
+    }
+    fn unroot(&self) {
+        for v in self {
+            v.unroot();
+        }
+    }
+}
+
+// SAFETY: delegates to the boxed value.
+unsafe impl<T: Trace + ?Sized> Trace for Box<T> {
+    fn trace(&self, tracer: &mut Tracer) {
+        (**self).trace(tracer);
+    }
+    fn root(&self) {
+        (**self).root();
+    }
+    fn unroot(&self) {
+        (**self).unroot();
+    }
+}
+
+// SAFETY: delegates to every element.
+unsafe impl<T: Trace, const N: usize> Trace for [T; N] {
+    fn trace(&self, tracer: &mut Tracer) {
+        for v in self {
+            v.trace(tracer);
+        }
+    }
+    fn root(&self) {
+        for v in self {
+            v.root();
+        }
+    }
+    fn unroot(&self) {
+        for v in self {
+            v.unroot();
+        }
+    }
+}
+
+macro_rules! impl_trace_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        // SAFETY: delegates to every component.
+        unsafe impl<$($name: Trace),+> Trace for ($($name,)+) {
+            fn trace(&self, tracer: &mut Tracer) {
+                $(self.$idx.trace(tracer);)+
+            }
+            fn root(&self) {
+                $(self.$idx.root();)+
+            }
+            fn unroot(&self) {
+                $(self.$idx.unroot();)+
+            }
+        }
+    };
+}
+
+impl_trace_tuple!(A: 0);
+impl_trace_tuple!(A: 0, B: 1);
+impl_trace_tuple!(A: 0, B: 1, C: 2);
+impl_trace_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_impls_do_nothing() {
+        let mut t = Tracer::new();
+        42u64.trace(&mut t);
+        "hi".trace(&mut t);
+        String::from("x").trace(&mut t);
+        assert!(t.reached.is_empty());
+    }
+
+    #[test]
+    fn containers_delegate() {
+        // Containers of POD values also produce no edges but must compile
+        // and recurse without panicking.
+        let mut t = Tracer::new();
+        Some(1u8).trace(&mut t);
+        vec![1u32, 2, 3].trace(&mut t);
+        [1u8; 4].trace(&mut t);
+        (1u8, 2u16, 3u32).trace(&mut t);
+        Box::new(7i64).trace(&mut t);
+        assert!(t.reached.is_empty());
+    }
+}
+
+/// Implements [`Trace`] for a struct by delegating to the listed fields.
+///
+/// List **every** field that can reach a [`Gc`](crate::Gc) handle; fields
+/// holding only plain data may be omitted. This removes the main
+/// boilerplate (and the main source of mistakes) in hand-written `Trace`
+/// impls.
+///
+/// # Safety
+///
+/// The expansion is an `unsafe impl Trace`: by invoking the macro you
+/// assert the listed fields cover every `Gc` edge reachable through the
+/// type. Omitting one can make the collector free a live object.
+///
+/// ```
+/// use dtb_heap::{impl_trace_fields, Gc, GcCell};
+///
+/// struct Pair {
+///     label: String,                       // no Gc edges: not listed
+///     left: GcCell<Option<Gc<u64>>>,
+///     right: GcCell<Option<Gc<u64>>>,
+/// }
+/// impl_trace_fields!(Pair { left, right });
+///
+/// let p = Gc::new(Pair {
+///     label: "p".into(),
+///     left: GcCell::new(None),
+///     right: GcCell::new(None),
+/// });
+/// p.left.set(&p, Some(Gc::new(1)));
+/// assert_eq!(p.label, "p");
+/// ```
+#[macro_export]
+macro_rules! impl_trace_fields {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        // SAFETY: the macro invoker asserts the listed fields cover every
+        // Gc edge reachable through the type.
+        unsafe impl $crate::Trace for $ty {
+            fn trace(&self, tracer: &mut $crate::Tracer) {
+                let _ = &tracer; // empty field lists leave tracer unused
+                $($crate::Trace::trace(&self.$field, tracer);)*
+            }
+            fn root(&self) {
+                $($crate::Trace::root(&self.$field);)*
+            }
+            fn unroot(&self) {
+                $($crate::Trace::unroot(&self.$field);)*
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod field_macro_tests {
+    use crate::{collect_now, configure, Gc, GcCell, HeapConfig};
+
+    struct Wide {
+        _meta: u32,
+        a: GcCell<Option<Gc<u64>>>,
+        b: GcCell<Option<Gc<u64>>>,
+    }
+    impl_trace_fields!(Wide { a, b });
+
+    #[test]
+    fn macro_generated_impl_keeps_edges_alive() {
+        configure(HeapConfig::manual_full());
+        let w = Gc::new(Wide {
+            _meta: 0,
+            a: GcCell::new(None),
+            b: GcCell::new(None),
+        });
+        let x = Gc::new(7u64);
+        let y = Gc::new(9u64);
+        w.a.set(&w, Some(x));
+        w.b.set(&w, Some(y));
+        collect_now();
+        assert_eq!(**w.a.borrow().as_ref().unwrap(), 7);
+        assert_eq!(**w.b.borrow().as_ref().unwrap(), 9);
+    }
+
+    #[test]
+    fn macro_accepts_trailing_comma_and_empty_list() {
+        struct NoEdges {
+            _x: u8,
+        }
+        impl_trace_fields!(NoEdges {});
+        struct Trailing {
+            c: GcCell<Option<Gc<u64>>>,
+        }
+        impl_trace_fields!(Trailing { c, });
+        configure(HeapConfig::manual_full());
+        let t = Gc::new(Trailing {
+            c: GcCell::new(None),
+        });
+        let _n = Gc::new(NoEdges { _x: 1 });
+        t.c.set(&t, Some(Gc::new(3)));
+        collect_now();
+        assert_eq!(**t.c.borrow().as_ref().unwrap(), 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Edge cases of the real collector: deep structures, cycles, borrow
+//! discipline, and reconfiguration mid-run.
+
+use dtb_core::policy::PolicyKind;
+use dtb_core::time::Bytes;
+use dtb_heap::{
+    collect_now, configure, heap_stats, history, impl_trace_fields, Gc, GcCell, HeapConfig,
+};
+
+struct Link {
+    id: u64,
+    next: GcCell<Option<Gc<Link>>>,
+}
+impl_trace_fields!(Link { next });
+
+fn link(id: u64) -> Gc<Link> {
+    Gc::new(Link {
+        id,
+        next: GcCell::new(None),
+    })
+}
+
+#[test]
+fn deep_chain_survives_marking_without_stack_overflow() {
+    // The marker is an explicit worklist, so a 100 000-deep chain must
+    // not recurse the native stack.
+    configure(HeapConfig::manual_full());
+    let head = link(0);
+    let mut cur = head.clone();
+    for i in 1..100_000u64 {
+        let n = link(i);
+        cur.next.set(&cur, Some(n.clone()));
+        cur = n;
+    }
+    drop(cur);
+    let out = collect_now();
+    assert_eq!(out.reclaimed.as_u64(), 0, "whole chain reachable");
+    // Walk a prefix to make sure it is intact.
+    let mut walk = head.clone();
+    for expect in 0..1_000u64 {
+        assert_eq!(walk.id, expect);
+        let next = walk.next.borrow().clone();
+        walk = next.unwrap();
+    }
+}
+
+#[test]
+fn cycles_are_collected_when_unreachable() {
+    // Reference cycles defeat reference counting; a tracing collector
+    // must reclaim them.
+    configure(HeapConfig::manual_full());
+    collect_now();
+    let baseline = heap_stats().mem_in_use;
+    {
+        let a = link(1);
+        let b = link(2);
+        a.next.set(&a, Some(b.clone()));
+        b.next.set(&b, Some(a.clone())); // cycle a → b → a
+    }
+    let out = collect_now();
+    assert!(out.reclaimed.as_u64() > 0, "cycle should be reclaimed");
+    assert_eq!(heap_stats().mem_in_use, baseline);
+}
+
+#[test]
+fn reachable_cycle_survives() {
+    configure(HeapConfig::manual_full());
+    let a = link(1);
+    let b = link(2);
+    a.next.set(&a, Some(b.clone()));
+    b.next.set(&b, Some(a.clone()));
+    drop(b);
+    collect_now();
+    // a is rooted; the cycle hangs off it and must be intact.
+    let b_again = a.next.borrow().clone().unwrap();
+    let a_again = b_again.next.borrow().clone().unwrap();
+    assert!(Gc::ptr_eq(&a, &a_again));
+}
+
+#[test]
+#[should_panic(expected = "already")]
+fn double_mutable_borrow_panics() {
+    configure(HeapConfig::manual_full());
+    let a = link(1);
+    let _g1 = a.next.borrow_mut(&a);
+    let _g2 = a.next.borrow_mut(&a); // RefCell discipline
+}
+
+#[test]
+fn borrow_mut_guard_roots_contents_across_collection() {
+    // Allocating (and collecting) while a mutable borrow is open must not
+    // collect the borrowed contents.
+    configure(
+        HeapConfig::default()
+            .with_policy(PolicyKind::Full)
+            .with_trigger(Bytes::new(2_000)),
+    );
+    let a = link(1);
+    let target = link(2);
+    a.next.set(&a, Some(target));
+    {
+        let guard = a.next.borrow_mut(&a);
+        // Trigger several automatic collections while the cell is open.
+        for i in 0..100 {
+            let _churn = link(1000 + i);
+        }
+        assert_eq!(guard.as_ref().unwrap().id, 2);
+    }
+    assert_eq!(a.next.borrow().as_ref().unwrap().id, 2);
+}
+
+#[test]
+fn reconfiguring_mid_run_keeps_history_and_objects() {
+    configure(HeapConfig::manual_fixed1());
+    let keep = link(7);
+    collect_now();
+    let collections_before = history().len();
+    let objects_before = heap_stats().object_count;
+    // Switch policies; nothing about the heap contents may change.
+    configure(HeapConfig::manual_full());
+    assert_eq!(history().len(), collections_before);
+    assert!(heap_stats().object_count >= 1);
+    let _ = objects_before;
+    assert_eq!(keep.id, 7);
+}
+
+#[test]
+fn replace_reroots_the_extracted_value() {
+    configure(HeapConfig::manual_full());
+    let a = link(1);
+    let b = link(2);
+    a.next.set(&a, Some(b));
+    // Extract b: the returned handle must root it again.
+    let extracted = a.next.replace(&a, None).unwrap();
+    collect_now(); // b is only reachable through `extracted`
+    assert_eq!(extracted.id, 2);
+}
+
+#[test]
+fn take_empties_the_cell() {
+    configure(HeapConfig::manual_full());
+    let a = link(1);
+    let b = link(2);
+    a.next.set(&a, Some(b));
+    let taken = a.next.take(&a);
+    assert_eq!(taken.unwrap().id, 2);
+    assert!(a.next.borrow().is_none());
+}
+
+#[test]
+fn wide_fanout_marks_every_child() {
+    struct Hub {
+        spokes: GcCell<Vec<Gc<Link>>>,
+    }
+    impl_trace_fields!(Hub { spokes });
+
+    configure(HeapConfig::manual_full());
+    let hub = Gc::new(Hub {
+        spokes: GcCell::new(Vec::new()),
+    });
+    {
+        let mut spokes = hub.spokes.borrow_mut(&hub);
+        for i in 0..5_000 {
+            spokes.push(link(i));
+        }
+    }
+    collect_now();
+    let spokes = hub.spokes.borrow();
+    assert_eq!(spokes.len(), 5_000);
+    for (i, s) in spokes.iter().enumerate() {
+        assert_eq!(s.id, i as u64);
+    }
+}
+
+#[test]
+fn dtb_policies_drive_the_real_heap_within_constraints() {
+    // DTBFM on the real heap: median pause near its (tiny) budget.
+    configure(
+        HeapConfig::default()
+            .with_policy(PolicyKind::DtbFm)
+            .with_budgets(dtb_core::policy::PolicyConfig::new(
+                Bytes::new(5_000),
+                Bytes::from_kb(512),
+            ))
+            .with_trigger(Bytes::new(20_000)),
+    );
+    let root = link(0);
+    let mut cur = root.clone();
+    for i in 1..20_000u64 {
+        let n = link(i);
+        // Keep a short live window; older links become garbage.
+        if i % 8 == 0 {
+            cur.next.set(&cur, Some(n.clone()));
+        }
+        cur = n;
+    }
+    let hist = history();
+    assert!(hist.len() > 10, "auto scavenges ran");
+    // The boundary moved around (dynamic!), not pinned at one place.
+    let boundaries: std::collections::BTreeSet<u64> =
+        hist.iter().map(|r| r.at.as_u64() - r.boundary.as_u64()).collect();
+    assert!(
+        boundaries.len() > 3,
+        "DTBFM should vary its boundary distance: {boundaries:?}"
+    );
+}

@@ -1,0 +1,127 @@
+//! Memory-over-time curves (Figure 2).
+//!
+//! Figure 2 of the paper plots storage in use against execution time for a
+//! full collector and a DTB collector, marking the threatening boundaries
+//! chosen at each scavenge. [`MemoryCurve`] records exactly that series:
+//! memory in use, true live bytes (the `L` curve), and — at scavenge
+//! points — the boundary the policy chose.
+
+use dtb_core::time::{Bytes, VirtualTime};
+use serde::{Deserialize, Serialize};
+
+/// One sample of the memory-over-time series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Allocation-clock time of the sample.
+    pub at: VirtualTime,
+    /// Memory in use (live + unreclaimed garbage).
+    pub mem: Bytes,
+    /// True live bytes (the paper's `L` curve, from the oracle).
+    pub live: Bytes,
+    /// The threatening boundary, present on the before/after samples that
+    /// bracket each scavenge.
+    pub boundary: Option<VirtualTime>,
+}
+
+/// An ordered series of [`CurvePoint`]s.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryCurve {
+    points: Vec<CurvePoint>,
+}
+
+impl MemoryCurve {
+    /// Creates an empty curve.
+    pub fn new() -> MemoryCurve {
+        MemoryCurve::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, point: CurvePoint) {
+        self.points.push(point);
+    }
+
+    /// The recorded samples, in clock order.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Writes the curve as CSV (`time,mem,live,boundary`) for plotting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "time,mem,live,boundary")?;
+        for p in &self.points {
+            match p.boundary {
+                Some(tb) => writeln!(
+                    w,
+                    "{},{},{},{}",
+                    p.at.as_u64(),
+                    p.mem.as_u64(),
+                    p.live.as_u64(),
+                    tb.as_u64()
+                )?,
+                None => writeln!(
+                    w,
+                    "{},{},{},",
+                    p.at.as_u64(),
+                    p.mem.as_u64(),
+                    p.live.as_u64()
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<CurvePoint> for MemoryCurve {
+    fn from_iter<I: IntoIterator<Item = CurvePoint>>(iter: I) -> Self {
+        MemoryCurve {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(at: u64, mem: u64, live: u64, tb: Option<u64>) -> CurvePoint {
+        CurvePoint {
+            at: VirtualTime::from_bytes(at),
+            mem: Bytes::new(mem),
+            live: Bytes::new(live),
+            boundary: tb.map(VirtualTime::from_bytes),
+        }
+    }
+
+    #[test]
+    fn csv_format_includes_boundaries() {
+        let curve: MemoryCurve =
+            [pt(10, 100, 80, None), pt(20, 120, 90, Some(5))].into_iter().collect();
+        let mut out = Vec::new();
+        curve.write_csv(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "time,mem,live,boundary\n10,100,80,\n20,120,90,5\n");
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut c = MemoryCurve::new();
+        assert!(c.is_empty());
+        c.push(pt(1, 2, 3, None));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.points()[0].mem, Bytes::new(2));
+    }
+}

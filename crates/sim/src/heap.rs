@@ -1,0 +1,326 @@
+//! The oracle heap: the simulated collector's view of storage.
+//!
+//! The heap holds every object that has been allocated and not yet
+//! *reclaimed*. Because this is a garbage-collected world, a `Free` event
+//! in the trace does not release memory — it only records the moment the
+//! object became unreachable (the lifetime oracle). Memory in use only
+//! drops when a scavenge reclaims unreachable threatened objects.
+//!
+//! Objects are stored in birth order (births are strictly increasing along
+//! the trace), so boundary queries are a partition point plus a tail scan,
+//! and tenured garbage is exactly the dead objects sitting at or before
+//! the boundary.
+
+use dtb_core::policy::SurvivalEstimator;
+use dtb_core::time::{Bytes, VirtualTime};
+
+/// One object in the oracle heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimObject {
+    /// Birth time on the allocation clock.
+    pub birth: VirtualTime,
+    /// Size in bytes.
+    pub size: u32,
+    /// Oracle death time; `None` = lives to the end of the trace.
+    pub death: Option<VirtualTime>,
+}
+
+impl SimObject {
+    /// True when the object is reachable at time `at`.
+    pub fn is_live_at(&self, at: VirtualTime) -> bool {
+        self.death.is_none_or(|d| d > at)
+    }
+}
+
+/// The outcome of one scavenge over the oracle heap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScavengeOutcome {
+    /// Bytes of reachable threatened storage traced.
+    pub traced: Bytes,
+    /// Bytes of unreachable threatened storage reclaimed.
+    pub reclaimed: Bytes,
+    /// Bytes surviving (everything immune + live threatened).
+    pub surviving: Bytes,
+    /// Bytes of *tenured garbage* left behind: dead objects protected by
+    /// immunity (born at or before the boundary).
+    pub tenured_garbage: Bytes,
+}
+
+/// Birth-ordered heap with an exact lifetime oracle.
+#[derive(Clone, Debug, Default)]
+pub struct OracleHeap {
+    objects: Vec<SimObject>,
+    mem_in_use: Bytes,
+}
+
+impl OracleHeap {
+    /// Creates an empty heap.
+    pub fn new() -> OracleHeap {
+        OracleHeap::default()
+    }
+
+    /// Inserts a newly allocated object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `birth` is not later than the last inserted birth: the
+    /// trace drives insertions in allocation order.
+    pub fn insert(&mut self, obj: SimObject) {
+        if let Some(last) = self.objects.last() {
+            assert!(
+                obj.birth > last.birth,
+                "births must be strictly increasing: {:?} after {:?}",
+                obj.birth,
+                last.birth
+            );
+        }
+        self.mem_in_use += Bytes::new(obj.size as u64);
+        self.objects.push(obj);
+    }
+
+    /// Bytes currently occupying memory (live + unreclaimed garbage).
+    pub fn mem_in_use(&self) -> Bytes {
+        self.mem_in_use
+    }
+
+    /// Number of objects currently in the heap.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the heap holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Exact live bytes at time `at` (oracle knowledge).
+    pub fn live_bytes_at(&self, at: VirtualTime) -> Bytes {
+        self.objects
+            .iter()
+            .filter(|o| o.is_live_at(at))
+            .map(|o| Bytes::new(o.size as u64))
+            .sum()
+    }
+
+    /// Index of the first object born strictly after `tb`.
+    fn boundary_index(&self, tb: VirtualTime) -> usize {
+        self.objects.partition_point(|o| o.birth <= tb)
+    }
+
+    /// Performs a scavenge at time `now` with threatening boundary `tb`:
+    /// traces live threatened objects, reclaims dead threatened objects,
+    /// and leaves immune objects untouched.
+    ///
+    /// Returns the outcome; afterwards [`OracleHeap::mem_in_use`] reflects
+    /// the surviving storage.
+    pub fn scavenge(&mut self, tb: VirtualTime, now: VirtualTime) -> ScavengeOutcome {
+        let split = self.boundary_index(tb);
+        let mut traced = Bytes::ZERO;
+        let mut reclaimed = Bytes::ZERO;
+
+        // Partition the threatened tail in place: survivors stay, dead are
+        // dropped. Objects keep their birth order.
+        let mut write = split;
+        for read in split..self.objects.len() {
+            let obj = self.objects[read];
+            if obj.is_live_at(now) {
+                traced += Bytes::new(obj.size as u64);
+                self.objects[write] = obj;
+                write += 1;
+            } else {
+                reclaimed += Bytes::new(obj.size as u64);
+            }
+        }
+        self.objects.truncate(write);
+
+        let tenured_garbage: Bytes = self.objects[..split]
+            .iter()
+            .filter(|o| !o.is_live_at(now))
+            .map(|o| Bytes::new(o.size as u64))
+            .sum();
+
+        self.mem_in_use = self.mem_in_use.saturating_sub(reclaimed);
+        ScavengeOutcome {
+            traced,
+            reclaimed,
+            surviving: self.mem_in_use,
+            tenured_garbage,
+        }
+    }
+
+    /// Builds a survival snapshot for policy boundary decisions at time
+    /// `now`: answers "how much live storage was born after `tb`" in
+    /// O(log n) per query.
+    pub fn survival_snapshot(&self, now: VirtualTime) -> SurvivalSnapshot {
+        // Suffix sums of live sizes, aligned with `objects`.
+        let mut suffix = vec![0u64; self.objects.len() + 1];
+        for (i, o) in self.objects.iter().enumerate().rev() {
+            suffix[i] = suffix[i + 1] + if o.is_live_at(now) { o.size as u64 } else { 0 };
+        }
+        SurvivalSnapshot {
+            births: self.objects.iter().map(|o| o.birth).collect(),
+            live_suffix: suffix,
+        }
+    }
+
+    /// Read-only view of the heap contents (tests).
+    pub fn objects(&self) -> &[SimObject] {
+        &self.objects
+    }
+}
+
+/// An O(log n) oracle for "live bytes born after `tb`", frozen at one
+/// scavenge decision point.
+#[derive(Clone, Debug)]
+pub struct SurvivalSnapshot {
+    births: Vec<VirtualTime>,
+    live_suffix: Vec<u64>,
+}
+
+impl SurvivalEstimator for SurvivalSnapshot {
+    fn surviving_born_after(&self, tb: VirtualTime) -> Bytes {
+        let idx = self.births.partition_point(|b| *b <= tb);
+        Bytes::new(self.live_suffix[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(birth: u64, size: u32, death: Option<u64>) -> SimObject {
+        SimObject {
+            birth: VirtualTime::from_bytes(birth),
+            size,
+            death: death.map(VirtualTime::from_bytes),
+        }
+    }
+
+    fn t(v: u64) -> VirtualTime {
+        VirtualTime::from_bytes(v)
+    }
+
+    #[test]
+    fn insert_tracks_memory() {
+        let mut h = OracleHeap::new();
+        h.insert(obj(10, 100, None));
+        h.insert(obj(20, 50, Some(30)));
+        assert_eq!(h.mem_in_use(), Bytes::new(150));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_insert_rejected() {
+        let mut h = OracleHeap::new();
+        h.insert(obj(20, 1, None));
+        h.insert(obj(10, 1, None));
+    }
+
+    #[test]
+    fn full_scavenge_reclaims_all_dead() {
+        let mut h = OracleHeap::new();
+        h.insert(obj(10, 100, None)); // live forever
+        h.insert(obj(20, 50, Some(30))); // dead at 40
+        h.insert(obj(35, 25, Some(100))); // still live at 40
+        let out = h.scavenge(VirtualTime::ZERO, t(40));
+        assert_eq!(out.traced, Bytes::new(125));
+        assert_eq!(out.reclaimed, Bytes::new(50));
+        assert_eq!(out.surviving, Bytes::new(125));
+        assert_eq!(out.tenured_garbage, Bytes::ZERO);
+        assert_eq!(h.mem_in_use(), Bytes::new(125));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn boundary_protects_dead_immune_objects() {
+        let mut h = OracleHeap::new();
+        h.insert(obj(10, 100, Some(15))); // dead, immune at tb=20
+        h.insert(obj(20, 50, Some(25))); // dead, immune (birth == tb ⇒ immune)
+        h.insert(obj(30, 25, Some(35))); // dead, threatened
+        h.insert(obj(40, 10, None)); // live, threatened
+        let out = h.scavenge(t(20), t(50));
+        assert_eq!(out.traced, Bytes::new(10));
+        assert_eq!(out.reclaimed, Bytes::new(25));
+        // Dead-but-immune objects survive as tenured garbage.
+        assert_eq!(out.tenured_garbage, Bytes::new(150));
+        assert_eq!(out.surviving, Bytes::new(160));
+        assert_eq!(h.mem_in_use(), Bytes::new(160));
+    }
+
+    #[test]
+    fn untenuring_reclaims_previously_immune_garbage() {
+        let mut h = OracleHeap::new();
+        h.insert(obj(10, 100, Some(15)));
+        h.insert(obj(20, 50, None));
+        // First scavenge with a young-protecting boundary leaves garbage.
+        let first = h.scavenge(t(15), t(25));
+        assert_eq!(first.tenured_garbage, Bytes::new(100));
+        assert_eq!(h.mem_in_use(), Bytes::new(150));
+        // Second scavenge moves the boundary back — the DTB untenuring move.
+        let second = h.scavenge(VirtualTime::ZERO, t(30));
+        assert_eq!(second.reclaimed, Bytes::new(100));
+        assert_eq!(second.tenured_garbage, Bytes::ZERO);
+        assert_eq!(h.mem_in_use(), Bytes::new(50));
+    }
+
+    #[test]
+    fn scavenge_accounting_invariant() {
+        let mut h = OracleHeap::new();
+        for i in 0..100u64 {
+            h.insert(obj(
+                (i + 1) * 10,
+                8,
+                if i % 3 == 0 { Some((i + 2) * 10) } else { None },
+            ));
+        }
+        let before = h.mem_in_use();
+        let out = h.scavenge(t(300), t(1000));
+        assert_eq!(out.surviving + out.reclaimed, before);
+    }
+
+    #[test]
+    fn survival_snapshot_matches_naive_query() {
+        let mut h = OracleHeap::new();
+        for i in 0..50u64 {
+            h.insert(obj(
+                (i + 1) * 7,
+                (i % 13 + 1) as u32,
+                if i % 2 == 0 { Some((i + 1) * 7 + 40) } else { None },
+            ));
+        }
+        let now = t(200);
+        let snap = h.survival_snapshot(now);
+        use dtb_core::policy::SurvivalEstimator;
+        for tb in [0u64, 6, 7, 50, 111, 200, 350, 1000] {
+            let naive: u64 = h
+                .objects()
+                .iter()
+                .filter(|o| o.birth > t(tb) && o.is_live_at(now))
+                .map(|o| o.size as u64)
+                .sum();
+            assert_eq!(
+                snap.surviving_born_after(t(tb)),
+                Bytes::new(naive),
+                "tb={tb}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_heap_scavenge_is_noop() {
+        let mut h = OracleHeap::new();
+        let out = h.scavenge(VirtualTime::ZERO, t(10));
+        assert_eq!(out, ScavengeOutcome::default());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn live_bytes_at_uses_oracle() {
+        let mut h = OracleHeap::new();
+        h.insert(obj(10, 100, Some(50)));
+        h.insert(obj(20, 30, None));
+        assert_eq!(h.live_bytes_at(t(40)), Bytes::new(130));
+        assert_eq!(h.live_bytes_at(t(50)), Bytes::new(30));
+    }
+}

@@ -1,0 +1,55 @@
+//! Trace-driven garbage-collection simulator.
+//!
+//! Reproduces the methodology of Barrett & Zorn's evaluation (Section 5 of
+//! the paper): allocation and deallocation events drive a simulation of
+//! the collectors; the output is memory and CPU usage plus pause-time
+//! distributions.
+//!
+//! * [`heap`] — the oracle heap: birth-ordered objects with exact death
+//!   times; scavenges trace live threatened storage and reclaim dead
+//!   threatened storage, leaving *tenured garbage* (dead immune storage)
+//!   behind.
+//! * [`engine`] — replays a compiled trace, firing a scavenge after every
+//!   1 MB of allocation and consulting a
+//!   [`TbPolicy`](dtb_core::policy::TbPolicy) for the boundary.
+//! * [`metrics`] — Table 2/3/4 measurements (mean/max memory, median/90th
+//!   percentile pauses, traced bytes, CPU overhead).
+//! * [`baseline`] — the `No GC` and `LIVE` reference rows.
+//! * [`curve`] — Figure 2 memory-over-time series.
+//! * [`run`] — one-call helpers for the full evaluation matrix.
+//! * [`trigger`] — pluggable when-to-collect policies (the orthogonal
+//!   dimension the paper fixes at 1 MB of allocation).
+//! * [`sweep`] — budget sweeps producing constraint/behaviour frontiers.
+//!
+//! # Example
+//!
+//! ```
+//! use dtb_core::policy::{PolicyConfig, PolicyKind};
+//! use dtb_sim::engine::SimConfig;
+//! use dtb_sim::run::run_program;
+//! use dtb_trace::programs::Program;
+//!
+//! let run = run_program(
+//!     Program::Cfrac,
+//!     PolicyKind::DtbFm,
+//!     &PolicyConfig::paper(),
+//!     &SimConfig::paper(),
+//! );
+//! assert!(run.report.collections >= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod curve;
+pub mod engine;
+pub mod heap;
+pub mod metrics;
+pub mod run;
+pub mod sweep;
+pub mod trigger;
+
+pub use engine::{simulate, SimConfig, SimRun};
+pub use heap::{OracleHeap, SimObject};
+pub use metrics::SimReport;

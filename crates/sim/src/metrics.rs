@@ -1,0 +1,150 @@
+//! Per-run measurements: everything the paper's tables report.
+
+use dtb_core::cost::CostModel;
+use dtb_core::history::ScavengeHistory;
+use dtb_core::stats::{SampleStats, WeightedStats};
+use dtb_core::time::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The measurements of one simulated collector run, in the units the
+/// paper's tables use.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Collector label (`"FULL"`, `"DTBFM"`, …).
+    pub policy: String,
+    /// Workload label (`"GHOST(1)"`, …).
+    pub program: String,
+    /// Table 2: allocation-weighted mean memory in use, bytes.
+    pub mem_mean: Bytes,
+    /// Table 2: maximum memory in use, bytes.
+    pub mem_max: Bytes,
+    /// Table 3: median pause, milliseconds.
+    pub pause_median_ms: f64,
+    /// Table 3: 90th-percentile pause, milliseconds.
+    pub pause_p90_ms: f64,
+    /// Table 4: total bytes traced.
+    pub total_traced: Bytes,
+    /// Table 4: estimated CPU overhead, percent of execution time.
+    pub overhead_pct: f64,
+    /// Number of scavenges performed.
+    pub collections: usize,
+    /// Full per-scavenge history (for curves and diagnostics).
+    pub history: ScavengeHistory,
+}
+
+impl SimReport {
+    /// Table 2's (mean, max) in binary kilobytes, as printed.
+    pub fn mem_kb(&self) -> (f64, f64) {
+        (
+            self.mem_mean.as_u64() as f64 / 1024.0,
+            self.mem_max.as_u64() as f64 / 1024.0,
+        )
+    }
+
+    /// Table 4's traced column in binary kilobytes.
+    pub fn traced_kb(&self) -> f64 {
+        self.total_traced.as_u64() as f64 / 1024.0
+    }
+}
+
+/// Accumulates measurements during a run and finalizes a [`SimReport`].
+#[derive(Clone, Debug)]
+pub struct MetricsCollector {
+    cost: CostModel,
+    memory: WeightedStats,
+    pauses: SampleStats,
+    history: ScavengeHistory,
+}
+
+impl MetricsCollector {
+    /// Creates a collector under a cost model.
+    pub fn new(cost: CostModel) -> MetricsCollector {
+        MetricsCollector {
+            cost,
+            memory: WeightedStats::new(),
+            pauses: SampleStats::new(),
+            history: ScavengeHistory::new(),
+        }
+    }
+
+    /// Records that memory in use held `level` for `span` allocation bytes.
+    pub fn record_memory(&mut self, level: Bytes, span: Bytes) {
+        self.memory
+            .record(level.as_u64() as f64, span.as_u64() as f64);
+    }
+
+    /// Records a completed scavenge.
+    pub fn record_scavenge(&mut self, record: dtb_core::history::ScavengeRecord) {
+        self.pauses.record(self.cost.pause_ms(record.traced));
+        self.history.push(record);
+    }
+
+    /// Read access to the history (the policy context borrows it).
+    pub fn history(&self) -> &ScavengeHistory {
+        &self.history
+    }
+
+    /// Finalizes the report for a program that ran `exec_seconds`.
+    pub fn finish(
+        mut self,
+        policy: impl Into<String>,
+        program: impl Into<String>,
+        exec_seconds: f64,
+    ) -> SimReport {
+        let total_traced = self.history.total_traced();
+        SimReport {
+            policy: policy.into(),
+            program: program.into(),
+            mem_mean: Bytes::new(self.memory.mean().unwrap_or(0.0) as u64),
+            mem_max: Bytes::new(self.memory.max().unwrap_or(0.0) as u64),
+            pause_median_ms: self.pauses.median().unwrap_or(0.0),
+            pause_p90_ms: self.pauses.percentile(90.0).unwrap_or(0.0),
+            total_traced,
+            overhead_pct: self.cost.overhead_percent(total_traced, exec_seconds),
+            collections: self.history.len(),
+            history: self.history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtb_core::history::ScavengeRecord;
+    use dtb_core::time::VirtualTime;
+
+    fn rec(at: u64, traced: u64) -> ScavengeRecord {
+        ScavengeRecord {
+            at: VirtualTime::from_bytes(at),
+            boundary: VirtualTime::ZERO,
+            traced: Bytes::new(traced),
+            surviving: Bytes::new(traced),
+            reclaimed: Bytes::ZERO,
+            mem_before: Bytes::new(traced),
+        }
+    }
+
+    #[test]
+    fn report_units_convert() {
+        let mut m = MetricsCollector::new(CostModel::paper());
+        m.record_memory(Bytes::new(2048), Bytes::new(100));
+        m.record_scavenge(rec(100, 50_000)); // 100 ms
+        m.record_scavenge(rec(200, 25_000)); // 50 ms
+        let r = m.finish("FULL", "TEST", 10.0);
+        assert_eq!(r.mem_kb(), (2.0, 2.0));
+        assert_eq!(r.collections, 2);
+        assert!((r.pause_median_ms - 75.0).abs() < 1e-9);
+        // 75 000 bytes traced at 500 KB/s = 0.15 s over 10 s = 1.5 %.
+        assert!((r.overhead_pct - 1.5).abs() < 1e-9);
+        assert!((r.traced_kb() - 75_000.0 / 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_report_is_zeroed() {
+        let m = MetricsCollector::new(CostModel::paper());
+        let r = m.finish("FULL", "EMPTY", 1.0);
+        assert_eq!(r.mem_mean, Bytes::ZERO);
+        assert_eq!(r.pause_median_ms, 0.0);
+        assert_eq!(r.collections, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Convenience runners: one program × one collector, or the full matrix.
+
+use crate::baseline::{live_report, no_gc_report};
+use crate::engine::{simulate, SimConfig, SimRun};
+use crate::metrics::SimReport;
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_trace::event::CompiledTrace;
+use dtb_trace::programs::Program;
+
+/// Runs one collector over one workload preset.
+///
+/// Generates and compiles the program trace, then simulates.
+pub fn run_program(program: Program, kind: PolicyKind, cfg: &PolicyConfig, sim: &SimConfig) -> SimRun {
+    let trace = program
+        .generate()
+        .compile()
+        .expect("preset traces are well-formed");
+    run_trace(&trace, kind, cfg, sim)
+}
+
+/// Runs one collector over an already-compiled trace.
+pub fn run_trace(
+    trace: &CompiledTrace,
+    kind: PolicyKind,
+    cfg: &PolicyConfig,
+    sim: &SimConfig,
+) -> SimRun {
+    let mut policy = kind.build(cfg);
+    simulate(trace, &mut policy, sim)
+}
+
+/// All six collectors plus the `No GC` / `LIVE` baselines over one trace —
+/// one full column of Tables 2–4.
+pub fn run_column(trace: &CompiledTrace, cfg: &PolicyConfig, sim: &SimConfig) -> Vec<SimReport> {
+    let mut reports: Vec<SimReport> = PolicyKind::ALL
+        .iter()
+        .map(|kind| run_trace(trace, *kind, cfg, sim).report)
+        .collect();
+    reports.push(no_gc_report(trace));
+    reports.push(live_report(trace));
+    reports
+}
+
+/// The full evaluation matrix: every collector over every workload.
+///
+/// Returns one `Vec<SimReport>` per program, in [`Program::ALL`] order.
+/// This regenerates the raw data behind Tables 2, 3 and 4 (a few seconds
+/// in release builds; slow under `cargo test` without `--release`).
+pub fn run_matrix(cfg: &PolicyConfig, sim: &SimConfig) -> Vec<(Program, Vec<SimReport>)> {
+    Program::ALL
+        .iter()
+        .map(|p| {
+            let trace = p
+                .generate()
+                .compile()
+                .expect("preset traces are well-formed");
+            (*p, run_column(&trace, cfg, sim))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_contains_all_rows_in_table_order() {
+        // Use the smallest program to keep debug-build time down.
+        let trace = Program::Cfrac.generate().compile().unwrap();
+        let reports = run_column(&trace, &PolicyConfig::paper(), &SimConfig::paper());
+        let labels: Vec<&str> = reports.iter().map(|r| r.policy.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "FULL", "FIXED1", "FIXED4", "DTBMEM", "FEEDMED", "DTBFM", "No GC", "LIVE"
+            ]
+        );
+        // Sanity: every collector's memory sits between LIVE and No GC.
+        let nogc = &reports[6];
+        let live = &reports[7];
+        for r in &reports[..6] {
+            assert!(r.mem_max <= nogc.mem_max, "{} exceeds No GC", r.policy);
+            assert!(r.mem_mean >= live.mem_mean, "{} beats LIVE", r.policy);
+        }
+    }
+
+    #[test]
+    fn run_program_matches_run_trace() {
+        let via_program = run_program(
+            Program::Cfrac,
+            PolicyKind::Full,
+            &PolicyConfig::paper(),
+            &SimConfig::paper(),
+        );
+        let trace = Program::Cfrac.generate().compile().unwrap();
+        let via_trace = run_trace(
+            &trace,
+            PolicyKind::Full,
+            &PolicyConfig::paper(),
+            &SimConfig::paper(),
+        );
+        assert_eq!(via_program.report, via_trace.report);
+    }
+}

@@ -1,0 +1,165 @@
+//! Parameter sweeps: the constraint/behaviour frontier as data.
+//!
+//! The paper's central promise is *predictability*: turn the one knob, get
+//! proportional behaviour. A [`sweep_pause_budget`] or
+//! [`sweep_memory_budget`] makes that promise measurable — one simulation
+//! per budget value, returning the frontier a user would consult to pick
+//! their constraint (see the `policy_explorer` example).
+
+use crate::engine::SimConfig;
+use crate::metrics::SimReport;
+use crate::run::run_trace;
+use dtb_core::cost::CostModel;
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_core::time::Bytes;
+use dtb_trace::event::CompiledTrace;
+use serde::{Deserialize, Serialize};
+
+/// One point on a constraint frontier.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// The budget this point was measured at (bytes: trace budget for
+    /// pause sweeps, memory budget for memory sweeps).
+    pub budget: Bytes,
+    /// The full measurements at this budget.
+    pub report: SimReport,
+}
+
+/// A budget sweep over one workload for one constrained policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Frontier {
+    /// `"DTBFM"` or `"DTBMEM"` (or any policy the sweep ran).
+    pub policy: String,
+    /// Workload name.
+    pub program: String,
+    /// Points in ascending budget order.
+    pub points: Vec<FrontierPoint>,
+}
+
+impl Frontier {
+    /// True when the swept metric responds monotonically to the budget:
+    /// memory sweeps must never *trace more* at a larger budget, pause
+    /// sweeps must never have a *larger median* at a smaller budget.
+    pub fn traced_monotone_nonincreasing(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].report.total_traced <= w[0].report.total_traced)
+    }
+}
+
+/// Sweeps `DTBFM` over pause budgets (milliseconds).
+///
+/// # Panics
+///
+/// Panics if `pause_budgets_ms` is empty or not ascending.
+pub fn sweep_pause_budget(
+    trace: &CompiledTrace,
+    pause_budgets_ms: &[f64],
+    sim: &SimConfig,
+) -> Frontier {
+    assert!(!pause_budgets_ms.is_empty(), "empty sweep");
+    assert!(
+        pause_budgets_ms.windows(2).all(|w| w[0] < w[1]),
+        "budgets must ascend"
+    );
+    let cost = CostModel::paper();
+    let points = pause_budgets_ms
+        .iter()
+        .map(|ms| {
+            let budget = cost.trace_budget_for_pause_ms(*ms);
+            let cfg = PolicyConfig::new(budget, Bytes::from_kb(1 << 20));
+            FrontierPoint {
+                budget,
+                report: run_trace(trace, PolicyKind::DtbFm, &cfg, sim).report,
+            }
+        })
+        .collect();
+    Frontier {
+        policy: "DTBFM".into(),
+        program: trace.meta.name.clone(),
+        points,
+    }
+}
+
+/// Sweeps `DTBMEM` over memory budgets (bytes).
+///
+/// # Panics
+///
+/// Panics if `mem_budgets` is empty or not ascending.
+pub fn sweep_memory_budget(
+    trace: &CompiledTrace,
+    mem_budgets: &[Bytes],
+    sim: &SimConfig,
+) -> Frontier {
+    assert!(!mem_budgets.is_empty(), "empty sweep");
+    assert!(
+        mem_budgets.windows(2).all(|w| w[0] < w[1]),
+        "budgets must ascend"
+    );
+    let points = mem_budgets
+        .iter()
+        .map(|budget| {
+            let cfg = PolicyConfig::new(Bytes::new(50_000), *budget);
+            FrontierPoint {
+                budget: *budget,
+                report: run_trace(trace, PolicyKind::DtbMem, &cfg, sim).report,
+            }
+        })
+        .collect();
+    Frontier {
+        policy: "DTBMEM".into(),
+        program: trace.meta.name.clone(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtb_trace::programs::Program;
+
+    fn cfrac() -> CompiledTrace {
+        Program::Cfrac.generate().compile().unwrap()
+    }
+
+    #[test]
+    fn memory_sweep_is_monotone_in_tracing() {
+        let f = sweep_memory_budget(
+            &cfrac(),
+            &[
+                Bytes::from_kb(100),
+                Bytes::from_kb(500),
+                Bytes::from_kb(2000),
+            ],
+            &SimConfig::paper(),
+        );
+        assert_eq!(f.policy, "DTBMEM");
+        assert_eq!(f.points.len(), 3);
+        assert!(f.traced_monotone_nonincreasing());
+    }
+
+    #[test]
+    fn pause_sweep_medians_track_budgets() {
+        let f = sweep_pause_budget(&cfrac(), &[10.0, 100.0, 1_000.0], &SimConfig::paper());
+        assert_eq!(f.points.len(), 3);
+        // Larger budget → median pause no smaller than a strict regime
+        // change would allow; at minimum the sweep runs and the largest
+        // budget's median is bounded by a full collection's pause.
+        for p in &f.points {
+            assert!(p.report.pause_median_ms >= 0.0);
+        }
+        // More pause budget never means more memory.
+        let mems: Vec<u64> = f.points.iter().map(|p| p.report.mem_mean.as_u64()).collect();
+        assert!(mems.windows(2).all(|w| w[1] <= w[0] + w[0] / 10), "{mems:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "budgets must ascend")]
+    fn unsorted_budgets_rejected() {
+        let _ = sweep_memory_budget(
+            &cfrac(),
+            &[Bytes::from_kb(500), Bytes::from_kb(100)],
+            &SimConfig::paper(),
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! When-to-collect policies.
+//!
+//! The paper separates two orthogonal questions (Section 4): *what to
+//! collect* — the threatening boundary, answered by a
+//! [`TbPolicy`](dtb_core::policy::TbPolicy) — and *when to collect*,
+//! which it fixes at "every 1 million bytes of allocation" and attributes
+//! to Wilson & Moher's Opportunistic Collector as the complementary line
+//! of work. [`Trigger`] makes the *when* pluggable so the two dimensions
+//! can be studied independently (see the `trigger_ablation` bench target
+//! and `repro_ablation` binary).
+
+use dtb_core::time::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A when-to-collect policy.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Scavenge after every `n` bytes of allocation — the paper's choice
+    /// (1 MB). Collection frequency is constant per byte allocated,
+    /// independent of how much memory survives.
+    Allocation(Bytes),
+    /// Scavenge when memory in use grows past `factor` × the storage that
+    /// survived the previous scavenge (Appel-style heap-growth trigger).
+    /// Programs with large live sets collect less often; churn-heavy
+    /// programs collect more often.
+    MemoryGrowth {
+        /// Growth factor over the last surviving storage (> 1.0).
+        factor: f64,
+        /// Floor: never collect before this much has been allocated since
+        /// the previous scavenge (avoids collect-storms at startup).
+        min_allocation: Bytes,
+    },
+    /// Scavenge whenever memory in use reaches a fixed ceiling. The
+    /// natural companion to `DTBMEM`: the ceiling is the memory budget.
+    MemoryCeiling(Bytes),
+}
+
+impl Trigger {
+    /// The paper's configuration: every 1 million bytes of allocation.
+    pub fn paper() -> Trigger {
+        Trigger::Allocation(Bytes::new(1_000_000))
+    }
+
+    /// Decides whether to scavenge, given the allocation since the last
+    /// scavenge, the current memory in use, and the storage surviving the
+    /// previous scavenge (`None` before the first).
+    pub fn should_collect(
+        &self,
+        allocated_since_gc: Bytes,
+        mem_in_use: Bytes,
+        last_surviving: Option<Bytes>,
+    ) -> bool {
+        match *self {
+            Trigger::Allocation(n) => allocated_since_gc >= n,
+            Trigger::MemoryGrowth {
+                factor,
+                min_allocation,
+            } => {
+                if allocated_since_gc < min_allocation {
+                    return false;
+                }
+                let base = last_surviving.unwrap_or(Bytes::ZERO).as_u64() as f64;
+                mem_in_use.as_u64() as f64 >= (base * factor).max(1.0)
+            }
+            Trigger::MemoryCeiling(ceiling) => mem_in_use >= ceiling,
+        }
+    }
+
+    /// A characteristic allocation scale for this trigger, used to pick
+    /// curve-sampling intervals. For non-allocation triggers this is the
+    /// paper's 1 MB.
+    pub fn allocation_scale(&self) -> Bytes {
+        match *self {
+            Trigger::Allocation(n) => n,
+            Trigger::MemoryGrowth { min_allocation, .. } => {
+                min_allocation.max(Bytes::new(1_000_000))
+            }
+            Trigger::MemoryCeiling(_) => Bytes::new(1_000_000),
+        }
+    }
+}
+
+impl Default for Trigger {
+    fn default() -> Self {
+        Trigger::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_trigger_fires_on_threshold() {
+        let t = Trigger::Allocation(Bytes::new(1_000));
+        assert!(!t.should_collect(Bytes::new(999), Bytes::new(50_000), None));
+        assert!(t.should_collect(Bytes::new(1_000), Bytes::new(0), None));
+    }
+
+    #[test]
+    fn growth_trigger_scales_with_survivors() {
+        let t = Trigger::MemoryGrowth {
+            factor: 2.0,
+            min_allocation: Bytes::new(100),
+        };
+        // Survived 10 KB: collect at 20 KB in use.
+        assert!(!t.should_collect(
+            Bytes::new(500),
+            Bytes::new(19_999),
+            Some(Bytes::new(10_000))
+        ));
+        assert!(t.should_collect(
+            Bytes::new(500),
+            Bytes::new(20_000),
+            Some(Bytes::new(10_000))
+        ));
+        // Below the allocation floor it never fires.
+        assert!(!t.should_collect(
+            Bytes::new(99),
+            Bytes::new(1_000_000),
+            Some(Bytes::new(10_000))
+        ));
+    }
+
+    #[test]
+    fn growth_trigger_before_first_scavenge_uses_floor() {
+        let t = Trigger::MemoryGrowth {
+            factor: 2.0,
+            min_allocation: Bytes::new(100),
+        };
+        // No previous survivors: any memory ≥ 1 byte fires (after floor).
+        assert!(t.should_collect(Bytes::new(100), Bytes::new(1), None));
+    }
+
+    #[test]
+    fn ceiling_trigger_fires_at_ceiling() {
+        let t = Trigger::MemoryCeiling(Bytes::from_kb(3000));
+        assert!(!t.should_collect(Bytes::ZERO, Bytes::from_kb(2999), None));
+        assert!(t.should_collect(Bytes::ZERO, Bytes::from_kb(3000), None));
+    }
+
+    #[test]
+    fn allocation_scale_defaults() {
+        assert_eq!(Trigger::paper().allocation_scale(), Bytes::new(1_000_000));
+        assert_eq!(
+            Trigger::MemoryCeiling(Bytes::new(5)).allocation_scale(),
+            Bytes::new(1_000_000)
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the oracle heap against a naive reference model.
+
+use dtb_core::time::{Bytes, VirtualTime};
+use dtb_sim::heap::{OracleHeap, SimObject};
+use proptest::prelude::*;
+
+/// Random object populations: strictly increasing births, random sizes,
+/// optional deaths after birth.
+fn population() -> impl Strategy<Value = Vec<SimObject>> {
+    prop::collection::vec((1u64..=5_000, 1u32..=10_000, prop::option::of(1u64..=50_000)), 0..300)
+        .prop_map(|raw| {
+            let mut birth = 0u64;
+            raw.into_iter()
+                .map(|(gap, size, death_after)| {
+                    birth += gap;
+                    SimObject {
+                        birth: VirtualTime::from_bytes(birth),
+                        size,
+                        death: death_after
+                            .map(|d| VirtualTime::from_bytes(birth + d)),
+                    }
+                })
+                .collect()
+        })
+}
+
+/// The reference model: plain filters over the population.
+fn naive_outcome(
+    pop: &[SimObject],
+    tb: VirtualTime,
+    now: VirtualTime,
+) -> (u64, u64, u64) {
+    let mut traced = 0u64;
+    let mut reclaimed = 0u64;
+    let mut tenured_garbage = 0u64;
+    for o in pop {
+        let threatened = o.birth > tb;
+        let live = o.is_live_at(now);
+        match (threatened, live) {
+            (true, true) => traced += o.size as u64,
+            (true, false) => reclaimed += o.size as u64,
+            (false, false) => tenured_garbage += o.size as u64,
+            (false, true) => {}
+        }
+    }
+    (traced, reclaimed, tenured_garbage)
+}
+
+proptest! {
+    #[test]
+    fn scavenge_matches_naive_model(
+        pop in population(),
+        tb in 0u64..=2_000_000,
+        extra in 0u64..=100_000,
+    ) {
+        let now = pop
+            .last()
+            .map_or(VirtualTime::ZERO, |o| o.birth)
+            .advance(Bytes::new(extra));
+        let tb = VirtualTime::from_bytes(tb).min(now);
+        let mut heap = OracleHeap::new();
+        for o in &pop {
+            heap.insert(*o);
+        }
+        let before = heap.mem_in_use();
+        let (traced, reclaimed, tenured) = naive_outcome(&pop, tb, now);
+        let out = heap.scavenge(tb, now);
+        prop_assert_eq!(out.traced, Bytes::new(traced));
+        prop_assert_eq!(out.reclaimed, Bytes::new(reclaimed));
+        prop_assert_eq!(out.tenured_garbage, Bytes::new(tenured));
+        prop_assert_eq!(out.surviving + out.reclaimed, before);
+        prop_assert_eq!(heap.mem_in_use(), out.surviving);
+    }
+
+    #[test]
+    fn second_scavenge_with_zero_boundary_leaves_only_live(
+        pop in population(),
+        tb in 0u64..=2_000_000,
+    ) {
+        let now = pop.last().map_or(VirtualTime::ZERO, |o| o.birth);
+        let tb = VirtualTime::from_bytes(tb).min(now);
+        let mut heap = OracleHeap::new();
+        for o in &pop {
+            heap.insert(*o);
+        }
+        heap.scavenge(tb, now);
+        // An untenuring full scavenge right after: memory equals exactly
+        // the live bytes, regardless of the first boundary.
+        let out = heap.scavenge(VirtualTime::ZERO, now);
+        let live: u64 = pop
+            .iter()
+            .filter(|o| o.is_live_at(now))
+            .map(|o| o.size as u64)
+            .sum();
+        prop_assert_eq!(out.surviving, Bytes::new(live));
+        prop_assert_eq!(out.tenured_garbage, Bytes::ZERO);
+    }
+
+    #[test]
+    fn survival_snapshot_agrees_with_filter(
+        pop in population(),
+        queries in prop::collection::vec(0u64..=3_000_000, 1..20),
+    ) {
+        use dtb_core::policy::SurvivalEstimator;
+        let now = pop.last().map_or(VirtualTime::ZERO, |o| o.birth);
+        let mut heap = OracleHeap::new();
+        for o in &pop {
+            heap.insert(*o);
+        }
+        let snap = heap.survival_snapshot(now);
+        for q in queries {
+            let tb = VirtualTime::from_bytes(q);
+            let naive: u64 = pop
+                .iter()
+                .filter(|o| o.birth > tb && o.is_live_at(now))
+                .map(|o| o.size as u64)
+                .sum();
+            prop_assert_eq!(snap.surviving_born_after(tb), Bytes::new(naive));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! `tracegen`: generate, inspect, and analyze workload trace files.
+//!
+//! ```text
+//! tracegen gen <PROGRAM> <OUT.dtbtrc>    generate a preset workload trace
+//! tracegen info <FILE.dtbtrc>            print trace statistics
+//! tracegen survival <FILE.dtbtrc>        print the survival curve
+//! tracegen list                          list the preset workloads
+//! ```
+
+use dtb_trace::analysis::{Demographics, SurvivalCurve};
+use dtb_trace::io::{read_trace, write_trace};
+use dtb_trace::programs::Program;
+use dtb_trace::stats::TraceStats;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tracegen gen <PROGRAM> <OUT.dtbtrc>\n  tracegen info <FILE.dtbtrc>\n  \
+         tracegen survival <FILE.dtbtrc>\n  tracegen list"
+    );
+    ExitCode::from(2)
+}
+
+fn find_program(label: &str) -> Option<Program> {
+    Program::ALL
+        .into_iter()
+        .find(|p| p.label().eq_ignore_ascii_case(label))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for p in Program::ALL {
+                let prof = p.paper_profile();
+                println!(
+                    "{:12} {:>6.1} MB total, {:>4} collections — {}",
+                    p.label(),
+                    prof.total_alloc as f64 / (1024.0 * 1024.0),
+                    prof.collections,
+                    p.spec().description,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("gen") if args.len() == 3 => {
+            let Some(program) = find_program(&args[1]) else {
+                eprintln!("unknown program {:?}; try `tracegen list`", args[1]);
+                return ExitCode::FAILURE;
+            };
+            let trace = program.generate();
+            if let Err(e) = write_trace(&args[2], &trace) {
+                eprintln!("cannot write {}: {e}", args[2]);
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} ({} events, {} objects)",
+                args[2],
+                trace.events.len(),
+                trace.object_count()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("info") if args.len() == 2 => {
+            let trace = match read_trace(&args[1]) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let stats = TraceStats::compute(&trace);
+            println!("name:            {}", stats.name);
+            println!("total allocated: {} bytes", stats.total_allocated);
+            println!("objects:         {}", stats.object_count);
+            println!("mean size:       {:.1} bytes", stats.mean_object_size);
+            println!(
+                "live mean/max:   {:.0} / {:.0} KB",
+                stats.live_mean.as_kb(),
+                stats.live_max.as_kb()
+            );
+            println!("exec time:       {} s", stats.exec_seconds);
+            println!("collections@1MB: {}", stats.collections_at_1mb);
+            let demo = Demographics::compute(&trace.compile().expect("valid trace"));
+            println!(
+                "demographics:    {:.1}% young, {:.1}% medium, {:.1}% immortal",
+                demo.young_death_fraction() * 100.0,
+                demo.medium_lived.as_u64() as f64 / demo.total.as_u64() as f64 * 100.0,
+                demo.immortal.as_u64() as f64 / demo.total.as_u64() as f64 * 100.0,
+            );
+            ExitCode::SUCCESS
+        }
+        Some("survival") if args.len() == 2 => {
+            let trace = match read_trace(&args[1]) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let compiled = trace.compile().expect("valid trace");
+            let curve = SurvivalCurve::at_paper_checkpoints(&compiled);
+            println!("age(bytes),survival");
+            for (age, s) in curve.ages.iter().zip(&curve.survival) {
+                println!("{age},{s:.6}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,403 @@
+//! Allocation-trace events and per-object lifetime records.
+//!
+//! A [`Trace`] is what QPT-style instrumentation would produce: an ordered
+//! stream of allocation and deallocation events. Virtual time is the
+//! allocation clock — it advances by `size` at each [`Event::Alloc`] and
+//! stands still at [`Event::Free`]. Compiling a trace
+//! ([`Trace::compile`]) turns the stream into birth-ordered
+//! [`ObjectLife`] records, the form the simulator's lifetime oracle
+//! consumes.
+
+use dtb_core::time::{Bytes, VirtualTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies one heap object within a trace.
+///
+/// Ids are dense and unique within a trace; generators assign them in
+/// allocation order, but the format does not require that.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u64);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// The mutator allocated `size` bytes as object `id`.
+    Alloc {
+        /// The new object's identity.
+        id: ObjectId,
+        /// Object size in bytes (> 0).
+        size: u32,
+    },
+    /// The mutator dropped its last reference to `id`: from this point the
+    /// object is unreachable and a collector may reclaim it.
+    Free {
+        /// The now-dead object's identity.
+        id: ObjectId,
+    },
+}
+
+/// Trace-level metadata carried alongside the event stream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Workload name, e.g. `"GHOST(1)"`.
+    pub name: String,
+    /// Free-form description of the workload.
+    pub description: String,
+    /// Mutator execution time in seconds (Table 6), used for CPU-overhead
+    /// percentages.
+    pub exec_seconds: f64,
+}
+
+impl TraceMeta {
+    /// Metadata with a name and defaults elsewhere.
+    pub fn named(name: impl Into<String>) -> TraceMeta {
+        TraceMeta {
+            name: name.into(),
+            description: String::new(),
+            exec_seconds: 1.0,
+        }
+    }
+}
+
+/// An ordered allocation/deallocation event stream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Workload metadata.
+    pub meta: TraceMeta,
+    /// The events, in program order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given metadata.
+    pub fn new(meta: TraceMeta) -> Trace {
+        Trace {
+            meta,
+            events: Vec::new(),
+        }
+    }
+
+    /// Total bytes allocated over the whole trace.
+    pub fn total_allocated(&self) -> Bytes {
+        Bytes::new(
+            self.events
+                .iter()
+                .map(|e| match e {
+                    Event::Alloc { size, .. } => *size as u64,
+                    Event::Free { .. } => 0,
+                })
+                .sum(),
+        )
+    }
+
+    /// Number of allocation events.
+    pub fn object_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Alloc { .. }))
+            .count()
+    }
+
+    /// Compiles the event stream into birth-ordered per-object records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when the stream is malformed: duplicate
+    /// allocation of an id, or a free of an id never allocated (double
+    /// frees report as the latter after the first free removes the id).
+    pub fn compile(&self) -> Result<CompiledTrace, TraceError> {
+        let mut clock = VirtualTime::ZERO;
+        let mut lives: Vec<ObjectLife> = Vec::new();
+        let mut index: HashMap<ObjectId, usize> = HashMap::new();
+        for (pos, event) in self.events.iter().enumerate() {
+            match *event {
+                Event::Alloc { id, size } => {
+                    if size == 0 {
+                        return Err(TraceError::ZeroSizedAlloc { id, pos });
+                    }
+                    clock = clock.advance(Bytes::new(size as u64));
+                    if index.insert(id, lives.len()).is_some() {
+                        return Err(TraceError::DuplicateAlloc { id, pos });
+                    }
+                    lives.push(ObjectLife {
+                        id,
+                        birth: clock,
+                        size,
+                        death: None,
+                    });
+                }
+                Event::Free { id } => {
+                    let Some(&slot) = index.get(&id) else {
+                        return Err(TraceError::FreeWithoutAlloc { id, pos });
+                    };
+                    if lives[slot].death.is_some() {
+                        return Err(TraceError::DoubleFree { id, pos });
+                    }
+                    lives[slot].death = Some(clock);
+                }
+            }
+        }
+        Ok(CompiledTrace {
+            meta: self.meta.clone(),
+            end: clock,
+            lives,
+        })
+    }
+}
+
+/// A malformed event stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The same id was allocated twice.
+    DuplicateAlloc {
+        /// Offending object.
+        id: ObjectId,
+        /// Event index of the second allocation.
+        pos: usize,
+    },
+    /// An id was freed without ever being allocated.
+    FreeWithoutAlloc {
+        /// Offending object.
+        id: ObjectId,
+        /// Event index of the stray free.
+        pos: usize,
+    },
+    /// An id was freed twice.
+    DoubleFree {
+        /// Offending object.
+        id: ObjectId,
+        /// Event index of the second free.
+        pos: usize,
+    },
+    /// An allocation had size zero.
+    ZeroSizedAlloc {
+        /// Offending object.
+        id: ObjectId,
+        /// Event index of the allocation.
+        pos: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::DuplicateAlloc { id, pos } => {
+                write!(f, "object {id} allocated twice (event {pos})")
+            }
+            TraceError::FreeWithoutAlloc { id, pos } => {
+                write!(f, "object {id} freed but never allocated (event {pos})")
+            }
+            TraceError::DoubleFree { id, pos } => {
+                write!(f, "object {id} freed twice (event {pos})")
+            }
+            TraceError::ZeroSizedAlloc { id, pos } => {
+                write!(f, "object {id} has zero size (event {pos})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The full lifetime of one object on the allocation clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectLife {
+    /// The object's identity.
+    pub id: ObjectId,
+    /// Allocation-clock time of birth (clock *after* the allocation, so
+    /// births are strictly positive and strictly increasing).
+    pub birth: VirtualTime,
+    /// Size in bytes.
+    pub size: u32,
+    /// Allocation-clock time at which the object became unreachable;
+    /// `None` for objects still live at program end.
+    pub death: Option<VirtualTime>,
+}
+
+impl ObjectLife {
+    /// True when the object is still reachable at allocation time `at`.
+    ///
+    /// An object is live from its birth until (exclusive) its death; an
+    /// object is *not yet* live before its birth.
+    pub fn is_live_at(&self, at: VirtualTime) -> bool {
+        self.birth <= at && self.death.is_none_or(|d| d > at)
+    }
+
+    /// True when the object is garbage (unreachable) at time `at`.
+    pub fn is_dead_at(&self, at: VirtualTime) -> bool {
+        self.death.is_some_and(|d| d <= at)
+    }
+
+    /// Object size as [`Bytes`].
+    pub fn bytes(&self) -> Bytes {
+        Bytes::new(self.size as u64)
+    }
+}
+
+/// A compiled trace: birth-ordered object lifetimes plus the end-of-trace
+/// clock value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompiledTrace {
+    /// Workload metadata (copied from the source [`Trace`]).
+    pub meta: TraceMeta,
+    /// The allocation clock at the end of the trace (= total bytes
+    /// allocated).
+    pub end: VirtualTime,
+    /// Object lifetimes ordered by strictly-increasing birth time.
+    pub lives: Vec<ObjectLife>,
+}
+
+impl CompiledTrace {
+    /// Total bytes allocated.
+    pub fn total_allocated(&self) -> Bytes {
+        Bytes::new(self.end.as_u64())
+    }
+
+    /// Live bytes at allocation time `at` (O(n); for bulk queries use the
+    /// simulator's oracle heap, which answers incrementally).
+    pub fn live_bytes_at(&self, at: VirtualTime) -> Bytes {
+        self.lives
+            .iter()
+            .filter(|l| l.is_live_at(at))
+            .map(|l| l.bytes())
+            .sum()
+    }
+
+    /// Verifies the birth-ordering invariant; generators and deserializers
+    /// call this in tests.
+    pub fn births_strictly_increasing(&self) -> bool {
+        self.lives.windows(2).all(|w| w[0].birth < w[1].birth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(id: u64, size: u32) -> Event {
+        Event::Alloc {
+            id: ObjectId(id),
+            size,
+        }
+    }
+
+    fn free(id: u64) -> Event {
+        Event::Free { id: ObjectId(id) }
+    }
+
+    fn trace(events: Vec<Event>) -> Trace {
+        Trace {
+            meta: TraceMeta::named("test"),
+            events,
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_alloc_only() {
+        let t = trace(vec![alloc(0, 10), free(0), alloc(1, 5)]);
+        let c = t.compile().unwrap();
+        assert_eq!(c.end, VirtualTime::from_bytes(15));
+        assert_eq!(c.lives[0].birth, VirtualTime::from_bytes(10));
+        assert_eq!(c.lives[0].death, Some(VirtualTime::from_bytes(10)));
+        assert_eq!(c.lives[1].birth, VirtualTime::from_bytes(15));
+        assert_eq!(c.lives[1].death, None);
+    }
+
+    #[test]
+    fn births_are_strictly_increasing() {
+        let t = trace(vec![alloc(0, 1), alloc(1, 1), alloc(2, 1)]);
+        let c = t.compile().unwrap();
+        assert!(c.births_strictly_increasing());
+    }
+
+    #[test]
+    fn liveness_interval_is_half_open() {
+        let t = trace(vec![alloc(0, 10), alloc(1, 10), free(0)]);
+        let c = t.compile().unwrap();
+        let obj = c.lives[0];
+        assert!(!obj.is_live_at(VirtualTime::from_bytes(9))); // before birth
+        assert!(obj.is_live_at(VirtualTime::from_bytes(10))); // at birth
+        assert!(obj.is_live_at(VirtualTime::from_bytes(19))); // before death (death=20)
+        assert!(!obj.is_live_at(VirtualTime::from_bytes(20))); // at death
+        assert!(obj.is_dead_at(VirtualTime::from_bytes(20)));
+        assert!(!obj.is_dead_at(VirtualTime::from_bytes(19)));
+    }
+
+    #[test]
+    fn live_bytes_at_counts_only_live() {
+        let t = trace(vec![alloc(0, 10), alloc(1, 20), free(0), alloc(2, 5)]);
+        let c = t.compile().unwrap();
+        // At clock 29, only object 0 has been born (object 1 is born at 30).
+        assert_eq!(c.live_bytes_at(VirtualTime::from_bytes(29)), Bytes::new(10));
+        // At clock 30, object 0 is dead (death = 30) and object 1 is live.
+        assert_eq!(c.live_bytes_at(VirtualTime::from_bytes(30)), Bytes::new(20));
+        // After object 0's death (at clock 30) and object 2's birth (clock 35).
+        assert_eq!(c.live_bytes_at(VirtualTime::from_bytes(35)), Bytes::new(25));
+    }
+
+    #[test]
+    fn duplicate_alloc_rejected() {
+        let t = trace(vec![alloc(0, 1), alloc(0, 1)]);
+        assert_eq!(
+            t.compile(),
+            Err(TraceError::DuplicateAlloc {
+                id: ObjectId(0),
+                pos: 1
+            })
+        );
+    }
+
+    #[test]
+    fn stray_free_rejected() {
+        let t = trace(vec![free(3)]);
+        assert!(matches!(
+            t.compile(),
+            Err(TraceError::FreeWithoutAlloc { .. })
+        ));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let t = trace(vec![alloc(0, 1), free(0), free(0)]);
+        assert_eq!(
+            t.compile(),
+            Err(TraceError::DoubleFree {
+                id: ObjectId(0),
+                pos: 2
+            })
+        );
+    }
+
+    #[test]
+    fn zero_sized_alloc_rejected() {
+        let t = trace(vec![alloc(0, 0)]);
+        assert!(matches!(t.compile(), Err(TraceError::ZeroSizedAlloc { .. })));
+    }
+
+    #[test]
+    fn totals_match_between_trace_and_compiled() {
+        let t = trace(vec![alloc(0, 7), alloc(1, 13), free(1)]);
+        assert_eq!(t.total_allocated(), Bytes::new(20));
+        assert_eq!(t.object_count(), 2);
+        let c = t.compile().unwrap();
+        assert_eq!(c.total_allocated(), Bytes::new(20));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let err = TraceError::DoubleFree {
+            id: ObjectId(9),
+            pos: 4,
+        };
+        assert_eq!(err.to_string(), "object #9 freed twice (event 4)");
+    }
+}

@@ -1,0 +1,109 @@
+//! Trace file I/O: store and load traces in the binary format.
+//!
+//! Separating workload generation from simulation lets expensive traces be
+//! generated once and replayed many times (the `tracegen` binary does
+//! exactly that from the command line).
+
+use crate::event::Trace;
+use crate::format::{self, FormatError};
+use std::io;
+use std::path::Path;
+
+/// An I/O or format failure while reading a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Filesystem-level failure.
+    Io(io::Error),
+    /// The file is not a valid trace.
+    Format(FormatError),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace file i/o error: {e}"),
+            TraceIoError::Format(e) => write!(f, "trace file malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<FormatError> for TraceIoError {
+    fn from(e: FormatError) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+/// Writes a trace to `path` in the binary format.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_trace(path: impl AsRef<Path>, trace: &Trace) -> Result<(), TraceIoError> {
+    std::fs::write(path, format::encode(trace))?;
+    Ok(())
+}
+
+/// Reads a trace from `path`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on filesystem failure and
+/// [`TraceIoError::Format`] when the file is not a valid trace.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    let data = std::fs::read(path)?;
+    Ok(format::decode(&data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dtb-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.dtbtrc");
+        let mut b = TraceBuilder::new("file-io");
+        let id = b.alloc(128);
+        b.free(id);
+        let trace = b.finish();
+        write_trace(&path, &trace).unwrap();
+        let loaded = read_trace(&path).unwrap();
+        assert_eq!(loaded, trace);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = read_trace("/nonexistent/definitely/not/here.dtbtrc").unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn garbage_file_reports_format_error() {
+        let dir = std::env::temp_dir().join(format!("dtb-io-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.dtbtrc");
+        std::fs::write(&path, b"this is not a trace").unwrap();
+        let err = read_trace(&path).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

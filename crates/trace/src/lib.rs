@@ -1,0 +1,49 @@
+//! Allocation traces and synthetic workload generation.
+//!
+//! Barrett & Zorn drove their garbage-collection simulations with memory
+//! allocation and deallocation event traces captured from four
+//! allocation-intensive C programs (GhostScript, Espresso, SIS, and Cfrac)
+//! using Larus' QPT trace generator. Those 1993 traces are unobtainable, so
+//! this crate provides:
+//!
+//! * the trace **event model** ([`event`]) — allocation / free event
+//!   streams on the allocation clock, plus compilation into per-object
+//!   lifetime records ([`event::CompiledTrace`]);
+//! * **synthetic workload generators** ([`synth`]) driven by per-class
+//!   object size and lifetime distributions ([`lifetime`]);
+//! * **presets** ([`programs`]) calibrated so each generated workload
+//!   matches its program's published statistics (Tables 2, 5 and 6 of the
+//!   paper): total allocation, number of collections, execution time, and
+//!   the live-storage profile (mean and maximum);
+//! * trace **serialization** ([`format`]), **statistics** ([`stats`]),
+//!   and lifetime **analysis** ([`analysis`]: survival curves and age
+//!   demographics).
+//!
+//! # Example
+//!
+//! ```
+//! use dtb_trace::programs::Program;
+//!
+//! // Generate the CFRAC-like workload (the smallest preset).
+//! let trace = Program::Cfrac.generate();
+//! let stats = dtb_trace::stats::TraceStats::compute(&trace);
+//! assert!(stats.total_allocated.as_u64() > 3_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod event;
+pub mod format;
+pub mod io;
+pub mod lifetime;
+pub mod programs;
+pub mod stats;
+pub mod synth;
+
+pub use builder::TraceBuilder;
+pub use event::{CompiledTrace, Event, ObjectId, ObjectLife, Trace, TraceMeta};
+pub use programs::Program;
+pub use synth::{ClassSpec, WorkloadSpec};

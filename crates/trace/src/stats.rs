@@ -1,0 +1,183 @@
+//! Workload statistics: the data behind Tables 5 and 6 and the `LIVE` /
+//! `No GC` rows of Table 2.
+
+use crate::event::{CompiledTrace, Trace};
+use dtb_core::stats::WeightedStats;
+use dtb_core::time::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one workload trace.
+///
+/// * `live_*` corresponds to Table 2's `LIVE` row: the exact number of
+///   reachable bytes over time (allocation-weighted mean, and max);
+/// * `nogc_*` corresponds to Table 2's `No GC` row: memory used when
+///   nothing is ever reclaimed, which is simply the allocation clock
+///   itself (mean = total/2 exactly for a linear ramp);
+/// * the allocation rate and collection count reproduce Table 6's columns
+///   under the paper's 1 MB collection trigger.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Workload name.
+    pub name: String,
+    /// Total bytes allocated.
+    pub total_allocated: Bytes,
+    /// Number of objects allocated.
+    pub object_count: usize,
+    /// Mean object size in bytes.
+    pub mean_object_size: f64,
+    /// Allocation-weighted mean of live (reachable) bytes.
+    pub live_mean: Bytes,
+    /// Maximum live bytes at any point.
+    pub live_max: Bytes,
+    /// Mean memory with no collector (allocation ramp average).
+    pub nogc_mean: Bytes,
+    /// Maximum memory with no collector (= total allocated).
+    pub nogc_max: Bytes,
+    /// Mutator execution time in seconds (from trace metadata).
+    pub exec_seconds: f64,
+    /// Allocation rate in bytes per second.
+    pub alloc_rate: f64,
+    /// Collections a 1 MB-trigger collector would run.
+    pub collections_at_1mb: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is malformed (see [`Trace::compile`]); use
+    /// [`TraceStats::compute_compiled`] with a pre-validated trace to
+    /// avoid recompilation.
+    pub fn compute(trace: &Trace) -> TraceStats {
+        let compiled = trace.compile().expect("malformed trace");
+        TraceStats::compute_compiled(&compiled)
+    }
+
+    /// Computes statistics for an already-compiled trace.
+    pub fn compute_compiled(c: &CompiledTrace) -> TraceStats {
+        // Sweep births (+size) and deaths (−size) in clock order to build
+        // the live curve; weight each level by how long it holds.
+        let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(c.lives.len() * 2);
+        for l in &c.lives {
+            deltas.push((l.birth.as_u64(), l.size as i64));
+            if let Some(d) = l.death {
+                deltas.push((d.as_u64(), -(l.size as i64)));
+            }
+        }
+        // At equal clock values process births (+) before deaths (−):
+        // zero-lifetime objects (freed at their own birth instant) must not
+        // drive the level negative.
+        deltas.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+
+        let mut live = WeightedStats::new();
+        let mut nogc = WeightedStats::new();
+        let mut level: i64 = 0;
+        let mut prev_t: u64 = 0;
+        for (t, delta) in deltas {
+            if t > prev_t {
+                live.record(level as f64, (t - prev_t) as f64);
+                // "No GC" memory at clock t is t itself (everything ever
+                // allocated); average the ramp segment.
+                nogc.record((prev_t + t) as f64 / 2.0, (t - prev_t) as f64);
+                prev_t = t;
+            }
+            level += delta;
+            debug_assert!(level >= 0, "live bytes went negative");
+            live.record(level as f64, 0.0); // spikes count toward the max
+        }
+        let end = c.end.as_u64();
+        if end > prev_t {
+            live.record(level as f64, (end - prev_t) as f64);
+            nogc.record((prev_t + end) as f64 / 2.0, (end - prev_t) as f64);
+        }
+
+        let total = c.total_allocated();
+        let object_count = c.lives.len();
+        TraceStats {
+            name: c.meta.name.clone(),
+            total_allocated: total,
+            object_count,
+            mean_object_size: if object_count == 0 {
+                0.0
+            } else {
+                total.as_u64() as f64 / object_count as f64
+            },
+            live_mean: Bytes::new(live.mean().unwrap_or(0.0) as u64),
+            live_max: Bytes::new(live.max().unwrap_or(0.0) as u64),
+            nogc_mean: Bytes::new(nogc.mean().unwrap_or(0.0) as u64),
+            nogc_max: total,
+            exec_seconds: c.meta.exec_seconds,
+            alloc_rate: if c.meta.exec_seconds > 0.0 {
+                total.as_u64() as f64 / c.meta.exec_seconds
+            } else {
+                0.0
+            },
+            collections_at_1mb: total.as_u64() / 1_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    #[test]
+    fn live_stats_for_simple_trace() {
+        // clock: 0 → 100 (a live) → 200 (a,b live) → free a → 300 (b,c live)
+        let mut b = TraceBuilder::new("s");
+        b.exec_seconds(2.0);
+        let a = b.alloc(100);
+        b.alloc(100);
+        b.free(a);
+        b.alloc(100);
+        let stats = TraceStats::compute(&b.finish());
+        assert_eq!(stats.total_allocated, Bytes::new(300));
+        assert_eq!(stats.object_count, 3);
+        assert_eq!(stats.mean_object_size, 100.0);
+        // live: [0,100)=0? births at 100/200/300. Levels: 100 for [100,200),
+        // 200 then free → 100 for [200,300), then 200 at the very end.
+        assert_eq!(stats.live_max, Bytes::new(200));
+        // Weighted mean over [0,300): (0·100 + 100·100 + 100·100)/300 = 66.
+        assert_eq!(stats.live_mean, Bytes::new(66));
+        assert_eq!(stats.nogc_max, Bytes::new(300));
+        // No-GC ramp mean = 150.
+        assert_eq!(stats.nogc_mean, Bytes::new(150));
+        assert_eq!(stats.alloc_rate, 150.0);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let t = TraceBuilder::new("e").finish();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.total_allocated, Bytes::ZERO);
+        assert_eq!(s.object_count, 0);
+        assert_eq!(s.live_max, Bytes::ZERO);
+        assert_eq!(s.collections_at_1mb, 0);
+    }
+
+    #[test]
+    fn collections_counts_megabytes() {
+        let mut b = TraceBuilder::new("m");
+        for _ in 0..2500 {
+            let id = b.alloc(1000);
+            b.free(id);
+        }
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.collections_at_1mb, 2);
+    }
+
+    #[test]
+    fn immortal_ramp_has_mean_half_of_max() {
+        let mut b = TraceBuilder::new("ramp");
+        for _ in 0..1000 {
+            b.alloc(100); // never freed
+        }
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.live_max, Bytes::new(100_000));
+        // Ramp mean ≈ max/2 (off by half an object granularity).
+        let mean = s.live_mean.as_u64() as f64;
+        assert!((mean - 50_000.0).abs() < 100.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,491 @@
+//! Synthetic workload generation.
+//!
+//! A [`WorkloadSpec`] describes a program's allocation behaviour as a
+//! mixture of object **classes**, each with a byte-weight, a size
+//! distribution, and a lifetime distribution, plus an initial permanent
+//! data structure and an optional phase period for pass-structured
+//! programs. [`WorkloadSpec::generate`] expands the spec into a concrete
+//! [`Trace`] deterministically from the spec's seed.
+//!
+//! The decomposition mirrors how the paper's programs use memory:
+//!
+//! * *initial permanent* — data structures built during startup that live
+//!   to program end (SIS's circuit netlist, GhostScript's interpreter
+//!   state);
+//! * an *immortal ramp* — a class with [`LifetimeDist::Immortal`] whose
+//!   allocations accumulate for the whole run (growing caches, results);
+//! * *short-lived churn* — the "most objects die young" bulk;
+//! * *medium-lived* objects that survive one or more scavenges and then
+//!   die — the population that becomes tenured garbage under eager
+//!   promotion (`FIXED1`) and that the DTB collectors untenure;
+//! * *phase-local* objects dying in bulk at phase boundaries (Espresso's
+//!   per-pass structures).
+
+use crate::event::{Event, ObjectId, Trace, TraceMeta};
+use crate::lifetime::{LifetimeDist, SizeDist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One object class in a workload mixture.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassSpec {
+    /// Class name, for reports (`"short"`, `"medium"`, `"immortal-ramp"`…).
+    pub name: String,
+    /// Fraction of the workload's allocated **bytes** drawn from this
+    /// class. Fractions across classes must sum to ~1.
+    pub byte_fraction: f64,
+    /// Object size distribution.
+    pub size: SizeDist,
+    /// Object lifetime distribution.
+    pub lifetime: LifetimeDist,
+}
+
+impl ClassSpec {
+    /// Creates a class.
+    pub fn new(
+        name: impl Into<String>,
+        byte_fraction: f64,
+        size: SizeDist,
+        lifetime: LifetimeDist,
+    ) -> ClassSpec {
+        ClassSpec {
+            name: name.into(),
+            byte_fraction,
+            size,
+            lifetime,
+        }
+    }
+}
+
+/// A complete synthetic-workload description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name, e.g. `"GHOST(1)"`.
+    pub name: String,
+    /// Human description (Table 5 analogue).
+    pub description: String,
+    /// Mutator execution time in seconds (Table 6), carried into the trace
+    /// metadata for CPU-overhead computation.
+    pub exec_seconds: f64,
+    /// Total bytes to allocate, including the initial permanent data.
+    pub total_alloc: u64,
+    /// Bytes of immortal data allocated during startup, before the class
+    /// mixture begins.
+    pub initial_permanent: u64,
+    /// Size of each initial-permanent object.
+    pub initial_object_size: u32,
+    /// The class mixture for steady-state allocation.
+    pub classes: Vec<ClassSpec>,
+    /// Phase period in allocation bytes, for [`LifetimeDist::PhaseLocal`]
+    /// classes. Required when any class is phase-local.
+    pub phase_period: Option<u64>,
+    /// RNG seed: generation is fully deterministic given the spec.
+    pub seed: u64,
+}
+
+/// A malformed workload description.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// Class byte-fractions do not sum to ~1.
+    BadFractions(f64),
+    /// A class has a negative byte-fraction.
+    NegativeFraction(String),
+    /// A phase-local class exists but no phase period is set.
+    MissingPhasePeriod,
+    /// No classes and no initial permanent data: nothing to generate.
+    Empty,
+    /// `initial_permanent` exceeds `total_alloc`.
+    PermanentExceedsTotal,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::BadFractions(s) => {
+                write!(f, "class byte fractions sum to {s}, expected 1.0")
+            }
+            SpecError::NegativeFraction(name) => {
+                write!(f, "class {name} has a negative byte fraction")
+            }
+            SpecError::MissingPhasePeriod => {
+                write!(f, "phase-local class present but phase_period unset")
+            }
+            SpecError::Empty => write!(f, "workload allocates nothing"),
+            SpecError::PermanentExceedsTotal => {
+                write!(f, "initial permanent data exceeds total allocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl WorkloadSpec {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.total_alloc == 0 {
+            return Err(SpecError::Empty);
+        }
+        if self.initial_permanent > self.total_alloc {
+            return Err(SpecError::PermanentExceedsTotal);
+        }
+        if self.classes.is_empty() && self.initial_permanent < self.total_alloc {
+            return Err(SpecError::Empty);
+        }
+        let mut sum = 0.0;
+        for c in &self.classes {
+            if c.byte_fraction < 0.0 {
+                return Err(SpecError::NegativeFraction(c.name.clone()));
+            }
+            if c.lifetime.is_phase_local() && self.phase_period.is_none() {
+                return Err(SpecError::MissingPhasePeriod);
+            }
+            sum += c.byte_fraction;
+        }
+        if !self.classes.is_empty() && (sum - 1.0).abs() > 1e-6 {
+            return Err(SpecError::BadFractions(sum));
+        }
+        Ok(())
+    }
+
+    /// Expands the spec into a concrete event trace.
+    ///
+    /// Deterministic: the same spec (including seed) always yields the
+    /// same trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the spec fails [`WorkloadSpec::validate`].
+    pub fn generate(&self) -> Result<Trace, SpecError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events: Vec<Event> =
+            Vec::with_capacity((self.total_alloc / 48).max(16) as usize);
+        let mut next_id: u64 = 0;
+        let mut clock: u64 = 0;
+        // Pending deaths: min-heap of (death clock, id).
+        let mut deaths: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+
+        // Startup: the initial permanent structure.
+        while clock < self.initial_permanent {
+            let size = self
+                .initial_object_size
+                .min((self.initial_permanent - clock).max(1) as u32)
+                .max(1);
+            events.push(Event::Alloc {
+                id: ObjectId(next_id),
+                size,
+            });
+            next_id += 1;
+            clock += size as u64;
+        }
+
+        // Steady state: the class mixture. Classes are chosen per-object
+        // with probability proportional to byte_fraction / mean_size so
+        // byte fractions come out as specified.
+        let weights: Vec<f64> = self
+            .classes
+            .iter()
+            .map(|c| c.byte_fraction / c.size.mean().max(1.0))
+            .collect();
+        let weight_total: f64 = weights.iter().sum();
+
+        while clock < self.total_alloc {
+            // Flush deaths that have come due.
+            while let Some(&Reverse((death, id))) = deaths.peek() {
+                if death > clock {
+                    break;
+                }
+                deaths.pop();
+                events.push(Event::Free { id: ObjectId(id) });
+            }
+
+            let class = if weight_total > 0.0 {
+                let mut pick = rng.gen_range(0.0..weight_total);
+                let mut chosen = self.classes.len() - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        chosen = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                &self.classes[chosen]
+            } else {
+                break; // all-permanent workload already emitted above
+            };
+
+            let size = class.size.sample(&mut rng);
+            events.push(Event::Alloc {
+                id: ObjectId(next_id),
+                size,
+            });
+            clock += size as u64;
+            let birth = clock;
+
+            let death = if class.lifetime.is_phase_local() {
+                let period = self.phase_period.expect("validated above");
+                // Dies at the end of the phase it was born in.
+                Some((birth / period + 1) * period)
+            } else {
+                class.lifetime.sample(&mut rng).map(|l| birth + l)
+            };
+            if let Some(d) = death {
+                deaths.push(Reverse((d, next_id)));
+            }
+            next_id += 1;
+        }
+        // Objects whose deaths fall beyond the end of the trace stay live:
+        // emit no Free for them, like a real trace cut at program exit.
+        while let Some(&Reverse((death, id))) = deaths.peek() {
+            if death > clock {
+                break;
+            }
+            deaths.pop();
+            events.push(Event::Free { id: ObjectId(id) });
+        }
+
+        Ok(Trace {
+            meta: TraceMeta {
+                name: self.name.clone(),
+                description: self.description.clone(),
+                exec_seconds: self.exec_seconds,
+            },
+            events,
+        })
+    }
+
+    /// Analytic prediction of the steady-state live storage contributed by
+    /// churn classes (Little's law on the allocation clock:
+    /// `live ≈ Σ byte_fraction · mean_lifetime`), used for calibration.
+    pub fn predicted_churn_live(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| {
+                let mean_life = if c.lifetime.is_phase_local() {
+                    self.phase_period.unwrap_or(0) as f64 / 2.0
+                } else {
+                    c.lifetime.mean().unwrap_or(0.0)
+                };
+                c.byte_fraction * mean_life
+            })
+            .sum()
+    }
+
+    /// Analytic prediction of immortal bytes at end of run: the initial
+    /// permanent data plus the immortal ramp.
+    pub fn predicted_immortal_end(&self) -> f64 {
+        let ramp_fraction: f64 = self
+            .classes
+            .iter()
+            .filter(|c| matches!(c.lifetime, LifetimeDist::Immortal))
+            .map(|c| c.byte_fraction)
+            .sum();
+        self.initial_permanent as f64
+            + ramp_fraction * (self.total_alloc - self.initial_permanent) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtb_core::time::VirtualTime;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "unit".into(),
+            description: "test workload".into(),
+            exec_seconds: 1.0,
+            total_alloc: 1_000_000,
+            initial_permanent: 50_000,
+            initial_object_size: 1000,
+            classes: vec![
+                ClassSpec::new(
+                    "short",
+                    0.9,
+                    SizeDist::Uniform { min: 16, max: 128 },
+                    LifetimeDist::Exponential { mean: 4_000.0 },
+                ),
+                ClassSpec::new(
+                    "immortal",
+                    0.1,
+                    SizeDist::Fixed(256),
+                    LifetimeDist::Immortal,
+                ),
+            ],
+            phase_period: None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = spec().generate().unwrap();
+        let b = spec().generate().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = spec().generate().unwrap();
+        let mut s = spec();
+        s.seed = 8;
+        let b = s.generate().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn total_allocation_hits_target_within_one_object() {
+        let t = spec().generate().unwrap();
+        let total = t.total_allocated().as_u64();
+        assert!(total >= 1_000_000);
+        assert!(total < 1_000_000 + 4096, "overshoot: {total}");
+    }
+
+    #[test]
+    fn trace_compiles_cleanly() {
+        let t = spec().generate().unwrap();
+        let c = t.compile().expect("well-formed");
+        assert!(c.births_strictly_increasing());
+    }
+
+    #[test]
+    fn initial_permanent_objects_never_die() {
+        let t = spec().generate().unwrap();
+        let c = t.compile().unwrap();
+        for life in c.lives.iter().take_while(|l| l.birth.as_u64() <= 50_000) {
+            assert_eq!(life.death, None, "initial object {:?} died", life.id);
+        }
+    }
+
+    #[test]
+    fn byte_fractions_approximately_respected() {
+        let t = spec().generate().unwrap();
+        let c = t.compile().unwrap();
+        let immortal_after_startup: u64 = c
+            .lives
+            .iter()
+            .filter(|l| l.birth.as_u64() > 50_000 && l.death.is_none())
+            .map(|l| l.size as u64)
+            .sum();
+        let steady = 1_000_000 - 50_000;
+        let frac = immortal_after_startup as f64 / steady as f64;
+        // Immortal class is 10% of bytes; exponential stragglers still
+        // alive at the end inflate it slightly.
+        assert!(
+            (0.08..0.14).contains(&frac),
+            "immortal fraction {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn phase_local_objects_die_at_phase_ends() {
+        let s = WorkloadSpec {
+            name: "phases".into(),
+            description: String::new(),
+            exec_seconds: 1.0,
+            total_alloc: 500_000,
+            initial_permanent: 0,
+            initial_object_size: 1,
+            classes: vec![ClassSpec::new(
+                "pass",
+                1.0,
+                SizeDist::Fixed(100),
+                LifetimeDist::PhaseLocal,
+            )],
+            phase_period: Some(100_000),
+            seed: 1,
+        };
+        let c = s.generate().unwrap().compile().unwrap();
+        for l in &c.lives {
+            if let Some(d) = l.death {
+                let death_phase_end = (l.birth.as_u64() / 100_000 + 1) * 100_000;
+                // Free events are emitted at the first allocation at or
+                // after the due time, so observed death ≥ scheduled death,
+                // within one object size.
+                assert!(
+                    d.as_u64() >= death_phase_end && d.as_u64() < death_phase_end + 200,
+                    "object born {:?} died {:?}",
+                    l.birth,
+                    d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_at_end_matches_immortal_prediction_roughly() {
+        let s = spec();
+        let c = s.generate().unwrap().compile().unwrap();
+        let live_end = c.live_bytes_at(c.end).as_u64() as f64;
+        let predicted = s.predicted_immortal_end() + s.predicted_churn_live();
+        let err = (live_end - predicted).abs() / predicted;
+        assert!(err < 0.2, "live_end {live_end} vs predicted {predicted}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_fractions() {
+        let mut s = spec();
+        s.classes[0].byte_fraction = 0.5; // sums to 0.6
+        assert!(matches!(s.validate(), Err(SpecError::BadFractions(_))));
+    }
+
+    #[test]
+    fn validation_rejects_missing_phase_period() {
+        let mut s = spec();
+        s.classes[0].lifetime = LifetimeDist::PhaseLocal;
+        s.phase_period = None;
+        assert_eq!(s.validate(), Err(SpecError::MissingPhasePeriod));
+    }
+
+    #[test]
+    fn validation_rejects_empty_workload() {
+        let s = WorkloadSpec {
+            name: "empty".into(),
+            description: String::new(),
+            exec_seconds: 1.0,
+            total_alloc: 0,
+            initial_permanent: 0,
+            initial_object_size: 1,
+            classes: vec![],
+            phase_period: None,
+            seed: 0,
+        };
+        assert_eq!(s.validate(), Err(SpecError::Empty));
+    }
+
+    #[test]
+    fn validation_rejects_permanent_exceeding_total() {
+        let mut s = spec();
+        s.initial_permanent = s.total_alloc + 1;
+        assert_eq!(s.validate(), Err(SpecError::PermanentExceedsTotal));
+    }
+
+    #[test]
+    fn all_permanent_workload_generates() {
+        let s = WorkloadSpec {
+            name: "perm".into(),
+            description: String::new(),
+            exec_seconds: 1.0,
+            total_alloc: 10_000,
+            initial_permanent: 10_000,
+            initial_object_size: 100,
+            classes: vec![],
+            phase_period: None,
+            seed: 0,
+        };
+        let c = s.generate().unwrap().compile().unwrap();
+        assert_eq!(c.total_allocated().as_u64(), 10_000);
+        assert_eq!(
+            c.live_bytes_at(VirtualTime::from_bytes(10_000)).as_u64(),
+            10_000
+        );
+    }
+}

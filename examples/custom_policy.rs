@@ -1,0 +1,90 @@
+//! Writing your own boundary policy.
+//!
+//! Everything in this workspace — the classic collectors, the paper's
+//! policies, the dual-constraint extension — is an implementation of one
+//! trait: `TbPolicy`. This example implements a new policy from scratch
+//! (a half-life heuristic: threaten the youngest half of memory by
+//! volume) and runs it against the built-ins on the same workload.
+//!
+//! ```sh
+//! cargo run --release --example custom_policy
+//! ```
+
+use dtb::core::policy::{PolicyConfig, PolicyKind, ScavengeContext, TbPolicy};
+use dtb::core::time::VirtualTime;
+use dtb::sim::engine::{simulate, SimConfig};
+use dtb::sim::run::run_trace;
+use dtb::trace::programs::Program;
+
+/// Threatens whatever was born after the *median surviving byte*: each
+/// scavenge traces the youngest half of the surviving storage. A
+/// reasonable-sounding heuristic — the point of the exercise is that the
+/// framework makes it three lines to test whether it actually is one.
+struct HalfLife;
+
+impl TbPolicy for HalfLife {
+    fn name(&self) -> &str {
+        "HALFLIFE"
+    }
+
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+        let Some(last) = ctx.history.last() else {
+            return VirtualTime::ZERO;
+        };
+        // Binary-search the age at which surviving storage splits in two,
+        // using the same estimator the built-in policies consult.
+        let target = ctx.survival.surviving_born_after(VirtualTime::ZERO).as_u64() / 2;
+        let (mut lo, mut hi) = (0u64, ctx.now.as_u64());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if ctx
+                .survival
+                .surviving_born_after(VirtualTime::from_bytes(mid))
+                .as_u64()
+                > target
+            {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        VirtualTime::from_bytes(lo).min(last.at)
+    }
+}
+
+fn main() {
+    let trace = Program::Espresso1
+        .generate()
+        .compile()
+        .expect("preset traces are well-formed");
+    let sim = SimConfig::paper();
+
+    println!("ESPRESSO(1): a custom policy vs the built-ins\n");
+    println!(
+        "{:>9}  {:>9}  {:>9}  {:>12}  {:>9}",
+        "policy", "mem mean", "mem max", "median pause", "overhead"
+    );
+
+    let mut rows = Vec::new();
+    rows.push(simulate(&trace, &mut HalfLife, &sim).report);
+    for kind in [PolicyKind::Full, PolicyKind::Fixed1, PolicyKind::DtbFm] {
+        rows.push(run_trace(&trace, kind, &PolicyConfig::paper(), &sim).report);
+    }
+    for r in &rows {
+        println!(
+            "{:>9}  {:>6.0} KB  {:>6.0} KB  {:>9.1} ms  {:>8.1}%",
+            r.policy,
+            r.mem_kb().0,
+            r.mem_kb().1,
+            r.pause_median_ms,
+            r.overhead_pct,
+        );
+    }
+
+    println!(
+        "\nHALFLIFE traces half the heap every time: pauses grow with live data\n\
+         (no constraint tracking) and memory sits between FULL and FIXED1 — a\n\
+         tunable-less compromise. The DTB policies dominate it on whichever\n\
+         axis the user actually cares about, which is the paper's point."
+    );
+}

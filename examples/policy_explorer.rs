@@ -1,0 +1,83 @@
+//! Policy explorer: the memory / pause-time / CPU trade-off surface.
+//!
+//! Sweeps the pause budget for `DTBFM` and the memory budget for `DTBMEM`
+//! over one workload, printing the frontier each policy walks — the
+//! paper's central claim made visible: **one intuitive knob, predictable
+//! resource behaviour**.
+//!
+//! ```sh
+//! cargo run --release --example policy_explorer [GHOST(1)|ESPRESSO(2)|...]
+//! ```
+
+use dtb::core::cost::CostModel;
+use dtb::core::policy::{PolicyConfig, PolicyKind};
+use dtb::core::time::Bytes;
+use dtb::sim::engine::SimConfig;
+use dtb::sim::run::run_trace;
+use dtb::trace::programs::Program;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "ESPRESSO(1)".into());
+    let program = Program::ALL
+        .into_iter()
+        .find(|p| p.label().eq_ignore_ascii_case(&which))
+        .unwrap_or_else(|| {
+            eprintln!("unknown program {which:?}; using ESPRESSO(1)");
+            Program::Espresso1
+        });
+    let trace = program
+        .generate()
+        .compile()
+        .expect("preset traces are well-formed");
+    let sim = SimConfig::paper();
+    let cost = CostModel::paper();
+
+    println!("== {} : DTBFM pause-budget sweep ==", program.label());
+    println!(
+        "{:>10}  {:>12}  {:>9}  {:>9}",
+        "budget", "median pause", "mem mean", "overhead"
+    );
+    for ms in [10.0, 25.0, 50.0, 100.0, 250.0, 500.0] {
+        let budgets =
+            PolicyConfig::new(cost.trace_budget_for_pause_ms(ms), Bytes::from_kb(1 << 20));
+        let r = run_trace(&trace, PolicyKind::DtbFm, &budgets, &sim).report;
+        println!(
+            "{:>7} ms  {:>9.1} ms  {:>6.0} KB  {:>8.1}%",
+            ms, r.pause_median_ms, r.mem_kb().0, r.overhead_pct
+        );
+    }
+
+    println!("\n== {} : DTBMEM memory-budget sweep ==", program.label());
+    println!(
+        "{:>10}  {:>9}  {:>9}  {:>12}",
+        "budget", "mem max", "overhead", "median pause"
+    );
+    for kb in [250u64, 500, 1000, 2000, 4000, 8000] {
+        let budgets = PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(kb));
+        let r = run_trace(&trace, PolicyKind::DtbMem, &budgets, &sim).report;
+        println!(
+            "{:>7} KB  {:>6.0} KB  {:>8.1}%  {:>9.1} ms",
+            kb,
+            r.mem_kb().1,
+            r.overhead_pct,
+            r.pause_median_ms
+        );
+    }
+
+    println!("\n== {} : all six collectors at the paper's settings ==", program.label());
+    println!(
+        "{:>8}  {:>9}  {:>9}  {:>12}  {:>9}",
+        "policy", "mem mean", "mem max", "median pause", "overhead"
+    );
+    for kind in PolicyKind::ALL {
+        let r = run_trace(&trace, kind, &PolicyConfig::paper(), &sim).report;
+        println!(
+            "{:>8}  {:>6.0} KB  {:>6.0} KB  {:>9.1} ms  {:>8.1}%",
+            r.policy,
+            r.mem_kb().0,
+            r.mem_kb().1,
+            r.pause_median_ms,
+            r.overhead_pct
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration: the paper's Section 6.1 / 6.2 claims, checked
+//! end-to-end (workload generation → simulation → metrics).
+//!
+//! Debug builds keep to the small/medium presets; `repro_claims` covers
+//! the full matrix in release mode.
+
+use dtb::core::policy::{PolicyConfig, PolicyKind};
+use dtb::core::time::Bytes;
+use dtb::sim::engine::SimConfig;
+use dtb::sim::metrics::SimReport;
+use dtb::sim::run::{run_column, run_trace};
+use dtb::trace::event::CompiledTrace;
+use dtb::trace::programs::Program;
+
+fn compiled(p: Program) -> CompiledTrace {
+    p.generate().compile().expect("preset traces are well-formed")
+}
+
+fn by_policy(reports: &[SimReport], k: PolicyKind) -> &SimReport {
+    reports
+        .iter()
+        .find(|r| r.policy == k.label())
+        .expect("policy in column")
+}
+
+#[test]
+fn dtbmem_respects_feasible_memory_budget() {
+    let trace = compiled(Program::Espresso1);
+    // Feasible means the budget exceeds the live floor plus one full
+    // inter-scavenge allocation interval (1 MB): memory peaks right
+    // before a scavenge, and no boundary choice can shrink that peak.
+    for budget_kb in [1500u64, 2000, 3000] {
+        let budgets = PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(budget_kb));
+        let r = run_trace(&trace, PolicyKind::DtbMem, &budgets, &SimConfig::paper()).report;
+        assert!(
+            r.mem_max.as_u64() <= budget_kb * 1024 * 101 / 100,
+            "budget {budget_kb} KB: max {} KB",
+            r.mem_kb().1
+        );
+    }
+}
+
+#[test]
+fn over_constrained_dtbmem_degrades_toward_full() {
+    // A budget below the live floor is impossible; DTBMEM must approach
+    // FULL's (memory-optimal) behaviour rather than thrash.
+    let trace = compiled(Program::Espresso1);
+    let sim = SimConfig::paper();
+    let impossible = PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(50));
+    let dtbmem = run_trace(&trace, PolicyKind::DtbMem, &impossible, &sim).report;
+    let full = run_trace(&trace, PolicyKind::Full, &impossible, &sim).report;
+    let ratio = dtbmem.mem_max.as_u64() as f64 / full.mem_max.as_u64() as f64;
+    assert!(
+        (0.95..=1.10).contains(&ratio),
+        "over-constrained DTBMEM max {} vs FULL {}",
+        dtbmem.mem_kb().1,
+        full.mem_kb().1
+    );
+}
+
+#[test]
+fn dtbmem_converts_memory_budget_into_cpu_savings() {
+    // Monotone trade: more memory budget, no more tracing.
+    let trace = compiled(Program::Espresso1);
+    let sim = SimConfig::paper();
+    let mut last_traced = u64::MAX;
+    for budget_kb in [200u64, 500, 1500, 4000] {
+        let budgets = PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(budget_kb));
+        let r = run_trace(&trace, PolicyKind::DtbMem, &budgets, &sim).report;
+        assert!(
+            r.total_traced.as_u64() <= last_traced,
+            "budget {budget_kb} KB traced more than a smaller budget"
+        );
+        last_traced = r.total_traced.as_u64();
+    }
+}
+
+#[test]
+fn dtbfm_median_tracks_pause_budget() {
+    let trace = compiled(Program::Espresso1);
+    let sim = SimConfig::paper();
+    for budget_ms in [50.0, 100.0] {
+        let budgets = PolicyConfig::new(
+            dtb::core::cost::CostModel::paper().trace_budget_for_pause_ms(budget_ms),
+            Bytes::from_kb(1 << 20),
+        );
+        let r = run_trace(&trace, PolicyKind::DtbFm, &budgets, &sim).report;
+        assert!(
+            r.pause_median_ms <= budget_ms * 1.35 && r.pause_median_ms >= budget_ms * 0.4,
+            "budget {budget_ms} ms: median {:.1} ms",
+            r.pause_median_ms
+        );
+    }
+}
+
+#[test]
+fn dtbfm_saves_memory_relative_to_feedmed_on_espresso() {
+    // The paper's Section 6.2 showcase.
+    let trace = compiled(Program::Espresso1);
+    let cfg = PolicyConfig::paper();
+    let sim = SimConfig::paper();
+    let dtbfm = run_trace(&trace, PolicyKind::DtbFm, &cfg, &sim).report;
+    let feedmed = run_trace(&trace, PolicyKind::FeedMed, &cfg, &sim).report;
+    assert!(
+        dtbfm.mem_mean.as_u64() <= feedmed.mem_mean.as_u64() * 102 / 100,
+        "DTBFM {} KB vs FEEDMED {} KB",
+        dtbfm.mem_kb().0,
+        feedmed.mem_kb().0
+    );
+}
+
+#[test]
+fn memory_ordering_full_le_fixed4_le_fixed1() {
+    // The classic generational trade, Table 2's structure.
+    let trace = compiled(Program::Cfrac);
+    let reports = run_column(&trace, &PolicyConfig::paper(), &SimConfig::paper());
+    let full = by_policy(&reports, PolicyKind::Full).mem_mean;
+    let fixed4 = by_policy(&reports, PolicyKind::Fixed4).mem_mean;
+    let fixed1 = by_policy(&reports, PolicyKind::Fixed1).mem_mean;
+    assert!(full <= fixed4, "FULL {full:?} vs FIXED4 {fixed4:?}");
+    assert!(fixed4 <= fixed1, "FIXED4 {fixed4:?} vs FIXED1 {fixed1:?}");
+}
+
+#[test]
+fn cpu_ordering_fixed1_le_fixed4_le_full() {
+    // Table 4's structure, inverse of the memory ordering.
+    let trace = compiled(Program::Cfrac);
+    let reports = run_column(&trace, &PolicyConfig::paper(), &SimConfig::paper());
+    let full = by_policy(&reports, PolicyKind::Full).total_traced;
+    let fixed4 = by_policy(&reports, PolicyKind::Fixed4).total_traced;
+    let fixed1 = by_policy(&reports, PolicyKind::Fixed1).total_traced;
+    assert!(fixed1 <= fixed4);
+    assert!(fixed4 <= full);
+}
+
+#[test]
+fn every_collector_bounded_by_live_and_nogc() {
+    let trace = compiled(Program::Cfrac);
+    let reports = run_column(&trace, &PolicyConfig::paper(), &SimConfig::paper());
+    let live = reports.iter().find(|r| r.policy == "LIVE").unwrap().mem_mean;
+    let nogc = reports.iter().find(|r| r.policy == "No GC").unwrap().mem_max;
+    for kind in PolicyKind::ALL {
+        let r = by_policy(&reports, kind);
+        assert!(r.mem_mean >= live, "{kind} beat the live floor");
+        assert!(r.mem_max <= nogc, "{kind} exceeded no-GC ceiling");
+    }
+}
+
+#[test]
+fn scavenge_records_are_internally_consistent_everywhere() {
+    let trace = compiled(Program::Cfrac);
+    for kind in PolicyKind::ALL {
+        let r = run_trace(&trace, kind, &PolicyConfig::paper(), &SimConfig::paper()).report;
+        for rec in r.history.iter() {
+            assert!(rec.is_consistent(), "{kind}: {rec:?}");
+            assert!(rec.boundary <= rec.at, "{kind}: boundary after scavenge time");
+            assert!(rec.traced <= rec.surviving, "{kind}: traced exceeds survivors");
+        }
+    }
+}
