@@ -3,29 +3,32 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dtb_core::policy::{PolicyConfig, PolicyKind};
-use dtb_sim::engine::SimConfig;
-use dtb_sim::run::run_trace;
+use dtb_sim::engine::{simulate, SimConfig};
 use dtb_trace::programs::Program;
 
 fn bench_fig2(c: &mut Criterion) {
-    let trace = Program::Cfrac
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
+    let trace = Program::Cfrac.compiled();
     let cfg = PolicyConfig::paper();
 
     c.bench_function("fig2/simulate_with_curve_cfrac", |b| {
         let sim = SimConfig::paper().with_curve();
-        b.iter(|| black_box(run_trace(&trace, PolicyKind::DtbMem, &cfg, &sim)))
+        b.iter(|| {
+            let mut policy = PolicyKind::DtbMem.build(&cfg);
+            black_box(simulate(&trace, &mut policy, &sim))
+        })
     });
 
     c.bench_function("fig2/curve_overhead_vs_plain_cfrac", |b| {
         let sim = SimConfig::paper();
-        b.iter(|| black_box(run_trace(&trace, PolicyKind::DtbMem, &cfg, &sim)))
+        b.iter(|| {
+            let mut policy = PolicyKind::DtbMem.build(&cfg);
+            black_box(simulate(&trace, &mut policy, &sim))
+        })
     });
 
     let sim = SimConfig::paper().with_curve();
-    let run = run_trace(&trace, PolicyKind::Full, &cfg, &sim);
+    let mut full = PolicyKind::Full.build(&cfg);
+    let run = simulate(&trace, &mut full, &sim);
     c.bench_function("fig2/csv_export", |b| {
         b.iter(|| {
             let mut out = Vec::with_capacity(16 * 1024);

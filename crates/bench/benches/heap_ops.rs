@@ -39,9 +39,7 @@ fn bench_heap(c: &mut Criterion) {
             .with_policy(PolicyKind::Full)
             .with_trigger(Bytes::from_mb(4)),
     );
-    c.bench_function("heap/alloc_and_release", |b| {
-        b.iter(|| black_box(node(1)))
-    });
+    c.bench_function("heap/alloc_and_release", |b| b.iter(|| black_box(node(1))));
 
     configure(HeapConfig::manual_full().with_trigger(Bytes::from_mb(1024)));
     collect_now(); // clear the alloc garbage

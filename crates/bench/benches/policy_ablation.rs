@@ -6,15 +6,11 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dtb_core::policy::{DtbDual, DtbMem, LiveEstimate, PolicyConfig, PolicyKind};
 use dtb_core::time::Bytes;
 use dtb_sim::engine::{simulate, SimConfig};
-use dtb_sim::run::run_trace;
 use dtb_sim::trigger::Trigger;
 use dtb_trace::programs::Program;
 
 fn bench_ablation(c: &mut Criterion) {
-    let trace = Program::Cfrac
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
+    let trace = Program::Cfrac.compiled();
 
     let mut estimates = c.benchmark_group("ablation/dtbmem_estimate");
     for (name, kind) in [
@@ -41,7 +37,10 @@ fn bench_ablation(c: &mut Criterion) {
                 min_allocation: Bytes::new(100_000),
             },
         ),
-        ("memory_ceiling_3000kb", Trigger::MemoryCeiling(Bytes::from_kb(3000))),
+        (
+            "memory_ceiling_3000kb",
+            Trigger::MemoryCeiling(Bytes::from_kb(3000)),
+        ),
     ] {
         triggers.bench_function(name, |b| {
             let cfg = SimConfig {
@@ -49,12 +48,8 @@ fn bench_ablation(c: &mut Criterion) {
                 ..SimConfig::paper()
             };
             b.iter(|| {
-                black_box(run_trace(
-                    &trace,
-                    PolicyKind::DtbMem,
-                    &PolicyConfig::paper(),
-                    &cfg,
-                ))
+                let mut policy = PolicyKind::DtbMem.build(&PolicyConfig::paper());
+                black_box(simulate(&trace, &mut policy, &cfg))
             })
         });
     }

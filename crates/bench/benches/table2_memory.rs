@@ -7,26 +7,35 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dtb_core::policy::{PolicyConfig, PolicyKind};
-use dtb_sim::engine::SimConfig;
-use dtb_sim::run::{run_column, run_trace};
+use dtb_sim::engine::{simulate, SimConfig};
+use dtb_sim::exec::Evaluation;
 use dtb_trace::programs::Program;
 
 fn bench_table2(c: &mut Criterion) {
-    let trace = Program::Cfrac
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
+    let trace = Program::Cfrac.compiled();
     let cfg = PolicyConfig::paper();
     let sim = SimConfig::paper();
 
     c.bench_function("table2/full_column_cfrac", |b| {
-        b.iter(|| black_box(run_column(&trace, &cfg, &sim)))
+        b.iter(|| {
+            black_box(
+                Evaluation::new()
+                    .trace(trace.clone())
+                    .policy_config(cfg)
+                    .sim_config(sim)
+                    .parallelism(1)
+                    .run(),
+            )
+        })
     });
 
     let mut per_policy = c.benchmark_group("table2/per_policy_cfrac");
     for kind in PolicyKind::ALL {
         per_policy.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_trace(&trace, kind, &cfg, &sim)))
+            b.iter(|| {
+                let mut policy = kind.build(&cfg);
+                black_box(simulate(&trace, &mut policy, &sim))
+            })
         });
     }
     per_policy.finish();

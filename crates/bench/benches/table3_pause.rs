@@ -8,8 +8,7 @@ use dtb_core::policy::{
     DtbFm, FeedMed, NoSurvivalInfo, PolicyConfig, PolicyKind, ScavengeContext, TbPolicy,
 };
 use dtb_core::time::{Bytes, VirtualTime};
-use dtb_sim::engine::SimConfig;
-use dtb_sim::run::run_trace;
+use dtb_sim::engine::{simulate, SimConfig};
 use dtb_trace::programs::Program;
 
 fn synthetic_history(n: usize) -> ScavengeHistory {
@@ -26,17 +25,17 @@ fn synthetic_history(n: usize) -> ScavengeHistory {
 }
 
 fn bench_table3(c: &mut Criterion) {
-    let trace = Program::Cfrac
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
+    let trace = Program::Cfrac.compiled();
     let cfg = PolicyConfig::paper();
     let sim = SimConfig::paper();
 
     let mut runs = c.benchmark_group("table3/pause_constrained_run_cfrac");
     for kind in [PolicyKind::FeedMed, PolicyKind::DtbFm] {
         runs.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_trace(&trace, kind, &cfg, &sim)))
+            b.iter(|| {
+                let mut policy = kind.build(&cfg);
+                black_box(simulate(&trace, &mut policy, &sim))
+            })
         });
     }
     runs.finish();

@@ -5,9 +5,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use dtb_core::policy::{PolicyConfig, PolicyKind};
 use dtb_core::time::VirtualTime;
-use dtb_sim::engine::SimConfig;
+use dtb_sim::engine::{simulate, SimConfig};
 use dtb_sim::heap::{OracleHeap, SimObject};
-use dtb_sim::run::run_trace;
 use dtb_trace::programs::Program;
 
 fn filled_heap(n: u64) -> OracleHeap {
@@ -27,10 +26,7 @@ fn filled_heap(n: u64) -> OracleHeap {
 }
 
 fn bench_table4(c: &mut Criterion) {
-    let trace = Program::Cfrac
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
+    let trace = Program::Cfrac.compiled();
     let cfg = PolicyConfig::paper();
     let sim = SimConfig::paper();
 
@@ -38,7 +34,10 @@ fn bench_table4(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4/tracing_extremes_cfrac");
     for kind in [PolicyKind::Fixed1, PolicyKind::Full, PolicyKind::DtbMem] {
         group.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_trace(&trace, kind, &cfg, &sim)))
+            b.iter(|| {
+                let mut policy = kind.build(&cfg);
+                black_box(simulate(&trace, &mut policy, &sim))
+            })
         });
     }
     group.finish();
@@ -47,9 +46,7 @@ fn bench_table4(c: &mut Criterion) {
     c.bench_function("table4/oracle_heap_full_scavenge_50k", |b| {
         b.iter_batched(
             || filled_heap(50_000),
-            |mut h| {
-                black_box(h.scavenge(VirtualTime::ZERO, VirtualTime::from_bytes(10_000_000)))
-            },
+            |mut h| black_box(h.scavenge(VirtualTime::ZERO, VirtualTime::from_bytes(10_000_000))),
             BatchSize::LargeInput,
         )
     });

@@ -9,15 +9,11 @@
 use dtb_core::policy::{DtbDual, DtbMem, LiveEstimate, PolicyConfig, PolicyKind};
 use dtb_core::time::Bytes;
 use dtb_sim::engine::{simulate, SimConfig};
-use dtb_sim::run::run_trace;
 use dtb_sim::trigger::Trigger;
 use dtb_trace::programs::Program;
 
 fn main() {
-    let trace = Program::Espresso2
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
+    let trace = Program::Espresso2.compiled();
     let sim = SimConfig::paper();
 
     println!("== Ablation 1: DTBMEM live-data estimate (ESPRESSO(2), 3000 KB budget) ==\n");
@@ -55,7 +51,10 @@ fn main() {
     );
     for (name, trigger) in [
         ("allocation 1 MB (paper)", Trigger::paper()),
-        ("allocation 0.5 MB", Trigger::Allocation(Bytes::new(500_000))),
+        (
+            "allocation 0.5 MB",
+            Trigger::Allocation(Bytes::new(500_000)),
+        ),
         (
             "memory growth 1.5x",
             Trigger::MemoryGrowth {
@@ -72,7 +71,8 @@ fn main() {
             trigger,
             ..SimConfig::paper()
         };
-        let run = run_trace(&trace, PolicyKind::DtbMem, &PolicyConfig::paper(), &cfg);
+        let mut policy = PolicyKind::DtbMem.build(&PolicyConfig::paper());
+        let run = simulate(&trace, &mut policy, &cfg);
         println!(
             "{:>28}  {:>5}  {:>6.0} KB  {:>6.0} KB  {:>8.1}%",
             name,
@@ -94,14 +94,14 @@ fn main() {
         "policy", "median pause", "mem max", "overhead"
     );
     for (name, run) in [
-        (
-            "DTBFM",
-            run_trace(&trace, PolicyKind::DtbFm, &PolicyConfig::paper(), &sim),
-        ),
-        (
-            "DTBMEM",
-            run_trace(&trace, PolicyKind::DtbMem, &PolicyConfig::paper(), &sim),
-        ),
+        ("DTBFM", {
+            let mut policy = PolicyKind::DtbFm.build(&PolicyConfig::paper());
+            simulate(&trace, &mut policy, &sim)
+        }),
+        ("DTBMEM", {
+            let mut policy = PolicyKind::DtbMem.build(&PolicyConfig::paper());
+            simulate(&trace, &mut policy, &sim)
+        }),
         ("DTBDUAL", {
             let mut dual = DtbDual::new(Bytes::new(50_000), Bytes::from_kb(3000));
             simulate(&trace, &mut dual, &sim)

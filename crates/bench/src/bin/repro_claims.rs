@@ -3,21 +3,19 @@
 
 use dtb_bench::full_matrix;
 use dtb_core::policy::PolicyKind;
+use dtb_sim::exec::Matrix;
 use dtb_sim::metrics::SimReport;
 use dtb_trace::programs::Program;
 
-fn report(
-    matrix: &[(Program, Vec<SimReport>)],
-    p: Program,
-    k: PolicyKind,
-) -> &SimReport {
-    let (_, col) = matrix.iter().find(|(q, _)| *q == p).expect("program");
-    let idx = PolicyKind::ALL.iter().position(|q| *q == k).expect("policy");
-    &col[idx]
+fn report(matrix: &Matrix, p: Program, k: PolicyKind) -> &SimReport {
+    matrix.get(p, k).expect("full matrix has every cell")
 }
 
 fn check(name: &str, ok: bool, detail: String) {
-    println!("[{}] {name}\n       {detail}", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "[{}] {name}\n       {detail}",
+        if ok { "PASS" } else { "FAIL" }
+    );
 }
 
 fn main() {
@@ -26,7 +24,12 @@ fn main() {
     println!("Section 6.1/6.2 claims, re-checked on the synthetic traces\n");
 
     // §6.1: DTBMEM respects the 3000 KB constraint when feasible.
-    for p in [Program::Ghost1, Program::Espresso1, Program::Espresso2, Program::Cfrac] {
+    for p in [
+        Program::Ghost1,
+        Program::Espresso1,
+        Program::Espresso2,
+        Program::Cfrac,
+    ] {
         let r = report(&matrix, p, PolicyKind::DtbMem);
         let (_, max_kb) = r.mem_kb();
         check(

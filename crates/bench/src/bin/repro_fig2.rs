@@ -7,9 +7,9 @@
 //! writes one CSV per collector (`time,mem,live,boundary`) under
 //! `target/repro/` and prints a coarse summary.
 
-use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_core::policy::PolicyKind;
 use dtb_sim::engine::SimConfig;
-use dtb_sim::run::run_trace;
+use dtb_sim::exec::Evaluation;
 use dtb_trace::programs::Program;
 use std::fs;
 use std::path::Path;
@@ -17,21 +17,21 @@ use std::path::Path;
 fn main() -> std::io::Result<()> {
     let out_dir = Path::new("target/repro");
     fs::create_dir_all(out_dir)?;
-    let trace = Program::Ghost1
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
-    let sim = SimConfig::paper().with_curve();
-    let cfg = PolicyConfig::paper();
 
     println!("Figure 2: Garbage Collector Memory Use — GHOST(1)");
     println!("curves written to target/repro/fig2_<collector>.csv\n");
-    for kind in [PolicyKind::Full, PolicyKind::DtbMem, PolicyKind::DtbFm] {
-        let run = run_trace(&trace, kind, &cfg, &sim);
-        let path = out_dir.join(format!(
-            "fig2_{}.csv",
-            kind.label().to_lowercase()
-        ));
+    let matrix = Evaluation::new()
+        .programs([Program::Ghost1])
+        .policies([PolicyKind::Full, PolicyKind::DtbMem, PolicyKind::DtbFm])
+        .baselines(false)
+        .sim_config(SimConfig::paper().with_curve())
+        .run();
+    let column = matrix.column(Program::Ghost1).expect("requested column");
+
+    for cell in &column.cells {
+        let run = &cell.run;
+        let kind = cell.row.policy().expect("collector rows only");
+        let path = out_dir.join(format!("fig2_{}.csv", kind.label().to_lowercase()));
         let mut buf = Vec::new();
         run.curve.write_csv(&mut buf)?;
         fs::write(&path, buf)?;

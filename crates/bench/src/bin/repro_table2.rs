@@ -3,7 +3,7 @@
 
 use dtb_bench::table::{vs_paper, TextTable};
 use dtb_bench::{collector_rows, full_matrix, paper};
-use dtb_core::policy::PolicyKind;
+use dtb_core::policy::Row;
 use dtb_trace::programs::Program;
 
 fn main() {
@@ -16,16 +16,16 @@ fn main() {
             std::iter::once("Collector".to_string())
                 .chain(Program::ALL.iter().map(|p| p.label().to_string())),
         );
-        for (i, label) in collector_rows().iter().enumerate() {
-            let mut cells = vec![label.to_string()];
-            for (p, reports) in &matrix {
-                let r = &reports[i];
+        for row in collector_rows() {
+            let mut cells = vec![row.to_string()];
+            for p in Program::ALL {
+                let r = matrix.get_row(p, &row).expect("full matrix has every cell");
                 let (mean_kb, max_kb) = r.mem_kb();
                 let measured = if metric == "Mean" { mean_kb } else { max_kb };
-                let published = match i {
-                    0..=5 => paper::table2(PolicyKind::ALL[i], *p),
-                    6 => paper::table2_nogc(*p),
-                    _ => paper::table2_live(*p),
+                let published = match &row {
+                    Row::Policy(kind) => paper::table2(*kind, p),
+                    Row::NoGc => paper::table2_nogc(p),
+                    _ => paper::table2_live(p),
                 };
                 let published = if metric == "Mean" {
                     published.0

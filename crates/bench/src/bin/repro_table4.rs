@@ -16,16 +16,16 @@ fn main() {
             std::iter::once("Collector".to_string())
                 .chain(Program::ALL.iter().map(|p| p.label().to_string())),
         );
-        for (i, kind) in PolicyKind::ALL.iter().enumerate() {
+        for kind in PolicyKind::ALL {
             let mut cells = vec![kind.label().to_string()];
-            for (p, reports) in &matrix {
-                let r = &reports[i];
+            for p in Program::ALL {
+                let r = matrix.get(p, kind).expect("full matrix has every cell");
                 let measured = if metric.starts_with("Traced") {
                     r.traced_kb()
                 } else {
                     r.overhead_pct
                 };
-                let published = paper::table4(*kind, *p);
+                let published = paper::table4(kind, p);
                 let published = if metric.starts_with("Traced") {
                     published.0
                 } else {

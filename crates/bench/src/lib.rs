@@ -11,44 +11,44 @@
 //!
 //! [`paper`] embeds the published numbers so every printer can show
 //! paper-vs-measured side by side; [`table`] renders aligned text tables.
+//!
+//! All the `repro_*` binaries regenerate the matrix through
+//! [`Evaluation`]: preset traces compile exactly once per process and the
+//! (program × policy) cells fan out over a worker pool, with per-cell
+//! progress on stderr.
 
 pub mod paper;
 pub mod table;
 
-use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_core::policy::{PolicyConfig, Row};
 use dtb_sim::engine::SimConfig;
-use dtb_sim::metrics::SimReport;
-use dtb_sim::run::run_column;
-use dtb_trace::programs::Program;
+use dtb_sim::exec::{Evaluation, Matrix};
 
 /// Runs the full evaluation matrix with the paper's parameters: every
 /// collector (plus baselines) over every workload.
 ///
-/// This is the data behind Tables 2, 3 and 4. Takes a few seconds in
-/// release mode.
-pub fn full_matrix() -> Vec<(Program, Vec<SimReport>)> {
+/// This is the data behind Tables 2, 3 and 4. Cells run in parallel;
+/// progress goes to stderr.
+pub fn full_matrix() -> Matrix {
     matrix_for(&PolicyConfig::paper(), &SimConfig::paper())
 }
 
 /// Runs the evaluation matrix with explicit parameters.
-pub fn matrix_for(cfg: &PolicyConfig, sim: &SimConfig) -> Vec<(Program, Vec<SimReport>)> {
-    Program::ALL
-        .iter()
-        .map(|p| {
-            let trace = p
-                .generate()
-                .compile()
-                .expect("preset traces are well-formed");
-            (*p, run_column(&trace, cfg, sim))
+pub fn matrix_for(cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
+    Evaluation::new()
+        .policy_config(*cfg)
+        .sim_config(*sim)
+        .on_cell(|ev| {
+            eprintln!(
+                "[{:>2}/{}] {} × {} in {:.1?}",
+                ev.completed, ev.total, ev.program, ev.row, ev.elapsed
+            );
         })
-        .collect()
+        .run()
 }
 
-/// The row labels of Tables 2–4, in order: six collectors, then the
-/// baselines that appear only in Table 2.
-pub fn collector_rows() -> Vec<&'static str> {
-    let mut rows: Vec<&'static str> = PolicyKind::ALL.iter().map(|k| k.label()).collect();
-    rows.push("No GC");
-    rows.push("LIVE");
-    rows
+/// The rows of Tables 2–4, in order: six collectors, then the baselines
+/// that appear only in Table 2.
+pub fn collector_rows() -> [Row; 8] {
+    Row::table_rows()
 }

@@ -16,12 +16,18 @@ pub type TraceCell = (f64, f64);
 
 /// Index of a program in the tables' column order.
 fn col(p: Program) -> usize {
-    Program::ALL.iter().position(|q| *q == p).expect("known program")
+    Program::ALL
+        .iter()
+        .position(|q| *q == p)
+        .expect("known program")
 }
 
 /// Index of a collector in the tables' row order.
 fn row(k: PolicyKind) -> usize {
-    PolicyKind::ALL.iter().position(|q| *q == k).expect("known policy")
+    PolicyKind::ALL
+        .iter()
+        .position(|q| *q == k)
+        .expect("known policy")
 }
 
 /// Table 2 cell for a collector × program (published values).
@@ -29,12 +35,54 @@ pub fn table2(k: PolicyKind, p: Program) -> MemCell {
     // Rows: FULL, FIXED1, FIXED4, DTBMEM, FEEDMED, DTBFM
     // Columns: GHOST(1), GHOST(2), ESPRESSO(1), ESPRESSO(2), SIS, CFRAC
     const T: [[MemCell; 6]; 6] = [
-        [(1262.0, 2065.0), (1807.0, 3033.0), (564.0, 1076.0), (640.0, 1188.0), (4524.0, 6980.0), (497.0, 992.0)],
-        [(1465.0, 2453.0), (2130.0, 3632.0), (667.0, 1226.0), (1577.0, 2837.0), (4691.0, 7166.0), (498.0, 993.0)],
-        [(1262.0, 2065.0), (1807.0, 3033.0), (567.0, 1088.0), (760.0, 1372.0), (4524.0, 6980.0), (497.0, 992.0)],
-        [(1460.0, 2393.0), (1984.0, 3242.0), (667.0, 1226.0), (1481.0, 2365.0), (4552.0, 6980.0), (498.0, 993.0)],
-        [(1316.0, 2125.0), (1891.0, 3168.0), (620.0, 1137.0), (1095.0, 1748.0), (4691.0, 7166.0), (497.0, 992.0)],
-        [(1265.0, 2066.0), (1839.0, 3078.0), (569.0, 1111.0), (695.0, 1612.0), (4691.0, 7166.0), (497.0, 992.0)],
+        [
+            (1262.0, 2065.0),
+            (1807.0, 3033.0),
+            (564.0, 1076.0),
+            (640.0, 1188.0),
+            (4524.0, 6980.0),
+            (497.0, 992.0),
+        ],
+        [
+            (1465.0, 2453.0),
+            (2130.0, 3632.0),
+            (667.0, 1226.0),
+            (1577.0, 2837.0),
+            (4691.0, 7166.0),
+            (498.0, 993.0),
+        ],
+        [
+            (1262.0, 2065.0),
+            (1807.0, 3033.0),
+            (567.0, 1088.0),
+            (760.0, 1372.0),
+            (4524.0, 6980.0),
+            (497.0, 992.0),
+        ],
+        [
+            (1460.0, 2393.0),
+            (1984.0, 3242.0),
+            (667.0, 1226.0),
+            (1481.0, 2365.0),
+            (4552.0, 6980.0),
+            (498.0, 993.0),
+        ],
+        [
+            (1316.0, 2125.0),
+            (1891.0, 3168.0),
+            (620.0, 1137.0),
+            (1095.0, 1748.0),
+            (4691.0, 7166.0),
+            (497.0, 992.0),
+        ],
+        [
+            (1265.0, 2066.0),
+            (1839.0, 3078.0),
+            (569.0, 1111.0),
+            (695.0, 1612.0),
+            (4691.0, 7166.0),
+            (497.0, 992.0),
+        ],
     ];
     T[row(k)][col(p)]
 }
@@ -68,12 +116,54 @@ pub fn table2_live(p: Program) -> MemCell {
 /// Table 3 cell (median ms, 90th percentile ms), published values.
 pub fn table3(k: PolicyKind, p: Program) -> PauseCell {
     const T: [[PauseCell; 6]; 6] = [
-        [(1743.0, 2130.0), (2720.0, 4108.0), (164.0, 197.0), (333.0, 387.0), (8165.0, 11787.0), (15.0, 37.0)],
-        [(31.0, 102.0), (27.0, 139.0), (12.0, 111.0), (18.0, 68.0), (726.0, 1609.0), (5.0, 7.0)],
-        [(120.0, 334.0), (150.0, 409.0), (20.0, 192.0), (28.0, 137.0), (2901.0, 4545.0), (15.0, 22.0)],
-        [(34.0, 112.0), (200.0, 1345.0), (12.0, 111.0), (19.0, 68.0), (8165.0, 11787.0), (5.0, 7.0)],
-        [(104.0, 143.0), (90.0, 188.0), (16.0, 111.0), (40.0, 93.0), (726.0, 1609.0), (15.0, 37.0)],
-        [(106.0, 168.0), (97.0, 234.0), (53.0, 178.0), (93.0, 364.0), (726.0, 1609.0), (15.0, 37.0)],
+        [
+            (1743.0, 2130.0),
+            (2720.0, 4108.0),
+            (164.0, 197.0),
+            (333.0, 387.0),
+            (8165.0, 11787.0),
+            (15.0, 37.0),
+        ],
+        [
+            (31.0, 102.0),
+            (27.0, 139.0),
+            (12.0, 111.0),
+            (18.0, 68.0),
+            (726.0, 1609.0),
+            (5.0, 7.0),
+        ],
+        [
+            (120.0, 334.0),
+            (150.0, 409.0),
+            (20.0, 192.0),
+            (28.0, 137.0),
+            (2901.0, 4545.0),
+            (15.0, 22.0),
+        ],
+        [
+            (34.0, 112.0),
+            (200.0, 1345.0),
+            (12.0, 111.0),
+            (19.0, 68.0),
+            (8165.0, 11787.0),
+            (5.0, 7.0),
+        ],
+        [
+            (104.0, 143.0),
+            (90.0, 188.0),
+            (16.0, 111.0),
+            (40.0, 93.0),
+            (726.0, 1609.0),
+            (15.0, 37.0),
+        ],
+        [
+            (106.0, 168.0),
+            (97.0, 234.0),
+            (53.0, 178.0),
+            (93.0, 364.0),
+            (726.0, 1609.0),
+            (15.0, 37.0),
+        ],
     ];
     T[row(k)][col(p)]
 }
@@ -81,12 +171,54 @@ pub fn table3(k: PolicyKind, p: Program) -> PauseCell {
 /// Table 4 cell (traced KB, overhead %), published values.
 pub fn table4(k: PolicyKind, p: Program) -> TraceCell {
     const T: [[TraceCell; 6]; 6] = [
-        [(40153.0, 179.2), (119011.0, 203.7), (1236.0, 4.1), (16389.0, 14.0), (57015.0, 385.5), (73.0, 0.7)],
-        [(1373.0, 6.1), (2456.0, 4.2), (209.0, 0.7), (1615.0, 1.4), (6610.0, 44.7), (19.0, 0.2)],
-        [(4610.0, 20.5), (8590.0, 14.7), (487.0, 1.6), (2878.0, 2.5), (24001.0, 162.3), (57.0, 0.6)],
-        [(1489.0, 6.6), (23689.0, 40.5), (209.0, 0.7), (1662.0, 1.4), (50776.0, 343.3), (19.0, 0.2)],
-        [(2641.0, 11.8), (4377.0, 7.5), (231.0, 0.8), (2642.0, 2.3), (6610.0, 44.7), (73.0, 0.7)],
-        [(3026.0, 13.5), (5585.0, 9.6), (684.0, 2.3), (8201.0, 7.0), (6610.0, 44.7), (73.0, 0.7)],
+        [
+            (40153.0, 179.2),
+            (119011.0, 203.7),
+            (1236.0, 4.1),
+            (16389.0, 14.0),
+            (57015.0, 385.5),
+            (73.0, 0.7),
+        ],
+        [
+            (1373.0, 6.1),
+            (2456.0, 4.2),
+            (209.0, 0.7),
+            (1615.0, 1.4),
+            (6610.0, 44.7),
+            (19.0, 0.2),
+        ],
+        [
+            (4610.0, 20.5),
+            (8590.0, 14.7),
+            (487.0, 1.6),
+            (2878.0, 2.5),
+            (24001.0, 162.3),
+            (57.0, 0.6),
+        ],
+        [
+            (1489.0, 6.6),
+            (23689.0, 40.5),
+            (209.0, 0.7),
+            (1662.0, 1.4),
+            (50776.0, 343.3),
+            (19.0, 0.2),
+        ],
+        [
+            (2641.0, 11.8),
+            (4377.0, 7.5),
+            (231.0, 0.8),
+            (2642.0, 2.3),
+            (6610.0, 44.7),
+            (73.0, 0.7),
+        ],
+        [
+            (3026.0, 13.5),
+            (5585.0, 9.6),
+            (684.0, 2.3),
+            (8201.0, 7.0),
+            (6610.0, 44.7),
+            (73.0, 0.7),
+        ],
     ];
     T[row(k)][col(p)]
 }
@@ -99,7 +231,10 @@ mod tests {
     fn table_lookups_match_spot_checks() {
         assert_eq!(table2(PolicyKind::Full, Program::Ghost1), (1262.0, 2065.0));
         assert_eq!(table2(PolicyKind::DtbFm, Program::Cfrac), (497.0, 992.0));
-        assert_eq!(table3(PolicyKind::FeedMed, Program::Espresso2), (40.0, 93.0));
+        assert_eq!(
+            table3(PolicyKind::FeedMed, Program::Espresso2),
+            (40.0, 93.0)
+        );
         assert_eq!(table4(PolicyKind::DtbMem, Program::Sis), (50776.0, 343.3));
         assert_eq!(table2_live(Program::Sis), (4197.0, 6423.0));
         assert_eq!(table2_nogc(Program::Ghost2), (44243.0, 87681.0));

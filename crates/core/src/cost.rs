@@ -50,7 +50,10 @@ impl CostModel {
     ///
     /// Panics if either rate is zero.
     pub fn new(instructions_per_second: u64, trace_bytes_per_second: u64) -> CostModel {
-        assert!(instructions_per_second > 0, "instruction rate must be positive");
+        assert!(
+            instructions_per_second > 0,
+            "instruction rate must be positive"
+        );
         assert!(trace_bytes_per_second > 0, "trace rate must be positive");
         CostModel {
             instructions_per_second,

@@ -66,11 +66,7 @@ pub fn is_forward_in_time(src_birth: VirtualTime, dst_birth: VirtualTime) -> boo
 /// Figure 1's pointer *a*: a forward-in-time pointer whose *source* is
 /// younger than `tb_min` can never cross the boundary (both ends will
 /// always be threatened together), so it need not be remembered.
-pub fn must_remember(
-    src_birth: VirtualTime,
-    dst_birth: VirtualTime,
-    tb_min: VirtualTime,
-) -> bool {
+pub fn must_remember(src_birth: VirtualTime, dst_birth: VirtualTime, tb_min: VirtualTime) -> bool {
     is_forward_in_time(src_birth, dst_birth) && src_birth <= tb_min
 }
 

@@ -229,9 +229,7 @@ mod tests {
         let h: ScavengeHistory = [rec(100, 1), rec(200, 2), rec(300, 3)]
             .into_iter()
             .collect();
-        let times: Vec<_> = h
-            .times_at_or_after(VirtualTime::from_bytes(150))
-            .collect();
+        let times: Vec<_> = h.times_at_or_after(VirtualTime::from_bytes(150)).collect();
         assert_eq!(
             times,
             vec![

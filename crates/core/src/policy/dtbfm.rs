@@ -143,7 +143,10 @@ mod tests {
         let est = NoSurvivalInfo;
         let mut h = ScavengeHistory::new();
         h.push(rec(1000, 900, 0, 10, 110));
-        assert_eq!(p.select_boundary(&ctx(2000, 0, &h, &est)), VirtualTime::ZERO);
+        assert_eq!(
+            p.select_boundary(&ctx(2000, 0, &h, &est)),
+            VirtualTime::ZERO
+        );
     }
 
     #[test]

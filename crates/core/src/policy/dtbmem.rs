@@ -242,12 +242,9 @@ mod estimate_tests {
         h.push(rec(10_000, 0, 400, 1600, 2400));
         let c = ctx(20_000, 4_000, &h, &est);
         let budget = Bytes::new(2_000);
-        let tb_surv =
-            DtbMem::with_estimate(budget, LiveEstimate::Surviving).select_boundary(&c);
-        let tb_mid =
-            DtbMem::with_estimate(budget, LiveEstimate::Midpoint).select_boundary(&c);
-        let tb_traced =
-            DtbMem::with_estimate(budget, LiveEstimate::Traced).select_boundary(&c);
+        let tb_surv = DtbMem::with_estimate(budget, LiveEstimate::Surviving).select_boundary(&c);
+        let tb_mid = DtbMem::with_estimate(budget, LiveEstimate::Midpoint).select_boundary(&c);
+        let tb_traced = DtbMem::with_estimate(budget, LiveEstimate::Traced).select_boundary(&c);
         assert!(tb_surv <= tb_mid, "{tb_surv:?} > {tb_mid:?}");
         assert!(tb_mid <= tb_traced, "{tb_mid:?} > {tb_traced:?}");
         assert!(tb_surv < tb_traced, "estimators should differ here");
@@ -255,7 +252,10 @@ mod estimate_tests {
 
     #[test]
     fn default_is_midpoint() {
-        assert_eq!(DtbMem::new(Bytes::new(1)).estimate_kind(), LiveEstimate::Midpoint);
+        assert_eq!(
+            DtbMem::new(Bytes::new(1)).estimate_kind(),
+            LiveEstimate::Midpoint
+        );
         assert_eq!(LiveEstimate::default(), LiveEstimate::Midpoint);
     }
 }

@@ -96,10 +96,7 @@ mod tests {
         let mut p = DtbDual::new(Bytes::new(50_000), Bytes::from_kb(3000));
         let h = ScavengeHistory::new();
         let est = NoSurvivalInfo;
-        assert_eq!(
-            p.select_boundary(&ctx(100, 0, &h, &est)),
-            VirtualTime::ZERO
-        );
+        assert_eq!(p.select_boundary(&ctx(100, 0, &h, &est)), VirtualTime::ZERO);
     }
 
     #[test]

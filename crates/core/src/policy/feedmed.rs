@@ -57,7 +57,11 @@ impl FeedMed {
 /// Finds the oldest admissible boundary among previous scavenge times at or
 /// after `prev_tb` whose predicted trace fits `trace_max`; falls back to
 /// `t_{n-1}` when none fits. Must only be called with a non-empty history.
-pub(super) fn mediate(ctx: &ScavengeContext<'_>, trace_max: Bytes, prev_tb: VirtualTime) -> VirtualTime {
+pub(super) fn mediate(
+    ctx: &ScavengeContext<'_>,
+    trace_max: Bytes,
+    prev_tb: VirtualTime,
+) -> VirtualTime {
     let last_time = ctx
         .history
         .last()

@@ -60,10 +60,16 @@ mod tests {
         let mut p = Full::new();
         let est = NoSurvivalInfo;
         let mut h = ScavengeHistory::new();
-        assert_eq!(p.select_boundary(&ctx(100, 10, &h, &est)), VirtualTime::ZERO);
+        assert_eq!(
+            p.select_boundary(&ctx(100, 10, &h, &est)),
+            VirtualTime::ZERO
+        );
         h.push(rec(100, 0, 50, 50, 100));
         h.push(rec(200, 0, 60, 60, 110));
-        assert_eq!(p.select_boundary(&ctx(300, 10, &h, &est)), VirtualTime::ZERO);
+        assert_eq!(
+            p.select_boundary(&ctx(300, 10, &h, &est)),
+            VirtualTime::ZERO
+        );
     }
 
     #[test]

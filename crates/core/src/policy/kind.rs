@@ -3,7 +3,7 @@
 use super::{DtbFm, DtbMem, FeedMed, Fixed, Full, TbPolicy};
 use crate::cost::CostModel;
 use crate::time::Bytes;
-use serde::{Deserialize, Serialize};
+use serde::{de, Deserialize, Serialize, Value};
 
 /// The six collector configurations evaluated in the paper, as data.
 ///
@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert_eq!(names, ["FULL", "FIXED1", "FIXED4", "DTBMEM", "FEEDMED", "DTBFM"]);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Non-generational full collection.
     Full,
@@ -90,7 +90,138 @@ impl PolicyKind {
 
 impl core::fmt::Display for PolicyKind {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(self.label())
+        // `pad`, not `write_str`: table printers rely on `{:>8}` etc.
+        f.pad(self.label())
+    }
+}
+
+// Serialized as the table label (`"DTBFM"`), not the variant name, so
+// reports read exactly like the paper's rows.
+impl Serialize for PolicyKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.label().to_owned())
+    }
+}
+
+impl Deserialize for PolicyKind {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) => PolicyKind::parse(s)
+                .ok_or_else(|| de::Error::msg(format!("unknown policy label `{s}`"))),
+            other => Err(de::Error::msg(format!(
+                "expected policy label string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// One row of the paper's evaluation tables: a collector, one of the two
+/// reference baselines, or a user-supplied policy.
+///
+/// Table 2 prints eight rows — the six collectors of [`PolicyKind::ALL`]
+/// plus `No GC` (nothing ever reclaimed) and `LIVE` (the exact reachable
+/// floor). `Row` makes that union typed, so report consumers match on it
+/// instead of comparing label strings.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Row {
+    /// One of the six evaluated collectors.
+    Policy(PolicyKind),
+    /// The `No GC` baseline: memory if nothing were ever reclaimed.
+    NoGc,
+    /// The `LIVE` baseline: exact reachable storage over time.
+    Live,
+    /// A policy outside the paper's six, labeled by its `TbPolicy::name`.
+    Custom(String),
+}
+
+impl Row {
+    /// The eight rows of Table 2, in print order.
+    pub fn table_rows() -> [Row; 8] {
+        [
+            Row::Policy(PolicyKind::Full),
+            Row::Policy(PolicyKind::Fixed1),
+            Row::Policy(PolicyKind::Fixed4),
+            Row::Policy(PolicyKind::DtbMem),
+            Row::Policy(PolicyKind::FeedMed),
+            Row::Policy(PolicyKind::DtbFm),
+            Row::NoGc,
+            Row::Live,
+        ]
+    }
+
+    /// The printed row label (`"DTBFM"`, `"No GC"`, `"LIVE"`, …).
+    pub fn as_str(&self) -> &str {
+        match self {
+            Row::Policy(kind) => kind.label(),
+            Row::NoGc => "No GC",
+            Row::Live => "LIVE",
+            Row::Custom(name) => name,
+        }
+    }
+
+    /// The collector kind, when this row is one of the paper's six.
+    pub fn policy(&self) -> Option<PolicyKind> {
+        match self {
+            Row::Policy(kind) => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds a row from its label. Total: labels that are neither a
+    /// collector nor a baseline become [`Row::Custom`].
+    pub fn parse(label: &str) -> Row {
+        match label {
+            "No GC" => Row::NoGc,
+            "LIVE" => Row::Live,
+            other => PolicyKind::parse(other)
+                .map(Row::Policy)
+                .unwrap_or_else(|| Row::Custom(other.to_owned())),
+        }
+    }
+}
+
+impl From<PolicyKind> for Row {
+    fn from(kind: PolicyKind) -> Row {
+        Row::Policy(kind)
+    }
+}
+
+impl From<&str> for Row {
+    fn from(label: &str) -> Row {
+        Row::parse(label)
+    }
+}
+
+impl From<String> for Row {
+    fn from(label: String) -> Row {
+        Row::parse(&label)
+    }
+}
+
+impl core::fmt::Display for Row {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // `pad`, not `write_str`: table printers rely on `{:>9}` etc.
+        f.pad(self.as_str())
+    }
+}
+
+// String-form serde, mirroring `PolicyKind`: a row is its printed label.
+impl Serialize for Row {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for Row {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) => Ok(Row::parse(s)),
+            other => Err(de::Error::msg(format!(
+                "expected row label string, got {}",
+                other.kind()
+            ))),
+        }
     }
 }
 
@@ -156,5 +287,42 @@ mod tests {
     #[test]
     fn display_matches_label() {
         assert_eq!(PolicyKind::DtbFm.to_string(), "DTBFM");
+    }
+
+    #[test]
+    fn rows_print_in_table_order() {
+        let rows = Row::table_rows();
+        let labels: Vec<&str> = rows.iter().map(|r| r.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["FULL", "FIXED1", "FIXED4", "DTBMEM", "FEEDMED", "DTBFM", "No GC", "LIVE"]
+        );
+    }
+
+    #[test]
+    fn row_parse_is_total_and_round_trips() {
+        for row in Row::table_rows() {
+            assert_eq!(Row::parse(row.as_str()), row);
+        }
+        assert_eq!(Row::parse("MYPOLICY"), Row::Custom("MYPOLICY".into()));
+        assert_eq!(
+            Row::Policy(PolicyKind::DtbFm).policy(),
+            Some(PolicyKind::DtbFm)
+        );
+        assert_eq!(Row::NoGc.policy(), None);
+    }
+
+    #[test]
+    fn row_and_kind_serialize_as_labels() {
+        use serde::{Deserialize, Serialize, Value};
+        assert_eq!(
+            PolicyKind::DtbMem.to_value(),
+            Value::Str("DTBMEM".to_owned())
+        );
+        assert_eq!(Row::NoGc.to_value(), Value::Str("No GC".to_owned()));
+        let back = PolicyKind::from_value(&Value::Str("dtbfm".to_owned())).unwrap();
+        assert_eq!(back, PolicyKind::DtbFm);
+        let row = Row::from_value(&Value::Str("LIVE".to_owned())).unwrap();
+        assert_eq!(row, Row::Live);
     }
 }

@@ -38,7 +38,7 @@ pub use dual::DtbDual;
 pub use feedmed::FeedMed;
 pub use fixed::Fixed;
 pub use full::Full;
-pub use kind::{PolicyConfig, PolicyKind};
+pub use kind::{PolicyConfig, PolicyKind, Row};
 
 use crate::history::ScavengeHistory;
 use crate::time::{Bytes, VirtualTime};
@@ -183,7 +183,13 @@ pub(crate) mod testutil {
     }
 
     /// Builds a record with the fields policies actually read.
-    pub fn rec(at: u64, boundary: u64, traced: u64, surviving: u64, mem_before: u64) -> ScavengeRecord {
+    pub fn rec(
+        at: u64,
+        boundary: u64,
+        traced: u64,
+        surviving: u64,
+        mem_before: u64,
+    ) -> ScavengeRecord {
         ScavengeRecord {
             at: VirtualTime::from_bytes(at),
             boundary: VirtualTime::from_bytes(boundary),
@@ -251,10 +257,7 @@ mod tests {
             assert!(v <= prev, "estimator must be non-increasing in tb");
             prev = v;
         }
-        assert_eq!(
-            est.surviving_born_after(VirtualTime::ZERO),
-            Bytes::new(14)
-        );
+        assert_eq!(est.surviving_born_after(VirtualTime::ZERO), Bytes::new(14));
         assert_eq!(
             est.surviving_born_after(VirtualTime::from_bytes(10)),
             Bytes::new(9)

@@ -29,9 +29,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(birth < now);
 /// assert_eq!(now.elapsed_since(birth).as_u64(), 3072);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct VirtualTime(u64);
 
 impl VirtualTime {
@@ -112,9 +110,7 @@ impl fmt::Display for VirtualTime {
 /// assert_eq!(budget.as_u64(), 50 * 1024);
 /// assert_eq!(budget + Bytes::new(1), Bytes::new(51_201));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Bytes(u64);
 
 impl Bytes {

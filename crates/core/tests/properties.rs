@@ -31,23 +31,31 @@ impl SurvivalEstimator for TableEstimator {
 /// each record internally consistent (mem_before = surviving + reclaimed),
 /// boundary no later than the scavenge time.
 fn history_strategy() -> impl Strategy<Value = ScavengeHistory> {
-    prop::collection::vec((1u64..=1_000_000, 0u64..=500_000, 0u64..=500_000, 0u64..=500_000), 0..12)
-        .prop_map(|raw| {
-            let mut t = 0u64;
-            let mut h = ScavengeHistory::new();
-            for (dt, traced, surviving, reclaimed) in raw {
-                t += dt;
-                h.push(ScavengeRecord {
-                    at: VirtualTime::from_bytes(t),
-                    boundary: VirtualTime::from_bytes(t.saturating_sub(dt)),
-                    traced: Bytes::new(traced),
-                    surviving: Bytes::new(surviving),
-                    reclaimed: Bytes::new(reclaimed),
-                    mem_before: Bytes::new(surviving + reclaimed),
-                });
-            }
-            h
-        })
+    prop::collection::vec(
+        (
+            1u64..=1_000_000,
+            0u64..=500_000,
+            0u64..=500_000,
+            0u64..=500_000,
+        ),
+        0..12,
+    )
+    .prop_map(|raw| {
+        let mut t = 0u64;
+        let mut h = ScavengeHistory::new();
+        for (dt, traced, surviving, reclaimed) in raw {
+            t += dt;
+            h.push(ScavengeRecord {
+                at: VirtualTime::from_bytes(t),
+                boundary: VirtualTime::from_bytes(t.saturating_sub(dt)),
+                traced: Bytes::new(traced),
+                surviving: Bytes::new(surviving),
+                reclaimed: Bytes::new(reclaimed),
+                mem_before: Bytes::new(surviving + reclaimed),
+            });
+        }
+        h
+    })
 }
 
 fn estimator_strategy() -> impl Strategy<Value = TableEstimator> {

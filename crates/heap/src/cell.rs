@@ -72,7 +72,10 @@ impl<T: Trace> GcCell<T> {
         // SAFETY: owner is a live handle; reading its header is valid.
         let (base, size) = unsafe {
             let b = erased.as_ref();
-            (erased.as_ptr() as *const u8 as usize, b.header.size as usize)
+            (
+                erased.as_ptr() as *const u8 as usize,
+                b.header.size as usize,
+            )
         };
         assert!(
             cell_addr >= base && cell_addr < base + size,
@@ -120,10 +123,7 @@ impl<T: Trace> GcCell<T> {
     /// # Panics
     ///
     /// See [`GcCell::set`]; also panics if already borrowed.
-    pub fn borrow_mut<O: Trace + 'static>(
-        &self,
-        owner: &Gc<O>,
-    ) -> GcCellRefMut<'_, T> {
+    pub fn borrow_mut<O: Trace + 'static>(&self, owner: &Gc<O>) -> GcCellRefMut<'_, T> {
         self.assert_owned_by(owner);
         with_state(|s| s.remember(owner.erased()));
         let guard = self.inner.borrow_mut();

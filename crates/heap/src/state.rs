@@ -223,17 +223,16 @@ impl GcState {
         let mut tracer = Tracer::new();
         let mut grey: Vec<NonNull<ErasedGcBox>> = Vec::new();
 
-        let shade = |ptr: NonNull<ErasedGcBox>,
-                     grey: &mut Vec<NonNull<ErasedGcBox>>,
-                     traced: &mut u64| {
-            // SAFETY: objects in the registry are live allocations.
-            let b = unsafe { ptr.as_ref() };
-            if b.is_threatened(tb) && !b.header.marked.get() {
-                b.header.marked.set(true);
-                *traced += b.header.size as u64;
-                grey.push(ptr);
-            }
-        };
+        let shade =
+            |ptr: NonNull<ErasedGcBox>, grey: &mut Vec<NonNull<ErasedGcBox>>, traced: &mut u64| {
+                // SAFETY: objects in the registry are live allocations.
+                let b = unsafe { ptr.as_ref() };
+                if b.is_threatened(tb) && !b.header.marked.get() {
+                    b.header.marked.set(true);
+                    *traced += b.header.size as u64;
+                    grey.push(ptr);
+                }
+            };
 
         for &ptr in &self.objects {
             // SAFETY: registry objects are live.
@@ -377,7 +376,11 @@ mod tests {
             let _and_me = node();
         }
         let out = collect_now();
-        assert!(out.reclaimed >= Bytes::new(128), "reclaimed {:?}", out.reclaimed);
+        assert!(
+            out.reclaimed >= Bytes::new(128),
+            "reclaimed {:?}",
+            out.reclaimed
+        );
         assert!(heap_stats().mem_in_use < before + Bytes::new(200));
         // The rooted object survived.
         assert!(keep.next.borrow().is_none());

@@ -304,7 +304,7 @@ mod field_macro_tests {
         struct Trailing {
             c: GcCell<Option<Gc<u64>>>,
         }
-        impl_trace_fields!(Trailing { c, });
+        impl_trace_fields!(Trailing { c });
         configure(HeapConfig::manual_full());
         let t = Gc::new(Trailing {
             c: GcCell::new(None),

@@ -197,8 +197,10 @@ fn dtb_policies_drive_the_real_heap_within_constraints() {
     let hist = history();
     assert!(hist.len() > 10, "auto scavenges ran");
     // The boundary moved around (dynamic!), not pinned at one place.
-    let boundaries: std::collections::BTreeSet<u64> =
-        hist.iter().map(|r| r.at.as_u64() - r.boundary.as_u64()).collect();
+    let boundaries: std::collections::BTreeSet<u64> = hist
+        .iter()
+        .map(|r| r.at.as_u64() - r.boundary.as_u64())
+        .collect();
     assert!(
         boundaries.len() > 3,
         "DTBFM should vary its boundary distance: {boundaries:?}"

@@ -4,9 +4,7 @@
 
 use dtb_core::policy::{PolicyConfig, PolicyKind};
 use dtb_core::time::Bytes;
-use dtb_heap::{
-    collect_now, configure, heap_stats, Gc, GcCell, HeapConfig, Trace, Tracer,
-};
+use dtb_heap::{collect_now, configure, heap_stats, Gc, GcCell, HeapConfig, Trace, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -6,6 +6,7 @@
 
 use crate::metrics::SimReport;
 use dtb_core::history::ScavengeHistory;
+use dtb_core::policy::Row;
 use dtb_core::time::Bytes;
 use dtb_trace::event::CompiledTrace;
 use dtb_trace::stats::TraceStats;
@@ -18,7 +19,7 @@ use dtb_trace::stats::TraceStats;
 pub fn no_gc_report(trace: &CompiledTrace) -> SimReport {
     let stats = TraceStats::compute_compiled(trace);
     SimReport {
-        policy: "No GC".into(),
+        policy: Row::NoGc,
         program: trace.meta.name.clone(),
         mem_mean: stats.nogc_mean,
         mem_max: stats.nogc_max,
@@ -38,7 +39,7 @@ pub fn no_gc_report(trace: &CompiledTrace) -> SimReport {
 pub fn live_report(trace: &CompiledTrace) -> SimReport {
     let stats = TraceStats::compute_compiled(trace);
     SimReport {
-        policy: "LIVE".into(),
+        policy: Row::Live,
         program: trace.meta.name.clone(),
         mem_mean: stats.live_mean,
         mem_max: stats.live_max,

@@ -108,8 +108,9 @@ mod tests {
 
     #[test]
     fn csv_format_includes_boundaries() {
-        let curve: MemoryCurve =
-            [pt(10, 100, 80, None), pt(20, 120, 90, Some(5))].into_iter().collect();
+        let curve: MemoryCurve = [pt(10, 100, 80, None), pt(20, 120, 90, Some(5))]
+            .into_iter()
+            .collect();
         let mut out = Vec::new();
         curve.write_csv(&mut out).unwrap();
         let text = String::from_utf8(out).unwrap();

@@ -87,11 +87,7 @@ pub struct SimRun {
 /// assert_eq!(run.report.collections, 2); // 2 MB allocated, 1 MB trigger
 /// # Ok::<(), dtb_trace::event::TraceError>(())
 /// ```
-pub fn simulate(
-    trace: &CompiledTrace,
-    policy: &mut dyn TbPolicy,
-    config: &SimConfig,
-) -> SimRun {
+pub fn simulate(trace: &CompiledTrace, policy: &mut dyn TbPolicy, config: &SimConfig) -> SimRun {
     let mut heap = OracleHeap::new();
     let mut metrics = MetricsCollector::new(config.cost);
     let mut curve = MemoryCurve::new();
@@ -142,7 +138,7 @@ pub fn simulate(
 
     SimRun {
         report: metrics.finish(
-            policy.name().to_owned(),
+            policy.name(),
             trace.meta.name.clone(),
             trace.meta.exec_seconds,
         ),
@@ -286,19 +282,14 @@ mod tests {
             let _ = expect; // median check below uses the same conversion
         }
         // Total traced at 500 KB/s over exec 1 s gives the overhead.
-        let expect_overhead =
-            run.report.total_traced.as_u64() as f64 / 500_000.0 / 1.0 * 100.0;
+        let expect_overhead = run.report.total_traced.as_u64() as f64 / 500_000.0 / 1.0 * 100.0;
         assert!((run.report.overhead_pct - expect_overhead).abs() < 1e-9);
     }
 
     #[test]
     fn curve_recording_captures_scavenges() {
         let trace = churn_trace();
-        let run = simulate(
-            &trace,
-            &mut Full::new(),
-            &SimConfig::paper().with_curve(),
-        );
+        let run = simulate(&trace, &mut Full::new(), &SimConfig::paper().with_curve());
         assert!(!run.curve.is_empty());
         // Each scavenge contributes a before and an after point.
         let scavenge_points = run

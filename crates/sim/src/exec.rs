@@ -1,0 +1,615 @@
+//! Parallel evaluation executor: the (program × policy) matrix as one job
+//! pool.
+//!
+//! The paper's tables are embarrassingly parallel — every cell is one
+//! independent `simulate` call — but the naive loop recompiles each preset
+//! trace once per policy and uses one core. This module fixes both:
+//!
+//! * [`TraceCache`] hands out [`Arc<CompiledTrace>`] per [`Program`], so
+//!   each preset is generated and compiled **exactly once per process**
+//!   (it fronts the global memo behind [`Program::compiled`]).
+//! * [`Evaluation`] is a builder that fans the flattened cell list over a
+//!   scoped worker pool with work-stealing (a shared atomic job cursor).
+//!   Results land in index-addressed slots, so the returned [`Matrix`] is
+//!   **deterministic regardless of completion order** and byte-identical
+//!   to a serial run.
+//!
+//! # Example
+//!
+//! ```
+//! use dtb_core::policy::PolicyKind;
+//! use dtb_sim::exec::Evaluation;
+//! use dtb_trace::programs::Program;
+//!
+//! let matrix = Evaluation::new()
+//!     .programs([Program::Cfrac])
+//!     .policies([PolicyKind::Full, PolicyKind::DtbFm])
+//!     .run();
+//! let full = matrix.get(Program::Cfrac, PolicyKind::Full).unwrap();
+//! let dtbfm = matrix.get(Program::Cfrac, PolicyKind::DtbFm).unwrap();
+//! assert!(dtbfm.total_traced <= full.total_traced);
+//! ```
+
+use crate::baseline::{live_report, no_gc_report};
+use crate::curve::MemoryCurve;
+use crate::engine::{simulate, SimConfig, SimRun};
+use crate::metrics::SimReport;
+use dtb_core::policy::{PolicyConfig, PolicyKind, Row, TbPolicy};
+use dtb_trace::event::CompiledTrace;
+use dtb_trace::programs::Program;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared, cheaply-cloneable access to compiled traces.
+///
+/// Preset lookups delegate to the process-wide memo behind
+/// [`Program::compiled`], so two caches (or two evaluations) still share
+/// one compiled trace per preset: `cache.preset(p)` is pointer-equal to
+/// any other handle to the same program. Custom traces registered with
+/// [`TraceCache::insert`] are scoped to this cache instance.
+#[derive(Clone, Debug, Default)]
+pub struct TraceCache {
+    custom: Arc<Mutex<HashMap<String, Arc<CompiledTrace>>>>,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    /// The compiled trace of a preset workload. Generated and compiled at
+    /// most once per process; every call returns the same [`Arc`].
+    pub fn preset(&self, program: Program) -> Arc<CompiledTrace> {
+        program.compiled()
+    }
+
+    /// Registers a custom trace under its metadata name and returns the
+    /// shared handle. Re-inserting a name replaces the previous trace.
+    pub fn insert(&self, trace: CompiledTrace) -> Arc<CompiledTrace> {
+        let arc = Arc::new(trace);
+        self.custom
+            .lock()
+            .unwrap()
+            .insert(arc.meta.name.clone(), arc.clone());
+        arc
+    }
+
+    /// Looks up a previously [inserted](TraceCache::insert) custom trace.
+    pub fn get(&self, name: &str) -> Option<Arc<CompiledTrace>> {
+        self.custom.lock().unwrap().get(name).cloned()
+    }
+}
+
+/// A policy factory: builds a fresh policy instance inside a worker.
+///
+/// Boxed policies are stateful and not `Send`, so the pool ships factories
+/// to workers and instantiates per cell.
+type PolicyFactory = Arc<dyn Fn(&PolicyConfig) -> Box<dyn TbPolicy> + Send + Sync>;
+
+/// One row of the evaluation: what to run for each trace.
+#[derive(Clone)]
+enum RowSpec {
+    Kind(PolicyKind),
+    NoGc,
+    Live,
+    Custom { row: Row, build: PolicyFactory },
+}
+
+impl RowSpec {
+    fn row(&self) -> Row {
+        match self {
+            RowSpec::Kind(kind) => Row::Policy(*kind),
+            RowSpec::NoGc => Row::NoGc,
+            RowSpec::Live => Row::Live,
+            RowSpec::Custom { row, .. } => row.clone(),
+        }
+    }
+}
+
+/// One column target: a preset program or an ad-hoc trace.
+#[derive(Clone)]
+enum Target {
+    Preset(Program),
+    Trace(Arc<CompiledTrace>),
+}
+
+impl Target {
+    fn program(&self) -> Option<Program> {
+        match self {
+            Target::Preset(p) => Some(*p),
+            Target::Trace(_) => None,
+        }
+    }
+}
+
+/// Progress information delivered to [`Evaluation::on_cell`] as each cell
+/// completes. Callbacks observe *completion* order, which under parallel
+/// execution is nondeterministic; the [`Matrix`] itself is not.
+#[derive(Clone, Debug)]
+pub struct CellEvent<'a> {
+    /// Workload name of the completed cell's column.
+    pub program: &'a str,
+    /// Row of the completed cell.
+    pub row: &'a Row,
+    /// Wall-clock time this one cell took.
+    pub elapsed: Duration,
+    /// Cells completed so far, including this one.
+    pub completed: usize,
+    /// Total cells in the evaluation.
+    pub total: usize,
+}
+
+type CellCallback = Arc<dyn Fn(&CellEvent<'_>) + Send + Sync>;
+
+/// Builder for a (program × policy) evaluation run.
+///
+/// Defaults reproduce the paper's full matrix: every preset in
+/// [`Program::ALL`], all six collectors of [`PolicyKind::ALL`], plus the
+/// `No GC` / `LIVE` baseline rows, under the paper's Section 5
+/// configuration, on all available cores.
+pub struct Evaluation {
+    cache: TraceCache,
+    targets: Option<Vec<Target>>,
+    policies: Vec<PolicyKind>,
+    customs: Vec<(Row, PolicyFactory)>,
+    baselines: bool,
+    policy_cfg: PolicyConfig,
+    sim_cfg: SimConfig,
+    parallelism: usize,
+    on_cell: Option<CellCallback>,
+}
+
+impl Default for Evaluation {
+    fn default() -> Self {
+        Evaluation::new()
+    }
+}
+
+impl Evaluation {
+    /// An evaluation of the paper's full matrix (see the type docs).
+    pub fn new() -> Evaluation {
+        Evaluation {
+            cache: TraceCache::new(),
+            targets: None,
+            policies: PolicyKind::ALL.to_vec(),
+            customs: Vec::new(),
+            baselines: true,
+            policy_cfg: PolicyConfig::paper(),
+            sim_cfg: SimConfig::paper(),
+            parallelism: 0,
+            on_cell: None,
+        }
+    }
+
+    /// Restricts the columns to these preset workloads (replacing any
+    /// previously selected targets).
+    pub fn programs(mut self, programs: impl IntoIterator<Item = Program>) -> Evaluation {
+        self.targets = Some(programs.into_iter().map(Target::Preset).collect());
+        self
+    }
+
+    /// Adds an ad-hoc compiled trace as a column (keeps existing columns;
+    /// call after [`programs`](Evaluation::programs) to mix presets and
+    /// custom traces).
+    pub fn trace(mut self, trace: Arc<CompiledTrace>) -> Evaluation {
+        self.targets
+            .get_or_insert_with(Vec::new)
+            .push(Target::Trace(trace));
+        self
+    }
+
+    /// Restricts the collector rows to these kinds, in this order
+    /// (replacing the default six). Baselines are controlled separately by
+    /// [`baselines`](Evaluation::baselines).
+    pub fn policies(mut self, kinds: impl IntoIterator<Item = PolicyKind>) -> Evaluation {
+        self.policies = kinds.into_iter().collect();
+        self
+    }
+
+    /// Adds a row for a policy outside the paper's six. The factory runs
+    /// inside worker threads, once per column.
+    pub fn custom_policy(
+        mut self,
+        name: impl Into<String>,
+        build: impl Fn(&PolicyConfig) -> Box<dyn TbPolicy> + Send + Sync + 'static,
+    ) -> Evaluation {
+        self.customs
+            .push((Row::Custom(name.into()), Arc::new(build)));
+        self
+    }
+
+    /// Whether to append the `No GC` / `LIVE` baseline rows (default
+    /// `true`).
+    pub fn baselines(mut self, include: bool) -> Evaluation {
+        self.baselines = include;
+        self
+    }
+
+    /// The constraint configuration handed to every policy factory.
+    pub fn policy_config(mut self, cfg: PolicyConfig) -> Evaluation {
+        self.policy_cfg = cfg;
+        self
+    }
+
+    /// The simulation parameters (trigger, cost model, curve recording).
+    pub fn sim_config(mut self, cfg: SimConfig) -> Evaluation {
+        self.sim_cfg = cfg;
+        self
+    }
+
+    /// Worker-thread count. `0` (the default) means one worker per
+    /// available core; `1` forces a serial run — which produces the same
+    /// [`Matrix`] as any other setting, only slower.
+    pub fn parallelism(mut self, workers: usize) -> Evaluation {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Installs a progress callback invoked after every completed cell
+    /// (from worker threads, in completion order).
+    pub fn on_cell(mut self, f: impl Fn(&CellEvent<'_>) + Send + Sync + 'static) -> Evaluation {
+        self.on_cell = Some(Arc::new(f));
+        self
+    }
+
+    /// Runs every cell and assembles the matrix.
+    ///
+    /// Each preset trace is compiled at most once per process (shared
+    /// through the [`TraceCache`]); cells fan out over a scoped worker
+    /// pool; results return in (column, row) table order no matter which
+    /// worker finished first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluation has no columns or no rows, or if a worker
+    /// panics (the panic is propagated).
+    pub fn run(self) -> Matrix {
+        let targets: Vec<Target> = match self.targets {
+            Some(t) => t,
+            None => Program::ALL.iter().copied().map(Target::Preset).collect(),
+        };
+        assert!(!targets.is_empty(), "evaluation has no columns");
+
+        let mut rows: Vec<RowSpec> = self.policies.iter().copied().map(RowSpec::Kind).collect();
+        rows.extend(
+            self.customs
+                .into_iter()
+                .map(|(row, build)| RowSpec::Custom { row, build }),
+        );
+        if self.baselines {
+            rows.push(RowSpec::NoGc);
+            rows.push(RowSpec::Live);
+        }
+        assert!(!rows.is_empty(), "evaluation has no rows");
+
+        // Resolve every column's trace up front (cheap: presets are memoized
+        // process-wide) so workers share, never compile.
+        let traces: Vec<Arc<CompiledTrace>> = targets
+            .iter()
+            .map(|t| match t {
+                Target::Preset(p) => self.cache.preset(*p),
+                Target::Trace(arc) => arc.clone(),
+            })
+            .collect();
+
+        // Flatten the matrix into jobs addressed by (column, row) index.
+        let jobs: Vec<(usize, usize)> = (0..targets.len())
+            .flat_map(|c| (0..rows.len()).map(move |r| (c, r)))
+            .collect();
+        let total = jobs.len();
+        // Progress callbacks fire from workers in completion order; a
+        // dedicated counter keeps `completed` accurate even when the
+        // finishing order is scrambled.
+        let completed = AtomicUsize::new(0);
+        let results = run_indexed(self.parallelism, total, |job| {
+            let (c, r) = jobs[job];
+            let trace = &traces[c];
+            let started = Instant::now();
+            let run = match &rows[r] {
+                RowSpec::Kind(kind) => {
+                    let mut policy = kind.build(&self.policy_cfg);
+                    simulate(trace, &mut policy, &self.sim_cfg)
+                }
+                RowSpec::Custom { row, build } => {
+                    let mut policy = build(&self.policy_cfg);
+                    let mut run = simulate(trace, &mut policy, &self.sim_cfg);
+                    // The evaluation row names the report, not the policy's
+                    // own `name()` — a factory may wrap a stock collector.
+                    run.report.policy = row.clone();
+                    run
+                }
+                RowSpec::NoGc => baseline_run(no_gc_report(trace)),
+                RowSpec::Live => baseline_run(live_report(trace)),
+            };
+            let elapsed = started.elapsed();
+            if let Some(cb) = &self.on_cell {
+                cb(&CellEvent {
+                    program: &trace.meta.name,
+                    row: &rows[r].row(),
+                    elapsed,
+                    completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                    total,
+                });
+            }
+            (run, elapsed)
+        });
+
+        let matrix = assemble(targets, traces, &rows, results);
+        debug_assert_eq!(matrix.cells().count(), total);
+        matrix
+    }
+}
+
+/// Executes `total` jobs over a scoped work-stealing pool and returns the
+/// results **in job-index order**, independent of completion order.
+///
+/// The pool is a shared atomic cursor: idle workers steal the next index.
+/// With `parallelism == 1` this degenerates to the serial loop, so parallel
+/// and serial runs produce identical output for deterministic `f`.
+///
+/// Used by [`Evaluation::run`] and the budget sweeps in [`crate::sweep`].
+pub(crate) fn run_indexed<R, F>(parallelism: usize, total: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = effective_workers(parallelism, total);
+    if workers <= 1 {
+        return (0..total).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let (cursor_ref, slots_ref, f_ref) = (&cursor, &slots, &f);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move || loop {
+                let job = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                if job >= total {
+                    break;
+                }
+                let result = f_ref(job);
+                *slots_ref[job].lock().unwrap() = Some(result);
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every job index was claimed exactly once")
+        })
+        .collect()
+}
+
+fn effective_workers(parallelism: usize, total: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let requested = if parallelism == 0 { auto } else { parallelism };
+    requested.max(1).min(total)
+}
+
+fn baseline_run(report: SimReport) -> SimRun {
+    SimRun {
+        report,
+        curve: MemoryCurve::new(),
+    }
+}
+
+fn assemble(
+    targets: Vec<Target>,
+    traces: Vec<Arc<CompiledTrace>>,
+    rows: &[RowSpec],
+    mut results: Vec<(SimRun, Duration)>,
+) -> Matrix {
+    let mut columns = Vec::with_capacity(targets.len());
+    // Drain column-major: jobs were flattened column-by-column.
+    let mut rest = results.drain(..);
+    for (target, trace) in targets.into_iter().zip(traces) {
+        let cells = rows
+            .iter()
+            .map(|spec| {
+                let (run, elapsed) = rest.next().expect("one result per cell");
+                Cell {
+                    row: spec.row(),
+                    run,
+                    elapsed,
+                }
+            })
+            .collect();
+        columns.push(Column {
+            program: target.program(),
+            trace,
+            cells,
+        });
+    }
+    Matrix { columns }
+}
+
+/// One completed matrix cell: a row's simulation over one column's trace.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Which table row this cell belongs to.
+    pub row: Row,
+    /// The simulation output (report, plus curve when requested).
+    pub run: SimRun,
+    /// Wall-clock time this cell took inside its worker.
+    pub elapsed: Duration,
+}
+
+impl Cell {
+    /// The cell's table metrics.
+    pub fn report(&self) -> &SimReport {
+        &self.run.report
+    }
+}
+
+/// One column of the matrix: every requested row over one workload.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// The preset this column measures, if it came from one.
+    pub program: Option<Program>,
+    /// The (shared) compiled trace the column ran against.
+    pub trace: Arc<CompiledTrace>,
+    /// Cells in row order.
+    pub cells: Vec<Cell>,
+}
+
+impl Column {
+    /// The workload name (preset label or custom trace name).
+    pub fn name(&self) -> &str {
+        &self.trace.meta.name
+    }
+
+    /// This column's reports, in row order.
+    pub fn reports(&self) -> impl Iterator<Item = &SimReport> {
+        self.cells.iter().map(Cell::report)
+    }
+}
+
+/// The assembled evaluation results, in table order: columns in the order
+/// requested (presets default to [`Program::ALL`] order), cells in row
+/// order. Identical for serial and parallel runs.
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    columns: Vec<Column>,
+}
+
+impl Matrix {
+    /// Columns in evaluation order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// All cells in table order (column-major).
+    pub fn cells(&self) -> impl Iterator<Item = (&Column, &Cell)> {
+        self.columns
+            .iter()
+            .flat_map(|col| col.cells.iter().map(move |cell| (col, cell)))
+    }
+
+    /// The report of one (program, collector) cell.
+    pub fn get(&self, program: Program, kind: PolicyKind) -> Option<&SimReport> {
+        self.get_row(program, &Row::Policy(kind))
+    }
+
+    /// The report of one (program, row) cell — rows include the baselines.
+    pub fn get_row(&self, program: Program, row: &Row) -> Option<&SimReport> {
+        self.columns
+            .iter()
+            .find(|c| c.program == Some(program))
+            .and_then(|c| c.cells.iter().find(|cell| &cell.row == row))
+            .map(Cell::report)
+    }
+
+    /// The column for a preset workload.
+    pub fn column(&self, program: Program) -> Option<&Column> {
+        self.columns.iter().find(|c| c.program == Some(program))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtb_core::policy::Full;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn trace_cache_presets_are_pointer_equal() {
+        let a = TraceCache::new();
+        let b = TraceCache::new();
+        let first = a.preset(Program::Cfrac);
+        assert!(Arc::ptr_eq(&first, &a.preset(Program::Cfrac)));
+        // Even across cache instances: presets are process-wide.
+        assert!(Arc::ptr_eq(&first, &b.preset(Program::Cfrac)));
+    }
+
+    #[test]
+    fn trace_cache_custom_round_trips() {
+        let cache = TraceCache::new();
+        let mut b = dtb_trace::TraceBuilder::new("mine");
+        b.alloc(64);
+        let arc = cache.insert(b.finish().compile().unwrap());
+        assert!(Arc::ptr_eq(&arc, &cache.get("mine").unwrap()));
+        assert!(cache.get("absent").is_none());
+    }
+
+    #[test]
+    fn run_indexed_orders_results_by_job_index() {
+        let out = run_indexed(4, 100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(run_indexed(1, 5, |i| i), vec![0, 1, 2, 3, 4]);
+        assert!(run_indexed(3, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn single_cell_matrix_matches_direct_simulation() {
+        let matrix = Evaluation::new()
+            .programs([Program::Cfrac])
+            .policies([PolicyKind::Full])
+            .baselines(false)
+            .parallelism(1)
+            .run();
+        let direct = simulate(
+            &Program::Cfrac.compiled(),
+            &mut Full::new(),
+            &SimConfig::paper(),
+        );
+        assert_eq!(
+            matrix.get(Program::Cfrac, PolicyKind::Full),
+            Some(&direct.report)
+        );
+        assert!(matrix.get(Program::Cfrac, PolicyKind::DtbFm).is_none());
+    }
+
+    #[test]
+    fn baselines_and_custom_rows_appear_in_order() {
+        let matrix = Evaluation::new()
+            .programs([Program::Cfrac])
+            .policies([PolicyKind::Full])
+            .custom_policy("MINE", |_| Box::new(Full::new()))
+            .run();
+        let rows: Vec<String> = matrix.columns()[0]
+            .cells
+            .iter()
+            .map(|c| c.row.to_string())
+            .collect();
+        assert_eq!(rows, ["FULL", "MINE", "No GC", "LIVE"]);
+        // The custom row is FULL in disguise; identical metrics, its own
+        // label.
+        let col = matrix.column(Program::Cfrac).unwrap();
+        let full = col.cells[0].report();
+        let mine = col.cells[1].report();
+        assert_eq!(mine.policy, Row::Custom("MINE".into()));
+        assert_eq!(mine.mem_max, full.mem_max);
+        assert_eq!(mine.total_traced, full.total_traced);
+    }
+
+    #[test]
+    fn progress_callback_sees_every_cell() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = seen.clone();
+        let matrix = Evaluation::new()
+            .programs([Program::Cfrac])
+            .policies([PolicyKind::Full, PolicyKind::Fixed1])
+            .baselines(false)
+            .on_cell(move |ev| {
+                assert_eq!(ev.total, 2);
+                assert!(ev.completed >= 1 && ev.completed <= 2);
+                seen2.fetch_add(1, Ordering::Relaxed);
+            })
+            .run();
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert_eq!(matrix.cells().count(), 2);
+    }
+}

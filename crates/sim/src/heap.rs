@@ -286,7 +286,11 @@ mod tests {
             h.insert(obj(
                 (i + 1) * 7,
                 (i % 13 + 1) as u32,
-                if i % 2 == 0 { Some((i + 1) * 7 + 40) } else { None },
+                if i % 2 == 0 {
+                    Some((i + 1) * 7 + 40)
+                } else {
+                    None
+                },
             ));
         }
         let now = t(200);

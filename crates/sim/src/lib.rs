@@ -16,26 +16,31 @@
 //!   percentile pauses, traced bytes, CPU overhead).
 //! * [`baseline`] — the `No GC` and `LIVE` reference rows.
 //! * [`curve`] — Figure 2 memory-over-time series.
-//! * [`run`] — one-call helpers for the full evaluation matrix.
+//! * [`exec`] — the parallel evaluation executor: a shared
+//!   [`TraceCache`](exec::TraceCache) (each preset compiled once per
+//!   process) and the [`Evaluation`](exec::Evaluation) builder that fans
+//!   the (program × policy) matrix over a work-stealing pool with
+//!   deterministic result ordering.
+//! * [`run`] — deprecated free-function runners, kept as thin wrappers
+//!   over [`exec`].
 //! * [`trigger`] — pluggable when-to-collect policies (the orthogonal
 //!   dimension the paper fixes at 1 MB of allocation).
-//! * [`sweep`] — budget sweeps producing constraint/behaviour frontiers.
+//! * [`sweep`] — budget sweeps producing constraint/behaviour frontiers
+//!   (parallelized over the same pool).
 //!
 //! # Example
 //!
 //! ```
-//! use dtb_core::policy::{PolicyConfig, PolicyKind};
-//! use dtb_sim::engine::SimConfig;
-//! use dtb_sim::run::run_program;
+//! use dtb_core::policy::PolicyKind;
+//! use dtb_sim::exec::Evaluation;
 //! use dtb_trace::programs::Program;
 //!
-//! let run = run_program(
-//!     Program::Cfrac,
-//!     PolicyKind::DtbFm,
-//!     &PolicyConfig::paper(),
-//!     &SimConfig::paper(),
-//! );
-//! assert!(run.report.collections >= 3);
+//! let matrix = Evaluation::new()
+//!     .programs([Program::Cfrac])
+//!     .policies([PolicyKind::DtbFm])
+//!     .run();
+//! let report = matrix.get(Program::Cfrac, PolicyKind::DtbFm).unwrap();
+//! assert!(report.collections >= 3);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,6 +49,7 @@
 pub mod baseline;
 pub mod curve;
 pub mod engine;
+pub mod exec;
 pub mod heap;
 pub mod metrics;
 pub mod run;
@@ -51,5 +57,6 @@ pub mod sweep;
 pub mod trigger;
 
 pub use engine::{simulate, SimConfig, SimRun};
+pub use exec::{Cell, CellEvent, Column, Evaluation, Matrix, TraceCache};
 pub use heap::{OracleHeap, SimObject};
 pub use metrics::SimReport;

@@ -2,6 +2,7 @@
 
 use dtb_core::cost::CostModel;
 use dtb_core::history::ScavengeHistory;
+use dtb_core::policy::Row;
 use dtb_core::stats::{SampleStats, WeightedStats};
 use dtb_core::time::Bytes;
 use serde::{Deserialize, Serialize};
@@ -10,8 +11,9 @@ use serde::{Deserialize, Serialize};
 /// paper's tables use.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
-    /// Collector label (`"FULL"`, `"DTBFM"`, …).
-    pub policy: String,
+    /// Which table row this run measures (a collector or a baseline);
+    /// serialized as its printed label (`"FULL"`, `"DTBFM"`, `"No GC"`…).
+    pub policy: Row,
     /// Workload label (`"GHOST(1)"`, …).
     pub program: String,
     /// Table 2: allocation-weighted mean memory in use, bytes.
@@ -87,7 +89,7 @@ impl MetricsCollector {
     /// Finalizes the report for a program that ran `exec_seconds`.
     pub fn finish(
         mut self,
-        policy: impl Into<String>,
+        policy: impl Into<Row>,
         program: impl Into<String>,
         exec_seconds: f64,
     ) -> SimReport {

@@ -1,24 +1,46 @@
-//! Convenience runners: one program × one collector, or the full matrix.
+//! Deprecated free-function runners, kept as thin wrappers.
+//!
+//! These predate the [`Evaluation`](crate::exec::Evaluation) builder. They
+//! recompile preset traces per call-site and run strictly serially; the
+//! builder shares one compiled trace per preset process-wide and fans the
+//! matrix over a worker pool. Migration map:
+//!
+//! | old | new |
+//! |---|---|
+//! | `run_program(p, k, cfg, sim)` | `Evaluation::new().programs([p]).policies([k]).baselines(false).policy_config(cfg).sim_config(sim).run()` |
+//! | `run_trace(&t, k, cfg, sim)` | `simulate(&t, &mut k.build(&cfg), &sim)` |
+//! | `run_column(&t, cfg, sim)` | `Evaluation::new().trace(t).policy_config(cfg).sim_config(sim).run()` |
+//! | `run_matrix(cfg, sim)` | `Evaluation::new().policy_config(cfg).sim_config(sim).run()` |
 
-use crate::baseline::{live_report, no_gc_report};
 use crate::engine::{simulate, SimConfig, SimRun};
+use crate::exec::Evaluation;
 use crate::metrics::SimReport;
 use dtb_core::policy::{PolicyConfig, PolicyKind};
 use dtb_trace::event::CompiledTrace;
 use dtb_trace::programs::Program;
+use std::sync::Arc;
 
 /// Runs one collector over one workload preset.
-///
-/// Generates and compiles the program trace, then simulates.
-pub fn run_program(program: Program, kind: PolicyKind, cfg: &PolicyConfig, sim: &SimConfig) -> SimRun {
-    let trace = program
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
-    run_trace(&trace, kind, cfg, sim)
+#[deprecated(
+    since = "0.2.0",
+    note = "use dtb_sim::exec::Evaluation (programs + policies builder)"
+)]
+pub fn run_program(
+    program: Program,
+    kind: PolicyKind,
+    cfg: &PolicyConfig,
+    sim: &SimConfig,
+) -> SimRun {
+    let trace = program.compiled();
+    let mut policy = kind.build(cfg);
+    simulate(&trace, &mut policy, sim)
 }
 
 /// Runs one collector over an already-compiled trace.
+#[deprecated(
+    since = "0.2.0",
+    note = "call dtb_sim::simulate with kind.build(&cfg) directly"
+)]
 pub fn run_trace(
     trace: &CompiledTrace,
     kind: PolicyKind,
@@ -31,49 +53,59 @@ pub fn run_trace(
 
 /// All six collectors plus the `No GC` / `LIVE` baselines over one trace —
 /// one full column of Tables 2–4.
+#[deprecated(
+    since = "0.2.0",
+    note = "use dtb_sim::exec::Evaluation::new().trace(...) and read the column"
+)]
 pub fn run_column(trace: &CompiledTrace, cfg: &PolicyConfig, sim: &SimConfig) -> Vec<SimReport> {
-    let mut reports: Vec<SimReport> = PolicyKind::ALL
-        .iter()
-        .map(|kind| run_trace(trace, *kind, cfg, sim).report)
-        .collect();
-    reports.push(no_gc_report(trace));
-    reports.push(live_report(trace));
-    reports
+    Evaluation::new()
+        .trace(Arc::new(trace.clone()))
+        .policy_config(*cfg)
+        .sim_config(*sim)
+        .run()
+        .columns()[0]
+        .reports()
+        .cloned()
+        .collect()
 }
 
 /// The full evaluation matrix: every collector over every workload.
 ///
 /// Returns one `Vec<SimReport>` per program, in [`Program::ALL`] order.
-/// This regenerates the raw data behind Tables 2, 3 and 4 (a few seconds
-/// in release builds; slow under `cargo test` without `--release`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use dtb_sim::exec::Evaluation::new().run() and the typed Matrix"
+)]
 pub fn run_matrix(cfg: &PolicyConfig, sim: &SimConfig) -> Vec<(Program, Vec<SimReport>)> {
-    Program::ALL
+    Evaluation::new()
+        .policy_config(*cfg)
+        .sim_config(*sim)
+        .run()
+        .columns()
         .iter()
-        .map(|p| {
-            let trace = p
-                .generate()
-                .compile()
-                .expect("preset traces are well-formed");
-            (*p, run_column(&trace, cfg, sim))
+        .map(|col| {
+            (
+                col.program.expect("all-preset evaluation"),
+                col.reports().cloned().collect(),
+            )
         })
         .collect()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
     fn column_contains_all_rows_in_table_order() {
         // Use the smallest program to keep debug-build time down.
-        let trace = Program::Cfrac.generate().compile().unwrap();
+        let trace = Program::Cfrac.compiled();
         let reports = run_column(&trace, &PolicyConfig::paper(), &SimConfig::paper());
         let labels: Vec<&str> = reports.iter().map(|r| r.policy.as_str()).collect();
         assert_eq!(
             labels,
-            [
-                "FULL", "FIXED1", "FIXED4", "DTBMEM", "FEEDMED", "DTBFM", "No GC", "LIVE"
-            ]
+            ["FULL", "FIXED1", "FIXED4", "DTBMEM", "FEEDMED", "DTBFM", "No GC", "LIVE"]
         );
         // Sanity: every collector's memory sits between LIVE and No GC.
         let nogc = &reports[6];
@@ -85,20 +117,28 @@ mod tests {
     }
 
     #[test]
-    fn run_program_matches_run_trace() {
-        let via_program = run_program(
+    fn wrappers_match_the_builder() {
+        let via_wrapper = run_program(
             Program::Cfrac,
             PolicyKind::Full,
             &PolicyConfig::paper(),
             &SimConfig::paper(),
         );
-        let trace = Program::Cfrac.generate().compile().unwrap();
+        let matrix = Evaluation::new()
+            .programs([Program::Cfrac])
+            .policies([PolicyKind::Full])
+            .baselines(false)
+            .run();
+        assert_eq!(
+            matrix.get(Program::Cfrac, PolicyKind::Full),
+            Some(&via_wrapper.report)
+        );
         let via_trace = run_trace(
-            &trace,
+            &Program::Cfrac.compiled(),
             PolicyKind::Full,
             &PolicyConfig::paper(),
             &SimConfig::paper(),
         );
-        assert_eq!(via_program.report, via_trace.report);
+        assert_eq!(via_wrapper.report, via_trace.report);
     }
 }

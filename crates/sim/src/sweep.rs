@@ -5,10 +5,14 @@
 //! [`sweep_memory_budget`] makes that promise measurable — one simulation
 //! per budget value, returning the frontier a user would consult to pick
 //! their constraint (see the `policy_explorer` example).
+//!
+//! Budget points are independent simulations, so sweeps fan out over the
+//! same work-stealing pool as [`Evaluation`](crate::exec::Evaluation);
+//! points still return in ascending budget order.
 
-use crate::engine::SimConfig;
+use crate::engine::{simulate, SimConfig};
+use crate::exec::run_indexed;
 use crate::metrics::SimReport;
-use crate::run::run_trace;
 use dtb_core::cost::CostModel;
 use dtb_core::policy::{PolicyConfig, PolicyKind};
 use dtb_core::time::Bytes;
@@ -28,8 +32,10 @@ pub struct FrontierPoint {
 /// A budget sweep over one workload for one constrained policy.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Frontier {
-    /// `"DTBFM"` or `"DTBMEM"` (or any policy the sweep ran).
-    pub policy: String,
+    /// The swept collector ([`PolicyKind::DtbFm`] or
+    /// [`PolicyKind::DtbMem`] for the built-in sweeps); serialized as its
+    /// table label.
+    pub policy: PolicyKind,
     /// Workload name.
     pub program: String,
     /// Points in ascending budget order.
@@ -44,6 +50,30 @@ impl Frontier {
         self.points
             .windows(2)
             .all(|w| w[1].report.total_traced <= w[0].report.total_traced)
+    }
+}
+
+/// Runs one budget sweep over the shared worker pool. The per-point
+/// configurations are independent, so points are jobs; `run_indexed`
+/// returns them in budget (index) order regardless of completion order.
+fn sweep(
+    trace: &CompiledTrace,
+    kind: PolicyKind,
+    budgets: &[Bytes],
+    configs: &[PolicyConfig],
+    sim: &SimConfig,
+) -> Frontier {
+    let points = run_indexed(0, configs.len(), |i| {
+        let mut policy = kind.build(&configs[i]);
+        FrontierPoint {
+            budget: budgets[i],
+            report: simulate(trace, &mut policy, sim).report,
+        }
+    });
+    Frontier {
+        policy: kind,
+        program: trace.meta.name.clone(),
+        points,
     }
 }
 
@@ -63,22 +93,15 @@ pub fn sweep_pause_budget(
         "budgets must ascend"
     );
     let cost = CostModel::paper();
-    let points = pause_budgets_ms
+    let budgets: Vec<Bytes> = pause_budgets_ms
         .iter()
-        .map(|ms| {
-            let budget = cost.trace_budget_for_pause_ms(*ms);
-            let cfg = PolicyConfig::new(budget, Bytes::from_kb(1 << 20));
-            FrontierPoint {
-                budget,
-                report: run_trace(trace, PolicyKind::DtbFm, &cfg, sim).report,
-            }
-        })
+        .map(|ms| cost.trace_budget_for_pause_ms(*ms))
         .collect();
-    Frontier {
-        policy: "DTBFM".into(),
-        program: trace.meta.name.clone(),
-        points,
-    }
+    let configs: Vec<PolicyConfig> = budgets
+        .iter()
+        .map(|b| PolicyConfig::new(*b, Bytes::from_kb(1 << 20)))
+        .collect();
+    sweep(trace, PolicyKind::DtbFm, &budgets, &configs, sim)
 }
 
 /// Sweeps `DTBMEM` over memory budgets (bytes).
@@ -96,30 +119,21 @@ pub fn sweep_memory_budget(
         mem_budgets.windows(2).all(|w| w[0] < w[1]),
         "budgets must ascend"
     );
-    let points = mem_budgets
+    let configs: Vec<PolicyConfig> = mem_budgets
         .iter()
-        .map(|budget| {
-            let cfg = PolicyConfig::new(Bytes::new(50_000), *budget);
-            FrontierPoint {
-                budget: *budget,
-                report: run_trace(trace, PolicyKind::DtbMem, &cfg, sim).report,
-            }
-        })
+        .map(|b| PolicyConfig::new(Bytes::new(50_000), *b))
         .collect();
-    Frontier {
-        policy: "DTBMEM".into(),
-        program: trace.meta.name.clone(),
-        points,
-    }
+    sweep(trace, PolicyKind::DtbMem, mem_budgets, &configs, sim)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dtb_trace::programs::Program;
+    use std::sync::Arc;
 
-    fn cfrac() -> CompiledTrace {
-        Program::Cfrac.generate().compile().unwrap()
+    fn cfrac() -> Arc<CompiledTrace> {
+        Program::Cfrac.compiled()
     }
 
     #[test]
@@ -133,7 +147,7 @@ mod tests {
             ],
             &SimConfig::paper(),
         );
-        assert_eq!(f.policy, "DTBMEM");
+        assert_eq!(f.policy, PolicyKind::DtbMem);
         assert_eq!(f.points.len(), 3);
         assert!(f.traced_monotone_nonincreasing());
     }
@@ -141,6 +155,7 @@ mod tests {
     #[test]
     fn pause_sweep_medians_track_budgets() {
         let f = sweep_pause_budget(&cfrac(), &[10.0, 100.0, 1_000.0], &SimConfig::paper());
+        assert_eq!(f.policy, PolicyKind::DtbFm);
         assert_eq!(f.points.len(), 3);
         // Larger budget → median pause no smaller than a strict regime
         // change would allow; at minimum the sweep runs and the largest
@@ -149,8 +164,15 @@ mod tests {
             assert!(p.report.pause_median_ms >= 0.0);
         }
         // More pause budget never means more memory.
-        let mems: Vec<u64> = f.points.iter().map(|p| p.report.mem_mean.as_u64()).collect();
-        assert!(mems.windows(2).all(|w| w[1] <= w[0] + w[0] / 10), "{mems:?}");
+        let mems: Vec<u64> = f
+            .points
+            .iter()
+            .map(|p| p.report.mem_mean.as_u64())
+            .collect();
+        assert!(
+            mems.windows(2).all(|w| w[1] <= w[0] + w[0] / 10),
+            "{mems:?}"
+        );
     }
 
     #[test]

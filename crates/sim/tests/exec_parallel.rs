@@ -1,0 +1,101 @@
+//! The executor's determinism contract, end-to-end: a parallel run equals
+//! a forced serial run cell-for-cell, and preset traces are compiled
+//! exactly once per process no matter how many evaluations share them.
+
+use dtb_core::policy::{PolicyKind, Row};
+use dtb_sim::engine::SimConfig;
+use dtb_sim::exec::{Evaluation, TraceCache};
+use dtb_trace::programs::Program;
+use dtb_trace::TraceBuilder;
+use std::sync::Arc;
+
+/// A small ad-hoc trace so the matrix mixes presets and custom columns.
+fn tiny_trace() -> Arc<dtb_trace::event::CompiledTrace> {
+    let mut b = TraceBuilder::new("tiny");
+    for i in 0..120 {
+        let id = b.alloc(20_000);
+        if i % 3 != 0 {
+            b.free(id);
+        }
+    }
+    Arc::new(b.finish().compile().expect("well-formed"))
+}
+
+fn evaluation(parallelism: usize) -> Evaluation {
+    Evaluation::new()
+        .programs([Program::Cfrac])
+        .trace(tiny_trace())
+        .custom_policy("HALF", |cfg| PolicyKind::DtbFm.build(cfg))
+        .sim_config(SimConfig::paper().with_curve())
+        .parallelism(parallelism)
+}
+
+#[test]
+fn parallel_run_equals_serial_run() {
+    let serial = evaluation(1).run();
+    let parallel = evaluation(4).run();
+
+    let serial_cells: Vec<_> = serial.cells().collect();
+    let parallel_cells: Vec<_> = parallel.cells().collect();
+    assert_eq!(serial_cells.len(), parallel_cells.len());
+    // 2 columns × (6 policies + 1 custom + 2 baselines).
+    assert_eq!(serial_cells.len(), 18);
+
+    for ((scol, scell), (pcol, pcell)) in serial_cells.iter().zip(&parallel_cells) {
+        assert_eq!(scol.name(), pcol.name());
+        assert_eq!(scell.row, pcell.row);
+        // The whole SimRun — report AND curve — must be byte-identical.
+        assert_eq!(
+            scell.run,
+            pcell.run,
+            "{}/{} diverged",
+            scol.name(),
+            scell.row
+        );
+    }
+}
+
+#[test]
+fn matrix_lookup_agrees_with_iteration_order() {
+    let matrix = evaluation(0).run();
+    let col = matrix.column(Program::Cfrac).expect("preset column");
+    let rows: Vec<Row> = col.cells.iter().map(|c| c.row.clone()).collect();
+    let mut expected: Vec<Row> = PolicyKind::ALL.iter().copied().map(Row::Policy).collect();
+    expected.push(Row::Custom("HALF".into()));
+    expected.push(Row::NoGc);
+    expected.push(Row::Live);
+    assert_eq!(rows, expected);
+    for kind in PolicyKind::ALL {
+        let direct = matrix.get(Program::Cfrac, kind).expect("cell");
+        let via_iter = col
+            .reports()
+            .find(|r| r.policy == Row::Policy(kind))
+            .expect("row");
+        assert_eq!(direct, via_iter);
+    }
+    // The custom column is addressable through `columns`, not `get`.
+    assert!(matrix.columns().iter().any(|c| c.name() == "tiny"));
+}
+
+#[test]
+fn presets_compile_once_per_process() {
+    let cache = TraceCache::new();
+    let first = cache.preset(Program::Cfrac);
+    // Same cache, another cache, the raw accessor, and a full evaluation:
+    // all pointer-equal — the preset was compiled exactly once.
+    assert!(Arc::ptr_eq(&first, &cache.preset(Program::Cfrac)));
+    assert!(Arc::ptr_eq(
+        &first,
+        &TraceCache::new().preset(Program::Cfrac)
+    ));
+    assert!(Arc::ptr_eq(&first, &Program::Cfrac.compiled()));
+    let matrix = Evaluation::new()
+        .programs([Program::Cfrac])
+        .policies([PolicyKind::Full])
+        .baselines(false)
+        .run();
+    assert!(Arc::ptr_eq(
+        &first,
+        &matrix.column(Program::Cfrac).unwrap().trace
+    ));
+}

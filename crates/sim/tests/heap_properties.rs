@@ -7,29 +7,27 @@ use proptest::prelude::*;
 /// Random object populations: strictly increasing births, random sizes,
 /// optional deaths after birth.
 fn population() -> impl Strategy<Value = Vec<SimObject>> {
-    prop::collection::vec((1u64..=5_000, 1u32..=10_000, prop::option::of(1u64..=50_000)), 0..300)
-        .prop_map(|raw| {
-            let mut birth = 0u64;
-            raw.into_iter()
-                .map(|(gap, size, death_after)| {
-                    birth += gap;
-                    SimObject {
-                        birth: VirtualTime::from_bytes(birth),
-                        size,
-                        death: death_after
-                            .map(|d| VirtualTime::from_bytes(birth + d)),
-                    }
-                })
-                .collect()
-        })
+    prop::collection::vec(
+        (1u64..=5_000, 1u32..=10_000, prop::option::of(1u64..=50_000)),
+        0..300,
+    )
+    .prop_map(|raw| {
+        let mut birth = 0u64;
+        raw.into_iter()
+            .map(|(gap, size, death_after)| {
+                birth += gap;
+                SimObject {
+                    birth: VirtualTime::from_bytes(birth),
+                    size,
+                    death: death_after.map(|d| VirtualTime::from_bytes(birth + d)),
+                }
+            })
+            .collect()
+    })
 }
 
 /// The reference model: plain filters over the population.
-fn naive_outcome(
-    pop: &[SimObject],
-    tb: VirtualTime,
-    now: VirtualTime,
-) -> (u64, u64, u64) {
+fn naive_outcome(pop: &[SimObject], tb: VirtualTime, now: VirtualTime) -> (u64, u64, u64) {
     let mut traced = 0u64;
     let mut reclaimed = 0u64;
     let mut tenured_garbage = 0u64;

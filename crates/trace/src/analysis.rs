@@ -60,7 +60,13 @@ impl SurvivalCurve {
             ages: ages.to_vec(),
             survival: surviving_bytes
                 .into_iter()
-                .map(|s| if total == 0 { 0.0 } else { s as f64 / total as f64 })
+                .map(|s| {
+                    if total == 0 {
+                        0.0
+                    } else {
+                        s as f64 / total as f64
+                    }
+                })
                 .collect(),
         }
     }
@@ -71,14 +77,9 @@ impl SurvivalCurve {
         SurvivalCurve::compute(
             trace,
             &[
-                10_000,
-                100_000,
-                500_000,
-                1_000_000, // one scavenge interval
-                2_000_000,
-                4_000_000, // the FIXED4 horizon
-                8_000_000,
-                16_000_000,
+                10_000, 100_000, 500_000, 1_000_000, // one scavenge interval
+                2_000_000, 4_000_000, // the FIXED4 horizon
+                8_000_000, 16_000_000,
             ],
         )
     }
@@ -195,10 +196,7 @@ mod tests {
     #[test]
     fn demographics_partition_totals() {
         let d = Demographics::compute(&small_trace());
-        assert_eq!(
-            d.total,
-            d.dies_young + d.medium_lived + d.immortal
-        );
+        assert_eq!(d.total, d.dies_young + d.medium_lived + d.immortal);
         assert_eq!(d.dies_young, Bytes::new(100));
         assert_eq!(d.immortal, Bytes::new(300));
     }
@@ -212,9 +210,8 @@ mod tests {
             "CFRAC young-death fraction {:.2}",
             d.young_death_fraction()
         );
-        let curve = SurvivalCurve::at_paper_checkpoints(
-            &Program::Cfrac.generate().compile().unwrap(),
-        );
+        let curve =
+            SurvivalCurve::at_paper_checkpoints(&Program::Cfrac.generate().compile().unwrap());
         assert!(curve.is_monotone_nonincreasing());
         // Survival at one scavenge interval is small.
         assert!(curve.at(1_000_000).unwrap() < 0.1);

@@ -16,9 +16,7 @@ use std::collections::HashMap;
 ///
 /// Ids are dense and unique within a trace; generators assign them in
 /// allocation order, but the format does not require that.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct ObjectId(pub u64);
 
 impl std::fmt::Display for ObjectId {
@@ -380,7 +378,10 @@ mod tests {
     #[test]
     fn zero_sized_alloc_rejected() {
         let t = trace(vec![alloc(0, 0)]);
-        assert!(matches!(t.compile(), Err(TraceError::ZeroSizedAlloc { .. })));
+        assert!(matches!(
+            t.compile(),
+            Err(TraceError::ZeroSizedAlloc { .. })
+        ));
     }
 
     #[test]

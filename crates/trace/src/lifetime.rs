@@ -218,10 +218,7 @@ mod tests {
     #[test]
     fn uniform_lifetime_within_bounds() {
         let mut r = rng();
-        let d = LifetimeDist::Uniform {
-            min: 100,
-            max: 200,
-        };
+        let d = LifetimeDist::Uniform { min: 100, max: 200 };
         for _ in 0..500 {
             let l = d.sample(&mut r).unwrap();
             assert!((100..=200).contains(&l));

@@ -21,11 +21,12 @@
 //! Calibration is verified by `tests/calibration.rs`, which regenerates
 //! every preset and checks the `LIVE` profile against the paper's row.
 
-use crate::event::Trace;
+use crate::event::{CompiledTrace, Trace};
 use crate::lifetime::{LifetimeDist, SizeDist};
 use crate::synth::{ClassSpec, WorkloadSpec};
 use dtb_core::time::Bytes;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 const KIB: u64 = 1024;
 const MIB: u64 = 1024 * 1024;
@@ -274,8 +275,7 @@ impl Program {
             },
             Program::Sis => WorkloadSpec {
                 name: self.label().into(),
-                description: "circuit synthesis + verification, 1024 vectors (synthetic)"
-                    .into(),
+                description: "circuit synthesis + verification, 1024 vectors (synthetic)".into(),
                 exec_seconds: p.exec_seconds,
                 total_alloc: p.total_alloc,
                 initial_permanent: 2_450_000,
@@ -286,8 +286,7 @@ impl Program {
             },
             Program::Cfrac => WorkloadSpec {
                 name: self.label().into(),
-                description: "continued-fraction factoring of a 25-digit number (synthetic)"
-                    .into(),
+                description: "continued-fraction factoring of a 25-digit number (synthetic)".into(),
                 exec_seconds: p.exec_seconds,
                 total_alloc: p.total_alloc,
                 initial_permanent: 1_000,
@@ -329,6 +328,28 @@ impl Program {
         self.spec()
             .generate()
             .expect("preset workload specs are valid by construction")
+    }
+
+    /// The compiled preset trace, generated and compiled **exactly once
+    /// per process** and shared behind an [`Arc`].
+    ///
+    /// Presets are pure functions of their seed, so the compiled trace is
+    /// immutable and safe to share across threads; every caller (and
+    /// every [`Arc::ptr_eq`] check) observes the same allocation.
+    /// Harnesses that evaluate many policies over one program should use
+    /// this instead of [`Program::generate`] to avoid re-synthesizing the
+    /// workload per cell.
+    pub fn compiled(self) -> Arc<CompiledTrace> {
+        static COMPILED: [OnceLock<Arc<CompiledTrace>>; 6] = [const { OnceLock::new() }; 6];
+        COMPILED[self as usize]
+            .get_or_init(|| {
+                Arc::new(
+                    self.generate()
+                        .compile()
+                        .expect("preset traces are well-formed"),
+                )
+            })
+            .clone()
     }
 
     /// The paper's `LIVE` row for this program, as (mean, max) bytes.
@@ -390,5 +411,16 @@ mod tests {
     #[test]
     fn display_matches_label() {
         assert_eq!(Program::Espresso2.to_string(), "ESPRESSO(2)");
+    }
+
+    #[test]
+    fn compiled_is_memoized_per_process() {
+        let a = Program::Cfrac.compiled();
+        let b = Program::Cfrac.compiled();
+        assert!(Arc::ptr_eq(&a, &b), "compiled() must hand out one Arc");
+        assert_eq!(a.meta.name, "CFRAC");
+        // And it matches a fresh generate+compile of the same preset.
+        let fresh = Program::Cfrac.generate().compile().unwrap();
+        assert_eq!(fresh.lives, a.lives);
     }
 }

@@ -166,8 +166,7 @@ impl WorkloadSpec {
     pub fn generate(&self) -> Result<Trace, SpecError> {
         self.validate()?;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut events: Vec<Event> =
-            Vec::with_capacity((self.total_alloc / 48).max(16) as usize);
+        let mut events: Vec<Event> = Vec::with_capacity((self.total_alloc / 48).max(16) as usize);
         let mut next_id: u64 = 0;
         let mut clock: u64 = 0;
         // Pending deaths: min-heap of (death clock, id).
@@ -379,10 +378,7 @@ mod tests {
         let frac = immortal_after_startup as f64 / steady as f64;
         // Immortal class is 10% of bytes; exponential stragglers still
         // alive at the end inflate it slightly.
-        assert!(
-            (0.08..0.14).contains(&frac),
-            "immortal fraction {frac:.3}"
-        );
+        assert!((0.08..0.14).contains(&frac), "immortal fraction {frac:.3}");
     }
 
     #[test]

@@ -85,8 +85,7 @@ fn nogc_mean_is_about_half_total() {
     // No-GC memory is the allocation ramp; its time-average is ~total/2.
     for p in [Program::Cfrac, Program::Espresso1] {
         let stats = TraceStats::compute(&p.generate());
-        let ratio =
-            stats.nogc_mean.as_u64() as f64 / stats.total_allocated.as_u64() as f64;
+        let ratio = stats.nogc_mean.as_u64() as f64 / stats.total_allocated.as_u64() as f64;
         assert!(
             (0.45..0.55).contains(&ratio),
             "{}: nogc mean ratio {ratio:.3}",

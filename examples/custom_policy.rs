@@ -10,10 +10,9 @@
 //! cargo run --release --example custom_policy
 //! ```
 
-use dtb::core::policy::{PolicyConfig, PolicyKind, ScavengeContext, TbPolicy};
+use dtb::core::policy::{PolicyKind, ScavengeContext, TbPolicy};
 use dtb::core::time::VirtualTime;
-use dtb::sim::engine::{simulate, SimConfig};
-use dtb::sim::run::run_trace;
+use dtb::sim::exec::Evaluation;
 use dtb::trace::programs::Program;
 
 /// Threatens whatever was born after the *median surviving byte*: each
@@ -33,7 +32,11 @@ impl TbPolicy for HalfLife {
         };
         // Binary-search the age at which surviving storage splits in two,
         // using the same estimator the built-in policies consult.
-        let target = ctx.survival.surviving_born_after(VirtualTime::ZERO).as_u64() / 2;
+        let target = ctx
+            .survival
+            .surviving_born_after(VirtualTime::ZERO)
+            .as_u64()
+            / 2;
         let (mut lo, mut hi) = (0u64, ctx.now.as_u64());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
@@ -53,24 +56,22 @@ impl TbPolicy for HalfLife {
 }
 
 fn main() {
-    let trace = Program::Espresso1
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
-    let sim = SimConfig::paper();
-
     println!("ESPRESSO(1): a custom policy vs the built-ins\n");
     println!(
         "{:>9}  {:>9}  {:>9}  {:>12}  {:>9}",
         "policy", "mem mean", "mem max", "median pause", "overhead"
     );
 
-    let mut rows = Vec::new();
-    rows.push(simulate(&trace, &mut HalfLife, &sim).report);
-    for kind in [PolicyKind::Full, PolicyKind::Fixed1, PolicyKind::DtbFm] {
-        rows.push(run_trace(&trace, kind, &PolicyConfig::paper(), &sim).report);
-    }
-    for r in &rows {
+    // A custom policy is one more row of the evaluation: the factory runs
+    // inside the worker pool alongside the stock collectors.
+    let matrix = Evaluation::new()
+        .programs([Program::Espresso1])
+        .policies([PolicyKind::Full, PolicyKind::Fixed1, PolicyKind::DtbFm])
+        .custom_policy("HALFLIFE", |_| Box::new(HalfLife))
+        .baselines(false)
+        .run();
+    let column = matrix.column(Program::Espresso1).expect("requested column");
+    for r in column.reports() {
         println!(
             "{:>9}  {:>6.0} KB  {:>6.0} KB  {:>9.1} ms  {:>8.1}%",
             r.policy,

@@ -66,8 +66,7 @@ fn main() {
     let out = collect_now();
     println!(
         "\nFIXED1 scavenge: boundary = {}, reclaimed = {} bytes",
-        out.boundary,
-        out.reclaimed
+        out.boundary, out.reclaimed
     );
     println!(
         "I and J are dead but immune: tenured garbage. F is dead and \
@@ -82,8 +81,7 @@ fn main() {
     let out = collect_now();
     println!(
         "\nDTB scavenge with boundary moved back to {}: reclaimed = {} bytes",
-        out.boundary,
-        out.reclaimed
+        out.boundary, out.reclaimed
     );
     println!(
         "I, J, F all reclaimed (untenured); K survives, mem = {} bytes",

@@ -10,11 +10,9 @@
 //! cargo run --release --example interactive_editor
 //! ```
 
-use dtb::core::cost::CostModel;
 use dtb::core::policy::{PolicyConfig, PolicyKind};
-use dtb::core::time::Bytes;
-use dtb::sim::engine::SimConfig;
-use dtb::sim::run::run_trace;
+use dtb::sim::engine::{simulate, SimConfig};
+use dtb::sim::sweep::sweep_pause_budget;
 use dtb::trace::lifetime::{LifetimeDist, SizeDist};
 use dtb::trace::synth::{ClassSpec, WorkloadSpec};
 
@@ -59,7 +57,6 @@ fn main() {
         .expect("valid spec")
         .compile()
         .expect("well-formed trace");
-    let cost = CostModel::paper();
     let sim = SimConfig::paper();
 
     println!("Editor workload: 60 MB allocated over a 2-minute session\n");
@@ -67,24 +64,24 @@ fn main() {
         "{:>10}  {:>12}  {:>10}  {:>10}  {:>9}",
         "budget", "median pause", "p90 pause", "mem mean", "overhead"
     );
-    for pause_budget_ms in [25.0, 50.0, 100.0, 200.0] {
-        let budgets = PolicyConfig::new(
-            cost.trace_budget_for_pause_ms(pause_budget_ms),
-            Bytes::from_kb(100_000), // memory effectively unconstrained
-        );
-        let run = run_trace(&trace, PolicyKind::DtbFm, &budgets, &sim);
+    // The sweep leaves memory effectively unconstrained: only the pause
+    // knob moves. Points run in parallel.
+    let pause_budgets_ms = [25.0, 50.0, 100.0, 200.0];
+    let frontier = sweep_pause_budget(&trace, &pause_budgets_ms, &sim);
+    for (pause_budget_ms, point) in pause_budgets_ms.iter().zip(&frontier.points) {
         println!(
             "{:>7} ms  {:>9.1} ms  {:>7.1} ms  {:>7.0} KB  {:>8.1}%",
             pause_budget_ms,
-            run.report.pause_median_ms,
-            run.report.pause_p90_ms,
-            run.report.mem_kb().0,
-            run.report.overhead_pct,
+            point.report.pause_median_ms,
+            point.report.pause_p90_ms,
+            point.report.mem_kb().0,
+            point.report.overhead_pct,
         );
     }
 
     // The unconstrained baseline for contrast.
-    let full = run_trace(&trace, PolicyKind::Full, &PolicyConfig::paper(), &sim);
+    let mut full_policy = PolicyKind::Full.build(&PolicyConfig::paper());
+    let full = simulate(&trace, &mut full_policy, &sim);
     println!(
         "\nFULL baseline: median pause {:.0} ms — a visible freeze; DTBFM holds \
          the budget\nand its memory cost shrinks as the budget loosens.",

@@ -13,17 +13,14 @@
 
 use dtb::core::policy::{PolicyConfig, PolicyKind};
 use dtb::core::time::Bytes;
-use dtb::sim::engine::SimConfig;
-use dtb::sim::run::run_trace;
+use dtb::sim::engine::{simulate, SimConfig};
+use dtb::sim::sweep::sweep_memory_budget;
 use dtb::trace::programs::Program;
 
 fn main() {
     // ESPRESSO(2): 104 MB allocated, ~160 KB typically live — lots of
     // room for a memory/CPU trade.
-    let trace = Program::Espresso2
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
+    let trace = Program::Espresso2.compiled();
     let sim = SimConfig::paper();
 
     println!("ESPRESSO(2) under DTBMEM with a sweep of memory budgets\n");
@@ -31,24 +28,31 @@ fn main() {
         "{:>10}  {:>9}  {:>9}  {:>10}  {:>9}",
         "budget", "mem mean", "mem max", "traced", "overhead"
     );
-    for budget_kb in [500u64, 1000, 2000, 3000, 6000, 12000] {
-        let budgets = PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(budget_kb));
-        let run = run_trace(&trace, PolicyKind::DtbMem, &budgets, &sim);
-        let (mem_mean, mem_max) = run.report.mem_kb();
-        let within = mem_max <= budget_kb as f64 * 1.01;
+    let budgets_kb = [500u64, 1000, 2000, 3000, 6000, 12000];
+    let budgets: Vec<Bytes> = budgets_kb.iter().map(|kb| Bytes::from_kb(*kb)).collect();
+    let frontier = sweep_memory_budget(&trace, &budgets, &sim);
+    for (budget_kb, point) in budgets_kb.iter().zip(&frontier.points) {
+        let (mem_mean, mem_max) = point.report.mem_kb();
+        let within = mem_max <= *budget_kb as f64 * 1.01;
         println!(
             "{:>7} KB  {:>6.0} KB  {:>6.0} KB  {:>7.0} KB  {:>8.1}%  {}",
             budget_kb,
             mem_mean,
             mem_max,
-            run.report.traced_kb(),
-            run.report.overhead_pct,
-            if within { "within budget" } else { "over (infeasible)" },
+            point.report.traced_kb(),
+            point.report.overhead_pct,
+            if within {
+                "within budget"
+            } else {
+                "over (infeasible)"
+            },
         );
     }
 
-    let full = run_trace(&trace, PolicyKind::Full, &PolicyConfig::paper(), &sim);
-    let fixed1 = run_trace(&trace, PolicyKind::Fixed1, &PolicyConfig::paper(), &sim);
+    let mut full_policy = PolicyKind::Full.build(&PolicyConfig::paper());
+    let full = simulate(&trace, &mut full_policy, &sim);
+    let mut fixed1_policy = PolicyKind::Fixed1.build(&PolicyConfig::paper());
+    let fixed1 = simulate(&trace, &mut fixed1_policy, &sim);
     println!(
         "\nreference: FULL uses {:.0} KB at {:.1}% overhead; FIXED1 uses {:.0} KB \
          at {:.1}%.\nDTBMEM walks between them as the budget allows: more memory \

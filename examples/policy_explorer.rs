@@ -3,21 +3,23 @@
 //! Sweeps the pause budget for `DTBFM` and the memory budget for `DTBMEM`
 //! over one workload, printing the frontier each policy walks — the
 //! paper's central claim made visible: **one intuitive knob, predictable
-//! resource behaviour**.
+//! resource behaviour**. Sweep points and the final collector comparison
+//! run in parallel over the simulator's worker pool.
 //!
 //! ```sh
 //! cargo run --release --example policy_explorer [GHOST(1)|ESPRESSO(2)|...]
 //! ```
 
-use dtb::core::cost::CostModel;
-use dtb::core::policy::{PolicyConfig, PolicyKind};
 use dtb::core::time::Bytes;
 use dtb::sim::engine::SimConfig;
-use dtb::sim::run::run_trace;
+use dtb::sim::exec::Evaluation;
+use dtb::sim::sweep::{sweep_memory_budget, sweep_pause_budget};
 use dtb::trace::programs::Program;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "ESPRESSO(1)".into());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ESPRESSO(1)".into());
     let program = Program::ALL
         .into_iter()
         .find(|p| p.label().eq_ignore_ascii_case(&which))
@@ -25,25 +27,24 @@ fn main() {
             eprintln!("unknown program {which:?}; using ESPRESSO(1)");
             Program::Espresso1
         });
-    let trace = program
-        .generate()
-        .compile()
-        .expect("preset traces are well-formed");
+    let trace = program.compiled();
     let sim = SimConfig::paper();
-    let cost = CostModel::paper();
 
     println!("== {} : DTBFM pause-budget sweep ==", program.label());
     println!(
         "{:>10}  {:>12}  {:>9}  {:>9}",
         "budget", "median pause", "mem mean", "overhead"
     );
-    for ms in [10.0, 25.0, 50.0, 100.0, 250.0, 500.0] {
-        let budgets =
-            PolicyConfig::new(cost.trace_budget_for_pause_ms(ms), Bytes::from_kb(1 << 20));
-        let r = run_trace(&trace, PolicyKind::DtbFm, &budgets, &sim).report;
+    let pause_budgets_ms = [10.0, 25.0, 50.0, 100.0, 250.0, 500.0];
+    let frontier = sweep_pause_budget(&trace, &pause_budgets_ms, &sim);
+    for (ms, point) in pause_budgets_ms.iter().zip(&frontier.points) {
+        let r = &point.report;
         println!(
             "{:>7} ms  {:>9.1} ms  {:>6.0} KB  {:>8.1}%",
-            ms, r.pause_median_ms, r.mem_kb().0, r.overhead_pct
+            ms,
+            r.pause_median_ms,
+            r.mem_kb().0,
+            r.overhead_pct
         );
     }
 
@@ -52,9 +53,14 @@ fn main() {
         "{:>10}  {:>9}  {:>9}  {:>12}",
         "budget", "mem max", "overhead", "median pause"
     );
-    for kb in [250u64, 500, 1000, 2000, 4000, 8000] {
-        let budgets = PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(kb));
-        let r = run_trace(&trace, PolicyKind::DtbMem, &budgets, &sim).report;
+    let mem_budgets_kb = [250u64, 500, 1000, 2000, 4000, 8000];
+    let mem_budgets: Vec<Bytes> = mem_budgets_kb
+        .iter()
+        .map(|kb| Bytes::from_kb(*kb))
+        .collect();
+    let frontier = sweep_memory_budget(&trace, &mem_budgets, &sim);
+    for (kb, point) in mem_budgets_kb.iter().zip(&frontier.points) {
+        let r = &point.report;
         println!(
             "{:>7} KB  {:>6.0} KB  {:>8.1}%  {:>9.1} ms",
             kb,
@@ -64,13 +70,20 @@ fn main() {
         );
     }
 
-    println!("\n== {} : all six collectors at the paper's settings ==", program.label());
+    println!(
+        "\n== {} : all six collectors at the paper's settings ==",
+        program.label()
+    );
     println!(
         "{:>8}  {:>9}  {:>9}  {:>12}  {:>9}",
         "policy", "mem mean", "mem max", "median pause", "overhead"
     );
-    for kind in PolicyKind::ALL {
-        let r = run_trace(&trace, kind, &PolicyConfig::paper(), &sim).report;
+    let matrix = Evaluation::new()
+        .programs([program])
+        .baselines(false)
+        .sim_config(sim)
+        .run();
+    for r in matrix.column(program).expect("requested column").reports() {
         println!(
             "{:>8}  {:>6.0} KB  {:>6.0} KB  {:>9.1} ms  {:>8.1}%",
             r.policy,

@@ -7,7 +7,7 @@
 
 use dtb::core::policy::{PolicyConfig, PolicyKind};
 use dtb::sim::engine::SimConfig;
-use dtb::sim::run::run_program;
+use dtb::sim::exec::Evaluation;
 use dtb::trace::programs::Program;
 use dtb::trace::stats::TraceStats;
 
@@ -29,18 +29,31 @@ fn main() {
         stats.live_max.as_kb(),
     );
 
-    for kind in [PolicyKind::Full, PolicyKind::Fixed1, PolicyKind::DtbFm, PolicyKind::DtbMem] {
-        let run = run_program(program, kind, &budgets, &sim);
-        let (mem_mean, mem_max) = run.report.mem_kb();
+    let kinds = [
+        PolicyKind::Full,
+        PolicyKind::Fixed1,
+        PolicyKind::DtbFm,
+        PolicyKind::DtbMem,
+    ];
+    let matrix = Evaluation::new()
+        .programs([program])
+        .policies(kinds)
+        .baselines(false)
+        .policy_config(budgets)
+        .sim_config(sim)
+        .run();
+    for kind in kinds {
+        let report = matrix.get(program, kind).expect("requested cell");
+        let (mem_mean, mem_max) = report.mem_kb();
         println!(
             "{:8}  mem {:>5.0}/{:>5.0} KB   median pause {:>6.1} ms   \
              traced {:>6.0} KB   overhead {:>4.1}%",
-            run.report.policy,
+            report.policy,
             mem_mean,
             mem_max,
-            run.report.pause_median_ms,
-            run.report.traced_kb(),
-            run.report.overhead_pct,
+            report.pause_median_ms,
+            report.traced_kb(),
+            report.overhead_pct,
         );
     }
 

@@ -25,19 +25,17 @@
 //! # Example
 //!
 //! ```
-//! use dtb::sim::run::run_program;
-//! use dtb::sim::engine::SimConfig;
-//! use dtb::core::policy::{PolicyConfig, PolicyKind};
+//! use dtb::core::policy::PolicyKind;
+//! use dtb::sim::exec::Evaluation;
 //! use dtb::trace::programs::Program;
 //!
-//! let run = run_program(
-//!     Program::Cfrac,
-//!     PolicyKind::DtbMem,
-//!     &PolicyConfig::paper(),
-//!     &SimConfig::paper(),
-//! );
+//! let matrix = Evaluation::new()
+//!     .programs([Program::Cfrac])
+//!     .policies([PolicyKind::DtbMem])
+//!     .run();
+//! let report = matrix.get(Program::Cfrac, PolicyKind::DtbMem).unwrap();
 //! // The memory-constrained collector stayed within its 3000 KB budget.
-//! assert!(run.report.mem_max.as_u64() <= 3000 * 1024);
+//! assert!(report.mem_max.as_u64() <= 3000 * 1024);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,3 +45,7 @@ pub use dtb_core as core;
 pub use dtb_heap as heap;
 pub use dtb_sim as sim;
 pub use dtb_trace as trace;
+
+pub use dtb_core::policy::{PolicyConfig, PolicyKind, Row};
+pub use dtb_sim::{Evaluation, Matrix, SimConfig, SimReport, TraceCache};
+pub use dtb_trace::programs::Program;

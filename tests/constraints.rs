@@ -4,22 +4,40 @@
 //! Debug builds keep to the small/medium presets; `repro_claims` covers
 //! the full matrix in release mode.
 
-use dtb::core::policy::{PolicyConfig, PolicyKind};
+use dtb::core::policy::{PolicyConfig, PolicyKind, Row};
 use dtb::core::time::Bytes;
-use dtb::sim::engine::SimConfig;
+use dtb::sim::engine::{simulate, SimConfig};
+use dtb::sim::exec::Evaluation;
 use dtb::sim::metrics::SimReport;
-use dtb::sim::run::{run_column, run_trace};
 use dtb::trace::event::CompiledTrace;
 use dtb::trace::programs::Program;
+use std::sync::Arc;
 
-fn compiled(p: Program) -> CompiledTrace {
-    p.generate().compile().expect("preset traces are well-formed")
+fn compiled(p: Program) -> Arc<CompiledTrace> {
+    p.compiled()
+}
+
+fn run_kind(
+    trace: &CompiledTrace,
+    kind: PolicyKind,
+    cfg: &PolicyConfig,
+    sim: &SimConfig,
+) -> SimReport {
+    let mut policy = kind.build(cfg);
+    simulate(trace, &mut policy, sim).report
+}
+
+fn column(trace: &Arc<CompiledTrace>) -> Vec<SimReport> {
+    Evaluation::new().trace(trace.clone()).run().columns()[0]
+        .reports()
+        .cloned()
+        .collect()
 }
 
 fn by_policy(reports: &[SimReport], k: PolicyKind) -> &SimReport {
     reports
         .iter()
-        .find(|r| r.policy == k.label())
+        .find(|r| r.policy == Row::Policy(k))
         .expect("policy in column")
 }
 
@@ -31,7 +49,7 @@ fn dtbmem_respects_feasible_memory_budget() {
     // before a scavenge, and no boundary choice can shrink that peak.
     for budget_kb in [1500u64, 2000, 3000] {
         let budgets = PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(budget_kb));
-        let r = run_trace(&trace, PolicyKind::DtbMem, &budgets, &SimConfig::paper()).report;
+        let r = run_kind(&trace, PolicyKind::DtbMem, &budgets, &SimConfig::paper());
         assert!(
             r.mem_max.as_u64() <= budget_kb * 1024 * 101 / 100,
             "budget {budget_kb} KB: max {} KB",
@@ -47,8 +65,8 @@ fn over_constrained_dtbmem_degrades_toward_full() {
     let trace = compiled(Program::Espresso1);
     let sim = SimConfig::paper();
     let impossible = PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(50));
-    let dtbmem = run_trace(&trace, PolicyKind::DtbMem, &impossible, &sim).report;
-    let full = run_trace(&trace, PolicyKind::Full, &impossible, &sim).report;
+    let dtbmem = run_kind(&trace, PolicyKind::DtbMem, &impossible, &sim);
+    let full = run_kind(&trace, PolicyKind::Full, &impossible, &sim);
     let ratio = dtbmem.mem_max.as_u64() as f64 / full.mem_max.as_u64() as f64;
     assert!(
         (0.95..=1.10).contains(&ratio),
@@ -66,7 +84,7 @@ fn dtbmem_converts_memory_budget_into_cpu_savings() {
     let mut last_traced = u64::MAX;
     for budget_kb in [200u64, 500, 1500, 4000] {
         let budgets = PolicyConfig::new(Bytes::new(50_000), Bytes::from_kb(budget_kb));
-        let r = run_trace(&trace, PolicyKind::DtbMem, &budgets, &sim).report;
+        let r = run_kind(&trace, PolicyKind::DtbMem, &budgets, &sim);
         assert!(
             r.total_traced.as_u64() <= last_traced,
             "budget {budget_kb} KB traced more than a smaller budget"
@@ -84,7 +102,7 @@ fn dtbfm_median_tracks_pause_budget() {
             dtb::core::cost::CostModel::paper().trace_budget_for_pause_ms(budget_ms),
             Bytes::from_kb(1 << 20),
         );
-        let r = run_trace(&trace, PolicyKind::DtbFm, &budgets, &sim).report;
+        let r = run_kind(&trace, PolicyKind::DtbFm, &budgets, &sim);
         assert!(
             r.pause_median_ms <= budget_ms * 1.35 && r.pause_median_ms >= budget_ms * 0.4,
             "budget {budget_ms} ms: median {:.1} ms",
@@ -99,8 +117,8 @@ fn dtbfm_saves_memory_relative_to_feedmed_on_espresso() {
     let trace = compiled(Program::Espresso1);
     let cfg = PolicyConfig::paper();
     let sim = SimConfig::paper();
-    let dtbfm = run_trace(&trace, PolicyKind::DtbFm, &cfg, &sim).report;
-    let feedmed = run_trace(&trace, PolicyKind::FeedMed, &cfg, &sim).report;
+    let dtbfm = run_kind(&trace, PolicyKind::DtbFm, &cfg, &sim);
+    let feedmed = run_kind(&trace, PolicyKind::FeedMed, &cfg, &sim);
     assert!(
         dtbfm.mem_mean.as_u64() <= feedmed.mem_mean.as_u64() * 102 / 100,
         "DTBFM {} KB vs FEEDMED {} KB",
@@ -113,7 +131,7 @@ fn dtbfm_saves_memory_relative_to_feedmed_on_espresso() {
 fn memory_ordering_full_le_fixed4_le_fixed1() {
     // The classic generational trade, Table 2's structure.
     let trace = compiled(Program::Cfrac);
-    let reports = run_column(&trace, &PolicyConfig::paper(), &SimConfig::paper());
+    let reports = column(&trace);
     let full = by_policy(&reports, PolicyKind::Full).mem_mean;
     let fixed4 = by_policy(&reports, PolicyKind::Fixed4).mem_mean;
     let fixed1 = by_policy(&reports, PolicyKind::Fixed1).mem_mean;
@@ -125,7 +143,7 @@ fn memory_ordering_full_le_fixed4_le_fixed1() {
 fn cpu_ordering_fixed1_le_fixed4_le_full() {
     // Table 4's structure, inverse of the memory ordering.
     let trace = compiled(Program::Cfrac);
-    let reports = run_column(&trace, &PolicyConfig::paper(), &SimConfig::paper());
+    let reports = column(&trace);
     let full = by_policy(&reports, PolicyKind::Full).total_traced;
     let fixed4 = by_policy(&reports, PolicyKind::Fixed4).total_traced;
     let fixed1 = by_policy(&reports, PolicyKind::Fixed1).total_traced;
@@ -136,9 +154,17 @@ fn cpu_ordering_fixed1_le_fixed4_le_full() {
 #[test]
 fn every_collector_bounded_by_live_and_nogc() {
     let trace = compiled(Program::Cfrac);
-    let reports = run_column(&trace, &PolicyConfig::paper(), &SimConfig::paper());
-    let live = reports.iter().find(|r| r.policy == "LIVE").unwrap().mem_mean;
-    let nogc = reports.iter().find(|r| r.policy == "No GC").unwrap().mem_max;
+    let reports = column(&trace);
+    let live = reports
+        .iter()
+        .find(|r| r.policy == Row::Live)
+        .unwrap()
+        .mem_mean;
+    let nogc = reports
+        .iter()
+        .find(|r| r.policy == Row::NoGc)
+        .unwrap()
+        .mem_max;
     for kind in PolicyKind::ALL {
         let r = by_policy(&reports, kind);
         assert!(r.mem_mean >= live, "{kind} beat the live floor");
@@ -150,11 +176,17 @@ fn every_collector_bounded_by_live_and_nogc() {
 fn scavenge_records_are_internally_consistent_everywhere() {
     let trace = compiled(Program::Cfrac);
     for kind in PolicyKind::ALL {
-        let r = run_trace(&trace, kind, &PolicyConfig::paper(), &SimConfig::paper()).report;
+        let r = run_kind(&trace, kind, &PolicyConfig::paper(), &SimConfig::paper());
         for rec in r.history.iter() {
             assert!(rec.is_consistent(), "{kind}: {rec:?}");
-            assert!(rec.boundary <= rec.at, "{kind}: boundary after scavenge time");
-            assert!(rec.traced <= rec.surviving, "{kind}: traced exceeds survivors");
+            assert!(
+                rec.boundary <= rec.at,
+                "{kind}: boundary after scavenge time"
+            );
+            assert!(
+                rec.traced <= rec.surviving,
+                "{kind}: traced exceeds survivors"
+            );
         }
     }
 }

@@ -18,8 +18,8 @@ fn figure1_trace() -> dtb::trace::event::CompiledTrace {
     let j = b.alloc(100_000);
     let _k = b.alloc(100_000);
     b.alloc_filler(7, 100_000); // advance to the 1 MB trigger
-    // Scavenge 1 fires here (1 MB allocated). Everything above survives.
-    // Young generation.
+                                // Scavenge 1 fires here (1 MB allocated). Everything above survives.
+                                // Young generation.
     let bb = b.alloc(50_000);
     let e = b.alloc(50_000);
     let f = b.alloc(50_000);
@@ -62,10 +62,7 @@ fn moving_the_boundary_back_untenures_the_stranded_garbage() {
         fn name(&self) -> &str {
             "FIXED1-THEN-FULL"
         }
-        fn select_boundary(
-            &mut self,
-            ctx: &dtb::core::policy::ScavengeContext<'_>,
-        ) -> VirtualTime {
+        fn select_boundary(&mut self, ctx: &dtb::core::policy::ScavengeContext<'_>) -> VirtualTime {
             if ctx.history.len() < 2 {
                 self.inner.select_boundary(ctx)
             } else {
@@ -139,7 +136,11 @@ fn real_heap_exhibits_figure1_including_nepotism() {
     let before = heap_stats().mem_in_use;
     let out = collect_now();
     // Nepotism: F is threatened + dead but kept by tenured garbage J.
-    assert_eq!(out.reclaimed.as_u64(), 0, "nothing reclaimable under FIXED1");
+    assert_eq!(
+        out.reclaimed.as_u64(),
+        0,
+        "nothing reclaimable under FIXED1"
+    );
     assert_eq!(heap_stats().mem_in_use, before);
 
     configure(HeapConfig::manual_full());

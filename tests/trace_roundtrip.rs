@@ -2,12 +2,23 @@
 //! simulation compose without losing information.
 
 use dtb::core::policy::{PolicyConfig, PolicyKind};
-use dtb::sim::engine::SimConfig;
-use dtb::sim::run::run_trace;
+use dtb::sim::engine::{simulate, SimConfig};
+use dtb::sim::SimRun;
+use dtb::trace::event::CompiledTrace;
 use dtb::trace::format;
 use dtb::trace::lifetime::{LifetimeDist, SizeDist};
 use dtb::trace::synth::{ClassSpec, WorkloadSpec};
 use proptest::prelude::*;
+
+fn run_kind(
+    trace: &CompiledTrace,
+    kind: PolicyKind,
+    cfg: &PolicyConfig,
+    sim: &SimConfig,
+) -> SimRun {
+    let mut policy = kind.build(cfg);
+    simulate(trace, &mut policy, sim)
+}
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
@@ -78,7 +89,7 @@ proptest! {
             ..SimConfig::paper()
         };
         for kind in PolicyKind::ALL {
-            let run = run_trace(&trace, kind, &PolicyConfig::paper(), &sim);
+            let run = run_kind(&trace, kind, &PolicyConfig::paper(), &sim);
             let mut reclaimed = 0u64;
             for rec in run.report.history.iter() {
                 prop_assert!(rec.is_consistent());
@@ -105,11 +116,11 @@ proptest! {
             ),
             ..SimConfig::paper()
         };
-        let full = run_trace(&trace, PolicyKind::Full, &PolicyConfig::paper(), &sim)
+        let full = run_kind(&trace, PolicyKind::Full, &PolicyConfig::paper(), &sim)
             .report
             .mem_max;
         for kind in PolicyKind::ALL {
-            let r = run_trace(&trace, kind, &PolicyConfig::paper(), &sim).report;
+            let r = run_kind(&trace, kind, &PolicyConfig::paper(), &sim).report;
             prop_assert!(
                 r.mem_max >= full,
                 "{} used less memory than FULL ({:?} < {:?})",

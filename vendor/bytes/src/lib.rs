@@ -1,0 +1,271 @@
+//! Vendored offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] (cheaply cloneable, sliceable, shared buffer),
+//! [`BytesMut`] (growable builder), and the [`Buf`]/[`BufMut`] cursor
+//! traits — restricted to the methods this workspace calls. Multi-byte
+//! values use big-endian order, matching the real crate.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer.
+///
+/// Consuming reads through [`Buf`] advance the view without copying the
+/// underlying storage.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::copy_from_slice(&[])
+    }
+
+    /// Copies `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+/// Consuming reads from a byte cursor. Reads advance past the consumed
+/// prefix and panic if fewer bytes remain than requested, like the real
+/// crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64;
+
+    /// Reads `len` bytes into a new [`Bytes`] (shares storage when possible).
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end of buffer");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        assert!(self.remaining() >= 8, "get_f64 past end of buffer");
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.data[self.start..self.start + 8]);
+        self.start += 8;
+        f64::from_be_bytes(raw)
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "copy_to_bytes past end of buffer");
+        let out = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + len,
+        };
+        self.start += len;
+        out
+    }
+}
+
+/// Appending writes to a growable byte builder. Multi-byte values are
+/// big-endian.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(0xAB);
+        w.put_f64(1.5);
+        w.put_slice(b"xyz");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 1 + 8 + 3);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_f64(), 1.5);
+        assert_eq!(&r.copy_to_bytes(3)[..], b"xyz");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn f64_is_big_endian() {
+        let mut w = BytesMut::new();
+        w.put_f64(2.0);
+        assert_eq!(&w[..], &2.0f64.to_be_bytes());
+    }
+
+    #[test]
+    fn copy_to_bytes_shares_storage_and_advances() {
+        let mut b = Bytes::copy_from_slice(b"hello world");
+        let head = b.copy_to_bytes(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(b.remaining(), 6);
+        assert_eq!(&b[..], b" world");
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::copy_from_slice(&[1]);
+        b.get_u8();
+        b.get_u8();
+    }
+}

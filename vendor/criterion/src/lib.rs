@@ -1,0 +1,268 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the exact surface the
+//! workspace benches use: `Criterion` with `sample_size`/
+//! `measurement_time`/`warm_up_time` builders, `bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros. No statistics beyond
+//! min/median/max per sample set; results print to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one input
+/// per measurement regardless, so the variants only mirror the API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: the real crate batches many per sample.
+    SmallInput,
+    /// Large inputs: the real crate runs few per sample.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
+}
+
+/// Per-iteration timing collector handed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(c: &Criterion) -> Bencher {
+        Bencher {
+            sample_size: c.sample_size,
+            measurement_time: c.measurement_time,
+            warm_up_time: c.warm_up_time,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Aim each sample at measurement_time / sample_size, batching
+        // enough iterations to keep timer overhead negligible.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let min = self.samples_ns[0];
+        let med = self.samples_ns[self.samples_ns.len() / 2];
+        let max = self.samples_ns[self.samples_ns.len() - 1];
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(med),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark configuration and registry.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the untimed warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group; member benchmarks print as `group/member`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            c: self,
+        }
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring the real macro's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = fast_criterion();
+        c.bench_function("smoke/iter", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn groups_and_batched_input_run() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(12.0), "12.00 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00 ms");
+    }
+}

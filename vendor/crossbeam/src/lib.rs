@@ -1,0 +1,95 @@
+//! Vendored offline stand-in for the `crossbeam` crate.
+//!
+//! Supplies `crossbeam::thread::scope`, the only surface this workspace
+//! uses (the parallel evaluation executor in `dtb-sim::exec`). The shim
+//! layers over `std::thread::scope`, which provides the same structured
+//! guarantee (all spawned threads join before the scope returns).
+//!
+//! One documented divergence from the real crate: `Scope::spawn` takes a
+//! plain `FnOnce() -> T` instead of `FnOnce(&Scope) -> T`, since nothing
+//! here spawns from inside a spawned thread.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread guaranteed to join before the scope exits.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; every spawned thread joins before this
+    /// returns. Mirrors crossbeam by returning `Err` with the first panic
+    /// payload instead of propagating the panic.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn threads_join_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        i
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(total, (0..8).sum());
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let out = crate::thread::scope(|s| {
+            let h = s.spawn(|| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(out.is_err());
+    }
+}

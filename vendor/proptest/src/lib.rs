@@ -1,0 +1,553 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! Deterministic random property testing with the macro surface this
+//! workspace uses: `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, [`Strategy`] with `prop_map`, `prop::collection::vec`,
+//! `prop::option::of`, and range/tuple strategies. Unlike the real crate
+//! there is no shrinking: a failing case reports its case number and
+//! seed so it can be replayed by rerunning the test.
+
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of accepted cases each property runs (`PROPTEST_CASES`
+/// overrides).
+fn cases_per_property() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Accepted cases to run for each property in the block.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config overriding only the case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: cases_per_property(),
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// A `prop_assume!` filtered this case out; it is retried, not failed.
+    Reject(String),
+}
+
+/// Deterministic generator driving strategy sampling (xoshiro256**).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform in `[lo, hi]`; a wrapped span of zero means any value.
+    fn u64_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            return self.next_u64();
+        }
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.u64_inclusive(self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                rng.u64_inclusive(lo as u64, hi as u64) as $t
+            }
+        }
+    )*};
+}
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i64 as u64;
+                let hi = (self.end as i64 as u64).wrapping_sub(1);
+                rng.u64_inclusive(0, hi.wrapping_sub(lo)).wrapping_add(lo) as i64 as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let lo = lo as i64 as u64;
+                let hi = hi as i64 as u64;
+                rng.u64_inclusive(0, hi.wrapping_sub(lo)).wrapping_add(lo) as i64 as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Length bounds for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_incl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi_incl: n }
+    }
+}
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_incl: r.end - 1,
+        }
+    }
+}
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_incl: *r.end(),
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// `Vec`s whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.u64_inclusive(self.size.lo as u64, self.size.hi_incl as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some` values from `inner` three times out of four, else `None`
+    /// (matching the real crate's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.u64_inclusive(0, 3) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Values with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-domain strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy behind `any::<bool>()`.
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// Drives one property: repeatedly samples inputs and evaluates `case`
+/// until the case budget is met. Rejected cases are retried with fresh
+/// inputs; a failing case panics with its replay coordinates.
+pub fn run_property<F>(name: &str, case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    run_property_cases(cases_per_property(), name, case)
+}
+
+/// [`run_property`] with an explicit case budget (used by
+/// `#![proptest_config(...)]`).
+pub fn run_property_cases<F>(target: u32, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let max_attempts = target.saturating_mul(16);
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    let base_seed = hasher.finish();
+
+    let mut accepted = 0u32;
+    for attempt in 0..max_attempts {
+        if accepted >= target {
+            return;
+        }
+        let seed = base_seed.wrapping_add(attempt as u64);
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name} failed at case {accepted} \
+                     (attempt {attempt}, seed {seed:#x}): {msg}"
+                );
+            }
+        }
+    }
+    assert!(
+        accepted >= target / 2,
+        "property {name}: too many rejected cases ({accepted}/{target} accepted \
+         after {max_attempts} attempts)"
+    );
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` sampling its arguments per case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            $crate::run_property_cases(
+                $crate::ProptestConfig::from($cfg).cases,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    let ($($arg,)+) = $crate::Strategy::sample(&__strategies, __rng);
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __outcome
+                },
+            );
+        }
+    )*};
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "{}: `{:?}` != `{:?}`",
+                ::std::format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let strat = prop::collection::vec(0u64..=100, 1..10);
+        let mut a = crate::TestRng::from_seed(9);
+        let mut b = crate::TestRng::from_seed(9);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -5i64..=5, f in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            xs in prop::collection::vec(0u64..=10, 2..6),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x <= 10));
+        }
+
+        #[test]
+        fn prop_map_and_tuples_compose(
+            pair in (1u64..=100, 1u32..=7).prop_map(|(a, b)| (a * 2, b)),
+        ) {
+            prop_assert_eq!(pair.0 % 2, 0);
+            prop_assert!(pair.1 >= 1 && pair.1 <= 7);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..=9) {
+            prop_assume!(n != 4);
+            prop_assert!(n != 4, "assume should have filtered n == 4");
+        }
+
+        #[test]
+        fn option_of_produces_both_variants(
+            opts in prop::collection::vec(prop::option::of(0u64..=1), 64..=64),
+        ) {
+            prop_assert!(opts.iter().any(Option::is_some));
+            prop_assert!(opts.iter().any(Option::is_none));
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small slice of serde it actually needs: `Serialize`/`Deserialize`
+//! traits routed through a self-describing [`Value`] model, plus derive
+//! macros (re-exported from the companion `serde_derive` stand-in).
+//!
+//! This is intentionally **not** the real serde data model: there are no
+//! serializer/deserializer visitors, just conversion to and from [`Value`].
+//! `serde_json` (also vendored) renders a [`Value`] as JSON text and parses
+//! it back, which is all the workspace requires.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (a JSON-like tree).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key/value map in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map field lookup.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization error support.
+pub mod de {
+    /// Why a [`super::Value`] could not be deserialized.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// An error with a formatted message.
+        pub fn msg(m: impl Into<String>) -> Error {
+            Error(m.into())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "deserialize error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| de::Error::msg(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| de::Error::msg(format!("{n} out of range"))),
+                    other => Err(de::Error::msg(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| de::Error::msg(format!("{n} out of range"))),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| de::Error::msg(format!("{n} out of range"))),
+                    other => Err(de::Error::msg(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::F64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    other => Err(de::Error::msg(format!(
+                        "expected number, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::msg(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::msg(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::msg(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Seq(items) => {
+                        let mut it = items.iter();
+                        let out = ($({
+                            let slot = it.next().ok_or_else(|| {
+                                de::Error::msg("tuple too short")
+                            })?;
+                            $t::from_value(slot)?
+                        },)+);
+                        Ok(out)
+                    }
+                    other => Err(de::Error::msg(format!(
+                        "expected sequence, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&o.to_value()), Ok(None));
+        let t = (1u64, 2.5f64);
+        assert_eq!(<(u64, f64)>::from_value(&t.to_value()), Ok(t));
+    }
+
+    #[test]
+    fn type_mismatch_reports_kind() {
+        let err = u64::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.0.contains("string"));
+    }
+
+    #[test]
+    fn map_field_lookup() {
+        let m = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(m.field("a"), Some(&Value::U64(1)));
+        assert_eq!(m.field("b"), None);
+    }
+}

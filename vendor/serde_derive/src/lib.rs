@@ -1,0 +1,377 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored value-model `serde` without `syn`/`quote`: the item's token
+//! stream is walked by hand and the impl is emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * named-field structs;
+//! * newtype (one-field tuple) structs;
+//! * enums whose variants are unit, named-field, or one-field tuple.
+//!
+//! Generic items and `#[serde(...)]` attributes are **not** supported and
+//! produce a compile error naming this crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Shape {
+    /// `struct X { a: T, b: U }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct X(T);`
+    Newtype { name: String },
+    /// `enum X { ... }`
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+    Tuple1,
+}
+
+/// Emits a `compile_error!` with a message.
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i + 1 < tokens.len()
+            && is_punct(&tokens[i], '#')
+            && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        {
+            i += 2;
+        } else if i < tokens.len() && is_ident(&tokens[i], "pub") {
+            i += 1;
+            if i < tokens.len()
+                && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// Parses the named fields of a brace group: `a: T, b: U,`.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            return Err(format!("expected field name, found `{}`", tokens[i]));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        if i >= tokens.len() || !is_punct(&tokens[i], ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+            } else if is_punct(&tokens[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated elements of a paren group.
+fn tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            arity += 1;
+            trailing_comma = true;
+            continue;
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            return Err(format!("expected variant name, found `{}`", tokens[i]));
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    i += 1;
+                    VariantShape::Named(parse_named_fields(g.stream())?)
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    if tuple_arity(g.stream()) != 1 {
+                        return Err(format!(
+                            "variant `{name}`: only one-field tuple variants are supported"
+                        ));
+                    }
+                    VariantShape::Tuple1
+                }
+                _ => VariantShape::Unit,
+            }
+        } else {
+            VariantShape::Unit
+        };
+        if i < tokens.len() && is_punct(&tokens[i], '=') {
+            return Err(format!("variant `{name}`: discriminants are unsupported"));
+        }
+        variants.push((name, shape));
+        if i < tokens.len() {
+            if !is_punct(&tokens[i], ',') {
+                return Err(format!(
+                    "expected `,` after a variant, found `{}`",
+                    tokens[i]
+                ));
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    i += 1;
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!("`{name}`: generic types are unsupported"));
+    }
+    match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Struct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            if tuple_arity(g.stream()) != 1 {
+                return Err(format!(
+                    "`{name}`: only newtype tuple structs are supported"
+                ));
+            }
+            Ok(Shape::Newtype { name })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        _ => Err(format!("`{name}`: unsupported item shape")),
+    }
+}
+
+fn named_fields_to_value(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({})),",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(""))
+}
+
+fn named_fields_from_value(ty: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {src}.field({f:?}) {{ \
+                     ::std::option::Option::Some(_fv) => ::serde::Deserialize::from_value(_fv)?, \
+                     ::std::option::Option::None => \
+                         ::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+                             ::serde::de::Error::msg(::std::format!(\
+                                 \"missing field `{f}` in {ty}\")))?, \
+                 }},"
+            )
+        })
+        .collect();
+    inits.join("")
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return error(&format!("vendored serde_derive(Serialize): {e}")),
+    };
+    let body = match &shape {
+        Shape::Struct { fields, .. } => named_fields_to_value(fields, |f| format!("&self.{f}")),
+        Shape::Newtype { .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    VariantShape::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let inner = named_fields_to_value(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({v:?}), {inner})]),"
+                        )
+                    }
+                    VariantShape::Tuple1 => format!(
+                        "{name}::{v}(_f0) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                              ::serde::Serialize::to_value(_f0))]),"
+                    ),
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(""))
+        }
+    };
+    let name = match &shape {
+        Shape::Struct { name, .. } | Shape::Newtype { name } | Shape::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return error(&format!("vendored serde_derive(Deserialize): {e}")),
+    };
+    let (name, body) = match &shape {
+        Shape::Struct { name, fields } => {
+            let inits = named_fields_from_value(name, fields, "v");
+            (
+                name,
+                format!("::std::result::Result::Ok({name} {{ {inits} }})"),
+            )
+        }
+        Shape::Newtype { name } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, vs)| matches!(vs, VariantShape::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, vs)| match vs {
+                    VariantShape::Unit => None,
+                    VariantShape::Named(fields) => {
+                        let inits = named_fields_from_value(name, fields, "_inner");
+                        Some(format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),"
+                        ))
+                    }
+                    VariantShape::Tuple1 => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok(\
+                             {name}::{v}(::serde::Deserialize::from_value(_inner)?)),"
+                    )),
+                })
+                .collect();
+            let body = format!(
+                "match v {{ \
+                     ::serde::Value::Str(_s) => match _s.as_str() {{ \
+                         {} \
+                         _other => ::std::result::Result::Err(::serde::de::Error::msg(\
+                             ::std::format!(\"unknown {name} variant `{{_other}}`\"))), \
+                     }}, \
+                     ::serde::Value::Map(_entries) if _entries.len() == 1 => {{ \
+                         let (_k, _inner) = &_entries[0]; \
+                         match _k.as_str() {{ \
+                             {} \
+                             _other => ::std::result::Result::Err(::serde::de::Error::msg(\
+                                 ::std::format!(\"unknown {name} variant `{{_other}}`\"))), \
+                         }} \
+                     }}, \
+                     _other => ::std::result::Result::Err(::serde::de::Error::msg(\
+                         ::std::format!(\"expected {name}, got {{}}\", _other.kind()))), \
+                 }}",
+                unit_arms.join(""),
+                data_arms.join(""),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::de::Error> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
