@@ -28,7 +28,7 @@ fn bench_fig2(c: &mut Criterion) {
 
     let sim = SimConfig::paper().with_curve();
     let mut full = PolicyKind::Full.build(&cfg);
-    let run = simulate(&trace, &mut full, &sim);
+    let run = simulate(&trace, &mut full, &sim).expect("ghost1 simulates");
     c.bench_function("fig2/csv_export", |b| {
         b.iter(|| {
             let mut out = Vec::with_capacity(16 * 1024);

@@ -9,10 +9,22 @@
 use dtb_core::policy::{DtbDual, DtbMem, LiveEstimate, PolicyConfig, PolicyKind};
 use dtb_core::time::Bytes;
 use dtb_sim::engine::{simulate, SimConfig};
+use dtb_sim::error::SimError;
 use dtb_sim::trigger::Trigger;
 use dtb_trace::programs::Program;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ablation run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), SimError> {
     let trace = Program::Espresso2.compiled();
     let sim = SimConfig::paper();
 
@@ -27,7 +39,7 @@ fn main() {
         ("Surviving", LiveEstimate::Surviving),
     ] {
         let mut policy = DtbMem::with_estimate(Bytes::from_kb(3000), kind);
-        let run = simulate(&trace, &mut policy, &sim);
+        let run = simulate(&trace, &mut policy, &sim)?;
         println!(
             "{:>10}  {:>6.0} KB  {:>6.0} KB  {:>6.0} KB  {:>8.1}%",
             name,
@@ -72,7 +84,7 @@ fn main() {
             ..SimConfig::paper()
         };
         let mut policy = PolicyKind::DtbMem.build(&PolicyConfig::paper());
-        let run = simulate(&trace, &mut policy, &cfg);
+        let run = simulate(&trace, &mut policy, &cfg)?;
         println!(
             "{:>28}  {:>5}  {:>6.0} KB  {:>6.0} KB  {:>8.1}%",
             name,
@@ -96,15 +108,15 @@ fn main() {
     for (name, run) in [
         ("DTBFM", {
             let mut policy = PolicyKind::DtbFm.build(&PolicyConfig::paper());
-            simulate(&trace, &mut policy, &sim)
+            simulate(&trace, &mut policy, &sim)?
         }),
         ("DTBMEM", {
             let mut policy = PolicyKind::DtbMem.build(&PolicyConfig::paper());
-            simulate(&trace, &mut policy, &sim)
+            simulate(&trace, &mut policy, &sim)?
         }),
         ("DTBDUAL", {
             let mut dual = DtbDual::new(Bytes::new(50_000), Bytes::from_kb(3000));
-            simulate(&trace, &mut dual, &sim)
+            simulate(&trace, &mut dual, &sim)?
         }),
     ] {
         println!(
@@ -119,4 +131,5 @@ fn main() {
         "\nDTBDUAL holds the pause budget like DTBFM while staying inside \
          DTBMEM's memory\nceiling whenever both are simultaneously feasible."
     );
+    Ok(())
 }

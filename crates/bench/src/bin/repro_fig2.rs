@@ -7,14 +7,26 @@
 //! writes one CSV per collector (`time,mem,live,boundary`) under
 //! `target/repro/` and prints a coarse summary.
 
+use dtb_bench::exit_reporting_failures;
 use dtb_core::policy::PolicyKind;
 use dtb_sim::engine::SimConfig;
 use dtb_sim::exec::Evaluation;
 use dtb_trace::programs::Program;
 use std::fs;
 use std::path::Path;
+use std::process::ExitCode;
 
-fn main() -> std::io::Result<()> {
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> std::io::Result<ExitCode> {
     let out_dir = Path::new("target/repro");
     fs::create_dir_all(out_dir)?;
 
@@ -29,8 +41,11 @@ fn main() -> std::io::Result<()> {
     let column = matrix.column(Program::Ghost1).expect("requested column");
 
     for cell in &column.cells {
-        let run = &cell.run;
         let kind = cell.row.policy().expect("collector rows only");
+        let Some(run) = cell.run() else {
+            println!("== {} == FAILED (no curve written)\n", kind.label());
+            continue;
+        };
         let path = out_dir.join(format!("fig2_{}.csv", kind.label().to_lowercase()));
         let mut buf = Vec::new();
         run.curve.write_csv(&mut buf)?;
@@ -63,5 +78,5 @@ fn main() -> std::io::Result<()> {
             run.curve.points().last().map_or(0, |p| p.mem.as_u64()),
         );
     }
-    Ok(())
+    Ok(exit_reporting_failures(&matrix))
 }

@@ -2,11 +2,12 @@
 //! each collector over each workload. Published values in brackets.
 
 use dtb_bench::table::{vs_paper, TextTable};
-use dtb_bench::{collector_rows, full_matrix, paper};
+use dtb_bench::{collector_rows, exit_reporting_failures, full_matrix, paper};
 use dtb_core::policy::Row;
 use dtb_trace::programs::Program;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     println!("Table 2: Mean and Maximum Memory Allocated (Kilobytes)");
     println!("measured [paper]\n");
     let matrix = full_matrix();
@@ -19,7 +20,10 @@ fn main() {
         for row in collector_rows() {
             let mut cells = vec![row.to_string()];
             for p in Program::ALL {
-                let r = matrix.get_row(p, &row).expect("full matrix has every cell");
+                let Some(r) = matrix.get_row(p, &row) else {
+                    cells.push("FAILED".to_string());
+                    continue;
+                };
                 let (mean_kb, max_kb) = r.mem_kb();
                 let measured = if metric == "Mean" { mean_kb } else { max_kb };
                 let published = match &row {
@@ -39,4 +43,5 @@ fn main() {
         println!("== {metric} memory (KB) ==");
         println!("{}", t.render());
     }
+    exit_reporting_failures(&matrix)
 }

@@ -2,11 +2,12 @@
 //! (milliseconds). Published values in brackets.
 
 use dtb_bench::table::{vs_paper, TextTable};
-use dtb_bench::{full_matrix, paper};
+use dtb_bench::{exit_reporting_failures, full_matrix, paper};
 use dtb_core::policy::PolicyKind;
 use dtb_trace::programs::Program;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     println!("Table 3: Median and 90th Percentile Pause Times (Milliseconds)");
     println!("measured [paper]\n");
     let matrix = full_matrix();
@@ -19,7 +20,10 @@ fn main() {
         for kind in PolicyKind::ALL {
             let mut cells = vec![kind.label().to_string()];
             for p in Program::ALL {
-                let r = matrix.get(p, kind).expect("full matrix has every cell");
+                let Some(r) = matrix.get(p, kind) else {
+                    cells.push("FAILED".to_string());
+                    continue;
+                };
                 let measured = if metric.starts_with("Median") {
                     r.pause_median_ms
                 } else {
@@ -38,4 +42,5 @@ fn main() {
         println!("== {metric} pause (ms) ==");
         println!("{}", t.render());
     }
+    exit_reporting_failures(&matrix)
 }

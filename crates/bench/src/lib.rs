@@ -52,3 +52,21 @@ pub fn matrix_for(cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
 pub fn collector_rows() -> [Row; 8] {
     Row::table_rows()
 }
+
+/// Lists every failed cell on stderr and turns the matrix's completeness
+/// into a process exit code.
+///
+/// The `repro_*` binaries print their tables with failed cells marked
+/// (the healthy cells are still useful), then finish through this so a
+/// partial run is visible to scripts and CI as a nonzero exit.
+pub fn exit_reporting_failures(matrix: &Matrix) -> std::process::ExitCode {
+    let failures: Vec<_> = matrix.failures().collect();
+    if failures.is_empty() {
+        return std::process::ExitCode::SUCCESS;
+    }
+    eprintln!("\n{} cell(s) failed:", failures.len());
+    for f in &failures {
+        eprintln!("  {f}");
+    }
+    std::process::ExitCode::FAILURE
+}

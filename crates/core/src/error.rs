@@ -1,0 +1,167 @@
+//! Typed failures for boundary selection.
+//!
+//! Policies are pure arithmetic over a [`ScavengeContext`] and almost never
+//! fail — but a buggy or adversarial implementation can produce a boundary
+//! that is not a point on the allocation clock at all (NaN, infinite, or
+//! negative float intermediates). The framework refuses to simulate such
+//! garbage: [`boundary_from_f64`] is the sanctioned float-to-clock
+//! conversion, and everything it rejects surfaces as a [`PolicyError`]
+//! instead of a panic or a silently-wrong boundary.
+//!
+//! [`ScavengeContext`]: crate::policy::ScavengeContext
+
+use crate::time::VirtualTime;
+
+/// A boundary-selection failure.
+///
+/// Carried out of [`TbPolicy::select_boundary`](crate::policy::TbPolicy::select_boundary)
+/// and reported by the evaluation framework as a failed cell rather than a
+/// crashed run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicyError {
+    /// The policy computed a NaN or infinite boundary.
+    NonFiniteBoundary {
+        /// The policy's `name()`.
+        policy: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The policy computed a negative boundary (before the start of the
+    /// allocation clock).
+    NegativeBoundary {
+        /// The policy's `name()`.
+        policy: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The policy failed for a reason of its own.
+    Internal {
+        /// The policy's `name()`.
+        policy: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl PolicyError {
+    /// The name of the policy that failed.
+    pub fn policy(&self) -> &str {
+        match self {
+            PolicyError::NonFiniteBoundary { policy, .. }
+            | PolicyError::NegativeBoundary { policy, .. }
+            | PolicyError::Internal { policy, .. } => policy,
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::NonFiniteBoundary { policy, value } => {
+                write!(f, "{policy}: non-finite boundary {value}")
+            }
+            PolicyError::NegativeBoundary { policy, value } => {
+                write!(f, "{policy}: negative boundary {value}")
+            }
+            PolicyError::Internal { policy, reason } => {
+                write!(f, "{policy}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// Converts a float boundary candidate to a clock point, rejecting values
+/// that are not times: NaN and ±∞ ([`PolicyError::NonFiniteBoundary`]) and
+/// negatives ([`PolicyError::NegativeBoundary`]). Values beyond `u64::MAX`
+/// saturate — the engine clamps boundaries to `now` anyway.
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::error::{boundary_from_f64, PolicyError};
+/// use dtb_core::time::VirtualTime;
+///
+/// assert_eq!(
+///     boundary_from_f64("MINE", 1500.0),
+///     Ok(VirtualTime::from_bytes(1500))
+/// );
+/// assert!(matches!(
+///     boundary_from_f64("MINE", f64::NAN),
+///     Err(PolicyError::NonFiniteBoundary { .. })
+/// ));
+/// assert!(matches!(
+///     boundary_from_f64("MINE", -1.0),
+///     Err(PolicyError::NegativeBoundary { .. })
+/// ));
+/// ```
+pub fn boundary_from_f64(policy: &str, value: f64) -> Result<VirtualTime, PolicyError> {
+    if !value.is_finite() {
+        return Err(PolicyError::NonFiniteBoundary {
+            policy: policy.to_owned(),
+            value,
+        });
+    }
+    if value < 0.0 {
+        return Err(PolicyError::NegativeBoundary {
+            policy: policy.to_owned(),
+            value,
+        });
+    }
+    if value >= u64::MAX as f64 {
+        return Ok(VirtualTime::from_bytes(u64::MAX));
+    }
+    Ok(VirtualTime::from_bytes(value as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_values_convert() {
+        assert_eq!(boundary_from_f64("P", 0.0), Ok(VirtualTime::ZERO));
+        assert_eq!(
+            boundary_from_f64("P", 12.9),
+            Ok(VirtualTime::from_bytes(12))
+        );
+    }
+
+    #[test]
+    fn huge_values_saturate() {
+        assert_eq!(
+            boundary_from_f64("P", f64::MAX),
+            Ok(VirtualTime::from_bytes(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn nan_and_infinities_rejected() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = boundary_from_f64("P", v).unwrap_err();
+            match err {
+                PolicyError::NonFiniteBoundary { ref policy, .. } => assert_eq!(policy, "P"),
+                other => panic!("expected NonFiniteBoundary, got {other:?}"),
+            }
+            assert!(err.to_string().contains("non-finite"));
+        }
+    }
+
+    #[test]
+    fn negatives_rejected() {
+        let err = boundary_from_f64("P", -0.5).unwrap_err();
+        assert!(matches!(err, PolicyError::NegativeBoundary { .. }));
+        assert_eq!(err.policy(), "P");
+    }
+
+    #[test]
+    fn internal_error_displays_reason() {
+        let err = PolicyError::Internal {
+            policy: "MINE".into(),
+            reason: "no history".into(),
+        };
+        assert_eq!(err.to_string(), "MINE: no history");
+        assert_eq!(err.policy(), "MINE");
+    }
+}

@@ -44,7 +44,7 @@
 //!     survival: &NoSurvivalInfo,
 //! };
 //! // The first scavenge is always a full collection.
-//! assert_eq!(policy.select_boundary(&ctx), VirtualTime::ZERO);
+//! assert_eq!(policy.select_boundary(&ctx), Ok(VirtualTime::ZERO));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,6 +52,7 @@
 
 pub mod constraint;
 pub mod cost;
+pub mod error;
 pub mod framework;
 pub mod history;
 pub mod policy;
@@ -60,6 +61,7 @@ pub mod time;
 
 pub use constraint::Constraint;
 pub use cost::CostModel;
+pub use error::PolicyError;
 pub use history::{ScavengeHistory, ScavengeRecord};
 pub use policy::{ScavengeContext, SurvivalEstimator, TbPolicy};
 pub use time::{Bytes, VirtualTime};

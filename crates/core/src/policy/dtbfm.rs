@@ -1,7 +1,7 @@
 //! The paper's pause-time-constrained dynamic boundary policy.
 
 use super::feedmed::mediate;
-use super::{clamp_boundary, ScavengeContext, TbPolicy};
+use super::{clamp_boundary, PolicyError, ScavengeContext, TbPolicy};
 use crate::constraint::Constraint;
 use crate::time::{Bytes, VirtualTime};
 
@@ -59,16 +59,17 @@ impl TbPolicy for DtbFm {
         "DTBFM"
     }
 
-    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
         let Some(last) = ctx.history.last() else {
-            return VirtualTime::ZERO; // initial full collection
+            return Ok(VirtualTime::ZERO); // initial full collection
         };
         if last.traced > self.trace_max {
-            return mediate(ctx, self.trace_max, last.boundary);
+            return Ok(mediate(ctx, self.trace_max, last.boundary, last.at));
         }
+        // `ratio` is `None` when `Trace_{n-1} = 0`: unbounded slack, collect
+        // everything rather than divide by zero.
         let Some(ratio) = self.trace_max.ratio(last.traced) else {
-            // Trace_{n-1} = 0: unbounded slack, collect everything.
-            return VirtualTime::ZERO;
+            return Ok(VirtualTime::ZERO);
         };
         let distance = last.at.elapsed_since(last.boundary).as_u64() as f64 * ratio;
         let candidate = if distance >= ctx.now.as_u64() as f64 {
@@ -76,7 +77,7 @@ impl TbPolicy for DtbFm {
         } else {
             ctx.now.rewind(Bytes::new(distance as u64))
         };
-        clamp_boundary(candidate, last.at)
+        Ok(clamp_boundary(candidate, last.at))
     }
 
     fn constraint(&self) -> Option<Constraint> {
@@ -96,7 +97,10 @@ mod tests {
         let mut p = DtbFm::new(Bytes::new(50));
         let est = NoSurvivalInfo;
         let h = ScavengeHistory::new();
-        assert_eq!(p.select_boundary(&ctx(100, 0, &h, &est)), VirtualTime::ZERO);
+        assert_eq!(
+            p.select_boundary(&ctx(100, 0, &h, &est)),
+            Ok(VirtualTime::ZERO)
+        );
     }
 
     #[test]
@@ -106,7 +110,7 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // Previous: t=1000, TB=900 (distance 100), traced 50 (half budget).
         h.push(rec(1000, 900, 50, 60, 120));
-        let tb = p.select_boundary(&ctx(2000, 0, &h, &est));
+        let tb = p.select_boundary(&ctx(2000, 0, &h, &est)).unwrap();
         // New distance = 100 · (100/50) = 200 ⇒ TB = 2000 − 200 = 1800…
         // …clamped to t_{n-1} = 1000 so everything allocated since the last
         // scavenge is traced at least once.
@@ -120,7 +124,7 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // Previous: t=10_000, TB=2_000 (distance 8_000), traced 50.
         h.push(rec(10_000, 2_000, 50, 60, 120));
-        let tb = p.select_boundary(&ctx(11_000, 0, &h, &est));
+        let tb = p.select_boundary(&ctx(11_000, 0, &h, &est)).unwrap();
         // New distance = 8_000 · 2 = 16_000 > t_n ⇒ full collection.
         assert_eq!(tb, VirtualTime::ZERO);
     }
@@ -132,7 +136,7 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // distance 5_000, traced exactly at budget ⇒ ratio 1.
         h.push(rec(10_000, 5_000, 100, 120, 200));
-        let tb = p.select_boundary(&ctx(11_000, 0, &h, &est));
+        let tb = p.select_boundary(&ctx(11_000, 0, &h, &est)).unwrap();
         // TB = 11_000 − 5_000 = 6_000, within [0, t_{n-1}].
         assert_eq!(tb, VirtualTime::from_bytes(6_000));
     }
@@ -145,7 +149,7 @@ mod tests {
         h.push(rec(1000, 900, 0, 10, 110));
         assert_eq!(
             p.select_boundary(&ctx(2000, 0, &h, &est)),
-            VirtualTime::ZERO
+            Ok(VirtualTime::ZERO)
         );
     }
 
@@ -158,7 +162,7 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(100, 0, 90, 90, 150));
         h.push(rec(200, 100, 90, 120, 200));
-        let tb = p.select_boundary(&ctx(300, 0, &h, &est));
+        let tb = p.select_boundary(&ctx(300, 0, &h, &est)).unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(200)); // same as FEEDMED test
     }
 
@@ -172,7 +176,7 @@ mod tests {
         for i in 1..50u64 {
             t += 1000;
             let c = ctx(t, i * 13, &h, &est);
-            let tb = p.select_boundary(&c);
+            let tb = p.select_boundary(&c).unwrap();
             assert!(tb <= c.now);
             if let Some(prev) = h.last() {
                 assert!(tb <= prev.at, "must trace everything at least once");

@@ -1,6 +1,6 @@
 //! The paper's memory-constrained dynamic boundary policy.
 
-use super::{clamp_boundary, ScavengeContext, TbPolicy};
+use super::{clamp_boundary, PolicyError, ScavengeContext, TbPolicy};
 use crate::constraint::Constraint;
 use crate::time::{Bytes, VirtualTime};
 
@@ -106,18 +106,20 @@ impl TbPolicy for DtbMem {
         "DTBMEM"
     }
 
-    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
         let Some(last) = ctx.history.last() else {
-            return VirtualTime::ZERO; // initial full collection
+            return Ok(VirtualTime::ZERO); // initial full collection
         };
         let l_est = self.estimate_live(last.surviving, last.traced);
         let Some(garbage_budget) = self.mem_max.checked_sub(l_est) else {
-            return VirtualTime::ZERO; // over-constrained ⇒ degrade to FULL
+            return Ok(VirtualTime::ZERO); // over-constrained ⇒ degrade to FULL
         };
+        // `ratio` is `None` when `Mem_n == 0` (empty heap): degrade to a
+        // full collection rather than divide by zero.
         let Some(factor) = garbage_budget.ratio(ctx.mem_before) else {
-            return VirtualTime::ZERO; // empty heap: full collection is free
+            return Ok(VirtualTime::ZERO);
         };
-        clamp_boundary(ctx.now.scale(factor), last.at)
+        Ok(clamp_boundary(ctx.now.scale(factor), last.at))
     }
 
     fn constraint(&self) -> Option<Constraint> {
@@ -137,7 +139,10 @@ mod tests {
         let mut p = DtbMem::new(Bytes::new(3000));
         let est = NoSurvivalInfo;
         let h = ScavengeHistory::new();
-        assert_eq!(p.select_boundary(&ctx(100, 0, &h, &est)), VirtualTime::ZERO);
+        assert_eq!(
+            p.select_boundary(&ctx(100, 0, &h, &est)),
+            Ok(VirtualTime::ZERO)
+        );
     }
 
     #[test]
@@ -148,7 +153,7 @@ mod tests {
         // S_{n-1} = 1200, Trace_{n-1} = 800 ⇒ L_est = 1000.
         h.push(rec(10_000, 0, 800, 1200, 2000));
         // Mem_n = 4000 ⇒ factor = (3000−1000)/4000 = 0.5 ⇒ TB = 20_000·0.5.
-        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est));
+        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est)).unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(10_000)); // == t_{n-1}, exactly at the cap
     }
 
@@ -159,7 +164,7 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // Tiny live estimate and huge budget ⇒ raw factor near 1.
         h.push(rec(5_000, 0, 10, 10, 100));
-        let tb = p.select_boundary(&ctx(20_000, 100, &h, &est));
+        let tb = p.select_boundary(&ctx(20_000, 100, &h, &est)).unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(5_000));
     }
 
@@ -172,7 +177,7 @@ mod tests {
         h.push(rec(10_000, 0, 800, 1200, 2000));
         assert_eq!(
             p.select_boundary(&ctx(20_000, 4000, &h, &est)),
-            VirtualTime::ZERO
+            Ok(VirtualTime::ZERO)
         );
     }
 
@@ -183,7 +188,7 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // L_est = 1000, budget = 100, Mem_n = 4000 ⇒ factor = 0.025.
         h.push(rec(10_000, 0, 800, 1200, 2000));
-        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est));
+        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est)).unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(500));
     }
 
@@ -195,7 +200,7 @@ mod tests {
         h.push(rec(10_000, 0, 0, 0, 0));
         assert_eq!(
             p.select_boundary(&ctx(20_000, 0, &h, &est)),
-            VirtualTime::ZERO
+            Ok(VirtualTime::ZERO)
         );
     }
 
@@ -218,7 +223,7 @@ mod tests {
         let mut prev = VirtualTime::ZERO;
         for budget in [1_000u64, 1_500, 2_000, 3_000, 5_000, 50_000] {
             let mut p = DtbMem::new(Bytes::new(budget));
-            let tb = p.select_boundary(&ctx(60_000, 5_000, &h, &est));
+            let tb = p.select_boundary(&ctx(60_000, 5_000, &h, &est)).unwrap();
             assert!(tb >= prev, "budget {budget}: {tb:?} < {prev:?}");
             prev = tb;
         }
@@ -242,9 +247,15 @@ mod estimate_tests {
         h.push(rec(10_000, 0, 400, 1600, 2400));
         let c = ctx(20_000, 4_000, &h, &est);
         let budget = Bytes::new(2_000);
-        let tb_surv = DtbMem::with_estimate(budget, LiveEstimate::Surviving).select_boundary(&c);
-        let tb_mid = DtbMem::with_estimate(budget, LiveEstimate::Midpoint).select_boundary(&c);
-        let tb_traced = DtbMem::with_estimate(budget, LiveEstimate::Traced).select_boundary(&c);
+        let tb_surv = DtbMem::with_estimate(budget, LiveEstimate::Surviving)
+            .select_boundary(&c)
+            .unwrap();
+        let tb_mid = DtbMem::with_estimate(budget, LiveEstimate::Midpoint)
+            .select_boundary(&c)
+            .unwrap();
+        let tb_traced = DtbMem::with_estimate(budget, LiveEstimate::Traced)
+            .select_boundary(&c)
+            .unwrap();
         assert!(tb_surv <= tb_mid, "{tb_surv:?} > {tb_mid:?}");
         assert!(tb_mid <= tb_traced, "{tb_mid:?} > {tb_traced:?}");
         assert!(tb_surv < tb_traced, "estimators should differ here");

@@ -13,7 +13,7 @@
 //! user-visible constraint, and a missed memory target degrades gradually
 //! while a missed pause target is a visible freeze.
 
-use super::{DtbFm, DtbMem, ScavengeContext, TbPolicy};
+use super::{DtbFm, DtbMem, PolicyError, ScavengeContext, TbPolicy};
 use crate::constraint::Constraint;
 use crate::time::{Bytes, VirtualTime};
 
@@ -66,16 +66,16 @@ impl TbPolicy for DtbDual {
         "DTBDUAL"
     }
 
-    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
-        let tb_mem = self.memory.select_boundary(ctx);
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
+        let tb_mem = self.memory.select_boundary(ctx)?;
         // Would tracing from the memory boundary fit the pause budget?
         if ctx.survival.surviving_born_after(tb_mem) <= self.trace_max() {
-            return tb_mem;
+            return Ok(tb_mem);
         }
         // No: let the pause-constrained policy decide, and never go deeper
         // than it allows.
-        let tb_pause = self.pause.select_boundary(ctx);
-        tb_mem.max(tb_pause)
+        let tb_pause = self.pause.select_boundary(ctx)?;
+        Ok(tb_mem.max(tb_pause))
     }
 
     fn constraint(&self) -> Option<Constraint> {
@@ -96,7 +96,10 @@ mod tests {
         let mut p = DtbDual::new(Bytes::new(50_000), Bytes::from_kb(3000));
         let h = ScavengeHistory::new();
         let est = NoSurvivalInfo;
-        assert_eq!(p.select_boundary(&ctx(100, 0, &h, &est)), VirtualTime::ZERO);
+        assert_eq!(
+            p.select_boundary(&ctx(100, 0, &h, &est)),
+            Ok(VirtualTime::ZERO)
+        );
     }
 
     #[test]
@@ -124,7 +127,7 @@ mod tests {
         // Previous scavenge blew the pause budget, so the pause policy
         // mediates with the estimator instead of extrapolating.
         h.push(rec(10_000, 0, 90_000, 1200, 92_000));
-        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est));
+        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est)).unwrap();
         assert!(
             tb > VirtualTime::ZERO,
             "pause budget should veto the full collection"
@@ -148,7 +151,7 @@ mod tests {
         for i in 1..40u64 {
             t += 1_000;
             let c = ctx(t, i * 100, &h, &est);
-            let tb = p.select_boundary(&c);
+            let tb = p.select_boundary(&c).unwrap();
             assert!(tb <= c.now);
             if let Some(prev) = h.last() {
                 assert!(tb <= prev.at);

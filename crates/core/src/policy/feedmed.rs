@@ -1,6 +1,6 @@
 //! Ungar & Jackson's Feedback Mediation, in the threatening-boundary frame.
 
-use super::{clamp_boundary, ScavengeContext, TbPolicy};
+use super::{clamp_boundary, PolicyError, ScavengeContext, TbPolicy};
 use crate::constraint::Constraint;
 use crate::time::{Bytes, VirtualTime};
 
@@ -56,17 +56,14 @@ impl FeedMed {
 ///
 /// Finds the oldest admissible boundary among previous scavenge times at or
 /// after `prev_tb` whose predicted trace fits `trace_max`; falls back to
-/// `t_{n-1}` when none fits. Must only be called with a non-empty history.
+/// `last_time` (`t_{n-1}`, supplied by the caller from the record it already
+/// holds) when none fits.
 pub(super) fn mediate(
     ctx: &ScavengeContext<'_>,
     trace_max: Bytes,
     prev_tb: VirtualTime,
+    last_time: VirtualTime,
 ) -> VirtualTime {
-    let last_time = ctx
-        .history
-        .last()
-        .expect("mediate requires at least one completed scavenge")
-        .at;
     for (_, t_k) in ctx.history.times_at_or_after(prev_tb) {
         if ctx.survival.surviving_born_after(t_k) <= trace_max {
             return clamp_boundary(t_k, last_time);
@@ -80,15 +77,15 @@ impl TbPolicy for FeedMed {
         "FEEDMED"
     }
 
-    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
         let Some(last) = ctx.history.last() else {
-            return VirtualTime::ZERO; // initial full collection
+            return Ok(VirtualTime::ZERO); // initial full collection
         };
-        if last.traced > self.trace_max {
-            mediate(ctx, self.trace_max, last.boundary)
+        Ok(if last.traced > self.trace_max {
+            mediate(ctx, self.trace_max, last.boundary, last.at)
         } else {
             last.boundary
-        }
+        })
     }
 
     fn constraint(&self) -> Option<Constraint> {
@@ -108,7 +105,10 @@ mod tests {
         let mut p = FeedMed::new(Bytes::new(50));
         let est = NoSurvivalInfo;
         let h = ScavengeHistory::new();
-        assert_eq!(p.select_boundary(&ctx(100, 0, &h, &est)), VirtualTime::ZERO);
+        assert_eq!(
+            p.select_boundary(&ctx(100, 0, &h, &est)),
+            Ok(VirtualTime::ZERO)
+        );
     }
 
     #[test]
@@ -119,7 +119,7 @@ mod tests {
         h.push(rec(100, 30, 40, 40, 80)); // traced 40 <= 50
         assert_eq!(
             p.select_boundary(&ctx(200, 0, &h, &est)),
-            VirtualTime::from_bytes(30)
+            Ok(VirtualTime::from_bytes(30))
         );
     }
 
@@ -133,7 +133,7 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(100, 0, 90, 90, 150)); // traced 90 > 50 at next decision? no: this is scavenge 0
         h.push(rec(200, 100, 90, 120, 200)); // traced 90 > 50 → mediate
-        let tb = p.select_boundary(&ctx(300, 0, &h, &est));
+        let tb = p.select_boundary(&ctx(300, 0, &h, &est)).unwrap();
         // Candidates ≥ TB_{n-1}=100: t=100 (predict 80 > 50), t=200 (predict 45 ≤ 50).
         assert_eq!(tb, VirtualTime::from_bytes(200));
     }
@@ -148,7 +148,7 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(100, 0, 20, 20, 40));
         h.push(rec(200, 100, 20, 30, 60));
-        let tb = p.select_boundary(&ctx(300, 0, &h, &est));
+        let tb = p.select_boundary(&ctx(300, 0, &h, &est)).unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(200));
     }
 
@@ -162,7 +162,7 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(100, 0, 20, 20, 40));
         h.push(rec(200, 150, 90, 90, 180)); // over budget, TB_{n-1} = 150
-        let tb = p.select_boundary(&ctx(300, 0, &h, &est));
+        let tb = p.select_boundary(&ctx(300, 0, &h, &est)).unwrap();
         assert!(tb >= VirtualTime::from_bytes(150));
     }
 

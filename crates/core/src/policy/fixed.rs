@@ -1,6 +1,6 @@
 //! Classic generational collection: `TB_n ← t_{n-k}`.
 
-use super::{ScavengeContext, TbPolicy};
+use super::{PolicyError, ScavengeContext, TbPolicy};
 use crate::time::VirtualTime;
 
 /// `FIXED-k`: the threatening boundary is pinned `k` scavenges in the past.
@@ -58,11 +58,12 @@ impl TbPolicy for Fixed {
         &self.name
     }
 
-    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
-        ctx.history
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
+        Ok(ctx
+            .history
             .back(self.k)
             .map(|r| r.at)
-            .unwrap_or(VirtualTime::ZERO)
+            .unwrap_or(VirtualTime::ZERO))
     }
 }
 
@@ -78,16 +79,19 @@ mod tests {
         let mut p = Fixed::new(1);
         let est = NoSurvivalInfo;
         let mut h = ScavengeHistory::new();
-        assert_eq!(p.select_boundary(&ctx(100, 0, &h, &est)), VirtualTime::ZERO);
+        assert_eq!(
+            p.select_boundary(&ctx(100, 0, &h, &est)),
+            Ok(VirtualTime::ZERO)
+        );
         h.push(rec(100, 0, 10, 10, 20));
         assert_eq!(
             p.select_boundary(&ctx(200, 0, &h, &est)),
-            VirtualTime::from_bytes(100)
+            Ok(VirtualTime::from_bytes(100))
         );
         h.push(rec(200, 100, 5, 12, 30));
         assert_eq!(
             p.select_boundary(&ctx(300, 0, &h, &est)),
-            VirtualTime::from_bytes(200)
+            Ok(VirtualTime::from_bytes(200))
         );
     }
 
@@ -99,7 +103,7 @@ mod tests {
         for (i, t) in [100u64, 200, 300].iter().enumerate() {
             assert_eq!(
                 p.select_boundary(&ctx(*t, 0, &h, &est)),
-                VirtualTime::ZERO,
+                Ok(VirtualTime::ZERO),
                 "scavenge {i} should still be full"
             );
             h.push(rec(*t, 0, 1, 1, 2));
@@ -108,7 +112,7 @@ mod tests {
         // With four completed scavenges, boundary is t_{n-4} = 100.
         assert_eq!(
             p.select_boundary(&ctx(500, 0, &h, &est)),
-            VirtualTime::from_bytes(100)
+            Ok(VirtualTime::from_bytes(100))
         );
     }
 

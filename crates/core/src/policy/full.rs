@@ -1,6 +1,6 @@
 //! The non-generational full collector: `TB_n ← 0`.
 
-use super::{ScavengeContext, TbPolicy};
+use super::{PolicyError, ScavengeContext, TbPolicy};
 use crate::time::VirtualTime;
 
 /// `FULL`: every scavenge threatens the whole heap.
@@ -26,7 +26,7 @@ use crate::time::VirtualTime;
 ///     history: &history,
 ///     survival: &NoSurvivalInfo,
 /// };
-/// assert_eq!(full.select_boundary(&ctx), VirtualTime::ZERO);
+/// assert_eq!(full.select_boundary(&ctx), Ok(VirtualTime::ZERO));
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Full;
@@ -43,8 +43,8 @@ impl TbPolicy for Full {
         "FULL"
     }
 
-    fn select_boundary(&mut self, _ctx: &ScavengeContext<'_>) -> VirtualTime {
-        VirtualTime::ZERO
+    fn select_boundary(&mut self, _ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
+        Ok(VirtualTime::ZERO)
     }
 }
 
@@ -62,13 +62,13 @@ mod tests {
         let mut h = ScavengeHistory::new();
         assert_eq!(
             p.select_boundary(&ctx(100, 10, &h, &est)),
-            VirtualTime::ZERO
+            Ok(VirtualTime::ZERO)
         );
         h.push(rec(100, 0, 50, 50, 100));
         h.push(rec(200, 0, 60, 60, 110));
         assert_eq!(
             p.select_boundary(&ctx(300, 10, &h, &est)),
-            VirtualTime::ZERO
+            Ok(VirtualTime::ZERO)
         );
     }
 

@@ -40,6 +40,8 @@ pub use fixed::Fixed;
 pub use full::Full;
 pub use kind::{PolicyConfig, PolicyKind, Row};
 
+pub use crate::error::PolicyError;
+
 use crate::history::ScavengeHistory;
 use crate::time::{Bytes, VirtualTime};
 
@@ -126,7 +128,17 @@ pub trait TbPolicy {
     ///
     /// Returning [`VirtualTime::ZERO`] requests a full collection. The
     /// returned boundary is clamped by callers to `[0, ctx.now]`.
-    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime;
+    ///
+    /// # Errors
+    ///
+    /// The paper's six collectors never fail; the `Result` exists for
+    /// policies whose arithmetic can go wrong — float intermediates that
+    /// turn NaN, infinite, or negative (convert them through
+    /// [`boundary_from_f64`](crate::error::boundary_from_f64)), or any
+    /// internal failure worth reporting as [`PolicyError::Internal`]. The
+    /// evaluation framework reports an `Err` as a failed cell instead of
+    /// simulating a garbage boundary.
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError>;
 
     /// The constraint this policy tracks, for reporting. `None` for
     /// unconstrained policies.
@@ -139,7 +151,7 @@ impl<P: TbPolicy + ?Sized> TbPolicy for Box<P> {
     fn name(&self) -> &str {
         (**self).name()
     }
-    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
         (**self).select_boundary(ctx)
     }
     fn constraint(&self) -> Option<crate::constraint::Constraint> {
@@ -271,7 +283,7 @@ mod tests {
         let est = NoSurvivalInfo;
         let c = ctx(500, 100, &h, &est);
         assert_eq!(boxed.name(), "FULL");
-        assert_eq!(boxed.select_boundary(&c), VirtualTime::ZERO);
+        assert_eq!(boxed.select_boundary(&c), Ok(VirtualTime::ZERO));
         assert!(boxed.constraint().is_none());
     }
 

@@ -61,6 +61,13 @@ impl VirtualTime {
         VirtualTime(self.0 + by.0)
     }
 
+    /// Moves this time forward by an allocation amount, or `None` if the
+    /// clock would overflow `u64` (2^64 bytes ≈ 16 exabytes of allocation —
+    /// only reachable with a corrupt or adversarial trace).
+    pub fn checked_advance(self, by: Bytes) -> Option<VirtualTime> {
+        self.0.checked_add(by.0).map(VirtualTime)
+    }
+
     /// Moves this time backward by an allocation amount, saturating at zero.
     pub fn rewind(self, by: Bytes) -> VirtualTime {
         VirtualTime(self.0.saturating_sub(by.0))

@@ -67,7 +67,9 @@ fn estimator_strategy() -> impl Strategy<Value = TableEstimator> {
 /// later than `now` and (b) no later than the previous scavenge time — so
 /// that every object is traced at least once.
 fn assert_legal_boundary(policy: &mut dyn TbPolicy, ctx: &ScavengeContext<'_>) {
-    let tb = policy.select_boundary(ctx);
+    let tb = policy
+        .select_boundary(ctx)
+        .unwrap_or_else(|e| panic!("{}: select_boundary failed: {e}", policy.name()));
     assert!(
         tb <= ctx.now,
         "{}: boundary {tb:?} later than now {:?}",
@@ -124,8 +126,8 @@ proptest! {
         };
         let cfg = PolicyConfig::paper();
         for kind in PolicyKind::ALL {
-            let a = kind.build(&cfg).select_boundary(&ctx);
-            let b = kind.build(&cfg).select_boundary(&ctx);
+            let a = kind.build(&cfg).select_boundary(&ctx).unwrap();
+            let b = kind.build(&cfg).select_boundary(&ctx).unwrap();
             prop_assert_eq!(a, b, "{} not deterministic", kind);
         }
     }
@@ -146,7 +148,9 @@ proptest! {
             survival: &est,
         };
         let prev_tb = h.last().unwrap().boundary;
-        let tb = FeedMed::new(Bytes::new(trace_max)).select_boundary(&ctx);
+        let tb = FeedMed::new(Bytes::new(trace_max))
+            .select_boundary(&ctx)
+            .unwrap();
         prop_assert!(tb >= prev_tb, "FEEDMED moved boundary backward: {tb:?} < {prev_tb:?}");
     }
 
@@ -170,7 +174,7 @@ proptest! {
         sorted.sort_unstable();
         let mut prev_tb = VirtualTime::ZERO;
         for b in sorted {
-            let tb = DtbMem::new(Bytes::new(b)).select_boundary(&ctx);
+            let tb = DtbMem::new(Bytes::new(b)).select_boundary(&ctx).unwrap();
             prop_assert!(tb >= prev_tb, "larger budget produced older boundary");
             prev_tb = tb;
         }
@@ -190,7 +194,7 @@ proptest! {
             history: &h,
             survival: &est,
         };
-        let tb = Fixed::new(k).select_boundary(&ctx);
+        let tb = Fixed::new(k).select_boundary(&ctx).unwrap();
         let is_recorded = h.iter().any(|r| r.at == tb);
         prop_assert!(tb == VirtualTime::ZERO || is_recorded);
     }
@@ -208,7 +212,7 @@ proptest! {
             history: &h,
             survival: &est,
         };
-        prop_assert_eq!(Full::new().select_boundary(&ctx), VirtualTime::ZERO);
+        prop_assert_eq!(Full::new().select_boundary(&ctx), Ok(VirtualTime::ZERO));
     }
 
     #[test]
@@ -320,8 +324,9 @@ proptest! {
             survival: &est,
         };
         let dual = DtbDual::new(Bytes::new(trace_max), Bytes::new(mem_max))
-            .select_boundary(&ctx);
-        let mem_only = DtbMem::new(Bytes::new(mem_max)).select_boundary(&ctx);
+            .select_boundary(&ctx)
+            .unwrap();
+        let mem_only = DtbMem::new(Bytes::new(mem_max)).select_boundary(&ctx).unwrap();
         prop_assert!(dual >= mem_only);
     }
 
@@ -344,5 +349,30 @@ proptest! {
             let mut p = DtbMem::with_estimate(Bytes::new(mem_max), kind);
             assert_legal_boundary(&mut p, &ctx);
         }
+    }
+
+    #[test]
+    fn degenerate_contexts_never_error(
+        h in history_strategy(),
+        extra in 1u64..=2_000_000,
+    ) {
+        // Zero budgets, an empty heap, and (possibly) an empty history:
+        // every division-by-zero hazard at once. Policies must degrade
+        // (typically to a full collection), never fail or panic.
+        let now = h.last().map_or(VirtualTime::ZERO, |r| r.at).advance(Bytes::new(extra));
+        let est = NoSurvivalInfo;
+        let ctx = ScavengeContext {
+            now,
+            mem_before: Bytes::ZERO,
+            history: &h,
+            survival: &est,
+        };
+        let cfg = PolicyConfig::new(Bytes::ZERO, Bytes::ZERO);
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build(&cfg);
+            assert_legal_boundary(&mut p, &ctx);
+        }
+        let mut dual = DtbDual::new(Bytes::ZERO, Bytes::ZERO);
+        assert_legal_boundary(&mut dual, &ctx);
     }
 }

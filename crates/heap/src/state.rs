@@ -61,6 +61,11 @@ pub struct HeapStats {
     pub collections: usize,
     /// Objects registered in the remembered set.
     pub remembered_count: usize,
+    /// Boundary-policy failures degraded to full collections: when the
+    /// policy errors, the collector falls back to `TB = 0` (collect
+    /// everything) rather than leak or crash, and counts the incident
+    /// here.
+    pub policy_failures: usize,
 }
 
 pub(crate) struct GcState {
@@ -77,6 +82,7 @@ pub(crate) struct GcState {
     history: ScavengeHistory,
     pauses: SampleStats,
     collecting: bool,
+    policy_failures: usize,
 }
 
 impl GcState {
@@ -93,6 +99,7 @@ impl GcState {
             history: ScavengeHistory::new(),
             pauses: SampleStats::new(),
             collecting: false,
+            policy_failures: 0,
         }
     }
 
@@ -155,6 +162,7 @@ impl GcState {
             object_count: self.objects.len(),
             collections: self.history.len(),
             remembered_count: self.remembered.len(),
+            policy_failures: self.policy_failures,
         }
     }
 
@@ -180,7 +188,16 @@ impl GcState {
             history: &self.history,
             survival: &snapshot,
         };
-        let tb = self.policy.select_boundary(&ctx).min(now);
+        // A failing policy must not leak memory or crash the mutator: fall
+        // back to a full collection (TB = 0 threatens everything) and
+        // count the incident in the stats.
+        let tb = match self.policy.select_boundary(&ctx) {
+            Ok(tb) => tb.min(now),
+            Err(_) => {
+                self.policy_failures += 1;
+                VirtualTime::ZERO
+            }
+        };
 
         let traced = self.mark(tb);
         let reclaimed = self.sweep(tb);

@@ -3,8 +3,13 @@
 //! Replays a compiled trace against the [`OracleHeap`], invoking the
 //! boundary policy every time the paper's GC trigger fires (1 MB of
 //! allocation by default, Section 5) and accumulating the table metrics.
+//!
+//! The engine is panic-free on its error paths: malformed traces, failing
+//! policies, exhausted watchdog budgets, and broken accounting identities
+//! all surface as typed [`SimError`]s.
 
 use crate::curve::{CurvePoint, MemoryCurve};
+use crate::error::{BudgetKind, InvariantViolation, SimError};
 use crate::heap::{OracleHeap, SimObject};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::trigger::Trigger;
@@ -14,6 +19,44 @@ use dtb_core::policy::{ScavengeContext, TbPolicy};
 use dtb_core::time::{Bytes, VirtualTime};
 use dtb_trace::event::CompiledTrace;
 use serde::{Deserialize, Serialize};
+
+/// A per-run watchdog: hard caps that turn a runaway simulation into a
+/// typed [`SimError::BudgetExceeded`] instead of a hang.
+///
+/// The default is unlimited — the caps exist for evaluations over
+/// untrusted traces or policies, where a single cell must not be able to
+/// stall the whole matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimBudget {
+    /// Maximum allocation events to process (`None` = unlimited).
+    pub max_events: Option<u64>,
+    /// Maximum scavenges to perform (`None` = unlimited).
+    pub max_scavenges: Option<u64>,
+}
+
+impl SimBudget {
+    /// No limits: the watchdog never fires.
+    pub const UNLIMITED: SimBudget = SimBudget {
+        max_events: None,
+        max_scavenges: None,
+    };
+
+    /// Caps processed allocation events.
+    pub fn events(n: u64) -> SimBudget {
+        SimBudget {
+            max_events: Some(n),
+            ..SimBudget::UNLIMITED
+        }
+    }
+
+    /// Caps performed scavenges.
+    pub fn scavenges(n: u64) -> SimBudget {
+        SimBudget {
+            max_scavenges: Some(n),
+            ..SimBudget::UNLIMITED
+        }
+    }
+}
 
 /// Simulation parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -26,6 +69,18 @@ pub struct SimConfig {
     /// (Figure 2); costs one point per scavenge plus one per sample
     /// interval.
     pub record_curve: bool,
+    /// Watchdog caps on events and scavenges (default: unlimited).
+    pub budget: SimBudget,
+    /// When true, the engine re-derives its accounting identities after
+    /// every scavenge (storage conservation, scavenge bookkeeping, the
+    /// boundary range) and fails with [`SimError::Invariant`] on any
+    /// mismatch. Defaults to on in debug builds, off in release; set it
+    /// explicitly to opt in under release.
+    pub check_invariants: bool,
+}
+
+fn default_check_invariants() -> bool {
+    cfg!(debug_assertions)
 }
 
 impl SimConfig {
@@ -35,12 +90,27 @@ impl SimConfig {
             trigger: Trigger::paper(),
             cost: CostModel::paper(),
             record_curve: false,
+            budget: SimBudget::UNLIMITED,
+            check_invariants: default_check_invariants(),
         }
     }
 
     /// Enables curve recording.
     pub fn with_curve(mut self) -> SimConfig {
         self.record_curve = true;
+        self
+    }
+
+    /// Sets the watchdog budget.
+    pub fn with_budget(mut self, budget: SimBudget) -> SimConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Forces invariant checking on or off (overriding the build-profile
+    /// default).
+    pub fn with_invariant_checks(mut self, on: bool) -> SimConfig {
+        self.check_invariants = on;
         self
     }
 }
@@ -70,6 +140,16 @@ pub struct SimRun {
 /// traces live threatened storage and reclaims the dead threatened
 /// storage. Pause times and CPU overhead follow from the cost model.
 ///
+/// # Errors
+///
+/// * [`SimError::Invariant`] when the trace is malformed (births out of
+///   order, deaths before births — checked on every event, so a corrupted
+///   trace can never panic the heap) or, with
+///   [`SimConfig::check_invariants`] on, when a post-scavenge accounting
+///   identity fails.
+/// * [`SimError::Policy`] when the boundary policy returns an error.
+/// * [`SimError::BudgetExceeded`] when a [`SimBudget`] cap is hit.
+///
 /// # Example
 ///
 /// ```
@@ -83,11 +163,15 @@ pub struct SimRun {
 ///     b.free(id);
 /// }
 /// let trace = b.finish().compile()?;
-/// let run = simulate(&trace, &mut Full::new(), &SimConfig::paper());
+/// let run = simulate(&trace, &mut Full::new(), &SimConfig::paper()).unwrap();
 /// assert_eq!(run.report.collections, 2); // 2 MB allocated, 1 MB trigger
 /// # Ok::<(), dtb_trace::event::TraceError>(())
 /// ```
-pub fn simulate(trace: &CompiledTrace, policy: &mut dyn TbPolicy, config: &SimConfig) -> SimRun {
+pub fn simulate(
+    trace: &CompiledTrace,
+    policy: &mut dyn TbPolicy,
+    config: &SimConfig,
+) -> Result<SimRun, SimError> {
     let mut heap = OracleHeap::new();
     let mut metrics = MetricsCollector::new(config.cost);
     let mut curve = MemoryCurve::new();
@@ -96,8 +180,46 @@ pub fn simulate(trace: &CompiledTrace, policy: &mut dyn TbPolicy, config: &SimCo
     // Curve sampling between scavenges, if requested: every trigger/8.
     let sample_every = Bytes::new((config.trigger.allocation_scale().as_u64() / 8).max(1));
     let mut since_sample = Bytes::ZERO;
+    let mut ledger = Ledger::default();
 
     for life in &trace.lives {
+        ledger.events += 1;
+        if let Some(max) = config.budget.max_events {
+            if ledger.events > max {
+                return Err(SimError::BudgetExceeded {
+                    kind: BudgetKind::Events,
+                    limit: max,
+                    at: clock,
+                });
+            }
+        }
+        // Trace-shape checks run on every event regardless of
+        // `check_invariants`: they are O(1) and they stand between a
+        // corrupted trace and the heap's birth-order panic.
+        if let Some(prev) = ledger.prev_birth {
+            if life.birth <= prev {
+                return Err(SimError::Invariant {
+                    at: life.birth,
+                    violation: InvariantViolation::NonMonotoneTime {
+                        prev,
+                        next: life.birth,
+                    },
+                });
+            }
+        }
+        if let Some(death) = life.death {
+            if death < life.birth {
+                return Err(SimError::Invariant {
+                    at: life.birth,
+                    violation: InvariantViolation::DeathBeforeBirth {
+                        birth: life.birth,
+                        death,
+                    },
+                });
+            }
+        }
+        ledger.prev_birth = Some(life.birth);
+
         let size = Bytes::new(life.size as u64);
         // Memory held its previous level while this object was being
         // allocated (the clock span equals the object's size).
@@ -108,6 +230,7 @@ pub fn simulate(trace: &CompiledTrace, policy: &mut dyn TbPolicy, config: &SimCo
             size: life.size,
             death: life.death,
         });
+        ledger.allocated += size;
         since_gc += size;
         since_sample += size;
 
@@ -127,7 +250,15 @@ pub fn simulate(trace: &CompiledTrace, policy: &mut dyn TbPolicy, config: &SimCo
             .should_collect(since_gc, heap.mem_in_use(), last_surviving)
         {
             since_gc = Bytes::ZERO;
-            scavenge_now(&mut heap, policy, &mut metrics, config, &mut curve, clock);
+            scavenge_now(
+                &mut heap,
+                policy,
+                &mut metrics,
+                config,
+                &mut curve,
+                clock,
+                &mut ledger,
+            )?;
         }
     }
 
@@ -136,16 +267,26 @@ pub fn simulate(trace: &CompiledTrace, policy: &mut dyn TbPolicy, config: &SimCo
     // (zero-weight records update only the max).
     metrics.record_memory(heap.mem_in_use(), trace.end.elapsed_since(clock));
 
-    SimRun {
+    Ok(SimRun {
         report: metrics.finish(
             policy.name(),
             trace.meta.name.clone(),
             trace.meta.exec_seconds,
         ),
         curve,
-    }
+    })
 }
 
+/// Running totals the invariant checker reconciles against the heap.
+#[derive(Default)]
+struct Ledger {
+    events: u64,
+    allocated: Bytes,
+    reclaimed: Bytes,
+    prev_birth: Option<VirtualTime>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn scavenge_now(
     heap: &mut OracleHeap,
     policy: &mut dyn TbPolicy,
@@ -153,7 +294,18 @@ fn scavenge_now(
     config: &SimConfig,
     curve: &mut MemoryCurve,
     now: VirtualTime,
-) {
+    ledger: &mut Ledger,
+) -> Result<(), SimError> {
+    let collection = metrics.history().len();
+    if let Some(max) = config.budget.max_scavenges {
+        if collection as u64 >= max {
+            return Err(SimError::BudgetExceeded {
+                kind: BudgetKind::Scavenges,
+                limit: max,
+                at: now,
+            });
+        }
+    }
     let mem_before = heap.mem_in_use();
     let snapshot = heap.survival_snapshot(now);
     let ctx = ScavengeContext {
@@ -162,8 +314,23 @@ fn scavenge_now(
         history: metrics.history(),
         survival: &snapshot,
     };
-    // Policies promise boundaries ≤ now; clamp defensively all the same.
-    let tb = policy.select_boundary(&ctx).min(now);
+    let tb = policy
+        .select_boundary(&ctx)
+        .map_err(|source| SimError::Policy {
+            at: now,
+            collection,
+            source,
+        })?;
+    // Policies promise boundaries ≤ now (TB ∈ [0, t_{n-1}]). With checks
+    // on, a future boundary is an invariant violation; otherwise clamp
+    // defensively and carry on.
+    if tb > now && config.check_invariants {
+        return Err(SimError::Invariant {
+            at: now,
+            violation: InvariantViolation::BoundaryBeyondNow { boundary: tb, now },
+        });
+    }
+    let tb = tb.min(now);
     if config.record_curve {
         curve.push(CurvePoint {
             at: now,
@@ -173,6 +340,31 @@ fn scavenge_now(
         });
     }
     let outcome = heap.scavenge(tb, now);
+    ledger.reclaimed += outcome.reclaimed;
+    if config.check_invariants {
+        if outcome.surviving + outcome.reclaimed != mem_before {
+            return Err(SimError::Invariant {
+                at: now,
+                violation: InvariantViolation::ScavengeAccounting {
+                    surviving: outcome.surviving,
+                    reclaimed: outcome.reclaimed,
+                    mem_before,
+                },
+            });
+        }
+        // Conservation: live + tenured garbage (= in use) + everything
+        // reclaimed so far must equal everything allocated so far.
+        if heap.mem_in_use() + ledger.reclaimed != ledger.allocated {
+            return Err(SimError::Invariant {
+                at: now,
+                violation: InvariantViolation::ConservationBroken {
+                    in_use: heap.mem_in_use(),
+                    reclaimed: ledger.reclaimed,
+                    allocated: ledger.allocated,
+                },
+            });
+        }
+    }
     metrics.record_scavenge(ScavengeRecord {
         at: now,
         boundary: tb,
@@ -189,11 +381,13 @@ fn scavenge_now(
             boundary: Some(tb),
         });
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dtb_core::error::PolicyError;
     use dtb_core::policy::{Fixed, Full, PolicyConfig, PolicyKind};
     use dtb_trace::TraceBuilder;
 
@@ -213,7 +407,7 @@ mod tests {
     #[test]
     fn full_policy_reclaims_everything_each_scavenge() {
         let trace = churn_trace();
-        let run = simulate(&trace, &mut Full::new(), &SimConfig::paper());
+        let run = simulate(&trace, &mut Full::new(), &SimConfig::paper()).unwrap();
         assert_eq!(run.report.collections, 3);
         // After each full scavenge memory equals exactly the live bytes.
         for rec in run.report.history.iter() {
@@ -242,8 +436,8 @@ mod tests {
             }
             b.finish().compile().unwrap()
         };
-        let full = simulate(&trace, &mut Full::new(), &SimConfig::paper());
-        let fixed1 = simulate(&trace, &mut Fixed::new(1), &SimConfig::paper());
+        let full = simulate(&trace, &mut Full::new(), &SimConfig::paper()).unwrap();
+        let fixed1 = simulate(&trace, &mut Fixed::new(1), &SimConfig::paper()).unwrap();
         assert!(
             fixed1.report.mem_max > full.report.mem_max,
             "FIXED1 {:?} should exceed FULL {:?}",
@@ -258,9 +452,12 @@ mod tests {
     fn accounting_invariant_holds_for_every_policy() {
         let trace = churn_trace();
         let cfg = PolicyConfig::new(Bytes::new(30_000), Bytes::new(800_000));
+        // Force the invariant checker on: every scavenge of every policy
+        // must reconcile, whatever the build profile.
+        let sim = SimConfig::paper().with_invariant_checks(true);
         for kind in PolicyKind::ALL {
             let mut policy = kind.build(&cfg);
-            let run = simulate(&trace, &mut policy, &SimConfig::paper());
+            let run = simulate(&trace, &mut policy, &sim).unwrap();
             let mut reclaimed_total = Bytes::ZERO;
             for rec in run.report.history.iter() {
                 assert!(rec.is_consistent(), "{kind}: inconsistent record");
@@ -276,7 +473,7 @@ mod tests {
     #[test]
     fn pause_times_proportional_to_traced() {
         let trace = churn_trace();
-        let run = simulate(&trace, &mut Full::new(), &SimConfig::paper());
+        let run = simulate(&trace, &mut Full::new(), &SimConfig::paper()).unwrap();
         for rec in run.report.history.iter() {
             let expect = rec.traced.as_u64() as f64 / 500_000.0 * 1000.0;
             let _ = expect; // median check below uses the same conversion
@@ -289,7 +486,7 @@ mod tests {
     #[test]
     fn curve_recording_captures_scavenges() {
         let trace = churn_trace();
-        let run = simulate(&trace, &mut Full::new(), &SimConfig::paper().with_curve());
+        let run = simulate(&trace, &mut Full::new(), &SimConfig::paper().with_curve()).unwrap();
         assert!(!run.curve.is_empty());
         // Each scavenge contributes a before and an after point.
         let scavenge_points = run
@@ -314,8 +511,135 @@ mod tests {
         let mut b = TraceBuilder::new("small");
         b.alloc(500_000);
         let trace = b.finish().compile().unwrap();
-        let run = simulate(&trace, &mut Full::new(), &SimConfig::paper());
+        let run = simulate(&trace, &mut Full::new(), &SimConfig::paper()).unwrap();
         assert_eq!(run.report.collections, 0);
         assert_eq!(run.report.mem_max, Bytes::new(500_000));
+    }
+
+    #[test]
+    fn corrupted_trace_is_a_typed_error_not_a_panic() {
+        use dtb_trace::corrupt::{death_before_birth, reversed_births};
+        let trace = churn_trace();
+
+        let err = simulate(
+            &reversed_births(&trace),
+            &mut Full::new(),
+            &SimConfig::paper(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Invariant {
+                violation: InvariantViolation::NonMonotoneTime { .. },
+                ..
+            }
+        ));
+
+        let err = simulate(
+            &death_before_birth(&trace, 0),
+            &mut Full::new(),
+            &SimConfig::paper(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Invariant {
+                violation: InvariantViolation::DeathBeforeBirth { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn event_budget_stops_a_run() {
+        let trace = churn_trace();
+        let sim = SimConfig::paper().with_budget(SimBudget::events(10));
+        let err = simulate(&trace, &mut Full::new(), &sim).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BudgetExceeded {
+                kind: BudgetKind::Events,
+                limit: 10,
+                at: trace.lives[9].birth,
+            }
+        );
+    }
+
+    #[test]
+    fn scavenge_budget_stops_a_run() {
+        let trace = churn_trace(); // 3 scavenges normally
+        let sim = SimConfig::paper().with_budget(SimBudget::scavenges(1));
+        let err = simulate(&trace, &mut Full::new(), &sim).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BudgetExceeded {
+                kind: BudgetKind::Scavenges,
+                limit: 1,
+                ..
+            }
+        ));
+        // A generous cap never fires.
+        let sim = SimConfig::paper().with_budget(SimBudget::scavenges(100));
+        assert!(simulate(&trace, &mut Full::new(), &sim).is_ok());
+    }
+
+    #[test]
+    fn failing_policy_is_reported_with_its_scavenge_index() {
+        struct Sabotaged;
+        impl TbPolicy for Sabotaged {
+            fn select_boundary(
+                &mut self,
+                _ctx: &ScavengeContext<'_>,
+            ) -> Result<VirtualTime, PolicyError> {
+                Err(PolicyError::Internal {
+                    policy: "SABOTAGED".into(),
+                    reason: "always fails".into(),
+                })
+            }
+            fn name(&self) -> &str {
+                "SABOTAGED"
+            }
+        }
+        let trace = churn_trace();
+        let err = simulate(&trace, &mut Sabotaged, &SimConfig::paper()).unwrap_err();
+        match err {
+            SimError::Policy {
+                collection, source, ..
+            } => {
+                assert_eq!(collection, 0);
+                assert_eq!(source.policy(), "SABOTAGED");
+            }
+            other => panic!("expected policy error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_boundary_is_an_invariant_violation_when_checked() {
+        struct Clairvoyant;
+        impl TbPolicy for Clairvoyant {
+            fn select_boundary(
+                &mut self,
+                ctx: &ScavengeContext<'_>,
+            ) -> Result<VirtualTime, PolicyError> {
+                Ok(ctx.now.advance(Bytes::new(1_000_000)))
+            }
+            fn name(&self) -> &str {
+                "CLAIRVOYANT"
+            }
+        }
+        let trace = churn_trace();
+        let checked = SimConfig::paper().with_invariant_checks(true);
+        let err = simulate(&trace, &mut Clairvoyant, &checked).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Invariant {
+                violation: InvariantViolation::BoundaryBeyondNow { .. },
+                ..
+            }
+        ));
+        // Unchecked builds clamp defensively instead and complete.
+        let unchecked = SimConfig::paper().with_invariant_checks(false);
+        let run = simulate(&trace, &mut Clairvoyant, &unchecked).unwrap();
+        assert!(run.report.collections > 0);
     }
 }

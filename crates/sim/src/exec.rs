@@ -14,6 +14,11 @@
 //!   **deterministic regardless of completion order** and byte-identical
 //!   to a serial run.
 //!
+//! Cells are **fault-isolated**: a policy that returns a typed error, or
+//! even panics, turns its own cell into [`CellOutcome::Failed`] while
+//! every other cell completes normally. The matrix reports its failures
+//! ([`Matrix::failures`]) instead of taking the process down.
+//!
 //! # Example
 //!
 //! ```
@@ -32,12 +37,15 @@
 
 use crate::baseline::{live_report, no_gc_report};
 use crate::curve::MemoryCurve;
-use crate::engine::{simulate, SimConfig, SimRun};
+use crate::engine::{simulate, SimBudget, SimConfig, SimRun};
+use crate::error::SimError;
 use crate::metrics::SimReport;
 use dtb_core::policy::{PolicyConfig, PolicyKind, Row, TbPolicy};
 use dtb_trace::event::CompiledTrace;
 use dtb_trace::programs::Program;
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -72,14 +80,18 @@ impl TraceCache {
         let arc = Arc::new(trace);
         self.custom
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .insert(arc.meta.name.clone(), arc.clone());
         arc
     }
 
     /// Looks up a previously [inserted](TraceCache::insert) custom trace.
     pub fn get(&self, name: &str) -> Option<Arc<CompiledTrace>> {
-        self.custom.lock().unwrap().get(name).cloned()
+        self.custom
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
     }
 }
 
@@ -136,6 +148,8 @@ pub struct CellEvent<'a> {
     pub row: &'a Row,
     /// Wall-clock time this one cell took.
     pub elapsed: Duration,
+    /// Whether the cell failed (typed error or contained panic).
+    pub failed: bool,
     /// Cells completed so far, including this one.
     pub completed: usize,
     /// Total cells in the evaluation.
@@ -143,6 +157,91 @@ pub struct CellEvent<'a> {
 }
 
 type CellCallback = Arc<dyn Fn(&CellEvent<'_>) + Send + Sync>;
+
+/// Why one cell failed while the rest of the matrix completed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailureCause {
+    /// The simulation returned a typed error.
+    Sim(SimError),
+    /// The cell's policy (or a custom factory) panicked; the panic was
+    /// caught at the cell boundary and stringified.
+    Panic(String),
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Sim(e) => write!(f, "{e}"),
+            FailureCause::Panic(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+/// One failed matrix cell, with enough context to name it in a report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellFailure {
+    /// Workload name of the failed cell's column.
+    pub program: String,
+    /// Row of the failed cell.
+    pub row: Row,
+    /// What went wrong.
+    pub cause: FailureCause,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} × {}: {}", self.program, self.row, self.cause)
+    }
+}
+
+/// The outcome of one matrix cell: a completed simulation or an isolated
+/// failure.
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The simulation finished and produced a report.
+    Completed(SimRun),
+    /// The simulation failed; the failure was contained to this cell.
+    Failed(CellFailure),
+}
+
+/// One matrix cell: a row's simulation over one column's trace.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Which table row this cell belongs to.
+    pub row: Row,
+    /// The simulation outcome (completed run or isolated failure).
+    pub outcome: CellOutcome,
+    /// Wall-clock time this cell took inside its worker.
+    pub elapsed: Duration,
+}
+
+impl Cell {
+    /// The simulation output, when the cell completed.
+    pub fn run(&self) -> Option<&SimRun> {
+        match &self.outcome {
+            CellOutcome::Completed(run) => Some(run),
+            CellOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The cell's table metrics, when the cell completed.
+    pub fn report(&self) -> Option<&SimReport> {
+        self.run().map(|r| &r.report)
+    }
+
+    /// The failure, when the cell did not complete.
+    pub fn failure(&self) -> Option<&CellFailure> {
+        match &self.outcome {
+            CellOutcome::Completed(_) => None,
+            CellOutcome::Failed(f) => Some(f),
+        }
+    }
+
+    /// True when the cell failed.
+    pub fn is_failed(&self) -> bool {
+        self.failure().is_some()
+    }
+}
 
 /// Builder for a (program × policy) evaluation run.
 ///
@@ -240,6 +339,15 @@ impl Evaluation {
         self
     }
 
+    /// Caps every cell's work (events / scavenges): a cell that exceeds
+    /// the budget fails with a typed
+    /// [`BudgetExceeded`](SimError::BudgetExceeded) instead of hanging
+    /// the evaluation.
+    pub fn cell_budget(mut self, budget: SimBudget) -> Evaluation {
+        self.sim_cfg.budget = budget;
+        self
+    }
+
     /// Worker-thread count. `0` (the default) means one worker per
     /// available core; `1` forces a serial run — which produces the same
     /// [`Matrix`] as any other setting, only slower.
@@ -249,7 +357,8 @@ impl Evaluation {
     }
 
     /// Installs a progress callback invoked after every completed cell
-    /// (from worker threads, in completion order).
+    /// (from worker threads, in completion order). A callback that panics
+    /// is contained: the panic is swallowed at the cell boundary.
     pub fn on_cell(mut self, f: impl Fn(&CellEvent<'_>) + Send + Sync + 'static) -> Evaluation {
         self.on_cell = Some(Arc::new(f));
         self
@@ -262,16 +371,15 @@ impl Evaluation {
     /// pool; results return in (column, row) table order no matter which
     /// worker finished first.
     ///
-    /// # Panics
-    ///
-    /// Panics if the evaluation has no columns or no rows, or if a worker
-    /// panics (the panic is propagated).
+    /// Failures never escape their cell: a policy error, watchdog trip,
+    /// invariant violation, or panic becomes that cell's
+    /// [`CellOutcome::Failed`] and every other cell still completes. An
+    /// evaluation with no columns or no rows returns an empty matrix.
     pub fn run(self) -> Matrix {
         let targets: Vec<Target> = match self.targets {
             Some(t) => t,
             None => Program::ALL.iter().copied().map(Target::Preset).collect(),
         };
-        assert!(!targets.is_empty(), "evaluation has no columns");
 
         let mut rows: Vec<RowSpec> = self.policies.iter().copied().map(RowSpec::Kind).collect();
         rows.extend(
@@ -283,7 +391,11 @@ impl Evaluation {
             rows.push(RowSpec::NoGc);
             rows.push(RowSpec::Live);
         }
-        assert!(!rows.is_empty(), "evaluation has no rows");
+        if targets.is_empty() || rows.is_empty() {
+            return Matrix {
+                columns: Vec::new(),
+            };
+        }
 
         // Resolve every column's trace up front (cheap: presets are memoized
         // process-wide) so workers share, never compile.
@@ -308,38 +420,79 @@ impl Evaluation {
             let (c, r) = jobs[job];
             let trace = &traces[c];
             let started = Instant::now();
-            let run = match &rows[r] {
-                RowSpec::Kind(kind) => {
-                    let mut policy = kind.build(&self.policy_cfg);
-                    simulate(trace, &mut policy, &self.sim_cfg)
-                }
-                RowSpec::Custom { row, build } => {
-                    let mut policy = build(&self.policy_cfg);
-                    let mut run = simulate(trace, &mut policy, &self.sim_cfg);
-                    // The evaluation row names the report, not the policy's
-                    // own `name()` — a factory may wrap a stock collector.
-                    run.report.policy = row.clone();
-                    run
-                }
-                RowSpec::NoGc => baseline_run(no_gc_report(trace)),
-                RowSpec::Live => baseline_run(live_report(trace)),
-            };
+            let outcome = run_cell(trace, &rows[r], &self.policy_cfg, &self.sim_cfg);
             let elapsed = started.elapsed();
             if let Some(cb) = &self.on_cell {
-                cb(&CellEvent {
+                let event = CellEvent {
                     program: &trace.meta.name,
                     row: &rows[r].row(),
                     elapsed,
+                    failed: matches!(outcome, CellOutcome::Failed(_)),
                     completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
                     total,
-                });
+                };
+                // A panicking observer must not take the cell down with it.
+                let _ = catch_unwind(AssertUnwindSafe(|| cb(&event)));
             }
-            (run, elapsed)
+            (outcome, elapsed)
         });
 
         let matrix = assemble(targets, traces, &rows, results);
         debug_assert_eq!(matrix.cells().count(), total);
         matrix
+    }
+}
+
+/// Runs one cell with full fault isolation: typed simulation errors and
+/// panics (from the policy, a custom factory, or the engine) both land in
+/// [`CellOutcome::Failed`].
+fn run_cell(
+    trace: &Arc<CompiledTrace>,
+    spec: &RowSpec,
+    policy_cfg: &PolicyConfig,
+    sim_cfg: &SimConfig,
+) -> CellOutcome {
+    let attempt = catch_unwind(AssertUnwindSafe(|| match spec {
+        RowSpec::Kind(kind) => {
+            let mut policy = kind.build(policy_cfg);
+            simulate(trace, &mut policy, sim_cfg)
+        }
+        RowSpec::Custom { row, build } => {
+            let mut policy = build(policy_cfg);
+            simulate(trace, &mut policy, sim_cfg).map(|mut run| {
+                // The evaluation row names the report, not the policy's
+                // own `name()` — a factory may wrap a stock collector.
+                run.report.policy = row.clone();
+                run
+            })
+        }
+        RowSpec::NoGc => Ok(baseline_run(no_gc_report(trace))),
+        RowSpec::Live => Ok(baseline_run(live_report(trace))),
+    }));
+    match attempt {
+        Ok(Ok(run)) => CellOutcome::Completed(run),
+        Ok(Err(e)) => CellOutcome::Failed(CellFailure {
+            program: trace.meta.name.clone(),
+            row: spec.row(),
+            cause: FailureCause::Sim(e),
+        }),
+        Err(payload) => CellOutcome::Failed(CellFailure {
+            program: trace.meta.name.clone(),
+            row: spec.row(),
+            cause: FailureCause::Panic(panic_message(payload.as_ref())),
+        }),
+    }
+}
+
+/// Stringifies a caught panic payload (the common `&str` / `String` cases;
+/// anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -349,6 +502,11 @@ impl Evaluation {
 /// The pool is a shared atomic cursor: idle workers steal the next index.
 /// With `parallelism == 1` this degenerates to the serial loop, so parallel
 /// and serial runs produce identical output for deterministic `f`.
+///
+/// The pool itself is panic-tolerant: a job that panics kills only its
+/// worker thread; surviving workers drain the remaining jobs, and any job
+/// lost to a dead worker is re-run serially afterwards (so a panic in `f`
+/// surfaces on the caller's thread only if re-running it panics again).
 ///
 /// Used by [`Evaluation::run`] and the budget sweeps in [`crate::sweep`].
 pub(crate) fn run_indexed<R, F>(parallelism: usize, total: usize, f: F) -> Vec<R>
@@ -367,7 +525,9 @@ where
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
     let (cursor_ref, slots_ref, f_ref) = (&cursor, &slots, &f);
-    crossbeam::thread::scope(|s| {
+    // The scope result is deliberately ignored: a panicking worker must
+    // not abort the evaluation. Its unfinished job is recomputed below.
+    let _ = crossbeam::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(move || loop {
                 let job = cursor_ref.fetch_add(1, Ordering::Relaxed);
@@ -375,18 +535,21 @@ where
                     break;
                 }
                 let result = f_ref(job);
-                *slots_ref[job].lock().unwrap() = Some(result);
+                *slots_ref[job].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
             });
         }
-    })
-    .expect("evaluation worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every job index was claimed exactly once")
+        .enumerate()
+        .map(|(job, slot)| {
+            match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+                Some(result) => result,
+                // The worker holding this job died before storing a
+                // result; run it here instead.
+                None => f(job),
+            }
         })
         .collect()
 }
@@ -410,7 +573,7 @@ fn assemble(
     targets: Vec<Target>,
     traces: Vec<Arc<CompiledTrace>>,
     rows: &[RowSpec],
-    mut results: Vec<(SimRun, Duration)>,
+    mut results: Vec<(CellOutcome, Duration)>,
 ) -> Matrix {
     let mut columns = Vec::with_capacity(targets.len());
     // Drain column-major: jobs were flattened column-by-column.
@@ -419,10 +582,22 @@ fn assemble(
         let cells = rows
             .iter()
             .map(|spec| {
-                let (run, elapsed) = rest.next().expect("one result per cell");
+                let (outcome, elapsed) = match rest.next() {
+                    Some(pair) => pair,
+                    // Unreachable by construction (one result per job);
+                    // degrade to a reported failure rather than panic.
+                    None => (
+                        CellOutcome::Failed(CellFailure {
+                            program: trace.meta.name.clone(),
+                            row: spec.row(),
+                            cause: FailureCause::Panic("missing cell result".into()),
+                        }),
+                        Duration::ZERO,
+                    ),
+                };
                 Cell {
                     row: spec.row(),
-                    run,
+                    outcome,
                     elapsed,
                 }
             })
@@ -434,24 +609,6 @@ fn assemble(
         });
     }
     Matrix { columns }
-}
-
-/// One completed matrix cell: a row's simulation over one column's trace.
-#[derive(Clone, Debug)]
-pub struct Cell {
-    /// Which table row this cell belongs to.
-    pub row: Row,
-    /// The simulation output (report, plus curve when requested).
-    pub run: SimRun,
-    /// Wall-clock time this cell took inside its worker.
-    pub elapsed: Duration,
-}
-
-impl Cell {
-    /// The cell's table metrics.
-    pub fn report(&self) -> &SimReport {
-        &self.run.report
-    }
 }
 
 /// One column of the matrix: every requested row over one workload.
@@ -471,9 +628,15 @@ impl Column {
         &self.trace.meta.name
     }
 
-    /// This column's reports, in row order.
+    /// This column's completed reports, in row order (failed cells are
+    /// skipped; see [`Column::failures`]).
     pub fn reports(&self) -> impl Iterator<Item = &SimReport> {
-        self.cells.iter().map(Cell::report)
+        self.cells.iter().filter_map(Cell::report)
+    }
+
+    /// This column's failed cells, in row order.
+    pub fn failures(&self) -> impl Iterator<Item = &CellFailure> {
+        self.cells.iter().filter_map(Cell::failure)
     }
 }
 
@@ -498,18 +661,34 @@ impl Matrix {
             .flat_map(|col| col.cells.iter().map(move |cell| (col, cell)))
     }
 
-    /// The report of one (program, collector) cell.
+    /// Every failed cell, in table order.
+    pub fn failures(&self) -> impl Iterator<Item = &CellFailure> {
+        self.cells().filter_map(|(_, cell)| cell.failure())
+    }
+
+    /// True when every cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures().next().is_none()
+    }
+
+    /// The report of one (program, collector) cell. `None` when the cell
+    /// is absent **or failed** (inspect [`Matrix::failures`] to tell the
+    /// two apart).
     pub fn get(&self, program: Program, kind: PolicyKind) -> Option<&SimReport> {
         self.get_row(program, &Row::Policy(kind))
     }
 
     /// The report of one (program, row) cell — rows include the baselines.
     pub fn get_row(&self, program: Program, row: &Row) -> Option<&SimReport> {
+        self.cell(program, row).and_then(Cell::report)
+    }
+
+    /// The cell of one (program, row) pair, completed or failed.
+    pub fn cell(&self, program: Program, row: &Row) -> Option<&Cell> {
         self.columns
             .iter()
             .find(|c| c.program == Some(program))
             .and_then(|c| c.cells.iter().find(|cell| &cell.row == row))
-            .map(Cell::report)
     }
 
     /// The column for a preset workload.
@@ -564,12 +743,14 @@ mod tests {
             &Program::Cfrac.compiled(),
             &mut Full::new(),
             &SimConfig::paper(),
-        );
+        )
+        .unwrap();
         assert_eq!(
             matrix.get(Program::Cfrac, PolicyKind::Full),
             Some(&direct.report)
         );
         assert!(matrix.get(Program::Cfrac, PolicyKind::DtbFm).is_none());
+        assert!(matrix.is_complete());
     }
 
     #[test]
@@ -588,8 +769,8 @@ mod tests {
         // The custom row is FULL in disguise; identical metrics, its own
         // label.
         let col = matrix.column(Program::Cfrac).unwrap();
-        let full = col.cells[0].report();
-        let mine = col.cells[1].report();
+        let full = col.cells[0].report().unwrap();
+        let mine = col.cells[1].report().unwrap();
         assert_eq!(mine.policy, Row::Custom("MINE".into()));
         assert_eq!(mine.mem_max, full.mem_max);
         assert_eq!(mine.total_traced, full.total_traced);
@@ -606,10 +787,49 @@ mod tests {
             .on_cell(move |ev| {
                 assert_eq!(ev.total, 2);
                 assert!(ev.completed >= 1 && ev.completed <= 2);
+                assert!(!ev.failed);
                 seen2.fetch_add(1, Ordering::Relaxed);
             })
             .run();
         assert_eq!(seen.load(Ordering::Relaxed), 2);
         assert_eq!(matrix.cells().count(), 2);
+    }
+
+    #[test]
+    fn empty_evaluation_returns_an_empty_matrix() {
+        let matrix = Evaluation::new()
+            .programs([])
+            .policies([PolicyKind::Full])
+            .run();
+        assert!(matrix.columns().is_empty());
+        assert!(matrix.is_complete());
+        let matrix = Evaluation::new()
+            .programs([Program::Cfrac])
+            .policies([])
+            .baselines(false)
+            .run();
+        assert!(matrix.columns().is_empty());
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_from_the_rest() {
+        let matrix = Evaluation::new()
+            .programs([Program::Cfrac])
+            .policies([PolicyKind::Full])
+            .custom_policy("BOOM", |_| panic!("factory exploded"))
+            .baselines(false)
+            .run();
+        let col = matrix.column(Program::Cfrac).unwrap();
+        // FULL completed normally.
+        assert!(col.cells[0].report().is_some());
+        // BOOM failed with the panic message, typed.
+        let failure = col.cells[1].failure().unwrap();
+        assert_eq!(failure.row, Row::Custom("BOOM".into()));
+        assert_eq!(
+            failure.cause,
+            FailureCause::Panic("factory exploded".into())
+        );
+        assert!(!matrix.is_complete());
+        assert_eq!(matrix.failures().count(), 1);
     }
 }

@@ -1,0 +1,181 @@
+//! Adversarial boundary policies for fault-injection testing.
+//!
+//! Each policy here misbehaves in one specific, deterministic way —
+//! returning a non-finite boundary, a boundary in the future, failing or
+//! panicking after a set number of scavenges — so the harness can assert
+//! that the framework contains exactly that fault: the offending cell
+//! fails with the right typed error (or caught panic) and every healthy
+//! cell is untouched.
+//!
+//! They pair with the trace corruptors in [`dtb_trace::corrupt`]: those
+//! attack the engine's *input*, these attack its *policy* extension point.
+
+use dtb_core::error::{boundary_from_f64, PolicyError};
+use dtb_core::policy::{ScavengeContext, TbPolicy};
+use dtb_core::time::{Bytes, VirtualTime};
+
+/// Always proposes a NaN boundary. The framework's float→clock gate
+/// ([`boundary_from_f64`]) rejects it as
+/// [`PolicyError::NonFiniteBoundary`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NanBoundary;
+
+impl TbPolicy for NanBoundary {
+    fn select_boundary(&mut self, _ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
+        boundary_from_f64(self.name(), f64::NAN)
+    }
+
+    fn name(&self) -> &str {
+        "FAULT-NAN"
+    }
+}
+
+/// Always proposes `+∞`, rejected the same way as NaN.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InfiniteBoundary;
+
+impl TbPolicy for InfiniteBoundary {
+    fn select_boundary(&mut self, _ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
+        boundary_from_f64(self.name(), f64::INFINITY)
+    }
+
+    fn name(&self) -> &str {
+        "FAULT-INF"
+    }
+}
+
+/// Returns a boundary **past the allocation clock** — out of the legal
+/// `[0, t_{n-1}]` range. With invariant checks on the engine reports
+/// `BoundaryBeyondNow`; with checks off it clamps defensively.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FutureBoundary;
+
+impl TbPolicy for FutureBoundary {
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
+        Ok(ctx.now.advance(Bytes::from_mb(1)))
+    }
+
+    fn name(&self) -> &str {
+        "FAULT-FUTURE"
+    }
+}
+
+/// Behaves like `FULL` for `n` scavenges, then panics.
+///
+/// Exercises the executor's per-cell `catch_unwind` isolation: the panic
+/// must be contained to the cell and reported as a caught panic.
+#[derive(Clone, Copy, Debug)]
+pub struct PanicAfter {
+    remaining: u64,
+}
+
+impl PanicAfter {
+    /// Panics on the `n+1`-th scavenge decision (so `PanicAfter::new(0)`
+    /// panics immediately).
+    pub fn new(n: u64) -> PanicAfter {
+        PanicAfter { remaining: n }
+    }
+}
+
+impl TbPolicy for PanicAfter {
+    fn select_boundary(&mut self, _ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
+        if self.remaining == 0 {
+            panic!("injected policy panic");
+        }
+        self.remaining -= 1;
+        Ok(VirtualTime::ZERO)
+    }
+
+    fn name(&self) -> &str {
+        "FAULT-PANIC"
+    }
+}
+
+/// Behaves like `FULL` for `n` scavenges, then returns a typed
+/// [`PolicyError::Internal`].
+#[derive(Clone, Copy, Debug)]
+pub struct FailAfter {
+    remaining: u64,
+}
+
+impl FailAfter {
+    /// Fails on the `n+1`-th scavenge decision.
+    pub fn new(n: u64) -> FailAfter {
+        FailAfter { remaining: n }
+    }
+}
+
+impl TbPolicy for FailAfter {
+    fn select_boundary(&mut self, _ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
+        if self.remaining == 0 {
+            return Err(PolicyError::Internal {
+                policy: self.name().to_string(),
+                reason: "injected failure".to_string(),
+            });
+        }
+        self.remaining -= 1;
+        Ok(VirtualTime::ZERO)
+    }
+
+    fn name(&self) -> &str {
+        "FAULT-FAIL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtb_core::history::ScavengeHistory;
+    use dtb_core::policy::NoSurvivalInfo;
+
+    fn ctx(history: &ScavengeHistory) -> ScavengeContext<'_> {
+        ScavengeContext {
+            now: VirtualTime::from_bytes(1_000),
+            mem_before: Bytes::new(500),
+            history,
+            survival: &NoSurvivalInfo,
+        }
+    }
+
+    #[test]
+    fn float_faults_yield_typed_policy_errors() {
+        let h = ScavengeHistory::new();
+        let ctx = ctx(&h);
+        assert!(matches!(
+            NanBoundary.select_boundary(&ctx),
+            Err(PolicyError::NonFiniteBoundary { .. })
+        ));
+        assert!(matches!(
+            InfiniteBoundary.select_boundary(&ctx),
+            Err(PolicyError::NonFiniteBoundary { .. })
+        ));
+    }
+
+    #[test]
+    fn future_boundary_exceeds_now() {
+        let h = ScavengeHistory::new();
+        let ctx = ctx(&h);
+        let tb = FutureBoundary.select_boundary(&ctx).unwrap();
+        assert!(tb > ctx.now);
+    }
+
+    #[test]
+    fn countdown_policies_hold_then_fire() {
+        let h = ScavengeHistory::new();
+        let ctx = ctx(&h);
+        let mut fail = FailAfter::new(2);
+        assert!(fail.select_boundary(&ctx).is_ok());
+        assert!(fail.select_boundary(&ctx).is_ok());
+        assert!(matches!(
+            fail.select_boundary(&ctx),
+            Err(PolicyError::Internal { .. })
+        ));
+
+        let mut boom = PanicAfter::new(1);
+        assert!(boom.select_boundary(&ctx).is_ok());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = boom.select_boundary(&ctx);
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -21,6 +21,10 @@
 //!   process) and the [`Evaluation`](exec::Evaluation) builder that fans
 //!   the (program × policy) matrix over a work-stealing pool with
 //!   deterministic result ordering.
+//! * [`error`] — the typed failure taxonomy ([`error::SimError`]): policy
+//!   failures, watchdog budget trips, and engine invariant violations.
+//! * [`fault`] — adversarial policies for fault-injection tests (NaN /
+//!   infinite / future boundaries, fail-after-N, panic-after-N).
 //! * [`run`] — deprecated free-function runners, kept as thin wrappers
 //!   over [`exec`].
 //! * [`trigger`] — pluggable when-to-collect policies (the orthogonal
@@ -49,14 +53,19 @@
 pub mod baseline;
 pub mod curve;
 pub mod engine;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod heap;
 pub mod metrics;
 pub mod run;
 pub mod sweep;
 pub mod trigger;
 
-pub use engine::{simulate, SimConfig, SimRun};
-pub use exec::{Cell, CellEvent, Column, Evaluation, Matrix, TraceCache};
+pub use engine::{simulate, SimBudget, SimConfig, SimRun};
+pub use error::{BudgetKind, InvariantViolation, SimError};
+pub use exec::{
+    Cell, CellEvent, CellFailure, CellOutcome, Column, Evaluation, FailureCause, Matrix, TraceCache,
+};
 pub use heap::{OracleHeap, SimObject};
 pub use metrics::SimReport;

@@ -13,6 +13,7 @@
 //! | `run_matrix(cfg, sim)` | `Evaluation::new().policy_config(cfg).sim_config(sim).run()` |
 
 use crate::engine::{simulate, SimConfig, SimRun};
+use crate::error::SimError;
 use crate::exec::Evaluation;
 use crate::metrics::SimReport;
 use dtb_core::policy::{PolicyConfig, PolicyKind};
@@ -30,7 +31,7 @@ pub fn run_program(
     kind: PolicyKind,
     cfg: &PolicyConfig,
     sim: &SimConfig,
-) -> SimRun {
+) -> Result<SimRun, SimError> {
     let trace = program.compiled();
     let mut policy = kind.build(cfg);
     simulate(&trace, &mut policy, sim)
@@ -46,7 +47,7 @@ pub fn run_trace(
     kind: PolicyKind,
     cfg: &PolicyConfig,
     sim: &SimConfig,
-) -> SimRun {
+) -> Result<SimRun, SimError> {
     let mut policy = kind.build(cfg);
     simulate(trace, &mut policy, sim)
 }
@@ -83,12 +84,7 @@ pub fn run_matrix(cfg: &PolicyConfig, sim: &SimConfig) -> Vec<(Program, Vec<SimR
         .run()
         .columns()
         .iter()
-        .map(|col| {
-            (
-                col.program.expect("all-preset evaluation"),
-                col.reports().cloned().collect(),
-            )
-        })
+        .filter_map(|col| col.program.map(|p| (p, col.reports().cloned().collect())))
         .collect()
 }
 
@@ -123,7 +119,8 @@ mod tests {
             PolicyKind::Full,
             &PolicyConfig::paper(),
             &SimConfig::paper(),
-        );
+        )
+        .unwrap();
         let matrix = Evaluation::new()
             .programs([Program::Cfrac])
             .policies([PolicyKind::Full])
@@ -138,7 +135,8 @@ mod tests {
             PolicyKind::Full,
             &PolicyConfig::paper(),
             &SimConfig::paper(),
-        );
+        )
+        .unwrap();
         assert_eq!(via_wrapper.report, via_trace.report);
     }
 }

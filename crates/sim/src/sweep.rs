@@ -11,6 +11,7 @@
 //! points still return in ascending budget order.
 
 use crate::engine::{simulate, SimConfig};
+use crate::error::SimError;
 use crate::exec::run_indexed;
 use crate::metrics::SimReport;
 use dtb_core::cost::CostModel;
@@ -62,22 +63,29 @@ fn sweep(
     budgets: &[Bytes],
     configs: &[PolicyConfig],
     sim: &SimConfig,
-) -> Frontier {
+) -> Result<Frontier, SimError> {
     let points = run_indexed(0, configs.len(), |i| {
         let mut policy = kind.build(&configs[i]);
-        FrontierPoint {
+        simulate(trace, &mut policy, sim).map(|run| FrontierPoint {
             budget: budgets[i],
-            report: simulate(trace, &mut policy, sim).report,
-        }
-    });
-    Frontier {
+            report: run.report,
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    Ok(Frontier {
         policy: kind,
         program: trace.meta.name.clone(),
         points,
-    }
+    })
 }
 
 /// Sweeps `DTBFM` over pause budgets (milliseconds).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] (in budget order) from any point's
+/// simulation.
 ///
 /// # Panics
 ///
@@ -86,7 +94,7 @@ pub fn sweep_pause_budget(
     trace: &CompiledTrace,
     pause_budgets_ms: &[f64],
     sim: &SimConfig,
-) -> Frontier {
+) -> Result<Frontier, SimError> {
     assert!(!pause_budgets_ms.is_empty(), "empty sweep");
     assert!(
         pause_budgets_ms.windows(2).all(|w| w[0] < w[1]),
@@ -106,6 +114,11 @@ pub fn sweep_pause_budget(
 
 /// Sweeps `DTBMEM` over memory budgets (bytes).
 ///
+/// # Errors
+///
+/// Propagates the first [`SimError`] (in budget order) from any point's
+/// simulation.
+///
 /// # Panics
 ///
 /// Panics if `mem_budgets` is empty or not ascending.
@@ -113,7 +126,7 @@ pub fn sweep_memory_budget(
     trace: &CompiledTrace,
     mem_budgets: &[Bytes],
     sim: &SimConfig,
-) -> Frontier {
+) -> Result<Frontier, SimError> {
     assert!(!mem_budgets.is_empty(), "empty sweep");
     assert!(
         mem_budgets.windows(2).all(|w| w[0] < w[1]),
@@ -146,7 +159,8 @@ mod tests {
                 Bytes::from_kb(2000),
             ],
             &SimConfig::paper(),
-        );
+        )
+        .unwrap();
         assert_eq!(f.policy, PolicyKind::DtbMem);
         assert_eq!(f.points.len(), 3);
         assert!(f.traced_monotone_nonincreasing());
@@ -154,7 +168,7 @@ mod tests {
 
     #[test]
     fn pause_sweep_medians_track_budgets() {
-        let f = sweep_pause_budget(&cfrac(), &[10.0, 100.0, 1_000.0], &SimConfig::paper());
+        let f = sweep_pause_budget(&cfrac(), &[10.0, 100.0, 1_000.0], &SimConfig::paper()).unwrap();
         assert_eq!(f.policy, PolicyKind::DtbFm);
         assert_eq!(f.points.len(), 3);
         // Larger budget → median pause no smaller than a strict regime

@@ -44,10 +44,11 @@ fn parallel_run_equals_serial_run() {
     for ((scol, scell), (pcol, pcell)) in serial_cells.iter().zip(&parallel_cells) {
         assert_eq!(scol.name(), pcol.name());
         assert_eq!(scell.row, pcell.row);
-        // The whole SimRun — report AND curve — must be byte-identical.
+        // The whole SimRun — report AND curve — must be byte-identical,
+        // and every cell of this healthy matrix must have completed.
         assert_eq!(
-            scell.run,
-            pcell.run,
+            scell.run().expect("serial cell completed"),
+            pcell.run().expect("parallel cell completed"),
             "{}/{} diverged",
             scol.name(),
             scell.row

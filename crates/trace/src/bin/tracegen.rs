@@ -81,7 +81,14 @@ fn main() -> ExitCode {
             );
             println!("exec time:       {} s", stats.exec_seconds);
             println!("collections@1MB: {}", stats.collections_at_1mb);
-            let demo = Demographics::compute(&trace.compile().expect("valid trace"));
+            let compiled = match trace.compile() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("trace file inconsistent: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let demo = Demographics::compute(&compiled);
             println!(
                 "demographics:    {:.1}% young, {:.1}% medium, {:.1}% immortal",
                 demo.young_death_fraction() * 100.0,
@@ -98,7 +105,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let compiled = trace.compile().expect("valid trace");
+            let compiled = match trace.compile() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("trace file inconsistent: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let curve = SurvivalCurve::at_paper_checkpoints(&compiled);
             println!("age(bytes),survival");
             for (age, s) in curve.ages.iter().zip(&curve.survival) {

@@ -1,0 +1,179 @@
+//! Deterministic trace corruptors for fault-injection tests.
+//!
+//! The fault-injection harness (`dtb-sim::fault`, the
+//! `fault_injection` integration suite) needs malformed inputs that are
+//! *reproducibly* malformed: truncated files, flipped bytes, reordered
+//! event streams, impossible lifetimes. Each corruptor here is a pure
+//! function of its arguments — no randomness — so a failing test names its
+//! exact input.
+//!
+//! Corruptors intentionally produce inputs that the validation layer
+//! ([`Trace::validate`], [`CompiledTrace::validate`], the format decoder)
+//! must reject or, for byte flips that happen to decode, survive. They
+//! live in the library (not a test module) so every crate's tests share
+//! one vocabulary of faults.
+
+use crate::event::{CompiledTrace, Event, Trace};
+use crate::format;
+
+/// Serializes `trace` and cuts the encoding off after `keep` bytes.
+///
+/// A truncation inside the header yields `FormatError::BadMagic`; inside
+/// the event stream, `FormatError::Truncated`.
+pub fn truncated_encoding(trace: &Trace, keep: usize) -> Vec<u8> {
+    let mut data = format::encode(trace).to_vec();
+    data.truncate(keep);
+    data
+}
+
+/// Serializes `trace` and XOR-flips the byte at `index % len` with `mask`.
+///
+/// A `mask` of zero is bumped to `0xFF` so the corruption is never a
+/// no-op. The result may fail to decode, decode to a semantically invalid
+/// trace, or decode to a different-but-valid trace — the parser's contract
+/// is only that it never panics.
+pub fn flipped_byte_encoding(trace: &Trace, index: usize, mask: u8) -> Vec<u8> {
+    let mut data = format::encode(trace).to_vec();
+    if !data.is_empty() {
+        let i = index % data.len();
+        data[i] ^= if mask == 0 { 0xFF } else { mask };
+    }
+    data
+}
+
+/// Swaps two events, typically moving a free ahead of its allocation.
+///
+/// Swapping an alloc/free pair produces a `FreeWithoutAlloc` (the free now
+/// precedes the allocation); swapping two allocs merely reorders births.
+/// Indices are taken modulo the event count; an empty trace is returned
+/// unchanged.
+pub fn swapped_events(trace: &Trace, i: usize, j: usize) -> Trace {
+    let mut out = trace.clone();
+    let n = out.events.len();
+    if n > 1 {
+        out.events.swap(i % n, j % n);
+    }
+    out
+}
+
+/// Appends a free for an id that is never allocated.
+pub fn stray_free(trace: &Trace, id: crate::event::ObjectId) -> Trace {
+    let mut out = trace.clone();
+    out.events.push(Event::Free { id });
+    out
+}
+
+/// Rewrites one compiled record so the object dies before it is born.
+///
+/// This cannot be expressed as an event stream (frees always follow
+/// allocs in stream order), so it targets the compiled form directly —
+/// the shape a bad deserializer or a buggy transformation could hand the
+/// simulator. `CompiledTrace::validate` reports it as `DeathBeforeBirth`.
+pub fn death_before_birth(compiled: &CompiledTrace, index: usize) -> CompiledTrace {
+    let mut out = compiled.clone();
+    let n = out.lives.len();
+    if n > 0 {
+        let life = &mut out.lives[index % n];
+        let birth = life.birth;
+        life.death = Some(birth.rewind(dtb_core::time::Bytes::new(1).max(life.bytes())));
+    }
+    out
+}
+
+/// Reverses the compiled records, breaking the birth-order invariant.
+///
+/// `CompiledTrace::validate` reports it as `NonMonotoneBirth` (for traces
+/// with at least two objects).
+pub fn reversed_births(compiled: &CompiledTrace) -> CompiledTrace {
+    let mut out = compiled.clone();
+    out.lives.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::{ObjectId, TraceError};
+    use crate::format::FormatError;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("corrupt-sample");
+        for _ in 0..10 {
+            let id = b.alloc(64);
+            b.free(id);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn truncation_is_detected_by_the_decoder() {
+        let t = sample();
+        let full = format::encode(&t);
+        for keep in [0, 4, full.len() / 2, full.len() - 1] {
+            let data = truncated_encoding(&t, keep);
+            assert!(
+                matches!(
+                    format::decode(&data),
+                    Err(FormatError::Truncated | FormatError::BadMagic)
+                ),
+                "keep={keep} should not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_flip_never_yields_an_unvalidated_trace() {
+        let t = sample();
+        let len = format::encode(&t).len();
+        for i in 0..len {
+            let data = flipped_byte_encoding(&t, i, 0x01);
+            if let Ok(decoded) = format::decode(&data) {
+                // Decoding succeeded: validation must still be decisive
+                // (no panic), though either verdict is acceptable.
+                let _ = decoded.validate();
+            }
+        }
+    }
+
+    #[test]
+    fn swapping_free_before_alloc_invalidates() {
+        let t = sample();
+        // Events alternate alloc/free; swapping 0 and 1 puts object 0's
+        // free first.
+        let bad = swapped_events(&t, 0, 1);
+        assert!(matches!(
+            bad.validate(),
+            Err(TraceError::FreeWithoutAlloc { .. })
+        ));
+    }
+
+    #[test]
+    fn stray_free_invalidates() {
+        let bad = stray_free(&sample(), ObjectId(999));
+        assert!(matches!(
+            bad.validate(),
+            Err(TraceError::FreeWithoutAlloc { .. })
+        ));
+    }
+
+    #[test]
+    fn death_before_birth_caught_by_compiled_validate() {
+        let c = sample().compile().unwrap();
+        let bad = death_before_birth(&c, 3);
+        assert!(matches!(
+            bad.validate(),
+            Err(TraceError::DeathBeforeBirth { .. })
+        ));
+    }
+
+    #[test]
+    fn reversed_births_caught_by_compiled_validate() {
+        let c = sample().compile().unwrap();
+        let bad = reversed_births(&c);
+        assert!(matches!(
+            bad.validate(),
+            Err(TraceError::NonMonotoneBirth { .. })
+        ));
+    }
+}

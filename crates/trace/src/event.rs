@@ -110,8 +110,9 @@ impl Trace {
     /// # Errors
     ///
     /// Returns [`TraceError`] when the stream is malformed: duplicate
-    /// allocation of an id, or a free of an id never allocated (double
-    /// frees report as the latter after the first free removes the id).
+    /// allocation of an id, a free of an id never allocated (double
+    /// frees report as the latter after the first free removes the id), a
+    /// zero-sized allocation, or totals that overflow the allocation clock.
     pub fn compile(&self) -> Result<CompiledTrace, TraceError> {
         let mut clock = VirtualTime::ZERO;
         let mut lives: Vec<ObjectLife> = Vec::new();
@@ -122,7 +123,9 @@ impl Trace {
                     if size == 0 {
                         return Err(TraceError::ZeroSizedAlloc { id, pos });
                     }
-                    clock = clock.advance(Bytes::new(size as u64));
+                    clock = clock
+                        .checked_advance(Bytes::new(size as u64))
+                        .ok_or(TraceError::ClockOverflow { id, pos })?;
                     if index.insert(id, lives.len()).is_some() {
                         return Err(TraceError::DuplicateAlloc { id, pos });
                     }
@@ -149,6 +152,45 @@ impl Trace {
             end: clock,
             lives,
         })
+    }
+
+    /// Checks the event stream for every malformation [`compile`] would
+    /// reject, without building the compiled records.
+    ///
+    /// Deserializers call this so a corrupt file surfaces one precise
+    /// diagnostic at load time instead of a panic (or a garbage simulation)
+    /// downstream.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TraceError`] in event order, if any.
+    ///
+    /// [`compile`]: Trace::compile
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut clock = VirtualTime::ZERO;
+        // freed[id] = whether the object's one free has been seen.
+        let mut freed: HashMap<ObjectId, bool> = HashMap::new();
+        for (pos, event) in self.events.iter().enumerate() {
+            match *event {
+                Event::Alloc { id, size } => {
+                    if size == 0 {
+                        return Err(TraceError::ZeroSizedAlloc { id, pos });
+                    }
+                    clock = clock
+                        .checked_advance(Bytes::new(size as u64))
+                        .ok_or(TraceError::ClockOverflow { id, pos })?;
+                    if freed.insert(id, false).is_some() {
+                        return Err(TraceError::DuplicateAlloc { id, pos });
+                    }
+                }
+                Event::Free { id } => match freed.get_mut(&id) {
+                    None => return Err(TraceError::FreeWithoutAlloc { id, pos }),
+                    Some(true) => return Err(TraceError::DoubleFree { id, pos }),
+                    Some(f) => *f = true,
+                },
+            }
+        }
+        Ok(())
     }
 }
 
@@ -183,6 +225,34 @@ pub enum TraceError {
         /// Event index of the allocation.
         pos: usize,
     },
+    /// The allocation totals overflow the `u64` allocation clock.
+    ClockOverflow {
+        /// The allocation that overflowed the clock.
+        id: ObjectId,
+        /// Event index of the allocation.
+        pos: usize,
+    },
+    /// Compiled records are not in strictly-increasing birth order.
+    NonMonotoneBirth {
+        /// The out-of-order object.
+        id: ObjectId,
+        /// Index of the record in the compiled lifetime list.
+        pos: usize,
+    },
+    /// A compiled record dies before it is born.
+    DeathBeforeBirth {
+        /// The impossible object.
+        id: ObjectId,
+        /// Index of the record in the compiled lifetime list.
+        pos: usize,
+    },
+    /// Compiled object sizes do not sum to the end-of-trace clock.
+    TotalsMismatch {
+        /// Sum of all object sizes.
+        sum: u64,
+        /// The recorded end-of-trace clock.
+        end: u64,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -199,6 +269,24 @@ impl std::fmt::Display for TraceError {
             }
             TraceError::ZeroSizedAlloc { id, pos } => {
                 write!(f, "object {id} has zero size (event {pos})")
+            }
+            TraceError::ClockOverflow { id, pos } => {
+                write!(
+                    f,
+                    "object {id} overflows the allocation clock (event {pos})"
+                )
+            }
+            TraceError::NonMonotoneBirth { id, pos } => {
+                write!(f, "object {id} born out of order (record {pos})")
+            }
+            TraceError::DeathBeforeBirth { id, pos } => {
+                write!(f, "object {id} dies before it is born (record {pos})")
+            }
+            TraceError::TotalsMismatch { sum, end } => {
+                write!(
+                    f,
+                    "object sizes sum to {sum} but the trace ends at clock {end}"
+                )
             }
         }
     }
@@ -274,6 +362,45 @@ impl CompiledTrace {
     /// call this in tests.
     pub fn births_strictly_increasing(&self) -> bool {
         self.lives.windows(2).all(|w| w[0].birth < w[1].birth)
+    }
+
+    /// Checks the structural invariants every [`Trace::compile`] output
+    /// satisfies: births strictly increasing, no death before birth, and
+    /// object sizes summing exactly to the end-of-trace clock.
+    ///
+    /// [`Trace::compile`] establishes these by construction; this check
+    /// exists for compiled traces built or mutated by other means (hand
+    /// construction, fault injection, a future direct deserializer). The
+    /// simulation engine refuses traces that fail it.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`TraceError`].
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut prev_birth: Option<VirtualTime> = None;
+        let mut sum: u64 = 0;
+        for (pos, life) in self.lives.iter().enumerate() {
+            if life.size == 0 {
+                return Err(TraceError::ZeroSizedAlloc { id: life.id, pos });
+            }
+            if prev_birth.is_some_and(|p| life.birth <= p) {
+                return Err(TraceError::NonMonotoneBirth { id: life.id, pos });
+            }
+            prev_birth = Some(life.birth);
+            if life.death.is_some_and(|d| d < life.birth) {
+                return Err(TraceError::DeathBeforeBirth { id: life.id, pos });
+            }
+            sum = sum
+                .checked_add(life.size as u64)
+                .ok_or(TraceError::ClockOverflow { id: life.id, pos })?;
+        }
+        if sum != self.end.as_u64() {
+            return Err(TraceError::TotalsMismatch {
+                sum,
+                end: self.end.as_u64(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -400,5 +527,64 @@ mod tests {
             pos: 4,
         };
         assert_eq!(err.to_string(), "object #9 freed twice (event 4)");
+    }
+
+    #[test]
+    fn validate_agrees_with_compile() {
+        let cases = vec![
+            trace(vec![alloc(0, 10), free(0), alloc(1, 5)]),
+            trace(vec![alloc(0, 1), alloc(0, 1)]),
+            trace(vec![free(3)]),
+            trace(vec![alloc(0, 1), free(0), free(0)]),
+            trace(vec![alloc(0, 0)]),
+            trace(vec![]),
+        ];
+        for t in cases {
+            assert_eq!(
+                t.validate(),
+                t.compile().map(|_| ()),
+                "validate and compile disagree on {:?}",
+                t.events
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_validate_accepts_compile_output() {
+        let t = trace(vec![alloc(0, 10), alloc(1, 20), free(0), alloc(2, 5)]);
+        assert_eq!(t.compile().unwrap().validate(), Ok(()));
+    }
+
+    #[test]
+    fn compiled_validate_catches_out_of_order_births() {
+        let mut c = trace(vec![alloc(0, 10), alloc(1, 20)]).compile().unwrap();
+        c.lives.swap(0, 1);
+        assert!(matches!(
+            c.validate(),
+            Err(TraceError::NonMonotoneBirth { .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_validate_catches_death_before_birth() {
+        let mut c = trace(vec![alloc(0, 10), alloc(1, 20)]).compile().unwrap();
+        c.lives[1].death = Some(VirtualTime::from_bytes(5));
+        assert_eq!(
+            c.validate(),
+            Err(TraceError::DeathBeforeBirth {
+                id: ObjectId(1),
+                pos: 1
+            })
+        );
+    }
+
+    #[test]
+    fn compiled_validate_catches_totals_mismatch() {
+        let mut c = trace(vec![alloc(0, 10)]).compile().unwrap();
+        c.end = VirtualTime::from_bytes(99);
+        assert_eq!(
+            c.validate(),
+            Err(TraceError::TotalsMismatch { sum: 10, end: 99 })
+        );
     }
 }

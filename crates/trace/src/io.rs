@@ -4,18 +4,21 @@
 //! generated once and replayed many times (the `tracegen` binary does
 //! exactly that from the command line).
 
-use crate::event::Trace;
+use crate::event::{Trace, TraceError};
 use crate::format::{self, FormatError};
 use std::io;
 use std::path::Path;
 
-/// An I/O or format failure while reading a trace file.
+/// An I/O, format, or semantic failure while reading a trace file.
 #[derive(Debug)]
 pub enum TraceIoError {
     /// Filesystem-level failure.
     Io(io::Error),
     /// The file is not a valid trace.
     Format(FormatError),
+    /// The file decoded, but its event stream is semantically malformed
+    /// (e.g. a double free or an allocation-clock overflow).
+    Invalid(TraceError),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -23,6 +26,7 @@ impl std::fmt::Display for TraceIoError {
         match self {
             TraceIoError::Io(e) => write!(f, "trace file i/o error: {e}"),
             TraceIoError::Format(e) => write!(f, "trace file malformed: {e}"),
+            TraceIoError::Invalid(e) => write!(f, "trace file inconsistent: {e}"),
         }
     }
 }
@@ -32,6 +36,7 @@ impl std::error::Error for TraceIoError {
         match self {
             TraceIoError::Io(e) => Some(e),
             TraceIoError::Format(e) => Some(e),
+            TraceIoError::Invalid(e) => Some(e),
         }
     }
 }
@@ -58,15 +63,20 @@ pub fn write_trace(path: impl AsRef<Path>, trace: &Trace) -> Result<(), TraceIoE
     Ok(())
 }
 
-/// Reads a trace from `path`.
+/// Reads a trace from `path` and validates its event stream.
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Io`] on filesystem failure and
-/// [`TraceIoError::Format`] when the file is not a valid trace.
+/// Returns [`TraceIoError::Io`] on filesystem failure,
+/// [`TraceIoError::Format`] when the file is not a valid trace, and
+/// [`TraceIoError::Invalid`] when the file decodes but its events are
+/// semantically malformed ([`Trace::validate`]) — so a corrupt file
+/// surfaces one precise diagnostic here instead of a failure downstream.
 pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
     let data = std::fs::read(path)?;
-    Ok(format::decode(&data)?)
+    let trace = format::decode(&data)?;
+    trace.validate().map_err(TraceIoError::Invalid)?;
+    Ok(trace)
 }
 
 #[cfg(test)]
@@ -94,6 +104,34 @@ mod tests {
         let err = read_trace("/nonexistent/definitely/not/here.dtbtrc").unwrap_err();
         assert!(matches!(err, TraceIoError::Io(_)));
         assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn semantically_malformed_file_reports_invalid() {
+        use crate::event::{Event, ObjectId, TraceMeta};
+        let dir = std::env::temp_dir().join(format!("dtb-io-inv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inv.dtbtrc");
+        // Encodes fine (the format is a plain event list) but double-frees.
+        let trace = Trace {
+            meta: TraceMeta::named("inv"),
+            events: vec![
+                Event::Alloc {
+                    id: ObjectId(0),
+                    size: 8,
+                },
+                Event::Free { id: ObjectId(0) },
+                Event::Free { id: ObjectId(0) },
+            ],
+        };
+        std::fs::write(&path, crate::format::encode(&trace)).unwrap();
+        let err = read_trace(&path).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::Invalid(TraceError::DoubleFree { .. })
+        ));
+        assert!(err.to_string().contains("inconsistent"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod corrupt;
 pub mod event;
 pub mod format;
 pub mod io;

@@ -1,0 +1,76 @@
+//! Property tests: no byte-level corruption of a serialized trace may
+//! panic the parser. Decoding either fails with a typed `FormatError` or
+//! yields a trace, and validation of whatever decodes is decisive.
+
+use dtb_trace::corrupt::{flipped_byte_encoding, truncated_encoding};
+use dtb_trace::{format, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// A small well-formed trace driven by an op list: `0` allocates, `1`
+/// frees the oldest live object (or allocates when none is live).
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((1u32..=10_000, 0u8..=1), 1..80).prop_map(|ops| {
+        let mut b = TraceBuilder::new("prop");
+        let mut live = Vec::new();
+        for (size, op) in ops {
+            if op == 0 || live.is_empty() {
+                live.push(b.alloc(size));
+            } else {
+                b.free(live.remove(0));
+            }
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #[test]
+    fn single_byte_flips_never_panic_the_parser(
+        t in trace_strategy(),
+        idx in 0usize..=1_000_000,
+        mask in 0u8..=255,
+    ) {
+        let data = flipped_byte_encoding(&t, idx, mask);
+        if let Ok(decoded) = format::decode(&data) {
+            // Either verdict is fine; reaching one without panicking is
+            // the property.
+            let _ = decoded.validate();
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic_the_parser(
+        t in trace_strategy(),
+        cut in 0usize..=1_000_000,
+    ) {
+        let full_len = format::encode(&t).len();
+        let data = truncated_encoding(&t, cut % (full_len + 1));
+        if let Ok(decoded) = format::decode(&data) {
+            let _ = decoded.validate();
+        }
+    }
+
+    #[test]
+    fn multi_byte_mutations_never_panic_the_parser(
+        t in trace_strategy(),
+        flips in prop::collection::vec((0usize..=1_000_000, 0u8..=255), 1..8),
+    ) {
+        let mut data = format::encode(&t).to_vec();
+        for (idx, mask) in flips {
+            if !data.is_empty() {
+                let i = idx % data.len();
+                data[i] ^= mask | 1; // |1 so the flip is never a no-op
+            }
+        }
+        if let Ok(decoded) = format::decode(&data) {
+            let _ = decoded.validate();
+        }
+    }
+
+    #[test]
+    fn uncorrupted_round_trip_always_validates(t in trace_strategy()) {
+        let decoded = format::decode(&format::encode(&t)).expect("round trip");
+        prop_assert_eq!(&decoded, &t);
+        prop_assert!(decoded.validate().is_ok());
+    }
+}

@@ -10,6 +10,7 @@
 //! cargo run --release --example custom_policy
 //! ```
 
+use dtb::core::error::PolicyError;
 use dtb::core::policy::{PolicyKind, ScavengeContext, TbPolicy};
 use dtb::core::time::VirtualTime;
 use dtb::sim::exec::Evaluation;
@@ -26,9 +27,9 @@ impl TbPolicy for HalfLife {
         "HALFLIFE"
     }
 
-    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> VirtualTime {
+    fn select_boundary(&mut self, ctx: &ScavengeContext<'_>) -> Result<VirtualTime, PolicyError> {
         let Some(last) = ctx.history.last() else {
-            return VirtualTime::ZERO;
+            return Ok(VirtualTime::ZERO);
         };
         // Binary-search the age at which surviving storage splits in two,
         // using the same estimator the built-in policies consult.
@@ -51,7 +52,7 @@ impl TbPolicy for HalfLife {
                 hi = mid;
             }
         }
-        VirtualTime::from_bytes(lo).min(last.at)
+        Ok(VirtualTime::from_bytes(lo).min(last.at))
     }
 }
 

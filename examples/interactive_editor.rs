@@ -67,7 +67,7 @@ fn main() {
     // The sweep leaves memory effectively unconstrained: only the pause
     // knob moves. Points run in parallel.
     let pause_budgets_ms = [25.0, 50.0, 100.0, 200.0];
-    let frontier = sweep_pause_budget(&trace, &pause_budgets_ms, &sim);
+    let frontier = sweep_pause_budget(&trace, &pause_budgets_ms, &sim).expect("sweep completes");
     for (pause_budget_ms, point) in pause_budgets_ms.iter().zip(&frontier.points) {
         println!(
             "{:>7} ms  {:>9.1} ms  {:>7.1} ms  {:>7.0} KB  {:>8.1}%",
@@ -81,7 +81,7 @@ fn main() {
 
     // The unconstrained baseline for contrast.
     let mut full_policy = PolicyKind::Full.build(&PolicyConfig::paper());
-    let full = simulate(&trace, &mut full_policy, &sim);
+    let full = simulate(&trace, &mut full_policy, &sim).expect("baseline completes");
     println!(
         "\nFULL baseline: median pause {:.0} ms — a visible freeze; DTBFM holds \
          the budget\nand its memory cost shrinks as the budget loosens.",

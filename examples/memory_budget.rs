@@ -30,7 +30,7 @@ fn main() {
     );
     let budgets_kb = [500u64, 1000, 2000, 3000, 6000, 12000];
     let budgets: Vec<Bytes> = budgets_kb.iter().map(|kb| Bytes::from_kb(*kb)).collect();
-    let frontier = sweep_memory_budget(&trace, &budgets, &sim);
+    let frontier = sweep_memory_budget(&trace, &budgets, &sim).expect("sweep completes");
     for (budget_kb, point) in budgets_kb.iter().zip(&frontier.points) {
         let (mem_mean, mem_max) = point.report.mem_kb();
         let within = mem_max <= *budget_kb as f64 * 1.01;
@@ -50,9 +50,9 @@ fn main() {
     }
 
     let mut full_policy = PolicyKind::Full.build(&PolicyConfig::paper());
-    let full = simulate(&trace, &mut full_policy, &sim);
+    let full = simulate(&trace, &mut full_policy, &sim).expect("baseline completes");
     let mut fixed1_policy = PolicyKind::Fixed1.build(&PolicyConfig::paper());
-    let fixed1 = simulate(&trace, &mut fixed1_policy, &sim);
+    let fixed1 = simulate(&trace, &mut fixed1_policy, &sim).expect("baseline completes");
     println!(
         "\nreference: FULL uses {:.0} KB at {:.1}% overhead; FIXED1 uses {:.0} KB \
          at {:.1}%.\nDTBMEM walks between them as the budget allows: more memory \

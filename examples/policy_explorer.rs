@@ -36,7 +36,7 @@ fn main() {
         "budget", "median pause", "mem mean", "overhead"
     );
     let pause_budgets_ms = [10.0, 25.0, 50.0, 100.0, 250.0, 500.0];
-    let frontier = sweep_pause_budget(&trace, &pause_budgets_ms, &sim);
+    let frontier = sweep_pause_budget(&trace, &pause_budgets_ms, &sim).expect("sweep completes");
     for (ms, point) in pause_budgets_ms.iter().zip(&frontier.points) {
         let r = &point.report;
         println!(
@@ -58,7 +58,7 @@ fn main() {
         .iter()
         .map(|kb| Bytes::from_kb(*kb))
         .collect();
-    let frontier = sweep_memory_budget(&trace, &mem_budgets, &sim);
+    let frontier = sweep_memory_budget(&trace, &mem_budgets, &sim).expect("sweep completes");
     for (kb, point) in mem_budgets_kb.iter().zip(&frontier.points) {
         let r = &point.report;
         println!(

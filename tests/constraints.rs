@@ -24,7 +24,9 @@ fn run_kind(
     sim: &SimConfig,
 ) -> SimReport {
     let mut policy = kind.build(cfg);
-    simulate(trace, &mut policy, sim).report
+    simulate(trace, &mut policy, sim)
+        .expect("well-formed trace simulates")
+        .report
 }
 
 fn column(trace: &Arc<CompiledTrace>) -> Vec<SimReport> {

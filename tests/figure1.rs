@@ -3,6 +3,7 @@
 //! tenured garbage under a generational boundary, and untenure it when
 //! the boundary moves back.
 
+use dtb::core::error::PolicyError;
 use dtb::core::policy::{Fixed, Full, TbPolicy};
 use dtb::core::time::VirtualTime;
 use dtb::sim::engine::{simulate, SimConfig};
@@ -37,11 +38,11 @@ fn figure1_trace() -> dtb::trace::event::CompiledTrace {
 #[test]
 fn fixed1_strands_old_garbage_the_oracle_confirms() {
     let trace = figure1_trace();
-    let run = simulate(&trace, &mut Fixed::new(1), &SimConfig::paper());
+    let run = simulate(&trace, &mut Fixed::new(1), &SimConfig::paper()).unwrap();
     // By the last scavenge, I and J (200 KB) died *after* being tenured:
     // FIXED1 never reclaims them.
     let last = run.report.history.last().unwrap();
-    let full = simulate(&trace, &mut Full::new(), &SimConfig::paper());
+    let full = simulate(&trace, &mut Full::new(), &SimConfig::paper()).unwrap();
     let full_last = full.report.history.last().unwrap();
     assert!(
         last.surviving.as_u64() >= full_last.surviving.as_u64() + 200_000,
@@ -62,11 +63,14 @@ fn moving_the_boundary_back_untenures_the_stranded_garbage() {
         fn name(&self) -> &str {
             "FIXED1-THEN-FULL"
         }
-        fn select_boundary(&mut self, ctx: &dtb::core::policy::ScavengeContext<'_>) -> VirtualTime {
+        fn select_boundary(
+            &mut self,
+            ctx: &dtb::core::policy::ScavengeContext<'_>,
+        ) -> Result<VirtualTime, PolicyError> {
             if ctx.history.len() < 2 {
                 self.inner.select_boundary(ctx)
             } else {
-                VirtualTime::ZERO
+                Ok(VirtualTime::ZERO)
             }
         }
     }
@@ -75,12 +79,12 @@ fn moving_the_boundary_back_untenures_the_stranded_garbage() {
     let mut policy = Fixed1ThenFull {
         inner: Fixed::new(1),
     };
-    let run = simulate(&trace, &mut policy, &SimConfig::paper());
+    let run = simulate(&trace, &mut policy, &SimConfig::paper()).unwrap();
     let records: Vec<_> = run.report.history.iter().collect();
     assert!(records.len() >= 3);
     // Scavenge 2 (FIXED1): I and J are immune garbage — not reclaimed.
     // Scavenge 3 (boundary 0): they are untenured and reclaimed.
-    let full = simulate(&trace, &mut Full::new(), &SimConfig::paper());
+    let full = simulate(&trace, &mut Full::new(), &SimConfig::paper()).unwrap();
     assert_eq!(
         run.report.history.last().unwrap().surviving,
         full.report.history.last().unwrap().surviving,

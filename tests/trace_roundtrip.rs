@@ -17,7 +17,7 @@ fn run_kind(
     sim: &SimConfig,
 ) -> SimRun {
     let mut policy = kind.build(cfg);
-    simulate(trace, &mut policy, sim)
+    simulate(trace, &mut policy, sim).expect("well-formed trace simulates")
 }
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
