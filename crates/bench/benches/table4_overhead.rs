@@ -3,7 +3,7 @@
 //! heap's scavenge primitives that dominate it.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_core::policy::{PolicyConfig, PolicyKind, SurvivalEstimator};
 use dtb_core::time::VirtualTime;
 use dtb_sim::engine::{simulate, SimConfig};
 use dtb_sim::heap::{OracleHeap, SimObject};
@@ -51,8 +51,13 @@ fn bench_table4(c: &mut Criterion) {
         )
     });
     c.bench_function("table4/survival_snapshot_50k", |b| {
-        let h = filled_heap(50_000);
-        b.iter(|| black_box(h.survival_snapshot(VirtualTime::from_bytes(10_000_000))))
+        let mut h = filled_heap(50_000);
+        let now = VirtualTime::from_bytes(10_000_000);
+        b.iter(|| {
+            // Borrow the view and answer one boundary query, end to end.
+            let snap = h.survival_snapshot(now);
+            black_box(snap.surviving_born_after(VirtualTime::from_bytes(1_600_000)))
+        })
     });
 }
 

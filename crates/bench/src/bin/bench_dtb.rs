@@ -1,0 +1,318 @@
+//! `bench_dtb`: the end-to-end simulator performance harness.
+//!
+//! Generates a paper-scale synthetic trace (heavy short-lived churn, a
+//! medium-lived band, an immortal ramp and a permanent startup structure
+//! — the mixture that keeps a large live set resident), then runs the
+//! **six-policy matrix** through the engine twice: once on the
+//! incremental `OracleHeap` and once on the scan-based `NaiveHeap`
+//! baseline (the pre-incremental implementation). Both runs must produce
+//! identical reports — the harness doubles as a differential check at
+//! scale — and the timing ratio is the headline speedup.
+//!
+//! Results are written as JSON (see `BENCH_dtb.json` at the repo root):
+//! events/second and ns/scavenge per policy per engine, peak RSS, and the
+//! overall speedup. With `--baseline <file>`, the run fails (exit 1) if
+//! incremental events/second drops below 70% of the recorded baseline —
+//! the CI `bench-smoke` job's regression gate.
+//!
+//! ```text
+//! bench_dtb [--events N] [--out PATH] [--baseline PATH] [--skip-naive]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_sim::engine::{simulate, simulate_with_heap, SimConfig};
+use dtb_sim::NaiveHeap;
+use dtb_trace::event::CompiledTrace;
+use dtb_trace::lifetime::{LifetimeDist, SizeDist};
+use dtb_trace::synth::{ClassSpec, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Timing for one (policy × engine) cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct PolicyTiming {
+    policy: String,
+    seconds: f64,
+    scavenges: usize,
+    events_per_sec: f64,
+    ns_per_scavenge: f64,
+}
+
+/// One engine's pass over the whole policy matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct EngineTiming {
+    heap: String,
+    total_seconds: f64,
+    events_per_sec: f64,
+    policies: Vec<PolicyTiming>,
+}
+
+/// The harness output schema (`BENCH_dtb.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    events: usize,
+    total_alloc_bytes: u64,
+    trace: String,
+    incremental: EngineTiming,
+    naive: Option<EngineTiming>,
+    /// naive total seconds / incremental total seconds.
+    speedup: Option<f64>,
+    peak_rss_bytes: Option<u64>,
+}
+
+/// The synthetic benchmark workload, scaled so the steady-state mixture
+/// allocates roughly `events` objects (~1 KB mean object) and a 1 MB
+/// trigger fires about once per thousand events. The mixture keeps a
+/// large long-lived resident set, which is exactly what makes the
+/// scan-based heap's O(heap) scavenges expensive.
+fn workload(events: usize) -> WorkloadSpec {
+    // ~1160 bytes of allocation per object across the mixture (steady
+    // state averages ~1 KB objects; the permanent startup ramp uses 8 KB
+    // ones), so `events` requested ≈ objects compiled, and the 1 MB
+    // trigger fires a little more than once per thousand events.
+    let total_alloc = (events as u64).max(1_000) * 1_160;
+    WorkloadSpec {
+        name: format!("BENCHSYN({}k)", events / 1_000),
+        description: "perf-harness mixture: churn + medium band + immortal ramp".into(),
+        exec_seconds: 10.0,
+        total_alloc,
+        initial_permanent: total_alloc / 10,
+        initial_object_size: 8_192,
+        classes: vec![
+            ClassSpec::new(
+                "short",
+                0.55,
+                SizeDist::Uniform { min: 64, max: 2048 },
+                LifetimeDist::Exponential { mean: 200_000.0 },
+            ),
+            ClassSpec::new(
+                "medium",
+                0.25,
+                SizeDist::Uniform { min: 64, max: 2048 },
+                LifetimeDist::Exponential { mean: 3_000_000.0 },
+            ),
+            ClassSpec::new(
+                "immortal-ramp",
+                0.20,
+                SizeDist::Uniform { min: 64, max: 2048 },
+                LifetimeDist::Immortal,
+            ),
+        ],
+        phase_period: None,
+        seed: 0xD7B_BE1C,
+    }
+}
+
+/// Runs the six-policy matrix on one heap implementation, timing each
+/// policy's full simulation.
+fn run_matrix(
+    label: &str,
+    trace: &CompiledTrace,
+    naive: bool,
+) -> Result<(EngineTiming, Vec<dtb_sim::SimReport>), String> {
+    let policy_cfg = PolicyConfig::paper();
+    let sim_cfg = SimConfig::paper().with_invariant_checks(false);
+    let mut policies = Vec::new();
+    let mut reports = Vec::new();
+    let mut total = 0.0f64;
+    for kind in PolicyKind::ALL {
+        let mut policy = kind.build(&policy_cfg);
+        let start = Instant::now();
+        let run = if naive {
+            simulate_with_heap::<NaiveHeap>(trace, &mut policy, &sim_cfg)
+        } else {
+            simulate(trace, &mut policy, &sim_cfg)
+        }
+        .map_err(|e| format!("{label}/{kind}: {e}"))?;
+        let seconds = start.elapsed().as_secs_f64();
+        total += seconds;
+        let scavenges = run.report.collections;
+        eprintln!(
+            "[{label}] {:<7} {seconds:>8.3}s  {scavenges:>5} scavenges",
+            kind.label()
+        );
+        policies.push(PolicyTiming {
+            policy: kind.label().to_string(),
+            seconds,
+            scavenges,
+            events_per_sec: trace.len() as f64 / seconds.max(1e-9),
+            ns_per_scavenge: seconds * 1e9 / (scavenges.max(1) as f64),
+        });
+        reports.push(run.report);
+    }
+    Ok((
+        EngineTiming {
+            heap: label.to_string(),
+            total_seconds: total,
+            events_per_sec: (trace.len() * PolicyKind::ALL.len()) as f64 / total.max(1e-9),
+            policies,
+        },
+        reports,
+    ))
+}
+
+/// Peak resident set size from `/proc/self/status` (Linux; `None`
+/// elsewhere).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+struct Args {
+    events: usize,
+    out: String,
+    baseline: Option<String>,
+    skip_naive: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        events: 1_000_000,
+        out: "BENCH_dtb.json".to_string(),
+        baseline: None,
+        skip_naive: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--events" => {
+                let v = it.next().ok_or("--events needs a value")?;
+                args.events = v.parse().map_err(|_| format!("bad --events: {v}"))?;
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a value")?),
+            "--skip-naive" => args.skip_naive = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_dtb: {e}");
+            eprintln!(
+                "usage: bench_dtb [--events N] [--out PATH] [--baseline PATH] [--skip-naive]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let spec = workload(args.events);
+    eprintln!(
+        "generating {} (~{} events, {} MB total allocation)…",
+        spec.name,
+        args.events,
+        spec.total_alloc / 1_000_000
+    );
+    let trace = match spec
+        .generate()
+        .map_err(|e| e.to_string())
+        .and_then(|t| t.compile().map_err(|e| e.to_string()))
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_dtb: trace generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "compiled: {} objects, end clock {:?}",
+        trace.len(),
+        trace.end
+    );
+
+    let (incremental, fast_reports) = match run_matrix("incremental", &trace, false) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_dtb: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut naive = None;
+    let mut speedup = None;
+    if !args.skip_naive {
+        let (timing, slow_reports) = match run_matrix("naive", &trace, true) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_dtb: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The harness doubles as a differential check at benchmark scale.
+        if fast_reports != slow_reports {
+            eprintln!("bench_dtb: incremental and naive heap runs diverged — refusing to report");
+            return ExitCode::FAILURE;
+        }
+        speedup = Some(timing.total_seconds / incremental.total_seconds.max(1e-9));
+        naive = Some(timing);
+    }
+
+    let report = BenchReport {
+        schema: "bench_dtb/v1".to_string(),
+        events: trace.len(),
+        total_alloc_bytes: spec.total_alloc,
+        trace: spec.name.clone(),
+        incremental,
+        naive,
+        speedup,
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_dtb: serialization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&args.out, json + "\n") {
+        eprintln!("bench_dtb: writing {} failed: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "incremental: {:.0} events/s{}  → {}",
+        report.incremental.events_per_sec,
+        report
+            .speedup
+            .map(|s| format!(", {s:.1}× over naive"))
+            .unwrap_or_default(),
+        args.out
+    );
+
+    // Regression gate: fail when incremental throughput drops more than
+    // 30% below the recorded baseline.
+    if let Some(path) = &args.baseline {
+        let baseline: BenchReport = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_dtb: reading baseline {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let floor = baseline.incremental.events_per_sec * 0.7;
+        if report.incremental.events_per_sec < floor {
+            eprintln!(
+                "bench_dtb: REGRESSION — {:.0} events/s is below 70% of baseline {:.0}",
+                report.incremental.events_per_sec, baseline.incremental.events_per_sec
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "baseline gate ok: {:.0} events/s ≥ 70% of {:.0}",
+            report.incremental.events_per_sec, baseline.incremental.events_per_sec
+        );
+    }
+    ExitCode::SUCCESS
+}

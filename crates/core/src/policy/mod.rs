@@ -100,6 +100,29 @@ pub trait SurvivalEstimator {
     fn surviving_born_after(&self, tb: VirtualTime) -> Bytes;
 }
 
+/// Lends out borrowed, allocation-free [`SurvivalEstimator`] views frozen
+/// at a scavenge decision point.
+///
+/// The simulator's oracle heap maintains incrementally-updated indices and
+/// lends a view *into* them — no per-scavenge copying — so the estimator
+/// type is a generic associated type carrying the lender's lifetime. A
+/// lender that must materialize its answer (e.g. a naive reference
+/// implementation) simply picks an owned type for `Survival`.
+pub trait SurvivalLender {
+    /// The estimator lent for one boundary decision; may borrow from
+    /// `self`.
+    type Survival<'a>: SurvivalEstimator
+    where
+        Self: 'a;
+
+    /// Freezes a survival view at time `now`.
+    ///
+    /// Takes `&mut self` so lenders may bring lazily-maintained indices
+    /// up to `now` before lending; `now` must not move backwards across
+    /// calls on one lender.
+    fn survival_view(&mut self, now: VirtualTime) -> Self::Survival<'_>;
+}
+
 /// A [`SurvivalEstimator`] for callers with no survival information.
 ///
 /// Always answers zero, which makes Feedback Mediation keep the youngest
@@ -111,6 +134,14 @@ pub struct NoSurvivalInfo;
 impl SurvivalEstimator for NoSurvivalInfo {
     fn surviving_born_after(&self, _tb: VirtualTime) -> Bytes {
         Bytes::ZERO
+    }
+}
+
+impl SurvivalLender for NoSurvivalInfo {
+    type Survival<'a> = NoSurvivalInfo;
+
+    fn survival_view(&mut self, _now: VirtualTime) -> NoSurvivalInfo {
+        NoSurvivalInfo
     }
 }
 

@@ -1,8 +1,9 @@
 //! The trace-driven scavenge engine.
 //!
-//! Replays a compiled trace against the [`OracleHeap`], invoking the
-//! boundary policy every time the paper's GC trigger fires (1 MB of
-//! allocation by default, Section 5) and accumulating the table metrics.
+//! Replays a compiled trace against a [`SimHeap`] (the incremental
+//! [`OracleHeap`] by default), invoking the boundary policy every time
+//! the paper's GC trigger fires (1 MB of allocation by default,
+//! Section 5) and accumulating the table metrics.
 //!
 //! The engine is panic-free on its error paths: malformed traces, failing
 //! policies, exhausted watchdog budgets, and broken accounting identities
@@ -10,7 +11,7 @@
 
 use crate::curve::{CurvePoint, MemoryCurve};
 use crate::error::{BudgetKind, InvariantViolation, SimError};
-use crate::heap::{OracleHeap, SimObject};
+use crate::heap::{OracleHeap, SimHeap, SimObject};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::trigger::Trigger;
 use dtb_core::cost::CostModel;
@@ -172,7 +173,21 @@ pub fn simulate(
     policy: &mut dyn TbPolicy,
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
-    let mut heap = OracleHeap::new();
+    simulate_with_heap::<OracleHeap>(trace, policy, config)
+}
+
+/// Simulates `policy` over `trace` with an explicit heap implementation.
+///
+/// [`simulate`] is this function fixed to the incremental [`OracleHeap`];
+/// the differential suite instantiates it with the scan-based
+/// [`crate::heap::naive::NaiveHeap`] and asserts both produce identical
+/// runs. See [`simulate`] for semantics and errors.
+pub fn simulate_with_heap<H: SimHeap>(
+    trace: &CompiledTrace,
+    policy: &mut dyn TbPolicy,
+    config: &SimConfig,
+) -> Result<SimRun, SimError> {
+    let mut heap = H::with_capacity(trace.len());
     let mut metrics = MetricsCollector::new(config.cost);
     let mut curve = MemoryCurve::new();
     let mut since_gc = Bytes::ZERO;
@@ -181,54 +196,52 @@ pub fn simulate(
     let sample_every = Bytes::new((config.trigger.allocation_scale().as_u64() / 8).max(1));
     let mut since_sample = Bytes::ZERO;
     let mut ledger = Ledger::default();
+    // Hoisted out of the hot loop: an unlimited budget becomes a cap the
+    // u64 event counter can never reach.
+    let max_events = config.budget.max_events.unwrap_or(u64::MAX);
 
-    for life in &trace.lives {
+    let births = trace.births();
+    let sizes = trace.sizes();
+    let deaths = trace.deaths();
+    for ((&birth, &obj_size), &death) in births.iter().zip(sizes).zip(deaths) {
         ledger.events += 1;
-        if let Some(max) = config.budget.max_events {
-            if ledger.events > max {
-                return Err(SimError::BudgetExceeded {
-                    kind: BudgetKind::Events,
-                    limit: max,
-                    at: clock,
-                });
-            }
+        if ledger.events > max_events {
+            return Err(SimError::BudgetExceeded {
+                kind: BudgetKind::Events,
+                limit: max_events,
+                at: clock,
+            });
         }
         // Trace-shape checks run on every event regardless of
         // `check_invariants`: they are O(1) and they stand between a
         // corrupted trace and the heap's birth-order panic.
         if let Some(prev) = ledger.prev_birth {
-            if life.birth <= prev {
+            if birth <= prev {
                 return Err(SimError::Invariant {
-                    at: life.birth,
-                    violation: InvariantViolation::NonMonotoneTime {
-                        prev,
-                        next: life.birth,
-                    },
+                    at: birth,
+                    violation: InvariantViolation::NonMonotoneTime { prev, next: birth },
                 });
             }
         }
-        if let Some(death) = life.death {
-            if death < life.birth {
+        if let Some(death) = death {
+            if death < birth {
                 return Err(SimError::Invariant {
-                    at: life.birth,
-                    violation: InvariantViolation::DeathBeforeBirth {
-                        birth: life.birth,
-                        death,
-                    },
+                    at: birth,
+                    violation: InvariantViolation::DeathBeforeBirth { birth, death },
                 });
             }
         }
-        ledger.prev_birth = Some(life.birth);
+        ledger.prev_birth = Some(birth);
 
-        let size = Bytes::new(life.size as u64);
+        let size = Bytes::new(obj_size as u64);
         // Memory held its previous level while this object was being
         // allocated (the clock span equals the object's size).
         metrics.record_memory(heap.mem_in_use(), size);
-        clock = life.birth;
+        clock = birth;
         heap.insert(SimObject {
-            birth: life.birth,
-            size: life.size,
-            death: life.death,
+            birth,
+            size: obj_size,
+            death,
         });
         ledger.allocated += size;
         since_gc += size;
@@ -250,6 +263,10 @@ pub fn simulate(
             .should_collect(since_gc, heap.mem_in_use(), last_surviving)
         {
             since_gc = Bytes::ZERO;
+            // A scavenge records its own curve points; restart the sample
+            // interval so the next between-scavenge sample measures from
+            // here instead of firing immediately after the collection.
+            since_sample = Bytes::ZERO;
             scavenge_now(
                 &mut heap,
                 policy,
@@ -287,8 +304,8 @@ struct Ledger {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn scavenge_now(
-    heap: &mut OracleHeap,
+fn scavenge_now<H: SimHeap>(
+    heap: &mut H,
     policy: &mut dyn TbPolicy,
     metrics: &mut MetricsCollector,
     config: &SimConfig,
@@ -307,20 +324,26 @@ fn scavenge_now(
         }
     }
     let mem_before = heap.mem_in_use();
-    let snapshot = heap.survival_snapshot(now);
-    let ctx = ScavengeContext {
-        now,
-        mem_before,
-        history: metrics.history(),
-        survival: &snapshot,
+    // The survival view borrows the heap's indices, so it is scoped to
+    // the policy call; afterwards the heap is free again for curve
+    // queries and the scavenge itself. Constructing the view allocates
+    // nothing (see `crates/sim/tests/zero_alloc.rs`).
+    let tb = {
+        let snapshot = heap.survival_view(now);
+        let ctx = ScavengeContext {
+            now,
+            mem_before,
+            history: metrics.history(),
+            survival: &snapshot,
+        };
+        policy
+            .select_boundary(&ctx)
+            .map_err(|source| SimError::Policy {
+                at: now,
+                collection,
+                source,
+            })?
     };
-    let tb = policy
-        .select_boundary(&ctx)
-        .map_err(|source| SimError::Policy {
-            at: now,
-            collection,
-            source,
-        })?;
     // Policies promise boundaries ≤ now (TB ∈ [0, t_{n-1}]). With checks
     // on, a future boundary is an invariant violation; otherwise clamp
     // defensively and carry on.
@@ -560,7 +583,7 @@ mod tests {
             SimError::BudgetExceeded {
                 kind: BudgetKind::Events,
                 limit: 10,
-                at: trace.lives[9].birth,
+                at: trace.life(9).birth,
             }
         );
     }

@@ -6,13 +6,48 @@
 //! object became unreachable (the lifetime oracle). Memory in use only
 //! drops when a scavenge reclaims unreachable threatened objects.
 //!
-//! Objects are stored in birth order (births are strictly increasing along
-//! the trace), so boundary queries are a partition point plus a tail scan,
-//! and tenured garbage is exactly the dead objects sitting at or before
-//! the boundary.
+//! # Incremental indices
+//!
+//! [`OracleHeap`] maintains its aggregates incrementally instead of
+//! rescanning the object vector per query:
+//!
+//! - Every object ever born gets a **global slot** — its position in
+//!   birth order over the whole run, never reused. `births` maps slots to
+//!   birth times and is append-only, so any boundary `tb` resolves to a
+//!   slot split point with one binary search.
+//! - Two [Fenwick trees](fenwick) over global slots partition the bytes
+//!   still occupying memory: `live` holds objects whose oracle death lies
+//!   in the future, `dead` holds dead-but-unreclaimed bytes. A death
+//!   moves bytes from `live` to `dead`; a reclaim removes them from
+//!   `dead`. Boundary aggregates (traced, reclaimed, tenured garbage,
+//!   survival) are prefix/suffix sums, O(log n) each.
+//! - Deaths are applied **lazily**: inserts enqueue `(death, slot, size)`
+//!   on a min-heap, and any query at time `now` first drains entries with
+//!   `death <= now`. Each object is enqueued and drained exactly once, so
+//!   the amortized cost is O(log n) per object — independent of how many
+//!   scavenges or queries the run performs.
+//!
+//! A scavenge therefore costs O(threatened tail + log n): the Fenwick
+//! sums answer the byte accounting, and only the compaction of the
+//! threatened residents walks actual objects. Nothing on the scavenge
+//! path allocates; survival snapshots are borrowed views into the live
+//! index rather than freshly built vectors (see
+//! `crates/sim/tests/zero_alloc.rs`).
+//!
+//! The original scan-based implementation survives as
+//! [`naive::NaiveHeap`], the executable specification the differential
+//! suite checks this heap against.
 
-use dtb_core::policy::SurvivalEstimator;
+mod fenwick;
+pub mod naive;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dtb_core::policy::{SurvivalEstimator, SurvivalLender};
 use dtb_core::time::{Bytes, VirtualTime};
+
+use fenwick::Fenwick;
 
 /// One object in the oracle heap.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,11 +81,69 @@ pub struct ScavengeOutcome {
     pub tenured_garbage: Bytes,
 }
 
-/// Birth-ordered heap with an exact lifetime oracle.
+/// The heap interface the simulation engine drives.
+///
+/// Implemented by the incremental [`OracleHeap`] (production) and the
+/// scan-based [`naive::NaiveHeap`] (executable specification); the
+/// differential suite runs the engine over both and asserts identical
+/// results. Queries take `&mut self` because the incremental heap applies
+/// pending deaths lazily — callers must present monotonically
+/// non-decreasing times, which the trace's event order guarantees.
+pub trait SimHeap: SurvivalLender {
+    /// An empty heap with room for `n` objects.
+    fn with_capacity(n: usize) -> Self;
+
+    /// Inserts a newly allocated object; births arrive strictly
+    /// increasing.
+    fn insert(&mut self, obj: SimObject);
+
+    /// Bytes currently occupying memory (live + unreclaimed garbage).
+    fn mem_in_use(&self) -> Bytes;
+
+    /// Number of objects currently in the heap.
+    fn len(&self) -> usize;
+
+    /// True when the heap holds no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact live bytes at time `at` (oracle knowledge).
+    fn live_bytes_at(&mut self, at: VirtualTime) -> Bytes;
+
+    /// Performs a scavenge at time `now` with threatening boundary `tb`.
+    fn scavenge(&mut self, tb: VirtualTime, now: VirtualTime) -> ScavengeOutcome;
+}
+
+/// An object still occupying memory, keyed by its global slot.
+#[derive(Clone, Copy, Debug)]
+struct Resident {
+    /// Global (birth-order) slot; `births[slot]` is the birth time.
+    slot: u32,
+    /// Size in bytes.
+    size: u32,
+    /// Oracle death time; `None` = lives to the end of the trace.
+    death: Option<VirtualTime>,
+}
+
+/// Birth-ordered heap with an exact lifetime oracle, maintained
+/// incrementally (see the module docs for the index design).
 #[derive(Clone, Debug, Default)]
 pub struct OracleHeap {
-    objects: Vec<SimObject>,
-    mem_in_use: Bytes,
+    /// Birth time per global slot, append-only.
+    births: Vec<VirtualTime>,
+    /// Live bytes per global slot (death still in the future).
+    live: Fenwick,
+    /// Dead-but-unreclaimed bytes per global slot.
+    dead: Fenwick,
+    /// Future deaths awaiting application: `(death, slot, size)` ordered
+    /// soonest-first.
+    pending: BinaryHeap<Reverse<(VirtualTime, u32, u32)>>,
+    /// Objects still occupying memory, ordered by slot.
+    present: Vec<Resident>,
+    /// High-water mark of query time: every death `<= clock` has been
+    /// moved from `live` to `dead`.
+    clock: VirtualTime,
 }
 
 impl OracleHeap {
@@ -59,128 +152,213 @@ impl OracleHeap {
         OracleHeap::default()
     }
 
+    /// Creates an empty heap with index capacity for `n` objects.
+    pub fn with_capacity(n: usize) -> OracleHeap {
+        OracleHeap {
+            births: Vec::with_capacity(n),
+            live: Fenwick::with_capacity(n),
+            dead: Fenwick::with_capacity(n),
+            pending: BinaryHeap::with_capacity(n),
+            present: Vec::with_capacity(n),
+            clock: VirtualTime::ZERO,
+        }
+    }
+
     /// Inserts a newly allocated object.
     ///
-    /// # Panics
-    ///
-    /// Panics if `birth` is not later than the last inserted birth: the
-    /// trace drives insertions in allocation order.
+    /// Births must arrive strictly increasing (the trace drives
+    /// insertions in allocation order); violations panic in debug builds.
     pub fn insert(&mut self, obj: SimObject) {
-        if let Some(last) = self.objects.last() {
-            assert!(
-                obj.birth > last.birth,
+        if let Some(last) = self.births.last() {
+            debug_assert!(
+                obj.birth > *last,
                 "births must be strictly increasing: {:?} after {:?}",
                 obj.birth,
-                last.birth
+                last
             );
         }
-        self.mem_in_use += Bytes::new(obj.size as u64);
-        self.objects.push(obj);
+        let slot = self.births.len();
+        debug_assert!(slot <= u32::MAX as usize, "slot index exceeds u32");
+        let slot = slot as u32;
+        self.births.push(obj.birth);
+        self.live.push(obj.size as u64);
+        self.dead.push(0);
+        self.present.push(Resident {
+            slot,
+            size: obj.size,
+            death: obj.death,
+        });
+        if let Some(d) = obj.death {
+            if d <= self.clock {
+                // Already past its death on the lazy clock (an object can
+                // die the instant it is born): record it dead immediately.
+                self.live.sub(slot as usize, obj.size as u64);
+                self.dead.add(slot as usize, obj.size as u64);
+            } else {
+                self.pending.push(Reverse((d, slot, obj.size)));
+            }
+        }
+    }
+
+    /// Moves every death at or before `now` from the live index to the
+    /// dead index. Amortized O(log n) per object over the whole run.
+    fn advance_clock(&mut self, now: VirtualTime) {
+        if now <= self.clock {
+            return;
+        }
+        self.clock = now;
+        while let Some(&Reverse((d, slot, size))) = self.pending.peek() {
+            if d > now {
+                break;
+            }
+            self.pending.pop();
+            self.live.sub(slot as usize, size as u64);
+            self.dead.add(slot as usize, size as u64);
+        }
     }
 
     /// Bytes currently occupying memory (live + unreclaimed garbage).
     pub fn mem_in_use(&self) -> Bytes {
-        self.mem_in_use
+        // Deaths only move bytes between the two indices, so the sum is
+        // exact regardless of how far the lazy clock has advanced.
+        Bytes::new(self.live.total() + self.dead.total())
     }
 
     /// Number of objects currently in the heap.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.present.len()
     }
 
     /// True when the heap holds no objects.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.present.is_empty()
     }
 
-    /// Exact live bytes at time `at` (oracle knowledge).
-    pub fn live_bytes_at(&self, at: VirtualTime) -> Bytes {
-        self.objects
-            .iter()
-            .filter(|o| o.is_live_at(at))
-            .map(|o| Bytes::new(o.size as u64))
-            .sum()
+    /// Exact live bytes at time `at` (oracle knowledge), O(deaths since
+    /// the last query).
+    ///
+    /// Query times must be monotonically non-decreasing across
+    /// [`OracleHeap::live_bytes_at`], [`OracleHeap::scavenge`], and
+    /// [`OracleHeap::survival_snapshot`].
+    pub fn live_bytes_at(&mut self, at: VirtualTime) -> Bytes {
+        self.advance_clock(at);
+        Bytes::new(self.live.total())
     }
 
-    /// Index of the first object born strictly after `tb`.
-    fn boundary_index(&self, tb: VirtualTime) -> usize {
-        self.objects.partition_point(|o| o.birth <= tb)
+    /// First global slot born strictly after `tb`.
+    fn boundary_slot(&self, tb: VirtualTime) -> usize {
+        self.births.partition_point(|b| *b <= tb)
     }
 
     /// Performs a scavenge at time `now` with threatening boundary `tb`:
     /// traces live threatened objects, reclaims dead threatened objects,
     /// and leaves immune objects untouched.
     ///
-    /// Returns the outcome; afterwards [`OracleHeap::mem_in_use`] reflects
-    /// the surviving storage.
+    /// Byte accounting is answered by the Fenwick indices in O(log n);
+    /// only the compaction of threatened residents walks objects, so the
+    /// whole call is O(threatened tail + log n) and performs no heap
+    /// allocation. Returns the outcome; afterwards
+    /// [`OracleHeap::mem_in_use`] reflects the surviving storage.
     pub fn scavenge(&mut self, tb: VirtualTime, now: VirtualTime) -> ScavengeOutcome {
-        let split = self.boundary_index(tb);
-        let mut traced = Bytes::ZERO;
-        let mut reclaimed = Bytes::ZERO;
+        self.advance_clock(now);
+        let split = self.boundary_slot(tb);
+        let traced = Bytes::new(self.live.suffix(split));
+        let reclaimed = Bytes::new(self.dead.suffix(split));
+        let tenured_garbage = Bytes::new(self.dead.prefix(split));
 
-        // Partition the threatened tail in place: survivors stay, dead are
-        // dropped. Objects keep their birth order.
-        let mut write = split;
-        for read in split..self.objects.len() {
-            let obj = self.objects[read];
-            if obj.is_live_at(now) {
-                traced += Bytes::new(obj.size as u64);
-                self.objects[write] = obj;
-                write += 1;
+        // Compact the threatened residents in place: survivors stay (in
+        // slot order), dead objects leave the dead index and the heap.
+        let start = self.present.partition_point(|r| (r.slot as usize) < split);
+        let mut write = start;
+        for read in start..self.present.len() {
+            let r = self.present[read];
+            if r.death.is_some_and(|d| d <= now) {
+                self.dead.sub(r.slot as usize, r.size as u64);
             } else {
-                reclaimed += Bytes::new(obj.size as u64);
+                self.present[write] = r;
+                write += 1;
             }
         }
-        self.objects.truncate(write);
+        self.present.truncate(write);
 
-        let tenured_garbage: Bytes = self.objects[..split]
-            .iter()
-            .filter(|o| !o.is_live_at(now))
-            .map(|o| Bytes::new(o.size as u64))
-            .sum();
-
-        self.mem_in_use = self.mem_in_use.saturating_sub(reclaimed);
+        debug_assert_eq!(self.dead.suffix(split), 0, "all threatened dead reclaimed");
         ScavengeOutcome {
             traced,
             reclaimed,
-            surviving: self.mem_in_use,
+            surviving: self.mem_in_use(),
             tenured_garbage,
         }
     }
 
-    /// Builds a survival snapshot for policy boundary decisions at time
+    /// Borrows a survival snapshot for policy boundary decisions at time
     /// `now`: answers "how much live storage was born after `tb`" in
-    /// O(log n) per query.
-    pub fn survival_snapshot(&self, now: VirtualTime) -> SurvivalSnapshot {
-        // Suffix sums of live sizes, aligned with `objects`.
-        let mut suffix = vec![0u64; self.objects.len() + 1];
-        for (i, o) in self.objects.iter().enumerate().rev() {
-            suffix[i] = suffix[i + 1] + if o.is_live_at(now) { o.size as u64 } else { 0 };
-        }
+    /// O(log n) per query, without allocating.
+    pub fn survival_snapshot(&mut self, now: VirtualTime) -> SurvivalSnapshot<'_> {
+        self.advance_clock(now);
         SurvivalSnapshot {
-            births: self.objects.iter().map(|o| o.birth).collect(),
-            live_suffix: suffix,
+            births: &self.births,
+            live: &self.live,
         }
     }
 
-    /// Read-only view of the heap contents (tests).
-    pub fn objects(&self) -> &[SimObject] {
-        &self.objects
+    /// Iterates the objects still in the heap, in birth order (tests).
+    pub fn iter_objects(&self) -> impl ExactSizeIterator<Item = SimObject> + '_ {
+        self.present.iter().map(|r| SimObject {
+            birth: self.births[r.slot as usize],
+            size: r.size,
+            death: r.death,
+        })
     }
 }
 
-/// An O(log n) oracle for "live bytes born after `tb`", frozen at one
-/// scavenge decision point.
-#[derive(Clone, Debug)]
-pub struct SurvivalSnapshot {
-    births: Vec<VirtualTime>,
-    live_suffix: Vec<u64>,
+/// An O(log n) oracle for "live bytes born after `tb`", borrowed from the
+/// heap's live index at one scavenge decision point. Construction is
+/// allocation-free — the view reads the incrementally maintained index
+/// directly.
+#[derive(Clone, Copy, Debug)]
+pub struct SurvivalSnapshot<'a> {
+    births: &'a [VirtualTime],
+    live: &'a Fenwick,
 }
 
-impl SurvivalEstimator for SurvivalSnapshot {
+impl SurvivalEstimator for SurvivalSnapshot<'_> {
     fn surviving_born_after(&self, tb: VirtualTime) -> Bytes {
         let idx = self.births.partition_point(|b| *b <= tb);
-        Bytes::new(self.live_suffix[idx])
+        Bytes::new(self.live.suffix(idx))
+    }
+}
+
+impl SurvivalLender for OracleHeap {
+    type Survival<'a> = SurvivalSnapshot<'a>;
+
+    fn survival_view(&mut self, now: VirtualTime) -> SurvivalSnapshot<'_> {
+        self.survival_snapshot(now)
+    }
+}
+
+impl SimHeap for OracleHeap {
+    fn with_capacity(n: usize) -> OracleHeap {
+        OracleHeap::with_capacity(n)
+    }
+
+    fn insert(&mut self, obj: SimObject) {
+        OracleHeap::insert(self, obj);
+    }
+
+    fn mem_in_use(&self) -> Bytes {
+        OracleHeap::mem_in_use(self)
+    }
+
+    fn len(&self) -> usize {
+        OracleHeap::len(self)
+    }
+
+    fn live_bytes_at(&mut self, at: VirtualTime) -> Bytes {
+        OracleHeap::live_bytes_at(self, at)
+    }
+
+    fn scavenge(&mut self, tb: VirtualTime, now: VirtualTime) -> ScavengeOutcome {
+        OracleHeap::scavenge(self, tb, now)
     }
 }
 
@@ -209,6 +387,7 @@ mod tests {
         assert_eq!(h.len(), 2);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn out_of_order_insert_rejected() {
@@ -294,18 +473,23 @@ mod tests {
             ));
         }
         let now = t(200);
+        // Expected answers from a plain filter, computed before the
+        // snapshot borrows the heap.
+        let queries = [0u64, 6, 7, 50, 111, 200, 350, 1000];
+        let expected: Vec<u64> = queries
+            .iter()
+            .map(|&tb| {
+                h.iter_objects()
+                    .filter(|o| o.birth > t(tb) && o.is_live_at(now))
+                    .map(|o| o.size as u64)
+                    .sum()
+            })
+            .collect();
         let snap = h.survival_snapshot(now);
-        use dtb_core::policy::SurvivalEstimator;
-        for tb in [0u64, 6, 7, 50, 111, 200, 350, 1000] {
-            let naive: u64 = h
-                .objects()
-                .iter()
-                .filter(|o| o.birth > t(tb) && o.is_live_at(now))
-                .map(|o| o.size as u64)
-                .sum();
+        for (&tb, &want) in queries.iter().zip(&expected) {
             assert_eq!(
                 snap.surviving_born_after(t(tb)),
-                Bytes::new(naive),
+                Bytes::new(want),
                 "tb={tb}"
             );
         }
@@ -326,5 +510,48 @@ mod tests {
         h.insert(obj(20, 30, None));
         assert_eq!(h.live_bytes_at(t(40)), Bytes::new(130));
         assert_eq!(h.live_bytes_at(t(50)), Bytes::new(30));
+    }
+
+    #[test]
+    fn insert_after_clock_advance_applies_past_death_immediately() {
+        let mut h = OracleHeap::new();
+        h.insert(obj(10, 100, None));
+        assert_eq!(h.live_bytes_at(t(40)), Bytes::new(100));
+        // Born at 40 and dead the same instant the clock already reached.
+        h.insert(obj(40, 7, Some(40)));
+        assert_eq!(h.live_bytes_at(t(40)), Bytes::new(100));
+        assert_eq!(h.mem_in_use(), Bytes::new(107));
+        let out = h.scavenge(VirtualTime::ZERO, t(40));
+        assert_eq!(out.reclaimed, Bytes::new(7));
+        assert_eq!(h.mem_in_use(), Bytes::new(100));
+    }
+
+    #[test]
+    fn matches_naive_heap_on_interleaved_operations() {
+        let mut fast = OracleHeap::new();
+        let mut slow = naive::NaiveHeap::new();
+        let mut clock = 0u64;
+        for i in 0..400u64 {
+            clock += i % 17 + 1;
+            let o = obj(
+                clock,
+                (i % 97 + 1) as u32,
+                if i % 3 != 2 {
+                    Some(clock + (i % 13) * 50)
+                } else {
+                    None
+                },
+            );
+            fast.insert(o);
+            slow.insert(o);
+            if i % 40 == 39 {
+                let now = t(clock);
+                let tb = t(clock.saturating_sub(300));
+                assert_eq!(fast.live_bytes_at(now), slow.live_bytes_at(now), "i={i}");
+                assert_eq!(fast.scavenge(tb, now), slow.scavenge(tb, now), "i={i}");
+                assert_eq!(fast.mem_in_use(), slow.mem_in_use(), "i={i}");
+                assert_eq!(fast.len(), slow.len(), "i={i}");
+            }
+        }
     }
 }

@@ -8,7 +8,10 @@
 //! * [`heap`] — the oracle heap: birth-ordered objects with exact death
 //!   times; scavenges trace live threatened storage and reclaim dead
 //!   threatened storage, leaving *tenured garbage* (dead immune storage)
-//!   behind.
+//!   behind. Maintained incrementally (Fenwick indices + a lazy death
+//!   queue) so a scavenge costs O(threatened tail + log n); the original
+//!   scan-based heap survives as [`heap::naive::NaiveHeap`] for
+//!   differential testing.
 //! * [`engine`] — replays a compiled trace, firing a scavenge after every
 //!   1 MB of allocation and consulting a
 //!   [`TbPolicy`](dtb_core::policy::TbPolicy) for the boundary.
@@ -62,10 +65,11 @@ pub mod run;
 pub mod sweep;
 pub mod trigger;
 
-pub use engine::{simulate, SimBudget, SimConfig, SimRun};
+pub use engine::{simulate, simulate_with_heap, SimBudget, SimConfig, SimRun};
 pub use error::{BudgetKind, InvariantViolation, SimError};
 pub use exec::{
     Cell, CellEvent, CellFailure, CellOutcome, Column, Evaluation, FailureCause, Matrix, TraceCache,
 };
-pub use heap::{OracleHeap, SimObject};
+pub use heap::naive::NaiveHeap;
+pub use heap::{OracleHeap, ScavengeOutcome, SimHeap, SimObject, SurvivalSnapshot};
 pub use metrics::SimReport;

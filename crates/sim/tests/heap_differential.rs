@@ -1,0 +1,105 @@
+//! Differential testing: the incremental `OracleHeap` against the
+//! scan-based `NaiveHeap`, driven through the full engine.
+//!
+//! The naive heap is the executable specification — every query is a
+//! plain filter over the object vector. These properties replay random
+//! compiled traces through `simulate` (incremental) and
+//! `simulate_with_heap::<NaiveHeap>` (specification) for **all six
+//! policies** and require the complete runs — every `ScavengeOutcome`-
+//! derived record, report metric, and curve point — to be identical.
+//! Policies see survival estimates from each heap's own snapshot
+//! implementation, so a divergence anywhere (boundary choice, byte
+//! accounting, lazy-death bookkeeping) cascades into a visible mismatch.
+
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_sim::engine::{simulate, simulate_with_heap, SimConfig};
+use dtb_sim::NaiveHeap;
+use dtb_trace::event::CompiledTrace;
+use dtb_trace::{ObjectId, TraceBuilder};
+use proptest::prelude::*;
+
+/// One allocation step: object size plus an optional death, scheduled
+/// `die_after` allocation events later (0 = dies immediately).
+type Op = (u32, Option<u8>);
+
+/// Builds a valid compiled trace from a random op list. Sizes up to
+/// 60 KB over up to 400 events give multi-megabyte traces — enough for
+/// several 1 MB-trigger scavenges with survivors, tenured garbage, and
+/// untenuring opportunities.
+fn compile_ops(ops: &[Op]) -> CompiledTrace {
+    let mut b = TraceBuilder::new("differential");
+    b.exec_seconds(1.0);
+    let mut due: Vec<(usize, ObjectId)> = Vec::new();
+    for (i, &(size, die_after)) in ops.iter().enumerate() {
+        let id = b.alloc(size);
+        if let Some(k) = die_after {
+            due.push((i + k as usize, id));
+        }
+        let mut j = 0;
+        while j < due.len() {
+            if due[j].0 <= i {
+                let (_, dead) = due.swap_remove(j);
+                b.free(dead);
+            } else {
+                j += 1;
+            }
+        }
+    }
+    b.finish().compile().expect("builder traces are valid")
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((1u32..=60_000, prop::option::of(0u8..=30)), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scavenge-for-scavenge, curve-point-for-curve-point identity of the
+    /// incremental and naive heaps across every policy.
+    #[test]
+    fn incremental_heap_matches_naive_for_all_policies(ops in ops()) {
+        let trace = compile_ops(&ops);
+        let config = SimConfig::paper().with_curve().with_invariant_checks(true);
+        let policy_cfg = PolicyConfig::paper();
+        for kind in PolicyKind::ALL {
+            let fast = {
+                let mut policy = kind.build(&policy_cfg);
+                simulate(&trace, &mut policy, &config)
+            };
+            let slow = {
+                let mut policy = kind.build(&policy_cfg);
+                simulate_with_heap::<NaiveHeap>(&trace, &mut policy, &config)
+            };
+            match (fast, slow) {
+                (Ok(fast), Ok(slow)) => {
+                    prop_assert_eq!(
+                        &fast.report.history,
+                        &slow.report.history,
+                        "{}: scavenge histories diverge",
+                        kind
+                    );
+                    prop_assert_eq!(
+                        &fast.report,
+                        &slow.report,
+                        "{}: reports diverge",
+                        kind
+                    );
+                    prop_assert_eq!(
+                        &fast.curve,
+                        &slow.curve,
+                        "{}: memory curves diverge",
+                        kind
+                    );
+                }
+                (fast, slow) => prop_assert!(
+                    false,
+                    "{}: run outcomes diverge: fast={:?} slow={:?}",
+                    kind,
+                    fast.err(),
+                    slow.err()
+                ),
+            }
+        }
+    }
+}

@@ -43,7 +43,7 @@ impl SurvivalCurve {
         );
         let mut surviving_bytes = vec![0u64; ages.len()];
         let mut total: u64 = 0;
-        for life in &trace.lives {
+        for life in trace.lives() {
             total += life.size as u64;
             let lifespan = match life.death {
                 Some(d) => d.as_u64() - life.birth.as_u64(),
@@ -118,7 +118,7 @@ impl Demographics {
         let mut dies_young = 0u64;
         let mut medium = 0u64;
         let mut immortal = 0u64;
-        for life in &trace.lives {
+        for life in trace.lives() {
             match life.death {
                 None => immortal += life.size as u64,
                 Some(d) => {

@@ -127,7 +127,7 @@ mod tests {
         assert_eq!(t.meta.description, "scenario");
         let c = t.compile().unwrap();
         assert_eq!(c.end, VirtualTime::from_bytes(30));
-        assert_eq!(c.lives[0].death, Some(VirtualTime::from_bytes(30)));
+        assert_eq!(c.life(0).death, Some(VirtualTime::from_bytes(30)));
     }
 
     #[test]

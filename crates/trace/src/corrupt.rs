@@ -71,11 +71,16 @@ pub fn stray_free(trace: &Trace, id: crate::event::ObjectId) -> Trace {
 /// simulator. `CompiledTrace::validate` reports it as `DeathBeforeBirth`.
 pub fn death_before_birth(compiled: &CompiledTrace, index: usize) -> CompiledTrace {
     let mut out = compiled.clone();
-    let n = out.lives.len();
+    let n = out.len();
     if n > 0 {
-        let life = &mut out.lives[index % n];
-        let birth = life.birth;
-        life.death = Some(birth.rewind(dtb_core::time::Bytes::new(1).max(life.bytes())));
+        let life = out.life(index % n);
+        out.set_death(
+            index % n,
+            Some(
+                life.birth
+                    .rewind(dtb_core::time::Bytes::new(1).max(life.bytes())),
+            ),
+        );
     }
     out
 }
@@ -86,7 +91,7 @@ pub fn death_before_birth(compiled: &CompiledTrace, index: usize) -> CompiledTra
 /// with at least two objects).
 pub fn reversed_births(compiled: &CompiledTrace) -> CompiledTrace {
     let mut out = compiled.clone();
-    out.lives.reverse();
+    out.reverse_records();
     out
 }
 

@@ -115,8 +115,16 @@ impl Trace {
     /// zero-sized allocation, or totals that overflow the allocation clock.
     pub fn compile(&self) -> Result<CompiledTrace, TraceError> {
         let mut clock = VirtualTime::ZERO;
-        let mut lives: Vec<ObjectLife> = Vec::new();
-        let mut index: HashMap<ObjectId, usize> = HashMap::new();
+        let alloc_count = self.object_count();
+        let mut out = CompiledTrace {
+            meta: self.meta.clone(),
+            end: VirtualTime::ZERO,
+            ids: Vec::with_capacity(alloc_count),
+            births: Vec::with_capacity(alloc_count),
+            sizes: Vec::with_capacity(alloc_count),
+            deaths: Vec::with_capacity(alloc_count),
+        };
+        let mut index: HashMap<ObjectId, usize> = HashMap::with_capacity(alloc_count);
         for (pos, event) in self.events.iter().enumerate() {
             match *event {
                 Event::Alloc { id, size } => {
@@ -126,32 +134,27 @@ impl Trace {
                     clock = clock
                         .checked_advance(Bytes::new(size as u64))
                         .ok_or(TraceError::ClockOverflow { id, pos })?;
-                    if index.insert(id, lives.len()).is_some() {
+                    if index.insert(id, out.ids.len()).is_some() {
                         return Err(TraceError::DuplicateAlloc { id, pos });
                     }
-                    lives.push(ObjectLife {
-                        id,
-                        birth: clock,
-                        size,
-                        death: None,
-                    });
+                    out.ids.push(id);
+                    out.births.push(clock);
+                    out.sizes.push(size);
+                    out.deaths.push(None);
                 }
                 Event::Free { id } => {
                     let Some(&slot) = index.get(&id) else {
                         return Err(TraceError::FreeWithoutAlloc { id, pos });
                     };
-                    if lives[slot].death.is_some() {
+                    if out.deaths[slot].is_some() {
                         return Err(TraceError::DoubleFree { id, pos });
                     }
-                    lives[slot].death = Some(clock);
+                    out.deaths[slot] = Some(clock);
                 }
             }
         }
-        Ok(CompiledTrace {
-            meta: self.meta.clone(),
-            end: clock,
-            lives,
-        })
+        out.end = clock;
+        Ok(out)
     }
 
     /// Checks the event stream for every malformation [`compile`] would
@@ -331,6 +334,16 @@ impl ObjectLife {
 
 /// A compiled trace: birth-ordered object lifetimes plus the end-of-trace
 /// clock value.
+///
+/// Records are stored **struct-of-arrays**: parallel `ids` / `births` /
+/// `sizes` / `deaths` columns indexed by record position. The simulation
+/// engine's per-event loop streams the three hot columns (`births`,
+/// `sizes`, `deaths`) sequentially, so replay touches only the bytes it
+/// actually reads instead of dragging whole [`ObjectLife`] structs
+/// (including ids and padding) through the cache. Use the column
+/// accessors ([`births`](CompiledTrace::births), …) in hot loops and
+/// [`life`](CompiledTrace::life) / [`lives`](CompiledTrace::lives) where
+/// whole records are more convenient.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CompiledTrace {
     /// Workload metadata (copied from the source [`Trace`]).
@@ -338,11 +351,121 @@ pub struct CompiledTrace {
     /// The allocation clock at the end of the trace (= total bytes
     /// allocated).
     pub end: VirtualTime,
-    /// Object lifetimes ordered by strictly-increasing birth time.
-    pub lives: Vec<ObjectLife>,
+    ids: Vec<ObjectId>,
+    births: Vec<VirtualTime>,
+    sizes: Vec<u32>,
+    deaths: Vec<Option<VirtualTime>>,
 }
 
 impl CompiledTrace {
+    /// Builds a compiled trace directly from per-object records.
+    ///
+    /// The records are taken as given — call
+    /// [`validate`](CompiledTrace::validate) to check the structural
+    /// invariants [`Trace::compile`] would have established.
+    pub fn from_lives(
+        meta: TraceMeta,
+        end: VirtualTime,
+        lives: impl IntoIterator<Item = ObjectLife>,
+    ) -> CompiledTrace {
+        let mut out = CompiledTrace {
+            meta,
+            end,
+            ids: Vec::new(),
+            births: Vec::new(),
+            sizes: Vec::new(),
+            deaths: Vec::new(),
+        };
+        for life in lives {
+            out.ids.push(life.id);
+            out.births.push(life.birth);
+            out.sizes.push(life.size);
+            out.deaths.push(life.death);
+        }
+        out
+    }
+
+    /// Number of object records.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the trace allocated nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The record at position `i`, materialized as an [`ObjectLife`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn life(&self, i: usize) -> ObjectLife {
+        ObjectLife {
+            id: self.ids[i],
+            birth: self.births[i],
+            size: self.sizes[i],
+            death: self.deaths[i],
+        }
+    }
+
+    /// Iterates the records in birth order, materializing each as an
+    /// [`ObjectLife`].
+    pub fn lives(&self) -> impl ExactSizeIterator<Item = ObjectLife> + '_ {
+        (0..self.len()).map(|i| self.life(i))
+    }
+
+    /// Object ids, by record position.
+    pub fn ids(&self) -> &[ObjectId] {
+        &self.ids
+    }
+
+    /// Birth times, strictly increasing by record position.
+    pub fn births(&self) -> &[VirtualTime] {
+        &self.births
+    }
+
+    /// Object sizes in bytes, by record position.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Death times (`None` = lives to trace end), by record position.
+    pub fn deaths(&self) -> &[Option<VirtualTime>] {
+        &self.deaths
+    }
+
+    /// Overwrites the death time of record `i` (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn set_death(&mut self, i: usize, death: Option<VirtualTime>) {
+        self.deaths[i] = death;
+    }
+
+    /// Swaps records `i` and `j` wholesale (fault injection; breaks the
+    /// birth-order invariant unless the records are equal).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of bounds.
+    pub fn swap_records(&mut self, i: usize, j: usize) {
+        self.ids.swap(i, j);
+        self.births.swap(i, j);
+        self.sizes.swap(i, j);
+        self.deaths.swap(i, j);
+    }
+
+    /// Reverses the record order (fault injection; breaks the birth-order
+    /// invariant for traces with at least two records).
+    pub fn reverse_records(&mut self) {
+        self.ids.reverse();
+        self.births.reverse();
+        self.sizes.reverse();
+        self.deaths.reverse();
+    }
+
     /// Total bytes allocated.
     pub fn total_allocated(&self) -> Bytes {
         Bytes::new(self.end.as_u64())
@@ -351,8 +474,7 @@ impl CompiledTrace {
     /// Live bytes at allocation time `at` (O(n); for bulk queries use the
     /// simulator's oracle heap, which answers incrementally).
     pub fn live_bytes_at(&self, at: VirtualTime) -> Bytes {
-        self.lives
-            .iter()
+        self.lives()
             .filter(|l| l.is_live_at(at))
             .map(|l| l.bytes())
             .sum()
@@ -361,7 +483,7 @@ impl CompiledTrace {
     /// Verifies the birth-ordering invariant; generators and deserializers
     /// call this in tests.
     pub fn births_strictly_increasing(&self) -> bool {
-        self.lives.windows(2).all(|w| w[0].birth < w[1].birth)
+        self.births.windows(2).all(|w| w[0] < w[1])
     }
 
     /// Checks the structural invariants every [`Trace::compile`] output
@@ -379,7 +501,7 @@ impl CompiledTrace {
     pub fn validate(&self) -> Result<(), TraceError> {
         let mut prev_birth: Option<VirtualTime> = None;
         let mut sum: u64 = 0;
-        for (pos, life) in self.lives.iter().enumerate() {
+        for (pos, life) in self.lives().enumerate() {
             if life.size == 0 {
                 return Err(TraceError::ZeroSizedAlloc { id: life.id, pos });
             }
@@ -431,10 +553,10 @@ mod tests {
         let t = trace(vec![alloc(0, 10), free(0), alloc(1, 5)]);
         let c = t.compile().unwrap();
         assert_eq!(c.end, VirtualTime::from_bytes(15));
-        assert_eq!(c.lives[0].birth, VirtualTime::from_bytes(10));
-        assert_eq!(c.lives[0].death, Some(VirtualTime::from_bytes(10)));
-        assert_eq!(c.lives[1].birth, VirtualTime::from_bytes(15));
-        assert_eq!(c.lives[1].death, None);
+        assert_eq!(c.life(0).birth, VirtualTime::from_bytes(10));
+        assert_eq!(c.life(0).death, Some(VirtualTime::from_bytes(10)));
+        assert_eq!(c.life(1).birth, VirtualTime::from_bytes(15));
+        assert_eq!(c.life(1).death, None);
     }
 
     #[test]
@@ -448,7 +570,7 @@ mod tests {
     fn liveness_interval_is_half_open() {
         let t = trace(vec![alloc(0, 10), alloc(1, 10), free(0)]);
         let c = t.compile().unwrap();
-        let obj = c.lives[0];
+        let obj = c.life(0);
         assert!(!obj.is_live_at(VirtualTime::from_bytes(9))); // before birth
         assert!(obj.is_live_at(VirtualTime::from_bytes(10))); // at birth
         assert!(obj.is_live_at(VirtualTime::from_bytes(19))); // before death (death=20)
@@ -558,7 +680,7 @@ mod tests {
     #[test]
     fn compiled_validate_catches_out_of_order_births() {
         let mut c = trace(vec![alloc(0, 10), alloc(1, 20)]).compile().unwrap();
-        c.lives.swap(0, 1);
+        c.swap_records(0, 1);
         assert!(matches!(
             c.validate(),
             Err(TraceError::NonMonotoneBirth { .. })
@@ -568,7 +690,7 @@ mod tests {
     #[test]
     fn compiled_validate_catches_death_before_birth() {
         let mut c = trace(vec![alloc(0, 10), alloc(1, 20)]).compile().unwrap();
-        c.lives[1].death = Some(VirtualTime::from_bytes(5));
+        c.set_death(1, Some(VirtualTime::from_bytes(5)));
         assert_eq!(
             c.validate(),
             Err(TraceError::DeathBeforeBirth {

@@ -421,6 +421,6 @@ mod tests {
         assert_eq!(a.meta.name, "CFRAC");
         // And it matches a fresh generate+compile of the same preset.
         let fresh = Program::Cfrac.generate().compile().unwrap();
-        assert_eq!(fresh.lives, a.lives);
+        assert_eq!(fresh, *a);
     }
 }

@@ -58,8 +58,8 @@ impl TraceStats {
     pub fn compute_compiled(c: &CompiledTrace) -> TraceStats {
         // Sweep births (+size) and deaths (−size) in clock order to build
         // the live curve; weight each level by how long it holds.
-        let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(c.lives.len() * 2);
-        for l in &c.lives {
+        let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(c.len() * 2);
+        for l in c.lives() {
             deltas.push((l.birth.as_u64(), l.size as i64));
             if let Some(d) = l.death {
                 deltas.push((d.as_u64(), -(l.size as i64)));
@@ -93,7 +93,7 @@ impl TraceStats {
         }
 
         let total = c.total_allocated();
-        let object_count = c.lives.len();
+        let object_count = c.len();
         TraceStats {
             name: c.meta.name.clone(),
             total_allocated: total,

@@ -359,7 +359,7 @@ mod tests {
     fn initial_permanent_objects_never_die() {
         let t = spec().generate().unwrap();
         let c = t.compile().unwrap();
-        for life in c.lives.iter().take_while(|l| l.birth.as_u64() <= 50_000) {
+        for life in c.lives().take_while(|l| l.birth.as_u64() <= 50_000) {
             assert_eq!(life.death, None, "initial object {:?} died", life.id);
         }
     }
@@ -369,8 +369,7 @@ mod tests {
         let t = spec().generate().unwrap();
         let c = t.compile().unwrap();
         let immortal_after_startup: u64 = c
-            .lives
-            .iter()
+            .lives()
             .filter(|l| l.birth.as_u64() > 50_000 && l.death.is_none())
             .map(|l| l.size as u64)
             .sum();
@@ -400,7 +399,7 @@ mod tests {
             seed: 1,
         };
         let c = s.generate().unwrap().compile().unwrap();
-        for l in &c.lives {
+        for l in c.lives() {
             if let Some(d) = l.death {
                 let death_phase_end = (l.birth.as_u64() / 100_000 + 1) * 100_000;
                 // Free events are emitted at the first allocation at or
