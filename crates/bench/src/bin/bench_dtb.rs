@@ -3,17 +3,30 @@
 //! Generates a paper-scale synthetic trace (heavy short-lived churn, a
 //! medium-lived band, an immortal ramp and a permanent startup structure
 //! — the mixture that keeps a large live set resident), then runs the
-//! **six-policy matrix** through the engine twice: once on the
-//! incremental `OracleHeap` and once on the scan-based `NaiveHeap`
-//! baseline (the pre-incremental implementation). Both runs must produce
-//! identical reports — the harness doubles as a differential check at
-//! scale — and the timing ratio is the headline speedup.
+//! **six-policy matrix** through the engine three times:
+//!
+//! 1. on the incremental `OracleHeap` (the headline configuration);
+//! 2. streaming the same records back from an on-disk `DTBCTC01` shard
+//!    store through `simulate_source` — must be report-identical to (1),
+//!    and its events/second is the streaming-path column;
+//! 3. on the scan-based `NaiveHeap` baseline (the pre-incremental
+//!    implementation) unless `--skip-naive`.
+//!
+//! All passes must produce identical reports — the harness doubles as a
+//! differential check at scale — and the naive/incremental timing ratio
+//! is the headline speedup.
 //!
 //! Results are written as JSON (see `BENCH_dtb.json` at the repo root):
 //! events/second and ns/scavenge per policy per engine, peak RSS, and the
-//! overall speedup. With `--baseline <file>`, the run fails (exit 1) if
-//! incremental events/second drops below 70% of the recorded baseline —
-//! the CI `bench-smoke` job's regression gate.
+//! overall speedup. `streaming_peak_rss_delta_bytes` records how much the
+//! `VmHWM` high-water rose *during* the streaming pass — near zero by
+//! design, since the streaming engine holds only live objects while the
+//! in-memory pass already parked the whole trace in RAM (the absolute
+//! bound is asserted by the dedicated `stream_smoke` binary, which never
+//! materializes a trace). With `--baseline <file>`, the run fails
+//! (exit 1) if incremental — or, when both sides recorded it, streaming —
+//! events/second drops below 70% of the recorded baseline — the CI
+//! `bench-smoke` job's regression gate.
 //!
 //! ```text
 //! bench_dtb [--events N] [--out PATH] [--baseline PATH] [--skip-naive]
@@ -22,13 +35,18 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use dtb_bench::peak_rss_bytes;
 use dtb_core::policy::{PolicyConfig, PolicyKind};
-use dtb_sim::engine::{simulate, simulate_with_heap, SimConfig};
+use dtb_sim::engine::{simulate, simulate_source, simulate_with_heap, SimConfig};
 use dtb_sim::NaiveHeap;
 use dtb_trace::event::CompiledTrace;
 use dtb_trace::lifetime::{LifetimeDist, SizeDist};
 use dtb_trace::synth::{ClassSpec, WorkloadSpec};
+use dtb_trace::{ctc, ShardReader};
 use serde::{Deserialize, Serialize};
+
+/// Records per shard for the streaming pass's temporary store.
+const STORE_STRIDE: u64 = 65_536;
 
 /// Timing for one (policy × engine) cell.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -57,10 +75,18 @@ struct BenchReport {
     total_alloc_bytes: u64,
     trace: String,
     incremental: EngineTiming,
+    /// The same matrix replayed from an on-disk `DTBCTC01` shard store
+    /// (absent in pre-v2 reports; the vendored deserializer maps a
+    /// missing field to `None`).
+    streaming: Option<EngineTiming>,
     naive: Option<EngineTiming>,
     /// naive total seconds / incremental total seconds.
     speedup: Option<f64>,
     peak_rss_bytes: Option<u64>,
+    /// How much `VmHWM` rose during the streaming pass. Near zero by
+    /// design: the in-memory pass already set the high-water mark, and
+    /// streaming replay stays under it (absent in pre-v2 reports).
+    streaming_peak_rss_delta_bytes: Option<u64>,
 }
 
 /// The synthetic benchmark workload, scaled so the steady-state mixture
@@ -106,27 +132,21 @@ fn workload(events: usize) -> WorkloadSpec {
     }
 }
 
-/// Runs the six-policy matrix on one heap implementation, timing each
-/// policy's full simulation.
+/// Runs the six-policy matrix through one engine configuration, timing
+/// each policy's full simulation. `simulate_one` owns the choice of heap
+/// and event source (in-memory slice or a fresh on-disk cursor per
+/// policy).
 fn run_matrix(
     label: &str,
-    trace: &CompiledTrace,
-    naive: bool,
+    events: usize,
+    mut simulate_one: impl FnMut(PolicyKind) -> Result<dtb_sim::SimRun, String>,
 ) -> Result<(EngineTiming, Vec<dtb_sim::SimReport>), String> {
-    let policy_cfg = PolicyConfig::paper();
-    let sim_cfg = SimConfig::paper().with_invariant_checks(false);
     let mut policies = Vec::new();
     let mut reports = Vec::new();
     let mut total = 0.0f64;
     for kind in PolicyKind::ALL {
-        let mut policy = kind.build(&policy_cfg);
         let start = Instant::now();
-        let run = if naive {
-            simulate_with_heap::<NaiveHeap>(trace, &mut policy, &sim_cfg)
-        } else {
-            simulate(trace, &mut policy, &sim_cfg)
-        }
-        .map_err(|e| format!("{label}/{kind}: {e}"))?;
+        let run = simulate_one(kind).map_err(|e| format!("{label}/{kind}: {e}"))?;
         let seconds = start.elapsed().as_secs_f64();
         total += seconds;
         let scavenges = run.report.collections;
@@ -138,7 +158,7 @@ fn run_matrix(
             policy: kind.label().to_string(),
             seconds,
             scavenges,
-            events_per_sec: trace.len() as f64 / seconds.max(1e-9),
+            events_per_sec: events as f64 / seconds.max(1e-9),
             ns_per_scavenge: seconds * 1e9 / (scavenges.max(1) as f64),
         });
         reports.push(run.report);
@@ -147,20 +167,33 @@ fn run_matrix(
         EngineTiming {
             heap: label.to_string(),
             total_seconds: total,
-            events_per_sec: (trace.len() * PolicyKind::ALL.len()) as f64 / total.max(1e-9),
+            events_per_sec: (events * PolicyKind::ALL.len()) as f64 / total.max(1e-9),
             policies,
         },
         reports,
     ))
 }
 
-/// Peak resident set size from `/proc/self/status` (Linux; `None`
-/// elsewhere).
-fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+/// Shards the benchmark trace into a temporary `DTBCTC01` store and
+/// replays the whole matrix from it, opening a fresh [`ShardReader`]
+/// cursor per policy (sources are consumed by reading).
+fn run_matrix_streaming(
+    trace: &CompiledTrace,
+    policy_cfg: &PolicyConfig,
+    sim_cfg: &SimConfig,
+) -> Result<(EngineTiming, Vec<dtb_sim::SimReport>), String> {
+    let dir = std::env::temp_dir().join(format!("dtb-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ctc::write_shards(&dir, trace, STORE_STRIDE)
+        .map_err(|e| format!("writing shard store: {e}"))?;
+    let result = run_matrix("streaming", trace.len(), |kind| {
+        let mut policy = kind.build(policy_cfg);
+        let mut reader =
+            ShardReader::open(&dir).map_err(|e| format!("opening shard store: {e}"))?;
+        simulate_source(&mut reader, &mut policy, sim_cfg).map_err(|e| e.to_string())
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    result
 }
 
 struct Args {
@@ -229,7 +262,13 @@ fn main() -> ExitCode {
         trace.end
     );
 
-    let (incremental, fast_reports) = match run_matrix("incremental", &trace, false) {
+    let policy_cfg = PolicyConfig::paper();
+    let sim_cfg = SimConfig::paper().with_invariant_checks(false);
+
+    let (incremental, fast_reports) = match run_matrix("incremental", trace.len(), |kind| {
+        let mut policy = kind.build(&policy_cfg);
+        simulate(&trace, &mut policy, &sim_cfg).map_err(|e| e.to_string())
+    }) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench_dtb: {e}");
@@ -237,10 +276,34 @@ fn main() -> ExitCode {
         }
     };
 
+    // Streaming pass: same matrix, records read back from an on-disk
+    // shard store. VmHWM is already pinned at the in-memory pass's peak,
+    // so the delta directly measures whether streaming replay ever
+    // exceeded it (it must not — the engine holds only the live set).
+    let rss_before_streaming = peak_rss_bytes();
+    let (streaming, stream_reports) = match run_matrix_streaming(&trace, &policy_cfg, &sim_cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_dtb: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let streaming_peak_rss_delta_bytes = peak_rss_bytes()
+        .zip(rss_before_streaming)
+        .map(|(after, before)| after.saturating_sub(before));
+    if fast_reports != stream_reports {
+        eprintln!("bench_dtb: incremental and streaming runs diverged — refusing to report");
+        return ExitCode::FAILURE;
+    }
+
     let mut naive = None;
     let mut speedup = None;
     if !args.skip_naive {
-        let (timing, slow_reports) = match run_matrix("naive", &trace, true) {
+        let (timing, slow_reports) = match run_matrix("naive", trace.len(), |kind| {
+            let mut policy = kind.build(&policy_cfg);
+            simulate_with_heap::<NaiveHeap>(&trace, &mut policy, &sim_cfg)
+                .map_err(|e| e.to_string())
+        }) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("bench_dtb: {e}");
@@ -257,14 +320,16 @@ fn main() -> ExitCode {
     }
 
     let report = BenchReport {
-        schema: "bench_dtb/v1".to_string(),
+        schema: "bench_dtb/v2".to_string(),
         events: trace.len(),
         total_alloc_bytes: spec.total_alloc,
         trace: spec.name.clone(),
         incremental,
+        streaming: Some(streaming),
         naive,
         speedup,
         peak_rss_bytes: peak_rss_bytes(),
+        streaming_peak_rss_delta_bytes,
     };
 
     let json = match serde_json::to_string_pretty(&report) {
@@ -279,8 +344,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "incremental: {:.0} events/s{}  → {}",
+        "incremental: {:.0} events/s, streaming: {:.0} events/s{}  → {}",
         report.incremental.events_per_sec,
+        report
+            .streaming
+            .as_ref()
+            .map(|s| s.events_per_sec)
+            .unwrap_or(0.0),
         report
             .speedup
             .map(|s| format!(", {s:.1}× over naive"))
@@ -288,8 +358,9 @@ fn main() -> ExitCode {
         args.out
     );
 
-    // Regression gate: fail when incremental throughput drops more than
-    // 30% below the recorded baseline.
+    // Regression gate: fail when incremental — or streaming, once the
+    // baseline records it — throughput drops more than 30% below the
+    // recorded baseline.
     if let Some(path) = &args.baseline {
         let baseline: BenchReport = match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
@@ -301,18 +372,24 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let floor = baseline.incremental.events_per_sec * 0.7;
-        if report.incremental.events_per_sec < floor {
-            eprintln!(
-                "bench_dtb: REGRESSION — {:.0} events/s is below 70% of baseline {:.0}",
-                report.incremental.events_per_sec, baseline.incremental.events_per_sec
-            );
-            return ExitCode::FAILURE;
+        let mut gates = vec![(
+            "incremental",
+            report.incremental.events_per_sec,
+            baseline.incremental.events_per_sec,
+        )];
+        if let (Some(ours), Some(theirs)) = (&report.streaming, &baseline.streaming) {
+            gates.push(("streaming", ours.events_per_sec, theirs.events_per_sec));
         }
-        eprintln!(
-            "baseline gate ok: {:.0} events/s ≥ 70% of {:.0}",
-            report.incremental.events_per_sec, baseline.incremental.events_per_sec
-        );
+        for (label, measured, recorded) in gates {
+            if measured < recorded * 0.7 {
+                eprintln!(
+                    "bench_dtb: REGRESSION — {label} {measured:.0} events/s is below 70% of \
+                     baseline {recorded:.0}"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("baseline gate ok: {label} {measured:.0} events/s ≥ 70% of {recorded:.0}");
+        }
     }
     ExitCode::SUCCESS
 }

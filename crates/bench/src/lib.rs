@@ -20,6 +20,22 @@
 pub mod paper;
 pub mod table;
 
+/// Peak resident set size (`VmHWM`) from `/proc/self/status`, in bytes
+/// (Linux; `None` elsewhere).
+///
+/// `VmHWM` is the process-lifetime **high-water** mark: it only ever
+/// rises. A phase that allocates less than an earlier phase therefore
+/// reads a delta of zero — useful for asserting a later phase stayed
+/// *under* an earlier peak (`bench_dtb`'s streaming column) or for
+/// bounding a whole process (`stream_smoke`), but not for profiling an
+/// individual phase in isolation.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 use dtb_core::policy::{PolicyConfig, Row};
 use dtb_sim::engine::SimConfig;
 use dtb_sim::exec::{Evaluation, Matrix};

@@ -10,19 +10,21 @@ use dtb_core::policy::Row;
 use dtb_core::time::Bytes;
 use dtb_trace::event::CompiledTrace;
 use dtb_trace::stats::TraceStats;
+use dtb_trace::{EventSource, SourceError};
 
-/// The `No GC` row: memory usage with the collector disabled.
-///
-/// Memory equals the allocation clock, so the mean is half the total (the
-/// ramp average) and the max is the total allocation. There are no pauses
-/// and no tracing.
-pub fn no_gc_report(trace: &CompiledTrace) -> SimReport {
-    let stats = TraceStats::compute_compiled(trace);
+/// Builds a baseline row (no pauses, no tracing, no collections) from
+/// precomputed trace statistics. The two baseline rows differ only in
+/// which memory profile they read off the stats.
+fn report_from_stats(row: Row, stats: &TraceStats) -> SimReport {
+    let (mem_mean, mem_max) = match row {
+        Row::NoGc => (stats.nogc_mean, stats.nogc_max),
+        _ => (stats.live_mean, stats.live_max),
+    };
     SimReport {
-        policy: Row::NoGc,
-        program: trace.meta.name.clone(),
-        mem_mean: stats.nogc_mean,
-        mem_max: stats.nogc_max,
+        policy: row,
+        program: stats.name.clone(),
+        mem_mean,
+        mem_max,
         pause_median_ms: 0.0,
         pause_p90_ms: 0.0,
         total_traced: Bytes::ZERO,
@@ -32,24 +34,54 @@ pub fn no_gc_report(trace: &CompiledTrace) -> SimReport {
     }
 }
 
+/// The `No GC` row: memory usage with the collector disabled.
+///
+/// Memory equals the allocation clock, so the mean is half the total (the
+/// ramp average) and the max is the total allocation. There are no pauses
+/// and no tracing.
+pub fn no_gc_report(trace: &CompiledTrace) -> SimReport {
+    report_from_stats(Row::NoGc, &TraceStats::compute_compiled(trace))
+}
+
 /// The `LIVE` row: exact reachable bytes over time.
 ///
 /// The unreachable floor: a collector with a perfect, free oracle would
 /// hold memory at this curve.
 pub fn live_report(trace: &CompiledTrace) -> SimReport {
-    let stats = TraceStats::compute_compiled(trace);
-    SimReport {
-        policy: Row::Live,
-        program: trace.meta.name.clone(),
-        mem_mean: stats.live_mean,
-        mem_max: stats.live_max,
-        pause_median_ms: 0.0,
-        pause_p90_ms: 0.0,
-        total_traced: Bytes::ZERO,
-        overhead_pct: 0.0,
-        collections: 0,
-        history: ScavengeHistory::new(),
-    }
+    report_from_stats(Row::Live, &TraceStats::compute_compiled(trace))
+}
+
+/// [`no_gc_report`] over a streaming [`EventSource`]: bit-identical to
+/// the in-memory row (see [`TraceStats::compute_source`]) without ever
+/// materializing the trace.
+///
+/// # Errors
+///
+/// Propagates the source's own failure (I/O, corruption, generator
+/// fault).
+pub fn no_gc_report_source(
+    source: &mut (impl EventSource + ?Sized),
+) -> Result<SimReport, SourceError> {
+    Ok(report_from_stats(
+        Row::NoGc,
+        &TraceStats::compute_source(source)?,
+    ))
+}
+
+/// [`live_report`] over a streaming [`EventSource`]; see
+/// [`no_gc_report_source`].
+///
+/// # Errors
+///
+/// Propagates the source's own failure (I/O, corruption, generator
+/// fault).
+pub fn live_report_source(
+    source: &mut (impl EventSource + ?Sized),
+) -> Result<SimReport, SourceError> {
+    Ok(report_from_stats(
+        Row::Live,
+        &TraceStats::compute_source(source)?,
+    ))
 }
 
 #[cfg(test)]
@@ -77,5 +109,22 @@ mod tests {
         assert_eq!(live.mem_max, Bytes::new(10_000));
         assert_eq!(nogc.collections, 0);
         assert_eq!(live.total_traced, Bytes::ZERO);
+    }
+
+    #[test]
+    fn streaming_baselines_match_in_memory() {
+        use dtb_trace::CompiledSource;
+        let mut b = TraceBuilder::new("base-stream");
+        for i in 0..200u32 {
+            let id = b.alloc(1_000 + i);
+            if i % 3 != 0 {
+                b.free(id);
+            }
+        }
+        let trace = b.finish().compile().unwrap();
+        let mut s = CompiledSource::new(&trace);
+        assert_eq!(no_gc_report_source(&mut s).unwrap(), no_gc_report(&trace));
+        let mut s = CompiledSource::new(&trace);
+        assert_eq!(live_report_source(&mut s).unwrap(), live_report(&trace));
     }
 }

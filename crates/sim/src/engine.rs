@@ -19,7 +19,13 @@ use dtb_core::history::ScavengeRecord;
 use dtb_core::policy::{ScavengeContext, TbPolicy};
 use dtb_core::time::{Bytes, VirtualTime};
 use dtb_trace::event::CompiledTrace;
+use dtb_trace::{CompiledSource, EventSource};
 use serde::{Deserialize, Serialize};
+
+/// Heap index preallocation cap for streaming sources: an unbounded
+/// source must not translate its length hint into an unbounded upfront
+/// allocation.
+const MAX_PREALLOC_SLOTS: usize = 1 << 20;
 
 /// A per-run watchdog: hard caps that turn a runaway simulation into a
 /// typed [`SimError::BudgetExceeded`] instead of a hang.
@@ -187,7 +193,48 @@ pub fn simulate_with_heap<H: SimHeap>(
     policy: &mut dyn TbPolicy,
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
-    let mut heap = H::with_capacity(trace.len());
+    simulate_source_with_heap::<H, _>(&mut CompiledSource::new(trace), policy, config)
+}
+
+/// Simulates `policy` over a streaming [`EventSource`].
+///
+/// Identical semantics to [`simulate`] — the in-memory entry points
+/// delegate here through [`CompiledSource`] — but the engine only ever
+/// holds the current record plus the heap's index of still-resident
+/// objects, so a sharded on-disk trace ([`dtb_trace::ShardReader`]) or an
+/// unbounded generator ([`dtb_trace::SynthSource`]) simulates in
+/// O(live set) memory.
+///
+/// # Errors
+///
+/// Everything [`simulate`] reports, plus [`SimError::Source`] when the
+/// source itself fails mid-stream (I/O, shard corruption, generator
+/// fault).
+pub fn simulate_source(
+    source: &mut (impl EventSource + ?Sized),
+    policy: &mut dyn TbPolicy,
+    config: &SimConfig,
+) -> Result<SimRun, SimError> {
+    simulate_source_with_heap::<OracleHeap, _>(source, policy, config)
+}
+
+/// Simulates `policy` over a streaming [`EventSource`] with an explicit
+/// heap implementation. See [`simulate_source`].
+pub fn simulate_source_with_heap<H: SimHeap, S: EventSource + ?Sized>(
+    source: &mut S,
+    policy: &mut dyn TbPolicy,
+    config: &SimConfig,
+) -> Result<SimRun, SimError> {
+    if let Err(e) = config.trigger.validate() {
+        return Err(SimError::Invariant {
+            at: VirtualTime::ZERO,
+            violation: InvariantViolation::InvalidTrigger { factor: e.factor },
+        });
+    }
+    // A known-length source sizes the heap index exactly; an unbounded one
+    // starts from a capped guess and grows (the dead-prefix compaction in
+    // `OracleHeap` keeps the index proportional to the resident set).
+    let mut heap = H::with_capacity(source.len_hint().unwrap_or(0).min(MAX_PREALLOC_SLOTS));
     let mut metrics = MetricsCollector::new(config.cost);
     let mut curve = MemoryCurve::new();
     let mut since_gc = Bytes::ZERO;
@@ -200,10 +247,13 @@ pub fn simulate_with_heap<H: SimHeap>(
     // u64 event counter can never reach.
     let max_events = config.budget.max_events.unwrap_or(u64::MAX);
 
-    let births = trace.births();
-    let sizes = trace.sizes();
-    let deaths = trace.deaths();
-    for ((&birth, &obj_size), &death) in births.iter().zip(sizes).zip(deaths) {
+    loop {
+        let life = match source.next_record() {
+            Ok(Some(life)) => life,
+            Ok(None) => break,
+            Err(source) => return Err(SimError::Source { at: clock, source }),
+        };
+        let (birth, obj_size, death) = (life.birth, life.size, life.death);
         ledger.events += 1;
         if ledger.events > max_events {
             return Err(SimError::BudgetExceeded {
@@ -281,15 +331,20 @@ pub fn simulate_with_heap<H: SimHeap>(
 
     // Account for the final memory level: it holds for whatever clock span
     // remains, and must register in the maximum even when none does
-    // (zero-weight records update only the max).
-    metrics.record_memory(heap.mem_in_use(), trace.end.elapsed_since(clock));
+    // (zero-weight records update only the max). A corrupt store could
+    // report an end before the last birth; treat that as a zero span
+    // rather than tripping the clock's ordering assertion.
+    let end = source.end();
+    let tail = if end > clock {
+        end.elapsed_since(clock)
+    } else {
+        Bytes::ZERO
+    };
+    metrics.record_memory(heap.mem_in_use(), tail);
 
+    let meta = source.meta();
     Ok(SimRun {
-        report: metrics.finish(
-            policy.name(),
-            trace.meta.name.clone(),
-            trace.meta.exec_seconds,
-        ),
+        report: metrics.finish(policy.name(), meta.name.clone(), meta.exec_seconds),
         curve,
     })
 }
@@ -604,6 +659,85 @@ mod tests {
         // A generous cap never fires.
         let sim = SimConfig::paper().with_budget(SimBudget::scavenges(100));
         assert!(simulate(&trace, &mut Full::new(), &sim).is_ok());
+    }
+
+    #[test]
+    fn streaming_source_matches_in_memory_run() {
+        use dtb_trace::CompiledSource;
+        let trace = churn_trace();
+        let cfg = SimConfig::paper().with_curve().with_invariant_checks(true);
+        for kind in PolicyKind::ALL {
+            let pc = PolicyConfig::new(Bytes::new(30_000), Bytes::new(800_000));
+            let resident = simulate(&trace, &mut kind.build(&pc), &cfg).unwrap();
+            let mut source = CompiledSource::new(&trace);
+            let streamed = simulate_source(&mut source, &mut kind.build(&pc), &cfg).unwrap();
+            assert_eq!(resident, streamed, "{kind}: streamed run diverged");
+        }
+    }
+
+    #[test]
+    fn invalid_trigger_is_a_typed_error() {
+        let trace = churn_trace();
+        let sim = SimConfig {
+            trigger: Trigger::MemoryGrowth {
+                factor: 0.5,
+                min_allocation: Bytes::new(100),
+            },
+            ..SimConfig::paper()
+        };
+        let err = simulate(&trace, &mut Full::new(), &sim).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Invariant {
+                at: VirtualTime::ZERO,
+                violation: InvariantViolation::InvalidTrigger { factor: 0.5 },
+            }
+        );
+    }
+
+    #[test]
+    fn source_failure_is_reported_with_the_clock() {
+        use dtb_trace::event::TraceMeta;
+        use dtb_trace::{EventSource, ObjectLife, SourceError};
+
+        /// Emits one good record, then fails.
+        struct Flaky {
+            meta: TraceMeta,
+            emitted: bool,
+        }
+        impl EventSource for Flaky {
+            fn meta(&self) -> &TraceMeta {
+                &self.meta
+            }
+            fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+                if self.emitted {
+                    return Err(SourceError::Synth("disk fell off".into()));
+                }
+                self.emitted = true;
+                Ok(Some(ObjectLife {
+                    id: dtb_trace::ObjectId(0),
+                    birth: VirtualTime::from_bytes(64),
+                    size: 64,
+                    death: None,
+                }))
+            }
+            fn end(&self) -> VirtualTime {
+                VirtualTime::from_bytes(64)
+            }
+        }
+
+        let mut source = Flaky {
+            meta: TraceMeta::named("flaky"),
+            emitted: false,
+        };
+        let err = simulate_source(&mut source, &mut Full::new(), &SimConfig::paper()).unwrap_err();
+        match err {
+            SimError::Source { at, source } => {
+                assert_eq!(at, VirtualTime::from_bytes(64));
+                assert_eq!(source, SourceError::Synth("disk fell off".into()));
+            }
+            other => panic!("expected source error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl fmt::Display for BudgetKind {
 /// These are the identities the simulator is supposed to preserve by
 /// construction; a violation means the input trace or a component of the
 /// engine is broken, and the containing run cannot be trusted.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum InvariantViolation {
     /// Storage conservation broke: bytes in use plus bytes reclaimed so
     /// far must equal bytes allocated so far (live + tenured garbage +
@@ -80,6 +80,13 @@ pub enum InvariantViolation {
         birth: VirtualTime,
         /// The impossible death time.
         death: VirtualTime,
+    },
+    /// The configured when-to-collect trigger is malformed: a
+    /// memory-growth factor must be finite and greater than 1.0, or the
+    /// trigger would fire on every allocation (or never).
+    InvalidTrigger {
+        /// The rejected growth factor.
+        factor: f64,
     },
 }
 
@@ -126,6 +133,10 @@ impl fmt::Display for InvariantViolation {
                 death.as_u64(),
                 birth.as_u64()
             ),
+            InvariantViolation::InvalidTrigger { factor } => write!(
+                f,
+                "memory-growth trigger factor {factor} is not finite and > 1.0"
+            ),
         }
     }
 }
@@ -158,6 +169,14 @@ pub enum SimError {
         /// What exactly broke.
         violation: InvariantViolation,
     },
+    /// The streaming event source failed mid-run (I/O, corruption, or a
+    /// generator fault). In-memory sources never raise this.
+    Source {
+        /// Allocation clock when the source failed.
+        at: VirtualTime,
+        /// The source's own account of the failure.
+        source: dtb_trace::SourceError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -184,6 +203,9 @@ impl fmt::Display for SimError {
                     at.as_u64()
                 )
             }
+            SimError::Source { at, source } => {
+                write!(f, "event source failed at clock {}: {source}", at.as_u64())
+            }
         }
     }
 }
@@ -192,6 +214,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Policy { source, .. } => Some(source),
+            SimError::Source { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -34,6 +34,16 @@
 //! index rather than freshly built vectors (see
 //! `crates/sim/tests/zero_alloc.rs`).
 //!
+//! Slots are nominally never reused, but a long-running trace would then
+//! grow the index with every object ever born even though almost all of
+//! them are long reclaimed. After a scavenge, once reclaimed slots
+//! outnumber residents 2:1 (and the index tops a 1024-slot floor), the
+//! heap **rebases** the slot space onto the residents in place —
+//! reclaimed slots hold zero bytes in both trees, so every aggregate is
+//! preserved bit-for-bit while index memory stays proportional to the
+//! resident set. This is what keeps a streaming
+//! [`EventSource`](dtb_trace::EventSource) run in O(live set) memory.
+//!
 //! The original scan-based implementation survives as
 //! [`naive::NaiveHeap`], the executable specification the differential
 //! suite checks this heap against.
@@ -125,6 +135,11 @@ struct Resident {
     /// Oracle death time; `None` = lives to the end of the trace.
     death: Option<VirtualTime>,
 }
+
+/// Slot-count floor below which the heap never compacts: rebasing a tiny
+/// index saves nothing, and the floor keeps short runs on the exact
+/// append-only fast path.
+const COMPACT_MIN_SLOTS: usize = 1024;
 
 /// Birth-ordered heap with an exact lifetime oracle, maintained
 /// incrementally (see the module docs for the index design).
@@ -282,12 +297,63 @@ impl OracleHeap {
         self.present.truncate(write);
 
         debug_assert_eq!(self.dead.suffix(split), 0, "all threatened dead reclaimed");
-        ScavengeOutcome {
+        let outcome = ScavengeOutcome {
             traced,
             reclaimed,
             surviving: self.mem_in_use(),
             tenured_garbage,
+        };
+        // Dead-prefix compaction: once reclaimed slots dominate the index,
+        // rebase it onto the residents so index memory tracks the
+        // *resident* set instead of every object ever born — the property
+        // that lets a streaming source run in O(live set) memory.
+        if self.births.len() >= COMPACT_MIN_SLOTS.max(2 * self.present.len()) {
+            self.compact();
         }
+        outcome
+    }
+
+    /// Rebases the slot space onto the surviving residents, discarding
+    /// slots of reclaimed objects.
+    ///
+    /// Every observable is preserved bit-for-bit: reclaimed slots hold
+    /// zero bytes in both Fenwick trees, so dropping their births shifts
+    /// every `partition_point` split without changing any prefix/suffix
+    /// sum. The rebuild reuses the existing buffers (`clear` keeps
+    /// capacity; the birth copy moves entries strictly forward), so the
+    /// scavenge path stays allocation-free (see
+    /// `crates/sim/tests/zero_alloc.rs`).
+    fn compact(&mut self) {
+        let n = self.present.len();
+        self.pending.clear();
+        self.live.clear();
+        self.dead.clear();
+        for new_slot in 0..n {
+            let r = self.present[new_slot];
+            // Residents are slot-ordered, so `new_slot <= r.slot` and the
+            // in-place copy never reads an already-overwritten entry.
+            self.births[new_slot] = self.births[r.slot as usize];
+            self.present[new_slot].slot = new_slot as u32;
+            if r.death.is_some_and(|d| d <= self.clock) {
+                // Dead but immune (tenured garbage): bytes sit in `dead`,
+                // and its pending entry was drained when the clock passed.
+                self.live.push(0);
+                self.dead.push(r.size as u64);
+            } else {
+                self.live.push(r.size as u64);
+                self.dead.push(0);
+                if let Some(d) = r.death {
+                    self.pending.push(Reverse((d, new_slot as u32, r.size)));
+                }
+            }
+        }
+        self.births.truncate(n);
+    }
+
+    /// Number of slots in the heap's index (≥ [`OracleHeap::len`];
+    /// bounded by compaction, see [`OracleHeap::scavenge`]).
+    pub fn index_len(&self) -> usize {
+        self.births.len()
     }
 
     /// Borrows a survival snapshot for policy boundary decisions at time
@@ -524,6 +590,85 @@ mod tests {
         let out = h.scavenge(VirtualTime::ZERO, t(40));
         assert_eq!(out.reclaimed, Bytes::new(7));
         assert_eq!(h.mem_in_use(), Bytes::new(100));
+    }
+
+    #[test]
+    fn compaction_bounds_the_index_under_churn() {
+        let mut h = OracleHeap::new();
+        let mut clock = 0u64;
+        let mut max_index = 0usize;
+        // 8k short-lived objects, scavenged every 256 births: without
+        // compaction the index would end at 8_000 slots.
+        for i in 0..8_000u64 {
+            clock += 16;
+            h.insert(obj(clock, 16, Some(clock + 64)));
+            if i % 256 == 255 {
+                h.scavenge(VirtualTime::ZERO, t(clock));
+                max_index = max_index.max(h.index_len());
+            }
+        }
+        assert!(
+            max_index <= 2 * COMPACT_MIN_SLOTS,
+            "index grew to {max_index} slots under pure churn"
+        );
+        assert!(h.index_len() >= h.len());
+    }
+
+    #[test]
+    fn compaction_preserves_every_observable() {
+        // Mirror a churn-heavy run against a never-compacting twin and a
+        // NaiveHeap; every query must agree bit-for-bit even though the
+        // compacting heap rebases its slot space many times over.
+        let mut fast = OracleHeap::new();
+        let mut slow = naive::NaiveHeap::new();
+        let mut clock = 0u64;
+        let mut compactions = 0usize;
+        for i in 0..6_000u64 {
+            clock += i % 29 + 1;
+            let o = obj(
+                clock,
+                (i % 61 + 1) as u32,
+                // Mix: quick deaths, slow deaths, immortals.
+                match i % 5 {
+                    0 | 1 => Some(clock + i % 97 + 1),
+                    2 | 3 => Some(clock + 3_000),
+                    _ => None,
+                },
+            );
+            fast.insert(o);
+            slow.insert(o);
+            if i % 100 == 99 {
+                let now = t(clock);
+                // Alternate deep and shallow boundaries to exercise both
+                // tenuring and untenuring over the rebased slot space.
+                let tb = if i % 200 == 99 {
+                    t(clock.saturating_sub(2_000))
+                } else {
+                    VirtualTime::ZERO
+                };
+                assert_eq!(fast.live_bytes_at(now), slow.live_bytes_at(now), "i={i}");
+                let before = fast.index_len();
+                assert_eq!(fast.scavenge(tb, now), slow.scavenge(tb, now), "i={i}");
+                if fast.index_len() < before {
+                    compactions += 1;
+                }
+                assert_eq!(fast.mem_in_use(), slow.mem_in_use(), "i={i}");
+                assert_eq!(fast.len(), slow.len(), "i={i}");
+                let queries = [0u64, clock / 2, clock.saturating_sub(500), clock];
+                let expect: Vec<Bytes> = {
+                    let snap_slow = slow.survival_view(now);
+                    queries
+                        .iter()
+                        .map(|&q| snap_slow.surviving_born_after(t(q)))
+                        .collect()
+                };
+                let snap_fast = fast.survival_snapshot(now);
+                for (&q, &want) in queries.iter().zip(&expect) {
+                    assert_eq!(snap_fast.surviving_born_after(t(q)), want, "i={i} q={q}");
+                }
+            }
+        }
+        assert!(compactions > 0, "churn run never triggered a compaction");
     }
 
     #[test]

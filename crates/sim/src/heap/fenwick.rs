@@ -42,6 +42,15 @@ impl Fenwick {
         self.total += value;
     }
 
+    /// Removes every slot, keeping the allocated capacity. The oracle
+    /// heap's dead-prefix compaction rebuilds the tree from the surviving
+    /// residents, so clearing must not release the buffer (the rebuild is
+    /// allocation-free by construction).
+    pub fn clear(&mut self) {
+        self.tree.clear();
+        self.total = 0;
+    }
+
     /// Adds `delta` to the slot's value, in O(log n).
     pub fn add(&mut self, slot: usize, delta: u64) {
         let mut i = slot + 1;

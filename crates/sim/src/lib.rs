@@ -12,9 +12,13 @@
 //!   queue) so a scavenge costs O(threatened tail + log n); the original
 //!   scan-based heap survives as [`heap::naive::NaiveHeap`] for
 //!   differential testing.
-//! * [`engine`] — replays a compiled trace, firing a scavenge after every
-//!   1 MB of allocation and consulting a
-//!   [`TbPolicy`](dtb_core::policy::TbPolicy) for the boundary.
+//! * [`engine`] — replays a compiled trace or a streaming
+//!   [`EventSource`](dtb_trace::EventSource) ([`simulate_source`]),
+//!   firing a scavenge after every 1 MB of allocation and consulting a
+//!   [`TbPolicy`](dtb_core::policy::TbPolicy) for the boundary. Streaming
+//!   runs are bit-identical to in-memory runs and hold O(live set)
+//!   memory (the heap compacts reclaimed index slots), so traces larger
+//!   than RAM simulate fine.
 //! * [`metrics`] — Table 2/3/4 measurements (mean/max memory, median/90th
 //!   percentile pauses, traced bytes, CPU overhead).
 //! * [`baseline`] — the `No GC` and `LIVE` reference rows.
@@ -23,13 +27,15 @@
 //!   [`TraceCache`](exec::TraceCache) (each preset compiled once per
 //!   process) and the [`Evaluation`](exec::Evaluation) builder that fans
 //!   the (program × policy) matrix over a work-stealing pool with
-//!   deterministic result ordering.
+//!   deterministic result ordering. Streaming columns
+//!   ([`Evaluation::source`](exec::Evaluation::source)) evaluate without
+//!   materializing their trace.
 //! * [`error`] — the typed failure taxonomy ([`error::SimError`]): policy
 //!   failures, watchdog budget trips, and engine invariant violations.
 //! * [`fault`] — adversarial policies for fault-injection tests (NaN /
 //!   infinite / future boundaries, fail-after-N, panic-after-N).
-//! * [`run`] — deprecated free-function runners, kept as thin wrappers
-//!   over [`exec`].
+//! * [`run`] — migration notes for the removed free-function runners
+//!   (superseded by [`exec`]).
 //! * [`trigger`] — pluggable when-to-collect policies (the orthogonal
 //!   dimension the paper fixes at 1 MB of allocation).
 //! * [`sweep`] — budget sweeps producing constraint/behaviour frontiers
@@ -65,10 +71,14 @@ pub mod run;
 pub mod sweep;
 pub mod trigger;
 
-pub use engine::{simulate, simulate_with_heap, SimBudget, SimConfig, SimRun};
+pub use engine::{
+    simulate, simulate_source, simulate_source_with_heap, simulate_with_heap, SimBudget, SimConfig,
+    SimRun,
+};
 pub use error::{BudgetKind, InvariantViolation, SimError};
 pub use exec::{
-    Cell, CellEvent, CellFailure, CellOutcome, Column, Evaluation, FailureCause, Matrix, TraceCache,
+    Cell, CellEvent, CellFailure, CellOutcome, Column, Evaluation, FailureCause, Matrix,
+    SourceFactory, TraceCache,
 };
 pub use heap::naive::NaiveHeap;
 pub use heap::{OracleHeap, ScavengeOutcome, SimHeap, SimObject, SurvivalSnapshot};

@@ -1,142 +1,53 @@
-//! Deprecated free-function runners, kept as thin wrappers.
+//! Where the free-function runners went.
 //!
-//! These predate the [`Evaluation`](crate::exec::Evaluation) builder. They
-//! recompile preset traces per call-site and run strictly serially; the
-//! builder shares one compiled trace per preset process-wide and fans the
-//! matrix over a worker pool. Migration map:
+//! This module used to hold four free-function runners predating the
+//! [`Evaluation`](crate::exec::Evaluation) builder. They recompiled
+//! preset traces per call-site and ran strictly serially; the builder
+//! shares one compiled trace per preset process-wide, fans the matrix
+//! over a worker pool, and isolates per-cell faults. The wrappers were
+//! deprecated in 0.2.0 and have been removed; the migration map stays
+//! here for anyone landing on an old call-site:
 //!
-//! | old | new |
+//! | removed | replacement |
 //! |---|---|
 //! | `run_program(p, k, cfg, sim)` | `Evaluation::new().programs([p]).policies([k]).baselines(false).policy_config(cfg).sim_config(sim).run()` |
 //! | `run_trace(&t, k, cfg, sim)` | `simulate(&t, &mut k.build(&cfg), &sim)` |
 //! | `run_column(&t, cfg, sim)` | `Evaluation::new().trace(t).policy_config(cfg).sim_config(sim).run()` |
 //! | `run_matrix(cfg, sim)` | `Evaluation::new().policy_config(cfg).sim_config(sim).run()` |
-
-use crate::engine::{simulate, SimConfig, SimRun};
-use crate::error::SimError;
-use crate::exec::Evaluation;
-use crate::metrics::SimReport;
-use dtb_core::policy::{PolicyConfig, PolicyKind};
-use dtb_trace::event::CompiledTrace;
-use dtb_trace::programs::Program;
-use std::sync::Arc;
-
-/// Runs one collector over one workload preset.
-#[deprecated(
-    since = "0.2.0",
-    note = "use dtb_sim::exec::Evaluation (programs + policies builder)"
-)]
-pub fn run_program(
-    program: Program,
-    kind: PolicyKind,
-    cfg: &PolicyConfig,
-    sim: &SimConfig,
-) -> Result<SimRun, SimError> {
-    let trace = program.compiled();
-    let mut policy = kind.build(cfg);
-    simulate(&trace, &mut policy, sim)
-}
-
-/// Runs one collector over an already-compiled trace.
-#[deprecated(
-    since = "0.2.0",
-    note = "call dtb_sim::simulate with kind.build(&cfg) directly"
-)]
-pub fn run_trace(
-    trace: &CompiledTrace,
-    kind: PolicyKind,
-    cfg: &PolicyConfig,
-    sim: &SimConfig,
-) -> Result<SimRun, SimError> {
-    let mut policy = kind.build(cfg);
-    simulate(trace, &mut policy, sim)
-}
-
-/// All six collectors plus the `No GC` / `LIVE` baselines over one trace —
-/// one full column of Tables 2–4.
-#[deprecated(
-    since = "0.2.0",
-    note = "use dtb_sim::exec::Evaluation::new().trace(...) and read the column"
-)]
-pub fn run_column(trace: &CompiledTrace, cfg: &PolicyConfig, sim: &SimConfig) -> Vec<SimReport> {
-    Evaluation::new()
-        .trace(Arc::new(trace.clone()))
-        .policy_config(*cfg)
-        .sim_config(*sim)
-        .run()
-        .columns()[0]
-        .reports()
-        .cloned()
-        .collect()
-}
-
-/// The full evaluation matrix: every collector over every workload.
-///
-/// Returns one `Vec<SimReport>` per program, in [`Program::ALL`] order.
-#[deprecated(
-    since = "0.2.0",
-    note = "use dtb_sim::exec::Evaluation::new().run() and the typed Matrix"
-)]
-pub fn run_matrix(cfg: &PolicyConfig, sim: &SimConfig) -> Vec<(Program, Vec<SimReport>)> {
-    Evaluation::new()
-        .policy_config(*cfg)
-        .sim_config(*sim)
-        .run()
-        .columns()
-        .iter()
-        .filter_map(|col| col.program.map(|p| (p, col.reports().cloned().collect())))
-        .collect()
-}
+//!
+//! Streaming sources have no free-function form at all: use
+//! [`Evaluation::source`](crate::exec::Evaluation::source) for matrix
+//! columns or [`simulate_source`](crate::engine::simulate_source)
+//! directly.
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
-    use super::*;
+    use crate::engine::SimConfig;
+    use crate::exec::Evaluation;
+    use crate::metrics::SimReport;
+    use dtb_core::policy::PolicyConfig;
+    use dtb_trace::programs::Program;
 
     #[test]
     fn column_contains_all_rows_in_table_order() {
         // Use the smallest program to keep debug-build time down.
-        let trace = Program::Cfrac.compiled();
-        let reports = run_column(&trace, &PolicyConfig::paper(), &SimConfig::paper());
+        let matrix = Evaluation::new()
+            .programs([Program::Cfrac])
+            .policy_config(PolicyConfig::paper())
+            .sim_config(SimConfig::paper())
+            .run();
+        let reports: Vec<&SimReport> = matrix.columns()[0].reports().collect();
         let labels: Vec<&str> = reports.iter().map(|r| r.policy.as_str()).collect();
         assert_eq!(
             labels,
             ["FULL", "FIXED1", "FIXED4", "DTBMEM", "FEEDMED", "DTBFM", "No GC", "LIVE"]
         );
         // Sanity: every collector's memory sits between LIVE and No GC.
-        let nogc = &reports[6];
-        let live = &reports[7];
+        let nogc = reports[6];
+        let live = reports[7];
         for r in &reports[..6] {
             assert!(r.mem_max <= nogc.mem_max, "{} exceeds No GC", r.policy);
             assert!(r.mem_mean >= live.mem_mean, "{} beats LIVE", r.policy);
         }
-    }
-
-    #[test]
-    fn wrappers_match_the_builder() {
-        let via_wrapper = run_program(
-            Program::Cfrac,
-            PolicyKind::Full,
-            &PolicyConfig::paper(),
-            &SimConfig::paper(),
-        )
-        .unwrap();
-        let matrix = Evaluation::new()
-            .programs([Program::Cfrac])
-            .policies([PolicyKind::Full])
-            .baselines(false)
-            .run();
-        assert_eq!(
-            matrix.get(Program::Cfrac, PolicyKind::Full),
-            Some(&via_wrapper.report)
-        );
-        let via_trace = run_trace(
-            &Program::Cfrac.compiled(),
-            PolicyKind::Full,
-            &PolicyConfig::paper(),
-            &SimConfig::paper(),
-        )
-        .unwrap();
-        assert_eq!(via_wrapper.report, via_trace.report);
     }
 }

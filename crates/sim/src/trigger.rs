@@ -41,6 +41,27 @@ impl Trigger {
         Trigger::Allocation(Bytes::new(1_000_000))
     }
 
+    /// Checks the trigger's parameters.
+    ///
+    /// [`Trigger::MemoryGrowth`] documents its factor as `> 1.0`: at 1.0
+    /// or below the trigger fires on (almost) every allocation, and a NaN
+    /// factor never fires at all. The engine validates the trigger before
+    /// a run starts and reports a violation as a typed
+    /// [`SimError`](crate::SimError) instead of silently simulating
+    /// nonsense.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending factor when it is non-finite or `<= 1.0`.
+    pub fn validate(&self) -> Result<(), InvalidTriggerFactor> {
+        match *self {
+            Trigger::MemoryGrowth { factor, .. } if !factor.is_finite() || factor <= 1.0 => {
+                Err(InvalidTriggerFactor { factor })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Decides whether to scavenge, given the allocation since the last
     /// scavenge, the current memory in use, and the storage surviving the
     /// previous scavenge (`None` before the first).
@@ -85,6 +106,25 @@ impl Default for Trigger {
         Trigger::paper()
     }
 }
+
+/// A rejected [`Trigger::MemoryGrowth`] factor (see [`Trigger::validate`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvalidTriggerFactor {
+    /// The factor that failed validation.
+    pub factor: f64,
+}
+
+impl std::fmt::Display for InvalidTriggerFactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory-growth factor {} must be finite and > 1.0",
+            self.factor
+        )
+    }
+}
+
+impl std::error::Error for InvalidTriggerFactor {}
 
 #[cfg(test)]
 mod tests {
@@ -137,6 +177,35 @@ mod tests {
         let t = Trigger::MemoryCeiling(Bytes::from_kb(3000));
         assert!(!t.should_collect(Bytes::ZERO, Bytes::from_kb(2999), None));
         assert!(t.should_collect(Bytes::ZERO, Bytes::from_kb(3000), None));
+    }
+
+    #[test]
+    fn validate_rejects_bad_growth_factors() {
+        for factor in [1.0, 0.5, 0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let t = Trigger::MemoryGrowth {
+                factor,
+                min_allocation: Bytes::new(100),
+            };
+            let err = t.validate().unwrap_err();
+            assert!(
+                err.factor == factor || (factor.is_nan() && err.factor.is_nan()),
+                "wrong factor reported for {factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_accepts_sane_triggers() {
+        assert_eq!(Trigger::paper().validate(), Ok(()));
+        assert_eq!(Trigger::MemoryCeiling(Bytes::new(1)).validate(), Ok(()));
+        assert_eq!(
+            Trigger::MemoryGrowth {
+                factor: 1.000_001,
+                min_allocation: Bytes::ZERO,
+            }
+            .validate(),
+            Ok(())
+        );
     }
 
     #[test]

@@ -95,8 +95,11 @@ fn presets_compile_once_per_process() {
         .policies([PolicyKind::Full])
         .baselines(false)
         .run();
-    assert!(Arc::ptr_eq(
-        &first,
-        &matrix.column(Program::Cfrac).unwrap().trace
-    ));
+    let column_trace = matrix
+        .column(Program::Cfrac)
+        .unwrap()
+        .trace
+        .as_ref()
+        .expect("preset columns carry their trace");
+    assert!(Arc::ptr_eq(&first, column_trace));
 }

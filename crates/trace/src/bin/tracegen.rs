@@ -1,13 +1,22 @@
 //! `tracegen`: generate, inspect, and analyze workload trace files.
 //!
 //! ```text
-//! tracegen gen <PROGRAM> <OUT.dtbtrc>    generate a preset workload trace
-//! tracegen info <FILE.dtbtrc>            print trace statistics
-//! tracegen survival <FILE.dtbtrc>        print the survival curve
-//! tracegen list                          list the preset workloads
+//! tracegen gen <PROGRAM> <OUT.dtbtrc>            generate a preset workload trace
+//! tracegen info <FILE.dtbtrc>                    print trace statistics
+//! tracegen survival <FILE.dtbtrc>                print the survival curve
+//! tracegen compile <IN.dtbtrc> <OUT_DIR>         compile to a one-shard DTBCTC01 store
+//! tracegen shard <IN.dtbtrc> <OUT_DIR> <STRIDE>  compile to a store with STRIDE records/shard
+//! tracegen list                                  list the preset workloads
 //! ```
+//!
+//! `compile` and `shard` run the streaming two-pass converter: the event
+//! file is read record-at-a-time twice (deaths resolve on the first
+//! pass), so event files larger than RAM convert in O(objects-index)
+//! memory and the resulting store replays through the simulator in
+//! O(live set) memory.
 
 use dtb_trace::analysis::{Demographics, SurvivalCurve};
+use dtb_trace::ctc::convert_trace_file;
 use dtb_trace::io::{read_trace, write_trace};
 use dtb_trace::programs::Program;
 use dtb_trace::stats::TraceStats;
@@ -16,9 +25,29 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tracegen gen <PROGRAM> <OUT.dtbtrc>\n  tracegen info <FILE.dtbtrc>\n  \
-         tracegen survival <FILE.dtbtrc>\n  tracegen list"
+         tracegen survival <FILE.dtbtrc>\n  tracegen compile <IN.dtbtrc> <OUT_DIR>\n  \
+         tracegen shard <IN.dtbtrc> <OUT_DIR> <RECORDS_PER_SHARD>\n  tracegen list"
     );
     ExitCode::from(2)
+}
+
+/// Runs the streaming converter and reports the resulting store shape.
+fn convert(src: &str, dir: &str, records_per_shard: u64) -> ExitCode {
+    match convert_trace_file(src, dir, records_per_shard) {
+        Ok(manifest) => {
+            println!(
+                "wrote {dir} ({} records, {} shard{})",
+                manifest.total_records,
+                manifest.shards.len(),
+                if manifest.shards.len() == 1 { "" } else { "s" },
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot convert {src}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn find_program(label: &str) -> Option<Program> {
@@ -96,6 +125,18 @@ fn main() -> ExitCode {
                 demo.immortal.as_u64() as f64 / demo.total.as_u64() as f64 * 100.0,
             );
             ExitCode::SUCCESS
+        }
+        Some("compile") if args.len() == 3 => convert(&args[1], &args[2], u64::MAX),
+        Some("shard") if args.len() == 4 => {
+            let Ok(stride) = args[3].parse::<u64>() else {
+                eprintln!("records-per-shard must be an integer, got {:?}", args[3]);
+                return ExitCode::FAILURE;
+            };
+            if stride == 0 {
+                eprintln!("records-per-shard must be at least 1");
+                return ExitCode::FAILURE;
+            }
+            convert(&args[1], &args[2], stride)
         }
         Some("survival") if args.len() == 2 => {
             let trace = match read_trace(&args[1]) {

@@ -1,0 +1,1102 @@
+//! `DTBCTC01`: the sharded on-disk *compiled-trace* format.
+//!
+//! `DTBTRC01` (see [`crate::format`]) stores the raw alloc/free event
+//! stream; compiling it resolves each object's death time. This module
+//! stores the **compiled** form on disk so simulation can stream it
+//! without ever materializing a [`CompiledTrace`]: a directory holding a
+//! small `manifest.dtbctc` plus numbered `shard-NNNNN.dtbctc` files of
+//! birth-ordered, fixed-stride records.
+//!
+//! ## Layout
+//!
+//! Every file opens with the 8-byte magic `DTBCTC01` and a *kind* byte
+//! (0 = manifest, 1 = shard). All integers are little-endian.
+//!
+//! **Manifest** (`manifest.dtbctc`): name and description as
+//! `u32` length + UTF-8 bytes, `exec_seconds` as `f64`, then `end` clock,
+//! `total_records`, `records_per_shard` and the shard count as `u64`,
+//! followed by one `{records: u64, checksum: u64}` entry per shard and a
+//! trailing FNV-1a checksum of everything before it.
+//!
+//! **Shard** (`shard-NNNNN.dtbctc`): after the magic/kind, its index
+//! (`u32`) and record count (`u64`), then 28-byte records — `id: u64`,
+//! `birth: u64`, `size: u32`, `death: u64` with `u64::MAX` meaning
+//! "lives to trace end" — and a trailing FNV-1a checksum of the record
+//! bytes. Fixed stride keeps reads chunked and seekable; records are in
+//! strictly increasing birth order across the whole store.
+//!
+//! ## Integrity
+//!
+//! Corruption surfaces as a typed [`CtcError`], never a panic: checksums
+//! cover both shard payloads (verified on read-through) and the manifest
+//! itself, and every structural field is cross-checked against the
+//! manifest when a shard is opened.
+
+use crate::event::{ObjectId, ObjectLife, TraceError, TraceMeta};
+use crate::format::FormatError;
+use crate::io::{TraceEventReader, TraceIoError};
+use crate::source::{EventSource, SourceError};
+use dtb_core::time::VirtualTime;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes identifying a compiled-trace store file (format version 1).
+pub const MAGIC: &[u8; 8] = b"DTBCTC01";
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_NAME: &str = "manifest.dtbctc";
+
+const KIND_MANIFEST: u8 = 0;
+const KIND_SHARD: u8 = 1;
+
+/// Bytes per record: id (8) + birth (8) + size (4) + death (8).
+const RECORD_BYTES: usize = 28;
+
+/// Death-time sentinel for objects that live to trace end.
+const NO_DEATH: u64 = u64::MAX;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, b| (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME))
+}
+
+/// A failure reading, writing, or converting a compiled-trace store.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtcError {
+    /// Filesystem failure (the original error rendered as text so the
+    /// variant stays comparable and cloneable).
+    Io {
+        /// File or directory involved.
+        path: PathBuf,
+        /// The underlying I/O error message.
+        message: String,
+    },
+    /// Missing or wrong magic header, or the wrong kind byte for the
+    /// file's role.
+    BadMagic {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// The file ends mid-structure.
+    Truncated {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// A metadata string is not UTF-8.
+    BadString {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// A shard header field disagrees with the manifest.
+    ShardMismatch {
+        /// Offending shard file.
+        path: PathBuf,
+        /// Which header field disagreed.
+        field: &'static str,
+        /// Value the manifest promised.
+        expected: u64,
+        /// Value found in the shard.
+        found: u64,
+    },
+    /// A payload checksum does not match its recorded value.
+    ChecksumMismatch {
+        /// Offending file.
+        path: PathBuf,
+        /// Recorded checksum.
+        expected: u64,
+        /// Checksum computed from the bytes actually read.
+        found: u64,
+    },
+    /// A record is structurally impossible.
+    BadRecord {
+        /// Offending file.
+        path: PathBuf,
+        /// Record index within the store (birth order).
+        index: u64,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The manifest is structurally inconsistent.
+    BadManifest {
+        /// Offending manifest file.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The source `DTBTRC01` file is malformed at the format level.
+    SourceFormat {
+        /// The source trace file.
+        path: PathBuf,
+        /// The format-level failure.
+        error: FormatError,
+    },
+    /// The source `DTBTRC01` event stream is semantically malformed.
+    SourceTrace {
+        /// The source trace file.
+        path: PathBuf,
+        /// The event-stream failure.
+        error: TraceError,
+    },
+}
+
+impl std::fmt::Display for CtcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtcError::Io { path, message } => {
+                write!(f, "{}: i/o error: {message}", path.display())
+            }
+            CtcError::BadMagic { path } => {
+                write!(f, "{}: not a compiled-trace store file", path.display())
+            }
+            CtcError::Truncated { path } => {
+                write!(f, "{}: file ends mid-structure", path.display())
+            }
+            CtcError::BadString { path } => {
+                write!(f, "{}: metadata string is not valid UTF-8", path.display())
+            }
+            CtcError::ShardMismatch {
+                path,
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{}: shard {field} is {found}, manifest says {expected}",
+                path.display()
+            ),
+            CtcError::ChecksumMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{}: checksum mismatch (recorded {expected:#018x}, computed {found:#018x})",
+                path.display()
+            ),
+            CtcError::BadRecord {
+                path,
+                index,
+                reason,
+            } => write!(f, "{}: record {index}: {reason}", path.display()),
+            CtcError::BadManifest { path, reason } => {
+                write!(f, "{}: bad manifest: {reason}", path.display())
+            }
+            CtcError::SourceFormat { path, error } => {
+                write!(f, "{}: source trace malformed: {error}", path.display())
+            }
+            CtcError::SourceTrace { path, error } => {
+                write!(f, "{}: source trace inconsistent: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtcError::SourceFormat { error, .. } => Some(error),
+            CtcError::SourceTrace { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> CtcError {
+    CtcError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+fn from_trace_io(path: &Path, e: TraceIoError) -> CtcError {
+    match e {
+        TraceIoError::Io(e) => io_err(path, e),
+        TraceIoError::Format(error) => CtcError::SourceFormat {
+            path: path.to_path_buf(),
+            error,
+        },
+        TraceIoError::Invalid(error) => CtcError::SourceTrace {
+            path: path.to_path_buf(),
+            error,
+        },
+    }
+}
+
+/// Per-shard bookkeeping recorded in the manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Records in this shard.
+    pub records: u64,
+    /// FNV-1a checksum of the shard's record bytes.
+    pub checksum: u64,
+}
+
+/// The decoded manifest of a compiled-trace store.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardManifest {
+    /// Trace metadata carried from the source.
+    pub meta: TraceMeta,
+    /// End-of-trace allocation clock (= total bytes allocated).
+    pub end: VirtualTime,
+    /// Records across all shards.
+    pub total_records: u64,
+    /// Stride used when the store was written (the last shard may hold
+    /// fewer).
+    pub records_per_shard: u64,
+    /// Per-shard record counts and checksums, in order.
+    pub shards: Vec<ShardInfo>,
+}
+
+/// Path of shard `index` inside a store directory.
+pub fn shard_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:05}.dtbctc"))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_NAME)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Byte cursor over a slurped manifest with typed truncation errors.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CtcError> {
+        if self.data.len() - self.pos < n {
+            return Err(CtcError::Truncated {
+                path: self.path.to_path_buf(),
+            });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CtcError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CtcError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, CtcError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, CtcError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, CtcError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CtcError::BadString {
+            path: self.path.to_path_buf(),
+        })
+    }
+}
+
+fn encode_manifest(m: &ShardManifest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128 + m.shards.len() * 16);
+    buf.extend_from_slice(MAGIC);
+    buf.push(KIND_MANIFEST);
+    put_str(&mut buf, &m.meta.name);
+    put_str(&mut buf, &m.meta.description);
+    buf.extend_from_slice(&m.meta.exec_seconds.to_le_bytes());
+    put_u64(&mut buf, m.end.as_u64());
+    put_u64(&mut buf, m.total_records);
+    put_u64(&mut buf, m.records_per_shard);
+    put_u64(&mut buf, m.shards.len() as u64);
+    for s in &m.shards {
+        put_u64(&mut buf, s.records);
+        put_u64(&mut buf, s.checksum);
+    }
+    let checksum = fnv1a(FNV_OFFSET, &buf);
+    put_u64(&mut buf, checksum);
+    buf
+}
+
+/// Reads and verifies the manifest of the store at `dir`.
+///
+/// # Errors
+///
+/// [`CtcError`] on I/O failure, corruption (the whole manifest is
+/// checksummed), or structural inconsistency.
+pub fn read_manifest(dir: impl AsRef<Path>) -> Result<ShardManifest, CtcError> {
+    let path = manifest_path(dir.as_ref());
+    let data = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+    if data.len() < MAGIC.len() + 1 + 8 {
+        return Err(CtcError::Truncated { path });
+    }
+    let (body, trailer) = data.split_at(data.len() - 8);
+    let recorded = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let computed = fnv1a(FNV_OFFSET, body);
+    if recorded != computed {
+        return Err(CtcError::ChecksumMismatch {
+            path,
+            expected: recorded,
+            found: computed,
+        });
+    }
+    let mut cur = Cursor {
+        data: body,
+        pos: 0,
+        path: &path,
+    };
+    if cur.take(MAGIC.len())? != MAGIC || cur.u8()? != KIND_MANIFEST {
+        return Err(CtcError::BadMagic { path });
+    }
+    let name = cur.string()?;
+    let description = cur.string()?;
+    let exec_seconds = cur.f64()?;
+    let end = VirtualTime::from_bytes(cur.u64()?);
+    let total_records = cur.u64()?;
+    let records_per_shard = cur.u64()?;
+    let shard_count = cur.u64()? as usize;
+    // Each entry is 16 bytes; an impossible count cannot pass the
+    // checksum, but bound the allocation anyway.
+    let remaining = body.len() - cur.pos;
+    if shard_count.checked_mul(16) != Some(remaining) {
+        return Err(CtcError::BadManifest {
+            path,
+            reason: "shard table length disagrees with shard count",
+        });
+    }
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let records = cur.u64()?;
+        let checksum = cur.u64()?;
+        shards.push(ShardInfo { records, checksum });
+    }
+    if records_per_shard == 0 && total_records > 0 {
+        return Err(CtcError::BadManifest {
+            path,
+            reason: "records_per_shard is zero",
+        });
+    }
+    if shards.iter().map(|s| s.records).sum::<u64>() != total_records {
+        return Err(CtcError::BadManifest {
+            path,
+            reason: "shard record counts do not sum to total_records",
+        });
+    }
+    Ok(ShardManifest {
+        meta: TraceMeta {
+            name,
+            description,
+            exec_seconds,
+        },
+        end,
+        total_records,
+        records_per_shard,
+        shards,
+    })
+}
+
+struct OpenShard {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    records: u64,
+    fnv: u64,
+}
+
+/// Incremental writer for a compiled-trace store.
+///
+/// Records must be pushed in strictly increasing birth order (the order
+/// [`crate::event::Trace::compile`] produces); [`ShardWriter::finish`]
+/// seals the store by writing the manifest. A store that was never
+/// finished has no manifest and cannot be opened.
+pub struct ShardWriter {
+    dir: PathBuf,
+    meta: TraceMeta,
+    records_per_shard: u64,
+    shards: Vec<ShardInfo>,
+    total: u64,
+    last_birth: Option<u64>,
+    current: Option<OpenShard>,
+}
+
+impl ShardWriter {
+    /// Creates the store directory and positions the writer at record 0.
+    ///
+    /// # Errors
+    ///
+    /// [`CtcError::BadManifest`] when `records_per_shard` is zero,
+    /// [`CtcError::Io`] on filesystem failure.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        meta: TraceMeta,
+        records_per_shard: u64,
+    ) -> Result<ShardWriter, CtcError> {
+        let dir = dir.as_ref().to_path_buf();
+        if records_per_shard == 0 {
+            return Err(CtcError::BadManifest {
+                path: manifest_path(&dir),
+                reason: "records_per_shard must be at least 1",
+            });
+        }
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        Ok(ShardWriter {
+            dir,
+            meta,
+            records_per_shard,
+            shards: Vec::new(),
+            total: 0,
+            last_birth: None,
+            current: None,
+        })
+    }
+
+    fn close_current(&mut self) -> Result<(), CtcError> {
+        if let Some(mut shard) = self.current.take() {
+            shard
+                .writer
+                .write_all(&shard.fnv.to_le_bytes())
+                .and_then(|()| shard.writer.flush())
+                .map_err(|e| io_err(&shard.path, e))?;
+            self.shards.push(ShardInfo {
+                records: shard.records,
+                checksum: shard.fnv,
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// [`CtcError::BadRecord`] when the record is structurally impossible
+    /// (zero size, death before birth, births out of order, or a death
+    /// time colliding with the `u64::MAX` sentinel); [`CtcError::Io`] on
+    /// filesystem failure.
+    pub fn push(&mut self, life: ObjectLife) -> Result<(), CtcError> {
+        let index = self.total;
+        let here = |reason| CtcError::BadRecord {
+            path: shard_path(&self.dir, self.shards.len()),
+            index,
+            reason,
+        };
+        if life.size == 0 {
+            return Err(here("object has zero size"));
+        }
+        let birth = life.birth.as_u64();
+        if self.last_birth.is_some_and(|prev| birth <= prev) {
+            return Err(here("births must be strictly increasing"));
+        }
+        let death = match life.death {
+            None => NO_DEATH,
+            Some(d) => {
+                let d = d.as_u64();
+                if d < birth {
+                    return Err(here("object dies before it is born"));
+                }
+                if d == NO_DEATH {
+                    return Err(here("death time collides with the immortal sentinel"));
+                }
+                d
+            }
+        };
+        if self
+            .current
+            .as_ref()
+            .is_none_or(|s| s.records >= self.records_per_shard)
+        {
+            self.close_current()?;
+            let path = shard_path(&self.dir, self.shards.len());
+            let file = File::create(&path).map_err(|e| io_err(&path, e))?;
+            let mut writer = BufWriter::new(file);
+            let mut header = Vec::with_capacity(MAGIC.len() + 1 + 4 + 8);
+            header.extend_from_slice(MAGIC);
+            header.push(KIND_SHARD);
+            put_u32(&mut header, self.shards.len() as u32);
+            // The header carries the *stride*, not the shard's own record
+            // count: a streaming writer doesn't know the count until the
+            // shard closes, and rewriting the header would need a seek.
+            // The true per-shard count lives in the checksummed manifest.
+            put_u64(&mut header, self.records_per_shard);
+            writer.write_all(&header).map_err(|e| io_err(&path, e))?;
+            self.current = Some(OpenShard {
+                writer,
+                path,
+                records: 0,
+                fnv: FNV_OFFSET,
+            });
+        }
+        let shard = self.current.as_mut().expect("opened above");
+        let mut raw = [0u8; RECORD_BYTES];
+        raw[0..8].copy_from_slice(&life.id.0.to_le_bytes());
+        raw[8..16].copy_from_slice(&birth.to_le_bytes());
+        raw[16..20].copy_from_slice(&life.size.to_le_bytes());
+        raw[20..28].copy_from_slice(&death.to_le_bytes());
+        shard
+            .writer
+            .write_all(&raw)
+            .map_err(|e| io_err(&shard.path, e))?;
+        shard.fnv = fnv1a(shard.fnv, &raw);
+        shard.records += 1;
+        self.total += 1;
+        self.last_birth = Some(birth);
+        Ok(())
+    }
+
+    /// Seals the store: closes the open shard and writes the manifest.
+    ///
+    /// `end` is the end-of-trace allocation clock; for a compiled trace it
+    /// equals the final birth (total bytes allocated).
+    ///
+    /// # Errors
+    ///
+    /// [`CtcError::BadManifest`] when `end` precedes the final birth,
+    /// [`CtcError::Io`] on filesystem failure.
+    pub fn finish(mut self, end: VirtualTime) -> Result<ShardManifest, CtcError> {
+        if self.last_birth.is_some_and(|b| end.as_u64() < b) {
+            return Err(CtcError::BadManifest {
+                path: manifest_path(&self.dir),
+                reason: "end clock precedes the final birth",
+            });
+        }
+        self.close_current()?;
+        let manifest = ShardManifest {
+            meta: self.meta.clone(),
+            end,
+            total_records: self.total,
+            records_per_shard: self.records_per_shard,
+            shards: std::mem::take(&mut self.shards),
+        };
+        let path = manifest_path(&self.dir);
+        std::fs::write(&path, encode_manifest(&manifest)).map_err(|e| io_err(&path, e))?;
+        Ok(manifest)
+    }
+}
+
+/// Writes an in-memory compiled trace as a store at `dir`.
+///
+/// # Errors
+///
+/// Propagates [`ShardWriter`] errors; a trace that fails
+/// [`crate::event::CompiledTrace::validate`]-level invariants (zero
+/// sizes, out-of-order births…) is rejected record by record.
+pub fn write_shards(
+    dir: impl AsRef<Path>,
+    trace: &crate::event::CompiledTrace,
+    records_per_shard: u64,
+) -> Result<ShardManifest, CtcError> {
+    let mut writer = ShardWriter::create(dir, trace.meta.clone(), records_per_shard)?;
+    for life in trace.lives() {
+        writer.push(life)?;
+    }
+    writer.finish(trace.end)
+}
+
+/// Converts a `DTBTRC01` event-trace *file* into a store at `dir` without
+/// ever materializing the trace: two streaming passes over the source.
+///
+/// Pass 1 replays the event stream to resolve each object's death clock
+/// (validating the stream exactly as [`crate::event::Trace::compile`]
+/// would); pass 2 replays it again, emitting one record per allocation.
+/// Memory is O(objects) for the id → death map — far below the resident
+/// [`CompiledTrace`] plus event list — and the output is byte-for-byte
+/// the store [`write_shards`] would produce from the compiled trace.
+///
+/// # Errors
+///
+/// [`CtcError::SourceFormat`] / [`CtcError::SourceTrace`] when the source
+/// file is malformed, plus all [`ShardWriter`] errors.
+pub fn convert_trace_file(
+    src: impl AsRef<Path>,
+    dir: impl AsRef<Path>,
+    records_per_shard: u64,
+) -> Result<ShardManifest, CtcError> {
+    let src = src.as_ref();
+    // Pass 1: resolve death clocks, validating the event stream.
+    let mut reader = TraceEventReader::open(src).map_err(|e| from_trace_io(src, e))?;
+    let mut deaths: Vec<Option<u64>> = Vec::new();
+    let mut index: HashMap<ObjectId, usize> = HashMap::new();
+    let mut clock: u64 = 0;
+    let mut pos: usize = 0;
+    let invalid = |error| CtcError::SourceTrace {
+        path: src.to_path_buf(),
+        error,
+    };
+    while let Some(event) = reader.next_event().map_err(|e| from_trace_io(src, e))? {
+        match event {
+            crate::event::Event::Alloc { id, size } => {
+                if size == 0 {
+                    return Err(invalid(TraceError::ZeroSizedAlloc { id, pos }));
+                }
+                clock = clock
+                    .checked_add(size as u64)
+                    .ok_or(invalid(TraceError::ClockOverflow { id, pos }))?;
+                if index.insert(id, deaths.len()).is_some() {
+                    return Err(invalid(TraceError::DuplicateAlloc { id, pos }));
+                }
+                deaths.push(None);
+            }
+            crate::event::Event::Free { id } => {
+                let Some(&slot) = index.get(&id) else {
+                    return Err(invalid(TraceError::FreeWithoutAlloc { id, pos }));
+                };
+                if deaths[slot].is_some() {
+                    return Err(invalid(TraceError::DoubleFree { id, pos }));
+                }
+                deaths[slot] = Some(clock);
+            }
+        }
+        pos += 1;
+    }
+    drop(index);
+    let end = clock;
+
+    // Pass 2: emit one record per allocation, in event (= birth) order.
+    let meta = reader.meta().clone();
+    let mut writer = ShardWriter::create(dir, meta, records_per_shard)?;
+    let mut reader = TraceEventReader::open(src).map_err(|e| from_trace_io(src, e))?;
+    let mut clock: u64 = 0;
+    let mut next: usize = 0;
+    while let Some(event) = reader.next_event().map_err(|e| from_trace_io(src, e))? {
+        if let crate::event::Event::Alloc { id, size } = event {
+            clock += size as u64;
+            if next >= deaths.len() {
+                return Err(CtcError::BadRecord {
+                    path: src.to_path_buf(),
+                    index: next as u64,
+                    reason: "trace file changed between converter passes",
+                });
+            }
+            let death = deaths[next];
+            writer.push(ObjectLife {
+                id,
+                birth: VirtualTime::from_bytes(clock),
+                size,
+                death: death.map(VirtualTime::from_bytes),
+            })?;
+            next += 1;
+        }
+    }
+    writer.finish(VirtualTime::from_bytes(end))
+}
+
+#[derive(Debug)]
+struct ShardCursor {
+    reader: BufReader<File>,
+    path: PathBuf,
+    shard_index: usize,
+    records: u64,
+    read: u64,
+    fnv: u64,
+}
+
+/// Chunked [`EventSource`] over an on-disk compiled-trace store.
+///
+/// Streams records shard by shard through a [`BufReader`], verifying each
+/// shard's checksum as its last record is consumed; memory is one read
+/// buffer plus the manifest, independent of trace length.
+#[derive(Debug)]
+pub struct ShardReader {
+    dir: PathBuf,
+    manifest: ShardManifest,
+    next_shard: usize,
+    consumed: u64,
+    current: Option<ShardCursor>,
+}
+
+impl ShardReader {
+    /// Opens the store at `dir` by reading and verifying its manifest.
+    ///
+    /// Shard files are opened lazily as the stream reaches them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`read_manifest`] errors.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ShardReader, CtcError> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = read_manifest(&dir)?;
+        Ok(ShardReader {
+            dir,
+            manifest,
+            next_shard: 0,
+            consumed: 0,
+            current: None,
+        })
+    }
+
+    /// The verified manifest.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    fn open_shard(&mut self) -> Result<(), CtcError> {
+        let i = self.next_shard;
+        let path = shard_path(&self.dir, i);
+        let file = File::open(&path).map_err(|e| io_err(&path, e))?;
+        let mut reader = BufReader::new(file);
+        let mut header = [0u8; 8 + 1 + 4 + 8];
+        read_exact_ctc(&mut reader, &mut header, &path)?;
+        if &header[0..8] != MAGIC || header[8] != KIND_SHARD {
+            return Err(CtcError::BadMagic { path });
+        }
+        let found_index = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes"));
+        if found_index as usize != i {
+            return Err(CtcError::ShardMismatch {
+                path,
+                field: "index",
+                expected: i as u64,
+                found: found_index as u64,
+            });
+        }
+        let found_stride = u64::from_le_bytes(header[13..21].try_into().expect("8 bytes"));
+        if found_stride != self.manifest.records_per_shard {
+            return Err(CtcError::ShardMismatch {
+                path,
+                field: "stride",
+                expected: self.manifest.records_per_shard,
+                found: found_stride,
+            });
+        }
+        self.current = Some(ShardCursor {
+            reader,
+            path,
+            shard_index: i,
+            records: self.manifest.shards[i].records,
+            read: 0,
+            fnv: FNV_OFFSET,
+        });
+        self.next_shard += 1;
+        Ok(())
+    }
+}
+
+fn read_exact_ctc(reader: &mut impl Read, buf: &mut [u8], path: &Path) -> Result<(), CtcError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CtcError::Truncated {
+                path: path.to_path_buf(),
+            }
+        } else {
+            io_err(path, e)
+        }
+    })
+}
+
+impl EventSource for ShardReader {
+    fn meta(&self) -> &TraceMeta {
+        &self.manifest.meta
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        usize::try_from(self.manifest.total_records).ok()
+    }
+
+    fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+        loop {
+            if let Some(cur) = &mut self.current {
+                if cur.read < cur.records {
+                    let mut raw = [0u8; RECORD_BYTES];
+                    read_exact_ctc(&mut cur.reader, &mut raw, &cur.path)?;
+                    cur.fnv = fnv1a(cur.fnv, &raw);
+                    cur.read += 1;
+                    let index = self.consumed;
+                    self.consumed += 1;
+                    let id = u64::from_le_bytes(raw[0..8].try_into().expect("8 bytes"));
+                    let birth = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
+                    let size = u32::from_le_bytes(raw[16..20].try_into().expect("4 bytes"));
+                    let death = u64::from_le_bytes(raw[20..28].try_into().expect("8 bytes"));
+                    let bad = |reason| {
+                        SourceError::Shard(CtcError::BadRecord {
+                            path: cur.path.clone(),
+                            index,
+                            reason,
+                        })
+                    };
+                    if size == 0 {
+                        return Err(bad("object has zero size"));
+                    }
+                    let death = if death == NO_DEATH {
+                        None
+                    } else {
+                        if death < birth {
+                            return Err(bad("object dies before it is born"));
+                        }
+                        Some(VirtualTime::from_bytes(death))
+                    };
+                    return Ok(Some(ObjectLife {
+                        id: ObjectId(id),
+                        birth: VirtualTime::from_bytes(birth),
+                        size,
+                        death,
+                    }));
+                }
+                // Shard exhausted: verify its trailer checksum against both
+                // the bytes just read and the manifest's record.
+                let mut trailer = [0u8; 8];
+                read_exact_ctc(&mut cur.reader, &mut trailer, &cur.path)?;
+                let recorded = u64::from_le_bytes(trailer);
+                let expected = self.manifest.shards[cur.shard_index].checksum;
+                if recorded != cur.fnv || expected != cur.fnv {
+                    return Err(SourceError::Shard(CtcError::ChecksumMismatch {
+                        path: cur.path.clone(),
+                        expected: if recorded != cur.fnv {
+                            recorded
+                        } else {
+                            expected
+                        },
+                        found: cur.fnv,
+                    }));
+                }
+                self.current = None;
+                continue;
+            }
+            if self.next_shard >= self.manifest.shards.len() {
+                return Ok(None);
+            }
+            self.open_shard()?;
+        }
+    }
+
+    fn end(&self) -> VirtualTime {
+        self.manifest.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::CompiledTrace;
+    use crate::source::collect_source;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dtb-ctc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_trace(objects: usize) -> CompiledTrace {
+        let mut b = TraceBuilder::new("ctc-test");
+        b.exec_seconds(4.5).description("store round trip");
+        let mut open = Vec::new();
+        for i in 0..objects {
+            open.push(b.alloc(64 + (i % 37) as u32));
+            if i % 3 == 0 {
+                if let Some(id) = open.pop() {
+                    b.free(id);
+                }
+            }
+        }
+        b.finish().compile().unwrap()
+    }
+
+    #[test]
+    fn store_round_trips_across_strides() {
+        let trace = sample_trace(100);
+        for stride in [1u64, 7, 64, u64::MAX] {
+            let dir = temp_dir(&format!("rt{stride}"));
+            let manifest = write_shards(&dir, &trace, stride).unwrap();
+            assert_eq!(manifest.total_records, 100);
+            assert_eq!(manifest.end, trace.end);
+            let mut reader = ShardReader::open(&dir).unwrap();
+            let back = collect_source(&mut reader).unwrap();
+            assert_eq!(back, trace);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn converter_matches_write_shards() {
+        let dir = temp_dir("conv");
+        let mut b = TraceBuilder::new("conv-test");
+        let a = b.alloc(100);
+        b.alloc(260);
+        b.free(a);
+        b.alloc(1);
+        let trace = b.finish();
+        let compiled = trace.compile().unwrap();
+        let src = dir.join("src.dtbtrc");
+        std::fs::create_dir_all(&dir).unwrap();
+        crate::io::write_trace(&src, &trace).unwrap();
+
+        let store_a = dir.join("from-file");
+        let store_b = dir.join("from-memory");
+        let ma = convert_trace_file(&src, &store_a, 2).unwrap();
+        let mb = write_shards(&store_b, &compiled, 2).unwrap();
+        assert_eq!(ma, mb);
+        for i in 0..ma.shards.len() {
+            assert_eq!(
+                std::fs::read(shard_path(&store_a, i)).unwrap(),
+                std::fs::read(shard_path(&store_b, i)).unwrap(),
+                "shard {i} differs"
+            );
+        }
+        let back = collect_source(&mut ShardReader::open(&store_a).unwrap()).unwrap();
+        assert_eq!(back, compiled);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn converter_rejects_malformed_event_streams() {
+        use crate::event::{Event, ObjectId, Trace, TraceMeta};
+        let dir = temp_dir("badsrc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("bad.dtbtrc");
+        let trace = Trace {
+            meta: TraceMeta::named("bad"),
+            events: vec![
+                Event::Alloc {
+                    id: ObjectId(0),
+                    size: 8,
+                },
+                Event::Free { id: ObjectId(0) },
+                Event::Free { id: ObjectId(0) },
+            ],
+        };
+        std::fs::write(&src, crate::format::encode(&trace)).unwrap();
+        let err = convert_trace_file(&src, dir.join("out"), 8).unwrap_err();
+        assert!(matches!(
+            err,
+            CtcError::SourceTrace {
+                error: TraceError::DoubleFree { .. },
+                ..
+            }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shard_byte_is_a_checksum_error() {
+        let trace = sample_trace(50);
+        let dir = temp_dir("flip");
+        write_shards(&dir, &trace, 16).unwrap();
+        let path = shard_path(&dir, 1);
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40;
+        std::fs::write(&path, raw).unwrap();
+        let err = collect_source(&mut ShardReader::open(&dir).unwrap()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SourceError::Shard(CtcError::ChecksumMismatch { .. } | CtcError::BadRecord { .. })
+            ),
+            "unexpected error: {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_byte_is_a_checksum_error() {
+        let trace = sample_trace(20);
+        let dir = temp_dir("mflip");
+        write_shards(&dir, &trace, 8).unwrap();
+        let path = dir.join(MANIFEST_NAME);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[MAGIC.len() + 3] ^= 0x01;
+        std::fs::write(&path, raw).unwrap();
+        let err = ShardReader::open(&dir).unwrap_err();
+        assert!(matches!(err, CtcError::ChecksumMismatch { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_shard_is_a_typed_error() {
+        let trace = sample_trace(40);
+        let dir = temp_dir("trunc");
+        write_shards(&dir, &trace, 64).unwrap();
+        let path = shard_path(&dir, 0);
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 12]).unwrap();
+        let err = collect_source(&mut ShardReader::open(&dir).unwrap()).unwrap_err();
+        assert!(matches!(
+            err,
+            SourceError::Shard(CtcError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_store_is_an_io_error() {
+        let err = ShardReader::open("/nonexistent/definitely/not/a/store").unwrap_err();
+        assert!(matches!(err, CtcError::Io { .. }));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn writer_rejects_out_of_order_births() {
+        let dir = temp_dir("order");
+        let mut w = ShardWriter::create(&dir, TraceMeta::named("x"), 8).unwrap();
+        w.push(ObjectLife {
+            id: ObjectId(0),
+            birth: VirtualTime::from_bytes(100),
+            size: 100,
+            death: None,
+        })
+        .unwrap();
+        let err = w
+            .push(ObjectLife {
+                id: ObjectId(1),
+                birth: VirtualTime::from_bytes(100),
+                size: 10,
+                death: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, CtcError::BadRecord { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_rejects_end_before_final_birth() {
+        let dir = temp_dir("endlow");
+        let mut w = ShardWriter::create(&dir, TraceMeta::named("x"), 8).unwrap();
+        w.push(ObjectLife {
+            id: ObjectId(0),
+            birth: VirtualTime::from_bytes(100),
+            size: 100,
+            death: None,
+        })
+        .unwrap();
+        let err = w.finish(VirtualTime::from_bytes(50)).unwrap_err();
+        assert!(matches!(err, CtcError::BadManifest { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let dir = temp_dir("empty");
+        let trace = TraceBuilder::new("empty").finish().compile().unwrap();
+        let manifest = write_shards(&dir, &trace, 8).unwrap();
+        assert_eq!(manifest.total_records, 0);
+        assert!(manifest.shards.is_empty());
+        let back = collect_source(&mut ShardReader::open(&dir).unwrap()).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -17,8 +17,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// Magic bytes identifying a serialized trace (format version 1).
 pub const MAGIC: &[u8; 8] = b"DTBTRC01";
 
-const TAG_ALLOC: u8 = 0;
-const TAG_FREE: u8 = 1;
+pub(crate) const TAG_ALLOC: u8 = 0;
+pub(crate) const TAG_FREE: u8 = 1;
 
 /// A malformed serialized trace.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -4,9 +4,10 @@
 //! generated once and replayed many times (the `tracegen` binary does
 //! exactly that from the command line).
 
-use crate::event::{Trace, TraceError};
+use crate::event::{Event, ObjectId, Trace, TraceError, TraceMeta};
 use crate::format::{self, FormatError};
-use std::io;
+use std::fs::File;
+use std::io::{self, BufReader, Read};
 use std::path::Path;
 
 /// An I/O, format, or semantic failure while reading a trace file.
@@ -79,6 +80,145 @@ pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
     Ok(trace)
 }
 
+/// Streaming reader over the *events* of a `DTBTRC01` trace file.
+///
+/// [`read_trace`] slurps the whole file and materializes every event;
+/// for out-of-core processing (the `DTBCTC01` two-pass converter) this
+/// reader decodes one event at a time through a [`BufReader`], keeping
+/// memory independent of trace length. Event-stream *semantics* (double
+/// frees, clock overflow, …) are **not** checked here — callers that
+/// need them validate as they consume.
+pub struct TraceEventReader {
+    reader: BufReader<File>,
+    meta: TraceMeta,
+    remaining: u64,
+    expected_id: u64,
+}
+
+impl TraceEventReader {
+    /// Opens `path` and decodes the header (magic, metadata, event count).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::Io`] on filesystem failure, [`TraceIoError::Format`]
+    /// when the header is malformed.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceIoError> {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        match reader.read_exact(&mut magic) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(TraceIoError::Format(FormatError::BadMagic))
+            }
+            Err(e) => return Err(TraceIoError::Io(e)),
+        }
+        if &magic != format::MAGIC {
+            return Err(TraceIoError::Format(FormatError::BadMagic));
+        }
+        let name = read_string(&mut reader)?;
+        let description = read_string(&mut reader)?;
+        let mut raw = [0u8; 8];
+        read_exact_or_truncated(&mut reader, &mut raw)?;
+        let exec_seconds = f64::from_be_bytes(raw);
+        let remaining = read_varint(&mut reader)?;
+        Ok(TraceEventReader {
+            reader,
+            meta: TraceMeta {
+                name,
+                description,
+                exec_seconds,
+            },
+            remaining,
+            expected_id: 0,
+        })
+    }
+
+    /// The trace metadata decoded from the header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Events not yet read (from the header count).
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Decodes the next event, or `Ok(None)` once the header count is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::Format`] when a record is malformed or the file
+    /// ends early, [`TraceIoError::Io`] on filesystem failure.
+    pub fn next_event(&mut self) -> Result<Option<Event>, TraceIoError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let mut tag = [0u8; 1];
+        read_exact_or_truncated(&mut self.reader, &mut tag)?;
+        match tag[0] {
+            format::TAG_ALLOC => {
+                let delta = read_varint(&mut self.reader)?;
+                let id = self.expected_id.wrapping_add(delta);
+                self.expected_id = id.wrapping_add(1);
+                let size = read_varint(&mut self.reader)? as u32;
+                Ok(Some(Event::Alloc {
+                    id: ObjectId(id),
+                    size,
+                }))
+            }
+            format::TAG_FREE => {
+                let id = read_varint(&mut self.reader)?;
+                Ok(Some(Event::Free { id: ObjectId(id) }))
+            }
+            tag => Err(TraceIoError::Format(FormatError::BadTag(tag))),
+        }
+    }
+}
+
+/// `read_exact` that maps a clean EOF to [`FormatError::Truncated`].
+fn read_exact_or_truncated(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), TraceIoError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::Format(FormatError::Truncated)
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
+/// Incremental LEB128 decode matching `format::get_varint`.
+fn read_varint(reader: &mut impl Read) -> Result<u64, TraceIoError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        read_exact_or_truncated(reader, &mut byte)?;
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(TraceIoError::Format(FormatError::Truncated));
+        }
+    }
+}
+
+/// Incremental string decode matching `format::get_string`. Reads through
+/// a `Take` so a corrupt length varint cannot trigger a huge up-front
+/// allocation.
+fn read_string(reader: &mut impl Read) -> Result<String, TraceIoError> {
+    let len = read_varint(reader)?;
+    let mut raw = Vec::with_capacity(len.min(1 << 16) as usize);
+    let took = reader.by_ref().take(len).read_to_end(&mut raw)?;
+    if (took as u64) < len {
+        return Err(TraceIoError::Format(FormatError::Truncated));
+    }
+    String::from_utf8(raw).map_err(|_| TraceIoError::Format(FormatError::BadString))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +271,55 @@ mod tests {
             TraceIoError::Invalid(TraceError::DoubleFree { .. })
         ));
         assert!(err.to_string().contains("inconsistent"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_reader_matches_slurped_events() {
+        let dir = std::env::temp_dir().join(format!("dtb-io-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.dtbtrc");
+        let mut b = TraceBuilder::new("stream-io");
+        b.exec_seconds(2.5).description("streamed");
+        let a = b.alloc(300);
+        b.alloc(7);
+        b.free(a);
+        b.alloc(64);
+        let trace = b.finish();
+        write_trace(&path, &trace).unwrap();
+
+        let mut reader = TraceEventReader::open(&path).unwrap();
+        assert_eq!(reader.meta(), &trace.meta);
+        assert_eq!(reader.remaining(), trace.events.len() as u64);
+        let mut events = Vec::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            events.push(e);
+        }
+        assert_eq!(events, trace.events);
+        assert_eq!(reader.remaining(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_reader_detects_truncation() {
+        let dir = std::env::temp_dir().join(format!("dtb-io-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.dtbtrc");
+        let mut b = TraceBuilder::new("trunc");
+        for _ in 0..10 {
+            b.alloc(500);
+        }
+        let full = crate::format::encode(&b.finish());
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let mut reader = TraceEventReader::open(&path).unwrap();
+        let err = loop {
+            match reader.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("truncated file should not stream cleanly"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, TraceIoError::Format(FormatError::Truncated)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

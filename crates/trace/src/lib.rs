@@ -17,7 +17,11 @@
 //!   the live-storage profile (mean and maximum);
 //! * trace **serialization** ([`format`]), **statistics** ([`stats`]),
 //!   and lifetime **analysis** ([`analysis`]: survival curves and age
-//!   demographics).
+//!   demographics);
+//! * **streaming** ([`source`]: the [`EventSource`] abstraction over
+//!   record streams; [`ctc`]: the sharded on-disk `DTBCTC01`
+//!   compiled-trace store) so traces larger than RAM simulate in
+//!   O(live set) memory.
 //!
 //! # Example
 //!
@@ -36,15 +40,19 @@
 pub mod analysis;
 pub mod builder;
 pub mod corrupt;
+pub mod ctc;
 pub mod event;
 pub mod format;
 pub mod io;
 pub mod lifetime;
 pub mod programs;
+pub mod source;
 pub mod stats;
 pub mod synth;
 
 pub use builder::TraceBuilder;
+pub use ctc::ShardReader;
 pub use event::{CompiledTrace, Event, ObjectId, ObjectLife, Trace, TraceMeta};
 pub use programs::Program;
+pub use source::{collect_source, CompiledSource, EventSource, SourceError, SynthSource};
 pub use synth::{ClassSpec, WorkloadSpec};

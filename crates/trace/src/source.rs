@@ -1,0 +1,408 @@
+//! Streaming event sources: compiled-trace records one at a time.
+//!
+//! Everything upstream of the simulation engine used to be resident — a
+//! whole [`CompiledTrace`] in memory, borrowed for the duration of a run.
+//! [`EventSource`] breaks that coupling: it yields birth-ordered
+//! [`ObjectLife`] records **one at a time**, so the engine's memory is
+//! bounded by the live set plus a read chunk, not the trace length.
+//!
+//! Three implementations cover the pipeline:
+//!
+//! * [`CompiledSource`] — a cursor over an in-memory [`CompiledTrace`].
+//!   Replay through it is bit-identical to the resident path; the engine's
+//!   `&CompiledTrace` entry points are thin wrappers around it.
+//! * [`crate::ctc::ShardReader`] — chunked replay of the on-disk
+//!   `DTBCTC01` sharded compiled-trace format, for traces larger than RAM.
+//! * [`SynthSource`] — unbounded on-the-fly synthetic generation from a
+//!   [`WorkloadSpec`], for workloads that never exist as a file at all.
+//!
+//! Contract: records come in **strictly increasing birth order** (the
+//! engine re-checks and reports violations as typed errors), and
+//! [`EventSource::end`] is accurate once the source is exhausted.
+
+use crate::ctc::CtcError;
+use crate::event::{CompiledTrace, ObjectId, ObjectLife, TraceMeta};
+use crate::synth::{SpecError, WorkloadSpec};
+use dtb_core::time::VirtualTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A failure while producing the next record of a streaming source.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SourceError {
+    /// The on-disk shard store failed (I/O, corruption, checksum).
+    Shard(CtcError),
+    /// A synthetic generator hit an impossible state (e.g. allocation
+    /// clock overflow).
+    Synth(String),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Shard(e) => write!(f, "shard store: {e}"),
+            SourceError::Synth(msg) => write!(f, "synthetic source: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SourceError::Shard(e) => Some(e),
+            SourceError::Synth(_) => None,
+        }
+    }
+}
+
+impl From<CtcError> for SourceError {
+    fn from(e: CtcError) -> Self {
+        SourceError::Shard(e)
+    }
+}
+
+/// A stream of birth-ordered object-lifetime records.
+///
+/// Object-safe: the executor holds sources as `Box<dyn EventSource +
+/// Send>`, while the engine's hot path stays generic (and monomorphized)
+/// over concrete implementations.
+pub trait EventSource {
+    /// The trace metadata (name, description, execution seconds).
+    fn meta(&self) -> &TraceMeta;
+
+    /// Total record count when known up front (`None` for unbounded
+    /// generators). Consumers may use it to size buffers but must not
+    /// trust it for correctness.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// The next record in birth order, `Ok(None)` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SourceError`] when the underlying store or generator
+    /// fails; the stream is dead after an error.
+    fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError>;
+
+    /// The end-of-trace allocation clock. Guaranteed accurate only after
+    /// [`next_record`](EventSource::next_record) has returned `Ok(None)`;
+    /// sources that know the end up front (shard stores, compiled traces)
+    /// report it immediately.
+    fn end(&self) -> VirtualTime;
+}
+
+/// In-memory [`EventSource`]: a cursor over a borrowed [`CompiledTrace`].
+pub struct CompiledSource<'a> {
+    trace: &'a CompiledTrace,
+    pos: usize,
+}
+
+impl<'a> CompiledSource<'a> {
+    /// Starts a cursor at the first record.
+    pub fn new(trace: &'a CompiledTrace) -> CompiledSource<'a> {
+        CompiledSource { trace, pos: 0 }
+    }
+}
+
+impl EventSource for CompiledSource<'_> {
+    fn meta(&self) -> &TraceMeta {
+        &self.trace.meta
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.trace.len())
+    }
+
+    fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+        if self.pos >= self.trace.len() {
+            return Ok(None);
+        }
+        let life = self.trace.life(self.pos);
+        self.pos += 1;
+        Ok(Some(life))
+    }
+
+    fn end(&self) -> VirtualTime {
+        self.trace.end
+    }
+}
+
+/// Unbounded synthetic [`EventSource`]: generates a [`WorkloadSpec`]'s
+/// object stream on the fly, in O(1) memory per record.
+///
+/// Mirrors [`WorkloadSpec::generate`]'s structure — permanent startup
+/// ramp, then the per-class mixture — but resolves each object's death
+/// **exactly** at sampling time instead of snapping it to the next `Free`
+/// flush point the way the event-stream generator does. The two are
+/// therefore *statistically* equivalent, not byte-identical; use
+/// [`collect_source`] when a resident copy of exactly this stream is
+/// needed (e.g. for differential testing).
+///
+/// Deterministic: the same spec (including seed) always yields the same
+/// stream.
+pub struct SynthSource {
+    spec: WorkloadSpec,
+    meta: TraceMeta,
+    rng: StdRng,
+    weights: Vec<f64>,
+    weight_total: f64,
+    clock: u64,
+    next_id: u64,
+    finished: bool,
+}
+
+impl SynthSource {
+    /// Validates the spec and positions the stream at its first record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the spec fails [`WorkloadSpec::validate`].
+    pub fn new(spec: WorkloadSpec) -> Result<SynthSource, SpecError> {
+        spec.validate()?;
+        let meta = TraceMeta {
+            name: spec.name.clone(),
+            description: spec.description.clone(),
+            exec_seconds: spec.exec_seconds,
+        };
+        let rng = StdRng::seed_from_u64(spec.seed);
+        let weights: Vec<f64> = spec
+            .classes
+            .iter()
+            .map(|c| c.byte_fraction / c.size.mean().max(1.0))
+            .collect();
+        let weight_total = weights.iter().sum();
+        Ok(SynthSource {
+            spec,
+            meta,
+            rng,
+            weights,
+            weight_total,
+            clock: 0,
+            next_id: 0,
+            finished: false,
+        })
+    }
+
+    /// Records generated so far.
+    pub fn emitted(&self) -> u64 {
+        self.next_id
+    }
+}
+
+impl EventSource for SynthSource {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+        if self.finished {
+            return Ok(None);
+        }
+        // Startup: the initial permanent structure (never dies).
+        if self.clock < self.spec.initial_permanent {
+            let size = self
+                .spec
+                .initial_object_size
+                .min((self.spec.initial_permanent - self.clock).max(1) as u32)
+                .max(1);
+            self.clock += size as u64;
+            let id = self.next_id;
+            self.next_id += 1;
+            return Ok(Some(ObjectLife {
+                id: ObjectId(id),
+                birth: VirtualTime::from_bytes(self.clock),
+                size,
+                death: None,
+            }));
+        }
+        if self.clock >= self.spec.total_alloc || self.weight_total <= 0.0 {
+            self.finished = true;
+            return Ok(None);
+        }
+        // Steady state: pick a class by byte-weight, sample size and exact
+        // death on the allocation clock.
+        let mut pick = self.rng.gen_range(0.0..self.weight_total);
+        let mut chosen = self.spec.classes.len() - 1;
+        for (i, w) in self.weights.iter().enumerate() {
+            if pick < *w {
+                chosen = i;
+                break;
+            }
+            pick -= w;
+        }
+        let class = &self.spec.classes[chosen];
+        let size = class.size.sample(&mut self.rng);
+        self.clock = self
+            .clock
+            .checked_add(size as u64)
+            .ok_or_else(|| SourceError::Synth("allocation clock overflowed u64".to_string()))?;
+        let birth = self.clock;
+        let death = if class.lifetime.is_phase_local() {
+            let period = self.spec.phase_period.expect("validated at construction");
+            Some((birth / period + 1) * period)
+        } else {
+            class.lifetime.sample(&mut self.rng).map(|l| birth + l)
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        Ok(Some(ObjectLife {
+            id: ObjectId(id),
+            birth: VirtualTime::from_bytes(birth),
+            size,
+            death: death.map(VirtualTime::from_bytes),
+        }))
+    }
+
+    fn end(&self) -> VirtualTime {
+        VirtualTime::from_bytes(self.clock)
+    }
+}
+
+/// Drains a source into a resident [`CompiledTrace`].
+///
+/// The inverse of [`CompiledSource`]; used by differential tests to get
+/// the in-memory twin of a streamed run, and by tools that want to
+/// materialize a synthetic stream.
+///
+/// # Errors
+///
+/// Propagates the source's [`SourceError`].
+pub fn collect_source(
+    source: &mut (impl EventSource + ?Sized),
+) -> Result<CompiledTrace, SourceError> {
+    let meta = source.meta().clone();
+    let mut lives = Vec::new();
+    while let Some(life) = source.next_record()? {
+        lives.push(life);
+    }
+    Ok(CompiledTrace::from_lives(meta, source.end(), lives))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::lifetime::{LifetimeDist, SizeDist};
+    use crate::synth::ClassSpec;
+
+    fn compiled() -> CompiledTrace {
+        let mut b = TraceBuilder::new("src-test");
+        let a = b.alloc(10);
+        b.alloc(20);
+        b.free(a);
+        b.alloc(5);
+        b.finish().compile().unwrap()
+    }
+
+    #[test]
+    fn compiled_source_replays_every_record_in_order() {
+        let c = compiled();
+        let mut src = CompiledSource::new(&c);
+        assert_eq!(src.len_hint(), Some(3));
+        assert_eq!(src.meta(), &c.meta);
+        assert_eq!(src.end(), c.end);
+        let mut seen = Vec::new();
+        while let Some(l) = src.next_record().unwrap() {
+            seen.push(l);
+        }
+        assert_eq!(seen, c.lives().collect::<Vec<_>>());
+        // Exhausted source stays exhausted.
+        assert_eq!(src.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn collect_source_round_trips_a_compiled_trace() {
+        let c = compiled();
+        let back = collect_source(&mut CompiledSource::new(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    fn synth_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "synth-src".into(),
+            description: "streaming generator".into(),
+            exec_seconds: 1.0,
+            total_alloc: 300_000,
+            initial_permanent: 20_000,
+            initial_object_size: 512,
+            classes: vec![
+                ClassSpec::new(
+                    "short",
+                    0.8,
+                    SizeDist::Uniform { min: 16, max: 128 },
+                    LifetimeDist::Exponential { mean: 4_000.0 },
+                ),
+                ClassSpec::new(
+                    "immortal",
+                    0.2,
+                    SizeDist::Fixed(256),
+                    LifetimeDist::Immortal,
+                ),
+            ],
+            phase_period: None,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn synth_source_is_deterministic_and_well_formed() {
+        let a = collect_source(&mut SynthSource::new(synth_spec()).unwrap()).unwrap();
+        let b = collect_source(&mut SynthSource::new(synth_spec()).unwrap()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.len() > 1_000);
+        a.validate().expect("stream satisfies compiled invariants");
+        assert!(a.births_strictly_increasing());
+    }
+
+    #[test]
+    fn synth_source_end_matches_total_allocation() {
+        let mut src = SynthSource::new(synth_spec()).unwrap();
+        let c = collect_source(&mut src).unwrap();
+        // End clock = total bytes allocated, within one object of target.
+        assert_eq!(c.end, src.end());
+        let end = c.end.as_u64();
+        assert!((300_000..300_000 + 4_096).contains(&end), "end {end}");
+    }
+
+    #[test]
+    fn synth_source_startup_objects_are_permanent() {
+        let c = collect_source(&mut SynthSource::new(synth_spec()).unwrap()).unwrap();
+        for l in c.lives().take_while(|l| l.birth.as_u64() <= 20_000) {
+            assert_eq!(l.death, None, "startup object {:?} died", l.id);
+        }
+    }
+
+    #[test]
+    fn synth_source_phase_local_deaths_land_on_phase_boundaries() {
+        let spec = WorkloadSpec {
+            name: "phases".into(),
+            description: String::new(),
+            exec_seconds: 1.0,
+            total_alloc: 100_000,
+            initial_permanent: 0,
+            initial_object_size: 1,
+            classes: vec![ClassSpec::new(
+                "pass",
+                1.0,
+                SizeDist::Fixed(100),
+                LifetimeDist::PhaseLocal,
+            )],
+            phase_period: Some(10_000),
+            seed: 3,
+        };
+        let c = collect_source(&mut SynthSource::new(spec).unwrap()).unwrap();
+        for l in c.lives() {
+            let d = l.death.expect("phase-local objects always die").as_u64();
+            assert_eq!(d % 10_000, 0, "death {d} not on a phase boundary");
+            assert!(d > l.birth.as_u64());
+        }
+    }
+
+    #[test]
+    fn synth_source_rejects_invalid_specs() {
+        let mut spec = synth_spec();
+        spec.total_alloc = 0;
+        assert!(SynthSource::new(spec).is_err());
+    }
+}

@@ -2,9 +2,12 @@
 //! `No GC` rows of Table 2.
 
 use crate::event::{CompiledTrace, Trace};
+use crate::source::{EventSource, SourceError};
 use dtb_core::stats::WeightedStats;
 use dtb_core::time::Bytes;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Summary statistics of one workload trace.
 ///
@@ -116,6 +119,122 @@ impl TraceStats {
             collections_at_1mb: total.as_u64() / 1_000_000,
         }
     }
+
+    /// Computes statistics from a streaming [`EventSource`] in O(live set)
+    /// memory.
+    ///
+    /// Bit-identical to [`TraceStats::compute_compiled`] on the same
+    /// records: the in-memory version sorts all birth/death deltas and
+    /// folds them in `(clock, +before −, smaller deaths first)` order, and
+    /// this version reproduces exactly that fold order with a pending-death
+    /// min-heap merged against the birth stream — so the floating-point
+    /// accumulation, which is order-sensitive, agrees to the last bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`SourceError`].
+    pub fn compute_source(
+        source: &mut (impl EventSource + ?Sized),
+    ) -> Result<TraceStats, SourceError> {
+        let meta = source.meta().clone();
+        let mut sweep = LiveSweep {
+            live: WeightedStats::new(),
+            nogc: WeightedStats::new(),
+            level: 0,
+            prev_t: 0,
+        };
+        // Pending deaths: min-heap of (death clock, size). Its size is the
+        // number of currently live-or-dying objects — the live set — not
+        // the trace length.
+        let mut pending: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut object_count: usize = 0;
+        while let Some(l) = source.next_record()? {
+            let birth = l.birth.as_u64();
+            // Deltas strictly before this birth…
+            while let Some(&Reverse((death, size))) = pending.peek() {
+                if death >= birth {
+                    break;
+                }
+                pending.pop();
+                sweep.apply(death, -(size as i64));
+            }
+            // …then the birth itself (births sort before equal-clock
+            // deaths)…
+            sweep.apply(birth, l.size as i64);
+            if let Some(d) = l.death {
+                pending.push(Reverse((d.as_u64(), l.size)));
+            }
+            // …then deaths at exactly this clock, smallest first.
+            while let Some(&Reverse((death, size))) = pending.peek() {
+                if death > birth {
+                    break;
+                }
+                pending.pop();
+                sweep.apply(death, -(size as i64));
+            }
+            object_count += 1;
+        }
+        while let Some(Reverse((death, size))) = pending.pop() {
+            sweep.apply(death, -(size as i64));
+        }
+        let total = Bytes::new(source.end().as_u64());
+        sweep.finish(total.as_u64());
+
+        Ok(TraceStats {
+            name: meta.name,
+            total_allocated: total,
+            object_count,
+            mean_object_size: if object_count == 0 {
+                0.0
+            } else {
+                total.as_u64() as f64 / object_count as f64
+            },
+            live_mean: Bytes::new(sweep.live.mean().unwrap_or(0.0) as u64),
+            live_max: Bytes::new(sweep.live.max().unwrap_or(0.0) as u64),
+            nogc_mean: Bytes::new(sweep.nogc.mean().unwrap_or(0.0) as u64),
+            nogc_max: total,
+            exec_seconds: meta.exec_seconds,
+            alloc_rate: if meta.exec_seconds > 0.0 {
+                total.as_u64() as f64 / meta.exec_seconds
+            } else {
+                0.0
+            },
+            collections_at_1mb: total.as_u64() / 1_000_000,
+        })
+    }
+}
+
+/// The live/no-GC level sweep shared by the streaming path; folds deltas
+/// exactly like the loop in [`TraceStats::compute_compiled`].
+struct LiveSweep {
+    live: WeightedStats,
+    nogc: WeightedStats,
+    level: i64,
+    prev_t: u64,
+}
+
+impl LiveSweep {
+    fn apply(&mut self, t: u64, delta: i64) {
+        if t > self.prev_t {
+            self.live
+                .record(self.level as f64, (t - self.prev_t) as f64);
+            self.nogc
+                .record((self.prev_t + t) as f64 / 2.0, (t - self.prev_t) as f64);
+            self.prev_t = t;
+        }
+        self.level += delta;
+        debug_assert!(self.level >= 0, "live bytes went negative");
+        self.live.record(self.level as f64, 0.0); // spikes count toward the max
+    }
+
+    fn finish(&mut self, end: u64) {
+        if end > self.prev_t {
+            self.live
+                .record(self.level as f64, (end - self.prev_t) as f64);
+            self.nogc
+                .record((self.prev_t + end) as f64 / 2.0, (end - self.prev_t) as f64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +285,63 @@ mod tests {
         }
         let s = TraceStats::compute(&b.finish());
         assert_eq!(s.collections_at_1mb, 2);
+    }
+
+    #[test]
+    fn streaming_stats_bit_identical_to_in_memory() {
+        use crate::lifetime::{LifetimeDist, SizeDist};
+        use crate::source::CompiledSource;
+        use crate::synth::{ClassSpec, WorkloadSpec};
+        // A mixture with churn, immortals, and zero-lifetime spikes — the
+        // shapes that stress delta ordering and f64 accumulation.
+        let mut b = TraceBuilder::new("mix");
+        let a = b.alloc(100);
+        b.free(a); // zero-lifetime spike at its own birth clock
+        b.alloc(50);
+        let c2 = b.alloc(300);
+        let c3 = b.alloc(16);
+        b.free(c3);
+        b.free(c2); // two deaths at the same clock, different sizes
+        b.alloc(7);
+        let small = b.finish().compile().unwrap();
+
+        let generated = WorkloadSpec {
+            name: "gen".into(),
+            description: String::new(),
+            exec_seconds: 2.0,
+            total_alloc: 400_000,
+            initial_permanent: 30_000,
+            initial_object_size: 700,
+            classes: vec![
+                ClassSpec::new(
+                    "short",
+                    0.85,
+                    SizeDist::Uniform { min: 16, max: 256 },
+                    LifetimeDist::Exponential { mean: 3_000.0 },
+                ),
+                ClassSpec::new("imm", 0.15, SizeDist::Fixed(128), LifetimeDist::Immortal),
+            ],
+            phase_period: None,
+            seed: 5,
+        }
+        .generate()
+        .unwrap()
+        .compile()
+        .unwrap();
+
+        for trace in [&small, &generated] {
+            let resident = TraceStats::compute_compiled(trace);
+            let streamed = TraceStats::compute_source(&mut CompiledSource::new(trace)).unwrap();
+            assert_eq!(streamed, resident);
+        }
+    }
+
+    #[test]
+    fn streaming_stats_on_empty_source() {
+        use crate::source::CompiledSource;
+        let t = TraceBuilder::new("e").finish().compile().unwrap();
+        let s = TraceStats::compute_source(&mut CompiledSource::new(&t)).unwrap();
+        assert_eq!(s, TraceStats::compute_compiled(&t));
     }
 
     #[test]

@@ -119,3 +119,77 @@ fn good_path_still_works_end_to_end() {
     let stdout = String::from_utf8_lossy(&info.stdout).into_owned();
     assert!(stdout.contains("total allocated"), "stdout: {stdout}");
 }
+
+#[test]
+fn compile_and_shard_produce_replayable_stores() {
+    use dtb_trace::{collect_source, ShardReader};
+
+    let src = temp_path("convert-me.dtbtrc");
+    let gen = tracegen(&["gen", "cfrac", src.to_str().unwrap()]);
+    assert!(gen.status.success(), "stderr: {}", stderr(&gen));
+
+    let one_shard = temp_path("store-compile");
+    let out = tracegen(&[
+        "compile",
+        src.to_str().unwrap(),
+        one_shard.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("1 shard"), "stdout: {stdout}");
+
+    let sharded = temp_path("store-shard");
+    let out = tracegen(&[
+        "shard",
+        src.to_str().unwrap(),
+        sharded.to_str().unwrap(),
+        "10000",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Both stores replay to the same records as the source event file.
+    let expected = dtb_trace::io::read_trace(&src).unwrap().compile().unwrap();
+    for dir in [&one_shard, &sharded] {
+        let mut reader = ShardReader::open(dir).expect("open store");
+        assert_eq!(collect_source(&mut reader).expect("replay"), expected);
+    }
+}
+
+#[test]
+fn shard_with_bad_stride_fails_cleanly() {
+    let out = tracegen(&["shard", "/tmp/in.dtbtrc", "/tmp/out-dir", "banana"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("records-per-shard"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let out = tracegen(&["shard", "/tmp/in.dtbtrc", "/tmp/out-dir", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("at least 1"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn compile_with_missing_source_fails_cleanly() {
+    let out = tracegen(&["compile", "/nonexistent/not/here.dtbtrc", "/tmp/out-dir"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("cannot convert"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn compile_with_wrong_arity_prints_usage() {
+    let out = tracegen(&["compile", "only-one-arg"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"));
+    let out = tracegen(&["shard", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"));
+}
