@@ -1,7 +1,7 @@
 //! Checks the paper's Section 6.1 / 6.2 qualitative claims against the
 //! regenerated evaluation matrix and prints PASS/FAIL for each.
 
-use dtb_bench::{exit_reporting_failures, full_matrix};
+use dtb_bench::{exit_reporting_failures, full_matrix_cli};
 use dtb_core::policy::PolicyKind;
 use dtb_sim::exec::Matrix;
 use dtb_sim::metrics::SimReport;
@@ -20,7 +20,7 @@ fn check(name: &str, ok: bool, detail: String) {
 }
 
 fn main() -> ExitCode {
-    let matrix = full_matrix();
+    let matrix = full_matrix_cli();
     let mem_budget_kb = 3000.0;
     println!("Section 6.1/6.2 claims, re-checked on the synthetic traces\n");
 

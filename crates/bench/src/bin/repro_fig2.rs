@@ -7,7 +7,7 @@
 //! writes one CSV per collector (`time,mem,live,boundary`) under
 //! `target/repro/` and prints a coarse summary.
 
-use dtb_bench::exit_reporting_failures;
+use dtb_bench::{exit_reporting_failures, RunOpts};
 use dtb_core::policy::PolicyKind;
 use dtb_sim::engine::SimConfig;
 use dtb_sim::exec::Evaluation;
@@ -32,12 +32,18 @@ fn run() -> std::io::Result<ExitCode> {
 
     println!("Figure 2: Garbage Collector Memory Use — GHOST(1)");
     println!("curves written to target/repro/fig2_<collector>.csv\n");
-    let matrix = Evaluation::new()
+    let eval = Evaluation::new()
         .programs([Program::Ghost1])
         .policies([PolicyKind::Full, PolicyKind::DtbMem, PolicyKind::DtbFm])
         .baselines(false)
-        .sim_config(SimConfig::paper().with_curve())
-        .run();
+        .sim_config(SimConfig::paper().with_curve());
+    let matrix = match RunOpts::from_args().apply(eval).try_run() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("run journal error: {e}");
+            std::process::exit(2);
+        }
+    };
     let column = matrix.column(Program::Ghost1).expect("requested column");
 
     for cell in &column.cells {

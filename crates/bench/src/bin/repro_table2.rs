@@ -2,7 +2,7 @@
 //! each collector over each workload. Published values in brackets.
 
 use dtb_bench::table::{vs_paper, TextTable};
-use dtb_bench::{collector_rows, exit_reporting_failures, full_matrix, paper};
+use dtb_bench::{collector_rows, exit_reporting_failures, full_matrix_cli, paper};
 use dtb_core::policy::Row;
 use dtb_trace::programs::Program;
 use std::process::ExitCode;
@@ -10,7 +10,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     println!("Table 2: Mean and Maximum Memory Allocated (Kilobytes)");
     println!("measured [paper]\n");
-    let matrix = full_matrix();
+    let matrix = full_matrix_cli();
 
     for metric in ["Mean", "Max"] {
         let mut t = TextTable::new(

@@ -2,7 +2,7 @@
 //! (milliseconds). Published values in brackets.
 
 use dtb_bench::table::{vs_paper, TextTable};
-use dtb_bench::{exit_reporting_failures, full_matrix, paper};
+use dtb_bench::{exit_reporting_failures, full_matrix_cli, paper};
 use dtb_core::policy::PolicyKind;
 use dtb_trace::programs::Program;
 use std::process::ExitCode;
@@ -10,7 +10,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     println!("Table 3: Median and 90th Percentile Pause Times (Milliseconds)");
     println!("measured [paper]\n");
-    let matrix = full_matrix();
+    let matrix = full_matrix_cli();
 
     for metric in ["Median (50th)", "90th percentile"] {
         let mut t = TextTable::new(

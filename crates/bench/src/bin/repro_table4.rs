@@ -2,7 +2,7 @@
 //! (percent). Published values in brackets.
 
 use dtb_bench::table::{vs_paper, TextTable};
-use dtb_bench::{exit_reporting_failures, full_matrix, paper};
+use dtb_bench::{exit_reporting_failures, full_matrix_cli, paper};
 use dtb_core::policy::PolicyKind;
 use dtb_trace::programs::Program;
 use std::process::ExitCode;
@@ -10,7 +10,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     println!("Table 4: Total Bytes Traced (Kilobytes) and Estimated CPU Overhead (%)");
     println!("measured [paper]\n");
-    let matrix = full_matrix();
+    let matrix = full_matrix_cli();
 
     for metric in ["Traced (KB)", "Overhead (%)"] {
         let mut t = TextTable::new(

@@ -15,7 +15,10 @@
 //! All the `repro_*` binaries regenerate the matrix through
 //! [`Evaluation`]: preset traces compile exactly once per process and the
 //! (program × policy) cells fan out over a worker pool, with per-cell
-//! progress on stderr.
+//! progress on stderr. The matrix-driven binaries take
+//! `--journal <dir>` / `--resume <dir>` ([`RunOpts`]) to survive
+//! interruption: a journaled run that dies — even to `SIGKILL` — resumes
+//! losing at most the cells in flight.
 
 pub mod paper;
 pub mod table;
@@ -39,6 +42,68 @@ pub fn peak_rss_bytes() -> Option<u64> {
 use dtb_core::policy::{PolicyConfig, Row};
 use dtb_sim::engine::SimConfig;
 use dtb_sim::exec::{Evaluation, Matrix};
+use std::path::PathBuf;
+
+/// Crash-safety options shared by the `repro_*` binaries, parsed from
+/// the command line:
+///
+/// * `--journal <dir>` — write a durable run journal while evaluating,
+///   so a later `--resume <dir>` can pick up where a crash stopped;
+/// * `--resume <dir>` — resume from that journal: cells it records as
+///   completed are reused verbatim, only the missing ones are computed
+///   (and journaled in turn).
+///
+/// Unknown flags are rejected with a usage message on stderr and exit
+/// code 2, so each binary stays a one-liner.
+#[derive(Clone, Debug, Default)]
+pub struct RunOpts {
+    /// Journal directory, if any.
+    pub journal: Option<PathBuf>,
+    /// Whether to resume from (rather than overwrite) the journal.
+    pub resume: bool,
+}
+
+impl RunOpts {
+    /// Parses the process arguments; exits with a usage message on
+    /// unknown flags.
+    pub fn from_args() -> RunOpts {
+        let mut opts = RunOpts::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let dir = |it: &mut dyn Iterator<Item = String>| {
+                it.next().map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("{flag} needs a directory");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--journal" => {
+                    opts.journal = Some(dir(&mut it));
+                    opts.resume = false;
+                }
+                "--resume" => {
+                    opts.journal = Some(dir(&mut it));
+                    opts.resume = true;
+                }
+                other => {
+                    eprintln!("unknown flag: {other}");
+                    eprintln!("usage: [--journal <dir> | --resume <dir>]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// Applies these options to an evaluation builder.
+    pub fn apply(&self, eval: Evaluation) -> Evaluation {
+        match &self.journal {
+            Some(dir) if self.resume => eval.resume(dir),
+            Some(dir) => eval.journal(dir),
+            None => eval,
+        }
+    }
+}
 
 /// Runs the full evaluation matrix with the paper's parameters: every
 /// collector (plus baselines) over every workload.
@@ -49,9 +114,27 @@ pub fn full_matrix() -> Matrix {
     matrix_for(&PolicyConfig::paper(), &SimConfig::paper())
 }
 
+/// [`full_matrix`] honouring the `--journal`/`--resume` command-line
+/// options — the entry point of the table-regenerating binaries.
+pub fn full_matrix_cli() -> Matrix {
+    matrix_for_opts(
+        &PolicyConfig::paper(),
+        &SimConfig::paper(),
+        &RunOpts::from_args(),
+    )
+}
+
 /// Runs the evaluation matrix with explicit parameters.
 pub fn matrix_for(cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
-    Evaluation::new()
+    matrix_for_opts(cfg, sim, &RunOpts::default())
+}
+
+/// Runs the evaluation matrix with explicit parameters and crash-safety
+/// options. A journal that cannot be written or refuses to resume
+/// (version/shape mismatch, corruption) is a hard error: the message
+/// goes to stderr and the process exits with code 2.
+pub fn matrix_for_opts(cfg: &PolicyConfig, sim: &SimConfig, opts: &RunOpts) -> Matrix {
+    let eval = Evaluation::new()
         .policy_config(*cfg)
         .sim_config(*sim)
         .on_cell(|ev| {
@@ -59,8 +142,14 @@ pub fn matrix_for(cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
                 "[{:>2}/{}] {} × {} in {:.1?}",
                 ev.completed, ev.total, ev.program, ev.row, ev.elapsed
             );
-        })
-        .run()
+        });
+    match opts.apply(eval).try_run() {
+        Ok(matrix) => matrix,
+        Err(e) => {
+            eprintln!("run journal error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The rows of Tables 2–4, in order: six collectors, then the baselines

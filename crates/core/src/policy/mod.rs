@@ -176,6 +176,42 @@ pub trait TbPolicy {
     fn constraint(&self) -> Option<crate::constraint::Constraint> {
         None
     }
+
+    /// Serializes any internal state the policy carries *beyond* the
+    /// scavenge history, for checkpointing.
+    ///
+    /// The paper's six collectors are pure functions of the
+    /// [`ScavengeContext`] and need nothing here, so the default returns
+    /// an empty buffer. A stateful policy must override both this and
+    /// [`restore_state`](TbPolicy::restore_state) so that a simulation
+    /// resumed from a checkpoint replays identically to one that never
+    /// stopped.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state previously produced by
+    /// [`save_state`](TbPolicy::save_state).
+    ///
+    /// # Errors
+    ///
+    /// The default implementation accepts only the empty buffer; handing
+    /// saved state to a policy that never saves any is a configuration
+    /// mismatch and fails with [`PolicyError::Internal`] rather than
+    /// silently resuming with different behaviour.
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PolicyError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(PolicyError::Internal {
+                policy: self.name().to_string(),
+                reason: format!(
+                    "cannot restore {} bytes of saved state into a stateless policy",
+                    state.len()
+                ),
+            })
+        }
+    }
 }
 
 impl<P: TbPolicy + ?Sized> TbPolicy for Box<P> {
@@ -187,6 +223,12 @@ impl<P: TbPolicy + ?Sized> TbPolicy for Box<P> {
     }
     fn constraint(&self) -> Option<crate::constraint::Constraint> {
         (**self).constraint()
+    }
+    fn save_state(&self) -> Vec<u8> {
+        (**self).save_state()
+    }
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PolicyError> {
+        (**self).restore_state(state)
     }
 }
 
@@ -316,6 +358,88 @@ mod tests {
         assert_eq!(boxed.name(), "FULL");
         assert_eq!(boxed.select_boundary(&c), Ok(VirtualTime::ZERO));
         assert!(boxed.constraint().is_none());
+    }
+
+    /// A deliberately stateful policy: alternates between full and
+    /// no-op collections, so its behaviour depends on a bit of carried
+    /// state that checkpointing must preserve.
+    struct Alternator {
+        odd: bool,
+    }
+
+    impl TbPolicy for Alternator {
+        fn name(&self) -> &str {
+            "ALT"
+        }
+        fn select_boundary(
+            &mut self,
+            ctx: &ScavengeContext<'_>,
+        ) -> Result<VirtualTime, PolicyError> {
+            self.odd = !self.odd;
+            Ok(if self.odd { VirtualTime::ZERO } else { ctx.now })
+        }
+        fn save_state(&self) -> Vec<u8> {
+            vec![u8::from(self.odd)]
+        }
+        fn restore_state(&mut self, state: &[u8]) -> Result<(), PolicyError> {
+            match state {
+                [bit @ (0 | 1)] => {
+                    self.odd = *bit == 1;
+                    Ok(())
+                }
+                _ => Err(PolicyError::Internal {
+                    policy: self.name().to_string(),
+                    reason: "unrecognized saved state".into(),
+                }),
+            }
+        }
+    }
+
+    #[test]
+    fn stateless_policies_save_empty_state_and_accept_it_back() {
+        let mut p = Full::new();
+        assert!(p.save_state().is_empty());
+        assert_eq!(p.restore_state(&[]), Ok(()));
+    }
+
+    #[test]
+    fn stateless_policies_reject_foreign_state() {
+        let mut p = Full::new();
+        let err = p.restore_state(&[1, 2, 3]).unwrap_err();
+        assert_eq!(err.policy(), "FULL");
+        assert!(err.to_string().contains("stateless"));
+    }
+
+    #[test]
+    fn stateful_policy_round_trips_through_save_restore() {
+        let h = ScavengeHistory::new();
+        let est = NoSurvivalInfo;
+        let mut original = Alternator { odd: false };
+        // Advance the original an odd number of steps so the carried bit
+        // is set, then clone it via the save/restore seam.
+        for now in [100u64, 200, 300] {
+            let c = ctx(now, 50, &h, &est);
+            original.select_boundary(&c).unwrap();
+        }
+        let mut resumed = Alternator { odd: false };
+        resumed.restore_state(&original.save_state()).unwrap();
+        for now in [400u64, 500, 600, 700] {
+            let c = ctx(now, 50, &h, &est);
+            assert_eq!(
+                original.select_boundary(&c),
+                resumed.select_boundary(&c),
+                "resumed policy diverged at t={now}"
+            );
+        }
+    }
+
+    #[test]
+    fn boxed_policy_delegates_state_seam() {
+        let mut boxed: Box<dyn TbPolicy> = Box::new(Alternator { odd: true });
+        assert_eq!(boxed.save_state(), vec![1]);
+        boxed.restore_state(&[0]).unwrap();
+        assert_eq!(boxed.save_state(), vec![0]);
+        assert!(boxed.restore_state(&[7]).is_err());
     }
 
     #[test]

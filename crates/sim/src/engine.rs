@@ -9,18 +9,21 @@
 //! policies, exhausted watchdog budgets, and broken accounting identities
 //! all surface as typed [`SimError`]s.
 
+use crate::ckp::{save_checkpoint, CkpError, SimCheckpoint};
 use crate::curve::{CurvePoint, MemoryCurve};
 use crate::error::{BudgetKind, InvariantViolation, SimError};
-use crate::heap::{OracleHeap, SimHeap, SimObject};
+use crate::heap::{CheckpointHeap, OracleHeap, SimHeap, SimObject};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::trigger::Trigger;
 use dtb_core::cost::CostModel;
 use dtb_core::history::ScavengeRecord;
 use dtb_core::policy::{ScavengeContext, TbPolicy};
 use dtb_core::time::{Bytes, VirtualTime};
-use dtb_trace::event::CompiledTrace;
+use dtb_trace::event::{CompiledTrace, TraceMeta};
 use dtb_trace::{CompiledSource, EventSource};
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Heap index preallocation cap for streaming sources: an unbounded
 /// source must not translate its length hint into an unbounded upfront
@@ -138,6 +141,112 @@ pub struct SimRun {
     pub curve: MemoryCurve,
 }
 
+/// How often a checkpointing run writes by default: every 10k events is
+/// a few checkpoints per second on the paper workloads, cheap next to
+/// the simulation itself.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 10_000;
+
+/// Out-of-band controls for one engine run: cooperative cancellation,
+/// periodic checkpointing, and resuming from a prior checkpoint.
+///
+/// [`RunControl::default`] is a plain uninterruptible run — the classic
+/// entry points ([`simulate`], [`simulate_source`], …) all use it, and
+/// with it the engine's hot loop does no extra work beyond one relaxed
+/// atomic load per event.
+#[derive(Clone, Debug, Default)]
+pub struct RunControl<'a> {
+    /// When set, the engine polls this flag between events and returns
+    /// [`SimError::Cancelled`] once it reads `true`. The executor's
+    /// deadline watchdog flips it from another thread.
+    pub cancel: Option<&'a AtomicBool>,
+    /// When set, the engine atomically rewrites this file with a
+    /// [`SimCheckpoint`] every [`RunControl::checkpoint_every`] events.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint cadence in events; `0` disables periodic checkpoints
+    /// even when a path is set.
+    pub checkpoint_every: u64,
+    /// When set, the engine restores this state (and seeks the source
+    /// past it) instead of starting from scratch.
+    pub resume_from: Option<SimCheckpoint>,
+}
+
+impl<'a> RunControl<'a> {
+    /// A plain run: no cancellation, no checkpoints, no resume.
+    pub fn new() -> RunControl<'a> {
+        RunControl::default()
+    }
+
+    /// Polls `flag` between events, cancelling the run once it is set.
+    pub fn with_cancel(mut self, flag: &'a AtomicBool) -> RunControl<'a> {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Writes a checkpoint to `path` every `every` events.
+    pub fn with_checkpoints(mut self, path: impl Into<PathBuf>, every: u64) -> RunControl<'a> {
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resumes from a previously loaded checkpoint.
+    pub fn resuming(mut self, ckp: SimCheckpoint) -> RunControl<'a> {
+        self.resume_from = Some(ckp);
+        self
+    }
+}
+
+/// Refuses to resume a checkpoint that belongs to a different run.
+///
+/// The *physics* must match — trace, policy, trigger, cost model, curve
+/// recording — because they shape every number the resumed half
+/// produces. The budget and invariant-checking knobs are deliberately
+/// not compared: interrupting a budgeted run and resuming it with a
+/// different (or no) budget is a supported workflow and cannot change
+/// any simulated value.
+fn check_resume_compat(
+    ckp: &SimCheckpoint,
+    config: &SimConfig,
+    meta: &TraceMeta,
+    policy: &str,
+) -> Result<(), CkpError> {
+    let mismatch = |what: &'static str, expected: String, found: String| {
+        Err(CkpError::Mismatch {
+            what,
+            expected,
+            found,
+        })
+    };
+    if ckp.trace != meta.name {
+        return mismatch("trace", meta.name.clone(), ckp.trace.clone());
+    }
+    if ckp.policy != policy {
+        return mismatch("policy", policy.to_string(), ckp.policy.clone());
+    }
+    if ckp.config.trigger != config.trigger {
+        return mismatch(
+            "trigger",
+            format!("{:?}", config.trigger),
+            format!("{:?}", ckp.config.trigger),
+        );
+    }
+    if ckp.config.cost != config.cost {
+        return mismatch(
+            "cost model",
+            format!("{:?}", config.cost),
+            format!("{:?}", ckp.config.cost),
+        );
+    }
+    if ckp.config.record_curve != config.record_curve {
+        return mismatch(
+            "curve recording",
+            config.record_curve.to_string(),
+            ckp.config.record_curve.to_string(),
+        );
+    }
+    Ok(())
+}
+
 /// Simulates `policy` over `trace`.
 ///
 /// Mirrors the paper's methodology: allocation events drive the clock; a
@@ -187,8 +296,10 @@ pub fn simulate(
 /// [`simulate`] is this function fixed to the incremental [`OracleHeap`];
 /// the differential suite instantiates it with the scan-based
 /// [`crate::heap::naive::NaiveHeap`] and asserts both produce identical
-/// runs. See [`simulate`] for semantics and errors.
-pub fn simulate_with_heap<H: SimHeap>(
+/// runs. See [`simulate`] for semantics and errors. Heaps must be
+/// [`CheckpointHeap`]s so every entry point, including this one, can run
+/// under a checkpointing [`RunControl`].
+pub fn simulate_with_heap<H: CheckpointHeap>(
     trace: &CompiledTrace,
     policy: &mut dyn TbPolicy,
     config: &SimConfig,
@@ -220,10 +331,46 @@ pub fn simulate_source(
 
 /// Simulates `policy` over a streaming [`EventSource`] with an explicit
 /// heap implementation. See [`simulate_source`].
-pub fn simulate_source_with_heap<H: SimHeap, S: EventSource + ?Sized>(
+pub fn simulate_source_with_heap<H: CheckpointHeap, S: EventSource + ?Sized>(
     source: &mut S,
     policy: &mut dyn TbPolicy,
     config: &SimConfig,
+) -> Result<SimRun, SimError> {
+    simulate_source_resumable_with_heap::<H, S>(source, policy, config, RunControl::new())
+}
+
+/// Simulates `policy` over a streaming [`EventSource`] under a
+/// [`RunControl`]: the run can be cancelled between events, checkpoints
+/// itself periodically, and can resume from a prior checkpoint.
+///
+/// Resuming is **bit-identical**: a run interrupted at any point and
+/// resumed from its last checkpoint produces exactly the [`SimRun`] —
+/// report, history, and curve — of a run that never stopped, for every
+/// policy and for in-memory, synthetic, and sharded sources alike (the
+/// checkpoint replays the engine's complete state, and the source seeks
+/// to the recorded clock).
+///
+/// # Errors
+///
+/// Everything [`simulate_source`] reports, plus [`SimError::Cancelled`]
+/// when the cancel flag is observed, and [`SimError::Checkpoint`] when a
+/// checkpoint cannot be written or the resume state belongs to a
+/// different run (wrong trace, policy, or physics).
+pub fn simulate_source_resumable(
+    source: &mut (impl EventSource + ?Sized),
+    policy: &mut dyn TbPolicy,
+    config: &SimConfig,
+    control: RunControl<'_>,
+) -> Result<SimRun, SimError> {
+    simulate_source_resumable_with_heap::<OracleHeap, _>(source, policy, config, control)
+}
+
+/// [`simulate_source_resumable`] with an explicit heap implementation.
+pub fn simulate_source_resumable_with_heap<H: CheckpointHeap, S: EventSource + ?Sized>(
+    source: &mut S,
+    policy: &mut dyn TbPolicy,
+    config: &SimConfig,
+    control: RunControl<'_>,
 ) -> Result<SimRun, SimError> {
     if let Err(e) = config.trigger.validate() {
         return Err(SimError::Invariant {
@@ -231,23 +378,72 @@ pub fn simulate_source_with_heap<H: SimHeap, S: EventSource + ?Sized>(
             violation: InvariantViolation::InvalidTrigger { factor: e.factor },
         });
     }
-    // A known-length source sizes the heap index exactly; an unbounded one
-    // starts from a capped guess and grows (the dead-prefix compaction in
-    // `OracleHeap` keeps the index proportional to the resident set).
-    let mut heap = H::with_capacity(source.len_hint().unwrap_or(0).min(MAX_PREALLOC_SLOTS));
-    let mut metrics = MetricsCollector::new(config.cost);
-    let mut curve = MemoryCurve::new();
-    let mut since_gc = Bytes::ZERO;
-    let mut clock = VirtualTime::ZERO;
     // Curve sampling between scavenges, if requested: every trigger/8.
     let sample_every = Bytes::new((config.trigger.allocation_scale().as_u64() / 8).max(1));
-    let mut since_sample = Bytes::ZERO;
-    let mut ledger = Ledger::default();
     // Hoisted out of the hot loop: an unlimited budget becomes a cap the
     // u64 event counter can never reach.
     let max_events = config.budget.max_events.unwrap_or(u64::MAX);
 
+    let mut heap;
+    let mut metrics;
+    let mut curve;
+    let mut since_gc;
+    let mut since_sample;
+    let mut clock;
+    let mut ledger;
+    match control.resume_from {
+        Some(ckp) => {
+            check_resume_compat(&ckp, config, source.meta(), policy.name()).map_err(|source| {
+                SimError::Checkpoint {
+                    at: ckp.clock,
+                    source,
+                }
+            })?;
+            policy
+                .restore_state(&ckp.policy_state)
+                .map_err(|source| SimError::Policy {
+                    at: ckp.clock,
+                    collection: ckp.metrics.history.len(),
+                    source,
+                })?;
+            source.seek(ckp.clock).map_err(|source| SimError::Source {
+                at: ckp.clock,
+                source,
+            })?;
+            heap = H::restore(&ckp.heap);
+            metrics = MetricsCollector::restore(config.cost, ckp.metrics);
+            curve = ckp.curve;
+            since_gc = ckp.since_gc;
+            since_sample = ckp.since_sample;
+            clock = ckp.clock;
+            ledger = Ledger {
+                events: ckp.events,
+                allocated: ckp.allocated,
+                reclaimed: ckp.reclaimed,
+                prev_birth: ckp.prev_birth,
+            };
+        }
+        None => {
+            // A known-length source sizes the heap index exactly; an
+            // unbounded one starts from a capped guess and grows (the
+            // dead-prefix compaction in `OracleHeap` keeps the index
+            // proportional to the resident set).
+            heap = H::with_capacity(source.len_hint().unwrap_or(0).min(MAX_PREALLOC_SLOTS));
+            metrics = MetricsCollector::new(config.cost);
+            curve = MemoryCurve::new();
+            since_gc = Bytes::ZERO;
+            since_sample = Bytes::ZERO;
+            clock = VirtualTime::ZERO;
+            ledger = Ledger::default();
+        }
+    }
+
     loop {
+        if let Some(flag) = control.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(SimError::Cancelled { at: clock });
+            }
+        }
         let life = match source.next_record() {
             Ok(Some(life)) => life,
             Ok(None) => break,
@@ -326,6 +522,33 @@ pub fn simulate_source_with_heap<H: SimHeap, S: EventSource + ?Sized>(
                 clock,
                 &mut ledger,
             )?;
+        }
+
+        // Checkpoint after the event is fully processed (including any
+        // scavenge it triggered), so the saved state is always at an
+        // event boundary. The modulus runs on the global event count, so
+        // a resumed run keeps the original cadence.
+        if let Some(path) = &control.checkpoint_path {
+            if control.checkpoint_every > 0 && ledger.events % control.checkpoint_every == 0 {
+                let ckp = SimCheckpoint {
+                    trace: source.meta().name.clone(),
+                    policy: policy.name().to_string(),
+                    config: *config,
+                    events: ledger.events,
+                    clock,
+                    since_gc,
+                    since_sample,
+                    allocated: ledger.allocated,
+                    reclaimed: ledger.reclaimed,
+                    prev_birth: ledger.prev_birth,
+                    heap: heap.snapshot(),
+                    metrics: metrics.state(),
+                    curve: curve.clone(),
+                    policy_state: policy.save_state(),
+                };
+                save_checkpoint(path, &ckp)
+                    .map_err(|source| SimError::Checkpoint { at: clock, source })?;
+            }
         }
     }
 

@@ -177,6 +177,24 @@ pub enum SimError {
         /// The source's own account of the failure.
         source: dtb_trace::SourceError,
     },
+    /// The run was cancelled from outside through
+    /// [`RunControl::cancel`](crate::engine::RunControl) — typically the
+    /// executor's deadline watchdog. The simulation state is simply
+    /// abandoned; any checkpoint already on disk remains valid for
+    /// resuming.
+    Cancelled {
+        /// Allocation clock when the cancellation was observed.
+        at: VirtualTime,
+    },
+    /// Checkpointing failed: a mid-run checkpoint could not be written,
+    /// or a resume checkpoint belongs to a different run (wrong trace,
+    /// policy, or physics configuration).
+    Checkpoint {
+        /// Allocation clock of the checkpoint operation.
+        at: VirtualTime,
+        /// The container's or compatibility check's account of it.
+        source: dtb_trace::CkpError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -206,6 +224,12 @@ impl fmt::Display for SimError {
             SimError::Source { at, source } => {
                 write!(f, "event source failed at clock {}: {source}", at.as_u64())
             }
+            SimError::Cancelled { at } => {
+                write!(f, "run cancelled at clock {}", at.as_u64())
+            }
+            SimError::Checkpoint { at, source } => {
+                write!(f, "checkpoint failed at clock {}: {source}", at.as_u64())
+            }
         }
     }
 }
@@ -215,6 +239,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Policy { source, .. } => Some(source),
             SimError::Source { source, .. } => Some(source),
+            SimError::Checkpoint { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -43,19 +43,26 @@
 
 use crate::baseline::{live_report, live_report_source, no_gc_report, no_gc_report_source};
 use crate::curve::MemoryCurve;
-use crate::engine::{simulate, simulate_source, SimBudget, SimConfig, SimRun};
+use crate::engine::{simulate_source_resumable, RunControl, SimBudget, SimConfig, SimRun};
 use crate::error::SimError;
+use crate::journal::{
+    journal_path, read_journal, JournalCell, JournalHeader, JournalWriter, JOURNAL_VERSION,
+};
 use crate::metrics::SimReport;
 use dtb_core::policy::{PolicyConfig, PolicyKind, Row, TbPolicy};
 use dtb_core::time::VirtualTime;
+use dtb_trace::ckp::{checksum, CkpError};
+use dtb_trace::ctc::CtcError;
 use dtb_trace::event::CompiledTrace;
 use dtb_trace::programs::Program;
-use dtb_trace::EventSource;
+use dtb_trace::{CompiledSource, EventSource, SourceError};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// Shared, cheaply-cloneable access to compiled traces.
@@ -173,6 +180,106 @@ pub struct CellEvent<'a> {
 
 type CellCallback = Arc<dyn Fn(&CellEvent<'_>) + Send + Sync>;
 
+/// How the executor retries cells that fail *transiently* (a missed
+/// deadline or a shard-store I/O error — see
+/// [`FailureCause::is_transient`]).
+///
+/// Delays grow exponentially from [`base_delay`](RetryPolicy::base_delay)
+/// and are capped at [`max_delay`](RetryPolicy::max_delay), with
+/// **deterministic jitter**: the wait for a given (cell, attempt) pair is
+/// a pure FNV hash of the two, so reruns sleep the same schedule and
+/// tests stay reproducible, while different cells still desynchronize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 = never retry).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Upper bound on any one delay.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// Never retry: every failure is final on the first attempt.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_retries: 0,
+        base_delay: Duration::ZERO,
+        max_delay: Duration::ZERO,
+    };
+
+    /// `n` retries with the default backoff (25 ms base, 2 s cap).
+    pub fn retries(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: n,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+
+    /// The wait before retry number `attempt` (0-based) of the cell
+    /// salted `salt`: exponential backoff with deterministic jitter in
+    /// the upper half of the capped window.
+    pub fn delay(&self, salt: u64, attempt: u32) -> Duration {
+        let base = self.base_delay.as_nanos().min(u64::MAX as u128) as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let max = self.max_delay.as_nanos().min(u64::MAX as u128) as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(63));
+        let capped = exp.min(max).max(1);
+        let mut seed = [0u8; 12];
+        seed[..8].copy_from_slice(&salt.to_le_bytes());
+        seed[8..].copy_from_slice(&attempt.to_le_bytes());
+        let jitter = checksum(&seed);
+        let half = capped / 2;
+        Duration::from_nanos(half + jitter % (capped - half + 1))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::NONE
+    }
+}
+
+/// A one-shot wall-clock alarm: arms on construction, and if not
+/// disarmed (dropped) within `limit`, stores `true` into the shared
+/// cancel flag that the engine polls between events.
+///
+/// Dropping the watchdog hangs up the channel, which wakes the timer
+/// thread immediately — a finished cell never waits out its deadline —
+/// and joins it, so no timer thread outlives its cell.
+struct Watchdog {
+    disarm: Option<mpsc::Sender<()>>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn arm(limit: Duration, cancel: Arc<AtomicBool>) -> Watchdog {
+        let (disarm, expired) = mpsc::channel::<()>();
+        let thread = thread::spawn(move || {
+            // Timeout = the deadline passed; Disconnected = the cell
+            // finished and the watchdog was dropped.
+            if let Err(mpsc::RecvTimeoutError::Timeout) = expired.recv_timeout(limit) {
+                cancel.store(true, Ordering::Relaxed);
+            }
+        });
+        Watchdog {
+            disarm: Some(disarm),
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        drop(self.disarm.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
 /// Why one cell failed while the rest of the matrix completed.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FailureCause {
@@ -181,6 +288,33 @@ pub enum FailureCause {
     /// The cell's policy (or a custom factory) panicked; the panic was
     /// caught at the cell boundary and stringified.
     Panic(String),
+    /// The cell overran its wall-clock deadline
+    /// ([`Evaluation::cell_deadline`]) and was cancelled by the
+    /// watchdog.
+    Deadline {
+        /// The configured per-cell limit.
+        limit: Duration,
+        /// Allocation clock when the cancellation was observed.
+        at: VirtualTime,
+    },
+}
+
+impl FailureCause {
+    /// True for failures worth retrying: a missed deadline (the machine
+    /// may have been momentarily overloaded) or a shard-store I/O error
+    /// (the file may reappear — network mounts do that). Policy errors,
+    /// invariant violations, corruption, and panics are deterministic
+    /// and permanent: retrying would fail identically.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FailureCause::Deadline { .. }
+                | FailureCause::Sim(SimError::Source {
+                    source: SourceError::Shard(CtcError::Io { .. }),
+                    ..
+                })
+        )
+    }
 }
 
 impl fmt::Display for FailureCause {
@@ -188,6 +322,9 @@ impl fmt::Display for FailureCause {
         match self {
             FailureCause::Sim(e) => write!(f, "{e}"),
             FailureCause::Panic(msg) => write!(f, "panicked: {msg}"),
+            FailureCause::Deadline { limit, at } => {
+                write!(f, "deadline of {limit:?} exceeded at clock {}", at.as_u64())
+            }
         }
     }
 }
@@ -201,6 +338,14 @@ pub struct CellFailure {
     pub row: Row,
     /// What went wrong.
     pub cause: FailureCause,
+}
+
+impl CellFailure {
+    /// True when the failure is worth retrying
+    /// ([`FailureCause::is_transient`]).
+    pub fn is_transient(&self) -> bool {
+        self.cause.is_transient()
+    }
 }
 
 impl fmt::Display for CellFailure {
@@ -226,8 +371,14 @@ pub struct Cell {
     pub row: Row,
     /// The simulation outcome (completed run or isolated failure).
     pub outcome: CellOutcome,
-    /// Wall-clock time this cell took inside its worker.
+    /// Wall-clock time this cell took inside its worker (all attempts
+    /// and backoff waits included; for a cell reused from a resumed
+    /// journal, the time the *original* run recorded).
     pub elapsed: Duration,
+    /// How many attempts the cell took: 1 on first-try success, more
+    /// when transient failures were retried
+    /// ([`Evaluation::retry`]).
+    pub attempts: u32,
 }
 
 impl Cell {
@@ -274,6 +425,10 @@ pub struct Evaluation {
     sim_cfg: SimConfig,
     parallelism: usize,
     on_cell: Option<CellCallback>,
+    deadline: Option<Duration>,
+    retry: RetryPolicy,
+    journal_dir: Option<PathBuf>,
+    resume: bool,
 }
 
 impl Default for Evaluation {
@@ -295,6 +450,10 @@ impl Evaluation {
             sim_cfg: SimConfig::paper(),
             parallelism: 0,
             on_cell: None,
+            deadline: None,
+            retry: RetryPolicy::NONE,
+            journal_dir: None,
+            resume: false,
         }
     }
 
@@ -395,6 +554,53 @@ impl Evaluation {
         self
     }
 
+    /// Wall-clock deadline per cell: a cell still running after `limit`
+    /// is cancelled by a watchdog thread (the engine polls a cancel flag
+    /// between events) and reported as [`FailureCause::Deadline`] —
+    /// retried if a [`retry`](Evaluation::retry) policy allows,
+    /// quarantined as a failed cell otherwise, while every other cell
+    /// completes normally. Baseline rows (`No GC` / `LIVE`) are not
+    /// deadline-checked: they run no engine loop to poll the flag.
+    pub fn cell_deadline(mut self, limit: Duration) -> Evaluation {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// How transient cell failures are retried (default:
+    /// [`RetryPolicy::NONE`]). Only failures
+    /// [`is_transient`](FailureCause::is_transient) reports retryable
+    /// are retried; deterministic failures fail on the first attempt no
+    /// matter the policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Evaluation {
+        self.retry = policy;
+        self
+    }
+
+    /// Writes a durable journal to `dir/run.journal`: one fsync'd,
+    /// checksummed line per completed cell (see [`crate::journal`]).
+    /// Replaces any journal already in `dir`; use
+    /// [`resume`](Evaluation::resume) to continue one instead.
+    pub fn journal(mut self, dir: impl Into<PathBuf>) -> Evaluation {
+        self.journal_dir = Some(dir.into());
+        self.resume = false;
+        self
+    }
+
+    /// Resumes from the journal in `dir`: cells the journal records as
+    /// completed are reused verbatim (their [`SimRun`]s come from the
+    /// journal, bit-identical to the original computation), failed cells
+    /// are recomputed, and new outcomes append to the same journal. A
+    /// missing journal simply starts fresh, so crash-in-a-loop scripts
+    /// can pass the same directory unconditionally. The journal's header
+    /// must match this evaluation's shape and configuration; a mismatch
+    /// is a typed [`CkpError::Mismatch`] from
+    /// [`try_run`](Evaluation::try_run).
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> Evaluation {
+        self.journal_dir = Some(dir.into());
+        self.resume = true;
+        self
+    }
+
     /// Installs a progress callback invoked after every completed cell
     /// (from worker threads, in completion order). A callback that panics
     /// is contained: the panic is swallowed at the cell boundary.
@@ -411,10 +617,32 @@ impl Evaluation {
     /// worker finished first.
     ///
     /// Failures never escape their cell: a policy error, watchdog trip,
-    /// invariant violation, or panic becomes that cell's
-    /// [`CellOutcome::Failed`] and every other cell still completes. An
-    /// evaluation with no columns or no rows returns an empty matrix.
+    /// missed deadline, invariant violation, or panic becomes that
+    /// cell's [`CellOutcome::Failed`] and every other cell still
+    /// completes. An evaluation with no columns or no rows returns an
+    /// empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Only when a [`journal`](Evaluation::journal) /
+    /// [`resume`](Evaluation::resume) directory was configured and the
+    /// journal itself fails (I/O, corruption, header mismatch) — use
+    /// [`try_run`](Evaluation::try_run) to handle those as values. An
+    /// evaluation without a journal cannot panic here.
     pub fn run(self) -> Matrix {
+        self.try_run()
+            .expect("evaluation journal failed; use try_run() to handle journal errors")
+    }
+
+    /// [`run`](Evaluation::run), with journal failures as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CkpError`] when the configured journal cannot be created,
+    /// written, or (on resume) read back — including
+    /// [`CkpError::Mismatch`] when the journal on disk belongs to a
+    /// differently-shaped or differently-configured evaluation.
+    pub fn try_run(self) -> Result<Matrix, CkpError> {
         let targets: Vec<Target> = match self.targets {
             Some(t) => t,
             None => Program::ALL.iter().copied().map(Target::Preset).collect(),
@@ -431,9 +659,9 @@ impl Evaluation {
             rows.push(RowSpec::Live);
         }
         if targets.is_empty() || rows.is_empty() {
-            return Matrix {
+            return Ok(Matrix {
                 columns: Vec::new(),
-            };
+            });
         }
 
         // Resolve every column's trace up front (cheap: presets are memoized
@@ -455,28 +683,104 @@ impl Evaluation {
                 _ => trace.as_ref().expect("resolved above").meta.name.clone(),
             })
             .collect();
+        let row_labels: Vec<String> = rows.iter().map(|spec| spec.row().to_string()).collect();
 
-        // Flatten the matrix into jobs addressed by (column, row) index.
+        // Journal / resume setup: cells the journal already records as
+        // completed are reused verbatim and never re-run.
+        let mut reused: HashMap<(usize, usize), (SimRun, Duration, u32)> = HashMap::new();
+        let writer: Option<Mutex<JournalWriter>> = match &self.journal_dir {
+            None => None,
+            Some(dir) => {
+                let header = JournalHeader {
+                    version: JOURNAL_VERSION,
+                    columns: names.clone(),
+                    rows: row_labels.clone(),
+                    policy: self.policy_cfg,
+                    sim: self.sim_cfg,
+                };
+                let existing = if self.resume && journal_path(dir).exists() {
+                    Some(read_journal(dir)?)
+                } else {
+                    None
+                };
+                match existing {
+                    Some(journal) => {
+                        check_journal_compat(&journal.header, &header)?;
+                        for (c, column) in names.iter().enumerate() {
+                            for (r, row) in row_labels.iter().enumerate() {
+                                if let Some(cell) = journal.cell(column, row) {
+                                    if let Some(run) = &cell.run {
+                                        reused.insert(
+                                            (c, r),
+                                            (
+                                                run.clone(),
+                                                Duration::from_nanos(cell.elapsed_ns),
+                                                cell.attempts,
+                                            ),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        Some(Mutex::new(JournalWriter::resume(dir, &journal)?))
+                    }
+                    None => Some(Mutex::new(JournalWriter::create(dir, &header)?)),
+                }
+            }
+        };
+
+        // Flatten the matrix into jobs addressed by (column, row) index,
+        // skipping cells reused from the journal.
         let jobs: Vec<(usize, usize)> = (0..targets.len())
             .flat_map(|c| (0..rows.len()).map(move |r| (c, r)))
+            .filter(|key| !reused.contains_key(key))
             .collect();
         let total = jobs.len();
         // Progress callbacks fire from workers in completion order; a
         // dedicated counter keeps `completed` accurate even when the
         // finishing order is scrambled.
         let completed = AtomicUsize::new(0);
+        // The first journal-write failure, surfaced after the pool drains
+        // (cells keep computing; only durability is lost).
+        let journal_err: Mutex<Option<CkpError>> = Mutex::new(None);
         let results = run_indexed(self.parallelism, total, |job| {
             let (c, r) = jobs[job];
             let started = Instant::now();
-            let outcome = run_cell(
+            let (outcome, attempts) = run_cell_supervised(
                 &targets[c],
                 traces[c].as_deref(),
                 &names[c],
                 &rows[r],
                 &self.policy_cfg,
                 &self.sim_cfg,
+                self.deadline,
+                &self.retry,
+                (c * rows.len() + r) as u64,
             );
             let elapsed = started.elapsed();
+            if let Some(writer) = &writer {
+                let line = JournalCell {
+                    column: names[c].clone(),
+                    row: row_labels[r].clone(),
+                    attempts,
+                    elapsed_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                    run: match &outcome {
+                        CellOutcome::Completed(run) => Some(run.clone()),
+                        CellOutcome::Failed(_) => None,
+                    },
+                    failure: match &outcome {
+                        CellOutcome::Completed(_) => None,
+                        CellOutcome::Failed(f) => Some(f.to_string()),
+                    },
+                };
+                let result = writer.lock().unwrap_or_else(|p| p.into_inner()).cell(&line);
+                if let Err(e) = result {
+                    journal_err
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .get_or_insert(e);
+                }
+            }
             if let Some(cb) = &self.on_cell {
                 let event = CellEvent {
                     program: &names[c],
@@ -489,18 +793,143 @@ impl Evaluation {
                 // A panicking observer must not take the cell down with it.
                 let _ = catch_unwind(AssertUnwindSafe(|| cb(&event)));
             }
-            (outcome, elapsed)
+            (outcome, elapsed, attempts)
         });
+        if let Some(e) = journal_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
 
-        let matrix = assemble(targets, traces, names, &rows, results);
-        debug_assert_eq!(matrix.cells().count(), total);
-        matrix
+        // Merge computed and journal-reused cells back into column-major
+        // table order.
+        let mut computed: HashMap<(usize, usize), (CellOutcome, Duration, u32)> =
+            jobs.into_iter().zip(results).collect();
+        let cell_count = targets.len() * rows.len();
+        let mut all = Vec::with_capacity(cell_count);
+        for c in 0..targets.len() {
+            for r in 0..rows.len() {
+                let entry = match reused.remove(&(c, r)) {
+                    Some((run, elapsed, attempts)) => {
+                        (CellOutcome::Completed(run), elapsed, attempts)
+                    }
+                    None => computed
+                        .remove(&(c, r))
+                        .expect("every cell is computed or reused"),
+                };
+                all.push(entry);
+            }
+        }
+
+        let matrix = assemble(targets, traces, names, &rows, all);
+        debug_assert_eq!(matrix.cells().count(), cell_count);
+        Ok(matrix)
+    }
+}
+
+/// Refuses to resume a journal written by a differently-shaped or
+/// differently-configured evaluation.
+fn check_journal_compat(found: &JournalHeader, expected: &JournalHeader) -> Result<(), CkpError> {
+    fn field(what: &'static str, expected: String, found: String) -> Result<(), CkpError> {
+        if expected == found {
+            Ok(())
+        } else {
+            Err(CkpError::Mismatch {
+                what,
+                expected,
+                found,
+            })
+        }
+    }
+    field(
+        "journal version",
+        expected.version.to_string(),
+        found.version.to_string(),
+    )?;
+    field(
+        "journal columns",
+        format!("{:?}", expected.columns),
+        format!("{:?}", found.columns),
+    )?;
+    field(
+        "journal rows",
+        format!("{:?}", expected.rows),
+        format!("{:?}", found.rows),
+    )?;
+    field(
+        "policy config",
+        format!("{:?}", expected.policy),
+        format!("{:?}", found.policy),
+    )?;
+    field(
+        "sim config",
+        format!("{:?}", expected.sim),
+        format!("{:?}", found.sim),
+    )
+}
+
+/// Runs one cell under supervision: an optional deadline watchdog and
+/// bounded retry of transient failures. Returns the final outcome and
+/// the number of attempts made.
+#[allow(clippy::too_many_arguments)]
+fn run_cell_supervised(
+    target: &Target,
+    trace: Option<&CompiledTrace>,
+    name: &str,
+    spec: &RowSpec,
+    policy_cfg: &PolicyConfig,
+    sim_cfg: &SimConfig,
+    deadline: Option<Duration>,
+    retry: &RetryPolicy,
+    salt: u64,
+) -> (CellOutcome, u32) {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let cancel = Arc::new(AtomicBool::new(false));
+        let outcome = {
+            let _watchdog = deadline.map(|limit| Watchdog::arm(limit, Arc::clone(&cancel)));
+            run_cell(
+                target,
+                trace,
+                name,
+                spec,
+                policy_cfg,
+                sim_cfg,
+                deadline.map(|_| &*cancel),
+            )
+            // Watchdog drops here: the timer thread wakes and joins
+            // before the next attempt re-arms.
+        };
+        // The watchdog is this flag's only writer, so a cancelled run is
+        // by construction a missed deadline.
+        let outcome = match (outcome, deadline) {
+            (
+                CellOutcome::Failed(CellFailure {
+                    program,
+                    row,
+                    cause: FailureCause::Sim(SimError::Cancelled { at }),
+                }),
+                Some(limit),
+            ) => CellOutcome::Failed(CellFailure {
+                program,
+                row,
+                cause: FailureCause::Deadline { limit, at },
+            }),
+            (outcome, _) => outcome,
+        };
+        match &outcome {
+            CellOutcome::Failed(f) if f.is_transient() && attempts <= retry.max_retries => {
+                thread::sleep(retry.delay(salt, attempts - 1));
+            }
+            _ => return (outcome, attempts),
+        }
     }
 }
 
 /// Runs one cell with full fault isolation: typed simulation errors and
 /// panics (from the policy, a custom factory, the engine, or a streaming
-/// source) both land in [`CellOutcome::Failed`].
+/// source) both land in [`CellOutcome::Failed`]. When `cancel` is set,
+/// policy rows run under a [`RunControl`] that polls it between events
+/// (the deadline watchdog's hook).
 fn run_cell(
     target: &Target,
     trace: Option<&CompiledTrace>,
@@ -508,7 +937,15 @@ fn run_cell(
     spec: &RowSpec,
     policy_cfg: &PolicyConfig,
     sim_cfg: &SimConfig,
+    cancel: Option<&AtomicBool>,
 ) -> CellOutcome {
+    // RunControl::new() with no cancel flag is exactly the plain
+    // `simulate` / `simulate_source` path, so uncancellable runs stay
+    // bit-identical to the pre-supervision executor.
+    let control = || match cancel {
+        Some(flag) => RunControl::new().with_cancel(flag),
+        None => RunControl::new(),
+    };
     let attempt = catch_unwind(AssertUnwindSafe(|| match target {
         Target::Stream { make, .. } => {
             // Each cell consumes its own cursor: sources are stateful.
@@ -523,14 +960,16 @@ fn run_cell(
             match spec {
                 RowSpec::Kind(kind) => {
                     let mut policy = kind.build(policy_cfg);
-                    simulate_source(source, &mut policy, sim_cfg)
+                    simulate_source_resumable(source, &mut policy, sim_cfg, control())
                 }
                 RowSpec::Custom { row, build } => {
                     let mut policy = build(policy_cfg);
-                    simulate_source(source, &mut policy, sim_cfg).map(|mut run| {
-                        run.report.policy = row.clone();
-                        run
-                    })
+                    simulate_source_resumable(source, &mut policy, sim_cfg, control()).map(
+                        |mut run| {
+                            run.report.policy = row.clone();
+                            run
+                        },
+                    )
                 }
                 RowSpec::NoGc => no_gc_report_source(source)
                     .map(baseline_run)
@@ -545,11 +984,22 @@ fn run_cell(
             match spec {
                 RowSpec::Kind(kind) => {
                     let mut policy = kind.build(policy_cfg);
-                    simulate(trace, &mut policy, sim_cfg)
+                    simulate_source_resumable(
+                        &mut CompiledSource::new(trace),
+                        &mut policy,
+                        sim_cfg,
+                        control(),
+                    )
                 }
                 RowSpec::Custom { row, build } => {
                     let mut policy = build(policy_cfg);
-                    simulate(trace, &mut policy, sim_cfg).map(|mut run| {
+                    simulate_source_resumable(
+                        &mut CompiledSource::new(trace),
+                        &mut policy,
+                        sim_cfg,
+                        control(),
+                    )
+                    .map(|mut run| {
                         // The evaluation row names the report, not the
                         // policy's own `name()` — a factory may wrap a
                         // stock collector.
@@ -667,7 +1117,7 @@ fn assemble(
     traces: Vec<Option<Arc<CompiledTrace>>>,
     names: Vec<String>,
     rows: &[RowSpec],
-    mut results: Vec<(CellOutcome, Duration)>,
+    mut results: Vec<(CellOutcome, Duration, u32)>,
 ) -> Matrix {
     let mut columns = Vec::with_capacity(targets.len());
     // Drain column-major: jobs were flattened column-by-column.
@@ -676,8 +1126,8 @@ fn assemble(
         let cells = rows
             .iter()
             .map(|spec| {
-                let (outcome, elapsed) = match rest.next() {
-                    Some(pair) => pair,
+                let (outcome, elapsed, attempts) = match rest.next() {
+                    Some(entry) => entry,
                     // Unreachable by construction (one result per job);
                     // degrade to a reported failure rather than panic.
                     None => (
@@ -687,12 +1137,14 @@ fn assemble(
                             cause: FailureCause::Panic("missing cell result".into()),
                         }),
                         Duration::ZERO,
+                        0,
                     ),
                 };
                 Cell {
                     row: spec.row(),
                     outcome,
                     elapsed,
+                    attempts,
                 }
             })
             .collect();
@@ -806,6 +1258,7 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{simulate, simulate_source};
     use dtb_core::policy::Full;
     use std::sync::atomic::AtomicUsize;
 

@@ -13,6 +13,11 @@
 use dtb_core::error::{boundary_from_f64, PolicyError};
 use dtb_core::policy::{ScavengeContext, TbPolicy};
 use dtb_core::time::{Bytes, VirtualTime};
+use dtb_trace::ctc::CtcError;
+use dtb_trace::{EventSource, ObjectLife, SourceError, TraceMeta};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Always proposes a NaN boundary. The framework's float→clock gate
 /// ([`boundary_from_f64`]) rejects it as
@@ -122,6 +127,120 @@ impl TbPolicy for FailAfter {
     }
 }
 
+/// Wraps an [`EventSource`], sleeping `delay` before every record past
+/// the first `n` — a deterministic stand-in for a backing store gone
+/// slow (cold cache, struggling network mount). The engine polls its
+/// cancel flag between events, so a cell stalled on a `SlowAfter`
+/// source is cancelled by the executor's deadline watchdog at the next
+/// record boundary.
+#[derive(Debug)]
+pub struct SlowAfter<S> {
+    inner: S,
+    after: u64,
+    delay: Duration,
+    served: u64,
+}
+
+impl<S> SlowAfter<S> {
+    /// Delays every record after the first `after` by `delay`
+    /// (`after == 0` slows the stream from the very first record).
+    pub fn new(inner: S, after: u64, delay: Duration) -> SlowAfter<S> {
+        SlowAfter {
+            inner,
+            after,
+            delay,
+            served: 0,
+        }
+    }
+}
+
+impl<S: EventSource> EventSource for SlowAfter<S> {
+    fn meta(&self) -> &TraceMeta {
+        self.inner.meta()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+
+    fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+        if self.served >= self.after && !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.served += 1;
+        self.inner.next_record()
+    }
+
+    fn end(&self) -> VirtualTime {
+        self.inner.end()
+    }
+
+    fn seek(&mut self, clock: VirtualTime) -> Result<(), SourceError> {
+        self.inner.seek(clock)
+    }
+}
+
+/// Wraps an [`EventSource`], failing `next_record` with a **transient**
+/// shard I/O error while the shared fuse holds charges.
+///
+/// The fuse ([`FlakyStore::fuse`]) is decremented across every source
+/// built from it — clone the `Arc` into a source factory and the first
+/// `fuse` reads *of the whole cell*, retries included, fail; the retry
+/// that finds the fuse empty streams normally. That is exactly the shape
+/// of a store that recovers after a hiccup, and the executor's retry
+/// classification treats it as such
+/// ([`FailureCause::is_transient`](crate::exec::FailureCause::is_transient)).
+#[derive(Debug)]
+pub struct FlakyStore<S> {
+    inner: S,
+    fuse: Arc<AtomicU32>,
+}
+
+impl<S> FlakyStore<S> {
+    /// Wraps `inner`; each `next_record` consumes one charge from `fuse`
+    /// and fails until it is empty.
+    pub fn new(inner: S, fuse: Arc<AtomicU32>) -> FlakyStore<S> {
+        FlakyStore { inner, fuse }
+    }
+
+    /// A fuse holding `charges` failures, to share across a factory.
+    pub fn fuse(charges: u32) -> Arc<AtomicU32> {
+        Arc::new(AtomicU32::new(charges))
+    }
+}
+
+impl<S: EventSource> EventSource for FlakyStore<S> {
+    fn meta(&self) -> &TraceMeta {
+        self.inner.meta()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+
+    fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+        let tripped = self
+            .fuse
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok();
+        if tripped {
+            return Err(SourceError::Shard(CtcError::Io {
+                path: std::path::PathBuf::from(self.meta().name.clone()),
+                message: "injected transient i/o fault".to_string(),
+            }));
+        }
+        self.inner.next_record()
+    }
+
+    fn end(&self) -> VirtualTime {
+        self.inner.end()
+    }
+
+    fn seek(&mut self, clock: VirtualTime) -> Result<(), SourceError> {
+        self.inner.seek(clock)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +296,53 @@ mod tests {
             let _ = boom.select_boundary(&ctx);
         }));
         assert!(caught.is_err());
+    }
+
+    fn tiny_source() -> dtb_trace::CompiledSource<'static> {
+        use std::sync::OnceLock;
+        static TRACE: OnceLock<dtb_trace::event::CompiledTrace> = OnceLock::new();
+        let trace = TRACE.get_or_init(|| {
+            let mut b = dtb_trace::TraceBuilder::new("tiny");
+            b.alloc(64);
+            b.alloc(32);
+            b.alloc(16);
+            b.finish().compile().unwrap()
+        });
+        dtb_trace::CompiledSource::new(trace)
+    }
+
+    #[test]
+    fn slow_after_passes_records_through_unchanged() {
+        let mut slow = SlowAfter::new(tiny_source(), 2, Duration::from_millis(1));
+        let mut plain = tiny_source();
+        assert_eq!(slow.meta().name, "tiny");
+        assert_eq!(slow.len_hint(), plain.len_hint());
+        assert_eq!(slow.end(), plain.end());
+        loop {
+            let a = slow.next_record().unwrap();
+            let b = plain.next_record().unwrap();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn flaky_store_fails_transiently_then_recovers() {
+        let fuse = FlakyStore::<dtb_trace::CompiledSource<'_>>::fuse(2);
+        let mut flaky = FlakyStore::new(tiny_source(), fuse.clone());
+        for _ in 0..2 {
+            assert!(matches!(
+                flaky.next_record(),
+                Err(SourceError::Shard(CtcError::Io { .. }))
+            ));
+        }
+        // Fuse spent: the stream recovers, and a *new* source on the
+        // same fuse starts healthy (the charges are shared, not
+        // per-instance).
+        assert!(flaky.next_record().unwrap().is_some());
+        let mut second = FlakyStore::new(tiny_source(), fuse);
+        assert!(second.next_record().unwrap().is_some());
     }
 }

@@ -56,11 +56,12 @@ use std::collections::BinaryHeap;
 
 use dtb_core::policy::{SurvivalEstimator, SurvivalLender};
 use dtb_core::time::{Bytes, VirtualTime};
+use serde::{Deserialize, Serialize};
 
 use fenwick::Fenwick;
 
 /// One object in the oracle heap.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimObject {
     /// Birth time on the allocation clock.
     pub birth: VirtualTime,
@@ -123,6 +124,39 @@ pub trait SimHeap: SurvivalLender {
 
     /// Performs a scavenge at time `now` with threatening boundary `tb`.
     fn scavenge(&mut self, tb: VirtualTime, now: VirtualTime) -> ScavengeOutcome;
+}
+
+/// A serializable image of a heap's observable state, for checkpointing.
+///
+/// Both heap implementations reduce to the same image: the objects still
+/// occupying memory (in birth order) plus the lazy-clock high-water mark.
+/// Everything else — Fenwick indices, the pending-death queue, slot
+/// numbering — is derived data that [`CheckpointHeap::restore`] rebuilds,
+/// which is exactly the argument for why a restored heap is observably
+/// identical: the incremental heap's own compaction already renumbers
+/// slots mid-run without disturbing a single query answer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HeapSnapshot {
+    /// Objects still occupying memory, in birth order.
+    pub objects: Vec<SimObject>,
+    /// The heap's query-time high-water mark: every death at or before
+    /// this instant has been applied.
+    pub clock: VirtualTime,
+}
+
+/// A [`SimHeap`] that can round-trip its state through a [`HeapSnapshot`].
+///
+/// The contract checkpoint/resume relies on: for any prefix of a trace,
+/// `restore(&h.snapshot())` then replaying the remaining events must
+/// produce bit-identical observables (`mem_in_use`, `live_bytes_at`,
+/// scavenge outcomes, survival queries) to never having snapshotted at
+/// all. The differential suites check this across every policy.
+pub trait CheckpointHeap: SimHeap {
+    /// Captures the heap's observable state.
+    fn snapshot(&self) -> HeapSnapshot;
+
+    /// Rebuilds a heap from a snapshot.
+    fn restore(snapshot: &HeapSnapshot) -> Self;
 }
 
 /// An object still occupying memory, keyed by its global slot.
@@ -399,6 +433,28 @@ impl SurvivalLender for OracleHeap {
 
     fn survival_view(&mut self, now: VirtualTime) -> SurvivalSnapshot<'_> {
         self.survival_snapshot(now)
+    }
+}
+
+impl CheckpointHeap for OracleHeap {
+    fn snapshot(&self) -> HeapSnapshot {
+        HeapSnapshot {
+            objects: self.iter_objects().collect(),
+            clock: self.clock,
+        }
+    }
+
+    fn restore(snapshot: &HeapSnapshot) -> OracleHeap {
+        // Reinserting the residents renumbers them onto fresh slots
+        // 0..n — the same rebasing `compact` performs mid-run, which
+        // preserves every observable. Advancing the clock afterwards
+        // re-applies the deaths the original heap had already drained.
+        let mut heap = OracleHeap::with_capacity(snapshot.objects.len());
+        for obj in &snapshot.objects {
+            heap.insert(*obj);
+        }
+        heap.advance_clock(snapshot.clock);
+        heap
     }
 }
 

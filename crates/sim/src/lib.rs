@@ -32,8 +32,17 @@
 //!   materializing their trace.
 //! * [`error`] — the typed failure taxonomy ([`error::SimError`]): policy
 //!   failures, watchdog budget trips, and engine invariant violations.
-//! * [`fault`] — adversarial policies for fault-injection tests (NaN /
-//!   infinite / future boundaries, fail-after-N, panic-after-N).
+//! * [`fault`] — adversarial policies and sources for fault-injection
+//!   tests (NaN / infinite / future boundaries, fail-after-N,
+//!   panic-after-N, slow and transiently-failing sources).
+//! * [`ckp`] — mid-run simulation checkpoints ([`SimCheckpoint`]): the
+//!   engine's complete resumable state in a checksummed `DTBCKP01`
+//!   container, with bit-identical resume via
+//!   [`simulate_source_resumable`].
+//! * [`journal`] — the durable evaluation journal: one fsync'd,
+//!   checksummed line per completed matrix cell, so
+//!   [`Evaluation::resume`](exec::Evaluation::resume) survives crashes
+//!   (even `SIGKILL`) losing at most the cell in flight.
 //! * [`run`] — migration notes for the removed free-function runners
 //!   (superseded by [`exec`]).
 //! * [`trigger`] — pluggable when-to-collect policies (the orthogonal
@@ -60,26 +69,32 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod ckp;
 pub mod curve;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod fault;
 pub mod heap;
+pub mod journal;
 pub mod metrics;
 pub mod run;
 pub mod sweep;
 pub mod trigger;
 
+pub use ckp::{load_checkpoint, save_checkpoint, CkpError, SimCheckpoint};
 pub use engine::{
-    simulate, simulate_source, simulate_source_with_heap, simulate_with_heap, SimBudget, SimConfig,
-    SimRun,
+    simulate, simulate_source, simulate_source_resumable, simulate_source_resumable_with_heap,
+    simulate_source_with_heap, simulate_with_heap, RunControl, SimBudget, SimConfig, SimRun,
 };
 pub use error::{BudgetKind, InvariantViolation, SimError};
 pub use exec::{
     Cell, CellEvent, CellFailure, CellOutcome, Column, Evaluation, FailureCause, Matrix,
-    SourceFactory, TraceCache,
+    RetryPolicy, SourceFactory, TraceCache,
 };
 pub use heap::naive::NaiveHeap;
-pub use heap::{OracleHeap, ScavengeOutcome, SimHeap, SimObject, SurvivalSnapshot};
-pub use metrics::SimReport;
+pub use heap::{
+    CheckpointHeap, HeapSnapshot, OracleHeap, ScavengeOutcome, SimHeap, SimObject, SurvivalSnapshot,
+};
+pub use journal::{read_journal, Journal, JournalCell, JournalHeader, JournalWriter};
+pub use metrics::{MetricsState, SimReport};

@@ -1,0 +1,242 @@
+//! Differential testing for checkpoint/resume: a run interrupted at an
+//! arbitrary point and resumed from its last `DTBCKP01` checkpoint must
+//! be **bit-identical** — report, scavenge history, and memory curve —
+//! to a run that never stopped, for all six policies, over both
+//! in-memory and sharded on-disk sources.
+//!
+//! The interruption is real, not simulated: the first leg runs under a
+//! `SimBudget` that trips mid-trace (a supported way to stop a run), the
+//! engine having checkpointed every 997 events along the way; the second
+//! leg loads the last checkpoint and runs to completion without the
+//! budget — the physics-only compatibility guard explicitly allows
+//! budget and invariant-checking differences between the legs.
+
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_sim::engine::{
+    simulate_source, simulate_source_resumable, RunControl, SimBudget, SimConfig, SimRun,
+};
+use dtb_sim::{load_checkpoint, CkpError, SimError};
+use dtb_trace::programs::Program;
+use dtb_trace::{ctc, CompiledSource, EventSource, ShardReader};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const CHECKPOINT_EVERY: u64 = 997;
+const INTERRUPT_AFTER: u64 = 2_500;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("dtb-resume-diff-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs one policy straight through, then interrupted + resumed, and
+/// asserts the two runs are identical. `make_source` builds a fresh
+/// cursor per leg.
+fn assert_resume_matches<S: EventSource>(
+    kind: PolicyKind,
+    mut make_source: impl FnMut() -> S,
+    ckp_path: &std::path::Path,
+) {
+    let policy_cfg = PolicyConfig::paper();
+    let config = SimConfig::paper().with_curve().with_invariant_checks(true);
+
+    let straight: SimRun = {
+        let mut policy = kind.build(&policy_cfg);
+        simulate_source(&mut make_source(), &mut policy, &config).expect("straight run")
+    };
+
+    // Leg 1: checkpoint every 997 events, interrupted by an event budget.
+    let budgeted = config.with_budget(SimBudget::events(INTERRUPT_AFTER));
+    let interrupted = {
+        let mut policy = kind.build(&policy_cfg);
+        simulate_source_resumable(
+            &mut make_source(),
+            &mut policy,
+            &budgeted,
+            RunControl::new().with_checkpoints(ckp_path, CHECKPOINT_EVERY),
+        )
+    };
+    assert!(
+        matches!(interrupted, Err(SimError::BudgetExceeded { .. })),
+        "{kind}: expected a budget interruption, got {interrupted:?}"
+    );
+
+    // The checkpoint on disk is from the last whole cadence before the
+    // interruption and names this exact run.
+    let ckp = load_checkpoint(ckp_path).expect("readable checkpoint");
+    let policy = kind.build(&policy_cfg);
+    assert_eq!(ckp.policy, policy.name());
+    assert_eq!(ckp.events % CHECKPOINT_EVERY, 0);
+    assert!(ckp.events > 0 && ckp.events <= INTERRUPT_AFTER);
+
+    // Leg 2: resume from it, no budget this time.
+    let resumed: SimRun = {
+        let mut policy = kind.build(&policy_cfg);
+        simulate_source_resumable(
+            &mut make_source(),
+            &mut policy,
+            &config,
+            RunControl::new().resuming(ckp),
+        )
+        .expect("resumed run")
+    };
+
+    assert_eq!(
+        straight.report.history, resumed.report.history,
+        "{kind}: scavenge histories diverge across resume"
+    );
+    assert_eq!(
+        straight.report, resumed.report,
+        "{kind}: reports diverge across resume"
+    );
+    assert_eq!(
+        straight.curve, resumed.curve,
+        "{kind}: memory curves diverge across resume"
+    );
+}
+
+/// In-memory source: every policy resumes bit-identically.
+#[test]
+fn resume_is_bit_identical_for_all_policies_in_memory() {
+    let trace = Program::Cfrac.compiled();
+    let dir = temp_dir("mem");
+    for kind in PolicyKind::ALL {
+        let path = dir.join(format!("{kind}.dtbckp"));
+        assert_resume_matches(kind, || CompiledSource::new(&trace), &path);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sharded on-disk store: the resume seeks the store mid-stream and
+/// still reproduces the uninterrupted run exactly.
+#[test]
+fn resume_is_bit_identical_for_all_policies_on_sharded_store() {
+    let trace = Program::Cfrac.compiled();
+    let dir = temp_dir("shard");
+    let store = dir.join("store");
+    ctc::write_shards(&store, &trace, 10_000).expect("write store");
+    for kind in PolicyKind::ALL {
+        let path = dir.join(format!("{kind}.dtbckp"));
+        assert_resume_matches(
+            kind,
+            || ShardReader::open(&store).expect("open store"),
+            &path,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The compatibility guard refuses checkpoints from a different run:
+/// wrong policy, wrong trace, wrong physics — each a typed
+/// `SimError::Checkpoint` carrying a `CkpError::Mismatch`.
+#[test]
+fn resume_refuses_foreign_checkpoints() {
+    let trace = Program::Cfrac.compiled();
+    let dir = temp_dir("guard");
+    let path = dir.join("full.dtbckp");
+    let policy_cfg = PolicyConfig::paper();
+    let config = SimConfig::paper().with_budget(SimBudget::events(INTERRUPT_AFTER));
+    {
+        let mut policy = PolicyKind::Full.build(&policy_cfg);
+        let _ = simulate_source_resumable(
+            &mut CompiledSource::new(&trace),
+            &mut policy,
+            &config,
+            RunControl::new().with_checkpoints(&path, CHECKPOINT_EVERY),
+        );
+    }
+    let ckp = load_checkpoint(&path).expect("readable checkpoint");
+
+    // Wrong policy.
+    let err = {
+        let mut policy = PolicyKind::DtbFm.build(&policy_cfg);
+        simulate_source_resumable(
+            &mut CompiledSource::new(&trace),
+            &mut policy,
+            &SimConfig::paper(),
+            RunControl::new().resuming(ckp.clone()),
+        )
+        .unwrap_err()
+    };
+    match err {
+        SimError::Checkpoint {
+            source: CkpError::Mismatch { what, .. },
+            ..
+        } => assert_eq!(what, "policy"),
+        other => panic!("expected a policy mismatch, got {other}"),
+    }
+
+    // Wrong trace.
+    let ghost = Program::Ghost1.compiled();
+    let err = {
+        let mut policy = PolicyKind::Full.build(&policy_cfg);
+        simulate_source_resumable(
+            &mut CompiledSource::new(&ghost),
+            &mut policy,
+            &SimConfig::paper(),
+            RunControl::new().resuming(ckp.clone()),
+        )
+        .unwrap_err()
+    };
+    match err {
+        SimError::Checkpoint {
+            source: CkpError::Mismatch { what, .. },
+            ..
+        } => assert_eq!(what, "trace"),
+        other => panic!("expected a trace mismatch, got {other}"),
+    }
+
+    // Wrong physics: curve recording differs.
+    let err = {
+        let mut policy = PolicyKind::Full.build(&policy_cfg);
+        simulate_source_resumable(
+            &mut CompiledSource::new(&trace),
+            &mut policy,
+            &SimConfig::paper().with_curve(),
+            RunControl::new().resuming(ckp),
+        )
+        .unwrap_err()
+    };
+    assert!(
+        matches!(
+            err,
+            SimError::Checkpoint {
+                source: CkpError::Mismatch { .. },
+                ..
+            }
+        ),
+        "expected a physics mismatch, got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoint files round-trip exactly: what the engine wrote mid-run
+/// is what `load_checkpoint` returns, stable across repeated loads.
+#[test]
+fn emitted_checkpoints_round_trip() {
+    let trace = Program::Cfrac.compiled();
+    let dir = temp_dir("roundtrip");
+    for kind in PolicyKind::ALL {
+        let path = dir.join(format!("{kind}.dtbckp"));
+        let mut policy = kind.build(&PolicyConfig::paper());
+        let _ = simulate_source_resumable(
+            &mut CompiledSource::new(&trace),
+            &mut policy,
+            &SimConfig::paper().with_budget(SimBudget::events(INTERRUPT_AFTER)),
+            RunControl::new().with_checkpoints(&path, CHECKPOINT_EVERY),
+        );
+        let first = load_checkpoint(&path).expect("readable checkpoint");
+        let second = load_checkpoint(&path).expect("stable checkpoint");
+        assert_eq!(first, second, "{kind}: checkpoint load is unstable");
+        assert_eq!(first.trace, trace.meta.name);
+        // The paper's six policies are stateless; their saved state is
+        // empty and restores cleanly.
+        assert!(first.policy_state.is_empty());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

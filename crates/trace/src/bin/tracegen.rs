@@ -6,6 +6,7 @@
 //! tracegen survival <FILE.dtbtrc>                print the survival curve
 //! tracegen compile <IN.dtbtrc> <OUT_DIR>         compile to a one-shard DTBCTC01 store
 //! tracegen shard <IN.dtbtrc> <OUT_DIR> <STRIDE>  compile to a store with STRIDE records/shard
+//! tracegen verify <STORE_DIR>                    re-check a DTBCTC01 store's checksums
 //! tracegen list                                  list the preset workloads
 //! ```
 //!
@@ -16,7 +17,7 @@
 //! O(live set) memory.
 
 use dtb_trace::analysis::{Demographics, SurvivalCurve};
-use dtb_trace::ctc::convert_trace_file;
+use dtb_trace::ctc::{convert_trace_file, verify_store};
 use dtb_trace::io::{read_trace, write_trace};
 use dtb_trace::programs::Program;
 use dtb_trace::stats::TraceStats;
@@ -26,7 +27,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tracegen gen <PROGRAM> <OUT.dtbtrc>\n  tracegen info <FILE.dtbtrc>\n  \
          tracegen survival <FILE.dtbtrc>\n  tracegen compile <IN.dtbtrc> <OUT_DIR>\n  \
-         tracegen shard <IN.dtbtrc> <OUT_DIR> <RECORDS_PER_SHARD>\n  tracegen list"
+         tracegen shard <IN.dtbtrc> <OUT_DIR> <RECORDS_PER_SHARD>\n  \
+         tracegen verify <STORE_DIR>\n  tracegen list"
     );
     ExitCode::from(2)
 }
@@ -137,6 +139,42 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             convert(&args[1], &args[2], stride)
+        }
+        Some("verify") if args.len() == 2 => {
+            let report = match verify_store(&args[1]) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cannot verify {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            for shard in &report.shards {
+                match &shard.error {
+                    None => {
+                        println!("{}: OK ({} records)", shard.path.display(), shard.records);
+                    }
+                    Some(e) => {
+                        println!("{}: FAILED", shard.path.display());
+                        eprintln!("{e}");
+                    }
+                }
+            }
+            if report.is_ok() {
+                println!(
+                    "store ok: {} records across {} shard{}",
+                    report.manifest.total_records,
+                    report.shards.len(),
+                    if report.shards.len() == 1 { "" } else { "s" },
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "{} of {} shards failed verification",
+                    report.bad_shards().count(),
+                    report.shards.len()
+                );
+                ExitCode::FAILURE
+            }
         }
         Some("survival") if args.len() == 2 => {
             let trace = match read_trace(&args[1]) {

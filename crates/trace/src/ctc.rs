@@ -214,17 +214,11 @@ fn io_err(path: &Path, e: std::io::Error) -> CtcError {
     }
 }
 
-fn from_trace_io(path: &Path, e: TraceIoError) -> CtcError {
+fn from_trace_io(e: TraceIoError) -> CtcError {
     match e {
-        TraceIoError::Io(e) => io_err(path, e),
-        TraceIoError::Format(error) => CtcError::SourceFormat {
-            path: path.to_path_buf(),
-            error,
-        },
-        TraceIoError::Invalid(error) => CtcError::SourceTrace {
-            path: path.to_path_buf(),
-            error,
-        },
+        TraceIoError::Io { path, error } => io_err(&path, error),
+        TraceIoError::Format { path, error } => CtcError::SourceFormat { path, error },
+        TraceIoError::Invalid { path, error } => CtcError::SourceTrace { path, error },
     }
 }
 
@@ -639,7 +633,7 @@ pub fn convert_trace_file(
 ) -> Result<ShardManifest, CtcError> {
     let src = src.as_ref();
     // Pass 1: resolve death clocks, validating the event stream.
-    let mut reader = TraceEventReader::open(src).map_err(|e| from_trace_io(src, e))?;
+    let mut reader = TraceEventReader::open(src).map_err(from_trace_io)?;
     let mut deaths: Vec<Option<u64>> = Vec::new();
     let mut index: HashMap<ObjectId, usize> = HashMap::new();
     let mut clock: u64 = 0;
@@ -648,7 +642,7 @@ pub fn convert_trace_file(
         path: src.to_path_buf(),
         error,
     };
-    while let Some(event) = reader.next_event().map_err(|e| from_trace_io(src, e))? {
+    while let Some(event) = reader.next_event().map_err(from_trace_io)? {
         match event {
             crate::event::Event::Alloc { id, size } => {
                 if size == 0 {
@@ -680,10 +674,10 @@ pub fn convert_trace_file(
     // Pass 2: emit one record per allocation, in event (= birth) order.
     let meta = reader.meta().clone();
     let mut writer = ShardWriter::create(dir, meta, records_per_shard)?;
-    let mut reader = TraceEventReader::open(src).map_err(|e| from_trace_io(src, e))?;
+    let mut reader = TraceEventReader::open(src).map_err(from_trace_io)?;
     let mut clock: u64 = 0;
     let mut next: usize = 0;
-    while let Some(event) = reader.next_event().map_err(|e| from_trace_io(src, e))? {
+    while let Some(event) = reader.next_event().map_err(from_trace_io)? {
         if let crate::event::Event::Alloc { id, size } = event {
             clock += size as u64;
             if next >= deaths.len() {
@@ -704,6 +698,139 @@ pub fn convert_trace_file(
         }
     }
     writer.finish(VirtualTime::from_bytes(end))
+}
+
+/// Verification status of one shard, from [`verify_store`].
+#[derive(Clone, Debug)]
+pub struct ShardStatus {
+    /// The shard file checked.
+    pub path: PathBuf,
+    /// Records the manifest promises for this shard.
+    pub records: u64,
+    /// `None` when the shard verified; the precise failure otherwise.
+    pub error: Option<CtcError>,
+}
+
+/// The result of an offline [`verify_store`] walk.
+#[derive(Clone, Debug)]
+pub struct StoreReport {
+    /// The (checksummed, verified) manifest.
+    pub manifest: ShardManifest,
+    /// Per-shard status, in shard order.
+    pub shards: Vec<ShardStatus>,
+}
+
+impl StoreReport {
+    /// True when every shard verified.
+    pub fn is_ok(&self) -> bool {
+        self.shards.iter().all(|s| s.error.is_none())
+    }
+
+    /// The shards that failed verification.
+    pub fn bad_shards(&self) -> impl Iterator<Item = &ShardStatus> {
+        self.shards.iter().filter(|s| s.error.is_some())
+    }
+}
+
+/// Offline integrity check of the store at `dir`: re-reads the manifest
+/// (whole-file checksum), then every shard — header fields against the
+/// manifest, exact file length, and the FNV-1a checksum of the record
+/// bytes against both the shard's own trailer and the manifest's record.
+///
+/// One bad shard does not stop the walk: every shard gets a
+/// [`ShardStatus`] so a 100-shard store with one corrupt file reports
+/// exactly which one (`tracegen verify` prints them).
+///
+/// # Errors
+///
+/// Returns `Err` only when the manifest itself cannot be read or
+/// verified; per-shard failures land in the report.
+pub fn verify_store(dir: impl AsRef<Path>) -> Result<StoreReport, CtcError> {
+    let dir = dir.as_ref();
+    let manifest = read_manifest(dir)?;
+    let shards = manifest
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, info)| {
+            let path = shard_path(dir, i);
+            let error = check_shard(&path, i, &manifest, info).err();
+            ShardStatus {
+                path,
+                records: info.records,
+                error,
+            }
+        })
+        .collect();
+    Ok(StoreReport { manifest, shards })
+}
+
+/// Full structural + checksum verification of one shard file.
+fn check_shard(
+    path: &Path,
+    index: usize,
+    manifest: &ShardManifest,
+    info: &ShardInfo,
+) -> Result<(), CtcError> {
+    let data = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let header_len = MAGIC.len() + 1 + 4 + 8;
+    let expected_len = header_len + info.records as usize * RECORD_BYTES + 8;
+    if data.len() < header_len {
+        return Err(CtcError::Truncated {
+            path: path.to_path_buf(),
+        });
+    }
+    if &data[0..8] != MAGIC || data[8] != KIND_SHARD {
+        return Err(CtcError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let found_index = u32::from_le_bytes(data[9..13].try_into().expect("4 bytes"));
+    if found_index as usize != index {
+        return Err(CtcError::ShardMismatch {
+            path: path.to_path_buf(),
+            field: "index",
+            expected: index as u64,
+            found: found_index as u64,
+        });
+    }
+    let found_stride = u64::from_le_bytes(data[13..21].try_into().expect("8 bytes"));
+    if found_stride != manifest.records_per_shard {
+        return Err(CtcError::ShardMismatch {
+            path: path.to_path_buf(),
+            field: "stride",
+            expected: manifest.records_per_shard,
+            found: found_stride,
+        });
+    }
+    if data.len() < expected_len {
+        return Err(CtcError::Truncated {
+            path: path.to_path_buf(),
+        });
+    }
+    if data.len() > expected_len {
+        return Err(CtcError::ShardMismatch {
+            path: path.to_path_buf(),
+            field: "file length",
+            expected: expected_len as u64,
+            found: data.len() as u64,
+        });
+    }
+    let records = &data[header_len..expected_len - 8];
+    let recorded = u64::from_le_bytes(data[expected_len - 8..].try_into().expect("8 bytes"));
+    let computed = fnv1a(FNV_OFFSET, records);
+    if computed != recorded || computed != info.checksum {
+        return Err(CtcError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            expected: if recorded != computed {
+                recorded
+            } else {
+                info.checksum
+            },
+            found: computed,
+        });
+    }
+    Ok(())
 }
 
 #[derive(Debug)]
@@ -728,6 +855,10 @@ pub struct ShardReader {
     next_shard: usize,
     consumed: u64,
     current: Option<ShardCursor>,
+    /// One-record lookahead filled by [`EventSource::seek`]: scanning to
+    /// the target clock overshoots by one record, which is stashed here
+    /// and returned by the next `next_record` call.
+    peeked: Option<ObjectLife>,
 }
 
 impl ShardReader {
@@ -747,12 +878,33 @@ impl ShardReader {
             next_shard: 0,
             consumed: 0,
             current: None,
+            peeked: None,
         })
     }
 
     /// The verified manifest.
     pub fn manifest(&self) -> &ShardManifest {
         &self.manifest
+    }
+
+    /// Birth of the first record of shard `i`, probed by reading just
+    /// its header and leading record (`u64::MAX` for an empty shard,
+    /// which a well-formed writer never produces).
+    fn first_birth(&self, i: usize) -> Result<u64, CtcError> {
+        if self.manifest.shards[i].records == 0 {
+            return Ok(u64::MAX);
+        }
+        let path = shard_path(&self.dir, i);
+        let file = File::open(&path).map_err(|e| io_err(&path, e))?;
+        let mut reader = BufReader::new(file);
+        let mut header = [0u8; 8 + 1 + 4 + 8];
+        read_exact_ctc(&mut reader, &mut header, &path)?;
+        if &header[0..8] != MAGIC || header[8] != KIND_SHARD {
+            return Err(CtcError::BadMagic { path });
+        }
+        let mut raw = [0u8; RECORD_BYTES];
+        read_exact_ctc(&mut reader, &mut raw, &path)?;
+        Ok(u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")))
     }
 
     fn open_shard(&mut self) -> Result<(), CtcError> {
@@ -818,6 +970,9 @@ impl EventSource for ShardReader {
     }
 
     fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+        if let Some(life) = self.peeked.take() {
+            return Ok(Some(life));
+        }
         loop {
             if let Some(cur) = &mut self.current {
                 if cur.read < cur.records {
@@ -885,6 +1040,39 @@ impl EventSource for ShardReader {
 
     fn end(&self) -> VirtualTime {
         self.manifest.end
+    }
+
+    fn seek(&mut self, clock: VirtualTime) -> Result<(), SourceError> {
+        // Records are in strictly increasing birth order across the whole
+        // store, so binary-search the shards by their first record's
+        // birth: everything born ≤ clock lives in shards up to and
+        // including the last shard whose first birth is ≤ clock.
+        let (mut lo, mut hi) = (0usize, self.manifest.shards.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.first_birth(mid)? <= clock.as_u64() {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // Restart from that shard's beginning — scanning its prefix keeps
+        // the running FNV accumulation (and thus checksum verification)
+        // intact — and discard records up to the target clock.
+        self.current = None;
+        self.peeked = None;
+        self.next_shard = lo.saturating_sub(1);
+        self.consumed = self.manifest.shards[..self.next_shard]
+            .iter()
+            .map(|s| s.records)
+            .sum();
+        while let Some(life) = self.next_record()? {
+            if life.birth > clock {
+                self.peeked = Some(life);
+                break;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1086,6 +1274,127 @@ mod tests {
         let err = w.finish(VirtualTime::from_bytes(50)).unwrap_err();
         assert!(matches!(err, CtcError::BadManifest { .. }));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seek_resumes_at_arbitrary_clocks() {
+        use crate::source::EventSource;
+        let trace = sample_trace(200);
+        let dir = temp_dir("seek");
+        write_shards(&dir, &trace, 16).unwrap();
+        let all: Vec<_> = trace.lives().collect();
+        let births: Vec<u64> = trace.births().iter().map(|b| b.as_u64()).collect();
+        let probes = [
+            0,
+            births[0] - 1,
+            births[0],
+            births[50],
+            births[150] - 1,
+            births[199],
+            births[199] + 1000,
+        ];
+        for clock in probes {
+            let mut reader = ShardReader::open(&dir).unwrap();
+            reader.seek(VirtualTime::from_bytes(clock)).unwrap();
+            let mut tail = Vec::new();
+            while let Some(l) = reader.next_record().unwrap() {
+                tail.push(l);
+            }
+            let expected: Vec<_> = all
+                .iter()
+                .copied()
+                .filter(|l| l.birth.as_u64() > clock)
+                .collect();
+            assert_eq!(tail, expected, "seek({clock})");
+        }
+        // Seeking a partially-consumed reader repositions absolutely and
+        // keeps checksum verification working (the tail drains cleanly).
+        let mut reader = ShardReader::open(&dir).unwrap();
+        for _ in 0..77 {
+            reader.next_record().unwrap();
+        }
+        reader.seek(VirtualTime::from_bytes(births[10])).unwrap();
+        let mut n = 0;
+        while reader.next_record().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 200 - 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_store_accepts_a_clean_store_and_names_the_bad_shard() {
+        let trace = sample_trace(120);
+        let dir = temp_dir("verify");
+        write_shards(&dir, &trace, 32).unwrap();
+        let report = verify_store(&dir).unwrap();
+        assert!(report.is_ok());
+        assert_eq!(report.shards.len(), 4);
+
+        // Flip one byte in shard 2: only that shard is reported bad.
+        let victim = shard_path(&dir, 2);
+        let mut raw = std::fs::read(&victim).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x04;
+        std::fs::write(&victim, raw).unwrap();
+        let report = verify_store(&dir).unwrap();
+        assert!(!report.is_ok());
+        let bad: Vec<_> = report.bad_shards().collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].path, victim);
+        assert!(matches!(
+            bad[0].error,
+            Some(CtcError::ChecksumMismatch { .. })
+        ));
+
+        // Truncate shard 0 as well: both now reported, in order.
+        let first = shard_path(&dir, 0);
+        let raw = std::fs::read(&first).unwrap();
+        std::fs::write(&first, &raw[..raw.len() - 5]).unwrap();
+        let report = verify_store(&dir).unwrap();
+        assert_eq!(report.bad_shards().count(), 2);
+        assert!(matches!(
+            report.shards[0].error,
+            Some(CtcError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_store_rejects_a_corrupt_manifest() {
+        let trace = sample_trace(20);
+        let dir = temp_dir("verify-manifest");
+        write_shards(&dir, &trace, 8).unwrap();
+        let path = dir.join(MANIFEST_NAME);
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        std::fs::write(&path, raw).unwrap();
+        assert!(matches!(
+            verify_store(&dir).unwrap_err(),
+            CtcError::ChecksumMismatch { .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_store_flags_trailing_garbage() {
+        let trace = sample_trace(30);
+        let dir = temp_dir("verify-tail");
+        write_shards(&dir, &trace, 64).unwrap();
+        let path = shard_path(&dir, 0);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(b"junk");
+        std::fs::write(&path, raw).unwrap();
+        let report = verify_store(&dir).unwrap();
+        assert!(matches!(
+            report.shards[0].error,
+            Some(CtcError::ShardMismatch {
+                field: "file length",
+                ..
+            })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -8,26 +8,61 @@ use crate::event::{Event, ObjectId, Trace, TraceError, TraceMeta};
 use crate::format::{self, FormatError};
 use std::fs::File;
 use std::io::{self, BufReader, Read};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// An I/O, format, or semantic failure while reading a trace file.
+///
+/// Every variant names the offending file, so a bad trace in a batch of
+/// hundreds is diagnosable from the rendered message alone.
 #[derive(Debug)]
 pub enum TraceIoError {
     /// Filesystem-level failure.
-    Io(io::Error),
+    Io {
+        /// Offending file.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        error: io::Error,
+    },
     /// The file is not a valid trace.
-    Format(FormatError),
+    Format {
+        /// Offending file.
+        path: PathBuf,
+        /// The format-level failure.
+        error: FormatError,
+    },
     /// The file decoded, but its event stream is semantically malformed
     /// (e.g. a double free or an allocation-clock overflow).
-    Invalid(TraceError),
+    Invalid {
+        /// Offending file.
+        path: PathBuf,
+        /// The event-stream failure.
+        error: TraceError,
+    },
+}
+
+impl TraceIoError {
+    /// The file the failure was observed on.
+    pub fn path(&self) -> &Path {
+        match self {
+            TraceIoError::Io { path, .. }
+            | TraceIoError::Format { path, .. }
+            | TraceIoError::Invalid { path, .. } => path,
+        }
+    }
 }
 
 impl std::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceIoError::Io(e) => write!(f, "trace file i/o error: {e}"),
-            TraceIoError::Format(e) => write!(f, "trace file malformed: {e}"),
-            TraceIoError::Invalid(e) => write!(f, "trace file inconsistent: {e}"),
+            TraceIoError::Io { path, error } => {
+                write!(f, "{}: trace file i/o error: {error}", path.display())
+            }
+            TraceIoError::Format { path, error } => {
+                write!(f, "{}: trace file malformed: {error}", path.display())
+            }
+            TraceIoError::Invalid { path, error } => {
+                write!(f, "{}: trace file inconsistent: {error}", path.display())
+            }
         }
     }
 }
@@ -35,22 +70,24 @@ impl std::fmt::Display for TraceIoError {
 impl std::error::Error for TraceIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TraceIoError::Io(e) => Some(e),
-            TraceIoError::Format(e) => Some(e),
-            TraceIoError::Invalid(e) => Some(e),
+            TraceIoError::Io { error, .. } => Some(error),
+            TraceIoError::Format { error, .. } => Some(error),
+            TraceIoError::Invalid { error, .. } => Some(error),
         }
     }
 }
 
-impl From<io::Error> for TraceIoError {
-    fn from(e: io::Error) -> Self {
-        TraceIoError::Io(e)
+fn io_err(path: &Path, error: io::Error) -> TraceIoError {
+    TraceIoError::Io {
+        path: path.to_path_buf(),
+        error,
     }
 }
 
-impl From<FormatError> for TraceIoError {
-    fn from(e: FormatError) -> Self {
-        TraceIoError::Format(e)
+fn format_err(path: &Path, error: FormatError) -> TraceIoError {
+    TraceIoError::Format {
+        path: path.to_path_buf(),
+        error,
     }
 }
 
@@ -60,8 +97,8 @@ impl From<FormatError> for TraceIoError {
 ///
 /// Propagates filesystem errors.
 pub fn write_trace(path: impl AsRef<Path>, trace: &Trace) -> Result<(), TraceIoError> {
-    std::fs::write(path, format::encode(trace))?;
-    Ok(())
+    let path = path.as_ref();
+    std::fs::write(path, format::encode(trace)).map_err(|e| io_err(path, e))
 }
 
 /// Reads a trace from `path` and validates its event stream.
@@ -74,9 +111,13 @@ pub fn write_trace(path: impl AsRef<Path>, trace: &Trace) -> Result<(), TraceIoE
 /// semantically malformed ([`Trace::validate`]) — so a corrupt file
 /// surfaces one precise diagnostic here instead of a failure downstream.
 pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
-    let data = std::fs::read(path)?;
-    let trace = format::decode(&data)?;
-    trace.validate().map_err(TraceIoError::Invalid)?;
+    let path = path.as_ref();
+    let data = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let trace = format::decode(&data).map_err(|e| format_err(path, e))?;
+    trace.validate().map_err(|error| TraceIoError::Invalid {
+        path: path.to_path_buf(),
+        error,
+    })?;
     Ok(trace)
 }
 
@@ -90,6 +131,7 @@ pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
 /// need them validate as they consume.
 pub struct TraceEventReader {
     reader: BufReader<File>,
+    path: PathBuf,
     meta: TraceMeta,
     remaining: u64,
     expected_id: u64,
@@ -103,26 +145,28 @@ impl TraceEventReader {
     /// [`TraceIoError::Io`] on filesystem failure, [`TraceIoError::Format`]
     /// when the header is malformed.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceIoError> {
-        let mut reader = BufReader::new(File::open(path)?);
+        let path = path.as_ref().to_path_buf();
+        let mut reader = BufReader::new(File::open(&path).map_err(|e| io_err(&path, e))?);
         let mut magic = [0u8; 8];
         match reader.read_exact(&mut magic) {
             Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                return Err(TraceIoError::Format(FormatError::BadMagic))
+                return Err(format_err(&path, FormatError::BadMagic))
             }
-            Err(e) => return Err(TraceIoError::Io(e)),
+            Err(e) => return Err(io_err(&path, e)),
         }
         if &magic != format::MAGIC {
-            return Err(TraceIoError::Format(FormatError::BadMagic));
+            return Err(format_err(&path, FormatError::BadMagic));
         }
-        let name = read_string(&mut reader)?;
-        let description = read_string(&mut reader)?;
+        let name = read_string(&mut reader, &path)?;
+        let description = read_string(&mut reader, &path)?;
         let mut raw = [0u8; 8];
-        read_exact_or_truncated(&mut reader, &mut raw)?;
+        read_exact_or_truncated(&mut reader, &mut raw, &path)?;
         let exec_seconds = f64::from_be_bytes(raw);
-        let remaining = read_varint(&mut reader)?;
+        let remaining = read_varint(&mut reader, &path)?;
         Ok(TraceEventReader {
             reader,
+            path,
             meta: TraceMeta {
                 name,
                 description,
@@ -156,52 +200,56 @@ impl TraceEventReader {
         }
         self.remaining -= 1;
         let mut tag = [0u8; 1];
-        read_exact_or_truncated(&mut self.reader, &mut tag)?;
+        read_exact_or_truncated(&mut self.reader, &mut tag, &self.path)?;
         match tag[0] {
             format::TAG_ALLOC => {
-                let delta = read_varint(&mut self.reader)?;
+                let delta = read_varint(&mut self.reader, &self.path)?;
                 let id = self.expected_id.wrapping_add(delta);
                 self.expected_id = id.wrapping_add(1);
-                let size = read_varint(&mut self.reader)? as u32;
+                let size = read_varint(&mut self.reader, &self.path)? as u32;
                 Ok(Some(Event::Alloc {
                     id: ObjectId(id),
                     size,
                 }))
             }
             format::TAG_FREE => {
-                let id = read_varint(&mut self.reader)?;
+                let id = read_varint(&mut self.reader, &self.path)?;
                 Ok(Some(Event::Free { id: ObjectId(id) }))
             }
-            tag => Err(TraceIoError::Format(FormatError::BadTag(tag))),
+            tag => Err(format_err(&self.path, FormatError::BadTag(tag))),
         }
     }
 }
 
 /// `read_exact` that maps a clean EOF to [`FormatError::Truncated`].
-fn read_exact_or_truncated(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), TraceIoError> {
+fn read_exact_or_truncated(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    path: &Path,
+) -> Result<(), TraceIoError> {
     reader.read_exact(buf).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
-            TraceIoError::Format(FormatError::Truncated)
+            format_err(path, FormatError::Truncated)
         } else {
-            TraceIoError::Io(e)
+            io_err(path, e)
         }
     })
 }
 
 /// Incremental LEB128 decode matching `format::get_varint`.
-fn read_varint(reader: &mut impl Read) -> Result<u64, TraceIoError> {
+fn read_varint(reader: &mut impl Read, path: &Path) -> Result<u64, TraceIoError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
         let mut byte = [0u8; 1];
-        read_exact_or_truncated(reader, &mut byte)?;
+        read_exact_or_truncated(reader, &mut byte, path)?;
         v |= u64::from(byte[0] & 0x7f) << shift;
         if byte[0] & 0x80 == 0 {
             return Ok(v);
         }
         shift += 7;
         if shift >= 64 {
-            return Err(TraceIoError::Format(FormatError::Truncated));
+            return Err(format_err(path, FormatError::Truncated));
         }
     }
 }
@@ -209,14 +257,18 @@ fn read_varint(reader: &mut impl Read) -> Result<u64, TraceIoError> {
 /// Incremental string decode matching `format::get_string`. Reads through
 /// a `Take` so a corrupt length varint cannot trigger a huge up-front
 /// allocation.
-fn read_string(reader: &mut impl Read) -> Result<String, TraceIoError> {
-    let len = read_varint(reader)?;
+fn read_string(reader: &mut impl Read, path: &Path) -> Result<String, TraceIoError> {
+    let len = read_varint(reader, path)?;
     let mut raw = Vec::with_capacity(len.min(1 << 16) as usize);
-    let took = reader.by_ref().take(len).read_to_end(&mut raw)?;
+    let took = reader
+        .by_ref()
+        .take(len)
+        .read_to_end(&mut raw)
+        .map_err(|e| io_err(path, e))?;
     if (took as u64) < len {
-        return Err(TraceIoError::Format(FormatError::Truncated));
+        return Err(format_err(path, FormatError::Truncated));
     }
-    String::from_utf8(raw).map_err(|_| TraceIoError::Format(FormatError::BadString))
+    String::from_utf8(raw).map_err(|_| format_err(path, FormatError::BadString))
 }
 
 #[cfg(test)]
@@ -240,14 +292,19 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_reports_io_error() {
+    fn missing_file_reports_io_error_with_path() {
         let err = read_trace("/nonexistent/definitely/not/here.dtbtrc").unwrap_err();
-        assert!(matches!(err, TraceIoError::Io(_)));
-        assert!(err.to_string().contains("i/o"));
+        assert!(matches!(err, TraceIoError::Io { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("i/o"), "message: {msg}");
+        assert!(
+            msg.contains("/nonexistent/definitely/not/here.dtbtrc"),
+            "message does not name the file: {msg}"
+        );
     }
 
     #[test]
-    fn semantically_malformed_file_reports_invalid() {
+    fn semantically_malformed_file_reports_invalid_with_path() {
         use crate::event::{Event, ObjectId, TraceMeta};
         let dir = std::env::temp_dir().join(format!("dtb-io-inv-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -268,9 +325,15 @@ mod tests {
         let err = read_trace(&path).unwrap_err();
         assert!(matches!(
             err,
-            TraceIoError::Invalid(TraceError::DoubleFree { .. })
+            TraceIoError::Invalid {
+                error: TraceError::DoubleFree { .. },
+                ..
+            }
         ));
-        assert!(err.to_string().contains("inconsistent"));
+        let msg = err.to_string();
+        assert!(msg.contains("inconsistent"), "message: {msg}");
+        assert!(msg.contains("inv.dtbtrc"), "message: {msg}");
+        assert_eq!(err.path(), path);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -301,7 +364,7 @@ mod tests {
     }
 
     #[test]
-    fn streaming_reader_detects_truncation() {
+    fn streaming_reader_detects_truncation_and_names_the_file() {
         let dir = std::env::temp_dir().join(format!("dtb-io-trunc-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.dtbtrc");
@@ -319,7 +382,14 @@ mod tests {
                 Err(e) => break e,
             }
         };
-        assert!(matches!(err, TraceIoError::Format(FormatError::Truncated)));
+        assert!(matches!(
+            err,
+            TraceIoError::Format {
+                error: FormatError::Truncated,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("t.dtbtrc"), "message: {err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -330,7 +400,8 @@ mod tests {
         let path = dir.join("bad.dtbtrc");
         std::fs::write(&path, b"this is not a trace").unwrap();
         let err = read_trace(&path).unwrap_err();
-        assert!(matches!(err, TraceIoError::Format(_)));
+        assert!(matches!(err, TraceIoError::Format { .. }));
+        assert!(err.to_string().contains("malformed"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

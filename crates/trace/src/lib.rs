@@ -21,7 +21,9 @@
 //! * **streaming** ([`source`]: the [`EventSource`] abstraction over
 //!   record streams; [`ctc`]: the sharded on-disk `DTBCTC01`
 //!   compiled-trace store) so traces larger than RAM simulate in
-//!   O(live set) memory.
+//!   O(live set) memory;
+//! * the **checkpoint container** ([`ckp`]: the checksummed `DTBCKP01`
+//!   blob format the simulator uses to persist resumable run state).
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod ckp;
 pub mod corrupt;
 pub mod ctc;
 pub mod event;
@@ -51,7 +54,8 @@ pub mod stats;
 pub mod synth;
 
 pub use builder::TraceBuilder;
-pub use ctc::ShardReader;
+pub use ckp::CkpError;
+pub use ctc::{verify_store, ShardReader, ShardStatus, StoreReport};
 pub use event::{CompiledTrace, Event, ObjectId, ObjectLife, Trace, TraceMeta};
 pub use programs::Program;
 pub use source::{collect_source, CompiledSource, EventSource, SourceError, SynthSource};

@@ -35,6 +35,12 @@ pub enum SourceError {
     /// A synthetic generator hit an impossible state (e.g. allocation
     /// clock overflow).
     Synth(String),
+    /// [`EventSource::seek`] was called on a source that cannot
+    /// reposition (the trait's default).
+    SeekUnsupported {
+        /// Name of the source's trace.
+        source: String,
+    },
 }
 
 impl std::fmt::Display for SourceError {
@@ -42,6 +48,9 @@ impl std::fmt::Display for SourceError {
         match self {
             SourceError::Shard(e) => write!(f, "shard store: {e}"),
             SourceError::Synth(msg) => write!(f, "synthetic source: {msg}"),
+            SourceError::SeekUnsupported { source } => {
+                write!(f, "source `{source}` does not support seeking")
+            }
         }
     }
 }
@@ -50,7 +59,7 @@ impl std::error::Error for SourceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SourceError::Shard(e) => Some(e),
-            SourceError::Synth(_) => None,
+            SourceError::Synth(_) | SourceError::SeekUnsupported { .. } => None,
         }
     }
 }
@@ -90,6 +99,24 @@ pub trait EventSource {
     /// sources that know the end up front (shard stores, compiled traces)
     /// report it immediately.
     fn end(&self) -> VirtualTime;
+
+    /// Repositions the stream so the next
+    /// [`next_record`](EventSource::next_record) call returns the first
+    /// record with `birth > clock` (births are strictly increasing, so
+    /// `clock` = "last birth already consumed" resumes exactly where a
+    /// prior run stopped). Seeking backwards and forwards are both
+    /// allowed; checkpoint resume is the motivating caller.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`SourceError::SeekUnsupported`]; seekable
+    /// implementations propagate their own store errors.
+    fn seek(&mut self, clock: VirtualTime) -> Result<(), SourceError> {
+        let _ = clock;
+        Err(SourceError::SeekUnsupported {
+            source: self.meta().name.clone(),
+        })
+    }
 }
 
 /// In-memory [`EventSource`]: a cursor over a borrowed [`CompiledTrace`].
@@ -126,6 +153,11 @@ impl EventSource for CompiledSource<'_> {
     fn end(&self) -> VirtualTime {
         self.trace.end
     }
+
+    fn seek(&mut self, clock: VirtualTime) -> Result<(), SourceError> {
+        self.pos = self.trace.births().partition_point(|b| *b <= clock);
+        Ok(())
+    }
 }
 
 /// Unbounded synthetic [`EventSource`]: generates a [`WorkloadSpec`]'s
@@ -150,6 +182,10 @@ pub struct SynthSource {
     clock: u64,
     next_id: u64,
     finished: bool,
+    /// One-record lookahead filled by [`EventSource::seek`]: skipping
+    /// forward overshoots by exactly one generated record, which is
+    /// stashed here and returned by the next `next_record` call.
+    peeked: Option<ObjectLife>,
 }
 
 impl SynthSource {
@@ -181,6 +217,7 @@ impl SynthSource {
             clock: 0,
             next_id: 0,
             finished: false,
+            peeked: None,
         })
     }
 
@@ -196,6 +233,9 @@ impl EventSource for SynthSource {
     }
 
     fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+        if let Some(life) = self.peeked.take() {
+            return Ok(Some(life));
+        }
         if self.finished {
             return Ok(None);
         }
@@ -256,6 +296,27 @@ impl EventSource for SynthSource {
 
     fn end(&self) -> VirtualTime {
         VirtualTime::from_bytes(self.clock)
+    }
+
+    fn seek(&mut self, clock: VirtualTime) -> Result<(), SourceError> {
+        // The stream is a pure function of the spec's seed: regenerate
+        // from the start and discard records up to (and including) the
+        // target clock. The first overshooting record is kept in the
+        // lookahead slot so no record is lost.
+        let mut fresh =
+            SynthSource::new(self.spec.clone()).map_err(|e| SourceError::Synth(e.to_string()))?;
+        loop {
+            match fresh.next_record()? {
+                Some(life) if life.birth <= clock => continue,
+                Some(life) => {
+                    fresh.peeked = Some(life);
+                    break;
+                }
+                None => break,
+            }
+        }
+        *self = fresh;
+        Ok(())
     }
 }
 
@@ -404,5 +465,60 @@ mod tests {
         let mut spec = synth_spec();
         spec.total_alloc = 0;
         assert!(SynthSource::new(spec).is_err());
+    }
+
+    /// Drains `src` after seeking to `clock` and checks the tail equals
+    /// the records of an untouched twin with `birth > clock`.
+    fn assert_seek_matches_skip(mut src: impl EventSource, mut twin: impl EventSource, clock: u64) {
+        let clock = VirtualTime::from_bytes(clock);
+        src.seek(clock).unwrap();
+        let mut tail = Vec::new();
+        while let Some(l) = src.next_record().unwrap() {
+            tail.push(l);
+        }
+        let mut expected = Vec::new();
+        while let Some(l) = twin.next_record().unwrap() {
+            if l.birth > clock {
+                expected.push(l);
+            }
+        }
+        assert_eq!(tail, expected, "seek({clock:?})");
+    }
+
+    #[test]
+    fn compiled_source_seek_resumes_after_clock() {
+        let c = compiled();
+        for clock in [0u64, 5, 10, 29, 30, 31, 35, 100] {
+            assert_seek_matches_skip(CompiledSource::new(&c), CompiledSource::new(&c), clock);
+        }
+        // Seeking backwards after exhaustion rewinds.
+        let mut src = CompiledSource::new(&c);
+        while src.next_record().unwrap().is_some() {}
+        src.seek(VirtualTime::ZERO).unwrap();
+        assert_eq!(
+            collect_source(&mut src).unwrap().lives().count(),
+            c.lives().count()
+        );
+    }
+
+    #[test]
+    fn synth_source_seek_resumes_after_clock() {
+        for clock in [0u64, 1, 19_999, 20_000, 150_000, 299_000, 400_000] {
+            assert_seek_matches_skip(
+                SynthSource::new(synth_spec()).unwrap(),
+                SynthSource::new(synth_spec()).unwrap(),
+                clock,
+            );
+        }
+    }
+
+    #[test]
+    fn synth_source_seek_mid_stream_discards_consumed_state() {
+        // Seek must reposition absolutely, not relative to what was read.
+        let mut a = SynthSource::new(synth_spec()).unwrap();
+        for _ in 0..500 {
+            a.next_record().unwrap();
+        }
+        assert_seek_matches_skip(a, SynthSource::new(synth_spec()).unwrap(), 40_000);
     }
 }

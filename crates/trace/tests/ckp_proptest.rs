@@ -1,0 +1,103 @@
+//! Property tests for the `DTBCKP01` checkpoint container: round trips
+//! are byte-exact for any payload, and no byte-level damage — flips,
+//! truncations, trailing garbage — may panic the reader. Every damaged
+//! file yields a typed [`CkpError`]; because the trailing FNV-1a
+//! checksum covers every byte before it, a *single*-byte flip is always
+//! detected, never silently accepted.
+
+use dtb_trace::ckp::{read_blob, write_blob, CkpError};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh file path per proptest case: tests run concurrently, and a
+/// reused path would mix payloads from different cases.
+fn temp_file(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("dtb-ckp-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(format!("{tag}-{n}.dtbckp"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Write + read is the identity on payload bytes, including the
+    /// empty payload and payloads containing the magic or fake trailers.
+    #[test]
+    fn round_trip_is_exact(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let path = temp_file("rt");
+        write_blob(&path, &payload).expect("write checkpoint");
+        prop_assert_eq!(read_blob(&path).expect("read checkpoint"), payload);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Any single-byte flip anywhere in the file — magic, payload, or
+    /// trailer — is detected as a typed error. FNV-1a's per-byte steps
+    /// are invertible, so a one-byte change in the body always changes
+    /// the computed checksum, and a flip in the trailer changes the
+    /// recorded one; either way the two disagree (or the magic breaks).
+    #[test]
+    fn single_byte_flips_are_always_detected(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        offset in 0usize..=1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let path = temp_file("flip");
+        write_blob(&path, &payload).expect("write checkpoint");
+        let mut raw = std::fs::read(&path).expect("read raw file");
+        let i = offset % raw.len();
+        raw[i] ^= mask;
+        std::fs::write(&path, &raw).expect("write corrupted");
+        let err = read_blob(&path).expect_err("corruption must be detected");
+        prop_assert!(
+            matches!(
+                err,
+                CkpError::ChecksumMismatch { .. } | CkpError::BadMagic { .. }
+            ),
+            "unexpected error class: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Truncating the file at any point is a typed error, never a panic
+    /// and never a silently short payload.
+    #[test]
+    fn truncations_are_typed_errors(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        cut in 0usize..=1_000_000,
+    ) {
+        let path = temp_file("cut");
+        write_blob(&path, &payload).expect("write checkpoint");
+        let raw = std::fs::read(&path).expect("read raw file");
+        let keep = cut % raw.len(); // strictly shorter than the original
+        std::fs::write(&path, &raw[..keep]).expect("truncate");
+        let err = read_blob(&path).expect_err("truncation must be detected");
+        prop_assert!(
+            matches!(
+                err,
+                CkpError::Truncated { .. } | CkpError::ChecksumMismatch { .. }
+            ),
+            "unexpected error class: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Appending garbage after the trailer is detected too: the trailer
+    /// is located from the end of the file, so extra bytes shift it off
+    /// the real checksum.
+    #[test]
+    fn trailing_garbage_is_detected(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        garbage in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let path = temp_file("tail");
+        write_blob(&path, &payload).expect("write checkpoint");
+        let mut raw = std::fs::read(&path).expect("read raw file");
+        raw.extend_from_slice(&garbage);
+        std::fs::write(&path, &raw).expect("append garbage");
+        prop_assert!(read_blob(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

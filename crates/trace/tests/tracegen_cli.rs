@@ -174,6 +174,61 @@ fn shard_with_bad_stride_fails_cleanly() {
 }
 
 #[test]
+fn verify_accepts_a_clean_store_and_names_a_corrupted_shard() {
+    let src = temp_path("verify-me.dtbtrc");
+    let gen = tracegen(&["gen", "cfrac", src.to_str().unwrap()]);
+    assert!(gen.status.success(), "stderr: {}", stderr(&gen));
+    let store = temp_path("store-verify");
+    let out = tracegen(&[
+        "shard",
+        src.to_str().unwrap(),
+        store.to_str().unwrap(),
+        "10000",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Clean store: exit 0, every shard reported OK.
+    let out = tracegen(&["verify", store.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("store ok"), "stdout: {stdout}");
+    assert!(stdout.contains("shard-00001"), "stdout: {stdout}");
+
+    // Flip one payload byte in the second shard: exit nonzero, the bad
+    // shard is named, and the healthy shards still report OK.
+    let victim = store.join("shard-00001.dtbctc");
+    let mut raw = std::fs::read(&victim).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x40;
+    std::fs::write(&victim, raw).unwrap();
+    let out = tracegen(&["verify", store.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let err = stderr(&out);
+    assert!(
+        stdout.contains("shard-00001.dtbctc: FAILED"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("shard-00000.dtbctc: OK"),
+        "stdout: {stdout}"
+    );
+    assert!(err.contains("shard-00001"), "stderr: {err}");
+    assert!(err.contains("failed verification"), "stderr: {err}");
+}
+
+#[test]
+fn verify_with_missing_store_fails_cleanly() {
+    let out = tracegen(&["verify", "/nonexistent/not/a/store"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("cannot verify"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn compile_with_missing_source_fails_cleanly() {
     let out = tracegen(&["compile", "/nonexistent/not/here.dtbtrc", "/tmp/out-dir"]);
     assert_eq!(out.status.code(), Some(1));
