@@ -3,13 +3,17 @@
 //! Generates a paper-scale synthetic trace (heavy short-lived churn, a
 //! medium-lived band, an immortal ramp and a permanent startup structure
 //! — the mixture that keeps a large live set resident), then runs the
-//! **six-policy matrix** through the engine three times:
+//! **six-policy matrix** through the engine up to four times:
 //!
 //! 1. on the incremental `OracleHeap` (the headline configuration);
 //! 2. streaming the same records back from an on-disk `DTBCTC01` shard
 //!    store through `simulate_source` — must be report-identical to (1),
 //!    and its events/second is the streaming-path column;
-//! 3. on the scan-based `NaiveHeap` baseline (the pre-incremental
+//! 3. through the intra-cell parallel engine (`Sim::threads(n)`, the
+//!    epoch-decomposed drive) whenever the machine has ≥ 2 hardware
+//!    threads — must also be report-identical to (1), by the determinism
+//!    contract;
+//! 4. on the scan-based `NaiveHeap` baseline (the pre-incremental
 //!    implementation) unless `--skip-naive`.
 //!
 //! All passes must produce identical reports — the harness doubles as a
@@ -24,9 +28,13 @@
 //! in-memory pass already parked the whole trace in RAM (the absolute
 //! bound is asserted by the dedicated `stream_smoke` binary, which never
 //! materializes a trace). With `--baseline <file>`, the run fails
-//! (exit 1) if incremental — or, when both sides recorded it, streaming —
-//! events/second drops below 70% of the recorded baseline — the CI
-//! `bench-smoke` job's regression gate.
+//! (exit 1) if incremental — or, when both sides recorded it, streaming
+//! or parallel — events/second drops below 70% of the recorded baseline
+//! — the CI `bench-smoke` job's regression gate.
+//! `--expect-parallel-speedup X` additionally fails the run unless the
+//! parallel pass beat the serial incremental pass by at least `X`×; CI
+//! passes it only on runners with ≥ 4 cores, since the speedup is a
+//! property of the hardware, not the code.
 //!
 //! With `--resume <dir>`, every completed (engine × policy) cell is
 //! written to `<dir>` as a checksummed done-file; rerunning with the same
@@ -38,7 +46,7 @@
 //!
 //! ```text
 //! bench_dtb [--events N] [--out PATH] [--baseline PATH] [--skip-naive]
-//!           [--resume DIR]
+//!           [--resume DIR] [--threads N] [--expect-parallel-speedup X]
 //! ```
 
 use std::path::PathBuf;
@@ -47,7 +55,7 @@ use std::time::Instant;
 
 use dtb_bench::peak_rss_bytes;
 use dtb_core::policy::{PolicyConfig, PolicyKind};
-use dtb_sim::engine::{simulate, simulate_source, simulate_with_heap, SimConfig};
+use dtb_sim::engine::{simulate, simulate_source, Sim, SimConfig};
 use dtb_sim::{NaiveHeap, SimReport};
 use dtb_trace::ckp::{read_blob, write_blob};
 use dtb_trace::event::CompiledTrace;
@@ -90,6 +98,14 @@ struct BenchReport {
     /// (absent in pre-v2 reports; the vendored deserializer maps a
     /// missing field to `None`).
     streaming: Option<EngineTiming>,
+    /// The same matrix through the intra-cell parallel engine
+    /// (`Sim::threads(n)`); absent in pre-v3 reports and on single-core
+    /// machines, where the engine would fall back to serial anyway.
+    parallel: Option<EngineTiming>,
+    /// Worker threads the parallel pass ran with.
+    parallel_threads: Option<usize>,
+    /// incremental total seconds / parallel total seconds.
+    parallel_speedup: Option<f64>,
     naive: Option<EngineTiming>,
     /// naive total seconds / incremental total seconds.
     speedup: Option<f64>,
@@ -285,6 +301,10 @@ struct Args {
     baseline: Option<String>,
     skip_naive: bool,
     resume: Option<PathBuf>,
+    /// Worker threads for the parallel pass; 0 means one per core.
+    threads: usize,
+    /// Minimum parallel-over-serial speedup, enforced when set.
+    expect_parallel_speedup: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -294,6 +314,8 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         skip_naive: false,
         resume: None,
+        threads: 0,
+        expect_parallel_speedup: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -308,6 +330,17 @@ fn parse_args() -> Result<Args, String> {
             "--resume" => {
                 args.resume = Some(PathBuf::from(it.next().ok_or("--resume needs a value")?));
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad --threads: {v}"))?;
+            }
+            "--expect-parallel-speedup" => {
+                let v = it.next().ok_or("--expect-parallel-speedup needs a value")?;
+                args.expect_parallel_speedup = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --expect-parallel-speedup: {v}"))?,
+                );
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -321,7 +354,7 @@ fn main() -> ExitCode {
             eprintln!("bench_dtb: {e}");
             eprintln!(
                 "usage: bench_dtb [--events N] [--out PATH] [--baseline PATH] [--skip-naive] \
-                 [--resume DIR]"
+                 [--resume DIR] [--threads N] [--expect-parallel-speedup X]"
             );
             return ExitCode::FAILURE;
         }
@@ -391,12 +424,57 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Parallel pass: the same matrix through the epoch-decomposed
+    // intra-cell engine. Reports must be bit-identical to serial — the
+    // determinism contract — so this doubles as a differential check at
+    // benchmark scale. Skipped on single-core machines, where the engine
+    // falls back to serial and the timing would only measure noise.
+    let threads = if args.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        args.threads
+    };
+    let mut parallel = None;
+    let mut parallel_threads = None;
+    let mut parallel_speedup = None;
+    if threads >= 2 {
+        let label = format!("parallel{threads}");
+        let result = run_matrix(&label, trace.len(), &store, |kind| {
+            let mut policy = kind.build(&policy_cfg);
+            Sim::new(sim_cfg)
+                .threads(threads)
+                .run_trace(&trace, &mut policy)
+                .map_err(|e| e.to_string())
+        });
+        let (mut timing, par_reports) = match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_dtb: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if fast_reports != par_reports {
+            eprintln!("bench_dtb: incremental and parallel runs diverged — refusing to report");
+            return ExitCode::FAILURE;
+        }
+        timing.heap = "parallel".to_string();
+        parallel_speedup = Some(incremental.total_seconds / timing.total_seconds.max(1e-9));
+        parallel_threads = Some(threads);
+        parallel = Some(timing);
+    } else {
+        eprintln!("bench_dtb: one hardware thread — skipping the parallel pass");
+    }
+
     let mut naive = None;
     let mut speedup = None;
     if !args.skip_naive {
         let (timing, slow_reports) = match run_matrix("naive", trace.len(), &store, |kind| {
             let mut policy = kind.build(&policy_cfg);
-            simulate_with_heap::<NaiveHeap>(&trace, &mut policy, &sim_cfg)
+            Sim::new(sim_cfg)
+                .heap::<NaiveHeap>()
+                .run_trace(&trace, &mut policy)
                 .map_err(|e| e.to_string())
         }) {
             Ok(r) => r,
@@ -415,12 +493,15 @@ fn main() -> ExitCode {
     }
 
     let report = BenchReport {
-        schema: "bench_dtb/v2".to_string(),
+        schema: "bench_dtb/v3".to_string(),
         events: trace.len(),
         total_alloc_bytes: spec.total_alloc,
         trace: spec.name.clone(),
         incremental,
         streaming: Some(streaming),
+        parallel,
+        parallel_threads,
+        parallel_speedup,
         naive,
         speedup,
         peak_rss_bytes: peak_rss_bytes(),
@@ -439,7 +520,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "incremental: {:.0} events/s, streaming: {:.0} events/s{}  → {}",
+        "incremental: {:.0} events/s, streaming: {:.0} events/s{}{}  → {}",
         report.incremental.events_per_sec,
         report
             .streaming
@@ -447,11 +528,48 @@ fn main() -> ExitCode {
             .map(|s| s.events_per_sec)
             .unwrap_or(0.0),
         report
+            .parallel
+            .as_ref()
+            .zip(report.parallel_speedup)
+            .map(|(p, s)| {
+                format!(
+                    ", parallel×{}: {:.0} events/s ({s:.2}× serial)",
+                    report.parallel_threads.unwrap_or(0),
+                    p.events_per_sec
+                )
+            })
+            .unwrap_or_default(),
+        report
             .speedup
             .map(|s| format!(", {s:.1}× over naive"))
             .unwrap_or_default(),
         args.out
     );
+
+    // Hardware gate: the parallel pass must beat serial by the demanded
+    // factor. Only meaningful on multi-core runners — CI keys the flag
+    // on the core count.
+    if let Some(min) = args.expect_parallel_speedup {
+        match report.parallel_speedup {
+            Some(s) if s >= min => {
+                eprintln!("parallel gate ok: {s:.2}× ≥ required {min:.2}×");
+            }
+            Some(s) => {
+                eprintln!(
+                    "bench_dtb: REGRESSION — parallel speedup {s:.2}× is below the required \
+                     {min:.2}×"
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!(
+                    "bench_dtb: --expect-parallel-speedup given but the parallel pass did not \
+                     run (one hardware thread?)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     // Regression gate: fail when incremental — or streaming, once the
     // baseline records it — throughput drops more than 30% below the
@@ -474,6 +592,9 @@ fn main() -> ExitCode {
         )];
         if let (Some(ours), Some(theirs)) = (&report.streaming, &baseline.streaming) {
             gates.push(("streaming", ours.events_per_sec, theirs.events_per_sec));
+        }
+        if let (Some(ours), Some(theirs)) = (&report.parallel, &baseline.parallel) {
+            gates.push(("parallel", ours.events_per_sec, theirs.events_per_sec));
         }
         for (label, measured, recorded) in gates {
             if measured < recorded * 0.7 {

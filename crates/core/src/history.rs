@@ -69,9 +69,11 @@ pub struct ScavengeHistory {
 }
 
 impl ScavengeHistory {
-    /// Creates an empty history.
-    pub fn new() -> ScavengeHistory {
-        ScavengeHistory::default()
+    /// Creates an empty history (const, so statics can hold one).
+    pub const fn new() -> ScavengeHistory {
+        ScavengeHistory {
+            records: Vec::new(),
+        }
     }
 
     /// Appends the record of a just-completed scavenge.
@@ -138,11 +140,28 @@ impl ScavengeHistory {
         &self,
         from: VirtualTime,
     ) -> impl Iterator<Item = (usize, VirtualTime)> + '_ {
-        self.records
+        let start = self.split_at_or_after(from);
+        self.records[start..]
             .iter()
             .enumerate()
-            .filter(move |(_, r)| r.at >= from)
-            .map(|(i, r)| (i, r.at))
+            .map(move |(i, r)| (start + i, r.at))
+    }
+
+    /// The candidate boundaries at or after `from`, as a sorted view the
+    /// inverse survival query
+    /// ([`SurvivalEstimator::oldest_boundary_within`](crate::policy::SurvivalEstimator::oldest_boundary_within))
+    /// can both iterate and binary-search.
+    pub fn candidates_at_or_after(&self, from: VirtualTime) -> BoundaryCandidates<'_> {
+        BoundaryCandidates {
+            records: &self.records[self.split_at_or_after(from)..],
+        }
+    }
+
+    /// Index of the first record with `at >= from`. Records are pushed
+    /// with non-decreasing `at` (enforced by [`ScavengeHistory::push`]),
+    /// so one binary search replaces the old linear filter.
+    fn split_at_or_after(&self, from: VirtualTime) -> usize {
+        self.records.partition_point(|r| r.at < from)
     }
 
     /// Total bytes traced over the whole history.
@@ -153,6 +172,57 @@ impl ScavengeHistory {
     /// Total bytes reclaimed over the whole history.
     pub fn total_reclaimed(&self) -> Bytes {
         self.records.iter().map(|r| r.reclaimed).sum()
+    }
+}
+
+/// A sorted run of candidate boundary times — the scavenge times a
+/// mediating policy may move the boundary to.
+///
+/// Produced by [`ScavengeHistory::candidates_at_or_after`]; consumed by
+/// [`SurvivalEstimator::oldest_boundary_within`](crate::policy::SurvivalEstimator::oldest_boundary_within).
+/// Times ascend (scavenges complete in allocation order), which is what
+/// lets an estimator answer the inverse query with a binary search
+/// instead of probing candidates one by one.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundaryCandidates<'a> {
+    records: &'a [ScavengeRecord],
+}
+
+impl<'a> BoundaryCandidates<'a> {
+    /// A view over explicit records (ascending `at`); mainly for tests —
+    /// policies get their candidates from the history.
+    pub fn over(records: &'a [ScavengeRecord]) -> BoundaryCandidates<'a> {
+        debug_assert!(
+            records.windows(2).all(|w| w[0].at <= w[1].at),
+            "candidate times must ascend"
+        );
+        BoundaryCandidates { records }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Candidate times, oldest first.
+    pub fn times(&self) -> impl Iterator<Item = VirtualTime> + 'a {
+        self.records.iter().map(|r| r.at)
+    }
+
+    /// The oldest candidate, if any.
+    pub fn first(&self) -> Option<VirtualTime> {
+        self.records.first().map(|r| r.at)
+    }
+
+    /// The oldest candidate at or after `threshold`, by binary search.
+    pub fn first_at_or_after(&self, threshold: VirtualTime) -> Option<VirtualTime> {
+        let i = self.records.partition_point(|r| r.at < threshold);
+        self.records.get(i).map(|r| r.at)
     }
 }
 

@@ -91,6 +91,7 @@ mod tests {
     use super::super::NoSurvivalInfo;
     use super::*;
     use crate::history::ScavengeHistory;
+    use crate::time::{Bytes, VirtualTime};
 
     #[test]
     fn first_scavenge_is_full() {
@@ -98,7 +99,12 @@ mod tests {
         let est = NoSurvivalInfo;
         let h = ScavengeHistory::new();
         assert_eq!(
-            p.select_boundary(&ctx(100, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(100))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
     }
@@ -110,7 +116,14 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // Previous: t=1000, TB=900 (distance 100), traced 50 (half budget).
         h.push(rec(1000, 900, 50, 60, 120));
-        let tb = p.select_boundary(&ctx(2000, 0, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(2000))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         // New distance = 100 · (100/50) = 200 ⇒ TB = 2000 − 200 = 1800…
         // …clamped to t_{n-1} = 1000 so everything allocated since the last
         // scavenge is traced at least once.
@@ -124,7 +137,14 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // Previous: t=10_000, TB=2_000 (distance 8_000), traced 50.
         h.push(rec(10_000, 2_000, 50, 60, 120));
-        let tb = p.select_boundary(&ctx(11_000, 0, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(11_000))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         // New distance = 8_000 · 2 = 16_000 > t_n ⇒ full collection.
         assert_eq!(tb, VirtualTime::ZERO);
     }
@@ -136,7 +156,14 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // distance 5_000, traced exactly at budget ⇒ ratio 1.
         h.push(rec(10_000, 5_000, 100, 120, 200));
-        let tb = p.select_boundary(&ctx(11_000, 0, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(11_000))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         // TB = 11_000 − 5_000 = 6_000, within [0, t_{n-1}].
         assert_eq!(tb, VirtualTime::from_bytes(6_000));
     }
@@ -148,7 +175,12 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(1000, 900, 0, 10, 110));
         assert_eq!(
-            p.select_boundary(&ctx(2000, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(2000))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
     }
@@ -162,7 +194,14 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(100, 0, 90, 90, 150));
         h.push(rec(200, 100, 90, 120, 200));
-        let tb = p.select_boundary(&ctx(300, 0, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(300))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(200)); // same as FEEDMED test
     }
 
@@ -175,7 +214,10 @@ mod tests {
         let mut t = 0u64;
         for i in 1..50u64 {
             t += 1000;
-            let c = ctx(t, i * 13, &h, &est);
+            let c = ScavengeContext::at(VirtualTime::from_bytes(t))
+                .mem(Bytes::new(i * 13))
+                .history(&h)
+                .survival(&est);
             let tb = p.select_boundary(&c).unwrap();
             assert!(tb <= c.now);
             if let Some(prev) = h.last() {

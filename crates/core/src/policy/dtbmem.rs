@@ -133,6 +133,7 @@ mod tests {
     use super::super::NoSurvivalInfo;
     use super::*;
     use crate::history::ScavengeHistory;
+    use crate::time::{Bytes, VirtualTime};
 
     #[test]
     fn first_scavenge_is_full() {
@@ -140,7 +141,12 @@ mod tests {
         let est = NoSurvivalInfo;
         let h = ScavengeHistory::new();
         assert_eq!(
-            p.select_boundary(&ctx(100, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(100))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
     }
@@ -153,7 +159,14 @@ mod tests {
         // S_{n-1} = 1200, Trace_{n-1} = 800 ⇒ L_est = 1000.
         h.push(rec(10_000, 0, 800, 1200, 2000));
         // Mem_n = 4000 ⇒ factor = (3000−1000)/4000 = 0.5 ⇒ TB = 20_000·0.5.
-        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(20_000))
+                    .mem(Bytes::new(4000))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(10_000)); // == t_{n-1}, exactly at the cap
     }
 
@@ -164,7 +177,14 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // Tiny live estimate and huge budget ⇒ raw factor near 1.
         h.push(rec(5_000, 0, 10, 10, 100));
-        let tb = p.select_boundary(&ctx(20_000, 100, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(20_000))
+                    .mem(Bytes::new(100))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(5_000));
     }
 
@@ -176,7 +196,12 @@ mod tests {
         // L_est = 1000 > Mem_max = 500.
         h.push(rec(10_000, 0, 800, 1200, 2000));
         assert_eq!(
-            p.select_boundary(&ctx(20_000, 4000, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(20_000))
+                    .mem(Bytes::new(4000))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
     }
@@ -188,7 +213,14 @@ mod tests {
         let mut h = ScavengeHistory::new();
         // L_est = 1000, budget = 100, Mem_n = 4000 ⇒ factor = 0.025.
         h.push(rec(10_000, 0, 800, 1200, 2000));
-        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(20_000))
+                    .mem(Bytes::new(4000))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(500));
     }
 
@@ -199,7 +231,12 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(10_000, 0, 0, 0, 0));
         assert_eq!(
-            p.select_boundary(&ctx(20_000, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(20_000))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
     }
@@ -223,7 +260,14 @@ mod tests {
         let mut prev = VirtualTime::ZERO;
         for budget in [1_000u64, 1_500, 2_000, 3_000, 5_000, 50_000] {
             let mut p = DtbMem::new(Bytes::new(budget));
-            let tb = p.select_boundary(&ctx(60_000, 5_000, &h, &est)).unwrap();
+            let tb = p
+                .select_boundary(
+                    &ScavengeContext::at(VirtualTime::from_bytes(60_000))
+                        .mem(Bytes::new(5_000))
+                        .history(&h)
+                        .survival(&est),
+                )
+                .unwrap();
             assert!(tb >= prev, "budget {budget}: {tb:?} < {prev:?}");
             prev = tb;
         }
@@ -236,6 +280,7 @@ mod estimate_tests {
     use super::super::NoSurvivalInfo;
     use super::*;
     use crate::history::ScavengeHistory;
+    use crate::time::{Bytes, VirtualTime};
 
     #[test]
     fn estimators_order_the_boundary() {
@@ -245,7 +290,10 @@ mod estimate_tests {
         let est = NoSurvivalInfo;
         let mut h = ScavengeHistory::new();
         h.push(rec(10_000, 0, 400, 1600, 2400));
-        let c = ctx(20_000, 4_000, &h, &est);
+        let c = ScavengeContext::at(VirtualTime::from_bytes(20_000))
+            .mem(Bytes::new(4_000))
+            .history(&h)
+            .survival(&est);
         let budget = Bytes::new(2_000);
         let tb_surv = DtbMem::with_estimate(budget, LiveEstimate::Surviving)
             .select_boundary(&c)

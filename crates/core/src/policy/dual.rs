@@ -90,6 +90,7 @@ mod tests {
     use super::super::NoSurvivalInfo;
     use super::*;
     use crate::history::ScavengeHistory;
+    use crate::time::{Bytes, VirtualTime};
 
     #[test]
     fn first_scavenge_is_full() {
@@ -97,7 +98,12 @@ mod tests {
         let h = ScavengeHistory::new();
         let est = NoSurvivalInfo;
         assert_eq!(
-            p.select_boundary(&ctx(100, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(100))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
     }
@@ -110,7 +116,10 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(10_000, 0, 800, 1200, 2000));
         let mut mem_only = DtbMem::new(Bytes::new(3000));
-        let c = ctx(20_000, 4000, &h, &est);
+        let c = ScavengeContext::at(VirtualTime::from_bytes(20_000))
+            .mem(Bytes::new(4000))
+            .history(&h)
+            .survival(&est);
         assert_eq!(p.select_boundary(&c), mem_only.select_boundary(&c));
     }
 
@@ -127,7 +136,14 @@ mod tests {
         // Previous scavenge blew the pause budget, so the pause policy
         // mediates with the estimator instead of extrapolating.
         h.push(rec(10_000, 0, 90_000, 1200, 92_000));
-        let tb = p.select_boundary(&ctx(20_000, 4000, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(20_000))
+                    .mem(Bytes::new(4000))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         assert!(
             tb > VirtualTime::ZERO,
             "pause budget should veto the full collection"
@@ -150,7 +166,10 @@ mod tests {
         let mut t = 0u64;
         for i in 1..40u64 {
             t += 1_000;
-            let c = ctx(t, i * 100, &h, &est);
+            let c = ScavengeContext::at(VirtualTime::from_bytes(t))
+                .mem(Bytes::new(i * 100))
+                .history(&h)
+                .survival(&est);
             let tb = p.select_boundary(&c).unwrap();
             assert!(tb <= c.now);
             if let Some(prev) = h.last() {

@@ -58,18 +58,22 @@ impl FeedMed {
 /// after `prev_tb` whose predicted trace fits `trace_max`; falls back to
 /// `last_time` (`t_{n-1}`, supplied by the caller from the record it already
 /// holds) when none fits.
+///
+/// The search itself is the estimator's
+/// [`oldest_boundary_within`](super::SurvivalEstimator::oldest_boundary_within)
+/// inverse query: against the simulator's Fenwick-backed estimator one
+/// call costs `O(log n)` instead of one survival probe per candidate,
+/// and against any other estimator the default scan reproduces the old
+/// loop exactly.
 pub(super) fn mediate(
     ctx: &ScavengeContext<'_>,
     trace_max: Bytes,
     prev_tb: VirtualTime,
     last_time: VirtualTime,
 ) -> VirtualTime {
-    for (_, t_k) in ctx.history.times_at_or_after(prev_tb) {
-        if ctx.survival.surviving_born_after(t_k) <= trace_max {
-            return clamp_boundary(t_k, last_time);
-        }
-    }
-    last_time
+    ctx.survival
+        .oldest_boundary_within(trace_max, ctx.history.candidates_at_or_after(prev_tb))
+        .map_or(last_time, |t_k| clamp_boundary(t_k, last_time))
 }
 
 impl TbPolicy for FeedMed {
@@ -99,6 +103,7 @@ mod tests {
     use super::super::NoSurvivalInfo;
     use super::*;
     use crate::history::ScavengeHistory;
+    use crate::time::{Bytes, VirtualTime};
 
     #[test]
     fn first_scavenge_is_full() {
@@ -106,7 +111,12 @@ mod tests {
         let est = NoSurvivalInfo;
         let h = ScavengeHistory::new();
         assert_eq!(
-            p.select_boundary(&ctx(100, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(100))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
     }
@@ -118,7 +128,12 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(100, 30, 40, 40, 80)); // traced 40 <= 50
         assert_eq!(
-            p.select_boundary(&ctx(200, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(200))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::from_bytes(30))
         );
     }
@@ -133,7 +148,14 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(100, 0, 90, 90, 150)); // traced 90 > 50 at next decision? no: this is scavenge 0
         h.push(rec(200, 100, 90, 120, 200)); // traced 90 > 50 → mediate
-        let tb = p.select_boundary(&ctx(300, 0, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(300))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         // Candidates ≥ TB_{n-1}=100: t=100 (predict 80 > 50), t=200 (predict 45 ≤ 50).
         assert_eq!(tb, VirtualTime::from_bytes(200));
     }
@@ -148,7 +170,14 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(100, 0, 20, 20, 40));
         h.push(rec(200, 100, 20, 30, 60));
-        let tb = p.select_boundary(&ctx(300, 0, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(300))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         assert_eq!(tb, VirtualTime::from_bytes(200));
     }
 
@@ -162,7 +191,14 @@ mod tests {
         let mut h = ScavengeHistory::new();
         h.push(rec(100, 0, 20, 20, 40));
         h.push(rec(200, 150, 90, 90, 180)); // over budget, TB_{n-1} = 150
-        let tb = p.select_boundary(&ctx(300, 0, &h, &est)).unwrap();
+        let tb = p
+            .select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(300))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est),
+            )
+            .unwrap();
         assert!(tb >= VirtualTime::from_bytes(150));
     }
 

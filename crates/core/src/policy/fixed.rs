@@ -73,6 +73,7 @@ mod tests {
     use super::super::NoSurvivalInfo;
     use super::*;
     use crate::history::ScavengeHistory;
+    use crate::time::{Bytes, VirtualTime};
 
     #[test]
     fn fixed1_tracks_previous_scavenge_time() {
@@ -80,17 +81,32 @@ mod tests {
         let est = NoSurvivalInfo;
         let mut h = ScavengeHistory::new();
         assert_eq!(
-            p.select_boundary(&ctx(100, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(100))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
         h.push(rec(100, 0, 10, 10, 20));
         assert_eq!(
-            p.select_boundary(&ctx(200, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(200))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::from_bytes(100))
         );
         h.push(rec(200, 100, 5, 12, 30));
         assert_eq!(
-            p.select_boundary(&ctx(300, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(300))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::from_bytes(200))
         );
     }
@@ -102,7 +118,12 @@ mod tests {
         let mut h = ScavengeHistory::new();
         for (i, t) in [100u64, 200, 300].iter().enumerate() {
             assert_eq!(
-                p.select_boundary(&ctx(*t, 0, &h, &est)),
+                p.select_boundary(
+                    &ScavengeContext::at(VirtualTime::from_bytes(*t))
+                        .mem(Bytes::new(0))
+                        .history(&h)
+                        .survival(&est)
+                ),
                 Ok(VirtualTime::ZERO),
                 "scavenge {i} should still be full"
             );
@@ -111,7 +132,12 @@ mod tests {
         h.push(rec(400, 0, 1, 1, 2));
         // With four completed scavenges, boundary is t_{n-4} = 100.
         assert_eq!(
-            p.select_boundary(&ctx(500, 0, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(500))
+                    .mem(Bytes::new(0))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::from_bytes(100))
         );
     }

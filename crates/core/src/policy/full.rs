@@ -54,6 +54,7 @@ mod tests {
     use super::super::NoSurvivalInfo;
     use super::*;
     use crate::history::ScavengeHistory;
+    use crate::time::{Bytes, VirtualTime};
 
     #[test]
     fn always_zero_regardless_of_history() {
@@ -61,13 +62,23 @@ mod tests {
         let est = NoSurvivalInfo;
         let mut h = ScavengeHistory::new();
         assert_eq!(
-            p.select_boundary(&ctx(100, 10, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(100))
+                    .mem(Bytes::new(10))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
         h.push(rec(100, 0, 50, 50, 100));
         h.push(rec(200, 0, 60, 60, 110));
         assert_eq!(
-            p.select_boundary(&ctx(300, 10, &h, &est)),
+            p.select_boundary(
+                &ScavengeContext::at(VirtualTime::from_bytes(300))
+                    .mem(Bytes::new(10))
+                    .history(&h)
+                    .survival(&est)
+            ),
             Ok(VirtualTime::ZERO)
         );
     }

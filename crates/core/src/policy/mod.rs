@@ -42,8 +42,15 @@ pub use kind::{PolicyConfig, PolicyKind, Row};
 
 pub use crate::error::PolicyError;
 
-use crate::history::ScavengeHistory;
+use crate::history::{BoundaryCandidates, ScavengeHistory};
 use crate::time::{Bytes, VirtualTime};
+
+/// The empty history the [`ScavengeContext`] builder starts from.
+static EMPTY_HISTORY: ScavengeHistory = ScavengeHistory::new();
+
+/// The no-information estimator the [`ScavengeContext`] builder starts
+/// from.
+static NO_SURVIVAL: NoSurvivalInfo = NoSurvivalInfo;
 
 /// Everything a policy may consult when choosing `TB_n`.
 ///
@@ -61,7 +68,63 @@ pub struct ScavengeContext<'a> {
     pub survival: &'a dyn SurvivalEstimator,
 }
 
+impl ScavengeContext<'static> {
+    /// Starts building a context for a boundary decision at time `now`.
+    ///
+    /// The remaining fields default to "nothing known": zero memory in
+    /// use, an empty history, and [`NoSurvivalInfo`]. Chain
+    /// [`mem`](ScavengeContext::mem), [`history`](ScavengeContext::history)
+    /// and [`survival`](ScavengeContext::survival) to fill them in:
+    ///
+    /// ```
+    /// use dtb_core::history::ScavengeHistory;
+    /// use dtb_core::policy::{NoSurvivalInfo, ScavengeContext};
+    /// use dtb_core::time::{Bytes, VirtualTime};
+    ///
+    /// let h = ScavengeHistory::new();
+    /// let s = NoSurvivalInfo;
+    /// let ctx = ScavengeContext::at(VirtualTime::from_bytes(1_000_000))
+    ///     .mem(Bytes::from_kb(512))
+    ///     .history(&h)
+    ///     .survival(&s);
+    /// assert_eq!(ctx.prev_time(), None);
+    /// ```
+    pub fn at(now: VirtualTime) -> ScavengeContext<'static> {
+        ScavengeContext {
+            now,
+            mem_before: Bytes::ZERO,
+            history: &EMPTY_HISTORY,
+            survival: &NO_SURVIVAL,
+        }
+    }
+}
+
 impl<'a> ScavengeContext<'a> {
+    /// Sets `Mem_n`, the bytes in use just before the scavenge.
+    pub fn mem(mut self, mem_before: Bytes) -> ScavengeContext<'a> {
+        self.mem_before = mem_before;
+        self
+    }
+
+    /// Sets the scavenge history the policy consults.
+    ///
+    /// The context's lifetime shrinks to the shorter of the current one
+    /// and the borrow of `history` (the struct is covariant in `'a`).
+    pub fn history<'b>(self, history: &'b ScavengeHistory) -> ScavengeContext<'b>
+    where
+        'a: 'b,
+    {
+        ScavengeContext { history, ..self }
+    }
+
+    /// Sets the survival estimator the policy consults.
+    pub fn survival<'b>(self, survival: &'b dyn SurvivalEstimator) -> ScavengeContext<'b>
+    where
+        'a: 'b,
+    {
+        ScavengeContext { survival, ..self }
+    }
+
     /// `t_{n-1}`, the time of the previous scavenge, if one has happened.
     pub fn prev_time(&self) -> Option<VirtualTime> {
         self.history.last().map(|r| r.at)
@@ -98,6 +161,36 @@ pub trait SurvivalEstimator {
     /// Estimated bytes the collector would trace with boundary `tb` at the
     /// imminent scavenge: storage born strictly after `tb` and surviving.
     fn surviving_born_after(&self, tb: VirtualTime) -> Bytes;
+
+    /// The inverse query: the **oldest** candidate boundary whose
+    /// predicted trace fits `trace_max`, or `None` when no candidate
+    /// fits (or there are none).
+    ///
+    /// This is the search at the heart of Feedback Mediation —
+    /// `least { t_k | Trace_max ≥ surviving_born_after(t_k) }` — pulled
+    /// into the estimator so an indexed implementation can answer it
+    /// without probing candidates one at a time.
+    ///
+    /// # Contract
+    ///
+    /// `surviving_born_after` is monotone non-increasing in `tb` (moving
+    /// the boundary later can only shrink the threatened region), and
+    /// `candidates` ascend in time, so the fitting candidates form a
+    /// suffix of the candidate list. Any implementation must return
+    /// exactly what the default scan returns: the first candidate, in
+    /// ascending order, with `surviving_born_after(t) <= trace_max`. The
+    /// simulator's Fenwick-backed estimator overrides this with an
+    /// `O(log n)` descent; the differential and property suites hold the
+    /// two answers equal.
+    fn oldest_boundary_within(
+        &self,
+        trace_max: Bytes,
+        candidates: BoundaryCandidates<'_>,
+    ) -> Option<VirtualTime> {
+        candidates
+            .times()
+            .find(|&t| self.surviving_born_after(t) <= trace_max)
+    }
 }
 
 /// Lends out borrowed, allocation-free [`SurvivalEstimator`] views frozen
@@ -284,21 +377,6 @@ pub(crate) mod testutil {
             mem_before: Bytes::new(mem_before),
         }
     }
-
-    /// Convenience: a context over `history` at time `now` with `mem` in use.
-    pub fn ctx<'a>(
-        now: u64,
-        mem: u64,
-        history: &'a ScavengeHistory,
-        survival: &'a dyn SurvivalEstimator,
-    ) -> ScavengeContext<'a> {
-        ScavengeContext {
-            now: VirtualTime::from_bytes(now),
-            mem_before: Bytes::new(mem),
-            history,
-            survival,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -311,12 +389,18 @@ mod tests {
         let mut h = ScavengeHistory::new();
         let est = NoSurvivalInfo;
         {
-            let c = ctx(100, 50, &h, &est);
+            let c = ScavengeContext::at(VirtualTime::from_bytes(100))
+                .mem(Bytes::new(50))
+                .history(&h)
+                .survival(&est);
             assert_eq!(c.prev_time(), None);
             assert_eq!(c.prev_boundary(), None);
         }
         h.push(rec(100, 40, 10, 10, 20));
-        let c = ctx(200, 50, &h, &est);
+        let c = ScavengeContext::at(VirtualTime::from_bytes(200))
+            .mem(Bytes::new(50))
+            .history(&h)
+            .survival(&est);
         assert_eq!(c.prev_time(), Some(VirtualTime::from_bytes(100)));
         assert_eq!(c.prev_boundary(), Some(VirtualTime::from_bytes(40)));
     }
@@ -354,7 +438,10 @@ mod tests {
         let mut boxed: Box<dyn TbPolicy> = Box::new(Full::new());
         let h = ScavengeHistory::new();
         let est = NoSurvivalInfo;
-        let c = ctx(500, 100, &h, &est);
+        let c = ScavengeContext::at(VirtualTime::from_bytes(500))
+            .mem(Bytes::new(100))
+            .history(&h)
+            .survival(&est);
         assert_eq!(boxed.name(), "FULL");
         assert_eq!(boxed.select_boundary(&c), Ok(VirtualTime::ZERO));
         assert!(boxed.constraint().is_none());
@@ -418,13 +505,19 @@ mod tests {
         // Advance the original an odd number of steps so the carried bit
         // is set, then clone it via the save/restore seam.
         for now in [100u64, 200, 300] {
-            let c = ctx(now, 50, &h, &est);
+            let c = ScavengeContext::at(VirtualTime::from_bytes(now))
+                .mem(Bytes::new(50))
+                .history(&h)
+                .survival(&est);
             original.select_boundary(&c).unwrap();
         }
         let mut resumed = Alternator { odd: false };
         resumed.restore_state(&original.save_state()).unwrap();
         for now in [400u64, 500, 600, 700] {
-            let c = ctx(now, 50, &h, &est);
+            let c = ScavengeContext::at(VirtualTime::from_bytes(now))
+                .mem(Bytes::new(50))
+                .history(&h)
+                .survival(&est);
             assert_eq!(
                 original.select_boundary(&c),
                 resumed.select_boundary(&c),

@@ -5,8 +5,8 @@
 //! occupies the heap, every metric accumulated so far, and any state the
 //! boundary policy carries. The engine emits one every
 //! [`RunControl::checkpoint_every`](crate::engine::RunControl) events;
-//! [`load_checkpoint`] plus
-//! [`simulate_source_resumable`](crate::engine::simulate_source_resumable)
+//! [`load_checkpoint`] plus a [`Sim`](crate::engine::Sim) run under
+//! [`RunControl::resuming`](crate::engine::RunControl::resuming)
 //! continue the run to a **bit-identical** [`SimRun`](crate::engine::SimRun)
 //! — reports, histories, and curves — as if it had never stopped (the
 //! resume differential suite proves this for all six policies over both

@@ -8,6 +8,28 @@
 //! The engine is panic-free on its error paths: malformed traces, failing
 //! policies, exhausted watchdog budgets, and broken accounting identities
 //! all surface as typed [`SimError`]s.
+//!
+//! # Entry points
+//!
+//! One builder, [`Sim`], configures and launches every kind of run;
+//! [`simulate`] and [`simulate_source`] remain as one-line conveniences
+//! for the two everyday cases. The former six free functions map onto the
+//! builder as follows (the explicit-heap variants pick the implementation
+//! by type parameter — heaps are always constructed inside the engine,
+//! sized from the source's length hint or a resume snapshot):
+//!
+//! | Before | Now |
+//! |---|---|
+//! | `simulate(t, p, &cfg)` | unchanged (= `Sim::new(cfg).run_trace(t, p)`) |
+//! | `simulate_source(s, p, &cfg)` | unchanged (= `Sim::new(cfg).run(s, p)`) |
+//! | `simulate_with_heap::<H>(t, p, &cfg)` | `Sim::new(cfg).heap::<H>().run_trace(t, p)` |
+//! | `simulate_source_with_heap::<H, _>(s, p, &cfg)` | `Sim::new(cfg).heap::<H>().run(s, p)` |
+//! | `simulate_source_resumable(s, p, &cfg, rc)` | `Sim::new(cfg).control(rc).run(s, p)` |
+//! | `simulate_source_resumable_with_heap::<H, _>(s, p, &cfg, rc)` | `Sim::new(cfg).heap::<H>().control(rc).run(s, p)` |
+//!
+//! The builder also exposes what the free functions never could without a
+//! seventh and eighth variant: [`Sim::threads`] opts a run into the
+//! deterministic intra-cell parallel engine (see [`crate::par`]).
 
 use crate::ckp::{save_checkpoint, CkpError, SimCheckpoint};
 use crate::curve::{CurvePoint, MemoryCurve};
@@ -288,23 +310,7 @@ pub fn simulate(
     policy: &mut dyn TbPolicy,
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
-    simulate_with_heap::<OracleHeap>(trace, policy, config)
-}
-
-/// Simulates `policy` over `trace` with an explicit heap implementation.
-///
-/// [`simulate`] is this function fixed to the incremental [`OracleHeap`];
-/// the differential suite instantiates it with the scan-based
-/// [`crate::heap::naive::NaiveHeap`] and asserts both produce identical
-/// runs. See [`simulate`] for semantics and errors. Heaps must be
-/// [`CheckpointHeap`]s so every entry point, including this one, can run
-/// under a checkpointing [`RunControl`].
-pub fn simulate_with_heap<H: CheckpointHeap>(
-    trace: &CompiledTrace,
-    policy: &mut dyn TbPolicy,
-    config: &SimConfig,
-) -> Result<SimRun, SimError> {
-    simulate_source_with_heap::<H, _>(&mut CompiledSource::new(trace), policy, config)
+    Sim::new(*config).run_trace(trace, policy)
 }
 
 /// Simulates `policy` over a streaming [`EventSource`].
@@ -326,47 +332,162 @@ pub fn simulate_source(
     policy: &mut dyn TbPolicy,
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
-    simulate_source_with_heap::<OracleHeap, _>(source, policy, config)
+    Sim::new(*config).run(source, policy)
 }
 
-/// Simulates `policy` over a streaming [`EventSource`] with an explicit
-/// heap implementation. See [`simulate_source`].
-pub fn simulate_source_with_heap<H: CheckpointHeap, S: EventSource + ?Sized>(
-    source: &mut S,
-    policy: &mut dyn TbPolicy,
-    config: &SimConfig,
-) -> Result<SimRun, SimError> {
-    simulate_source_resumable_with_heap::<H, S>(source, policy, config, RunControl::new())
+/// One configured simulation, ready to launch: the single entry point
+/// behind every way of running the engine (see the module docs for the
+/// migration table from the former free functions).
+///
+/// A `Sim` owns its [`SimConfig`], an optional [`RunControl`] (cooperative
+/// cancellation, periodic checkpointing, resume), a heap implementation
+/// chosen by type parameter (the incremental [`OracleHeap`] unless
+/// [`Sim::heap`] overrides it — the differential suites substitute the
+/// scan-based [`crate::heap::naive::NaiveHeap`]), and a thread count for
+/// the deterministic intra-cell parallel engine. Launch with [`Sim::run`]
+/// (streaming source) or [`Sim::run_trace`] (compiled in-memory trace).
+///
+/// Heaps must be [`CheckpointHeap`]s so every run, whichever heap it
+/// picks, can execute under a checkpointing control.
+///
+/// # Example
+///
+/// ```
+/// use dtb_core::policy::Full;
+/// use dtb_sim::engine::{Sim, SimConfig};
+/// use dtb_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new("tiny");
+/// for _ in 0..40 {
+///     let id = b.alloc(50_000);
+///     b.free(id);
+/// }
+/// let trace = b.finish().compile()?;
+/// let run = Sim::new(SimConfig::paper())
+///     .run_trace(&trace, &mut Full::new())
+///     .unwrap();
+/// assert_eq!(run.report.collections, 2);
+/// # Ok::<(), dtb_trace::event::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct Sim<'c, H: CheckpointHeap = OracleHeap> {
+    config: SimConfig,
+    control: RunControl<'c>,
+    threads: usize,
+    _heap: std::marker::PhantomData<H>,
 }
 
-/// Simulates `policy` over a streaming [`EventSource`] under a
-/// [`RunControl`]: the run can be cancelled between events, checkpoints
-/// itself periodically, and can resume from a prior checkpoint.
-///
-/// Resuming is **bit-identical**: a run interrupted at any point and
-/// resumed from its last checkpoint produces exactly the [`SimRun`] —
-/// report, history, and curve — of a run that never stopped, for every
-/// policy and for in-memory, synthetic, and sharded sources alike (the
-/// checkpoint replays the engine's complete state, and the source seeks
-/// to the recorded clock).
-///
-/// # Errors
-///
-/// Everything [`simulate_source`] reports, plus [`SimError::Cancelled`]
-/// when the cancel flag is observed, and [`SimError::Checkpoint`] when a
-/// checkpoint cannot be written or the resume state belongs to a
-/// different run (wrong trace, policy, or physics).
-pub fn simulate_source_resumable(
-    source: &mut (impl EventSource + ?Sized),
-    policy: &mut dyn TbPolicy,
-    config: &SimConfig,
-    control: RunControl<'_>,
-) -> Result<SimRun, SimError> {
-    simulate_source_resumable_with_heap::<OracleHeap, _>(source, policy, config, control)
+impl<'c> Sim<'c, OracleHeap> {
+    /// A simulation of `config` physics over the incremental
+    /// [`OracleHeap`], uncontrolled and single-threaded until the other
+    /// builder methods say otherwise.
+    pub fn new(config: SimConfig) -> Sim<'c, OracleHeap> {
+        Sim {
+            config,
+            control: RunControl::new(),
+            threads: 1,
+            _heap: std::marker::PhantomData,
+        }
+    }
 }
 
-/// [`simulate_source_resumable`] with an explicit heap implementation.
-pub fn simulate_source_resumable_with_heap<H: CheckpointHeap, S: EventSource + ?Sized>(
+impl<'c, H: CheckpointHeap> Sim<'c, H> {
+    /// Attaches out-of-band controls: cooperative cancellation between
+    /// events, periodic checkpoints, and resuming from a prior
+    /// checkpoint.
+    ///
+    /// Resuming is **bit-identical**: a run interrupted at any point and
+    /// resumed from its last checkpoint produces exactly the [`SimRun`] —
+    /// report, history, and curve — of a run that never stopped, for
+    /// every policy and for in-memory, synthetic, and sharded sources
+    /// alike (the checkpoint replays the engine's complete state, and the
+    /// source seeks to the recorded clock).
+    pub fn control(mut self, control: RunControl<'c>) -> Sim<'c, H> {
+        self.control = control;
+        self
+    }
+
+    /// Selects the heap implementation by type parameter.
+    ///
+    /// The engine always constructs the heap itself — sized from the
+    /// source's length hint, or rebuilt from a resume snapshot — so the
+    /// builder takes a type, not a value.
+    pub fn heap<H2: CheckpointHeap>(self) -> Sim<'c, H2> {
+        Sim {
+            config: self.config,
+            control: self.control,
+            threads: self.threads,
+            _heap: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs with `n` worker threads via the deterministic per-epoch
+    /// decomposition in [`crate::par`], when the run is eligible:
+    /// allocation-triggered, not checkpointing, not resuming, and over
+    /// the default heap. Ineligible runs (and `n <= 1`) execute serially
+    /// — which is indistinguishable, because the parallel engine is
+    /// bit-identical to the serial one by construction.
+    pub fn threads(mut self, n: usize) -> Sim<'c, H> {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Simulates `policy` over a streaming [`EventSource`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Invariant`] when the trace is malformed (births out
+    ///   of order, deaths before births — checked on every event, so a
+    ///   corrupted trace can never panic the heap) or, with
+    ///   [`SimConfig::check_invariants`] on, when a post-scavenge
+    ///   accounting identity fails.
+    /// * [`SimError::Policy`] when the boundary policy returns an error.
+    /// * [`SimError::BudgetExceeded`] when a [`SimBudget`] cap is hit.
+    /// * [`SimError::Source`] when the source fails mid-stream.
+    /// * [`SimError::Cancelled`] when the control's cancel flag is
+    ///   observed.
+    /// * [`SimError::Checkpoint`] when a checkpoint cannot be written or
+    ///   the resume state belongs to a different run.
+    pub fn run<S: EventSource + ?Sized>(
+        self,
+        source: &mut S,
+        policy: &mut dyn TbPolicy,
+    ) -> Result<SimRun, SimError> {
+        if self.threads > 1 && H::EPOCH_PARALLEL && self.parallel_eligible() {
+            return crate::par::run_parallel(
+                source,
+                policy,
+                &self.config,
+                &self.control,
+                self.threads,
+            );
+        }
+        run_serial::<H, S>(source, policy, &self.config, self.control)
+    }
+
+    /// Simulates `policy` over a compiled in-memory trace.
+    pub fn run_trace(
+        self,
+        trace: &CompiledTrace,
+        policy: &mut dyn TbPolicy,
+    ) -> Result<SimRun, SimError> {
+        self.run(&mut CompiledSource::new(trace), policy)
+    }
+
+    /// Parallel decomposition requires epoch boundaries that are a pure
+    /// function of the allocation prefix (so workers can find them
+    /// without simulating), and a run that neither checkpoints nor
+    /// resumes (engine state only exists at epoch granularity there).
+    fn parallel_eligible(&self) -> bool {
+        matches!(self.config.trigger, Trigger::Allocation(_))
+            && self.control.checkpoint_path.is_none()
+            && self.control.resume_from.is_none()
+    }
+}
+
+/// The serial engine: one thread, record-at-a-time, the reference
+/// semantics every other execution mode must reproduce bit-identically.
+pub(crate) fn run_serial<H: CheckpointHeap, S: EventSource + ?Sized>(
     source: &mut S,
     policy: &mut dyn TbPolicy,
     config: &SimConfig,
@@ -574,15 +695,19 @@ pub fn simulate_source_resumable_with_heap<H: CheckpointHeap, S: EventSource + ?
 
 /// Running totals the invariant checker reconciles against the heap.
 #[derive(Default)]
-struct Ledger {
-    events: u64,
-    allocated: Bytes,
-    reclaimed: Bytes,
-    prev_birth: Option<VirtualTime>,
+pub(crate) struct Ledger {
+    pub(crate) events: u64,
+    pub(crate) allocated: Bytes,
+    pub(crate) reclaimed: Bytes,
+    pub(crate) prev_birth: Option<VirtualTime>,
 }
 
+/// One scavenge, policy decision included — shared verbatim by the serial
+/// loop and the parallel drive ([`crate::par`]), which is what makes the
+/// two bit-identical: same f64 operation order in the metrics, same error
+/// construction, same invariant checks, same curve points.
 #[allow(clippy::too_many_arguments)]
-fn scavenge_now<H: SimHeap>(
+pub(crate) fn scavenge_now<H: SimHeap>(
     heap: &mut H,
     policy: &mut dyn TbPolicy,
     metrics: &mut MetricsCollector,

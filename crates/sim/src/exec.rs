@@ -43,7 +43,7 @@
 
 use crate::baseline::{live_report, live_report_source, no_gc_report, no_gc_report_source};
 use crate::curve::MemoryCurve;
-use crate::engine::{simulate_source_resumable, RunControl, SimBudget, SimConfig, SimRun};
+use crate::engine::{RunControl, Sim, SimBudget, SimConfig, SimRun};
 use crate::error::SimError;
 use crate::journal::{
     journal_path, read_journal, JournalCell, JournalHeader, JournalWriter, JOURNAL_VERSION,
@@ -55,7 +55,7 @@ use dtb_trace::ckp::{checksum, CkpError};
 use dtb_trace::ctc::CtcError;
 use dtb_trace::event::CompiledTrace;
 use dtb_trace::programs::Program;
-use dtb_trace::{CompiledSource, EventSource, SourceError};
+use dtb_trace::{EventSource, SourceError};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -424,6 +424,7 @@ pub struct Evaluation {
     policy_cfg: PolicyConfig,
     sim_cfg: SimConfig,
     parallelism: usize,
+    intra_threads: usize,
     on_cell: Option<CellCallback>,
     deadline: Option<Duration>,
     retry: RetryPolicy,
@@ -449,6 +450,7 @@ impl Evaluation {
             policy_cfg: PolicyConfig::paper(),
             sim_cfg: SimConfig::paper(),
             parallelism: 0,
+            intra_threads: 1,
             on_cell: None,
             deadline: None,
             retry: RetryPolicy::NONE,
@@ -551,6 +553,21 @@ impl Evaluation {
     /// [`Matrix`] as any other setting, only slower.
     pub fn parallelism(mut self, workers: usize) -> Evaluation {
         self.parallelism = workers;
+        self
+    }
+
+    /// Thread count *inside* each cell: eligible cells (allocation
+    /// trigger, default heap) run under the deterministic per-epoch
+    /// parallel engine ([`crate::par`]) with `n` threads, which is
+    /// bit-identical to a serial run for every policy. `0` means one
+    /// thread per available core; the default is `1` (serial cells).
+    ///
+    /// Composes with [`parallelism`](Evaluation::parallelism): that one
+    /// fans *cells* out across workers, this one forks *within* a cell —
+    /// the right knob when the matrix has fewer cells than the machine
+    /// has cores.
+    pub fn intra_cell_threads(mut self, n: usize) -> Evaluation {
+        self.intra_threads = n;
         self
     }
 
@@ -753,6 +770,7 @@ impl Evaluation {
                 &rows[r],
                 &self.policy_cfg,
                 &self.sim_cfg,
+                self.intra_threads,
                 self.deadline,
                 &self.retry,
                 (c * rows.len() + r) as u64,
@@ -877,6 +895,7 @@ fn run_cell_supervised(
     spec: &RowSpec,
     policy_cfg: &PolicyConfig,
     sim_cfg: &SimConfig,
+    intra_threads: usize,
     deadline: Option<Duration>,
     retry: &RetryPolicy,
     salt: u64,
@@ -894,6 +913,7 @@ fn run_cell_supervised(
                 spec,
                 policy_cfg,
                 sim_cfg,
+                intra_threads,
                 deadline.map(|_| &*cancel),
             )
             // Watchdog drops here: the timer thread wakes and joins
@@ -930,6 +950,7 @@ fn run_cell_supervised(
 /// source) both land in [`CellOutcome::Failed`]. When `cancel` is set,
 /// policy rows run under a [`RunControl`] that polls it between events
 /// (the deadline watchdog's hook).
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     target: &Target,
     trace: Option<&CompiledTrace>,
@@ -937,14 +958,24 @@ fn run_cell(
     spec: &RowSpec,
     policy_cfg: &PolicyConfig,
     sim_cfg: &SimConfig,
+    intra_threads: usize,
     cancel: Option<&AtomicBool>,
 ) -> CellOutcome {
+    let threads = if intra_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        intra_threads
+    };
     // RunControl::new() with no cancel flag is exactly the plain
     // `simulate` / `simulate_source` path, so uncancellable runs stay
     // bit-identical to the pre-supervision executor.
-    let control = || match cancel {
-        Some(flag) => RunControl::new().with_cancel(flag),
-        None => RunControl::new(),
+    let sim = || match cancel {
+        Some(flag) => Sim::new(*sim_cfg)
+            .control(RunControl::new().with_cancel(flag))
+            .threads(threads),
+        None => Sim::new(*sim_cfg).threads(threads),
     };
     let attempt = catch_unwind(AssertUnwindSafe(|| match target {
         Target::Stream { make, .. } => {
@@ -960,16 +991,14 @@ fn run_cell(
             match spec {
                 RowSpec::Kind(kind) => {
                     let mut policy = kind.build(policy_cfg);
-                    simulate_source_resumable(source, &mut policy, sim_cfg, control())
+                    sim().run(source, &mut policy)
                 }
                 RowSpec::Custom { row, build } => {
                     let mut policy = build(policy_cfg);
-                    simulate_source_resumable(source, &mut policy, sim_cfg, control()).map(
-                        |mut run| {
-                            run.report.policy = row.clone();
-                            run
-                        },
-                    )
+                    sim().run(source, &mut policy).map(|mut run| {
+                        run.report.policy = row.clone();
+                        run
+                    })
                 }
                 RowSpec::NoGc => no_gc_report_source(source)
                     .map(baseline_run)
@@ -984,22 +1013,11 @@ fn run_cell(
             match spec {
                 RowSpec::Kind(kind) => {
                     let mut policy = kind.build(policy_cfg);
-                    simulate_source_resumable(
-                        &mut CompiledSource::new(trace),
-                        &mut policy,
-                        sim_cfg,
-                        control(),
-                    )
+                    sim().run_trace(trace, &mut policy)
                 }
                 RowSpec::Custom { row, build } => {
                     let mut policy = build(policy_cfg);
-                    simulate_source_resumable(
-                        &mut CompiledSource::new(trace),
-                        &mut policy,
-                        sim_cfg,
-                        control(),
-                    )
-                    .map(|mut run| {
+                    sim().run_trace(trace, &mut policy).map(|mut run| {
                         // The evaluation row names the report, not the
                         // policy's own `name()` — a factory may wrap a
                         // stock collector.

@@ -21,18 +21,27 @@
 //!   moves bytes from `live` to `dead`; a reclaim removes them from
 //!   `dead`. Boundary aggregates (traced, reclaimed, tenured garbage,
 //!   survival) are prefix/suffix sums, O(log n) each.
-//! - Deaths are applied **lazily**: inserts enqueue `(death, slot, size)`
-//!   on a min-heap, and any query at time `now` first drains entries with
-//!   `death <= now`. Each object is enqueued and drained exactly once, so
-//!   the amortized cost is O(log n) per object — independent of how many
-//!   scavenges or queries the run performs.
+//! - Deaths are applied **lazily**, and in two stages. Inserts append
+//!   `(death, slot, size)` to an unordered staging vector in O(1); the
+//!   next clock advance (a scavenge or an oracle query) drains the stage:
+//!   deaths already in the past are applied directly — the live→dead
+//!   Fenwick moves commute, so order within a batch is irrelevant — and
+//!   only the stragglers whose deaths still lie in the future pay for a
+//!   min-heap insertion. Since most objects die before the scavenge after
+//!   their birth, the common case never touches the priority queue at
+//!   all, and each object is staged and drained exactly once.
 //!
-//! A scavenge therefore costs O(threatened tail + log n): the Fenwick
-//! sums answer the byte accounting, and only the compaction of the
-//! threatened residents walks actual objects. Nothing on the scavenge
-//! path allocates; survival snapshots are borrowed views into the live
-//! index rather than freshly built vectors (see
-//! `crates/sim/tests/zero_alloc.rs`).
+//! A scavenge therefore costs O(dead tail + log n): the Fenwick sums
+//! answer the byte accounting, and the compaction walk is *narrowed* to
+//! the slot range that actually holds dead bytes — two descents of the
+//! dead tree ([`fenwick::Fenwick::lower_bound`]) bracket the first and
+//! last unreclaimed dead slots, the walk filters only residents between
+//! them, and the all-live tail beyond the last dead slot moves left with
+//! one `memmove`. A deep boundary (`FULL`, `DTBMEM`) no longer pays to
+//! re-inspect thousands of live survivors that merely sit above the
+//! split. Nothing on the scavenge path allocates; survival snapshots are
+//! borrowed views into the live index rather than freshly built vectors
+//! (see `crates/sim/tests/zero_alloc.rs`).
 //!
 //! Slots are nominally never reused, but a long-running trace would then
 //! grow the index with every object ever born even though almost all of
@@ -48,12 +57,13 @@
 //! [`naive::NaiveHeap`], the executable specification the differential
 //! suite checks this heap against.
 
-mod fenwick;
+pub(crate) mod fenwick;
 pub mod naive;
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use dtb_core::history::BoundaryCandidates;
 use dtb_core::policy::{SurvivalEstimator, SurvivalLender};
 use dtb_core::time::{Bytes, VirtualTime};
 use serde::{Deserialize, Serialize};
@@ -101,6 +111,15 @@ pub struct ScavengeOutcome {
 /// pending deaths lazily — callers must present monotonically
 /// non-decreasing times, which the trace's event order guarantees.
 pub trait SimHeap: SurvivalLender {
+    /// True when the deterministic per-epoch parallel engine
+    /// ([`crate::par`]) may stand in for a serial run over this heap.
+    /// Only the incremental [`OracleHeap`] opts in: the parallel drive
+    /// reproduces *its* observable semantics, and substituting a
+    /// different heap implementation is exactly the situation (the
+    /// differential suites) where the run must exercise that heap's own
+    /// code path.
+    const EPOCH_PARALLEL: bool = false;
+
     /// An empty heap with room for `n` objects.
     fn with_capacity(n: usize) -> Self;
 
@@ -186,8 +205,12 @@ pub struct OracleHeap {
     /// Dead-but-unreclaimed bytes per global slot.
     dead: Fenwick,
     /// Future deaths awaiting application: `(death, slot, size)` ordered
-    /// soonest-first.
+    /// soonest-first. Only populated from `deferred` at clock advances,
+    /// and only with deaths that are still in the future then.
     pending: BinaryHeap<Reverse<(VirtualTime, u32, u32)>>,
+    /// Unordered staging area for deaths recorded since the last clock
+    /// advance; see the module docs' two-stage lazy-death design.
+    deferred: Vec<(VirtualTime, u32, u32)>,
     /// Objects still occupying memory, ordered by slot.
     present: Vec<Resident>,
     /// High-water mark of query time: every death `<= clock` has been
@@ -208,6 +231,7 @@ impl OracleHeap {
             live: Fenwick::with_capacity(n),
             dead: Fenwick::with_capacity(n),
             pending: BinaryHeap::with_capacity(n),
+            deferred: Vec::with_capacity(n),
             present: Vec::with_capacity(n),
             clock: VirtualTime::ZERO,
         }
@@ -216,7 +240,11 @@ impl OracleHeap {
     /// Inserts a newly allocated object.
     ///
     /// Births must arrive strictly increasing (the trace drives
-    /// insertions in allocation order); violations panic in debug builds.
+    /// insertions in allocation order), and sizes must be nonzero (the
+    /// trace layer rejects zero-sized allocations as
+    /// [`TraceError::ZeroSizedAlloc`](dtb_trace::TraceError); the scavenge
+    /// walk relies on every dead resident being visible to the byte
+    /// indices). Violations panic in debug builds.
     pub fn insert(&mut self, obj: SimObject) {
         if let Some(last) = self.births.last() {
             debug_assert!(
@@ -226,6 +254,7 @@ impl OracleHeap {
                 last
             );
         }
+        debug_assert!(obj.size > 0, "zero-sized objects are rejected upstream");
         let slot = self.births.len();
         debug_assert!(slot <= u32::MAX as usize, "slot index exceeds u32");
         let slot = slot as u32;
@@ -244,18 +273,36 @@ impl OracleHeap {
                 self.live.sub(slot as usize, obj.size as u64);
                 self.dead.add(slot as usize, obj.size as u64);
             } else {
-                self.pending.push(Reverse((d, slot, obj.size)));
+                self.deferred.push((d, slot, obj.size));
             }
         }
     }
 
     /// Moves every death at or before `now` from the live index to the
-    /// dead index. Amortized O(log n) per object over the whole run.
+    /// dead index. Amortized O(log n) per object over the whole run —
+    /// and O(1) heap traffic for the (typical) object whose death has
+    /// already passed by the first clock advance after its birth.
     fn advance_clock(&mut self, now: VirtualTime) {
         if now <= self.clock {
             return;
         }
         self.clock = now;
+        // Drain the staging area first: deaths already at or before `now`
+        // apply directly (live→dead moves on distinct slots commute, so
+        // the unordered batch is equivalent to sorted application); only
+        // future deaths enter the priority queue.
+        let deferred = std::mem::take(&mut self.deferred);
+        for &(d, slot, size) in &deferred {
+            if d <= now {
+                self.live.sub(slot as usize, size as u64);
+                self.dead.add(slot as usize, size as u64);
+            } else {
+                self.pending.push(Reverse((d, slot, size)));
+            }
+        }
+        // Hand the buffer back (emptied) so insert keeps its capacity.
+        self.deferred = deferred;
+        self.deferred.clear();
         while let Some(&Reverse((d, slot, size))) = self.pending.peek() {
             if d > now {
                 break;
@@ -304,9 +351,9 @@ impl OracleHeap {
     /// and leaves immune objects untouched.
     ///
     /// Byte accounting is answered by the Fenwick indices in O(log n);
-    /// only the compaction of threatened residents walks objects, so the
-    /// whole call is O(threatened tail + log n) and performs no heap
-    /// allocation. Returns the outcome; afterwards
+    /// only the compaction of the dead threatened residents walks
+    /// objects, so the whole call is O(dead tail + log n) and performs no
+    /// heap allocation. Returns the outcome; afterwards
     /// [`OracleHeap::mem_in_use`] reflects the surviving storage.
     pub fn scavenge(&mut self, tb: VirtualTime, now: VirtualTime) -> ScavengeOutcome {
         self.advance_clock(now);
@@ -317,20 +364,51 @@ impl OracleHeap {
 
         // Compact the threatened residents in place: survivors stay (in
         // slot order), dead objects leave the dead index and the heap.
-        let start = self.present.partition_point(|r| (r.slot as usize) < split);
-        let mut write = start;
-        for read in start..self.present.len() {
-            let r = self.present[read];
-            if r.death.is_some_and(|d| d <= now) {
-                self.dead.sub(r.slot as usize, r.size as u64);
-            } else {
-                self.present[write] = r;
-                write += 1;
+        // The walk is narrowed to the slot range that actually holds
+        // threatened dead bytes — every resident (sizes are nonzero)
+        // outside it is live or immune and keeps its position, except the
+        // all-live tail beyond the last dead slot, which shifts left in
+        // one move. With nothing to reclaim the walk vanishes entirely,
+        // which is what lets a deep boundary (`FULL`, `DTBMEM`) scavenge
+        // without re-inspecting its thousands of live survivors.
+        if !reclaimed.is_zero() {
+            // First threatened slot holding dead bytes: descend to the
+            // largest count whose dead-prefix is still ≤ the immune
+            // prefix. Likewise the last dead slot overall (it is ≥ split
+            // because `dead.suffix(split) > 0`).
+            let first_dead = self.dead.lower_bound(self.dead.prefix(split));
+            let last_dead = self.dead.lower_bound(self.dead.total() - 1);
+            debug_assert!(first_dead >= split);
+            let lo = self
+                .present
+                .partition_point(|r| (r.slot as usize) < first_dead);
+            let hi = self
+                .present
+                .partition_point(|r| (r.slot as usize) <= last_dead);
+            let mut write = lo;
+            for read in lo..hi {
+                let r = self.present[read];
+                if r.death.is_some_and(|d| d <= now) {
+                    self.dead.sub(r.slot as usize, r.size as u64);
+                } else {
+                    self.present[write] = r;
+                    write += 1;
+                }
+            }
+            if write < hi {
+                self.present.copy_within(hi.., write);
+                let removed = hi - write;
+                self.present.truncate(self.present.len() - removed);
             }
         }
-        self.present.truncate(write);
 
         debug_assert_eq!(self.dead.suffix(split), 0, "all threatened dead reclaimed");
+        debug_assert!(
+            self.present
+                .iter()
+                .all(|r| (r.slot as usize) < split || r.death.is_none_or(|d| d > now)),
+            "no dead threatened resident left behind"
+        );
         let outcome = ScavengeOutcome {
             traced,
             reclaimed,
@@ -359,6 +437,8 @@ impl OracleHeap {
     /// `crates/sim/tests/zero_alloc.rs`).
     fn compact(&mut self) {
         let n = self.present.len();
+        // Scavenge advanced the clock, which drains the staging area.
+        debug_assert!(self.deferred.is_empty(), "compaction with staged deaths");
         self.pending.clear();
         self.live.clear();
         self.dead.clear();
@@ -426,6 +506,36 @@ impl SurvivalEstimator for SurvivalSnapshot<'_> {
         let idx = self.births.partition_point(|b| *b <= tb);
         Bytes::new(self.live.suffix(idx))
     }
+
+    /// The inverse query as a single descent of the live-bytes Fenwick
+    /// tree: O(log n) total, instead of the default's one O(log n)
+    /// survival probe per candidate.
+    ///
+    /// A boundary `t` fits iff `live.suffix(slots born ≤ t) <= trace_max`,
+    /// i.e. iff at least `K = live.total() - trace_max` live bytes were
+    /// born at or before `t`. One [`Fenwick::lower_bound`] descent finds
+    /// `s*`, the smallest slot count covering `K` live bytes; a boundary
+    /// admits `s*` slots exactly when it is at or past the birth of slot
+    /// `s* - 1`, so the answer is the first candidate at or after that
+    /// birth time — the same suffix of fitting candidates the default
+    /// scan walks to, located by binary search instead.
+    fn oldest_boundary_within(
+        &self,
+        trace_max: Bytes,
+        candidates: BoundaryCandidates<'_>,
+    ) -> Option<VirtualTime> {
+        let total = self.live.total();
+        let budget = trace_max.as_u64();
+        if total <= budget {
+            // Every boundary fits, even one before the first birth.
+            return candidates.first();
+        }
+        // Smallest count with prefix ≥ K, via largest count with
+        // prefix ≤ K - 1 (K ≥ 1 here, and the count is ≤ len because
+        // K ≤ total).
+        let s_star = self.live.lower_bound(total - budget - 1) + 1;
+        candidates.first_at_or_after(self.births[s_star - 1])
+    }
 }
 
 impl SurvivalLender for OracleHeap {
@@ -459,6 +569,8 @@ impl CheckpointHeap for OracleHeap {
 }
 
 impl SimHeap for OracleHeap {
+    const EPOCH_PARALLEL: bool = true;
+
     fn with_capacity(n: usize) -> OracleHeap {
         OracleHeap::with_capacity(n)
     }
@@ -614,6 +726,47 @@ mod tests {
                 Bytes::new(want),
                 "tb={tb}"
             );
+        }
+    }
+
+    #[test]
+    fn inverse_query_matches_default_scan() {
+        use dtb_core::history::{ScavengeHistory, ScavengeRecord};
+
+        let mut h = OracleHeap::new();
+        for i in 0..60u64 {
+            h.insert(obj(
+                (i + 1) * 11,
+                (i % 17 + 1) as u32,
+                if i % 3 == 0 {
+                    Some((i + 1) * 11 + 90)
+                } else {
+                    None
+                },
+            ));
+        }
+        let now = t(700);
+        let history: ScavengeHistory = (1..=6)
+            .map(|k| ScavengeRecord {
+                at: t(k * 100),
+                boundary: VirtualTime::ZERO,
+                traced: Bytes::ZERO,
+                surviving: Bytes::ZERO,
+                reclaimed: Bytes::ZERO,
+                mem_before: Bytes::ZERO,
+            })
+            .collect();
+        let snap = h.survival_snapshot(now);
+        for budget in [0u64, 1, 5, 17, 60, 150, 300, 100_000] {
+            for from in [0u64, 150, 250, 450, 650, 900] {
+                let candidates = history.candidates_at_or_after(t(from));
+                // The default scan, evaluated against the same snapshot.
+                let want = candidates
+                    .times()
+                    .find(|&c| snap.surviving_born_after(c) <= Bytes::new(budget));
+                let got = snap.oldest_boundary_within(Bytes::new(budget), candidates);
+                assert_eq!(got, want, "budget={budget} from={from}");
+            }
         }
     }
 

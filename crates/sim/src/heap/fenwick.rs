@@ -96,6 +96,38 @@ impl Fenwick {
     pub fn total(&self) -> u64 {
         self.total
     }
+
+    /// The largest count `c` with `prefix(c) <= target`, in O(log n) — a
+    /// single root-to-leaf descent (binary lifting), not a binary search
+    /// over O(log n) prefix sums.
+    ///
+    /// Because values are non-negative, `prefix` is non-decreasing, so the
+    /// counts satisfying the predicate form a prefix of `0..=len`. Two
+    /// derived queries the heap builds on:
+    ///
+    /// - smallest `c` with `prefix(c) >= k` (for `k >= 1`): this is
+    ///   `lower_bound(k - 1) + 1`;
+    /// - the slot index of the first nonzero value at or after a split
+    ///   with `prefix(split) == p`: this is `lower_bound(p)` (descending
+    ///   through the zero-valued slots costs nothing).
+    pub fn lower_bound(&self, target: u64) -> usize {
+        let n = self.tree.len();
+        let mut pos = 0usize;
+        let mut rem = target;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            // `pos` is a sum of strictly larger powers of two, so
+            // `lowbit(next) == step` and `tree[next - 1]` covers exactly
+            // `(pos, next]`.
+            if next <= n && self.tree[next - 1] <= rem {
+                rem -= self.tree[next - 1];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +192,59 @@ mod tests {
             }
         }
         assert_eq!(f.total(), vals.iter().sum::<u64>());
+    }
+
+    /// Reference model for the descent: linear scan for the largest count
+    /// with prefix ≤ target.
+    fn model_lower_bound(vals: &[u64], target: u64) -> usize {
+        (0..=vals.len())
+            .rev()
+            .find(|&c| model_prefix(vals, c) <= target)
+            .unwrap()
+    }
+
+    #[test]
+    fn lower_bound_matches_model() {
+        // Zero runs, duplicates, and a large tail exercise the descent's
+        // tie-breaking (largest count wins ⇒ trailing zeros are included).
+        let vals = [0u64, 5, 0, 0, 3, 12, 0, 7, 0, 0, 9, 1, 4, 0, 100, 0];
+        let mut f = Fenwick::default();
+        for &v in &vals {
+            f.push(v);
+        }
+        let total: u64 = vals.iter().sum();
+        for target in 0..=total + 3 {
+            assert_eq!(
+                f.lower_bound(target),
+                model_lower_bound(&vals, target),
+                "target={target}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_after_updates() {
+        let mut f = Fenwick::default();
+        let mut vals: Vec<u64> = Vec::new();
+        for i in 0..37u64 {
+            f.push(i % 7);
+            vals.push(i % 7);
+        }
+        f.sub(5, vals[5]);
+        vals[5] = 0;
+        f.add(20, 13);
+        vals[20] += 13;
+        let total: u64 = vals.iter().sum();
+        for target in (0..=total + 2).step_by(3) {
+            assert_eq!(f.lower_bound(target), model_lower_bound(&vals, target));
+        }
+    }
+
+    #[test]
+    fn lower_bound_on_empty_tree_is_zero() {
+        let f = Fenwick::default();
+        assert_eq!(f.lower_bound(0), 0);
+        assert_eq!(f.lower_bound(u64::MAX), 0);
     }
 
     #[test]

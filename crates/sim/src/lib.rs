@@ -38,7 +38,7 @@
 //! * [`ckp`] — mid-run simulation checkpoints ([`SimCheckpoint`]): the
 //!   engine's complete resumable state in a checksummed `DTBCKP01`
 //!   container, with bit-identical resume via
-//!   [`simulate_source_resumable`].
+//!   [`RunControl::resuming`](engine::RunControl::resuming).
 //! * [`journal`] — the durable evaluation journal: one fsync'd,
 //!   checksummed line per completed matrix cell, so
 //!   [`Evaluation::resume`](exec::Evaluation::resume) survives crashes
@@ -78,15 +78,13 @@ pub mod fault;
 pub mod heap;
 pub mod journal;
 pub mod metrics;
+pub mod par;
 pub mod run;
 pub mod sweep;
 pub mod trigger;
 
 pub use ckp::{load_checkpoint, save_checkpoint, CkpError, SimCheckpoint};
-pub use engine::{
-    simulate, simulate_source, simulate_source_resumable, simulate_source_resumable_with_heap,
-    simulate_source_with_heap, simulate_with_heap, RunControl, SimBudget, SimConfig, SimRun,
-};
+pub use engine::{simulate, simulate_source, RunControl, Sim, SimBudget, SimConfig, SimRun};
 pub use error::{BudgetKind, InvariantViolation, SimError};
 pub use exec::{
     Cell, CellEvent, CellFailure, CellOutcome, Column, Evaluation, FailureCause, Matrix,

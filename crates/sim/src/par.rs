@@ -1,0 +1,580 @@
+//! The deterministic intra-cell parallel engine.
+//!
+//! One simulation cell (one trace × one policy) is an inherently
+//! sequential replay: every scavenge depends on the heap state left by
+//! the previous one. What is *not* sequential is building the indices
+//! the replay consults. Under the paper's allocation trigger
+//! ([`Trigger::Allocation`]), scavenge instants are a pure function of
+//! the allocation prefix — every `n` bytes allocated — so the event
+//! stream partitions into **epochs** at scavenge boundaries before any
+//! simulation happens. Workers then build one partial heap index per
+//! epoch (a live-bytes [`Fenwick`] keyed by in-epoch birth order, plus
+//! the epoch's deaths sorted by time) fully in parallel, and a single
+//! **drive** pass replays the events against an [`EpochHeap`] that
+//! aggregates the partial indices: an epoch-level Fenwick pair answers
+//! cross-epoch survival and scavenge accounting in `O(log E)`, the
+//! per-epoch trees answer the boundary epoch's share in `O(log m)`.
+//!
+//! # Bit-identity
+//!
+//! The drive replays every event in trace order through the *same*
+//! [`scavenge_now`] the serial engine uses — same metrics calls in the
+//! same f64 operation order, same error construction, same invariant
+//! checks, same curve points — and the [`EpochHeap`] answers every heap
+//! query (`mem_in_use`, `live_bytes_at`, survival, scavenge outcomes)
+//! with exactly the integers the serial [`OracleHeap`] would produce.
+//! Survival's inverse query ([`SurvivalEstimator::oldest_boundary_within`])
+//! deliberately stays on the trait's default candidate scan: the scan is
+//! the specification the serial heap's Fenwick descent is proven (and
+//! tested) equal to, so matching it is equality by definition rather
+//! than by a second parallel proof. `threads(1)` and `threads(k)`
+//! therefore return the same [`SimRun`] bit for bit.
+//!
+//! # Eligibility and cost
+//!
+//! [`Sim::threads`](crate::engine::Sim::threads) routes here only for
+//! allocation-triggered, non-checkpointing, non-resuming runs over the
+//! default heap; everything else falls back to the serial engine (which
+//! is observably the same thing). Unlike the serial engine's O(live set)
+//! streaming, the parallel engine buffers the whole event stream to hand
+//! epochs to workers, so it trades memory for wall-clock — the right
+//! trade inside an evaluation cell, the wrong one for an unbounded
+//! synthetic source (cap such runs with [`SimBudget::events`], which the
+//! pre-read honors).
+//!
+//! [`Trigger::Allocation`]: crate::trigger::Trigger
+//! [`SimBudget::events`]: crate::engine::SimBudget
+//! [`OracleHeap`]: crate::heap::OracleHeap
+//! [`SurvivalEstimator::oldest_boundary_within`]:
+//!     dtb_core::policy::SurvivalEstimator::oldest_boundary_within
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use crate::curve::{CurvePoint, MemoryCurve};
+use crate::engine::{run_serial, scavenge_now, Ledger, RunControl, SimConfig, SimRun};
+use crate::error::{BudgetKind, InvariantViolation, SimError};
+use crate::heap::fenwick::Fenwick;
+use crate::heap::{OracleHeap, ScavengeOutcome, SimHeap, SimObject};
+use crate::metrics::MetricsCollector;
+use crate::trigger::Trigger;
+use dtb_core::policy::{SurvivalEstimator, SurvivalLender, TbPolicy};
+use dtb_core::time::{Bytes, VirtualTime};
+use dtb_trace::{EventSource, ObjectLife, SourceError};
+
+/// One epoch's share of the heap index, built by a worker without any
+/// knowledge of the other epochs.
+struct EpochState {
+    /// The epoch's events, in trace order.
+    records: Vec<ObjectLife>,
+    /// Live bytes per in-epoch slot; deaths move bytes out as the drive's
+    /// clock passes them.
+    live: Fenwick,
+    /// `(death, in-epoch slot)` for every record with a death, sorted —
+    /// the epoch's contribution to the global death stream.
+    death_order: Vec<(VirtualTime, u32)>,
+    /// Next entry of `death_order` to apply.
+    cursor: usize,
+    /// Dead-but-unreclaimed in-epoch slots, in death order.
+    garbage: Vec<u32>,
+    /// Bytes currently in `garbage`.
+    dead_bytes: u64,
+}
+
+/// Builds one epoch's partial index. This is the work that fans out.
+fn prepare_epoch(records: Vec<ObjectLife>) -> EpochState {
+    let mut live = Fenwick::with_capacity(records.len());
+    for r in &records {
+        live.push(r.size as u64);
+    }
+    let mut death_order: Vec<(VirtualTime, u32)> = records
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.death.map(|d| (d, i as u32)))
+        .collect();
+    death_order.sort_unstable();
+    EpochState {
+        records,
+        live,
+        death_order,
+        cursor: 0,
+        garbage: Vec::new(),
+        dead_bytes: 0,
+    }
+}
+
+/// A heap over per-epoch partial indices, merged through epoch-level
+/// Fenwick aggregates.
+///
+/// Observable-equal to [`OracleHeap`] for the engine's query pattern:
+/// strictly increasing birth insertions, monotone query times, survival
+/// and scavenge queries only at epoch boundaries (where every object of
+/// the current epoch has been inserted). Mid-epoch it answers only the
+/// counter-backed queries (`mem_in_use`, `live_bytes_at`), which is all
+/// the engine asks between scavenges.
+pub(crate) struct EpochHeap {
+    epochs: Vec<EpochState>,
+    /// Live bytes per *activated* epoch (aggregate of each epoch's
+    /// `live` tree).
+    epoch_live: Fenwick,
+    /// Dead-but-unreclaimed bytes per activated epoch.
+    epoch_dead: Fenwick,
+    /// `(next death, epoch)` per activated epoch with deaths remaining.
+    next_death: BinaryHeap<Reverse<(VirtualTime, u32)>>,
+    /// Epochs whose indices are live in the aggregates: `0..activated`.
+    /// An epoch activates when its first record is inserted, so at any
+    /// query instant the aggregates cover exactly the events the serial
+    /// heap would have seen. (Unborn records of the current epoch cannot
+    /// perturb anything: deaths precede births never, so their deaths
+    /// are strictly in the future, and the byte counters below are
+    /// insert-driven.)
+    activated: usize,
+    /// In-epoch count of inserted records of epoch `activated - 1`.
+    born: usize,
+    /// Bytes occupying memory: inserts add, scavenges subtract.
+    mem: u64,
+    /// Dead-but-unreclaimed bytes across all epochs.
+    dead: u64,
+    /// Objects occupying memory (inserted minus reclaimed).
+    resident: usize,
+    /// Query-time high-water mark, as in the serial heap.
+    clock: VirtualTime,
+}
+
+impl EpochHeap {
+    fn from_epochs(epochs: Vec<EpochState>) -> EpochHeap {
+        let n = epochs.len();
+        EpochHeap {
+            epochs,
+            epoch_live: Fenwick::with_capacity(n),
+            epoch_dead: Fenwick::with_capacity(n),
+            next_death: BinaryHeap::with_capacity(n),
+            activated: 0,
+            born: 0,
+            mem: 0,
+            dead: 0,
+            resident: 0,
+            clock: VirtualTime::ZERO,
+        }
+    }
+
+    fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    fn epoch_len(&self, e: usize) -> usize {
+        self.epochs[e].records.len()
+    }
+
+    fn record(&self, e: usize, i: usize) -> ObjectLife {
+        self.epochs[e].records[i]
+    }
+
+    /// Applies every death at or before `now`, across epochs in global
+    /// death order (order within the batch is immaterial — the moves
+    /// commute — but the heap merge gives it for free).
+    fn advance_clock(&mut self, now: VirtualTime) {
+        if now <= self.clock {
+            return;
+        }
+        self.clock = now;
+        while let Some(&Reverse((d, e))) = self.next_death.peek() {
+            if d > now {
+                break;
+            }
+            self.next_death.pop();
+            let e = e as usize;
+            let ep = &mut self.epochs[e];
+            let (_, slot) = ep.death_order[ep.cursor];
+            let size = ep.records[slot as usize].size as u64;
+            ep.live.sub(slot as usize, size);
+            ep.garbage.push(slot);
+            ep.dead_bytes += size;
+            ep.cursor += 1;
+            if let Some(&(d2, _)) = ep.death_order.get(ep.cursor) {
+                self.next_death.push(Reverse((d2, e as u32)));
+            }
+            self.epoch_live.sub(e, size);
+            self.epoch_dead.add(e, size);
+            self.dead += size;
+        }
+    }
+
+    /// `(epoch, in-epoch slot)` of the first object born strictly after
+    /// `tb`, over the activated epochs. Both levels are binary searches
+    /// on birth order; at query instants every activated record is
+    /// inserted, so the split is the serial heap's `boundary_slot`
+    /// factored through the partition.
+    fn split_at(&self, tb: VirtualTime) -> (usize, usize) {
+        let act = &self.epochs[..self.activated];
+        let k = act.partition_point(|ep| ep.records[0].birth <= tb);
+        if k == 0 {
+            return (0, 0);
+        }
+        let e = k - 1;
+        let i = act[e].records.partition_point(|r| r.birth <= tb);
+        (e, i)
+    }
+
+    /// Live bytes born strictly after `tb`: the boundary epoch's tail
+    /// plus the epoch-level suffix.
+    fn surviving_born_after(&self, tb: VirtualTime) -> Bytes {
+        if self.activated == 0 {
+            return Bytes::ZERO;
+        }
+        let (e, i) = self.split_at(tb);
+        Bytes::new(self.epochs[e].live.suffix(i) + self.epoch_live.suffix(e + 1))
+    }
+}
+
+impl SimHeap for EpochHeap {
+    fn with_capacity(_n: usize) -> EpochHeap {
+        EpochHeap::from_epochs(Vec::new())
+    }
+
+    fn insert(&mut self, obj: SimObject) {
+        if self.activated == 0 || self.born == self.epochs[self.activated - 1].records.len() {
+            // First record of the next epoch: bring its partial index
+            // into the aggregates.
+            let e = self.activated;
+            debug_assert!(e < self.epochs.len(), "insert beyond the prepared epochs");
+            let ep = &self.epochs[e];
+            self.epoch_live.push(ep.live.total());
+            self.epoch_dead.push(0);
+            if let Some(&(d, _)) = ep.death_order.first() {
+                self.next_death.push(Reverse((d, e as u32)));
+            }
+            self.activated = e + 1;
+            self.born = 0;
+        }
+        let rec = self.epochs[self.activated - 1].records[self.born];
+        debug_assert_eq!(
+            (rec.birth, rec.size, rec.death),
+            (obj.birth, obj.size, obj.death),
+            "drive and prepared epochs out of step"
+        );
+        self.born += 1;
+        self.resident += 1;
+        self.mem += obj.size as u64;
+    }
+
+    fn mem_in_use(&self) -> Bytes {
+        Bytes::new(self.mem)
+    }
+
+    fn len(&self) -> usize {
+        self.resident
+    }
+
+    fn live_bytes_at(&mut self, at: VirtualTime) -> Bytes {
+        self.advance_clock(at);
+        Bytes::new(self.mem - self.dead)
+    }
+
+    fn scavenge(&mut self, tb: VirtualTime, now: VirtualTime) -> ScavengeOutcome {
+        self.advance_clock(now);
+        debug_assert!(self.activated > 0, "scavenge before any allocation");
+        let (e, i) = self.split_at(tb);
+        let traced = Bytes::new(self.epochs[e].live.suffix(i) + self.epoch_live.suffix(e + 1));
+
+        // Reclaim the threatened garbage. In the boundary epoch only the
+        // slots past the split go; its garbage list is walked once (one
+        // partial epoch per scavenge). Every later epoch is entirely
+        // threatened, so its list is dropped wholesale.
+        let mut reclaimed = 0u64;
+        let mut removed = 0usize;
+        {
+            let ep = &mut self.epochs[e];
+            let mut garbage = std::mem::take(&mut ep.garbage);
+            garbage.retain(|&slot| {
+                if (slot as usize) >= i {
+                    reclaimed += ep.records[slot as usize].size as u64;
+                    removed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            ep.garbage = garbage;
+            ep.dead_bytes -= reclaimed;
+            self.epoch_dead.sub(e, reclaimed);
+        }
+        for f in (e + 1)..self.activated {
+            let ep = &mut self.epochs[f];
+            if ep.dead_bytes > 0 {
+                reclaimed += ep.dead_bytes;
+                removed += ep.garbage.len();
+                self.epoch_dead.sub(f, ep.dead_bytes);
+                ep.dead_bytes = 0;
+                ep.garbage.clear();
+            }
+        }
+
+        let tenured_garbage = Bytes::new(self.dead - reclaimed);
+        self.dead -= reclaimed;
+        self.mem -= reclaimed;
+        self.resident -= removed;
+        debug_assert_eq!(self.epoch_dead.suffix(e + 1), 0);
+        ScavengeOutcome {
+            traced,
+            reclaimed: Bytes::new(reclaimed),
+            surviving: Bytes::new(self.mem),
+            tenured_garbage,
+        }
+    }
+}
+
+/// The survival view lent at a boundary decision; exact, like the
+/// serial heap's, and inheriting the default (specification) candidate
+/// scan for the inverse query — see the module docs on bit-identity.
+pub(crate) struct EpochSurvival<'a> {
+    heap: &'a EpochHeap,
+}
+
+impl SurvivalEstimator for EpochSurvival<'_> {
+    fn surviving_born_after(&self, tb: VirtualTime) -> Bytes {
+        self.heap.surviving_born_after(tb)
+    }
+}
+
+impl SurvivalLender for EpochHeap {
+    type Survival<'a> = EpochSurvival<'a>;
+
+    fn survival_view(&mut self, now: VirtualTime) -> EpochSurvival<'_> {
+        self.advance_clock(now);
+        EpochSurvival { heap: self }
+    }
+}
+
+/// A block pending preparation, claimed by exactly one worker.
+struct PrepCell {
+    input: Option<Vec<ObjectLife>>,
+    output: Option<EpochState>,
+}
+
+/// Fans `prepare_epoch` out over `threads` workers (the calling thread
+/// included). Deterministic by construction: which worker prepares which
+/// epoch cannot influence the result, only the order results land.
+fn prepare_all(blocks: Vec<Vec<ObjectLife>>, threads: usize) -> Vec<EpochState> {
+    let n = blocks.len();
+    let workers = threads.min(n).max(1);
+    let cells: Vec<Mutex<PrepCell>> = blocks
+        .into_iter()
+        .map(|b| {
+            Mutex::new(PrepCell {
+                input: Some(b),
+                output: None,
+            })
+        })
+        .collect();
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let block = cells[i]
+            .lock()
+            .expect("prep cell poisoned")
+            .input
+            .take()
+            .expect("each cell is claimed once");
+        let prepared = prepare_epoch(block);
+        cells[i].lock().expect("prep cell poisoned").output = Some(prepared);
+    };
+    thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(work);
+        }
+        work();
+    });
+    cells
+        .into_iter()
+        .map(|c| {
+            c.into_inner()
+                .expect("prep cell poisoned")
+                .output
+                .expect("every cell prepared")
+        })
+        .collect()
+}
+
+/// Runs one cell with `threads` workers: partition, parallel prepare,
+/// serial drive. Callers ([`Sim::run`](crate::engine::Sim::run)) have
+/// already checked eligibility; anything ineligible that still lands
+/// here falls back to the serial engine.
+pub(crate) fn run_parallel<S: EventSource + ?Sized>(
+    source: &mut S,
+    policy: &mut dyn TbPolicy,
+    config: &SimConfig,
+    control: &RunControl<'_>,
+    threads: usize,
+) -> Result<SimRun, SimError> {
+    let Trigger::Allocation(epoch_bytes) = config.trigger else {
+        return run_serial::<OracleHeap, S>(source, policy, config, control.clone());
+    };
+    if let Err(e) = config.trigger.validate() {
+        return Err(SimError::Invariant {
+            at: VirtualTime::ZERO,
+            violation: InvariantViolation::InvalidTrigger { factor: e.factor },
+        });
+    }
+    let sample_every = Bytes::new((config.trigger.allocation_scale().as_u64() / 8).max(1));
+    let max_events = config.budget.max_events.unwrap_or(u64::MAX);
+
+    // Pre-read the stream into epoch blocks: scavenges fire exactly when
+    // the running allocation total since the last one reaches the
+    // trigger, so block boundaries are a pure function of the size
+    // prefix. A mid-stream source error is recorded, not returned — the
+    // drive must first replay every event before it to error with the
+    // serial engine's exact clock. The event budget caps the pre-read
+    // (one event past the cap reproduces the budget error), which keeps
+    // budgeted runs over unbounded sources terminating.
+    let mut blocks: Vec<Vec<ObjectLife>> = Vec::new();
+    let mut block: Vec<ObjectLife> = Vec::new();
+    let mut since = Bytes::ZERO;
+    let mut read: u64 = 0;
+    let mut source_err: Option<SourceError> = None;
+    loop {
+        if read > max_events {
+            break;
+        }
+        if let Some(flag) = control.cancel {
+            if flag.load(Ordering::Relaxed) {
+                break; // the drive's per-event poll reports the cancel
+            }
+        }
+        match source.next_record() {
+            Ok(Some(life)) => {
+                read += 1;
+                since += Bytes::new(life.size as u64);
+                block.push(life);
+                if since >= epoch_bytes {
+                    blocks.push(std::mem::take(&mut block));
+                    since = Bytes::ZERO;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                source_err = Some(e);
+                break;
+            }
+        }
+    }
+    if !block.is_empty() {
+        blocks.push(block);
+    }
+
+    let mut heap = EpochHeap::from_epochs(prepare_all(blocks, threads));
+
+    // The drive: the serial engine's loop verbatim, minus the resume and
+    // checkpoint arms (ineligible here) and with the source reads
+    // replaced by the pre-read epochs.
+    let mut metrics = MetricsCollector::new(config.cost);
+    let mut curve = MemoryCurve::new();
+    let mut since_gc = Bytes::ZERO;
+    let mut since_sample = Bytes::ZERO;
+    let mut clock = VirtualTime::ZERO;
+    let mut ledger = Ledger::default();
+
+    for e in 0..heap.epoch_count() {
+        for i in 0..heap.epoch_len(e) {
+            if let Some(flag) = control.cancel {
+                if flag.load(Ordering::Relaxed) {
+                    return Err(SimError::Cancelled { at: clock });
+                }
+            }
+            let life = heap.record(e, i);
+            let (birth, obj_size, death) = (life.birth, life.size, life.death);
+            ledger.events += 1;
+            if ledger.events > max_events {
+                return Err(SimError::BudgetExceeded {
+                    kind: BudgetKind::Events,
+                    limit: max_events,
+                    at: clock,
+                });
+            }
+            if let Some(prev) = ledger.prev_birth {
+                if birth <= prev {
+                    return Err(SimError::Invariant {
+                        at: birth,
+                        violation: InvariantViolation::NonMonotoneTime { prev, next: birth },
+                    });
+                }
+            }
+            if let Some(death) = death {
+                if death < birth {
+                    return Err(SimError::Invariant {
+                        at: birth,
+                        violation: InvariantViolation::DeathBeforeBirth { birth, death },
+                    });
+                }
+            }
+            ledger.prev_birth = Some(birth);
+
+            let size = Bytes::new(obj_size as u64);
+            metrics.record_memory(heap.mem_in_use(), size);
+            clock = birth;
+            heap.insert(SimObject {
+                birth,
+                size: obj_size,
+                death,
+            });
+            ledger.allocated += size;
+            since_gc += size;
+            since_sample += size;
+
+            if config.record_curve && since_sample >= sample_every {
+                since_sample = Bytes::ZERO;
+                curve.push(CurvePoint {
+                    at: clock,
+                    mem: heap.mem_in_use(),
+                    live: heap.live_bytes_at(clock),
+                    boundary: None,
+                });
+            }
+
+            let last_surviving = metrics.history().last().map(|r| r.surviving);
+            if config
+                .trigger
+                .should_collect(since_gc, heap.mem_in_use(), last_surviving)
+            {
+                since_gc = Bytes::ZERO;
+                since_sample = Bytes::ZERO;
+                scavenge_now(
+                    &mut heap,
+                    policy,
+                    &mut metrics,
+                    config,
+                    &mut curve,
+                    clock,
+                    &mut ledger,
+                )?;
+            }
+        }
+    }
+
+    if let Some(err) = source_err {
+        return Err(SimError::Source {
+            at: clock,
+            source: err,
+        });
+    }
+
+    let end = source.end();
+    let tail = if end > clock {
+        end.elapsed_since(clock)
+    } else {
+        Bytes::ZERO
+    };
+    metrics.record_memory(heap.mem_in_use(), tail);
+
+    let meta = source.meta();
+    Ok(SimRun {
+        report: metrics.finish(policy.name(), meta.name.clone(), meta.exec_seconds),
+        curve,
+    })
+}

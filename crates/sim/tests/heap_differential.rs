@@ -4,7 +4,7 @@
 //! The naive heap is the executable specification — every query is a
 //! plain filter over the object vector. These properties replay random
 //! compiled traces through `simulate` (incremental) and
-//! `simulate_with_heap::<NaiveHeap>` (specification) for **all six
+//! `Sim::heap::<NaiveHeap>()` (specification) for **all six
 //! policies** and require the complete runs — every `ScavengeOutcome`-
 //! derived record, report metric, and curve point — to be identical.
 //! Policies see survival estimates from each heap's own snapshot
@@ -12,7 +12,7 @@
 //! accounting, lazy-death bookkeeping) cascades into a visible mismatch.
 
 use dtb_core::policy::{PolicyConfig, PolicyKind};
-use dtb_sim::engine::{simulate, simulate_with_heap, SimConfig};
+use dtb_sim::engine::{simulate, Sim, SimConfig};
 use dtb_sim::NaiveHeap;
 use dtb_trace::event::CompiledTrace;
 use dtb_trace::{ObjectId, TraceBuilder};
@@ -69,7 +69,7 @@ proptest! {
             };
             let slow = {
                 let mut policy = kind.build(&policy_cfg);
-                simulate_with_heap::<NaiveHeap>(&trace, &mut policy, &config)
+                Sim::new(config).heap::<NaiveHeap>().run_trace(&trace, &mut policy)
             };
             match (fast, slow) {
                 (Ok(fast), Ok(slow)) => {

@@ -1,0 +1,182 @@
+//! Determinism suite for the intra-cell parallel engine: a run with
+//! `Sim::threads(k)` must be **bit-identical** — report, scavenge
+//! history, and memory curve — to a serial run (`threads(1)`), for all
+//! six policies, over both in-memory and sharded on-disk sources, and
+//! for every thread count tried.
+//!
+//! This is the contract that makes [`Evaluation::intra_cell_threads`]
+//! safe to flip on anywhere: the parallel decomposition is an execution
+//! strategy, never an approximation. Error paths must agree too — a
+//! budget cap trips at the same event with the same typed error either
+//! way.
+
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_core::time::Bytes;
+use dtb_sim::engine::{Sim, SimBudget, SimConfig, SimRun};
+use dtb_sim::trigger::Trigger;
+use dtb_sim::{Evaluation, NaiveHeap, SimError};
+use dtb_trace::programs::Program;
+use dtb_trace::{ctc, CompiledSource, EventSource, ShardReader};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("dtb-intra-cell-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// The serial run and every parallel thread count agree bit-for-bit.
+fn assert_threads_agree<S: EventSource>(kind: PolicyKind, mut make_source: impl FnMut() -> S) {
+    let policy_cfg = PolicyConfig::paper();
+    let config = SimConfig::paper().with_curve().with_invariant_checks(true);
+    let serial: SimRun = {
+        let mut policy = kind.build(&policy_cfg);
+        Sim::new(config)
+            .threads(1)
+            .run(&mut make_source(), &mut policy)
+            .expect("serial run")
+    };
+    for threads in [2, 3, 8] {
+        let parallel: SimRun = {
+            let mut policy = kind.build(&policy_cfg);
+            Sim::new(config)
+                .threads(threads)
+                .run(&mut make_source(), &mut policy)
+                .expect("parallel run")
+        };
+        assert_eq!(
+            serial.report.history, parallel.report.history,
+            "{kind}: scavenge histories diverge at {threads} threads"
+        );
+        assert_eq!(
+            serial.report, parallel.report,
+            "{kind}: reports diverge at {threads} threads"
+        );
+        assert_eq!(
+            serial.curve, parallel.curve,
+            "{kind}: memory curves diverge at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_is_bit_identical_for_all_policies_in_memory() {
+    let trace = Program::Cfrac.compiled();
+    for kind in PolicyKind::ALL {
+        assert_threads_agree(kind, || CompiledSource::new(&trace));
+    }
+}
+
+#[test]
+fn parallel_is_bit_identical_for_all_policies_sharded() {
+    let trace = Program::Ghost1.compiled();
+    let dir = temp_dir("shard");
+    let store = dir.join("store");
+    ctc::write_shards(&store, &trace, 10_000).expect("write store");
+    for kind in PolicyKind::ALL {
+        assert_threads_agree(kind, || ShardReader::open(&store).expect("open store"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A budget interruption is the same typed error at the same clock,
+/// serial or parallel — and the parallel pre-read must not run past the
+/// cap (that is what keeps budgeted runs over unbounded sources finite).
+#[test]
+fn budget_errors_agree_across_thread_counts() {
+    let trace = Program::Cfrac.compiled();
+    let config = SimConfig::paper().with_budget(SimBudget::events(2_500));
+    let serial = {
+        let mut policy = PolicyKind::DtbMem.build(&PolicyConfig::paper());
+        Sim::new(config)
+            .threads(1)
+            .run_trace(&trace, &mut policy)
+            .unwrap_err()
+    };
+    let parallel = {
+        let mut policy = PolicyKind::DtbMem.build(&PolicyConfig::paper());
+        Sim::new(config)
+            .threads(4)
+            .run_trace(&trace, &mut policy)
+            .unwrap_err()
+    };
+    assert!(matches!(serial, SimError::BudgetExceeded { .. }));
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+/// Corrupted traces fail with the same typed error under the parallel
+/// drive: shape checks replay event-by-event before any heap effect.
+#[test]
+fn corrupted_traces_fail_identically_in_parallel() {
+    use dtb_trace::corrupt::{death_before_birth, reversed_births};
+    let trace = Program::Cfrac.compiled();
+    for bad in [reversed_births(&trace), death_before_birth(&trace, 7)] {
+        let serial = {
+            let mut policy = PolicyKind::Full.build(&PolicyConfig::paper());
+            Sim::new(SimConfig::paper())
+                .threads(1)
+                .run_trace(&bad, &mut policy)
+                .unwrap_err()
+        };
+        let parallel = {
+            let mut policy = PolicyKind::Full.build(&PolicyConfig::paper());
+            Sim::new(SimConfig::paper())
+                .threads(4)
+                .run_trace(&bad, &mut policy)
+                .unwrap_err()
+        };
+        assert_eq!(serial, parallel);
+    }
+}
+
+/// Ineligible runs (non-allocation triggers, non-default heaps) fall
+/// back to the serial engine and still produce the serial answer.
+#[test]
+fn ineligible_runs_fall_back_to_serial() {
+    let trace = Program::Cfrac.compiled();
+    let ceiling = SimConfig {
+        trigger: Trigger::MemoryCeiling(Bytes::new(2_000_000)),
+        ..SimConfig::paper()
+    };
+    let mut a = PolicyKind::Full.build(&PolicyConfig::paper());
+    let mut b = PolicyKind::Full.build(&PolicyConfig::paper());
+    let serial = Sim::new(ceiling).threads(1).run_trace(&trace, &mut a);
+    let threaded = Sim::new(ceiling).threads(4).run_trace(&trace, &mut b);
+    assert_eq!(serial.unwrap(), threaded.unwrap());
+
+    let mut a = PolicyKind::DtbFm.build(&PolicyConfig::paper());
+    let mut b = PolicyKind::DtbFm.build(&PolicyConfig::paper());
+    let naive_serial = Sim::new(SimConfig::paper())
+        .heap::<NaiveHeap>()
+        .threads(1)
+        .run_trace(&trace, &mut a);
+    let naive_threaded = Sim::new(SimConfig::paper())
+        .heap::<NaiveHeap>()
+        .threads(4)
+        .run_trace(&trace, &mut b);
+    assert_eq!(naive_serial.unwrap(), naive_threaded.unwrap());
+}
+
+/// The executor knob: an evaluation with `intra_cell_threads(k)` yields
+/// the same matrix as the fully serial one, cell for cell.
+#[test]
+fn evaluation_intra_cell_threads_matches_serial_matrix() {
+    let build = |threads: usize| {
+        Evaluation::new()
+            .programs([Program::Cfrac])
+            .parallelism(1)
+            .intra_cell_threads(threads)
+            .run()
+    };
+    let serial = build(1);
+    let parallel = build(3);
+    for ((sc, s), (pc, p)) in serial.cells().zip(parallel.cells()) {
+        assert_eq!(sc.name, pc.name);
+        assert_eq!(s.row, p.row);
+        assert_eq!(s.run(), p.run(), "{}/{}: cell diverged", sc.name, s.row);
+    }
+}

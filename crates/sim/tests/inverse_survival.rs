@@ -1,0 +1,149 @@
+//! Property tests for the inverse survival query: the oracle heap's
+//! Fenwick-descent [`oldest_boundary_within`] must equal the trait's
+//! default candidate scan — the executable specification — over random
+//! heap states, random scavenge histories, and random budgets.
+//!
+//! The descent answers Feedback Mediation's search (`least { t_k |
+//! Trace_max ≥ surviving_born_after(t_k) }`) in one `O(log n)` tree
+//! walk. Its correctness rests on the estimator contract: survival is
+//! monotone non-increasing in the boundary, so the fitting candidates
+//! form a suffix, and the descent must find the very first of them —
+//! including across dead slots (zero live bytes), clock advances that
+//! move bytes between the indices, and budgets at both extremes.
+//!
+//! [`oldest_boundary_within`]:
+//!     dtb_core::policy::SurvivalEstimator::oldest_boundary_within
+
+use dtb_core::history::{ScavengeHistory, ScavengeRecord};
+use dtb_core::policy::SurvivalEstimator;
+use dtb_core::time::{Bytes, VirtualTime};
+use dtb_sim::{OracleHeap, SimObject};
+use proptest::prelude::*;
+
+/// One allocation: `(birth_gap, size, lifetime)`, all in clock bytes;
+/// `lifetime == None` lives forever.
+type Alloc = (u32, u32, Option<u32>);
+
+/// Builds an oracle heap from random allocations and advances its lazy
+/// clock to `now` (chosen inside the birth span so some deaths have
+/// struck and others are still pending).
+fn build_heap(allocs: &[Alloc]) -> (OracleHeap, VirtualTime, VirtualTime) {
+    let mut heap = OracleHeap::with_capacity(allocs.len());
+    let mut clock = 0u64;
+    for &(gap, size, lifetime) in allocs {
+        clock += gap as u64 + 1; // births strictly increase
+        heap.insert(SimObject {
+            birth: VirtualTime::from_bytes(clock),
+            size,
+            death: lifetime.map(|l| VirtualTime::from_bytes(clock + l as u64)),
+        });
+    }
+    let now = VirtualTime::from_bytes(clock + 1);
+    (heap, now, VirtualTime::from_bytes(clock))
+}
+
+/// A history whose scavenge times span the heap's birth range — the
+/// candidate set the mediation step searches.
+fn build_history(last_birth: VirtualTime, times: &[u32]) -> ScavengeHistory {
+    let mut h = ScavengeHistory::new();
+    let mut at = 0u64;
+    for &gap in times {
+        at += gap as u64 + 1;
+        // Only `at` matters to the candidate search; the other fields
+        // are plausible filler.
+        h.push(ScavengeRecord {
+            at: VirtualTime::from_bytes(at),
+            boundary: VirtualTime::ZERO,
+            traced: Bytes::ZERO,
+            surviving: Bytes::ZERO,
+            reclaimed: Bytes::ZERO,
+            mem_before: Bytes::ZERO,
+        });
+        if at > last_birth.as_u64() {
+            break;
+        }
+    }
+    h
+}
+
+fn allocs() -> impl Strategy<Value = Vec<Alloc>> {
+    prop::collection::vec(
+        (0u32..2_000, 1u32..=50_000, prop::option::of(0u32..6_000)),
+        1..120,
+    )
+}
+
+/// Budgets at both extremes plus values inside the live-byte range.
+fn budgets() -> impl Strategy<Value = u64> {
+    const PIVOTS: [u64; 7] = [0, 1, 1_000, 40_000, 120_000, 600_000, u64::MAX / 2];
+    (0usize..PIVOTS.len()).prop_map(|i| PIVOTS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Descent == default scan, for every (heap, history, budget,
+    /// lower-bound) combination tried.
+    #[test]
+    fn descent_matches_candidate_scan(
+        allocs in allocs(),
+        gaps in prop::collection::vec(0u32..3_000, 1..40),
+        budget in budgets(),
+        from_frac in 0u64..=100,
+    ) {
+        let (mut heap, now, last_birth) = build_heap(&allocs);
+        let history = build_history(last_birth, &gaps);
+        let from = VirtualTime::from_bytes(
+            last_birth.as_u64() * from_frac / 100);
+        let snap = heap.survival_snapshot(now);
+        let trace_max = Bytes::new(budget);
+        let candidates = history.candidates_at_or_after(from);
+
+        // The specification: walk candidates oldest-first, first fit
+        // wins (exactly the default trait method's loop).
+        let expected = candidates
+            .times()
+            .find(|&t| snap.surviving_born_after(t) <= trace_max);
+
+        let got = snap.oldest_boundary_within(trace_max, candidates);
+        prop_assert_eq!(
+            got, expected,
+            "budget {} from {:?}: descent diverges from scan", budget, from
+        );
+    }
+
+    /// The answer is self-consistent without reference to the scan: it
+    /// fits, and every earlier candidate does not.
+    #[test]
+    fn descent_answer_is_oldest_fitting(
+        allocs in allocs(),
+        gaps in prop::collection::vec(0u32..3_000, 1..40),
+        budget in 0u64..300_000,
+    ) {
+        let (mut heap, now, last_birth) = build_heap(&allocs);
+        let history = build_history(last_birth, &gaps);
+        let snap = heap.survival_snapshot(now);
+        let trace_max = Bytes::new(budget);
+        let candidates = history.candidates_at_or_after(VirtualTime::ZERO);
+
+        match snap.oldest_boundary_within(trace_max, candidates) {
+            Some(t) => {
+                prop_assert!(snap.surviving_born_after(t) <= trace_max);
+                for earlier in candidates.times().take_while(|&c| c < t) {
+                    prop_assert!(
+                        snap.surviving_born_after(earlier) > trace_max,
+                        "candidate {:?} before {:?} also fits", earlier, t
+                    );
+                }
+            }
+            None => {
+                for c in candidates.times() {
+                    prop_assert!(
+                        snap.surviving_born_after(c) > trace_max,
+                        "no answer returned but {:?} fits", c
+                    );
+                }
+            }
+        }
+    }
+}

@@ -12,9 +12,7 @@
 //! budget and invariant-checking differences between the legs.
 
 use dtb_core::policy::{PolicyConfig, PolicyKind};
-use dtb_sim::engine::{
-    simulate_source, simulate_source_resumable, RunControl, SimBudget, SimConfig, SimRun,
-};
+use dtb_sim::engine::{simulate_source, RunControl, Sim, SimBudget, SimConfig, SimRun};
 use dtb_sim::{load_checkpoint, CkpError, SimError};
 use dtb_trace::programs::Program;
 use dtb_trace::{ctc, CompiledSource, EventSource, ShardReader};
@@ -54,12 +52,9 @@ fn assert_resume_matches<S: EventSource>(
     let budgeted = config.with_budget(SimBudget::events(INTERRUPT_AFTER));
     let interrupted = {
         let mut policy = kind.build(&policy_cfg);
-        simulate_source_resumable(
-            &mut make_source(),
-            &mut policy,
-            &budgeted,
-            RunControl::new().with_checkpoints(ckp_path, CHECKPOINT_EVERY),
-        )
+        Sim::new(budgeted)
+            .control(RunControl::new().with_checkpoints(ckp_path, CHECKPOINT_EVERY))
+            .run(&mut make_source(), &mut policy)
     };
     assert!(
         matches!(interrupted, Err(SimError::BudgetExceeded { .. })),
@@ -77,13 +72,10 @@ fn assert_resume_matches<S: EventSource>(
     // Leg 2: resume from it, no budget this time.
     let resumed: SimRun = {
         let mut policy = kind.build(&policy_cfg);
-        simulate_source_resumable(
-            &mut make_source(),
-            &mut policy,
-            &config,
-            RunControl::new().resuming(ckp),
-        )
-        .expect("resumed run")
+        Sim::new(config)
+            .control(RunControl::new().resuming(ckp))
+            .run(&mut make_source(), &mut policy)
+            .expect("resumed run")
     };
 
     assert_eq!(
@@ -143,25 +135,19 @@ fn resume_refuses_foreign_checkpoints() {
     let config = SimConfig::paper().with_budget(SimBudget::events(INTERRUPT_AFTER));
     {
         let mut policy = PolicyKind::Full.build(&policy_cfg);
-        let _ = simulate_source_resumable(
-            &mut CompiledSource::new(&trace),
-            &mut policy,
-            &config,
-            RunControl::new().with_checkpoints(&path, CHECKPOINT_EVERY),
-        );
+        let _ = Sim::new(config)
+            .control(RunControl::new().with_checkpoints(&path, CHECKPOINT_EVERY))
+            .run_trace(&trace, &mut policy);
     }
     let ckp = load_checkpoint(&path).expect("readable checkpoint");
 
     // Wrong policy.
     let err = {
         let mut policy = PolicyKind::DtbFm.build(&policy_cfg);
-        simulate_source_resumable(
-            &mut CompiledSource::new(&trace),
-            &mut policy,
-            &SimConfig::paper(),
-            RunControl::new().resuming(ckp.clone()),
-        )
-        .unwrap_err()
+        Sim::new(SimConfig::paper())
+            .control(RunControl::new().resuming(ckp.clone()))
+            .run_trace(&trace, &mut policy)
+            .unwrap_err()
     };
     match err {
         SimError::Checkpoint {
@@ -175,13 +161,10 @@ fn resume_refuses_foreign_checkpoints() {
     let ghost = Program::Ghost1.compiled();
     let err = {
         let mut policy = PolicyKind::Full.build(&policy_cfg);
-        simulate_source_resumable(
-            &mut CompiledSource::new(&ghost),
-            &mut policy,
-            &SimConfig::paper(),
-            RunControl::new().resuming(ckp.clone()),
-        )
-        .unwrap_err()
+        Sim::new(SimConfig::paper())
+            .control(RunControl::new().resuming(ckp.clone()))
+            .run_trace(&ghost, &mut policy)
+            .unwrap_err()
     };
     match err {
         SimError::Checkpoint {
@@ -194,13 +177,10 @@ fn resume_refuses_foreign_checkpoints() {
     // Wrong physics: curve recording differs.
     let err = {
         let mut policy = PolicyKind::Full.build(&policy_cfg);
-        simulate_source_resumable(
-            &mut CompiledSource::new(&trace),
-            &mut policy,
-            &SimConfig::paper().with_curve(),
-            RunControl::new().resuming(ckp),
-        )
-        .unwrap_err()
+        Sim::new(SimConfig::paper().with_curve())
+            .control(RunControl::new().resuming(ckp))
+            .run_trace(&trace, &mut policy)
+            .unwrap_err()
     };
     assert!(
         matches!(
@@ -224,12 +204,9 @@ fn emitted_checkpoints_round_trip() {
     for kind in PolicyKind::ALL {
         let path = dir.join(format!("{kind}.dtbckp"));
         let mut policy = kind.build(&PolicyConfig::paper());
-        let _ = simulate_source_resumable(
-            &mut CompiledSource::new(&trace),
-            &mut policy,
-            &SimConfig::paper().with_budget(SimBudget::events(INTERRUPT_AFTER)),
-            RunControl::new().with_checkpoints(&path, CHECKPOINT_EVERY),
-        );
+        let _ = Sim::new(SimConfig::paper().with_budget(SimBudget::events(INTERRUPT_AFTER)))
+            .control(RunControl::new().with_checkpoints(&path, CHECKPOINT_EVERY))
+            .run_trace(&trace, &mut policy);
         let first = load_checkpoint(&path).expect("readable checkpoint");
         let second = load_checkpoint(&path).expect("stable checkpoint");
         assert_eq!(first, second, "{kind}: checkpoint load is unstable");
