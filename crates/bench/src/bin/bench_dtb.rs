@@ -47,7 +47,13 @@
 //! ```text
 //! bench_dtb [--events N] [--out PATH] [--baseline PATH] [--skip-naive]
 //!           [--resume DIR] [--threads N] [--expect-parallel-speedup X]
+//!           [--thread-curve N]
 //! ```
+//!
+//! `--thread-curve N` additionally re-runs the matrix at every thread
+//! count from 1 to N and records the speedup curve in the report (schema
+//! v4) — point 1 runs through the parallel engine too, so the curve
+//! isolates scaling from engine overhead.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -86,6 +92,20 @@ struct EngineTiming {
     policies: Vec<PolicyTiming>,
 }
 
+/// One point of the thread-scaling curve: the full six-policy matrix run
+/// at a fixed intra-cell thread count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ThreadCurvePoint {
+    /// Worker threads this point ran with (1 = the serial engine).
+    threads: usize,
+    /// Wall-clock seconds for the whole matrix at this thread count.
+    total_seconds: f64,
+    /// Aggregate events/second at this thread count.
+    events_per_sec: f64,
+    /// Serial-matrix seconds / this point's seconds (≥ 1 means scaling).
+    speedup: f64,
+}
+
 /// The harness output schema (`BENCH_dtb.json`).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct BenchReport {
@@ -106,6 +126,11 @@ struct BenchReport {
     parallel_threads: Option<usize>,
     /// incremental total seconds / parallel total seconds.
     parallel_speedup: Option<f64>,
+    /// Speedup at each thread count from 1 to `--thread-curve N` (absent
+    /// in pre-v4 reports and when the flag is not given). Point 1 re-runs
+    /// the matrix through `Sim::threads(1)` so the curve's own baseline
+    /// shares the parallel engine's fixed costs.
+    thread_curve: Option<Vec<ThreadCurvePoint>>,
     naive: Option<EngineTiming>,
     /// naive total seconds / incremental total seconds.
     speedup: Option<f64>,
@@ -305,6 +330,8 @@ struct Args {
     threads: usize,
     /// Minimum parallel-over-serial speedup, enforced when set.
     expect_parallel_speedup: Option<f64>,
+    /// Record a speedup curve at 1..=N threads (0 = off).
+    thread_curve: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -316,6 +343,7 @@ fn parse_args() -> Result<Args, String> {
         resume: None,
         threads: 0,
         expect_parallel_speedup: None,
+        thread_curve: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -333,6 +361,10 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|_| format!("bad --threads: {v}"))?;
+            }
+            "--thread-curve" => {
+                let v = it.next().ok_or("--thread-curve needs a value")?;
+                args.thread_curve = v.parse().map_err(|_| format!("bad --thread-curve: {v}"))?;
             }
             "--expect-parallel-speedup" => {
                 let v = it.next().ok_or("--expect-parallel-speedup needs a value")?;
@@ -354,7 +386,7 @@ fn main() -> ExitCode {
             eprintln!("bench_dtb: {e}");
             eprintln!(
                 "usage: bench_dtb [--events N] [--out PATH] [--baseline PATH] [--skip-naive] \
-                 [--resume DIR] [--threads N] [--expect-parallel-speedup X]"
+                 [--resume DIR] [--threads N] [--expect-parallel-speedup X] [--thread-curve N]"
             );
             return ExitCode::FAILURE;
         }
@@ -467,6 +499,48 @@ fn main() -> ExitCode {
         eprintln!("bench_dtb: one hardware thread — skipping the parallel pass");
     }
 
+    // Thread-scaling curve: the whole matrix at every thread count from
+    // 1 to N. Point 1 goes through the parallel engine too, so the curve
+    // measures scaling, not serial-vs-parallel engine overhead; every
+    // point must stay report-identical to the serial pass.
+    let mut thread_curve = None;
+    if args.thread_curve > 0 {
+        let curve_base = args.thread_curve.min(64);
+        let mut points = Vec::with_capacity(curve_base);
+        let mut serial_seconds = None;
+        for t in 1..=curve_base {
+            let label = format!("curve{t}");
+            let result = run_matrix(&label, trace.len(), &store, |kind| {
+                let mut policy = kind.build(&policy_cfg);
+                Sim::new(sim_cfg)
+                    .threads(t)
+                    .run_trace(&trace, &mut policy)
+                    .map_err(|e| e.to_string())
+            });
+            let (timing, curve_reports) = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("bench_dtb: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if fast_reports != curve_reports {
+                eprintln!(
+                    "bench_dtb: {t}-thread curve point diverged from serial — refusing to report"
+                );
+                return ExitCode::FAILURE;
+            }
+            let base = *serial_seconds.get_or_insert(timing.total_seconds);
+            points.push(ThreadCurvePoint {
+                threads: t,
+                total_seconds: timing.total_seconds,
+                events_per_sec: timing.events_per_sec,
+                speedup: base / timing.total_seconds.max(1e-9),
+            });
+        }
+        thread_curve = Some(points);
+    }
+
     let mut naive = None;
     let mut speedup = None;
     if !args.skip_naive {
@@ -493,7 +567,7 @@ fn main() -> ExitCode {
     }
 
     let report = BenchReport {
-        schema: "bench_dtb/v3".to_string(),
+        schema: "bench_dtb/v4".to_string(),
         events: trace.len(),
         total_alloc_bytes: spec.total_alloc,
         trace: spec.name.clone(),
@@ -502,6 +576,7 @@ fn main() -> ExitCode {
         parallel,
         parallel_threads,
         parallel_speedup,
+        thread_curve,
         naive,
         speedup,
         peak_rss_bytes: peak_rss_bytes(),

@@ -61,6 +61,9 @@ pub struct RunOpts {
     pub journal: Option<PathBuf>,
     /// Whether to resume from (rather than overwrite) the journal.
     pub resume: bool,
+    /// Submit the matrix to a running `dtb-coordinator` at this address
+    /// instead of evaluating in-process (`--submit HOST:PORT`).
+    pub submit: Option<String>,
 }
 
 impl RunOpts {
@@ -85,9 +88,15 @@ impl RunOpts {
                     opts.journal = Some(dir(&mut it));
                     opts.resume = true;
                 }
+                "--submit" => {
+                    opts.submit = Some(it.next().unwrap_or_else(|| {
+                        eprintln!("--submit needs a coordinator address (host:port)");
+                        std::process::exit(2)
+                    }));
+                }
                 other => {
                     eprintln!("unknown flag: {other}");
-                    eprintln!("usage: [--journal <dir> | --resume <dir>]");
+                    eprintln!("usage: [--journal <dir> | --resume <dir> | --submit <host:port>]");
                     std::process::exit(2);
                 }
             }
@@ -133,7 +142,15 @@ pub fn matrix_for(cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
 /// options. A journal that cannot be written or refuses to resume
 /// (version/shape mismatch, corruption) is a hard error: the message
 /// goes to stderr and the process exits with code 2.
+///
+/// With `--submit <addr>` the matrix is not evaluated here at all: the
+/// sweep goes to a running `dtb-coordinator`, workers do the computing,
+/// and the served result is reassembled into the same [`Matrix`] shape —
+/// the table printers cannot tell the difference.
 pub fn matrix_for_opts(cfg: &PolicyConfig, sim: &SimConfig, opts: &RunOpts) -> Matrix {
+    if let Some(addr) = &opts.submit {
+        return matrix_served(addr, cfg, sim);
+    }
     let eval = Evaluation::new()
         .policy_config(*cfg)
         .sim_config(*sim)
@@ -152,6 +169,41 @@ pub fn matrix_for_opts(cfg: &PolicyConfig, sim: &SimConfig, opts: &RunOpts) -> M
     }
 }
 
+/// Submits the paper matrix to the coordinator at `addr`, waits for the
+/// distributed workers to finish it, and reassembles the served sweep.
+/// Any service failure (unreachable coordinator, refused submit) exits
+/// with code 2 — same contract as a broken journal.
+fn matrix_served(addr: &str, cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
+    use dtb_svc::proto::SweepSpec;
+    let spec = SweepSpec {
+        tenant: "repro".to_string(),
+        programs: dtb_trace::programs::Program::ALL.to_vec(),
+        policies: dtb_core::policy::PolicyKind::ALL.to_vec(),
+        baselines: true,
+        policy: *cfg,
+        sim: *sim,
+    };
+    let mut client = dtb_svc::Client::connect(addr);
+    let submitted = match client.submit(&spec) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("submit to {addr} failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "submitted sweep {} ({} cells) to {addr}; waiting for workers",
+        submitted.sweep, submitted.cells
+    );
+    match client.wait_sweep(submitted.sweep, std::time::Duration::from_millis(500), None) {
+        Ok(reply) => dtb_svc::matrix_from_sweep(&reply),
+        Err(e) => {
+            eprintln!("sweep {} failed: {e}", submitted.sweep);
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The rows of Tables 2–4, in order: six collectors, then the baselines
 /// that appear only in Table 2.
 pub fn collector_rows() -> [Row; 8] {
@@ -165,13 +217,31 @@ pub fn collector_rows() -> [Row; 8] {
 /// (the healthy cells are still useful), then finish through this so a
 /// partial run is visible to scripts and CI as a nonzero exit.
 pub fn exit_reporting_failures(matrix: &Matrix) -> std::process::ExitCode {
-    let failures: Vec<_> = matrix.failures().collect();
-    if failures.is_empty() {
+    let failed: Vec<_> = matrix
+        .cells()
+        .filter(|(_, cell)| cell.failure().is_some())
+        .collect();
+    if failed.is_empty() {
         return std::process::ExitCode::SUCCESS;
     }
-    eprintln!("\n{} cell(s) failed:", failures.len());
-    for f in &failures {
-        eprintln!("  {f}");
+    eprintln!("\n{} cell(s) failed:", failed.len());
+    for (col, cell) in &failed {
+        let failure = cell.failure().expect("filtered to failed cells");
+        // The classification tells the reader what a rerun would do:
+        // transient causes retry (these exhausted the retry budget),
+        // permanent and remote causes fail identically every time.
+        let class = if failure.is_transient() {
+            "transient, retries exhausted"
+        } else {
+            "permanent"
+        };
+        eprintln!(
+            "  {} × {}: {} [{class}; {} attempt(s)]",
+            col.name(),
+            cell.row,
+            failure.cause,
+            cell.attempts
+        );
     }
     std::process::ExitCode::FAILURE
 }

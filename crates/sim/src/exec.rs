@@ -297,6 +297,11 @@ pub enum FailureCause {
         /// Allocation clock when the cancellation was observed.
         at: VirtualTime,
     },
+    /// The cell was evaluated by the distributed service and quarantined
+    /// there; the string is the coordinator's recorded cause (already
+    /// final — the service spent its own retries before quarantining, so
+    /// a remote failure is never transient here).
+    Remote(String),
 }
 
 impl FailureCause {
@@ -325,6 +330,7 @@ impl fmt::Display for FailureCause {
             FailureCause::Deadline { limit, at } => {
                 write!(f, "deadline of {limit:?} exceeded at clock {}", at.as_u64())
             }
+            FailureCause::Remote(cause) => write!(f, "remote: {cause}"),
         }
     }
 }
@@ -715,9 +721,29 @@ impl Evaluation {
                     policy: self.policy_cfg,
                     sim: self.sim_cfg,
                 };
-                let existing = if self.resume && journal_path(dir).exists() {
+                // A resume against a missing or zero-byte journal is a
+                // fresh start, not an error: the common case is "first
+                // run with --resume in the launch script" (or a crash
+                // before the header line landed), and refusing it would
+                // make resume-by-default unusable. Interior corruption —
+                // a non-empty journal that does not parse — still errors:
+                // that journal *had* results and silently discarding them
+                // would be data loss.
+                let journal_file = journal_path(dir);
+                let journal_empty = match std::fs::metadata(&journal_file) {
+                    Ok(meta) => meta.len() == 0,
+                    Err(_) => true,
+                };
+                let existing = if self.resume && !journal_empty {
                     Some(read_journal(dir)?)
                 } else {
+                    if self.resume {
+                        eprintln!(
+                            "evaluation: nothing to resume at {} (missing or empty journal); \
+                             starting a fresh run",
+                            journal_file.display()
+                        );
+                    }
                     None
                 };
                 match existing {
@@ -1219,6 +1245,14 @@ pub struct Matrix {
 }
 
 impl Matrix {
+    /// Assembles a matrix from externally computed columns — how the
+    /// distributed service's client rebuilds the executor's result shape
+    /// from served cells, so downstream rendering and comparison code
+    /// cannot tell a served matrix from a local one.
+    pub fn from_columns(columns: Vec<Column>) -> Matrix {
+        Matrix { columns }
+    }
+
     /// Columns in evaluation order.
     pub fn columns(&self) -> &[Column] {
         &self.columns

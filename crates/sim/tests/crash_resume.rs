@@ -171,6 +171,47 @@ fn finished_journal_resumes_without_recomputing() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Resuming against a directory with no journal — or a zero-byte one,
+/// as a crash before the header fsync leaves behind — is a fresh run
+/// with a warning, not an error. Only interior corruption is refused.
+#[test]
+fn resume_with_missing_or_empty_journal_starts_fresh() {
+    let eval = || {
+        Evaluation::new()
+            .programs([Program::Cfrac])
+            .policies([PolicyKind::Full])
+            .baselines(false)
+    };
+
+    // Missing directory entirely.
+    let dir = temp_dir("fresh-missing");
+    let matrix = eval().resume(&dir).try_run().expect("fresh run");
+    assert!(matrix.is_complete());
+    // The fresh run journaled its cells, so a second resume reuses them.
+    let computed = Arc::new(AtomicUsize::new(0));
+    let counter = computed.clone();
+    let again = eval()
+        .resume(&dir)
+        .on_cell(move |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })
+        .run();
+    assert!(again.is_complete());
+    assert_eq!(computed.load(Ordering::Relaxed), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Zero-byte journal file (crash before the header line landed).
+    let dir = temp_dir("fresh-empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(journal_path(&dir), b"").unwrap();
+    let matrix = eval()
+        .resume(&dir)
+        .try_run()
+        .expect("fresh run over empty journal");
+    assert!(matrix.is_complete());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A journal from a differently-shaped evaluation is refused with a
 /// typed mismatch, not silently mixed in.
 #[test]

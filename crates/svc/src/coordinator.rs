@@ -1,0 +1,946 @@
+//! The coordinator: shards sweeps into cells, leases them to workers,
+//! and records completions with exactly-once semantics.
+//!
+//! # The lease/complete state machine
+//!
+//! Every cell moves through:
+//!
+//! ```text
+//! Pending ──lease──▶ Leased ──complete(ok | permanent | retries spent)──▶ Final
+//!    ▲                 │
+//!    └──lease expiry───┘        (also: complete(transient, retries left))
+//! ```
+//!
+//! `Final` is **Done** (a journaled [`SimRun`]) or **Quarantined** (a
+//! journaled failure). The transition into `Final` happens *after* the
+//! corresponding journal line is fsync'd — a cell is only done once its
+//! completion is durable — and happens at most once, so the journal
+//! carries **exactly one completion line per cell** no matter how many
+//! workers crash, how many stale leases replay, or how many duplicate
+//! completions arrive:
+//!
+//! * a completion for an already-final cell is answered
+//!   [`Duplicate`](CompleteStatus::Duplicate) and not re-journaled;
+//! * a completion whose lease token is not the cell's *current* lease
+//!   (expired and re-leased, or plain garbage) is answered
+//!   [`LeaseLost`](CompleteStatus::LeaseLost) and discarded;
+//! * a transient failure with retries left goes back to `Pending`
+//!   ([`Requeued`](CompleteStatus::Requeued)) and is journaled only when
+//!   its retries run out.
+//!
+//! Lease timeouts reuse the executor's per-cell wall-clock deadline
+//! semantics (`Evaluation::cell_deadline`): a worker that holds a cell
+//! past [`CoordinatorConfig::lease_timeout`] is presumed dead and the
+//! cell is re-leased; the straggler's late completion, if it ever
+//! arrives, is a stale lease and ignored. Retries reuse the executor's
+//! [`RetryPolicy`] shape: only transient failures are retried, at most
+//! `retry.max_retries` times beyond the first attempt, and the exhausted
+//! or permanent cell is quarantined with its attempt count.
+//!
+//! # Fairness and quotas
+//!
+//! Leases rotate **round-robin across tenants**: among tenants with
+//! pending work, the least-recently-served tenant goes first, so a
+//! tenant that submits a thousand sweeps cannot starve one that submits
+//! one. Per-tenant [`SimBudget`] quotas cap every leased cell's
+//! events/scavenges — the coordinator merges the quota into the cell's
+//! `SimConfig` before it ships, so an over-budget cell fails with the
+//! engine's own typed `BudgetExceeded`, exactly as it would in-process.
+
+use crate::http::{read_request, write_response, Request, Response, WireError};
+use crate::proto::{
+    decode, encode, CellResult, CellTask, CompleteReply, CompleteRequest, CompleteStatus,
+    LeaseReply, LeaseRequest, StatusReply, SubmitReply, SubmitRequest, SweepReply, SweepSpec,
+    SweepStatus, PROTO_VERSION,
+};
+use dtb_core::policy::Row;
+use dtb_sim::engine::{SimBudget, SimRun};
+use dtb_sim::exec::RetryPolicy;
+use dtb_sim::journal::{JournalCell, JournalHeader, JournalWriter, JOURNAL_VERSION};
+use dtb_sim::CkpError;
+use dtb_trace::programs::Program;
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Coordinator tuning knobs.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// How long a lease is valid. Past this, the worker is presumed dead
+    /// and the cell is re-leased — the service-side reuse of the
+    /// executor's per-cell wall-clock deadline.
+    pub lease_timeout: Duration,
+    /// How transient failures (including lease expiry) are retried:
+    /// `max_retries` bounds re-leases beyond the first attempt. Backoff
+    /// delays are worker-side; the coordinator only counts attempts.
+    pub retry: RetryPolicy,
+    /// Directory for durable per-sweep journals (`<dir>/sweep-<id>/`);
+    /// `None` keeps completions in memory only (tests).
+    pub journal_dir: Option<PathBuf>,
+    /// What idle workers are told to wait before re-polling.
+    pub idle_retry: Duration,
+    /// Per-tenant cell quotas, merged into every leased cell's budget.
+    /// Tenants not listed get [`SimBudget::UNLIMITED`].
+    pub quotas: HashMap<String, SimBudget>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            lease_timeout: Duration::from_secs(60),
+            retry: RetryPolicy::retries(2),
+            journal_dir: None,
+            idle_retry: Duration::from_millis(100),
+            quotas: HashMap::new(),
+        }
+    }
+}
+
+/// Where one cell stands in the lease/complete state machine.
+#[derive(Debug)]
+enum CellStatus {
+    /// Waiting for a worker.
+    Pending,
+    /// Leased out; `lease` must be echoed by the completion.
+    Leased { lease: u64, expires: Instant },
+    /// Final: the run was journaled.
+    Done { run: SimRun },
+    /// Final: failed permanently (or out of retries); cause journaled.
+    Quarantined { failure: String },
+}
+
+impl CellStatus {
+    fn is_final(&self) -> bool {
+        matches!(
+            self,
+            CellStatus::Done { .. } | CellStatus::Quarantined { .. }
+        )
+    }
+}
+
+#[derive(Debug)]
+struct CellState {
+    program: Program,
+    row: Row,
+    status: CellStatus,
+    /// Leases granted so far.
+    attempts: u32,
+    /// Wall-clock nanoseconds of the finalizing attempt.
+    elapsed_ns: u64,
+}
+
+struct SweepState {
+    id: u64,
+    spec: SweepSpec,
+    cells: Vec<CellState>,
+    journal: Option<JournalWriter>,
+}
+
+impl SweepState {
+    fn finalized(&self) -> u64 {
+        self.cells.iter().filter(|c| c.status.is_final()).count() as u64
+    }
+
+    fn is_done(&self) -> bool {
+        self.cells.iter().all(|c| c.status.is_final())
+    }
+
+    /// Makes one cell final — journaling the outcome first, then flipping
+    /// the in-memory state. This is the **only** place a cell becomes
+    /// `Done`/`Quarantined` and the only place a cell journal line is
+    /// written, which makes "exactly one completion per cell" a
+    /// structural property rather than a convention.
+    ///
+    /// On a journal error the cell is left untouched (still leased or
+    /// pending): durability gates finality, never the other way round.
+    fn finalize(
+        &mut self,
+        index: usize,
+        run: Option<SimRun>,
+        failure: Option<String>,
+        elapsed_ns: u64,
+    ) -> Result<(), CkpError> {
+        let cell = &mut self.cells[index];
+        debug_assert!(!cell.status.is_final(), "finalize called twice on a cell");
+        if let Some(journal) = &mut self.journal {
+            journal.cell(&JournalCell {
+                column: cell.program.label().to_string(),
+                row: cell.row.to_string(),
+                attempts: cell.attempts.max(1),
+                elapsed_ns,
+                run: run.clone(),
+                failure: failure.clone(),
+            })?;
+        }
+        cell.elapsed_ns = elapsed_ns;
+        cell.status = match (run, failure) {
+            (Some(run), _) => CellStatus::Done { run },
+            (None, Some(failure)) => CellStatus::Quarantined { failure },
+            (None, None) => unreachable!("finalize needs a run or a failure"),
+        };
+        Ok(())
+    }
+}
+
+struct State {
+    config: CoordinatorConfig,
+    sweeps: Vec<SweepState>,
+    next_sweep: u64,
+    next_lease: u64,
+    /// Fairness clock: bumped on every lease; each tenant remembers the
+    /// tick it was last served at.
+    serve_tick: u64,
+    last_served: HashMap<String, u64>,
+}
+
+impl State {
+    fn new(config: CoordinatorConfig) -> State {
+        State {
+            config,
+            sweeps: Vec::new(),
+            next_sweep: 1,
+            next_lease: 1,
+            serve_tick: 0,
+            last_served: HashMap::new(),
+        }
+    }
+
+    /// Returns expired leases to the pending queue (or quarantines cells
+    /// that spent their retries timing out). Called lazily from every
+    /// request — there is no background reaper thread to race with.
+    fn expire_leases(&mut self) {
+        let now = Instant::now();
+        let max_attempts = 1 + self.config.retry.max_retries;
+        let lease_timeout = self.config.lease_timeout;
+        for sweep in &mut self.sweeps {
+            for i in 0..sweep.cells.len() {
+                let cell = &mut sweep.cells[i];
+                let CellStatus::Leased { expires, .. } = cell.status else {
+                    continue;
+                };
+                if now < expires {
+                    continue;
+                }
+                if cell.attempts >= max_attempts {
+                    let failure = format!(
+                        "lease expired after {} attempt(s) (lease timeout {lease_timeout:?})",
+                        cell.attempts
+                    );
+                    if let Err(e) = sweep.finalize(i, None, Some(failure), 0) {
+                        // Journal unavailable: leave the cell leased (and
+                        // expired); the next pass will retry the write.
+                        eprintln!("coordinator: journal write failed, cell stays open: {e}");
+                    }
+                } else {
+                    cell.status = CellStatus::Pending;
+                }
+            }
+        }
+    }
+
+    /// Picks the next cell to lease, fair across tenants: among tenants
+    /// with pending work, the least-recently-served wins; within a
+    /// tenant, the oldest sweep's first pending cell.
+    fn pick(&mut self) -> Option<(usize, usize)> {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for (s, sweep) in self.sweeps.iter().enumerate() {
+            let Some(c) = sweep
+                .cells
+                .iter()
+                .position(|c| matches!(c.status, CellStatus::Pending))
+            else {
+                continue;
+            };
+            let served = *self.last_served.get(&sweep.spec.tenant).unwrap_or(&0);
+            // Strictly-less keeps the earliest sweep for tied tenants.
+            let better = match best {
+                None => true,
+                Some((b, _, _)) => served < b,
+            };
+            if better {
+                best = Some((served, s, c));
+            }
+        }
+        let (_, s, c) = best?;
+        self.serve_tick += 1;
+        let tick = self.serve_tick;
+        self.last_served
+            .insert(self.sweeps[s].spec.tenant.clone(), tick);
+        Some((s, c))
+    }
+
+    fn drained(&self) -> bool {
+        !self.sweeps.is_empty() && self.sweeps.iter().all(SweepState::is_done)
+    }
+}
+
+/// A running coordinator: the server thread plus the shared state.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`Coordinator::shutdown`] (or hit `POST /shutdown`).
+pub struct Coordinator {
+    state: Arc<Mutex<State>>,
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: CoordinatorConfig,
+    ) -> std::io::Result<Coordinator> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(Mutex::new(State::new(config)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || serve(listener, state, stop))
+        };
+        Ok(Coordinator {
+            state,
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Submits a sweep in-process (equivalent to `POST /submit`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal-creation failures.
+    pub fn submit(&self, spec: SweepSpec) -> Result<u64, CkpError> {
+        submit(&mut self.lock(), spec)
+    }
+
+    /// Answers one already-parsed request in-process — the same routing
+    /// the TCP loop uses. Exposed so tests (and the wire proptests) can
+    /// drive the full request surface without a socket.
+    pub fn handle(&self, req: &Request) -> Response {
+        handle_request(&mut self.lock(), req)
+    }
+
+    /// True when every submitted sweep is finished (and at least one was
+    /// submitted).
+    pub fn drained(&self) -> bool {
+        self.lock().drained()
+    }
+
+    /// Blocks until the server thread exits (a `POST /shutdown`
+    /// arrived) — the serve loop of the `dtb-coordinator` binary.
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops the server thread and waits for it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A handler panic while holding the lock poisons it; the state
+        // itself stays consistent (mutations are single-assignment per
+        // request), so serving beats refusing.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+fn serve(listener: TcpListener, state: Arc<Mutex<State>>, stop: Arc<AtomicBool>) {
+    // Connection handlers are short-lived (one request, one response,
+    // close), so a thread per connection is plenty at this protocol's
+    // request rate; handles are detached and panics are contained below.
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle_connection(stream, &state, &stop);
+            }));
+        });
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<Mutex<State>>, stop: &Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let response = match read_request(&mut stream) {
+        Ok(req) => {
+            if req.method == "POST" && req.path == "/shutdown" {
+                stop.store(true, Ordering::SeqCst);
+                Response::ok(b"{}".to_vec())
+            } else {
+                let mut state = state.lock().unwrap_or_else(|p| p.into_inner());
+                handle_request(&mut state, &req)
+            }
+        }
+        Err(WireError::Io(_)) => return, // peer vanished; nothing to answer
+        Err(e) => Response::error(400, format!("bad request: {e}")),
+    };
+    let _ = write_response(&mut stream, &response);
+    if stop.load(Ordering::SeqCst) {
+        // Wake the accept loop so the flag is noticed immediately.
+        if let Ok(addr) = stream.local_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// Routes one parsed request. Total: every (method, path, body) maps to
+/// a response — malformed bodies to `400`, unknown routes to `404` —
+/// never a panic (the wire proptests hold this door shut).
+fn handle_request(state: &mut State, req: &Request) -> Response {
+    let route = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), route) {
+        ("POST", "/submit") => match decode::<SubmitRequest>(&req.body) {
+            Ok(msg) => match submit(state, msg.spec) {
+                Ok(sweep) => {
+                    let cells = state.sweeps.last().map_or(0, |s| s.cells.len() as u64);
+                    Response::ok(encode(&SubmitReply { sweep, cells }))
+                }
+                Err(e) => Response::error(500, format!("journal: {e}")),
+            },
+            Err(e) => Response::error(400, e),
+        },
+        ("POST", "/lease") => match decode::<LeaseRequest>(&req.body) {
+            Ok(msg) => lease(state, &msg),
+            Err(e) => Response::error(400, e),
+        },
+        ("POST", "/complete") => match decode::<CompleteRequest>(&req.body) {
+            Ok(msg) => complete(state, &msg),
+            Err(e) => Response::error(400, e),
+        },
+        ("GET", "/status") => {
+            state.expire_leases();
+            let sweeps = state
+                .sweeps
+                .iter()
+                .map(|s| SweepStatus {
+                    sweep: s.id,
+                    tenant: s.spec.tenant.clone(),
+                    finalized: s.finalized(),
+                    leased: s
+                        .cells
+                        .iter()
+                        .filter(|c| matches!(c.status, CellStatus::Leased { .. }))
+                        .count() as u64,
+                    quarantined: s
+                        .cells
+                        .iter()
+                        .filter(|c| matches!(c.status, CellStatus::Quarantined { .. }))
+                        .count() as u64,
+                    total: s.cells.len() as u64,
+                })
+                .collect();
+            Response::ok(encode(&StatusReply {
+                proto: PROTO_VERSION,
+                sweeps,
+            }))
+        }
+        ("GET", "/sweep") => {
+            state.expire_leases();
+            let id = req.path.split_once('?').and_then(|(_, q)| {
+                q.split('&')
+                    .find_map(|kv| kv.strip_prefix("id="))
+                    .and_then(|v| v.parse::<u64>().ok())
+            });
+            let Some(id) = id else {
+                return Response::error(400, "missing or bad `id` query parameter");
+            };
+            let Some(sweep) = state.sweeps.iter().find(|s| s.id == id) else {
+                return Response::error(404, format!("no sweep {id}"));
+            };
+            let done = sweep.is_done();
+            let cells = if done {
+                sweep
+                    .cells
+                    .iter()
+                    .map(|c| CellResult {
+                        column: c.program.label().to_string(),
+                        row: c.row.to_string(),
+                        attempts: c.attempts.max(1),
+                        elapsed_ns: c.elapsed_ns,
+                        run: match &c.status {
+                            CellStatus::Done { run } => Some(run.clone()),
+                            _ => None,
+                        },
+                        failure: match &c.status {
+                            CellStatus::Quarantined { failure } => Some(failure.clone()),
+                            _ => None,
+                        },
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            Response::ok(encode(&SweepReply {
+                sweep: sweep.id,
+                spec: sweep.spec.clone(),
+                finalized: sweep.finalized(),
+                total: sweep.cells.len() as u64,
+                done,
+                cells,
+            }))
+        }
+        _ => Response::error(404, format!("no route {} {}", req.method, req.path)),
+    }
+}
+
+fn submit(state: &mut State, spec: SweepSpec) -> Result<u64, CkpError> {
+    let id = state.next_sweep;
+    let rows = spec.rows();
+    let journal = match &state.config.journal_dir {
+        None => None,
+        Some(dir) => {
+            let header = JournalHeader {
+                version: JOURNAL_VERSION,
+                columns: spec
+                    .programs
+                    .iter()
+                    .map(|p| p.label().to_string())
+                    .collect(),
+                rows: rows.iter().map(|r| r.to_string()).collect(),
+                policy: spec.policy,
+                sim: spec.sim,
+            };
+            Some(JournalWriter::create(
+                dir.join(format!("sweep-{id}")),
+                &header,
+            )?)
+        }
+    };
+    let mut cells = Vec::with_capacity(spec.programs.len() * rows.len());
+    for program in &spec.programs {
+        for row in &rows {
+            cells.push(CellState {
+                program: *program,
+                row: row.clone(),
+                status: CellStatus::Pending,
+                attempts: 0,
+                elapsed_ns: 0,
+            });
+        }
+    }
+    state.next_sweep += 1;
+    state.sweeps.push(SweepState {
+        id,
+        spec,
+        cells,
+        journal,
+    });
+    Ok(id)
+}
+
+fn lease(state: &mut State, req: &LeaseRequest) -> Response {
+    if req.proto != PROTO_VERSION {
+        return Response::error(
+            400,
+            format!(
+                "protocol version mismatch: worker speaks {}, coordinator {}",
+                req.proto, PROTO_VERSION
+            ),
+        );
+    }
+    state.expire_leases();
+    let idle_ms = state.config.idle_retry.as_millis().max(1) as u64;
+    let Some((s, c)) = state.pick() else {
+        return Response::ok(encode(&LeaseReply {
+            task: None,
+            retry_ms: idle_ms,
+            drained: state.drained(),
+        }));
+    };
+    let lease = state.next_lease;
+    state.next_lease += 1;
+    let lease_timeout = state.config.lease_timeout;
+    let quota = state
+        .config
+        .quotas
+        .get(&state.sweeps[s].spec.tenant)
+        .copied()
+        .unwrap_or(SimBudget::UNLIMITED);
+    let sweep = &mut state.sweeps[s];
+    let mut sim = sweep.spec.sim;
+    sim.budget = merge_budget(sim.budget, quota);
+    let cell = &mut sweep.cells[c];
+    cell.attempts += 1;
+    cell.status = CellStatus::Leased {
+        lease,
+        expires: Instant::now() + lease_timeout,
+    };
+    Response::ok(encode(&LeaseReply {
+        task: Some(CellTask {
+            sweep: sweep.id,
+            cell: c as u64,
+            lease,
+            lease_ms: lease_timeout.as_millis().min(u64::MAX as u128) as u64,
+            program: cell.program,
+            row: cell.row.clone(),
+            policy: sweep.spec.policy,
+            sim,
+            attempt: cell.attempts,
+        }),
+        retry_ms: 0,
+        drained: false,
+    }))
+}
+
+/// The tighter of two budgets, cap by cap: a tenant quota can only
+/// shrink what a sweep asked for, never widen it.
+fn merge_budget(sweep: SimBudget, quota: SimBudget) -> SimBudget {
+    fn tighter(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, None) | (None, x) => x,
+        }
+    }
+    SimBudget {
+        max_events: tighter(sweep.max_events, quota.max_events),
+        max_scavenges: tighter(sweep.max_scavenges, quota.max_scavenges),
+    }
+}
+
+fn complete(state: &mut State, req: &CompleteRequest) -> Response {
+    state.expire_leases();
+    let max_attempts = 1 + state.config.retry.max_retries;
+    let Some(sweep) = state.sweeps.iter_mut().find(|s| s.id == req.sweep) else {
+        return Response::error(404, format!("no sweep {}", req.sweep));
+    };
+    let index = req.cell as usize;
+    let Some(cell) = sweep.cells.get(index) else {
+        return Response::error(404, format!("no cell {} in sweep {}", req.cell, req.sweep));
+    };
+    let reply = |status: CompleteStatus| Response::ok(encode(&CompleteReply { status }));
+
+    if cell.status.is_final() {
+        // Exactly-once: the first durable completion won; later copies —
+        // worker retries after a lost ack, stale-lease replays — are
+        // acknowledged but change nothing and journal nothing.
+        return reply(CompleteStatus::Duplicate);
+    }
+    match cell.status {
+        CellStatus::Leased { lease, .. } if lease == req.lease => {}
+        // Pending (lease expired and requeued) or re-leased under a new
+        // token: this worker lost the race. Discard its result — the
+        // current leaseholder owns the cell.
+        _ => return reply(CompleteStatus::LeaseLost),
+    }
+
+    let attempts = cell.attempts;
+    match (&req.run, &req.failure) {
+        (Some(run), _) => match sweep.finalize(index, Some(run.clone()), None, req.elapsed_ns) {
+            Ok(()) => reply(CompleteStatus::Recorded),
+            // Journal write failed: the cell stays leased; the worker
+            // sees a 500 (transient) and retries the completion.
+            Err(e) => Response::error(500, format!("journal: {e}")),
+        },
+        (None, Some(_)) if req.transient && attempts < max_attempts => {
+            sweep.cells[index].status = CellStatus::Pending;
+            reply(CompleteStatus::Requeued)
+        }
+        (None, Some(failure)) => {
+            let quarantine = format!("{failure} (after {attempts} attempt(s))");
+            match sweep.finalize(index, None, Some(quarantine), req.elapsed_ns) {
+                Ok(()) => reply(CompleteStatus::Recorded),
+                Err(e) => Response::error(500, format!("journal: {e}")),
+            }
+        }
+        (None, None) => Response::error(400, "completion carries neither run nor failure"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtb_core::policy::{PolicyConfig, PolicyKind};
+    use dtb_sim::engine::{simulate, SimConfig};
+    use dtb_trace::TraceBuilder;
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            tenant: "t1".into(),
+            programs: vec![Program::Cfrac],
+            policies: vec![PolicyKind::Full, PolicyKind::Fixed1],
+            baselines: false,
+            policy: PolicyConfig::paper(),
+            sim: SimConfig::paper(),
+        }
+    }
+
+    fn lease_task(state: &mut State) -> Option<CellTask> {
+        let resp = lease(
+            state,
+            &LeaseRequest {
+                proto: PROTO_VERSION,
+                worker: "w".into(),
+            },
+        );
+        assert_eq!(resp.status, 200);
+        decode::<LeaseReply>(&resp.body).unwrap().task
+    }
+
+    /// A real (but tiny) run to ship in completions: these tests exercise
+    /// the ledger, not the engine.
+    fn tiny_run() -> SimRun {
+        let mut b = TraceBuilder::new("tiny");
+        for _ in 0..4 {
+            let id = b.alloc(1_000);
+            b.free(id);
+        }
+        let trace = b.finish().compile().unwrap();
+        simulate(
+            &trace,
+            &mut dtb_core::policy::Full::new(),
+            &SimConfig::paper(),
+        )
+        .unwrap()
+    }
+
+    fn completion(task: &CellTask, run: Option<SimRun>) -> CompleteRequest {
+        CompleteRequest {
+            sweep: task.sweep,
+            cell: task.cell,
+            lease: task.lease,
+            worker: "w".into(),
+            run,
+            failure: None,
+            transient: false,
+            elapsed_ns: 1,
+        }
+    }
+
+    fn status_of(resp: &Response) -> CompleteStatus {
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        decode::<CompleteReply>(&resp.body).unwrap().status
+    }
+
+    #[test]
+    fn fair_round_robin_across_tenants() {
+        let mut st = State::new(CoordinatorConfig::default());
+        let mut heavy = spec();
+        heavy.tenant = "heavy".into();
+        heavy.policies = PolicyKind::ALL.to_vec();
+        submit(&mut st, heavy).unwrap();
+        let mut light = spec();
+        light.tenant = "light".into();
+        submit(&mut st, light).unwrap();
+
+        // Four consecutive leases alternate tenants even though "heavy"
+        // has three times the pending cells.
+        let tenants: Vec<u64> = (0..4)
+            .map(|_| lease_task(&mut st).expect("work available").sweep)
+            .collect();
+        assert_eq!(tenants, [1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn tenant_quota_tightens_the_cell_budget() {
+        let cfg = CoordinatorConfig {
+            quotas: HashMap::from([("t1".to_string(), SimBudget::events(10))]),
+            ..CoordinatorConfig::default()
+        };
+        let mut st = State::new(cfg);
+        submit(&mut st, spec()).unwrap();
+        let task = lease_task(&mut st).unwrap();
+        assert_eq!(task.sim.budget.max_events, Some(10));
+        // The sweep's own (unlimited) budget was only ever tightened.
+        assert_eq!(task.sim.budget.max_scavenges, None);
+    }
+
+    #[test]
+    fn duplicate_completion_is_idempotent() {
+        let mut st = State::new(CoordinatorConfig::default());
+        submit(&mut st, spec()).unwrap();
+        let task = lease_task(&mut st).unwrap();
+        let req = completion(&task, Some(tiny_run()));
+        assert_eq!(
+            status_of(&complete(&mut st, &req)),
+            CompleteStatus::Recorded
+        );
+        // The same completion again — a worker retrying a lost ack, or a
+        // stale-lease replay — is acknowledged but changes nothing.
+        assert_eq!(
+            status_of(&complete(&mut st, &req)),
+            CompleteStatus::Duplicate
+        );
+    }
+
+    #[test]
+    fn expired_lease_requeues_and_stale_completion_is_refused() {
+        let cfg = CoordinatorConfig {
+            lease_timeout: Duration::from_millis(1),
+            ..CoordinatorConfig::default()
+        };
+        let mut st = State::new(cfg);
+        submit(&mut st, spec()).unwrap();
+        let stale = lease_task(&mut st).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+
+        // The cell comes back out under a fresh lease and a bumped
+        // attempt count…
+        let fresh = lease_task(&mut st).unwrap();
+        assert_eq!(fresh.cell, stale.cell);
+        assert_ne!(fresh.lease, stale.lease);
+        assert_eq!(fresh.attempt, 2);
+
+        // …and the stale worker's late completion is discarded. (Pin the
+        // fresh lease far into the future first so it cannot also expire
+        // on a slow machine.)
+        if let CellStatus::Leased { expires, .. } =
+            &mut st.sweeps[0].cells[fresh.cell as usize].status
+        {
+            *expires = Instant::now() + Duration::from_secs(600);
+        }
+        let run = tiny_run();
+        let resp = complete(&mut st, &completion(&stale, Some(run.clone())));
+        assert_eq!(status_of(&resp), CompleteStatus::LeaseLost);
+
+        // The current leaseholder's completion is the one that lands.
+        let resp = complete(&mut st, &completion(&fresh, Some(run)));
+        assert_eq!(status_of(&resp), CompleteStatus::Recorded);
+    }
+
+    #[test]
+    fn transient_failures_requeue_then_quarantine_with_attempts() {
+        let cfg = CoordinatorConfig {
+            retry: RetryPolicy::retries(1), // 2 attempts total
+            ..CoordinatorConfig::default()
+        };
+        let mut st = State::new(cfg);
+        submit(&mut st, spec()).unwrap();
+
+        let fail = |st: &mut State, task: &CellTask| {
+            let mut req = completion(task, None);
+            req.failure = Some("connection reset by peer".into());
+            req.transient = true;
+            status_of(&complete(st, &req))
+        };
+
+        let t1 = lease_task(&mut st).unwrap();
+        assert_eq!(fail(&mut st, &t1), CompleteStatus::Requeued);
+        // The requeued cell comes around again (lease until we find it:
+        // cell order within the sweep is not part of the contract).
+        let t2 = loop {
+            let t = lease_task(&mut st).unwrap();
+            if t.cell == t1.cell {
+                break t;
+            }
+        };
+        assert_eq!(t2.attempt, 2);
+        assert_eq!(fail(&mut st, &t2), CompleteStatus::Recorded);
+        let cell = &st.sweeps[0].cells[t1.cell as usize];
+        let CellStatus::Quarantined { failure } = &cell.status else {
+            panic!("expected quarantine, got {:?}", cell.status);
+        };
+        assert!(failure.contains("after 2 attempt(s)"), "{failure}");
+        assert_eq!(cell.attempts, 2);
+    }
+
+    #[test]
+    fn permanent_failures_quarantine_immediately() {
+        let mut st = State::new(CoordinatorConfig::default());
+        submit(&mut st, spec()).unwrap();
+        let task = lease_task(&mut st).unwrap();
+        let mut req = completion(&task, None);
+        req.failure = Some("policy `FULL` failed: injected".into());
+        assert_eq!(
+            status_of(&complete(&mut st, &req)),
+            CompleteStatus::Recorded
+        );
+        let cell = &st.sweeps[0].cells[task.cell as usize];
+        assert!(matches!(cell.status, CellStatus::Quarantined { .. }));
+        assert_eq!(cell.attempts, 1);
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let mut st = State::new(CoordinatorConfig::default());
+        submit(&mut st, spec()).unwrap();
+        let resp = lease(
+            &mut st,
+            &LeaseRequest {
+                proto: PROTO_VERSION + 1,
+                worker: "w".into(),
+            },
+        );
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn journal_records_exactly_one_line_per_cell() {
+        let dir = tempdir("svc-journal");
+        let cfg = CoordinatorConfig {
+            journal_dir: Some(dir.clone()),
+            ..CoordinatorConfig::default()
+        };
+        let mut st = State::new(cfg);
+        submit(&mut st, spec()).unwrap();
+        let run = tiny_run();
+        while let Some(task) = lease_task(&mut st) {
+            let req = completion(&task, Some(run.clone()));
+            assert_eq!(
+                status_of(&complete(&mut st, &req)),
+                CompleteStatus::Recorded
+            );
+            // Replay it: refused as duplicate, nothing re-journaled.
+            assert_eq!(
+                status_of(&complete(&mut st, &req)),
+                CompleteStatus::Duplicate
+            );
+        }
+        let journal = dtb_sim::read_journal(dir.join("sweep-1")).unwrap();
+        assert_eq!(journal.cells.len(), 2);
+        let mut keys: Vec<(String, String)> = journal
+            .cells
+            .iter()
+            .map(|c| (c.column.clone(), c.row.clone()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 2, "duplicate journal lines for a cell");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dtb-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

@@ -1,0 +1,219 @@
+//! Deterministic network fault injection for the service's chaos suites.
+//!
+//! [`NetFault`] wraps any [`Transport`] and misbehaves on a fixed,
+//! seed-free schedule (pure functions of a call counter), mirroring the
+//! simulator's own deterministic fault layer (`dtb_sim::fault`): the same
+//! plan over the same call sequence injects the same faults, so a chaos
+//! test that fails reproduces exactly.
+//!
+//! Four fault shapes, matching how real coordinator links break:
+//!
+//! * **dropped connections** — the call fails with `ConnectionReset`
+//!   before anything is sent (the client must classify this transient
+//!   and retry);
+//! * **delayed responses** — the call completes but only after a pause
+//!   (exercises lease expiry under slow networks);
+//! * **garbled responses** — the exchange happens, then the response
+//!   body is corrupted (the client must treat an undecodable `200` as
+//!   transient, not trust it);
+//! * **stale replays** — the previous request is re-sent to the peer
+//!   before the current one (duplicate completions and stale lease
+//!   echoes arrive at the coordinator, which must answer `Duplicate` /
+//!   `LeaseLost`, never double-record).
+
+use crate::client::Transport;
+use crate::http::{Request, Response, WireError};
+use std::time::Duration;
+
+/// Which calls misbehave. `None` disables that fault; `Some(n)` fires it
+/// on every `n`-th call (1-based), so `Some(1)` means "always".
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Fail with a connection reset before sending.
+    pub drop_every: Option<u64>,
+    /// Sleep this long before the exchange.
+    pub delay_every: Option<(u64, Duration)>,
+    /// Corrupt the response body after a successful exchange.
+    pub garble_every: Option<u64>,
+    /// Re-send the previous request (a stale duplicate) before this one.
+    pub replay_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// No faults: the wrapper is a pass-through.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    fn fires(every: Option<u64>, call: u64) -> bool {
+        matches!(every, Some(n) if n > 0 && call.is_multiple_of(n))
+    }
+}
+
+/// A fault-injecting [`Transport`] wrapper.
+pub struct NetFault<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    calls: u64,
+    /// The last request actually sent, kept for stale replays.
+    last: Option<Request>,
+    /// Injected-fault counters, for test assertions.
+    pub injected: FaultCounts,
+}
+
+/// How many of each fault the wrapper has injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Connections dropped.
+    pub dropped: u64,
+    /// Responses delayed.
+    pub delayed: u64,
+    /// Responses garbled.
+    pub garbled: u64,
+    /// Stale requests replayed.
+    pub replayed: u64,
+}
+
+impl<T: Transport> NetFault<T> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> NetFault<T> {
+        NetFault {
+            inner,
+            plan,
+            calls: 0,
+            last: None,
+            injected: FaultCounts::default(),
+        }
+    }
+}
+
+impl<T: Transport> Transport for NetFault<T> {
+    fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        self.calls += 1;
+        let call = self.calls;
+
+        if FaultPlan::fires(self.plan.drop_every, call) {
+            self.injected.dropped += 1;
+            return Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected: connection reset by peer",
+            )));
+        }
+        if let Some((every, pause)) = self.plan.delay_every {
+            if FaultPlan::fires(Some(every), call) {
+                self.injected.delayed += 1;
+                std::thread::sleep(pause);
+            }
+        }
+        if FaultPlan::fires(self.plan.replay_every, call) {
+            // A stale copy of the previous request reaches the peer first
+            // — how duplicate completions and dead workers' lease echoes
+            // arrive in production. Its response is discarded, like a
+            // response to a worker that has since crashed.
+            if let Some(stale) = self.last.clone() {
+                self.injected.replayed += 1;
+                let _ = self.inner.call(&stale);
+            }
+        }
+        self.last = Some(req.clone());
+        let mut resp = self.inner.call(req)?;
+        if FaultPlan::fires(self.plan.garble_every, call) {
+            self.injected.garbled += 1;
+            garble(&mut resp.body, call);
+        }
+        Ok(resp)
+    }
+}
+
+/// Deterministically corrupts a body: flip one byte (position keyed by
+/// the call number) and truncate the tail when long enough — enough to
+/// break JSON framing without simulating every corruption shape (the
+/// proptests cover arbitrary bytes).
+fn garble(body: &mut Vec<u8>, call: u64) {
+    if body.is_empty() {
+        body.extend_from_slice(b"\xff{corrupt");
+        return;
+    }
+    let i = (call as usize).wrapping_mul(31) % body.len();
+    body[i] ^= 0x5A;
+    if body.len() > 8 {
+        let keep = body.len() - body.len() / 4;
+        body.truncate(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An always-healthy in-memory peer.
+    struct Echo;
+    impl Transport for Echo {
+        fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+            Ok(Response::ok(req.body.clone()))
+        }
+    }
+
+    fn req(tag: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: "/lease".into(),
+            body: format!("{{\"tag\":\"{tag}\"}}").into_bytes(),
+        }
+    }
+
+    #[test]
+    fn drop_schedule_is_deterministic() {
+        let plan = FaultPlan {
+            drop_every: Some(3),
+            ..FaultPlan::none()
+        };
+        let mut t = NetFault::new(Echo, plan);
+        let results: Vec<bool> = (0..9)
+            .map(|i| t.call(&req(&i.to_string())).is_ok())
+            .collect();
+        assert_eq!(
+            results,
+            [true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(t.injected.dropped, 3);
+    }
+
+    #[test]
+    fn garbled_responses_stop_decoding() {
+        let plan = FaultPlan {
+            garble_every: Some(1),
+            ..FaultPlan::none()
+        };
+        let mut t = NetFault::new(Echo, plan);
+        let clean = req("abcdefghijklmnop");
+        let resp = t.call(&clean).unwrap();
+        assert_ne!(resp.body, clean.body, "garbling must change the body");
+        assert_eq!(t.injected.garbled, 1);
+    }
+
+    #[test]
+    fn replay_resends_the_previous_request() {
+        /// Counts distinct bodies seen, proving the stale copy arrived.
+        struct Recorder(Vec<Vec<u8>>);
+        impl Transport for Recorder {
+            fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+                self.0.push(req.body.clone());
+                Ok(Response::ok(Vec::new()))
+            }
+        }
+        let plan = FaultPlan {
+            replay_every: Some(2),
+            ..FaultPlan::none()
+        };
+        let mut t = NetFault::new(Recorder(Vec::new()), plan);
+        t.call(&req("first")).unwrap();
+        t.call(&req("second")).unwrap();
+        let seen = &t.inner.0;
+        // Call 2 fired the replay: first's body arrived again before
+        // second's.
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], seen[1]);
+        assert_ne!(seen[1], seen[2]);
+    }
+}

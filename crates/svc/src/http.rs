@@ -1,0 +1,337 @@
+//! Minimal HTTP/1.1 framing over blocking byte streams.
+//!
+//! The coordinator/worker protocol needs exactly one shape of exchange: a
+//! client writes one request with a JSON body, the server writes one
+//! response with a JSON body, and the connection closes. This module
+//! implements that slice of HTTP/1.1 on plain [`std::io::Read`] /
+//! [`std::io::Write`] — no async runtime, no external dependency — with
+//! the defensive posture the wire deserves: every parse failure is a
+//! typed [`WireError`], never a panic, and all lengths are bounded
+//! *before* allocation so a hostile peer cannot balloon memory with a
+//! forged `Content-Length`.
+//!
+//! The framing is deliberately strict (exactly the subset the service
+//! emits): `\r\n` line endings, a `Content-Length` header on every
+//! message that has a body, no chunked encoding, no keep-alive. Strict
+//! parsing is what makes the garbled-bytes proptests meaningful — any
+//! mutation that breaks the frame is rejected with an error.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Upper bound on one header line (and the request/status line).
+pub const MAX_LINE: usize = 8 * 1024;
+
+/// Upper bound on the number of headers in one message.
+pub const MAX_HEADERS: usize = 64;
+
+/// Upper bound on a message body. Generous — a journal cell for a long
+/// run is hundreds of kilobytes of JSON — but finite, so a forged
+/// `Content-Length` cannot balloon allocation.
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Why a wire exchange failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (reset, refused, timed out…). These
+    /// are the *transient* wire failures: the peer may be back next
+    /// attempt.
+    Io(std::io::Error),
+    /// The peer's bytes do not frame a valid message. Garbled responses
+    /// land here; retrying against a healthy peer can still succeed.
+    Malformed(String),
+    /// A declared length exceeds the protocol bounds.
+    TooLarge {
+        /// What was oversized ("line", "headers", "body").
+        what: &'static str,
+        /// The declared or observed size.
+        size: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::Malformed(why) => write!(f, "malformed message: {why}"),
+            WireError::TooLarge { what, size } => {
+                write!(f, "{what} of {size} bytes exceeds protocol bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+fn malformed(why: impl Into<String>) -> WireError {
+    WireError::Malformed(why.into())
+}
+
+/// One parsed request: method, path, body. Headers beyond
+/// `Content-Length` are read, bounded, and ignored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method (`GET`, `POST`, …), uppercased by convention but
+    /// matched exactly.
+    pub method: String,
+    /// The request path, e.g. `/lease`.
+    pub path: String,
+    /// The raw body bytes (JSON in this protocol; empty for `GET`).
+    pub body: Vec<u8>,
+}
+
+/// One parsed response: status code and body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` with this body.
+    pub fn ok(body: Vec<u8>) -> Response {
+        Response { status: 200, body }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: message.into().into_bytes(),
+        }
+    }
+}
+
+/// Reads one `\r\n`-terminated line, bounded by [`MAX_LINE`].
+fn read_line(r: &mut impl Read) -> Result<String, WireError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = r.read(&mut byte)?;
+        if n == 0 {
+            return Err(malformed("connection closed mid-line"));
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+                return String::from_utf8(line).map_err(|_| malformed("header line is not UTF-8"));
+            }
+            return Err(malformed("bare LF in header line"));
+        }
+        if line.len() >= MAX_LINE {
+            return Err(WireError::TooLarge {
+                what: "line",
+                size: line.len(),
+            });
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Reads the header block after the start line, returning the declared
+/// `Content-Length` (0 when absent).
+fn read_headers(r: &mut impl Read) -> Result<usize, WireError> {
+    let mut content_length = 0usize;
+    for n in 0.. {
+        if n >= MAX_HEADERS {
+            return Err(WireError::TooLarge {
+                what: "headers",
+                size: n,
+            });
+        }
+        let line = read_line(r)?;
+        if line.is_empty() {
+            return Ok(content_length);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(malformed("header line without a colon"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| malformed("content-length is not a number"))?;
+            if content_length > MAX_BODY {
+                return Err(WireError::TooLarge {
+                    what: "body",
+                    size: content_length,
+                });
+            }
+        }
+    }
+    unreachable!("the loop returns or errors within MAX_HEADERS iterations")
+}
+
+/// Reads exactly `len` body bytes.
+fn read_body(r: &mut impl Read, len: usize) -> Result<Vec<u8>, WireError> {
+    // `len` was bounded by MAX_BODY in `read_headers`, but the body is
+    // still read incrementally so a peer that declares more than it
+    // sends fails with a clean error, not a huge zeroed allocation.
+    let mut body = Vec::with_capacity(len.min(64 * 1024));
+    let mut chunk = [0u8; 4096];
+    while body.len() < len {
+        let want = (len - body.len()).min(chunk.len());
+        let n = r.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(body)
+}
+
+/// Reads one request from a stream.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on socket failure, [`WireError::Malformed`] /
+/// [`WireError::TooLarge`] when the bytes do not frame a bounded, valid
+/// request. Never panics, whatever the bytes.
+pub fn read_request(r: &mut impl Read) -> Result<Request, WireError> {
+    let start = read_line(r)?;
+    let mut parts = start.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(malformed("request line is not `METHOD PATH VERSION`")),
+    };
+    if version != "HTTP/1.1" {
+        return Err(malformed(format!("unsupported version `{version}`")));
+    }
+    let content_length = read_headers(r)?;
+    let body = read_body(r, content_length)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Writes one request (with `Connection: close`) to a stream.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), WireError> {
+    write!(
+        w,
+        "{} {} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        req.method,
+        req.path,
+        req.body.len()
+    )?;
+    w.write_all(&req.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one response from a stream. Same defensive posture as
+/// [`read_request`].
+pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
+    let start = read_line(r)?;
+    let mut parts = start.split(' ');
+    let status = match (parts.next(), parts.next()) {
+        (Some("HTTP/1.1"), Some(code)) => code
+            .parse::<u16>()
+            .map_err(|_| malformed("status code is not a number"))?,
+        _ => return Err(malformed("status line is not `HTTP/1.1 CODE REASON`")),
+    };
+    let content_length = read_headers(r)?;
+    let body = read_body(r, content_length)?;
+    Ok(Response { status, body })
+}
+
+/// Writes one response (with `Connection: close`) to a stream.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireError> {
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        410 => "Gone",
+        _ => "Error",
+    };
+    write!(
+        w,
+        "HTTP/1.1 {} {reason}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        resp.status,
+        resp.body.len()
+    )?;
+    w.write_all(&resp.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, req).unwrap();
+        read_request(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/lease".into(),
+            body: br#"{"worker":"w1"}"#.to_vec(),
+        };
+        assert_eq!(round_trip_request(&req), req);
+        let get = Request {
+            method: "GET".into(),
+            path: "/status".into(),
+            body: Vec::new(),
+        };
+        assert_eq!(round_trip_request(&get), get);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response::ok(b"{\"leased\":true}".to_vec());
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        assert_eq!(read_response(&mut buf.as_slice()).unwrap(), resp);
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_before_allocation() {
+        let raw = format!(
+            "POST /lease HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            read_request(&mut raw.as_bytes()),
+            Err(WireError::TooLarge { what: "body", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed_not_a_hang() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+        assert!(matches!(
+            read_request(&mut raw.as_slice()),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn junk_start_lines_are_typed_errors() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / HTTP/0.9\r\n\r\n",
+            b"\xff\xfe\xfd\r\n\r\n",
+            b"POST /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert!(read_request(&mut &raw[..]).is_err());
+        }
+        assert!(read_response(&mut &b"HTTP/2 200 OK\r\n\r\n"[..]).is_err());
+        assert!(read_response(&mut &b"HTTP/1.1 abc OK\r\n\r\n"[..]).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Distributed evaluation service for the DTB matrix.
+//!
+//! The in-process executor (`dtb_sim::exec::Evaluation`) runs the
+//! paper's (program × policy) matrix on one machine. This crate spreads
+//! the same matrix across processes and machines without changing what a
+//! cell *is*: a **coordinator** ([`Coordinator`]) shards each submitted
+//! sweep into cells and leases them out; **workers**
+//! ([`worker::run_worker`], the `dtb-worker` binary) lease, simulate,
+//! and report back; completions land in the executor's own fsync'd
+//! journal format, giving **exactly-once** recording — worker crashes,
+//! duplicate completions, and expired-lease stragglers all converge to
+//! the matrix a single-process run would have produced, cell for cell.
+//!
+//! The stack, bottom up:
+//!
+//! * [`http`] — bounded, never-panicking HTTP/1.1 framing over
+//!   `std::net` (no external dependencies);
+//! * [`proto`] — the JSON message vocabulary both sides speak;
+//! * [`coordinator`] — lease/complete state machine, tenant-fair
+//!   scheduling, per-tenant [`SimBudget`](dtb_sim::SimBudget) quotas,
+//!   journal-backed finality;
+//! * [`worker`] — the lease → run → complete loop with the executor's
+//!   deadline and failure taxonomy;
+//! * [`client`] — retrying protocol client and reassembly of a served
+//!   sweep into the executor's `Matrix` ([`matrix_from_sweep`]);
+//! * [`fault`] — deterministic network fault injection for the chaos
+//!   suites.
+
+pub mod client;
+pub mod coordinator;
+pub mod fault;
+pub mod http;
+pub mod proto;
+pub mod worker;
+
+pub use client::{matrix_from_sweep, Client, SvcError, TcpTransport, Transport};
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use fault::{FaultPlan, NetFault};
+pub use proto::{SweepSpec, PROTO_VERSION};
+pub use worker::{run_worker, WorkerConfig, WorkerExit};

@@ -1,0 +1,297 @@
+//! The worker: a lease → run → complete loop against one coordinator.
+//!
+//! Each leased cell runs under the engine's cooperative-cancellation
+//! deadline, armed at 80% of the lease window — a hung or oversized cell
+//! gives up (and reports a *transient* failure) before the coordinator
+//! declares the lease dead, so the cell requeues exactly once instead of
+//! being double-counted as both a worker failure and a lease expiry.
+//!
+//! Failure classification mirrors the executor's
+//! [`FailureCause::is_transient`] split: deadlines and shard I/O retry,
+//! policy errors / invariant violations / corruption / panics quarantine.
+//! Wire failures (connection reset, garbled response) never fail a cell
+//! at all — they retry inside [`Client`] with the executor's
+//! [`RetryPolicy`](dtb_sim::exec::RetryPolicy) backoff, and a worker that
+//! cannot reach its coordinator past that budget exits with an error
+//! rather than spinning.
+
+use crate::client::{Client, SvcError};
+use crate::proto::{CellTask, CompleteRequest, CompleteStatus};
+use dtb_core::policy::Row;
+use dtb_sim::baseline::{live_report, no_gc_report};
+use dtb_sim::curve::MemoryCurve;
+use dtb_sim::engine::{RunControl, Sim, SimRun};
+use dtb_sim::exec::{FailureCause, TraceCache};
+use dtb_sim::SimError;
+use std::sync::atomic::AtomicBool;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Worker tuning knobs.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// This worker's identity (diagnostics and lease bookkeeping).
+    pub name: String,
+    /// Exit cleanly once the coordinator reports itself drained (all
+    /// submitted sweeps finished). Off = keep polling for new sweeps.
+    pub exit_when_done: bool,
+    /// Artificial pause before each cell — the crash suites use it to
+    /// pace workers so a SIGKILL reliably lands mid-matrix.
+    pub cell_delay: Duration,
+    /// Intra-cell simulation threads (1 = serial engine).
+    pub threads: usize,
+}
+
+impl WorkerConfig {
+    /// A worker named `name` with defaults: run until drained? no —
+    /// poll forever; no cell delay; serial engine.
+    pub fn new(name: impl Into<String>) -> WorkerConfig {
+        WorkerConfig {
+            name: name.into(),
+            exit_when_done: false,
+            cell_delay: Duration::ZERO,
+            threads: 1,
+        }
+    }
+}
+
+/// What one finished [`run_cell`] reports back.
+#[derive(Debug)]
+pub struct CellRun {
+    /// The completed run, on success.
+    pub run: Option<SimRun>,
+    /// The stringified failure, otherwise.
+    pub failure: Option<String>,
+    /// Whether that failure is worth a retry.
+    pub transient: bool,
+    /// Wall-clock nanoseconds the cell took.
+    pub elapsed_ns: u64,
+}
+
+/// Runs one leased cell to completion: compiles (or reuses) the preset
+/// trace, arms the deadline at 80% of the lease window, contains panics,
+/// and classifies any failure as transient or permanent.
+pub fn run_cell(cache: &TraceCache, task: &CellTask, threads: usize) -> CellRun {
+    let started = Instant::now();
+    // Inner error: (stringified failure, transient?).
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Custom rows exist only for in-process custom policies; the wire
+        // ships names, not closures, so a worker cannot build one.
+        if let Row::Custom(name) = &task.row {
+            return Err((format!("custom row `{name}` is not distributable"), false));
+        }
+        let trace = cache.preset(task.program);
+        match &task.row {
+            Row::NoGc => Ok(SimRun {
+                report: no_gc_report(&trace),
+                curve: MemoryCurve::new(),
+            }),
+            Row::Live => Ok(SimRun {
+                report: live_report(&trace),
+                curve: MemoryCurve::new(),
+            }),
+            Row::Policy(kind) => {
+                let mut policy = kind.build(&task.policy);
+                // Give up before the coordinator does: 80% of the lease
+                // window, so a slow cell requeues via one clean transient
+                // failure instead of a lease expiry racing a late result.
+                let deadline = Duration::from_millis(task.lease_ms.saturating_mul(4) / 5);
+                let cancel = Arc::new(AtomicBool::new(false));
+                let _watchdog = DeadlineGuard::arm(deadline, Arc::clone(&cancel));
+                Sim::new(task.sim)
+                    .threads(threads.max(1))
+                    .control(RunControl::new().with_cancel(&cancel))
+                    .run_trace(&trace, policy.as_mut())
+                    .map_err(|err| (err.to_string(), classify(&err)))
+            }
+            Row::Custom(_) => unreachable!("handled above"),
+        }
+    }));
+    let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    match outcome {
+        Ok(Ok(run)) => CellRun {
+            run: Some(run),
+            failure: None,
+            transient: false,
+            elapsed_ns,
+        },
+        Ok(Err((failure, transient))) => CellRun {
+            failure: Some(failure),
+            transient,
+            run: None,
+            elapsed_ns,
+        },
+        Err(panic) => CellRun {
+            failure: Some(format!("panicked: {}", panic_message(&panic))),
+            transient: false,
+            run: None,
+            elapsed_ns,
+        },
+    }
+}
+
+/// Transient simulation failures, in the executor's taxonomy: a deadline
+/// cancellation or shard I/O. Everything else is deterministic and would
+/// fail identically on retry.
+fn classify(err: &SimError) -> bool {
+    matches!(err, SimError::Cancelled { .. }) || FailureCause::Sim(err.clone()).is_transient()
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The worker-side deadline: same shape as the executor's watchdog — an
+/// armed timer thread that stores into the engine's cancel flag, disarmed
+/// (hung up and joined) on drop so no timer outlives its cell.
+struct DeadlineGuard {
+    disarm: Option<mpsc::Sender<()>>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl DeadlineGuard {
+    fn arm(limit: Duration, cancel: Arc<AtomicBool>) -> DeadlineGuard {
+        let (disarm, expired) = mpsc::channel::<()>();
+        let thread = thread::spawn(move || {
+            if let Err(mpsc::RecvTimeoutError::Timeout) = expired.recv_timeout(limit) {
+                cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        DeadlineGuard {
+            disarm: Some(disarm),
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        drop(self.disarm.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// How one worker loop ended.
+#[derive(Debug)]
+pub enum WorkerExit {
+    /// The coordinator reported all sweeps finished
+    /// (`exit_when_done`).
+    Drained,
+    /// The coordinator became unreachable past the client's retry budget.
+    Lost(SvcError),
+}
+
+/// The worker main loop: lease, run, complete, repeat.
+///
+/// Cells whose completion is refused ([`CompleteStatus::LeaseLost`]) are
+/// simply dropped — the coordinator has re-leased them — and duplicates
+/// are already recorded, so both just continue the loop.
+pub fn run_worker(client: &mut Client, config: &WorkerConfig) -> WorkerExit {
+    let cache = TraceCache::new();
+    loop {
+        let reply = match client.lease(&config.name) {
+            Ok(reply) => reply,
+            Err(e) => return WorkerExit::Lost(e),
+        };
+        let Some(task) = reply.task else {
+            if reply.drained && config.exit_when_done {
+                return WorkerExit::Drained;
+            }
+            thread::sleep(Duration::from_millis(reply.retry_ms.clamp(1, 10_000)));
+            continue;
+        };
+        if !config.cell_delay.is_zero() {
+            thread::sleep(config.cell_delay);
+        }
+        let done = run_cell(&cache, &task, config.threads);
+        let completion = CompleteRequest {
+            sweep: task.sweep,
+            cell: task.cell,
+            lease: task.lease,
+            worker: config.name.clone(),
+            run: done.run,
+            failure: done.failure,
+            transient: done.transient,
+            elapsed_ns: done.elapsed_ns,
+        };
+        match client.complete(&completion) {
+            // Recorded / Requeued / Duplicate / LeaseLost all mean the
+            // coordinator owns the cell's fate now; just keep working.
+            Ok(reply) => {
+                if reply.status == CompleteStatus::LeaseLost {
+                    eprintln!(
+                        "worker {}: lease {} lost for sweep {} cell {} (result discarded)",
+                        config.name, task.lease, task.sweep, task.cell
+                    );
+                }
+            }
+            Err(e) => return WorkerExit::Lost(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtb_core::policy::{PolicyConfig, PolicyKind};
+    use dtb_sim::engine::{SimBudget, SimConfig};
+    use dtb_trace::programs::Program;
+
+    fn task(row: Row) -> CellTask {
+        CellTask {
+            sweep: 1,
+            cell: 0,
+            lease: 1,
+            lease_ms: 60_000,
+            program: Program::Cfrac,
+            row,
+            policy: PolicyConfig::paper(),
+            sim: SimConfig::paper(),
+            attempt: 1,
+        }
+    }
+
+    #[test]
+    fn baselines_and_policies_run() {
+        let cache = TraceCache::new();
+        for row in [Row::NoGc, Row::Live, Row::Policy(PolicyKind::Full)] {
+            let done = run_cell(&cache, &task(row.clone()), 1);
+            assert!(done.run.is_some(), "{row}: {:?}", done.failure);
+            assert!(!done.transient);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_permanent_failure() {
+        let cache = TraceCache::new();
+        let mut t = task(Row::Policy(PolicyKind::Full));
+        t.sim.budget = SimBudget::events(10);
+        let done = run_cell(&cache, &t, 1);
+        assert!(done.run.is_none());
+        assert!(!done.transient, "budget exhaustion must not retry");
+        assert!(
+            done.failure.as_deref().unwrap_or("").contains("budget"),
+            "{:?}",
+            done.failure
+        );
+    }
+
+    #[test]
+    fn deadline_cancellation_is_transient() {
+        let cache = TraceCache::new();
+        let mut t = task(Row::Policy(PolicyKind::Full));
+        t.lease_ms = 1; // 80% of 1 ms: the watchdog fires immediately
+        let done = run_cell(&cache, &t, 1);
+        assert!(done.run.is_none(), "expected cancellation");
+        assert!(done.transient, "{:?}", done.failure);
+    }
+}

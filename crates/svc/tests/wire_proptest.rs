@@ -1,0 +1,154 @@
+//! Property tests: no bytes arriving over the wire may panic the
+//! service. Three layers hold the door:
+//!
+//! * HTTP framing — arbitrary bytes, corrupted well-formed requests, and
+//!   truncated streams parse to a request or a typed [`WireError`];
+//! * message decoding — arbitrary JSON-ish bodies decode to a message or
+//!   a `String` error;
+//! * routing — a live coordinator answers *every* (method, path, body)
+//!   with a response, never a panic, and garbage never finalizes a cell.
+
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_sim::engine::SimConfig;
+use dtb_svc::http::{read_request, read_response, write_request, Request};
+use dtb_svc::proto::{
+    decode, CompleteRequest, LeaseReply, LeaseRequest, SubmitRequest, SweepReply, SweepSpec,
+};
+use dtb_svc::{Coordinator, CoordinatorConfig};
+use dtb_trace::programs::Program;
+use proptest::prelude::*;
+
+/// A syntactically valid request to corrupt.
+fn request_strategy() -> impl Strategy<Value = Request> {
+    const METHODS: [&str; 3] = ["GET", "POST", "PUT"];
+    const PATHS: [&str; 5] = ["/lease", "/complete", "/status", "/sweep?id=1", "/x"];
+    (
+        0usize..METHODS.len(),
+        0usize..PATHS.len(),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(method, path, body)| Request {
+            method: METHODS[method].to_string(),
+            path: PATHS[path].to_string(),
+            body,
+        })
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic_the_request_parser(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        // Ok or typed error — reaching either without panicking is the
+        // property.
+        let _ = read_request(&mut bytes.as_slice());
+        let _ = read_response(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn corrupted_requests_never_panic_the_parser(
+        req in request_strategy(),
+        flips in prop::collection::vec((0usize..=1_000_000, 0u8..=255), 1..8),
+        cut in 0usize..=1_000_000,
+    ) {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, &req).expect("in-memory write");
+        for (idx, mask) in flips {
+            if !bytes.is_empty() {
+                let i = idx % bytes.len();
+                bytes[i] ^= mask | 1; // |1 so the flip is never a no-op
+            }
+        }
+        bytes.truncate(cut % (bytes.len() + 1));
+        let _ = read_request(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn well_formed_requests_round_trip(req in request_strategy()) {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, &req).expect("in-memory write");
+        let parsed = read_request(&mut bytes.as_slice()).expect("round trip");
+        prop_assert_eq!(parsed.method, req.method);
+        prop_assert_eq!(parsed.path, req.path);
+        prop_assert_eq!(parsed.body, req.body);
+    }
+
+    #[test]
+    fn garbage_bodies_never_panic_message_decoding(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode::<LeaseRequest>(&bytes);
+        let _ = decode::<CompleteRequest>(&bytes);
+        let _ = decode::<SubmitRequest>(&bytes);
+        let _ = decode::<LeaseReply>(&bytes);
+        let _ = decode::<SweepReply>(&bytes);
+    }
+}
+
+/// The full routing surface under garbage: every request gets an answer,
+/// and no amount of malformed traffic finalizes a cell.
+#[test]
+fn garbage_traffic_never_panics_or_advances_the_coordinator() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorConfig::default()).expect("bind");
+    coordinator
+        .submit(SweepSpec {
+            tenant: "prop".to_string(),
+            programs: vec![Program::Cfrac],
+            policies: vec![PolicyKind::Full],
+            baselines: false,
+            policy: PolicyConfig::paper(),
+            sim: SimConfig::paper(),
+        })
+        .expect("submit");
+
+    let bodies: [&[u8]; 8] = [
+        b"",
+        b"{",
+        b"null",
+        b"[1,2,3]",
+        b"\xff\xfe\x00garbage",
+        b"{\"sweep\":\"not a number\"}",
+        b"{\"proto\":999,\"worker\":\"w\"}",
+        b"{\"sweep\":1,\"cell\":0,\"lease\":12345,\"worker\":\"w\",\"run\":null,\
+          \"failure\":null,\"transient\":false,\"elapsed_ns\":0}",
+    ];
+    let paths = [
+        "/submit",
+        "/lease",
+        "/complete",
+        "/status",
+        "/sweep",
+        "/sweep?id=",
+        "/nope",
+    ];
+    for method in ["GET", "POST", "DELETE"] {
+        for path in paths {
+            for body in bodies {
+                let resp = coordinator.handle(&Request {
+                    method: method.to_string(),
+                    path: path.to_string(),
+                    body: body.to_vec(),
+                });
+                assert!(
+                    matches!(resp.status, 200 | 400 | 404),
+                    "{method} {path}: unexpected status {}",
+                    resp.status
+                );
+            }
+        }
+    }
+
+    // None of that traffic may have finalized (or leased-and-lost) the
+    // cell: a stale lease token in a syntactically valid completion is
+    // refused, garbage is 400'd.
+    let status = coordinator.handle(&Request {
+        method: "GET".to_string(),
+        path: "/status".to_string(),
+        body: Vec::new(),
+    });
+    assert_eq!(status.status, 200);
+    let decoded: dtb_svc::proto::StatusReply = decode(&status.body).expect("status decodes");
+    assert_eq!(decoded.sweeps.len(), 1);
+    assert_eq!(decoded.sweeps[0].finalized, 0);
+    coordinator.shutdown();
+}
