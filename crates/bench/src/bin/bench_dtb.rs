@@ -3,17 +3,21 @@
 //! Generates a paper-scale synthetic trace (heavy short-lived churn, a
 //! medium-lived band, an immortal ramp and a permanent startup structure
 //! — the mixture that keeps a large live set resident), then runs the
-//! **six-policy matrix** through the engine up to four times:
+//! **six-policy matrix** through the engine up to five times:
 //!
-//! 1. on the incremental `OracleHeap` (the headline configuration);
-//! 2. streaming the same records back from an on-disk `DTBCTC01` shard
+//! 1. on the incremental `OracleHeap` with the block-structured drive
+//!    loop (the headline configuration);
+//! 2. with `block_events(1)` — the per-event reference path — which must
+//!    be report-identical to (1); the timing ratio is `block_speedup`
+//!    (schema v5);
+//! 3. streaming the same records back from an on-disk `DTBCTC01` shard
 //!    store through `simulate_source` — must be report-identical to (1),
 //!    and its events/second is the streaming-path column;
-//! 3. through the intra-cell parallel engine (`Sim::threads(n)`, the
+//! 4. through the intra-cell parallel engine (`Sim::threads(n)`, the
 //!    epoch-decomposed drive) whenever the machine has ≥ 2 hardware
 //!    threads — must also be report-identical to (1), by the determinism
 //!    contract;
-//! 4. on the scan-based `NaiveHeap` baseline (the pre-incremental
+//! 5. on the scan-based `NaiveHeap` baseline (the pre-incremental
 //!    implementation) unless `--skip-naive`.
 //!
 //! All passes must produce identical reports — the harness doubles as a
@@ -114,6 +118,16 @@ struct BenchReport {
     total_alloc_bytes: u64,
     trace: String,
     incremental: EngineTiming,
+    /// The incremental matrix re-run with `block_events(1)` — every event
+    /// routed through the exact per-event engine body. The block-path
+    /// reference column: reports must be bit-identical to `incremental`,
+    /// and the timing ratio is `block_speedup` (absent in pre-v5
+    /// reports).
+    per_event: Option<EngineTiming>,
+    /// per-event total seconds / incremental (blocked) total seconds —
+    /// what the chunked drive loop buys end to end (absent in pre-v5
+    /// reports).
+    block_speedup: Option<f64>,
     /// The same matrix replayed from an on-disk `DTBCTC01` shard store
     /// (absent in pre-v2 reports; the vendored deserializer maps a
     /// missing field to `None`).
@@ -435,6 +449,30 @@ fn main() -> ExitCode {
         }
     };
 
+    // Per-event reference pass: the same matrix with the block path
+    // disabled (`block_events(1)` routes every event through the exact
+    // per-event body). Reports must be bit-identical to the blocked
+    // incremental pass — the block drive loop's determinism contract at
+    // benchmark scale — and the timing ratio is the block speedup.
+    let (per_event, ref_reports) = match run_matrix("per-event", trace.len(), &store, |kind| {
+        let mut policy = kind.build(&policy_cfg);
+        Sim::new(sim_cfg)
+            .block_events(1)
+            .run_trace(&trace, &mut policy)
+            .map_err(|e| e.to_string())
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_dtb: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if fast_reports != ref_reports {
+        eprintln!("bench_dtb: blocked and per-event runs diverged — refusing to report");
+        return ExitCode::FAILURE;
+    }
+    let block_speedup = per_event.total_seconds / incremental.total_seconds.max(1e-9);
+
     // Streaming pass: same matrix, records read back from an on-disk
     // shard store. VmHWM is already pinned at the in-memory pass's peak,
     // so the delta directly measures whether streaming replay ever
@@ -567,11 +605,13 @@ fn main() -> ExitCode {
     }
 
     let report = BenchReport {
-        schema: "bench_dtb/v4".to_string(),
+        schema: "bench_dtb/v5".to_string(),
         events: trace.len(),
         total_alloc_bytes: spec.total_alloc,
         trace: spec.name.clone(),
         incremental,
+        per_event: Some(per_event),
+        block_speedup: Some(block_speedup),
         streaming: Some(streaming),
         parallel,
         parallel_threads,
@@ -595,8 +635,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "incremental: {:.0} events/s, streaming: {:.0} events/s{}{}  → {}",
+        "incremental: {:.0} events/s ({:.2}× over per-event), streaming: {:.0} events/s{}{}  → {}",
         report.incremental.events_per_sec,
+        report.block_speedup.unwrap_or(0.0),
         report
             .streaming
             .as_ref()

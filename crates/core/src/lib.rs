@@ -53,9 +53,11 @@
 pub mod constraint;
 pub mod cost;
 pub mod error;
+pub mod fenwick;
 pub mod framework;
 pub mod history;
 pub mod policy;
+pub mod soa;
 pub mod stats;
 pub mod time;
 

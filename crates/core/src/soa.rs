@@ -1,0 +1,100 @@
+//! Straight-line reductions over struct-of-arrays lifetime columns.
+//!
+//! The simulator's heaps and trace sources keep object lifetimes as flat
+//! parallel columns (`births`/`sizes`/`deaths`) rather than arrays of
+//! structs, so the hot walks are slice reductions the compiler can
+//! autovectorize: no early exits, no data-dependent control flow, just a
+//! masked accumulate per lane. Death times use `u64::MAX` as the
+//! "immortal" sentinel (the on-disk `DTBCTC01` convention), which
+//! compares as *not yet dead* against any real clock without a branch.
+//!
+//! The kernels are `#[inline]` so they fuse into their (release-built)
+//! callers; the `microbench` crate measures them in isolation and the
+//! tests here pin their semantics against scalar references.
+
+/// Sum of `sizes[i]` over the lanes with `deaths[i] <= now`, plus the
+/// count of such lanes.
+///
+/// This is the threatened-tail walk's first pass: given the narrowed
+/// resident range of a scavenge, it answers "how many bytes (and
+/// residents) in this range are dead at `now`" in one branch-free sweep,
+/// letting the caller pick a bulk removal path when the whole range is
+/// dead and cross-check the Fenwick suffix accounting. Lanes with the
+/// `u64::MAX` immortal sentinel never match (no real clock reaches it).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the column lengths differ.
+#[inline]
+pub fn dead_tail_stats(deaths: &[u64], sizes: &[u32], now: u64) -> (u64, usize) {
+    debug_assert_eq!(deaths.len(), sizes.len());
+    let mut bytes = 0u64;
+    let mut count = 0usize;
+    for (&death, &size) in deaths.iter().zip(sizes) {
+        let dead = (death <= now) as u64;
+        bytes += dead * size as u64;
+        count += dead as usize;
+    }
+    (bytes, count)
+}
+
+/// Sum of a `u32` size column widened to `u64`.
+///
+/// The block drive loop charges a whole event block against triggers,
+/// budgets, and curve sampling using its total byte volume; this is that
+/// total as a single autovectorizable reduction.
+#[inline]
+pub fn sum_sizes(sizes: &[u32]) -> u64 {
+    let mut sum = 0u64;
+    for &size in sizes {
+        sum += size as u64;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_tail_stats_matches_scalar_reference() {
+        let deaths: Vec<u64> = (0..257u64)
+            .map(|i| if i % 5 == 0 { u64::MAX } else { i * 13 % 400 })
+            .collect();
+        let sizes: Vec<u32> = (0..257u32).map(|i| i % 91 + 1).collect();
+        for now in [0u64, 1, 57, 200, 399, 400, u64::MAX - 1, u64::MAX] {
+            let mut bytes = 0u64;
+            let mut count = 0usize;
+            for (&d, &s) in deaths.iter().zip(&sizes) {
+                if d <= now {
+                    bytes += s as u64;
+                    count += 1;
+                }
+            }
+            assert_eq!(dead_tail_stats(&deaths, &sizes, now), (bytes, count));
+        }
+    }
+
+    #[test]
+    fn immortal_sentinel_only_dies_at_saturated_now() {
+        // `now == u64::MAX` cannot arise from a real allocation clock, but
+        // the kernel's contract is still total: the sentinel compares dead
+        // only there.
+        let deaths = [u64::MAX, 3];
+        let sizes = [10u32, 7];
+        assert_eq!(dead_tail_stats(&deaths, &sizes, u64::MAX - 1), (7, 1));
+        assert_eq!(dead_tail_stats(&deaths, &sizes, u64::MAX), (17, 2));
+    }
+
+    #[test]
+    fn empty_columns_sum_to_zero() {
+        assert_eq!(dead_tail_stats(&[], &[], 42), (0, 0));
+        assert_eq!(sum_sizes(&[]), 0);
+    }
+
+    #[test]
+    fn sum_sizes_widens() {
+        let sizes = vec![u32::MAX; 3];
+        assert_eq!(sum_sizes(&sizes), 3 * (u32::MAX as u64));
+    }
+}

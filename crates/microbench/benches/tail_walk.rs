@@ -1,0 +1,62 @@
+//! Threatened-tail reduction microbenches: the branch-free
+//! `dead_tail_stats` masked accumulate against a branchy scalar walk,
+//! plus the widened size-column sum.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtb_core::soa::{dead_tail_stats, sum_sizes};
+use dtb_microbench::{births, deaths, sizes};
+
+const N: usize = 1_000_000;
+
+/// The branchy reference the kernel replaces, kept here so regressions
+/// in the masked form show up as a shrinking gap.
+fn branchy_tail(deaths: &[u64], sizes: &[u32], now: u64) -> (u64, usize) {
+    let mut bytes = 0u64;
+    let mut count = 0usize;
+    for (&death, &size) in deaths.iter().zip(sizes) {
+        if death <= now {
+            bytes += size as u64;
+            count += 1;
+        }
+    }
+    (bytes, count)
+}
+
+fn bench_tail_walk(c: &mut Criterion) {
+    let s = sizes(N, 5);
+    let b = births(&s);
+    let d = deaths(&b, 9);
+    // A mid-run clock: roughly half the mortal lanes are dead, the worst
+    // case for branch prediction in the branchy form.
+    let now = b[N / 2];
+    assert_eq!(dead_tail_stats(&d, &s, now), branchy_tail(&d, &s, now));
+
+    let mut group = c.benchmark_group("tail_walk/dead_stats_1m");
+    group.bench_function("masked", |b| {
+        b.iter(|| {
+            black_box(dead_tail_stats(
+                black_box(&d),
+                black_box(&s),
+                black_box(now),
+            ))
+        })
+    });
+    group.bench_function("branchy", |b| {
+        b.iter(|| black_box(branchy_tail(black_box(&d), black_box(&s), black_box(now))))
+    });
+    group.finish();
+
+    c.bench_function("tail_walk/sum_sizes_1m", |b| {
+        b.iter(|| black_box(sum_sizes(black_box(&s))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_tail_walk
+}
+criterion_main!(benches);

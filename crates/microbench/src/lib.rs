@@ -1,0 +1,143 @@
+//! Deterministic workload builders shared by the hot-path kernel
+//! microbenches (`benches/fenwick.rs`, `benches/block_decode.rs`,
+//! `benches/tail_walk.rs`).
+//!
+//! The benches exist to keep the block-structured fast paths honest: the
+//! branchless Fenwick kernels in [`dtb_core::fenwick`], the chunked
+//! [`EventSource::next_block`](dtb_trace::EventSource::next_block)
+//! decoders, and the autovectorizable threatened-tail reductions in
+//! [`dtb_core::soa`]. The smoke tests below pin each kernel's results on
+//! the same large inputs the benches time, so a bench can never drift
+//! into measuring a wrong kernel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dtb_core::fenwick::Fenwick;
+
+/// A tiny deterministic generator (SplitMix64) so workloads are
+/// reproducible without pulling the `rand` stand-in into the benches.
+#[derive(Clone, Debug)]
+pub struct Mix(u64);
+
+impl Mix {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Mix {
+        Mix(seed)
+    }
+
+    /// The next 64 pseudo-random bits.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// `n` pseudo-random object sizes in `[16, 16 + 4096)`.
+pub fn sizes(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Mix::new(seed);
+    (0..n).map(|_| 16 + (rng.next() % 4096) as u32).collect()
+}
+
+/// Strictly increasing births on the allocation clock implied by
+/// `sizes` (each birth is the clock after its own allocation).
+pub fn births(sizes: &[u32]) -> Vec<u64> {
+    let mut clock = 0u64;
+    sizes
+        .iter()
+        .map(|&s| {
+            clock += s as u64;
+            clock
+        })
+        .collect()
+}
+
+/// Death clocks for the `births`/`sizes` stream: roughly a quarter
+/// immortal (`u64::MAX` sentinel), the rest dying an exponential-ish
+/// pseudo-random span after birth.
+pub fn deaths(births: &[u64], seed: u64) -> Vec<u64> {
+    let mut rng = Mix::new(seed);
+    births
+        .iter()
+        .map(|&b| {
+            if rng.next().is_multiple_of(4) {
+                u64::MAX
+            } else {
+                b + (rng.next() % 2_000_000)
+            }
+        })
+        .collect()
+}
+
+/// A Fenwick tree over `n` pseudo-random slot values.
+pub fn build_fenwick(n: usize, seed: u64) -> Fenwick {
+    let mut rng = Mix::new(seed);
+    let mut tree = Fenwick::with_capacity(n);
+    for _ in 0..n {
+        tree.push(16 + rng.next() % 4096);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtb_core::soa::{dead_tail_stats, sum_sizes};
+
+    const N: usize = 100_000;
+
+    /// The bench workloads are deterministic and well-formed.
+    #[test]
+    fn workloads_are_deterministic_and_well_formed() {
+        let s1 = sizes(N, 7);
+        let s2 = sizes(N, 7);
+        assert_eq!(s1, s2);
+        let b = births(&s1);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        let d = deaths(&b, 11);
+        assert!(b.iter().zip(&d).all(|(&b, &d)| d >= b));
+    }
+
+    /// Pins the Fenwick kernels against a scalar reference on the exact
+    /// bench workload size.
+    #[test]
+    fn fenwick_kernels_match_scalar_reference_at_bench_size() {
+        let vals: Vec<u64> = sizes(N, 3).iter().map(|&s| s as u64).collect();
+        let tree = build_fenwick(N, 3);
+        for i in (0..vals.len()).step_by(997) {
+            let prefix: u64 = vals[..i].iter().sum();
+            assert_eq!(tree.prefix(i), prefix, "prefix({i})");
+        }
+        assert_eq!(tree.total(), vals.iter().sum::<u64>());
+        // lower_bound: first slot taking the cumulative past the target.
+        let target = tree.total() / 2;
+        let pos = tree.lower_bound(target);
+        assert!(tree.prefix(pos) <= target);
+        assert!(tree.prefix(pos + 1) > target);
+    }
+
+    /// Pins the threatened-tail reduction against a branchy scalar walk
+    /// on the exact bench workload.
+    #[test]
+    fn tail_walk_matches_branchy_reference_at_bench_size() {
+        let s = sizes(N, 5);
+        let b = births(&s);
+        let d = deaths(&b, 9);
+        let now = b[N / 2];
+        let (bytes, count) = dead_tail_stats(&d, &s, now);
+        let mut ref_bytes = 0u64;
+        let mut ref_count = 0usize;
+        for (&death, &size) in d.iter().zip(&s) {
+            if death <= now {
+                ref_bytes += size as u64;
+                ref_count += 1;
+            }
+        }
+        assert_eq!((bytes, count), (ref_bytes, ref_count));
+        assert_eq!(sum_sizes(&s), s.iter().map(|&x| x as u64).sum::<u64>());
+    }
+}

@@ -42,7 +42,7 @@ use dtb_core::history::ScavengeRecord;
 use dtb_core::policy::{ScavengeContext, TbPolicy};
 use dtb_core::time::{Bytes, VirtualTime};
 use dtb_trace::event::{CompiledTrace, TraceMeta};
-use dtb_trace::{CompiledSource, EventSource};
+use dtb_trace::{CompiledSource, EventBlock, EventSource, DEFAULT_BLOCK_EVENTS};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -190,6 +190,14 @@ pub struct RunControl<'a> {
     /// When set, the engine restores this state (and seeks the source
     /// past it) instead of starting from scratch.
     pub resume_from: Option<SimCheckpoint>,
+    /// Events per [`dtb_trace::EventBlock`] chunk in the serial drive
+    /// loop: `0` uses [`dtb_trace::DEFAULT_BLOCK_EVENTS`]; `1` forces the
+    /// exact per-event reference path (every event runs the full
+    /// per-event body, no segment batching). Any value produces
+    /// bit-identical results — this is a throughput knob and a
+    /// differential-testing handle, which is why it lives here and not in
+    /// the checkpoint-compared [`SimConfig`].
+    pub block_events: usize,
 }
 
 impl<'a> RunControl<'a> {
@@ -214,6 +222,13 @@ impl<'a> RunControl<'a> {
     /// Resumes from a previously loaded checkpoint.
     pub fn resuming(mut self, ckp: SimCheckpoint) -> RunControl<'a> {
         self.resume_from = Some(ckp);
+        self
+    }
+
+    /// Sets the serial drive loop's chunk size in events (see
+    /// [`RunControl::block_events`]).
+    pub fn with_block_events(mut self, n: usize) -> RunControl<'a> {
+        self.block_events = n;
         self
     }
 }
@@ -421,6 +436,15 @@ impl<'c, H: CheckpointHeap> Sim<'c, H> {
         }
     }
 
+    /// Sets the serial drive loop's chunk size in events: `0` keeps the
+    /// default ([`dtb_trace::DEFAULT_BLOCK_EVENTS`]), `1` forces the
+    /// per-event reference path. Results are bit-identical at every
+    /// setting; only throughput changes.
+    pub fn block_events(mut self, n: usize) -> Sim<'c, H> {
+        self.control.block_events = n;
+        self
+    }
+
     /// Runs with `n` worker threads via the deterministic per-epoch
     /// decomposition in [`crate::par`], when the run is eligible:
     /// allocation-triggered, not checkpointing, not resuming, and over
@@ -559,117 +583,261 @@ pub(crate) fn run_serial<H: CheckpointHeap, S: EventSource + ?Sized>(
         }
     }
 
-    loop {
+    // The drive loop pulls events in blocks and processes each block in
+    // *segments*: a safe prefix — events that provably fire no trigger,
+    // curve sample, budget error, shape error, or checkpoint — batches
+    // straight into the heap's columnar bulk-insert path, and the one
+    // event at the segment boundary replays the exact per-event body.
+    // Every boundary condition is monotone in the byte prefix sum, so the
+    // safe prefix length is found by binary search / partition point over
+    // one precomputed prefix-sum array per block. Results are
+    // bit-identical to the per-event path at every block size; `1` keeps
+    // every event on the per-event body (the differential reference).
+    let block_cap = if control.block_events == 0 {
+        DEFAULT_BLOCK_EVENTS
+    } else {
+        control.block_events
+    };
+    let per_event_reference = block_cap <= 1;
+    let mut block = EventBlock::new(block_cap);
+    // Byte prefix sums over the current block: pb[i] = bytes of the first
+    // i records. Reused across blocks.
+    let mut pb: Vec<u64> = Vec::with_capacity(block_cap + 1);
+
+    'drive: loop {
         if let Some(flag) = control.cancel {
             if flag.load(Ordering::Relaxed) {
                 return Err(SimError::Cancelled { at: clock });
             }
         }
-        let life = match source.next_record() {
-            Ok(Some(life)) => life,
-            Ok(None) => break,
-            Err(source) => return Err(SimError::Source { at: clock, source }),
-        };
-        let (birth, obj_size, death) = (life.birth, life.size, life.death);
-        ledger.events += 1;
-        if ledger.events > max_events {
-            return Err(SimError::BudgetExceeded {
-                kind: BudgetKind::Events,
-                limit: max_events,
-                at: clock,
-            });
-        }
-        // Trace-shape checks run on every event regardless of
-        // `check_invariants`: they are O(1) and they stand between a
-        // corrupted trace and the heap's birth-order panic.
-        if let Some(prev) = ledger.prev_birth {
-            if birth <= prev {
-                return Err(SimError::Invariant {
-                    at: birth,
-                    violation: InvariantViolation::NonMonotoneTime { prev, next: birth },
-                });
+        let n = source.next_block(&mut block);
+        if n == 0 {
+            match block.take_error() {
+                Some(source) => return Err(SimError::Source { at: clock, source }),
+                None => break 'drive,
             }
         }
-        if let Some(death) = death {
-            if death < birth {
-                return Err(SimError::Invariant {
-                    at: birth,
-                    violation: InvariantViolation::DeathBeforeBirth { birth, death },
-                });
-            }
-        }
-        ledger.prev_birth = Some(birth);
-
-        let size = Bytes::new(obj_size as u64);
-        // Memory held its previous level while this object was being
-        // allocated (the clock span equals the object's size).
-        metrics.record_memory(heap.mem_in_use(), size);
-        clock = birth;
-        heap.insert(SimObject {
-            birth,
-            size: obj_size,
-            death,
-        });
-        ledger.allocated += size;
-        since_gc += size;
-        since_sample += size;
-
-        if config.record_curve && since_sample >= sample_every {
-            since_sample = Bytes::ZERO;
-            curve.push(CurvePoint {
-                at: clock,
-                mem: heap.mem_in_use(),
-                live: heap.live_bytes_at(clock),
-                boundary: None,
-            });
+        let births = block.births();
+        let sizes = block.sizes();
+        let deaths = block.deaths();
+        pb.clear();
+        pb.push(0);
+        let mut acc = 0u64;
+        for &sz in sizes {
+            acc += sz as u64;
+            pb.push(acc);
         }
 
-        let last_surviving = metrics.history().last().map(|r| r.surviving);
-        if config
-            .trigger
-            .should_collect(since_gc, heap.mem_in_use(), last_surviving)
-        {
-            since_gc = Bytes::ZERO;
-            // A scavenge records its own curve points; restart the sample
-            // interval so the next between-scavenge sample measures from
-            // here instead of firing immediately after the collection.
-            since_sample = Bytes::ZERO;
-            scavenge_now(
-                &mut heap,
-                policy,
-                &mut metrics,
-                config,
-                &mut curve,
-                clock,
-                &mut ledger,
-            )?;
-        }
-
-        // Checkpoint after the event is fully processed (including any
-        // scavenge it triggered), so the saved state is always at an
-        // event boundary. The modulus runs on the global event count, so
-        // a resumed run keeps the original cadence.
-        if let Some(path) = &control.checkpoint_path {
-            if control.checkpoint_every > 0 && ledger.events % control.checkpoint_every == 0 {
-                let ckp = SimCheckpoint {
-                    trace: source.meta().name.clone(),
-                    policy: policy.name().to_string(),
-                    config: *config,
-                    events: ledger.events,
-                    clock,
-                    since_gc,
-                    since_sample,
-                    allocated: ledger.allocated,
-                    reclaimed: ledger.reclaimed,
-                    prev_birth: ledger.prev_birth,
-                    heap: heap.snapshot(),
-                    metrics: metrics.state(),
-                    curve: curve.clone(),
-                    policy_state: policy.save_state(),
+        let mut idx = 0usize;
+        while idx < n {
+            let remaining = n - idx;
+            let s = if per_event_reference {
+                0
+            } else {
+                // Cap the safe prefix at the first event that would hit
+                // the budget, land on a checkpoint boundary, or cross the
+                // curve sample interval.
+                let base = pb[idx];
+                let s_budget =
+                    usize::try_from(max_events.saturating_sub(ledger.events)).unwrap_or(usize::MAX);
+                let s_ckpt = if control.checkpoint_path.is_some() && control.checkpoint_every > 0 {
+                    let every = control.checkpoint_every;
+                    let next_mult = (ledger.events / every + 1) * every;
+                    usize::try_from(next_mult - ledger.events - 1).unwrap_or(usize::MAX)
+                } else {
+                    usize::MAX
                 };
-                save_checkpoint(path, &ckp)
-                    .map_err(|source| SimError::Checkpoint { at: clock, source })?;
+                let s_curve = if config.record_curve {
+                    let ss = since_sample.as_u64();
+                    let lim = sample_every.as_u64();
+                    pb[idx + 1..=idx + remaining].partition_point(|&p| ss + (p - base) < lim)
+                } else {
+                    usize::MAX
+                };
+                let upper = remaining.min(s_budget).min(s_ckpt).min(s_curve);
+                // Largest prefix the trigger provably stays quiet for:
+                // `should_collect` is monotone non-decreasing in
+                // (since_gc, mem) for a fixed last-surviving value, and
+                // both arguments grow with the byte prefix sum, so the
+                // predicate flips at most once over the segment.
+                let mem0 = heap.mem_in_use();
+                let last_surviving = metrics.history().last().map(|r| r.surviving);
+                let (mut lo, mut hi) = (0usize, upper);
+                while lo < hi {
+                    let mid = lo + (hi - lo).div_ceil(2);
+                    let added = Bytes::new(pb[idx + mid] - base);
+                    if config
+                        .trigger
+                        .should_collect(since_gc + added, mem0 + added, last_surviving)
+                    {
+                        hi = mid - 1;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                // Trace-shape screening: the batch path requires strictly
+                // increasing births and death ≥ birth (the no-death
+                // sentinel `u64::MAX` passes trivially); the first
+                // violating event falls to the per-event body, which
+                // raises the exact typed error.
+                let mut s = lo;
+                let mut prev_u = ledger.prev_birth.map(|b| b.as_u64());
+                for (k, (&b, &d)) in births[idx..idx + lo].iter().zip(&deaths[idx..]).enumerate() {
+                    if prev_u.is_some_and(|p| b <= p) || d < b {
+                        s = k;
+                        break;
+                    }
+                    prev_u = Some(b);
+                }
+                s
+            };
+
+            if s > 0 {
+                let end = idx + s;
+                // Memory held its previous level while each object was
+                // being allocated: replay the per-event record_memory
+                // sequence (same f64 operation order) with a running
+                // level — within a safe segment memory only moves by
+                // inserts, because deaths shift bytes between the live
+                // and dead ledgers without changing their sum.
+                let mut mem = heap.mem_in_use();
+                for &sz in &sizes[idx..end] {
+                    let size = Bytes::new(sz as u64);
+                    metrics.record_memory(mem, size);
+                    mem += size;
+                }
+                clock = VirtualTime::from_bytes(births[end - 1]);
+                heap.insert_block(&births[idx..end], &sizes[idx..end], &deaths[idx..end]);
+                let added = Bytes::new(pb[end] - pb[idx]);
+                ledger.events += s as u64;
+                ledger.prev_birth = Some(clock);
+                ledger.allocated += added;
+                since_gc += added;
+                since_sample += added;
+                idx = end;
+                continue;
             }
+
+            // Segment boundary (or per-event reference mode): the exact
+            // per-event body, bit for bit.
+            if let Some(flag) = control.cancel {
+                if flag.load(Ordering::Relaxed) {
+                    return Err(SimError::Cancelled { at: clock });
+                }
+            }
+            let birth = VirtualTime::from_bytes(births[idx]);
+            let obj_size = sizes[idx];
+            let death =
+                (deaths[idx] != EventBlock::NO_DEATH).then(|| VirtualTime::from_bytes(deaths[idx]));
+            ledger.events += 1;
+            if ledger.events > max_events {
+                return Err(SimError::BudgetExceeded {
+                    kind: BudgetKind::Events,
+                    limit: max_events,
+                    at: clock,
+                });
+            }
+            // Trace-shape checks run on every event regardless of
+            // `check_invariants`: they are O(1) and they stand between a
+            // corrupted trace and the heap's birth-order panic.
+            if let Some(prev) = ledger.prev_birth {
+                if birth <= prev {
+                    return Err(SimError::Invariant {
+                        at: birth,
+                        violation: InvariantViolation::NonMonotoneTime { prev, next: birth },
+                    });
+                }
+            }
+            if let Some(death) = death {
+                if death < birth {
+                    return Err(SimError::Invariant {
+                        at: birth,
+                        violation: InvariantViolation::DeathBeforeBirth { birth, death },
+                    });
+                }
+            }
+            ledger.prev_birth = Some(birth);
+
+            let size = Bytes::new(obj_size as u64);
+            // Memory held its previous level while this object was being
+            // allocated (the clock span equals the object's size).
+            metrics.record_memory(heap.mem_in_use(), size);
+            clock = birth;
+            heap.insert(SimObject {
+                birth,
+                size: obj_size,
+                death,
+            });
+            ledger.allocated += size;
+            since_gc += size;
+            since_sample += size;
+
+            if config.record_curve && since_sample >= sample_every {
+                since_sample = Bytes::ZERO;
+                curve.push(CurvePoint {
+                    at: clock,
+                    mem: heap.mem_in_use(),
+                    live: heap.live_bytes_at(clock),
+                    boundary: None,
+                });
+            }
+
+            let last_surviving = metrics.history().last().map(|r| r.surviving);
+            if config
+                .trigger
+                .should_collect(since_gc, heap.mem_in_use(), last_surviving)
+            {
+                since_gc = Bytes::ZERO;
+                // A scavenge records its own curve points; restart the
+                // sample interval so the next between-scavenge sample
+                // measures from here instead of firing immediately after
+                // the collection.
+                since_sample = Bytes::ZERO;
+                scavenge_now(
+                    &mut heap,
+                    policy,
+                    &mut metrics,
+                    config,
+                    &mut curve,
+                    clock,
+                    &mut ledger,
+                )?;
+            }
+
+            // Checkpoint after the event is fully processed (including
+            // any scavenge it triggered), so the saved state is always at
+            // an event boundary. The modulus runs on the global event
+            // count, so a resumed run keeps the original cadence.
+            if let Some(path) = &control.checkpoint_path {
+                if control.checkpoint_every > 0 && ledger.events % control.checkpoint_every == 0 {
+                    let ckp = SimCheckpoint {
+                        trace: source.meta().name.clone(),
+                        policy: policy.name().to_string(),
+                        config: *config,
+                        events: ledger.events,
+                        clock,
+                        since_gc,
+                        since_sample,
+                        allocated: ledger.allocated,
+                        reclaimed: ledger.reclaimed,
+                        prev_birth: ledger.prev_birth,
+                        heap: heap.snapshot(),
+                        metrics: metrics.state(),
+                        curve: curve.clone(),
+                        policy_state: policy.save_state(),
+                    };
+                    save_checkpoint(path, &ckp)
+                        .map_err(|source| SimError::Checkpoint { at: clock, source })?;
+                }
+            }
+            idx += 1;
+        }
+
+        // A source failure is deferred behind the block's good records:
+        // they are processed (advancing the clock) first, so the typed
+        // error carries the same clock the per-record path would report.
+        if let Some(source) = block.take_error() {
+            return Err(SimError::Source { at: clock, source });
         }
     }
 

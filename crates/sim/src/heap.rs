@@ -15,21 +15,29 @@
 //!   birth order over the whole run, never reused. `births` maps slots to
 //!   birth times and is append-only, so any boundary `tb` resolves to a
 //!   slot split point with one binary search.
-//! - Two [Fenwick trees](fenwick) over global slots partition the bytes
-//!   still occupying memory: `live` holds objects whose oracle death lies
-//!   in the future, `dead` holds dead-but-unreclaimed bytes. A death
-//!   moves bytes from `live` to `dead`; a reclaim removes them from
-//!   `dead`. Boundary aggregates (traced, reclaimed, tenured garbage,
-//!   survival) are prefix/suffix sums, O(log n) each.
-//! - Deaths are applied **lazily**, and in two stages. Inserts append
-//!   `(death, slot, size)` to an unordered staging vector in O(1); the
-//!   next clock advance (a scavenge or an oracle query) drains the stage:
-//!   deaths already in the past are applied directly — the live→dead
-//!   Fenwick moves commute, so order within a batch is irrelevant — and
-//!   only the stragglers whose deaths still lie in the future pay for a
-//!   min-heap insertion. Since most objects die before the scavenge after
-//!   their birth, the common case never touches the priority queue at
-//!   all, and each object is staged and drained exactly once.
+//! - One **paired** [Fenwick tree](fenwick) over global slots partitions
+//!   the bytes still occupying memory into `[live, dead]` components per
+//!   node: live bytes belong to objects whose oracle death lies in the
+//!   future, dead bytes are dead-but-unreclaimed. A death moves bytes
+//!   from live to dead in a *single* tree walk
+//!   ([`fenwick::PairedFenwick::move_to_dead_many`] — one 16-byte node
+//!   pair per level instead of two disjoint trees); a reclaim removes
+//!   them from the dead component. Boundary aggregates (traced,
+//!   reclaimed, tenured garbage, survival) are prefix/suffix sums,
+//!   O(log n) each, and one paired descent answers both components.
+//! - Deaths are applied **lazily**, and in two stages. Inserts do no
+//!   death bookkeeping at all: the struct-of-arrays resident columns
+//!   already hold each new object's death time, so the rows appended
+//!   since the last clock advance form a *staged suffix* marked by one
+//!   watermark. The next clock advance (a scavenge or an oracle query)
+//!   scans that suffix once: deaths already in the past are applied
+//!   directly — the live→dead moves commute, so order within a batch is
+//!   irrelevant — and only the stragglers whose deaths still lie in the
+//!   future enter a small unordered pending set, drained by a linear
+//!   sweep (guarded by its cached minimum death) when their time comes.
+//!   Since most objects die before the scavenge after their birth, the
+//!   common case never touches the pending set at all, and each object
+//!   is examined exactly once.
 //!
 //! A scavenge therefore costs O(dead tail + log n): the Fenwick sums
 //! answer the byte accounting, and the compaction walk is *narrowed* to
@@ -60,15 +68,12 @@
 pub(crate) mod fenwick;
 pub mod naive;
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use dtb_core::history::BoundaryCandidates;
 use dtb_core::policy::{SurvivalEstimator, SurvivalLender};
 use dtb_core::time::{Bytes, VirtualTime};
 use serde::{Deserialize, Serialize};
 
-use fenwick::Fenwick;
+use fenwick::PairedFenwick;
 
 /// One object in the oracle heap.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -127,6 +132,24 @@ pub trait SimHeap: SurvivalLender {
     /// increasing.
     fn insert(&mut self, obj: SimObject);
 
+    /// Inserts a whole validated block of objects from struct-of-arrays
+    /// columns (`u64::MAX` death = immortal, the `DTBCTC01` sentinel).
+    ///
+    /// Must be observably identical to inserting the objects one at a
+    /// time; the default does exactly that, and the incremental
+    /// [`OracleHeap`] overrides it with bulk index builds.
+    fn insert_block(&mut self, births: &[u64], sizes: &[u32], deaths: &[u64]) {
+        debug_assert_eq!(births.len(), sizes.len());
+        debug_assert_eq!(births.len(), deaths.len());
+        for i in 0..births.len() {
+            self.insert(SimObject {
+                birth: VirtualTime::from_bytes(births[i]),
+                size: sizes[i],
+                death: (deaths[i] != u64::MAX).then(|| VirtualTime::from_bytes(deaths[i])),
+            });
+        }
+    }
+
     /// Bytes currently occupying memory (live + unreclaimed garbage).
     fn mem_in_use(&self) -> Bytes;
 
@@ -178,16 +201,11 @@ pub trait CheckpointHeap: SimHeap {
     fn restore(snapshot: &HeapSnapshot) -> Self;
 }
 
-/// An object still occupying memory, keyed by its global slot.
-#[derive(Clone, Copy, Debug)]
-struct Resident {
-    /// Global (birth-order) slot; `births[slot]` is the birth time.
-    slot: u32,
-    /// Size in bytes.
-    size: u32,
-    /// Oracle death time; `None` = lives to the end of the trace.
-    death: Option<VirtualTime>,
-}
+/// Sentinel death time for "lives to the end of the trace" in the heap's
+/// struct-of-arrays death column — the same convention as the on-disk
+/// `DTBCTC01` record format. No real allocation clock reaches it, so the
+/// branch-free `death <= now` comparison treats immortals as never dead.
+const NO_DEATH: u64 = u64::MAX;
 
 /// Slot-count floor below which the heap never compacts: rebasing a tiny
 /// index saves nothing, and the floor keeps short runs on the exact
@@ -196,26 +214,60 @@ const COMPACT_MIN_SLOTS: usize = 1024;
 
 /// Birth-ordered heap with an exact lifetime oracle, maintained
 /// incrementally (see the module docs for the index design).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct OracleHeap {
-    /// Birth time per global slot, append-only.
-    births: Vec<VirtualTime>,
-    /// Live bytes per global slot (death still in the future).
-    live: Fenwick,
-    /// Dead-but-unreclaimed bytes per global slot.
-    dead: Fenwick,
-    /// Future deaths awaiting application: `(death, slot, size)` ordered
-    /// soonest-first. Only populated from `deferred` at clock advances,
-    /// and only with deaths that are still in the future then.
-    pending: BinaryHeap<Reverse<(VirtualTime, u32, u32)>>,
-    /// Unordered staging area for deaths recorded since the last clock
-    /// advance; see the module docs' two-stage lazy-death design.
-    deferred: Vec<(VirtualTime, u32, u32)>,
-    /// Objects still occupying memory, ordered by slot.
-    present: Vec<Resident>,
+    /// Birth time per global slot (allocation-clock bytes), append-only.
+    /// Stored as raw `u64` so block inserts append with one `memcpy`
+    /// straight from the event source's birth column.
+    births: Vec<u64>,
+    /// Live and dead-but-unreclaimed bytes per global slot, as one paired
+    /// index: a death moves bytes live→dead in a single tree walk, and a
+    /// scavenge's full byte accounting is one paired prefix descent.
+    index: PairedFenwick,
+    /// Future deaths awaiting application: `(death, slot, size)`,
+    /// unordered. Only populated from the staged suffix at clock
+    /// advances, and only with deaths that are still in the future then —
+    /// which keeps the set small (objects outliving the scavenge after
+    /// their birth), so draining it is one linear sweep instead of
+    /// per-entry priority-queue traffic. Live→dead moves commute, so the
+    /// sweep's arbitrary order leaves every aggregate bit-identical.
+    pending: Vec<(u64, u32, u32)>,
+    /// Smallest death time in `pending` (`NO_DEATH` when empty): lets an
+    /// advance skip the sweep entirely while no pending death has come
+    /// due.
+    pending_min: u64,
+    /// Watermark into the `present_*` columns: rows at or above it were
+    /// appended since the last clock advance and have not had their death
+    /// examined yet (the staged suffix of the module docs' two-stage
+    /// lazy-death design). Rows below it are immortal, already moved to
+    /// the dead component, or sitting in `pending`.
+    staged_lo: usize,
+    /// Global slot per object still occupying memory, ordered by slot.
+    /// The three `present_*` vectors are parallel struct-of-arrays
+    /// columns: keeping sizes and deaths in their own flat arrays is what
+    /// lets the scavenge walk's dead-byte pass autovectorize
+    /// ([`dtb_core::soa::dead_tail_stats`]).
+    present_slots: Vec<u32>,
+    /// Size in bytes per present object (parallel to `present_slots`).
+    present_sizes: Vec<u32>,
+    /// Oracle death time per present object ([`NO_DEATH`] = immortal;
+    /// parallel to `present_slots`).
+    present_deaths: Vec<u64>,
+    /// Reusable slot batch for the Fenwick [`Fenwick::add_many`] /
+    /// [`Fenwick::sub_many`] updates (death application, scavenge
+    /// removals). Warm-up sizes it; steady state never reallocates.
+    scratch_slots: Vec<u32>,
+    /// Byte deltas paired with `scratch_slots`.
+    scratch_deltas: Vec<u64>,
     /// High-water mark of query time: every death `<= clock` has been
     /// moved from `live` to `dead`.
     clock: VirtualTime,
+}
+
+impl Default for OracleHeap {
+    fn default() -> OracleHeap {
+        OracleHeap::with_capacity(0)
+    }
 }
 
 impl OracleHeap {
@@ -228,11 +280,15 @@ impl OracleHeap {
     pub fn with_capacity(n: usize) -> OracleHeap {
         OracleHeap {
             births: Vec::with_capacity(n),
-            live: Fenwick::with_capacity(n),
-            dead: Fenwick::with_capacity(n),
-            pending: BinaryHeap::with_capacity(n),
-            deferred: Vec::with_capacity(n),
-            present: Vec::with_capacity(n),
+            index: PairedFenwick::with_capacity(n),
+            pending: Vec::new(),
+            pending_min: NO_DEATH,
+            staged_lo: 0,
+            present_slots: Vec::with_capacity(n),
+            present_sizes: Vec::with_capacity(n),
+            present_deaths: Vec::with_capacity(n),
+            scratch_slots: Vec::new(),
+            scratch_deltas: Vec::new(),
             clock: VirtualTime::ZERO,
         }
     }
@@ -246,36 +302,68 @@ impl OracleHeap {
     /// walk relies on every dead resident being visible to the byte
     /// indices). Violations panic in debug builds.
     pub fn insert(&mut self, obj: SimObject) {
-        if let Some(last) = self.births.last() {
+        if let Some(&last) = self.births.last() {
             debug_assert!(
-                obj.birth > *last,
-                "births must be strictly increasing: {:?} after {:?}",
+                obj.birth.as_u64() > last,
+                "births must be strictly increasing: {:?} after {last}",
                 obj.birth,
-                last
             );
         }
         debug_assert!(obj.size > 0, "zero-sized objects are rejected upstream");
         let slot = self.births.len();
         debug_assert!(slot <= u32::MAX as usize, "slot index exceeds u32");
         let slot = slot as u32;
-        self.births.push(obj.birth);
-        self.live.push(obj.size as u64);
-        self.dead.push(0);
-        self.present.push(Resident {
-            slot,
-            size: obj.size,
-            death: obj.death,
-        });
-        if let Some(d) = obj.death {
-            if d <= self.clock {
-                // Already past its death on the lazy clock (an object can
-                // die the instant it is born): record it dead immediately.
-                self.live.sub(slot as usize, obj.size as u64);
-                self.dead.add(slot as usize, obj.size as u64);
+        self.births.push(obj.birth.as_u64());
+        self.index.push(obj.size as u64, 0);
+        self.present_slots.push(slot);
+        self.present_sizes.push(obj.size);
+        self.present_deaths
+            .push(obj.death.map_or(NO_DEATH, VirtualTime::as_u64));
+        // No death bookkeeping here: the row just appended sits in the
+        // staged suffix above `staged_lo`, and the next clock advance
+        // examines it — including an object already past its death on the
+        // lazy clock (one can die the instant it is born), which the
+        // staged scan applies before answering any query.
+    }
+
+    /// Inserts a whole block of objects from struct-of-arrays columns
+    /// (death times use the [`NO_DEATH`] sentinel for immortals, as in
+    /// the `DTBCTC01` record format).
+    ///
+    /// Observably identical to inserting the objects one at a time —
+    /// the Fenwick tree shape is a pure function of the slot values — but
+    /// the index appends become bulk [`Fenwick::extend`] builds and any
+    /// already-past deaths apply as one batched update. The block engine's
+    /// fast path feeds validated columns straight from the event source.
+    pub fn insert_block(&mut self, births: &[u64], sizes: &[u32], deaths: &[u64]) {
+        debug_assert_eq!(births.len(), sizes.len());
+        debug_assert_eq!(births.len(), deaths.len());
+        #[cfg(debug_assertions)]
+        for (i, &b) in births.iter().enumerate() {
+            let prev = if i == 0 {
+                self.births.last().copied()
             } else {
-                self.deferred.push((d, slot, obj.size));
-            }
+                Some(births[i - 1])
+            };
+            debug_assert!(
+                prev.is_none_or(|p| b > p),
+                "births must be strictly increasing"
+            );
+            debug_assert!(sizes[i] > 0, "zero-sized objects are rejected upstream");
         }
+        let base = self.births.len();
+        debug_assert!(
+            base + births.len() <= u32::MAX as usize + 1,
+            "slot index exceeds u32"
+        );
+        self.births.extend_from_slice(births);
+        self.index.extend_live(sizes.iter().map(|&s| s as u64));
+        self.present_slots
+            .extend((base..base + births.len()).map(|s| s as u32));
+        self.present_sizes.extend_from_slice(sizes);
+        self.present_deaths.extend_from_slice(deaths);
+        // Death bookkeeping is deferred wholesale: the appended rows are
+        // the staged suffix, examined once by the next clock advance.
     }
 
     /// Moves every death at or before `now` from the live index to the
@@ -283,51 +371,83 @@ impl OracleHeap {
     /// and O(1) heap traffic for the (typical) object whose death has
     /// already passed by the first clock advance after its birth.
     fn advance_clock(&mut self, now: VirtualTime) {
-        if now <= self.clock {
+        let n = self.present_deaths.len();
+        let advanced = now > self.clock;
+        if !advanced && self.staged_lo >= n {
             return;
         }
-        self.clock = now;
-        // Drain the staging area first: deaths already at or before `now`
-        // apply directly (live→dead moves on distinct slots commute, so
-        // the unordered batch is equivalent to sorted application); only
-        // future deaths enter the priority queue.
-        let deferred = std::mem::take(&mut self.deferred);
-        for &(d, slot, size) in &deferred {
-            if d <= now {
-                self.live.sub(slot as usize, size as u64);
-                self.dead.add(slot as usize, size as u64);
+        if advanced {
+            self.clock = now;
+        }
+        let now_u = self.clock.as_u64();
+        // Scan the staged suffix first — one pass over the resident
+        // columns appended since the last drain. Deaths already at or
+        // before `now` apply directly (live→dead moves on distinct slots
+        // commute, so the unordered batch is equivalent to sorted
+        // application); only future deaths enter the priority queue. Both
+        // drains accumulate into one slot/delta batch so the paired tree
+        // walks run back to back over hot cache lines instead of
+        // interleaving with heap pops. Note the scan runs even when the
+        // clock does not move: a freshly inserted object may already be
+        // past its death on the lazy clock (one can die the instant it is
+        // born) and must reach the dead component before any query.
+        self.scratch_slots.clear();
+        self.scratch_deltas.clear();
+        for i in self.staged_lo..n {
+            let d = self.present_deaths[i];
+            if d == NO_DEATH {
+                continue;
+            }
+            let slot = self.present_slots[i];
+            let size = self.present_sizes[i];
+            if d <= now_u {
+                self.scratch_slots.push(slot);
+                self.scratch_deltas.push(size as u64);
             } else {
-                self.pending.push(Reverse((d, slot, size)));
+                self.pending.push((d, slot, size));
+                self.pending_min = self.pending_min.min(d);
             }
         }
-        // Hand the buffer back (emptied) so insert keeps its capacity.
-        self.deferred = deferred;
-        self.deferred.clear();
-        while let Some(&Reverse((d, slot, size))) = self.pending.peek() {
-            if d > now {
-                break;
+        self.staged_lo = n;
+        if self.pending_min <= now_u {
+            // Sweep the due deaths out in place (swap-remove keeps the
+            // sweep linear); recompute the minimum from the survivors.
+            let mut min = NO_DEATH;
+            let mut i = 0;
+            while i < self.pending.len() {
+                let (d, slot, size) = self.pending[i];
+                if d <= now_u {
+                    self.scratch_slots.push(slot);
+                    self.scratch_deltas.push(size as u64);
+                    self.pending.swap_remove(i);
+                } else {
+                    min = min.min(d);
+                    i += 1;
+                }
             }
-            self.pending.pop();
-            self.live.sub(slot as usize, size as u64);
-            self.dead.add(slot as usize, size as u64);
+            self.pending_min = min;
+        }
+        if !self.scratch_slots.is_empty() {
+            self.index
+                .move_to_dead_many(&self.scratch_slots, &self.scratch_deltas);
         }
     }
 
     /// Bytes currently occupying memory (live + unreclaimed garbage).
     pub fn mem_in_use(&self) -> Bytes {
-        // Deaths only move bytes between the two indices, so the sum is
-        // exact regardless of how far the lazy clock has advanced.
-        Bytes::new(self.live.total() + self.dead.total())
+        // Deaths only move bytes between the two components, so the sum
+        // is exact regardless of how far the lazy clock has advanced.
+        Bytes::new(self.index.live_total() + self.index.dead_total())
     }
 
     /// Number of objects currently in the heap.
     pub fn len(&self) -> usize {
-        self.present.len()
+        self.present_slots.len()
     }
 
     /// True when the heap holds no objects.
     pub fn is_empty(&self) -> bool {
-        self.present.is_empty()
+        self.present_slots.is_empty()
     }
 
     /// Exact live bytes at time `at` (oracle knowledge), O(deaths since
@@ -338,12 +458,13 @@ impl OracleHeap {
     /// [`OracleHeap::survival_snapshot`].
     pub fn live_bytes_at(&mut self, at: VirtualTime) -> Bytes {
         self.advance_clock(at);
-        Bytes::new(self.live.total())
+        Bytes::new(self.index.live_total())
     }
 
     /// First global slot born strictly after `tb`.
     fn boundary_slot(&self, tb: VirtualTime) -> usize {
-        self.births.partition_point(|b| *b <= tb)
+        let tb = tb.as_u64();
+        self.births.partition_point(|&b| b <= tb)
     }
 
     /// Performs a scavenge at time `now` with threatening boundary `tb`:
@@ -358,9 +479,13 @@ impl OracleHeap {
     pub fn scavenge(&mut self, tb: VirtualTime, now: VirtualTime) -> ScavengeOutcome {
         self.advance_clock(now);
         let split = self.boundary_slot(tb);
-        let traced = Bytes::new(self.live.suffix(split));
-        let reclaimed = Bytes::new(self.dead.suffix(split));
-        let tenured_garbage = Bytes::new(self.dead.prefix(split));
+        // One paired descent answers the whole byte accounting: the
+        // threatened live suffix (traced), the threatened dead suffix
+        // (reclaimed), and the immune dead prefix (tenured garbage).
+        let immune = self.index.prefix_pair(split);
+        let traced = Bytes::new(self.index.live_total() - immune[0]);
+        let reclaimed = Bytes::new(self.index.dead_total() - immune[1]);
+        let tenured_garbage = Bytes::new(immune[1]);
 
         // Compact the threatened residents in place: survivors stay (in
         // slot order), dead objects leave the dead index and the heap.
@@ -376,37 +501,81 @@ impl OracleHeap {
             // largest count whose dead-prefix is still ≤ the immune
             // prefix. Likewise the last dead slot overall (it is ≥ split
             // because `dead.suffix(split) > 0`).
-            let first_dead = self.dead.lower_bound(self.dead.prefix(split));
-            let last_dead = self.dead.lower_bound(self.dead.total() - 1);
+            let first_dead = self.index.lower_bound_dead(immune[1]);
+            let last_dead = self.index.lower_bound_dead(self.index.dead_total() - 1);
             debug_assert!(first_dead >= split);
             let lo = self
-                .present
-                .partition_point(|r| (r.slot as usize) < first_dead);
+                .present_slots
+                .partition_point(|&s| (s as usize) < first_dead);
             let hi = self
-                .present
-                .partition_point(|r| (r.slot as usize) <= last_dead);
-            let mut write = lo;
-            for read in lo..hi {
-                let r = self.present[read];
-                if r.death.is_some_and(|d| d <= now) {
-                    self.dead.sub(r.slot as usize, r.size as u64);
-                } else {
-                    self.present[write] = r;
-                    write += 1;
+                .present_slots
+                .partition_point(|&s| (s as usize) <= last_dead);
+            let now_u = now.as_u64();
+            // Pass 1: one branch-free sweep over the death/size columns
+            // answers how much of the narrowed range is dead — it must be
+            // exactly the reclaimed suffix — and whether the whole range
+            // can be removed wholesale.
+            let (walk_dead, dead_count) = dtb_core::soa::dead_tail_stats(
+                &self.present_deaths[lo..hi],
+                &self.present_sizes[lo..hi],
+                now_u,
+            );
+            debug_assert_eq!(walk_dead, reclaimed.as_u64());
+            // Pass 2: collect the dead slots (for one batched dead-index
+            // update) and compact the survivors in place.
+            self.scratch_slots.clear();
+            self.scratch_deltas.clear();
+            if dead_count == hi - lo {
+                // The whole range is dead — no per-resident filtering.
+                self.scratch_slots
+                    .extend_from_slice(&self.present_slots[lo..hi]);
+                self.scratch_deltas
+                    .extend(self.present_sizes[lo..hi].iter().map(|&s| s as u64));
+                self.present_slots.drain(lo..hi);
+                self.present_sizes.drain(lo..hi);
+                self.present_deaths.drain(lo..hi);
+            } else {
+                let mut write = lo;
+                for read in lo..hi {
+                    let d = self.present_deaths[read];
+                    if d <= now_u {
+                        self.scratch_slots.push(self.present_slots[read]);
+                        self.scratch_deltas.push(self.present_sizes[read] as u64);
+                    } else {
+                        self.present_slots[write] = self.present_slots[read];
+                        self.present_sizes[write] = self.present_sizes[read];
+                        self.present_deaths[write] = d;
+                        write += 1;
+                    }
+                }
+                if write < hi {
+                    let removed = hi - write;
+                    let len = self.present_slots.len() - removed;
+                    self.present_slots.copy_within(hi.., write);
+                    self.present_sizes.copy_within(hi.., write);
+                    self.present_deaths.copy_within(hi.., write);
+                    self.present_slots.truncate(len);
+                    self.present_sizes.truncate(len);
+                    self.present_deaths.truncate(len);
                 }
             }
-            if write < hi {
-                self.present.copy_within(hi.., write);
-                let removed = hi - write;
-                self.present.truncate(self.present.len() - removed);
-            }
+            self.index
+                .sub_dead_many(&self.scratch_slots, &self.scratch_deltas);
+            // The advance above examined every staged row; the removals
+            // only shrank the columns, so the watermark follows the end.
+            self.staged_lo = self.present_slots.len();
         }
 
-        debug_assert_eq!(self.dead.suffix(split), 0, "all threatened dead reclaimed");
+        debug_assert_eq!(
+            self.index.suffix_pair(split)[1],
+            0,
+            "all threatened dead reclaimed"
+        );
         debug_assert!(
-            self.present
+            self.present_slots
                 .iter()
-                .all(|r| (r.slot as usize) < split || r.death.is_none_or(|d| d > now)),
+                .zip(&self.present_deaths)
+                .all(|(&s, &d)| (s as usize) < split || d > now.as_u64()),
             "no dead threatened resident left behind"
         );
         let outcome = ScavengeOutcome {
@@ -419,7 +588,7 @@ impl OracleHeap {
         // rebase it onto the residents so index memory tracks the
         // *resident* set instead of every object ever born — the property
         // that lets a streaming source run in O(live set) memory.
-        if self.births.len() >= COMPACT_MIN_SLOTS.max(2 * self.present.len()) {
+        if self.births.len() >= COMPACT_MIN_SLOTS.max(2 * self.present_slots.len()) {
             self.compact();
         }
         outcome
@@ -436,32 +605,43 @@ impl OracleHeap {
     /// scavenge path stays allocation-free (see
     /// `crates/sim/tests/zero_alloc.rs`).
     fn compact(&mut self) {
-        let n = self.present.len();
-        // Scavenge advanced the clock, which drains the staging area.
-        debug_assert!(self.deferred.is_empty(), "compaction with staged deaths");
+        let n = self.present_slots.len();
+        // Scavenge advanced the clock, which drained the staged suffix.
+        debug_assert_eq!(self.staged_lo, n, "compaction with staged deaths");
         self.pending.clear();
-        self.live.clear();
-        self.dead.clear();
+        self.pending_min = NO_DEATH;
+        let clock = self.clock.as_u64();
         for new_slot in 0..n {
-            let r = self.present[new_slot];
-            // Residents are slot-ordered, so `new_slot <= r.slot` and the
-            // in-place copy never reads an already-overwritten entry.
-            self.births[new_slot] = self.births[r.slot as usize];
-            self.present[new_slot].slot = new_slot as u32;
-            if r.death.is_some_and(|d| d <= self.clock) {
-                // Dead but immune (tenured garbage): bytes sit in `dead`,
-                // and its pending entry was drained when the clock passed.
-                self.live.push(0);
-                self.dead.push(r.size as u64);
-            } else {
-                self.live.push(r.size as u64);
-                self.dead.push(0);
-                if let Some(d) = r.death {
-                    self.pending.push(Reverse((d, new_slot as u32, r.size)));
-                }
+            let old_slot = self.present_slots[new_slot];
+            let size = self.present_sizes[new_slot];
+            let death = self.present_deaths[new_slot];
+            // Residents are slot-ordered, so `new_slot <= old_slot` and
+            // the in-place copy never reads an already-overwritten entry.
+            self.births[new_slot] = self.births[old_slot as usize];
+            self.present_slots[new_slot] = new_slot as u32;
+            // A resident past its death is dead-but-immune (tenured
+            // garbage) and carries no pending entry; only future mortals
+            // re-enter the pending set.
+            if death > clock && death != NO_DEATH {
+                self.pending.push((death, new_slot as u32, size));
+                self.pending_min = self.pending_min.min(death);
             }
         }
         self.births.truncate(n);
+        // One bulk bottom-up build replaces a per-resident push descent;
+        // dead-but-immune bytes land in the dead component, everything
+        // else in the live component, exactly as incremental maintenance
+        // left them.
+        let index = &mut self.index;
+        let sizes = &self.present_sizes[..n];
+        let deaths = &self.present_deaths[..n];
+        index.rebuild_pairs(sizes.iter().zip(deaths).map(|(&size, &death)| {
+            if death <= clock {
+                [0, size as u64]
+            } else {
+                [size as u64, 0]
+            }
+        }));
     }
 
     /// Number of slots in the heap's index (≥ [`OracleHeap::len`];
@@ -477,17 +657,21 @@ impl OracleHeap {
         self.advance_clock(now);
         SurvivalSnapshot {
             births: &self.births,
-            live: &self.live,
+            index: &self.index,
         }
     }
 
     /// Iterates the objects still in the heap, in birth order (tests).
     pub fn iter_objects(&self) -> impl ExactSizeIterator<Item = SimObject> + '_ {
-        self.present.iter().map(|r| SimObject {
-            birth: self.births[r.slot as usize],
-            size: r.size,
-            death: r.death,
-        })
+        self.present_slots
+            .iter()
+            .zip(&self.present_sizes)
+            .zip(&self.present_deaths)
+            .map(|((&slot, &size), &death)| SimObject {
+                birth: VirtualTime::from_bytes(self.births[slot as usize]),
+                size,
+                death: (death != NO_DEATH).then(|| VirtualTime::from_bytes(death)),
+            })
     }
 }
 
@@ -497,14 +681,15 @@ impl OracleHeap {
 /// directly.
 #[derive(Clone, Copy, Debug)]
 pub struct SurvivalSnapshot<'a> {
-    births: &'a [VirtualTime],
-    live: &'a Fenwick,
+    births: &'a [u64],
+    index: &'a PairedFenwick,
 }
 
 impl SurvivalEstimator for SurvivalSnapshot<'_> {
     fn surviving_born_after(&self, tb: VirtualTime) -> Bytes {
-        let idx = self.births.partition_point(|b| *b <= tb);
-        Bytes::new(self.live.suffix(idx))
+        let tb = tb.as_u64();
+        let idx = self.births.partition_point(|&b| b <= tb);
+        Bytes::new(self.index.suffix_pair(idx)[0])
     }
 
     /// The inverse query as a single descent of the live-bytes Fenwick
@@ -524,7 +709,7 @@ impl SurvivalEstimator for SurvivalSnapshot<'_> {
         trace_max: Bytes,
         candidates: BoundaryCandidates<'_>,
     ) -> Option<VirtualTime> {
-        let total = self.live.total();
+        let total = self.index.live_total();
         let budget = trace_max.as_u64();
         if total <= budget {
             // Every boundary fits, even one before the first birth.
@@ -533,8 +718,8 @@ impl SurvivalEstimator for SurvivalSnapshot<'_> {
         // Smallest count with prefix ≥ K, via largest count with
         // prefix ≤ K - 1 (K ≥ 1 here, and the count is ≤ len because
         // K ≤ total).
-        let s_star = self.live.lower_bound(total - budget - 1) + 1;
-        candidates.first_at_or_after(self.births[s_star - 1])
+        let s_star = self.index.lower_bound_live(total - budget - 1) + 1;
+        candidates.first_at_or_after(VirtualTime::from_bytes(self.births[s_star - 1]))
     }
 }
 
@@ -577,6 +762,10 @@ impl SimHeap for OracleHeap {
 
     fn insert(&mut self, obj: SimObject) {
         OracleHeap::insert(self, obj);
+    }
+
+    fn insert_block(&mut self, births: &[u64], sizes: &[u32], deaths: &[u64]) {
+        OracleHeap::insert_block(self, births, sizes, deaths);
     }
 
     fn mem_in_use(&self) -> Bytes {
@@ -878,6 +1067,57 @@ mod tests {
             }
         }
         assert!(compactions > 0, "churn run never triggered a compaction");
+    }
+
+    #[test]
+    fn insert_block_matches_per_object_inserts() {
+        // Block inserts interleaved with clock advances and scavenges
+        // must leave the heap observably identical to per-object inserts,
+        // including already-past deaths inside a block and immortals.
+        let mut block_heap = OracleHeap::new();
+        let mut one_heap = OracleHeap::new();
+        let mut clock = 0u64;
+        for round in 0..40u64 {
+            let mut births = Vec::new();
+            let mut sizes = Vec::new();
+            let mut deaths = Vec::new();
+            for i in 0..(round % 7 + 1) * 9 {
+                clock += i % 23 + 1;
+                births.push(clock);
+                sizes.push((i % 57 + 1) as u32);
+                deaths.push(match i % 4 {
+                    // Dies before the next query point (often before the
+                    // heap clock even reaches it).
+                    0 => clock + i % 5,
+                    1 => clock + 2_000,
+                    2 => clock.saturating_sub(0) + 1, // dies immediately after birth
+                    _ => u64::MAX,
+                });
+            }
+            block_heap.insert_block(&births, &sizes, &deaths);
+            for i in 0..births.len() {
+                one_heap.insert(SimObject {
+                    birth: t(births[i]),
+                    size: sizes[i],
+                    death: (deaths[i] != u64::MAX).then(|| t(deaths[i])),
+                });
+            }
+            let now = t(clock);
+            assert_eq!(block_heap.mem_in_use(), one_heap.mem_in_use());
+            assert_eq!(block_heap.live_bytes_at(now), one_heap.live_bytes_at(now));
+            if round % 5 == 4 {
+                let tb = t(clock.saturating_sub(1_500));
+                assert_eq!(
+                    block_heap.scavenge(tb, now),
+                    one_heap.scavenge(tb, now),
+                    "round={round}"
+                );
+                assert_eq!(block_heap.len(), one_heap.len());
+                let a: Vec<SimObject> = block_heap.iter_objects().collect();
+                let b: Vec<SimObject> = one_heap.iter_objects().collect();
+                assert_eq!(a, b, "round={round}");
+            }
+        }
     }
 
     #[test]

@@ -1,258 +1,9 @@
-//! An appendable Fenwick (binary-indexed) tree over byte totals.
+//! Re-export of the shared Fenwick kernel.
 //!
-//! The oracle heap keys its indices by **global slot** — the position of
-//! an object in birth order over the whole run, assigned at insertion and
-//! never reused. Slots are append-only, so the tree supports `push`
-//! (extend by one slot in O(log n)) alongside the classic point-update /
-//! prefix-sum pair. All values are byte counts; a point update only ever
-//! removes what was previously added at that slot, so node partial sums
-//! never underflow.
+//! The appendable Fenwick tree the oracle and epoch heaps index with
+//! lives in `dtb_core::fenwick` (alongside the other branchless slot
+//! kernels) so the microbench crate and future heap backends can reach
+//! it; this module keeps the historical `crate::heap::fenwick` path for
+//! the heap internals.
 
-/// Fenwick tree over `u64` byte totals, indexed by 0-based slot.
-#[derive(Clone, Debug, Default)]
-pub(crate) struct Fenwick {
-    /// 1-based tree: `tree[i-1]` covers the slot range `(i - lowbit(i), i]`.
-    tree: Vec<u64>,
-    /// Sum of all slots, maintained eagerly for O(1) totals.
-    total: u64,
-}
-
-impl Fenwick {
-    /// An empty tree with room for `n` slots.
-    pub fn with_capacity(n: usize) -> Fenwick {
-        Fenwick {
-            tree: Vec::with_capacity(n),
-            total: 0,
-        }
-    }
-
-    /// Appends a new slot holding `value`, in O(log n).
-    ///
-    /// The new node at 1-based index `i` covers `(i - lowbit(i), i]`, so
-    /// its partial sum is `value` plus the sum of the already-present
-    /// slots in that range.
-    pub fn push(&mut self, value: u64) {
-        let i = self.tree.len() + 1; // 1-based index of the new slot
-        let lowbit = i & i.wrapping_neg();
-        let mut node = value;
-        if lowbit > 1 {
-            node += self.prefix(i - 1) - self.prefix(i - lowbit);
-        }
-        self.tree.push(node);
-        self.total += value;
-    }
-
-    /// Removes every slot, keeping the allocated capacity. The oracle
-    /// heap's dead-prefix compaction rebuilds the tree from the surviving
-    /// residents, so clearing must not release the buffer (the rebuild is
-    /// allocation-free by construction).
-    pub fn clear(&mut self) {
-        self.tree.clear();
-        self.total = 0;
-    }
-
-    /// Adds `delta` to the slot's value, in O(log n).
-    pub fn add(&mut self, slot: usize, delta: u64) {
-        let mut i = slot + 1;
-        while i <= self.tree.len() {
-            self.tree[i - 1] += delta;
-            i += i & i.wrapping_neg();
-        }
-        self.total += delta;
-    }
-
-    /// Subtracts `delta` from the slot's value, in O(log n).
-    ///
-    /// # Panics
-    ///
-    /// Underflows (and panics in debug builds) if `delta` exceeds what was
-    /// added at this slot — callers only ever remove bytes they recorded.
-    pub fn sub(&mut self, slot: usize, delta: u64) {
-        let mut i = slot + 1;
-        while i <= self.tree.len() {
-            self.tree[i - 1] -= delta;
-            i += i & i.wrapping_neg();
-        }
-        self.total -= delta;
-    }
-
-    /// Sum of the first `count` slots (slots `0 .. count`), in O(log n).
-    pub fn prefix(&self, count: usize) -> u64 {
-        let mut i = count.min(self.tree.len());
-        let mut sum = 0u64;
-        while i > 0 {
-            sum += self.tree[i - 1];
-            i -= i & i.wrapping_neg();
-        }
-        sum
-    }
-
-    /// Sum of the slots from `count` onward, in O(log n).
-    pub fn suffix(&self, count: usize) -> u64 {
-        self.total - self.prefix(count)
-    }
-
-    /// Sum of all slots, in O(1).
-    pub fn total(&self) -> u64 {
-        self.total
-    }
-
-    /// The largest count `c` with `prefix(c) <= target`, in O(log n) — a
-    /// single root-to-leaf descent (binary lifting), not a binary search
-    /// over O(log n) prefix sums.
-    ///
-    /// Because values are non-negative, `prefix` is non-decreasing, so the
-    /// counts satisfying the predicate form a prefix of `0..=len`. Two
-    /// derived queries the heap builds on:
-    ///
-    /// - smallest `c` with `prefix(c) >= k` (for `k >= 1`): this is
-    ///   `lower_bound(k - 1) + 1`;
-    /// - the slot index of the first nonzero value at or after a split
-    ///   with `prefix(split) == p`: this is `lower_bound(p)` (descending
-    ///   through the zero-valued slots costs nothing).
-    pub fn lower_bound(&self, target: u64) -> usize {
-        let n = self.tree.len();
-        let mut pos = 0usize;
-        let mut rem = target;
-        let mut step = n.next_power_of_two();
-        while step > 0 {
-            let next = pos + step;
-            // `pos` is a sum of strictly larger powers of two, so
-            // `lowbit(next) == step` and `tree[next - 1]` covers exactly
-            // `(pos, next]`.
-            if next <= n && self.tree[next - 1] <= rem {
-                rem -= self.tree[next - 1];
-                pos = next;
-            }
-            step >>= 1;
-        }
-        pos
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Reference model: a plain vector of slot values.
-    fn model_prefix(vals: &[u64], count: usize) -> u64 {
-        vals[..count.min(vals.len())].iter().sum()
-    }
-
-    #[test]
-    fn push_then_prefix_matches_model() {
-        let vals = [5u64, 0, 3, 12, 7, 0, 0, 9, 1, 4, 4, 2, 100];
-        let mut f = Fenwick::default();
-        for &v in &vals {
-            f.push(v);
-        }
-        for count in 0..=vals.len() + 2 {
-            assert_eq!(f.prefix(count), model_prefix(&vals, count), "count={count}");
-            assert_eq!(
-                f.suffix(count),
-                f.total() - model_prefix(&vals, count),
-                "count={count}"
-            );
-        }
-    }
-
-    #[test]
-    fn add_and_sub_update_points() {
-        let mut f = Fenwick::with_capacity(8);
-        for _ in 0..8 {
-            f.push(10);
-        }
-        f.add(3, 5);
-        f.sub(6, 10);
-        let vals = [10u64, 10, 10, 15, 10, 10, 0, 10];
-        for count in 0..=8 {
-            assert_eq!(f.prefix(count), model_prefix(&vals, count), "count={count}");
-        }
-        assert_eq!(f.total(), 75);
-    }
-
-    #[test]
-    fn interleaved_push_and_update() {
-        let mut f = Fenwick::default();
-        let mut vals: Vec<u64> = Vec::new();
-        for round in 0..50u64 {
-            f.push(round * 3);
-            vals.push(round * 3);
-            if round % 2 == 0 {
-                let slot = (round as usize) / 2;
-                f.add(slot, 7);
-                vals[slot] += 7;
-            }
-            if round % 5 == 0 && vals[round as usize] > 0 {
-                f.sub(round as usize, 1);
-                vals[round as usize] -= 1;
-            }
-            for count in [0, 1, vals.len() / 2, vals.len()] {
-                assert_eq!(f.prefix(count), model_prefix(&vals, count));
-            }
-        }
-        assert_eq!(f.total(), vals.iter().sum::<u64>());
-    }
-
-    /// Reference model for the descent: linear scan for the largest count
-    /// with prefix ≤ target.
-    fn model_lower_bound(vals: &[u64], target: u64) -> usize {
-        (0..=vals.len())
-            .rev()
-            .find(|&c| model_prefix(vals, c) <= target)
-            .unwrap()
-    }
-
-    #[test]
-    fn lower_bound_matches_model() {
-        // Zero runs, duplicates, and a large tail exercise the descent's
-        // tie-breaking (largest count wins ⇒ trailing zeros are included).
-        let vals = [0u64, 5, 0, 0, 3, 12, 0, 7, 0, 0, 9, 1, 4, 0, 100, 0];
-        let mut f = Fenwick::default();
-        for &v in &vals {
-            f.push(v);
-        }
-        let total: u64 = vals.iter().sum();
-        for target in 0..=total + 3 {
-            assert_eq!(
-                f.lower_bound(target),
-                model_lower_bound(&vals, target),
-                "target={target}"
-            );
-        }
-    }
-
-    #[test]
-    fn lower_bound_after_updates() {
-        let mut f = Fenwick::default();
-        let mut vals: Vec<u64> = Vec::new();
-        for i in 0..37u64 {
-            f.push(i % 7);
-            vals.push(i % 7);
-        }
-        f.sub(5, vals[5]);
-        vals[5] = 0;
-        f.add(20, 13);
-        vals[20] += 13;
-        let total: u64 = vals.iter().sum();
-        for target in (0..=total + 2).step_by(3) {
-            assert_eq!(f.lower_bound(target), model_lower_bound(&vals, target));
-        }
-    }
-
-    #[test]
-    fn lower_bound_on_empty_tree_is_zero() {
-        let f = Fenwick::default();
-        assert_eq!(f.lower_bound(0), 0);
-        assert_eq!(f.lower_bound(u64::MAX), 0);
-    }
-
-    #[test]
-    fn empty_tree_sums_to_zero() {
-        let f = Fenwick::default();
-        assert_eq!(f.prefix(0), 0);
-        assert_eq!(f.prefix(10), 0);
-        assert_eq!(f.suffix(0), 0);
-        assert_eq!(f.total(), 0);
-    }
-}
+pub(crate) use dtb_core::fenwick::{Fenwick, PairedFenwick};

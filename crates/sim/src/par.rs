@@ -87,9 +87,7 @@ struct EpochState {
 /// Builds one epoch's partial index. This is the work that fans out.
 fn prepare_epoch(records: Vec<ObjectLife>) -> EpochState {
     let mut live = Fenwick::with_capacity(records.len());
-    for r in &records {
-        live.push(r.size as u64);
-    }
+    live.extend(records.iter().map(|r| r.size as u64));
     let mut death_order: Vec<(VirtualTime, u32)> = records
         .iter()
         .enumerate()
@@ -140,6 +138,14 @@ pub(crate) struct EpochHeap {
     dead: u64,
     /// Objects occupying memory (inserted minus reclaimed).
     resident: usize,
+    /// Reusable epoch batch for the aggregate-tree updates in
+    /// [`EpochHeap::advance_clock`]: consecutive deaths usually land in
+    /// the same epoch, so the run-length-merged batch turns per-death
+    /// tree walks into one [`Fenwick::add_many`]/[`Fenwick::sub_many`]
+    /// pair.
+    scratch_epochs: Vec<u32>,
+    /// Byte deltas paired with `scratch_epochs`.
+    scratch_deltas: Vec<u64>,
     /// Query-time high-water mark, as in the serial heap.
     clock: VirtualTime,
 }
@@ -157,6 +163,8 @@ impl EpochHeap {
             mem: 0,
             dead: 0,
             resident: 0,
+            scratch_epochs: Vec::new(),
+            scratch_deltas: Vec::new(),
             clock: VirtualTime::ZERO,
         }
     }
@@ -181,6 +189,11 @@ impl EpochHeap {
             return;
         }
         self.clock = now;
+        // Per-death work stays in the boundary epoch's own tree; the
+        // epoch-level aggregate moves are accumulated (run-length merged
+        // over the usually-consecutive epochs) and applied as one batch.
+        self.scratch_epochs.clear();
+        self.scratch_deltas.clear();
         while let Some(&Reverse((d, e))) = self.next_death.peek() {
             if d > now {
                 break;
@@ -197,9 +210,19 @@ impl EpochHeap {
             if let Some(&(d2, _)) = ep.death_order.get(ep.cursor) {
                 self.next_death.push(Reverse((d2, e as u32)));
             }
-            self.epoch_live.sub(e, size);
-            self.epoch_dead.add(e, size);
+            if self.scratch_epochs.last() == Some(&(e as u32)) {
+                *self.scratch_deltas.last_mut().expect("paired batch") += size;
+            } else {
+                self.scratch_epochs.push(e as u32);
+                self.scratch_deltas.push(size);
+            }
             self.dead += size;
+        }
+        if !self.scratch_epochs.is_empty() {
+            self.epoch_live
+                .sub_many(&self.scratch_epochs, &self.scratch_deltas);
+            self.epoch_dead
+                .add_many(&self.scratch_epochs, &self.scratch_deltas);
         }
     }
 

@@ -1,0 +1,384 @@
+//! Differential testing for the block-structured drive loop: a run at
+//! *any* block size must be **bit-identical** to the per-event reference
+//! (`block_events(1)`, which routes every event through the exact
+//! per-event body) — reports, scavenge histories, memory curves, and
+//! typed error paths alike.
+//!
+//! Coverage:
+//!
+//! * all six policies over in-memory, sharded on-disk, and synthetic
+//!   sources, at block sizes chosen to straddle scavenge triggers (a
+//!   trigger firing mid-block forces the segmented fast path to stop
+//!   exactly where the per-event path scavenges);
+//! * a trigger dense enough to fire many times inside one block;
+//! * checkpointing runs whose cadence never aligns with block
+//!   boundaries, including a resume leg;
+//! * typed errors — watchdog budgets, malformed trace shapes, and shard
+//!   corruption — which must surface with identical payloads and clocks.
+
+use dtb_core::policy::{PolicyConfig, PolicyKind};
+use dtb_core::time::Bytes;
+use dtb_sim::engine::{RunControl, Sim, SimBudget, SimConfig, SimRun};
+use dtb_sim::trigger::Trigger;
+use dtb_sim::{load_checkpoint, SimError};
+use dtb_trace::event::CompiledTrace;
+use dtb_trace::lifetime::{LifetimeDist, SizeDist};
+use dtb_trace::{
+    ctc, ClassSpec, CompiledSource, EventSource, ObjectId, ShardReader, SynthSource, TraceBuilder,
+    WorkloadSpec,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Block sizes that deliberately misalign with everything: odd sizes
+/// smaller than the events-per-trigger period, and one larger than most
+/// whole traces.
+const BLOCKS: &[usize] = &[3, 17, 1024];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("dtb-block-diff-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One allocation step: object size plus an optional death, scheduled
+/// `die_after` allocation events later (0 = dies immediately).
+type Op = (u32, Option<u8>);
+
+fn compile_ops(ops: &[Op]) -> CompiledTrace {
+    let mut b = TraceBuilder::new("block-differential");
+    b.exec_seconds(1.0);
+    let mut due: Vec<(usize, ObjectId)> = Vec::new();
+    for (i, &(size, die_after)) in ops.iter().enumerate() {
+        let id = b.alloc(size);
+        if let Some(k) = die_after {
+            due.push((i + k as usize, id));
+        }
+        let mut j = 0;
+        while j < due.len() {
+            if due[j].0 <= i {
+                let (_, dead) = due.swap_remove(j);
+                b.free(dead);
+            } else {
+                j += 1;
+            }
+        }
+    }
+    b.finish().compile().expect("builder traces are valid")
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((1u32..=60_000, prop::option::of(0u8..=30)), 1..400)
+}
+
+fn run_at(
+    source: &mut (impl EventSource + ?Sized),
+    kind: PolicyKind,
+    config: &SimConfig,
+    block: usize,
+) -> Result<SimRun, SimError> {
+    let mut policy = kind.build(&PolicyConfig::paper());
+    Sim::new(*config)
+        .block_events(block)
+        .run(source, &mut policy)
+}
+
+/// Both runs succeeded identically, or both failed identically.
+fn assert_same(
+    kind: PolicyKind,
+    block: usize,
+    reference: &Result<SimRun, SimError>,
+    blocked: &Result<SimRun, SimError>,
+) -> Result<(), TestCaseError> {
+    match (reference, blocked) {
+        (Ok(r), Ok(b)) => {
+            prop_assert_eq!(
+                &r.report.history,
+                &b.report.history,
+                "{} block {}: scavenge histories diverge",
+                kind,
+                block
+            );
+            prop_assert_eq!(
+                &r.report,
+                &b.report,
+                "{} block {}: reports diverge",
+                kind,
+                block
+            );
+            prop_assert_eq!(
+                &r.curve,
+                &b.curve,
+                "{} block {}: curves diverge",
+                kind,
+                block
+            );
+        }
+        (Err(r), Err(b)) => {
+            prop_assert_eq!(
+                format!("{r:?}"),
+                format!("{b:?}"),
+                "{} block {}: errors diverge",
+                kind,
+                block
+            );
+        }
+        (r, b) => prop_assert!(
+            false,
+            "{} block {}: outcomes diverge: reference={:?} blocked={:?}",
+            kind,
+            block,
+            r.as_ref().err(),
+            b.as_ref().err()
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// In-memory and sharded sources: every block size reproduces the
+    /// per-event reference for all six policies.
+    #[test]
+    fn blocked_runs_match_per_event_reference(ops in ops()) {
+        let trace = compile_ops(&ops);
+        let config = SimConfig::paper().with_curve().with_invariant_checks(true);
+        let dir = temp_dir("prop");
+        ctc::write_shards(&dir, &trace, 16).expect("write store");
+        for kind in PolicyKind::ALL {
+            let reference = run_at(&mut CompiledSource::new(&trace), kind, &config, 1);
+            for &block in BLOCKS {
+                let resident = run_at(&mut CompiledSource::new(&trace), kind, &config, block);
+                assert_same(kind, block, &reference, &resident)?;
+                let mut sharded = ShardReader::open(&dir).expect("open store");
+                let streamed = run_at(&mut sharded, kind, &config, block);
+                assert_same(kind, block, &reference, &streamed)?;
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Synthetic sources: the generator's own block path (lookahead
+    /// record, stride checkpoints) reproduces the reference too.
+    #[test]
+    fn blocked_synth_runs_match_per_event_reference(seed in 0u64..1_000) {
+        let spec = WorkloadSpec {
+            name: "block-diff-synth".into(),
+            description: String::new(),
+            exec_seconds: 1.0,
+            total_alloc: 3_000_000,
+            initial_permanent: 50_000,
+            initial_object_size: 512,
+            classes: vec![
+                ClassSpec::new(
+                    "short",
+                    0.7,
+                    SizeDist::Uniform { min: 16, max: 4_096 },
+                    LifetimeDist::Exponential { mean: 200_000.0 },
+                ),
+                ClassSpec::new("immortal", 0.3, SizeDist::Fixed(256), LifetimeDist::Immortal),
+            ],
+            phase_period: None,
+            seed,
+        };
+        let config = SimConfig::paper().with_curve().with_invariant_checks(true);
+        for kind in PolicyKind::ALL {
+            let reference = run_at(
+                &mut SynthSource::new(spec.clone()).unwrap(),
+                kind,
+                &config,
+                1,
+            );
+            for &block in BLOCKS {
+                let blocked = run_at(
+                    &mut SynthSource::new(spec.clone()).unwrap(),
+                    kind,
+                    &config,
+                    block,
+                );
+                assert_same(kind, block, &reference, &blocked)?;
+            }
+        }
+    }
+}
+
+/// A trigger dense enough to fire every ~5 events: blocks of every size
+/// straddle many scavenges, so nearly every segment ends on a trigger.
+#[test]
+fn trigger_denser_than_any_block_still_matches() {
+    let mut b = TraceBuilder::new("dense-trigger");
+    b.exec_seconds(1.0);
+    let mut ids = Vec::new();
+    for i in 0..2_000 {
+        ids.push(b.alloc(10_000));
+        if i % 3 == 0 {
+            if let Some(id) = ids.pop() {
+                b.free(id);
+            }
+        }
+    }
+    let trace = b.finish().compile().unwrap();
+    let config = SimConfig {
+        trigger: Trigger::Allocation(Bytes::new(50_000)),
+        ..SimConfig::paper()
+    }
+    .with_curve()
+    .with_invariant_checks(true);
+    for kind in PolicyKind::ALL {
+        let reference = run_at(&mut CompiledSource::new(&trace), kind, &config, 1)
+            .expect("reference run succeeds");
+        assert!(
+            reference.report.collections > 300,
+            "the trigger must fire many times per block"
+        );
+        for &block in BLOCKS {
+            let blocked = run_at(&mut CompiledSource::new(&trace), kind, &config, block)
+                .expect("blocked run succeeds");
+            assert_eq!(reference, blocked, "{kind} block {block}");
+        }
+    }
+}
+
+/// Checkpoint cadence misaligned with the block size: the blocked run
+/// must write checkpoints at exactly the same events with exactly the
+/// same state, and a run resumed from a blocked checkpoint must finish
+/// identically to the straight reference.
+#[test]
+fn checkpoint_cadence_survives_blocking_and_resume() {
+    let trace = {
+        let mut b = TraceBuilder::new("ckp-blocks");
+        b.exec_seconds(1.0);
+        let mut ids = Vec::new();
+        for i in 0..3_000 {
+            ids.push(b.alloc(5_000));
+            if i % 2 == 0 {
+                if let Some(id) = ids.pop() {
+                    b.free(id);
+                }
+            }
+        }
+        b.finish().compile().unwrap()
+    };
+    let dir = temp_dir("ckp");
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = SimConfig::paper().with_curve().with_invariant_checks(true);
+    let kind = PolicyKind::DtbFm;
+
+    let ref_path = dir.join("reference.ckp");
+    let reference = {
+        let mut policy = kind.build(&PolicyConfig::paper());
+        Sim::new(config)
+            .block_events(1)
+            .control(RunControl::new().with_checkpoints(&ref_path, 97))
+            .run(&mut CompiledSource::new(&trace), &mut policy)
+            .expect("reference run")
+    };
+
+    let blk_path = dir.join("blocked.ckp");
+    let blocked = {
+        let mut policy = kind.build(&PolicyConfig::paper());
+        Sim::new(config)
+            .block_events(64)
+            .control(RunControl::new().with_checkpoints(&blk_path, 97))
+            .run(&mut CompiledSource::new(&trace), &mut policy)
+            .expect("blocked run")
+    };
+    assert_eq!(reference, blocked);
+
+    // Both legs' final checkpoints sit on the same event boundary with
+    // the same engine-visible state.
+    let ref_ckp = load_checkpoint(&ref_path).expect("reference checkpoint");
+    let blk_ckp = load_checkpoint(&blk_path).expect("blocked checkpoint");
+    assert_eq!(ref_ckp.events, blk_ckp.events);
+    assert_eq!(ref_ckp.events % 97, 0);
+    assert_eq!(ref_ckp.clock, blk_ckp.clock);
+    assert_eq!(ref_ckp.allocated, blk_ckp.allocated);
+    assert_eq!(ref_ckp.reclaimed, blk_ckp.reclaimed);
+    assert_eq!(ref_ckp.since_gc, blk_ckp.since_gc);
+    assert_eq!(ref_ckp.metrics, blk_ckp.metrics);
+
+    // A budget-interrupted blocked run resumed from its checkpoint
+    // finishes bit-identically to the straight reference.
+    let int_path = dir.join("interrupted.ckp");
+    let interrupted = {
+        let mut policy = kind.build(&PolicyConfig::paper());
+        Sim::new(config.with_budget(SimBudget::events(1_500)))
+            .block_events(64)
+            .control(RunControl::new().with_checkpoints(&int_path, 97))
+            .run(&mut CompiledSource::new(&trace), &mut policy)
+    };
+    assert!(matches!(interrupted, Err(SimError::BudgetExceeded { .. })));
+    let ckp = load_checkpoint(&int_path).expect("interrupt checkpoint");
+    let resumed = {
+        let mut policy = kind.build(&PolicyConfig::paper());
+        Sim::new(config)
+            .block_events(64)
+            .control(RunControl::new().resuming(ckp))
+            .run(&mut CompiledSource::new(&trace), &mut policy)
+            .expect("resumed run")
+    };
+    assert_eq!(reference, resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Typed error paths surface identically at every block size: watchdog
+/// budgets, malformed trace shapes, and shard corruption.
+#[test]
+fn typed_errors_match_the_reference_at_every_block_size() {
+    let trace = {
+        let mut b = TraceBuilder::new("errors");
+        b.exec_seconds(1.0);
+        for _ in 0..600 {
+            let id = b.alloc(10_000);
+            b.free(id);
+        }
+        b.finish().compile().unwrap()
+    };
+    let config = SimConfig::paper().with_invariant_checks(true);
+    let kind = PolicyKind::Full;
+
+    // Event budget trips mid-stream with the same clock.
+    let budgeted = config.with_budget(SimBudget::events(137));
+    let reference = run_at(&mut CompiledSource::new(&trace), kind, &budgeted, 1).unwrap_err();
+    for &block in BLOCKS {
+        let blocked = run_at(&mut CompiledSource::new(&trace), kind, &budgeted, block).unwrap_err();
+        assert_eq!(reference, blocked, "budget error at block {block}");
+    }
+
+    // Malformed shapes: reversed births and death-before-birth.
+    for bad in [
+        dtb_trace::corrupt::reversed_births(&trace),
+        dtb_trace::corrupt::death_before_birth(&trace, 41),
+    ] {
+        let reference = run_at(&mut CompiledSource::new(&bad), kind, &config, 1).unwrap_err();
+        for &block in BLOCKS {
+            let blocked = run_at(&mut CompiledSource::new(&bad), kind, &config, block).unwrap_err();
+            assert_eq!(reference, blocked, "shape error at block {block}");
+        }
+    }
+
+    // Shard corruption: the same typed source error at the same clock.
+    let dir = temp_dir("corrupt");
+    ctc::write_shards(&dir, &trace, 64).unwrap();
+    let shard = dir.join("shard-00001.dtbctc");
+    let mut raw = std::fs::read(&shard).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x20;
+    std::fs::write(&shard, raw).unwrap();
+    let reference = run_at(&mut ShardReader::open(&dir).unwrap(), kind, &config, 1).unwrap_err();
+    assert!(matches!(reference, SimError::Source { .. }));
+    for &block in BLOCKS {
+        let blocked =
+            run_at(&mut ShardReader::open(&dir).unwrap(), kind, &config, block).unwrap_err();
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{blocked:?}"),
+            "corruption error at block {block}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -35,12 +35,14 @@
 use crate::event::{ObjectId, ObjectLife, TraceError, TraceMeta};
 use crate::format::FormatError;
 use crate::io::{TraceEventReader, TraceIoError};
-use crate::source::{EventSource, SourceError};
+use crate::source::{EventBlock, EventSource, SourceError};
 use dtb_core::time::VirtualTime;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::SystemTime;
 
 /// Magic bytes identifying a compiled-trace store file (format version 1).
 pub const MAGIC: &[u8; 8] = b"DTBCTC01";
@@ -53,6 +55,9 @@ const KIND_SHARD: u8 = 1;
 
 /// Bytes per record: id (8) + birth (8) + size (4) + death (8).
 const RECORD_BYTES: usize = 28;
+
+/// Shard file header bytes: magic (8) + kind (1) + index (4) + stride (8).
+const HEADER_BYTES: usize = 8 + 1 + 4 + 8;
 
 /// Death-time sentinel for objects that live to trace end.
 const NO_DEATH: u64 = u64::MAX;
@@ -833,6 +838,34 @@ fn check_shard(
     Ok(())
 }
 
+/// Identity of one *generation* of a shard file: a re-open only hits the
+/// verified-shard memo when the path, file length, modification time and
+/// manifest checksum all match the generation that was hashed. Any
+/// rewrite bumps the length or mtime and forces re-verification.
+#[derive(PartialEq, Eq, Hash)]
+struct VerifiedKey {
+    path: PathBuf,
+    len: u64,
+    modified: Option<SystemTime>,
+    checksum: u64,
+}
+
+static VERIFIED_SHARDS: OnceLock<Mutex<HashSet<VerifiedKey>>> = OnceLock::new();
+
+fn verified_shards() -> &'static Mutex<HashSet<VerifiedKey>> {
+    VERIFIED_SHARDS.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+fn verified_key(path: &Path, checksum: u64) -> Option<VerifiedKey> {
+    let md = std::fs::metadata(path).ok()?;
+    Some(VerifiedKey {
+        path: path.to_path_buf(),
+        len: md.len(),
+        modified: md.modified().ok(),
+        checksum,
+    })
+}
+
 #[derive(Debug)]
 struct ShardCursor {
     reader: BufReader<File>,
@@ -841,6 +874,9 @@ struct ShardCursor {
     records: u64,
     read: u64,
     fnv: u64,
+    /// This shard generation already passed checksum verification in this
+    /// process: skip FNV accumulation and the trailer check.
+    verified: bool,
 }
 
 /// Chunked [`EventSource`] over an on-disk compiled-trace store.
@@ -859,6 +895,12 @@ pub struct ShardReader {
     /// the target clock overshoots by one record, which is stashed here
     /// and returned by the next `next_record` call.
     peeked: Option<ObjectLife>,
+    /// Reusable chunk buffer for [`EventSource::next_block`]: one read
+    /// and one FNV pass per chunk instead of per record.
+    buf: Vec<u8>,
+    /// Full checksum verifications performed by *this* reader — see
+    /// [`ShardReader::checksum_validations`].
+    validations: u64,
 }
 
 impl ShardReader {
@@ -879,12 +921,24 @@ impl ShardReader {
             consumed: 0,
             current: None,
             peeked: None,
+            buf: Vec::new(),
+            validations: 0,
         })
     }
 
     /// The verified manifest.
     pub fn manifest(&self) -> &ShardManifest {
         &self.manifest
+    }
+
+    /// Number of full shard checksum verifications this reader has
+    /// performed. Shard checksums are memoized process-wide per (path,
+    /// length, mtime, checksum) generation: once any reader verifies a
+    /// shard, later read-throughs of the same generation skip the FNV
+    /// accumulation and trailer check entirely and leave this counter
+    /// untouched. [`verify_store`] never consults the memo.
+    pub fn checksum_validations(&self) -> u64 {
+        self.validations
     }
 
     /// Birth of the first record of shard `i`, probed by reading just
@@ -935,6 +989,8 @@ impl ShardReader {
                 found: found_stride,
             });
         }
+        let verified = verified_key(&path, self.manifest.shards[i].checksum)
+            .is_some_and(|key| verified_shards().lock().expect("memo lock").contains(&key));
         self.current = Some(ShardCursor {
             reader,
             path,
@@ -942,8 +998,41 @@ impl ShardReader {
             records: self.manifest.shards[i].records,
             read: 0,
             fnv: FNV_OFFSET,
+            verified,
         });
         self.next_shard += 1;
+        Ok(())
+    }
+
+    /// Closes the exhausted current shard, verifying its trailer checksum
+    /// against both the accumulated FNV and the manifest — unless this
+    /// shard generation already verified, in which case both the trailer
+    /// read and the comparison are skipped.
+    fn finish_shard(&mut self) -> Result<(), SourceError> {
+        let mut cur = self.current.take().expect("only called with an open shard");
+        debug_assert!(cur.read >= cur.records, "shard not exhausted");
+        if cur.verified {
+            return Ok(());
+        }
+        let mut trailer = [0u8; 8];
+        read_exact_ctc(&mut cur.reader, &mut trailer, &cur.path)?;
+        let recorded = u64::from_le_bytes(trailer);
+        let expected = self.manifest.shards[cur.shard_index].checksum;
+        if recorded != cur.fnv || expected != cur.fnv {
+            return Err(SourceError::Shard(CtcError::ChecksumMismatch {
+                path: cur.path.clone(),
+                expected: if recorded != cur.fnv {
+                    recorded
+                } else {
+                    expected
+                },
+                found: cur.fnv,
+            }));
+        }
+        self.validations += 1;
+        if let Some(key) = verified_key(&cur.path, expected) {
+            verified_shards().lock().expect("memo lock").insert(key);
+        }
         Ok(())
     }
 }
@@ -974,68 +1063,149 @@ impl EventSource for ShardReader {
             return Ok(Some(life));
         }
         loop {
-            if let Some(cur) = &mut self.current {
-                if cur.read < cur.records {
-                    let mut raw = [0u8; RECORD_BYTES];
-                    read_exact_ctc(&mut cur.reader, &mut raw, &cur.path)?;
-                    cur.fnv = fnv1a(cur.fnv, &raw);
-                    cur.read += 1;
-                    let index = self.consumed;
-                    self.consumed += 1;
-                    let id = u64::from_le_bytes(raw[0..8].try_into().expect("8 bytes"));
-                    let birth = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
-                    let size = u32::from_le_bytes(raw[16..20].try_into().expect("4 bytes"));
-                    let death = u64::from_le_bytes(raw[20..28].try_into().expect("8 bytes"));
-                    let bad = |reason| {
-                        SourceError::Shard(CtcError::BadRecord {
-                            path: cur.path.clone(),
-                            index,
-                            reason,
-                        })
-                    };
-                    if size == 0 {
-                        return Err(bad("object has zero size"));
-                    }
-                    let death = if death == NO_DEATH {
-                        None
-                    } else {
-                        if death < birth {
-                            return Err(bad("object dies before it is born"));
-                        }
-                        Some(VirtualTime::from_bytes(death))
-                    };
-                    return Ok(Some(ObjectLife {
-                        id: ObjectId(id),
-                        birth: VirtualTime::from_bytes(birth),
-                        size,
-                        death,
-                    }));
+            if self.current.is_none() {
+                if self.next_shard >= self.manifest.shards.len() {
+                    return Ok(None);
                 }
-                // Shard exhausted: verify its trailer checksum against both
-                // the bytes just read and the manifest's record.
-                let mut trailer = [0u8; 8];
-                read_exact_ctc(&mut cur.reader, &mut trailer, &cur.path)?;
-                let recorded = u64::from_le_bytes(trailer);
-                let expected = self.manifest.shards[cur.shard_index].checksum;
-                if recorded != cur.fnv || expected != cur.fnv {
-                    return Err(SourceError::Shard(CtcError::ChecksumMismatch {
-                        path: cur.path.clone(),
-                        expected: if recorded != cur.fnv {
-                            recorded
-                        } else {
-                            expected
-                        },
-                        found: cur.fnv,
-                    }));
-                }
-                self.current = None;
+                self.open_shard()?;
+            }
+            let cur = self.current.as_mut().expect("opened above");
+            if cur.read >= cur.records {
+                // Shard exhausted: verify its trailer checksum against
+                // both the bytes just read and the manifest's record.
+                self.finish_shard()?;
                 continue;
             }
-            if self.next_shard >= self.manifest.shards.len() {
-                return Ok(None);
+            let mut raw = [0u8; RECORD_BYTES];
+            read_exact_ctc(&mut cur.reader, &mut raw, &cur.path)?;
+            if !cur.verified {
+                cur.fnv = fnv1a(cur.fnv, &raw);
             }
-            self.open_shard()?;
+            cur.read += 1;
+            let index = self.consumed;
+            self.consumed += 1;
+            let id = u64::from_le_bytes(raw[0..8].try_into().expect("8 bytes"));
+            let birth = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
+            let size = u32::from_le_bytes(raw[16..20].try_into().expect("4 bytes"));
+            let death = u64::from_le_bytes(raw[20..28].try_into().expect("8 bytes"));
+            let bad = |reason| {
+                SourceError::Shard(CtcError::BadRecord {
+                    path: cur.path.clone(),
+                    index,
+                    reason,
+                })
+            };
+            if size == 0 {
+                return Err(bad("object has zero size"));
+            }
+            let death = if death == NO_DEATH {
+                None
+            } else {
+                if death < birth {
+                    return Err(bad("object dies before it is born"));
+                }
+                Some(VirtualTime::from_bytes(death))
+            };
+            return Ok(Some(ObjectLife {
+                id: ObjectId(id),
+                birth: VirtualTime::from_bytes(birth),
+                size,
+                death,
+            }));
         }
+    }
+
+    fn next_block(&mut self, block: &mut EventBlock) -> usize {
+        block.clear();
+        if let Some(life) = self.peeked.take() {
+            block.push(life);
+        }
+        while block.len() < block.capacity() {
+            if self.current.is_none() {
+                if self.next_shard >= self.manifest.shards.len() {
+                    break;
+                }
+                if let Err(e) = self.open_shard() {
+                    block.set_error(SourceError::Shard(e));
+                    break;
+                }
+            }
+            let cur = self.current.as_mut().expect("opened above");
+            if cur.read >= cur.records {
+                if let Err(e) = self.finish_shard() {
+                    block.set_error(e);
+                    break;
+                }
+                continue;
+            }
+            // One read and (when unverified) one FNV pass for the whole
+            // chunk — the shard remainder or the block remainder,
+            // whichever is smaller.
+            let want = (block.capacity() - block.len()).min((cur.records - cur.read) as usize);
+            self.buf.resize(want * RECORD_BYTES, 0);
+            if cur.reader.read_exact(&mut self.buf).is_err() {
+                // A failed chunk read leaves the cursor at an unspecified
+                // position: rewind to the chunk start and replay record by
+                // record so the typed error — and every good record before
+                // it — is identical to the per-record path.
+                let at = HEADER_BYTES as u64 + cur.read * RECORD_BYTES as u64;
+                if let Err(e) = cur.reader.seek(SeekFrom::Start(at)) {
+                    let path = cur.path.clone();
+                    block.set_error(SourceError::Shard(io_err(&path, e)));
+                    break;
+                }
+                while block.len() < block.capacity() {
+                    match self.next_record() {
+                        Ok(Some(life)) => block.push(life),
+                        Ok(None) => break,
+                        Err(e) => {
+                            block.set_error(e);
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            if !cur.verified {
+                cur.fnv = fnv1a(cur.fnv, &self.buf);
+            }
+            for raw in self.buf.chunks_exact(RECORD_BYTES) {
+                cur.read += 1;
+                let index = self.consumed;
+                self.consumed += 1;
+                let id = u64::from_le_bytes(raw[0..8].try_into().expect("8 bytes"));
+                let birth = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
+                let size = u32::from_le_bytes(raw[16..20].try_into().expect("4 bytes"));
+                let death = u64::from_le_bytes(raw[20..28].try_into().expect("8 bytes"));
+                let bad = |reason| {
+                    SourceError::Shard(CtcError::BadRecord {
+                        path: cur.path.clone(),
+                        index,
+                        reason,
+                    })
+                };
+                if size == 0 {
+                    block.set_error(bad("object has zero size"));
+                    return block.len();
+                }
+                let death = if death == NO_DEATH {
+                    None
+                } else {
+                    if death < birth {
+                        block.set_error(bad("object dies before it is born"));
+                        return block.len();
+                    }
+                    Some(VirtualTime::from_bytes(death))
+                };
+                block.push(ObjectLife {
+                    id: ObjectId(id),
+                    birth: VirtualTime::from_bytes(birth),
+                    size,
+                    death,
+                });
+            }
+        }
+        block.len()
     }
 
     fn end(&self) -> VirtualTime {
@@ -1180,6 +1350,176 @@ mod tests {
     }
 
     #[test]
+    fn next_block_matches_next_record_across_strides_and_capacities() {
+        let trace = sample_trace(157);
+        for stride in [1u64, 7, 64, u64::MAX] {
+            let dir = temp_dir(&format!("blk{stride}"));
+            write_shards(&dir, &trace, stride).unwrap();
+            let expected: Vec<_> = trace.lives().collect();
+            for cap in [1usize, 3, 7, 100, 4096] {
+                let mut reader = ShardReader::open(&dir).unwrap();
+                let mut block = EventBlock::new(cap);
+                let mut got = Vec::new();
+                loop {
+                    let n = reader.next_block(&mut block);
+                    assert!(block.take_error().is_none());
+                    if n == 0 {
+                        break;
+                    }
+                    for i in 0..n {
+                        got.push(block.life(i));
+                    }
+                }
+                assert_eq!(got, expected, "stride {stride} capacity {cap}");
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn next_block_after_seek_surfaces_the_lookahead_first() {
+        let trace = sample_trace(120);
+        let dir = temp_dir("blkseek");
+        write_shards(&dir, &trace, 16).unwrap();
+        let clock = VirtualTime::from_bytes(trace.births()[60]);
+        let mut reader = ShardReader::open(&dir).unwrap();
+        reader.seek(clock).unwrap();
+        let mut block = EventBlock::new(32);
+        let mut got = Vec::new();
+        loop {
+            let n = reader.next_block(&mut block);
+            assert!(block.take_error().is_none());
+            if n == 0 {
+                break;
+            }
+            for i in 0..n {
+                got.push(block.life(i));
+            }
+        }
+        let expected: Vec<_> = trace.lives().filter(|l| l.birth > clock).collect();
+        assert_eq!(got, expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_a_store_skips_checksum_re_verification() {
+        let trace = sample_trace(90);
+        let dir = temp_dir("memo");
+        let manifest = write_shards(&dir, &trace, 16).unwrap();
+        let shard_count = manifest.shards.len() as u64;
+        assert!(shard_count >= 2);
+        // First full read-through hashes every shard once.
+        let mut first = ShardReader::open(&dir).unwrap();
+        assert_eq!(collect_source(&mut first).unwrap(), trace);
+        assert_eq!(first.checksum_validations(), shard_count);
+        // The same generation re-opened: every shard hits the memo.
+        let mut second = ShardReader::open(&dir).unwrap();
+        assert_eq!(collect_source(&mut second).unwrap(), trace);
+        assert_eq!(second.checksum_validations(), 0);
+        // Block reads hit the memo too.
+        let mut blocked = ShardReader::open(&dir).unwrap();
+        let mut block = EventBlock::new(64);
+        while blocked.next_block(&mut block) > 0 {
+            assert!(block.take_error().is_none());
+        }
+        assert_eq!(blocked.checksum_validations(), 0);
+        // Rewriting the store is a new generation: verification resumes.
+        // (Sleep past coarse filesystem mtime granularity so the rewrite
+        // cannot collide with the memoized generation key.)
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        write_shards(&dir, &trace, 16).unwrap();
+        let mut reread = ShardReader::open(&dir).unwrap();
+        assert_eq!(collect_source(&mut reread).unwrap(), trace);
+        assert!(
+            reread.checksum_validations() >= 1,
+            "rewritten shards must be re-verified"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shard_read_via_blocks_defers_the_same_error() {
+        let trace = sample_trace(50);
+        let dir = temp_dir("blkflip");
+        write_shards(&dir, &trace, 16).unwrap();
+        let path = shard_path(&dir, 1);
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40;
+        std::fs::write(&path, raw).unwrap();
+        // Per-record reference: where does the stream fail, and after how
+        // many good records?
+        let mut reference = ShardReader::open(&dir).unwrap();
+        let mut good = Vec::new();
+        let expected_err = loop {
+            match reference.next_record() {
+                Ok(Some(l)) => good.push(l),
+                Ok(None) => panic!("corruption must surface"),
+                Err(e) => break e,
+            }
+        };
+        // Block path: same records, then the same typed error, deferred.
+        let mut blocked = ShardReader::open(&dir).unwrap();
+        let mut block = EventBlock::new(33);
+        let mut got = Vec::new();
+        let got_err = 'outer: loop {
+            let n = blocked.next_block(&mut block);
+            for i in 0..n {
+                got.push(block.life(i));
+            }
+            if let Some(e) = block.take_error() {
+                break 'outer e;
+            }
+            assert!(n > 0, "stream ended without surfacing corruption");
+        };
+        assert_eq!(got, good);
+        assert_eq!(format!("{got_err:?}"), format!("{expected_err:?}"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_shard_read_via_blocks_matches_per_record_position() {
+        let trace = sample_trace(40);
+        let dir = temp_dir("blktrunc");
+        write_shards(&dir, &trace, 64).unwrap();
+        let path = shard_path(&dir, 0);
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 12]).unwrap();
+        let mut reference = ShardReader::open(&dir).unwrap();
+        let mut good = Vec::new();
+        let expected_err = loop {
+            match reference.next_record() {
+                Ok(Some(l)) => good.push(l),
+                Ok(None) => panic!("truncation must surface"),
+                Err(e) => break e,
+            }
+        };
+        let mut blocked = ShardReader::open(&dir).unwrap();
+        let mut block = EventBlock::new(1024);
+        let mut got = Vec::new();
+        let got_err = loop {
+            let n = blocked.next_block(&mut block);
+            for i in 0..n {
+                got.push(block.life(i));
+            }
+            if let Some(e) = block.take_error() {
+                break e;
+            }
+            assert!(n > 0, "stream ended without surfacing truncation");
+        };
+        assert_eq!(got, good, "good prefix before the truncation point");
+        assert!(matches!(
+            got_err,
+            SourceError::Shard(CtcError::Truncated { .. })
+        ));
+        assert!(matches!(
+            expected_err,
+            SourceError::Shard(CtcError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn corrupt_shard_byte_is_a_checksum_error() {
         let trace = sample_trace(50);
         let dir = temp_dir("flip");
@@ -1283,7 +1623,7 @@ mod tests {
         let dir = temp_dir("seek");
         write_shards(&dir, &trace, 16).unwrap();
         let all: Vec<_> = trace.lives().collect();
-        let births: Vec<u64> = trace.births().iter().map(|b| b.as_u64()).collect();
+        let births: Vec<u64> = trace.births().to_vec();
         let probes = [
             0,
             births[0] - 1,

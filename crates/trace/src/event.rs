@@ -138,18 +138,18 @@ impl Trace {
                         return Err(TraceError::DuplicateAlloc { id, pos });
                     }
                     out.ids.push(id);
-                    out.births.push(clock);
+                    out.births.push(clock.as_u64());
                     out.sizes.push(size);
-                    out.deaths.push(None);
+                    out.deaths.push(CompiledTrace::NO_DEATH);
                 }
                 Event::Free { id } => {
                     let Some(&slot) = index.get(&id) else {
                         return Err(TraceError::FreeWithoutAlloc { id, pos });
                     };
-                    if out.deaths[slot].is_some() {
+                    if out.deaths[slot] != CompiledTrace::NO_DEATH {
                         return Err(TraceError::DoubleFree { id, pos });
                     }
-                    out.deaths[slot] = Some(clock);
+                    out.deaths[slot] = clock.as_u64();
                 }
             }
         }
@@ -336,14 +336,17 @@ impl ObjectLife {
 /// clock value.
 ///
 /// Records are stored **struct-of-arrays**: parallel `ids` / `births` /
-/// `sizes` / `deaths` columns indexed by record position. The simulation
-/// engine's per-event loop streams the three hot columns (`births`,
-/// `sizes`, `deaths`) sequentially, so replay touches only the bytes it
-/// actually reads instead of dragging whole [`ObjectLife`] structs
-/// (including ids and padding) through the cache. Use the column
-/// accessors ([`births`](CompiledTrace::births), …) in hot loops and
-/// [`life`](CompiledTrace::life) / [`lives`](CompiledTrace::lives) where
-/// whole records are more convenient.
+/// `sizes` / `deaths` columns indexed by record position. The hot
+/// columns hold raw clock words — births as `u64`, deaths as `u64` with
+/// [`CompiledTrace::NO_DEATH`] for immortals, the same convention as the
+/// on-disk `DTBCTC01` records and [`EventBlock`](crate::EventBlock) — so
+/// block fills are straight `memcpy`s and the engine's replay streams
+/// exactly the bytes it reads instead of dragging whole [`ObjectLife`]
+/// structs (including `Option` discriminants and padding) through the
+/// cache. Use the column accessors ([`births`](CompiledTrace::births), …)
+/// in hot loops and [`life`](CompiledTrace::life) /
+/// [`lives`](CompiledTrace::lives) where whole records are more
+/// convenient.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CompiledTrace {
     /// Workload metadata (copied from the source [`Trace`]).
@@ -352,12 +355,17 @@ pub struct CompiledTrace {
     /// allocated).
     pub end: VirtualTime,
     ids: Vec<ObjectId>,
-    births: Vec<VirtualTime>,
+    births: Vec<u64>,
     sizes: Vec<u32>,
-    deaths: Vec<Option<VirtualTime>>,
+    deaths: Vec<u64>,
 }
 
 impl CompiledTrace {
+    /// Sentinel death clock for "lives to the end of the trace" in the
+    /// raw `deaths` column — the `DTBCTC01` on-disk convention. No real
+    /// allocation clock reaches it.
+    pub const NO_DEATH: u64 = u64::MAX;
+
     /// Builds a compiled trace directly from per-object records.
     ///
     /// The records are taken as given — call
@@ -378,9 +386,10 @@ impl CompiledTrace {
         };
         for life in lives {
             out.ids.push(life.id);
-            out.births.push(life.birth);
+            out.births.push(life.birth.as_u64());
             out.sizes.push(life.size);
-            out.deaths.push(life.death);
+            out.deaths
+                .push(life.death.map_or(CompiledTrace::NO_DEATH, |d| d.as_u64()));
         }
         out
     }
@@ -403,9 +412,10 @@ impl CompiledTrace {
     pub fn life(&self, i: usize) -> ObjectLife {
         ObjectLife {
             id: self.ids[i],
-            birth: self.births[i],
+            birth: VirtualTime::from_bytes(self.births[i]),
             size: self.sizes[i],
-            death: self.deaths[i],
+            death: (self.deaths[i] != CompiledTrace::NO_DEATH)
+                .then(|| VirtualTime::from_bytes(self.deaths[i])),
         }
     }
 
@@ -420,8 +430,9 @@ impl CompiledTrace {
         &self.ids
     }
 
-    /// Birth times, strictly increasing by record position.
-    pub fn births(&self) -> &[VirtualTime] {
+    /// Birth clocks (raw `u64` bytes), strictly increasing by record
+    /// position.
+    pub fn births(&self) -> &[u64] {
         &self.births
     }
 
@@ -430,8 +441,9 @@ impl CompiledTrace {
         &self.sizes
     }
 
-    /// Death times (`None` = lives to trace end), by record position.
-    pub fn deaths(&self) -> &[Option<VirtualTime>] {
+    /// Death clocks (raw `u64` bytes; [`CompiledTrace::NO_DEATH`] = lives
+    /// to trace end), by record position.
+    pub fn deaths(&self) -> &[u64] {
         &self.deaths
     }
 
@@ -441,7 +453,7 @@ impl CompiledTrace {
     ///
     /// Panics when `i` is out of bounds.
     pub fn set_death(&mut self, i: usize, death: Option<VirtualTime>) {
-        self.deaths[i] = death;
+        self.deaths[i] = death.map_or(CompiledTrace::NO_DEATH, |d| d.as_u64());
     }
 
     /// Swaps records `i` and `j` wholesale (fault injection; breaks the

@@ -58,5 +58,8 @@ pub use ckp::CkpError;
 pub use ctc::{verify_store, ShardReader, ShardStatus, StoreReport};
 pub use event::{CompiledTrace, Event, ObjectId, ObjectLife, Trace, TraceMeta};
 pub use programs::Program;
-pub use source::{collect_source, CompiledSource, EventSource, SourceError, SynthSource};
+pub use source::{
+    collect_source, CompiledSource, EventBlock, EventSource, SourceError, SynthSource,
+    DEFAULT_BLOCK_EVENTS,
+};
 pub use synth::{ClassSpec, WorkloadSpec};

@@ -70,6 +70,160 @@ impl From<CtcError> for SourceError {
     }
 }
 
+/// Default number of records per [`EventBlock`] — sized so a block's
+/// four columns (28 bytes of payload per record) fit comfortably in L2
+/// while amortizing per-block bookkeeping over ~1k events.
+pub const DEFAULT_BLOCK_EVENTS: usize = 1024;
+
+/// A reusable struct-of-arrays batch of lifetime records.
+///
+/// The block drive loop asks sources for whole blocks
+/// ([`EventSource::next_block`]) instead of one record at a time; the
+/// four parallel columns are the same flat layout as
+/// [`CompiledTrace`]'s and the on-disk `DTBCTC01` records, so bulk
+/// fills are column copies and downstream consumers (validation
+/// pre-scans, heap index builds) get autovectorizable slices. Death
+/// times use [`EventBlock::NO_DEATH`] for immortal objects.
+///
+/// A mid-block source failure is *deferred*: the good prefix stays in
+/// the columns and the error is stashed ([`EventBlock::set_error`])
+/// for the consumer to surface after processing the prefix — exactly
+/// the order the per-record path observes events and errors in.
+#[derive(Debug, Default)]
+pub struct EventBlock {
+    ids: Vec<u64>,
+    births: Vec<u64>,
+    sizes: Vec<u32>,
+    deaths: Vec<u64>,
+    capacity: usize,
+    error: Option<SourceError>,
+}
+
+impl EventBlock {
+    /// Sentinel death time for "lives to the end of the trace" in the
+    /// `deaths` column — the `DTBCTC01` on-disk convention. No real
+    /// allocation clock reaches it.
+    pub const NO_DEATH: u64 = u64::MAX;
+
+    /// An empty block that holds at most `capacity` records per fill
+    /// (floored at one).
+    pub fn new(capacity: usize) -> EventBlock {
+        let capacity = capacity.max(1);
+        EventBlock {
+            ids: Vec::with_capacity(capacity),
+            births: Vec::with_capacity(capacity),
+            sizes: Vec::with_capacity(capacity),
+            deaths: Vec::with_capacity(capacity),
+            capacity,
+            error: None,
+        }
+    }
+
+    /// Number of records currently in the block.
+    pub fn len(&self) -> usize {
+        self.births.len()
+    }
+
+    /// True when the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.births.is_empty()
+    }
+
+    /// Maximum records per fill.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Empties the block (and any stashed error) for the next fill.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.births.clear();
+        self.sizes.clear();
+        self.deaths.clear();
+        self.error = None;
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, life: ObjectLife) {
+        self.ids.push(life.id.0);
+        self.births.push(life.birth.as_u64());
+        self.sizes.push(life.size);
+        self.deaths
+            .push(life.death.map_or(Self::NO_DEATH, |d| d.as_u64()));
+    }
+
+    /// Bulk-appends records from borrowed column slices (the
+    /// [`CompiledSource`] fast path). Births and deaths share the block's
+    /// raw-word layout (`NO_DEATH` sentinel included), so three of the
+    /// four copies are straight `memcpy`s.
+    pub fn push_columns(
+        &mut self,
+        ids: &[ObjectId],
+        births: &[u64],
+        sizes: &[u32],
+        deaths: &[u64],
+    ) {
+        debug_assert!(ids.len() == births.len() && ids.len() == sizes.len());
+        debug_assert_eq!(ids.len(), deaths.len());
+        self.ids.extend(ids.iter().map(|id| id.0));
+        self.births.extend_from_slice(births);
+        self.sizes.extend_from_slice(sizes);
+        self.deaths.extend_from_slice(deaths);
+    }
+
+    /// Stashes a deferred source error (see the type docs).
+    pub fn set_error(&mut self, error: SourceError) {
+        self.error = Some(error);
+    }
+
+    /// The stashed error, if any.
+    pub fn error(&self) -> Option<&SourceError> {
+        self.error.as_ref()
+    }
+
+    /// Takes the stashed error, leaving the block clean.
+    pub fn take_error(&mut self) -> Option<SourceError> {
+        self.error.take()
+    }
+
+    /// Object ids, one per record.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Birth clocks, one per record (strictly increasing for a
+    /// well-formed stream).
+    pub fn births(&self) -> &[u64] {
+        &self.births
+    }
+
+    /// Object sizes in bytes, one per record.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Death clocks, one per record ([`EventBlock::NO_DEATH`] =
+    /// immortal).
+    pub fn deaths(&self) -> &[u64] {
+        &self.deaths
+    }
+
+    /// Reassembles record `i` (the per-event replay path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn life(&self, i: usize) -> ObjectLife {
+        ObjectLife {
+            id: ObjectId(self.ids[i]),
+            birth: VirtualTime::from_bytes(self.births[i]),
+            size: self.sizes[i],
+            death: (self.deaths[i] != Self::NO_DEATH)
+                .then(|| VirtualTime::from_bytes(self.deaths[i])),
+        }
+    }
+}
+
 /// A stream of birth-ordered object-lifetime records.
 ///
 /// Object-safe: the executor holds sources as `Box<dyn EventSource +
@@ -93,6 +247,33 @@ pub trait EventSource {
     /// Returns [`SourceError`] when the underlying store or generator
     /// fails; the stream is dead after an error.
     fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError>;
+
+    /// Fills `block` with the next up-to-`capacity` records and returns
+    /// how many landed.
+    ///
+    /// Semantically a loop of [`next_record`](EventSource::next_record)
+    /// calls — and that is the default implementation — but concrete
+    /// sources override it with bulk column work: [`CompiledSource`]
+    /// copies borrowed trace columns, the `DTBCTC01`
+    /// [`ShardReader`](crate::ctc::ShardReader) decodes whole shard
+    /// chunks in one pass, [`SynthSource`] generates records in a tight
+    /// loop. A mid-block failure is stashed in the block (the good
+    /// prefix is kept, per [`EventBlock`]'s deferred-error contract);
+    /// `0` with no stashed error means end of stream.
+    fn next_block(&mut self, block: &mut EventBlock) -> usize {
+        block.clear();
+        while block.len() < block.capacity() {
+            match self.next_record() {
+                Ok(Some(life)) => block.push(life),
+                Ok(None) => break,
+                Err(e) => {
+                    block.set_error(e);
+                    break;
+                }
+            }
+        }
+        block.len()
+    }
 
     /// The end-of-trace allocation clock. Guaranteed accurate only after
     /// [`next_record`](EventSource::next_record) has returned `Ok(None)`;
@@ -130,6 +311,20 @@ impl<'a> CompiledSource<'a> {
     pub fn new(trace: &'a CompiledTrace) -> CompiledSource<'a> {
         CompiledSource { trace, pos: 0 }
     }
+
+    /// The unconsumed remainder of the trace as borrowed column slices
+    /// `(ids, births, sizes, deaths)` — zero-copy views straight into the
+    /// compiled trace's struct-of-arrays storage. Births and deaths are
+    /// raw clock words ([`CompiledTrace::NO_DEATH`] = immortal), the same
+    /// layout [`EventBlock`] exposes.
+    pub fn columns(&self) -> (&'a [ObjectId], &'a [u64], &'a [u32], &'a [u64]) {
+        (
+            &self.trace.ids()[self.pos..],
+            &self.trace.births()[self.pos..],
+            &self.trace.sizes()[self.pos..],
+            &self.trace.deaths()[self.pos..],
+        )
+    }
 }
 
 impl EventSource for CompiledSource<'_> {
@@ -150,12 +345,22 @@ impl EventSource for CompiledSource<'_> {
         Ok(Some(life))
     }
 
+    fn next_block(&mut self, block: &mut EventBlock) -> usize {
+        block.clear();
+        let n = (self.trace.len() - self.pos).min(block.capacity());
+        let (ids, births, sizes, deaths) = self.columns();
+        block.push_columns(&ids[..n], &births[..n], &sizes[..n], &deaths[..n]);
+        self.pos += n;
+        n
+    }
+
     fn end(&self) -> VirtualTime {
         self.trace.end
     }
 
     fn seek(&mut self, clock: VirtualTime) -> Result<(), SourceError> {
-        self.pos = self.trace.births().partition_point(|b| *b <= clock);
+        let clock = clock.as_u64();
+        self.pos = self.trace.births().partition_point(|&b| b <= clock);
         Ok(())
     }
 }
@@ -186,7 +391,37 @@ pub struct SynthSource {
     /// forward overshoots by exactly one generated record, which is
     /// stashed here and returned by the next `next_record` call.
     peeked: Option<ObjectLife>,
+    /// Generator snapshots taken every `seek_stride` records, so `seek`
+    /// restores the nearest one and regenerates at most one stride
+    /// instead of the whole prefix.
+    seek_points: Vec<SeekPoint>,
+    /// Record count between seek points.
+    seek_stride: u64,
+    /// `next_id` at which the next seek point is captured. After a seek
+    /// restores an older snapshot this stays past the *last* recorded
+    /// point, so replaying through checkpointed territory never records
+    /// duplicates.
+    next_ckp_at: u64,
+    /// Total records ever generated, *including* regeneration work done
+    /// inside `seek` — the observable the seek-cost regression test
+    /// bounds.
+    generated: u64,
 }
+
+/// A restorable snapshot of the generator between two records. The
+/// stream is a pure function of `(rng, clock, next_id, finished)`, so
+/// restoring these four fields replays it exactly.
+struct SeekPoint {
+    clock: u64,
+    next_id: u64,
+    rng: StdRng,
+    finished: bool,
+}
+
+/// Default [`SynthSource`] seek-point stride: ~200 bytes of snapshot per
+/// 64k records keeps even multi-billion-record streams' snapshot memory
+/// trivial while making `seek` O(stride).
+pub const DEFAULT_SEEK_STRIDE: u64 = 65_536;
 
 impl SynthSource {
     /// Validates the spec and positions the stream at its first record.
@@ -195,6 +430,18 @@ impl SynthSource {
     ///
     /// Returns [`SpecError`] when the spec fails [`WorkloadSpec::validate`].
     pub fn new(spec: WorkloadSpec) -> Result<SynthSource, SpecError> {
+        SynthSource::with_seek_stride(spec, DEFAULT_SEEK_STRIDE)
+    }
+
+    /// [`SynthSource::new`] with an explicit seek-point stride (records
+    /// between generator snapshots; floored at one). Smaller strides make
+    /// [`EventSource::seek`] proportionally cheaper at the cost of more
+    /// snapshot memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the spec fails [`WorkloadSpec::validate`].
+    pub fn with_seek_stride(spec: WorkloadSpec, stride: u64) -> Result<SynthSource, SpecError> {
         spec.validate()?;
         let meta = TraceMeta {
             name: spec.name.clone(),
@@ -208,6 +455,13 @@ impl SynthSource {
             .map(|c| c.byte_fraction / c.size.mean().max(1.0))
             .collect();
         let weight_total = weights.iter().sum();
+        let stride = stride.max(1);
+        let origin = SeekPoint {
+            clock: 0,
+            next_id: 0,
+            rng: rng.clone(),
+            finished: false,
+        };
         Ok(SynthSource {
             spec,
             meta,
@@ -218,6 +472,10 @@ impl SynthSource {
             next_id: 0,
             finished: false,
             peeked: None,
+            seek_points: vec![origin],
+            seek_stride: stride,
+            next_ckp_at: stride,
+            generated: 0,
         })
     }
 
@@ -225,16 +483,27 @@ impl SynthSource {
     pub fn emitted(&self) -> u64 {
         self.next_id
     }
-}
 
-impl EventSource for SynthSource {
-    fn meta(&self) -> &TraceMeta {
-        &self.meta
+    /// Total generation work performed, in records — unlike
+    /// [`SynthSource::emitted`] this keeps counting through `seek`'s
+    /// regeneration, so a test can assert a seek cost at most one
+    /// stride.
+    pub fn generated(&self) -> u64 {
+        self.generated
     }
 
-    fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
-        if let Some(life) = self.peeked.take() {
-            return Ok(Some(life));
+    /// Generates the next record, ignoring the lookahead slot. The whole
+    /// generator: startup ramp, steady-state class mixture, seek-point
+    /// capture.
+    fn gen_next(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+        if self.next_id == self.next_ckp_at {
+            self.seek_points.push(SeekPoint {
+                clock: self.clock,
+                next_id: self.next_id,
+                rng: self.rng.clone(),
+                finished: self.finished,
+            });
+            self.next_ckp_at += self.seek_stride;
         }
         if self.finished {
             return Ok(None);
@@ -249,6 +518,7 @@ impl EventSource for SynthSource {
             self.clock += size as u64;
             let id = self.next_id;
             self.next_id += 1;
+            self.generated += 1;
             return Ok(Some(ObjectLife {
                 id: ObjectId(id),
                 birth: VirtualTime::from_bytes(self.clock),
@@ -286,6 +556,7 @@ impl EventSource for SynthSource {
         };
         let id = self.next_id;
         self.next_id += 1;
+        self.generated += 1;
         Ok(Some(ObjectLife {
             id: ObjectId(id),
             birth: VirtualTime::from_bytes(birth),
@@ -293,29 +564,79 @@ impl EventSource for SynthSource {
             death: death.map(VirtualTime::from_bytes),
         }))
     }
+}
+
+impl EventSource for SynthSource {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+        if let Some(life) = self.peeked.take() {
+            return Ok(Some(life));
+        }
+        self.gen_next()
+    }
+
+    fn next_block(&mut self, block: &mut EventBlock) -> usize {
+        block.clear();
+        if let Some(life) = self.peeked.take() {
+            block.push(life);
+        }
+        while block.len() < block.capacity() {
+            match self.gen_next() {
+                Ok(Some(life)) => block.push(life),
+                Ok(None) => break,
+                Err(e) => {
+                    block.set_error(e);
+                    break;
+                }
+            }
+        }
+        block.len()
+    }
 
     fn end(&self) -> VirtualTime {
         VirtualTime::from_bytes(self.clock)
     }
 
     fn seek(&mut self, clock: VirtualTime) -> Result<(), SourceError> {
-        // The stream is a pure function of the spec's seed: regenerate
-        // from the start and discard records up to (and including) the
-        // target clock. The first overshooting record is kept in the
+        // The stream is a pure function of the spec's seed, and the
+        // generator snapshots itself every `seek_stride` records: restore
+        // the last snapshot at or before the target clock and regenerate
+        // forward — at most one stride plus the overshoot distance, never
+        // the whole prefix. Records up to (and including) the target clock
+        // are discarded; the first overshooting record is kept in the
         // lookahead slot so no record is lost.
-        let mut fresh =
-            SynthSource::new(self.spec.clone()).map_err(|e| SourceError::Synth(e.to_string()))?;
+        let at = self
+            .seek_points
+            .partition_point(|p| p.clock <= clock.as_u64());
+        // Index 0 holds the origin snapshot (clock 0 <= any target), so a
+        // predecessor always exists.
+        let point = &self.seek_points[at - 1];
+        self.clock = point.clock;
+        self.next_id = point.next_id;
+        self.rng = point.rng.clone();
+        self.finished = point.finished;
+        self.peeked = None;
+        // Resume snapshotting only past the last recorded point so the
+        // replay below never records duplicates.
+        self.next_ckp_at = self
+            .seek_points
+            .last()
+            .expect("origin snapshot always present")
+            .next_id
+            + self.seek_stride;
         loop {
-            match fresh.next_record()? {
+            match self.gen_next()? {
                 Some(life) if life.birth <= clock => continue,
                 Some(life) => {
-                    fresh.peeked = Some(life);
+                    self.peeked = Some(life);
                     break;
                 }
                 None => break,
             }
         }
-        *self = fresh;
         Ok(())
     }
 }
@@ -520,5 +841,127 @@ mod tests {
             a.next_record().unwrap();
         }
         assert_seek_matches_skip(a, SynthSource::new(synth_spec()).unwrap(), 40_000);
+    }
+
+    #[test]
+    fn synth_source_seek_cost_is_bounded_by_one_stride() {
+        // The stride checkpoints must make seek O(stride): restoring the
+        // nearest snapshot and replaying forward regenerates at most one
+        // stride of records (plus the single overshoot record), no matter
+        // how deep into the stream the target is.
+        let stride = 256u64;
+        let mut src = SynthSource::with_seek_stride(synth_spec(), stride).unwrap();
+        while src.next_record().unwrap().is_some() {}
+        let drained = src.generated();
+        assert!(drained > 4 * stride, "stream too short to be probative");
+        for clock in [1u64, 25_000, 150_000, 290_000] {
+            let before = src.generated();
+            src.seek(VirtualTime::from_bytes(clock)).unwrap();
+            let cost = src.generated() - before;
+            assert!(
+                cost <= stride + 1,
+                "seek({clock}) regenerated {cost} records, stride {stride}"
+            );
+        }
+        // Sanity: without checkpoints a seek near the end would have
+        // regenerated nearly the whole stream.
+        assert!(drained > 2 * (stride + 1));
+    }
+
+    /// Hides an [`EventSource`]'s `next_block` override so the trait's
+    /// per-record default is what gets tested.
+    struct DefaultBlocking<S>(S);
+
+    impl<S: EventSource> EventSource for DefaultBlocking<S> {
+        fn meta(&self) -> &TraceMeta {
+            self.0.meta()
+        }
+        fn next_record(&mut self) -> Result<Option<ObjectLife>, SourceError> {
+            self.0.next_record()
+        }
+        fn end(&self) -> VirtualTime {
+            self.0.end()
+        }
+        fn seek(&mut self, clock: VirtualTime) -> Result<(), SourceError> {
+            self.0.seek(clock)
+        }
+    }
+
+    /// Drains `blocked` via `next_block` at the given capacity and checks
+    /// the record stream equals draining `recorded` one record at a time.
+    fn assert_blocks_match_records(
+        mut blocked: impl EventSource,
+        mut recorded: impl EventSource,
+        capacity: usize,
+    ) {
+        let mut block = EventBlock::new(capacity);
+        let mut via_blocks = Vec::new();
+        loop {
+            let n = blocked.next_block(&mut block);
+            assert!(block.take_error().is_none());
+            if n == 0 {
+                break;
+            }
+            assert!(n <= block.capacity());
+            for i in 0..n {
+                via_blocks.push(block.life(i));
+            }
+        }
+        let mut via_records = Vec::new();
+        while let Some(l) = recorded.next_record().unwrap() {
+            via_records.push(l);
+        }
+        assert_eq!(via_blocks, via_records, "capacity {capacity}");
+    }
+
+    #[test]
+    fn next_block_matches_next_record_for_every_source() {
+        let c = compiled();
+        for cap in [1usize, 3, 7, 1024] {
+            assert_blocks_match_records(CompiledSource::new(&c), CompiledSource::new(&c), cap);
+            assert_blocks_match_records(
+                DefaultBlocking(CompiledSource::new(&c)),
+                CompiledSource::new(&c),
+                cap,
+            );
+            assert_blocks_match_records(
+                SynthSource::new(synth_spec()).unwrap(),
+                SynthSource::new(synth_spec()).unwrap(),
+                cap,
+            );
+        }
+    }
+
+    #[test]
+    fn next_block_after_seek_starts_with_the_lookahead_record() {
+        // A seek stashes the first overshooting record in the lookahead
+        // slot; block reads must surface it first, exactly once.
+        for cap in [1usize, 5, 64] {
+            let mut blocked = SynthSource::new(synth_spec()).unwrap();
+            blocked.seek(VirtualTime::from_bytes(40_000)).unwrap();
+            let mut recorded = SynthSource::new(synth_spec()).unwrap();
+            recorded.seek(VirtualTime::from_bytes(40_000)).unwrap();
+            assert_blocks_match_records(blocked, recorded, cap);
+        }
+    }
+
+    #[test]
+    fn event_block_clamps_capacity_and_resets_cleanly() {
+        let mut b = EventBlock::new(0);
+        assert_eq!(b.capacity(), 1);
+        assert!(b.is_empty());
+        b.push(ObjectLife {
+            id: ObjectId(7),
+            birth: VirtualTime::from_bytes(10),
+            size: 4,
+            death: None,
+        });
+        b.set_error(SourceError::Synth("boom".into()));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.deaths()[0], EventBlock::NO_DEATH);
+        assert_eq!(b.life(0).death, None);
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.error().is_none());
     }
 }
