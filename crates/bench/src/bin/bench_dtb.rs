@@ -51,8 +51,13 @@
 //! ```text
 //! bench_dtb [--events N] [--out PATH] [--baseline PATH] [--skip-naive]
 //!           [--resume DIR] [--threads N] [--expect-parallel-speedup X]
-//!           [--thread-curve N]
+//!           [--thread-curve N] [--events-out PATH]
 //! ```
+//!
+//! `--events-out PATH` captures the run's telemetry stream (scavenge
+//! spans, run summaries) to a file — `--events` being taken for the
+//! trace event count. Capture perturbs the timings, so the regression
+//! gate and the capture flag should not be combined.
 //!
 //! `--thread-curve N` additionally re-runs the matrix at every thread
 //! count from 1 to N and records the speedup curve in the report (schema
@@ -346,6 +351,9 @@ struct Args {
     expect_parallel_speedup: Option<f64>,
     /// Record a speedup curve at 1..=N threads (0 = off).
     thread_curve: usize,
+    /// Capture the observability event stream to this file (`--events`
+    /// is taken: it is the trace event *count*).
+    events_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -358,6 +366,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         expect_parallel_speedup: None,
         thread_curve: 0,
+        events_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -380,6 +389,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--thread-curve needs a value")?;
                 args.thread_curve = v.parse().map_err(|_| format!("bad --thread-curve: {v}"))?;
             }
+            "--events-out" => {
+                args.events_out = Some(PathBuf::from(
+                    it.next().ok_or("--events-out needs a value")?,
+                ));
+            }
             "--expect-parallel-speedup" => {
                 let v = it.next().ok_or("--expect-parallel-speedup needs a value")?;
                 args.expect_parallel_speedup = Some(
@@ -400,11 +414,29 @@ fn main() -> ExitCode {
             eprintln!("bench_dtb: {e}");
             eprintln!(
                 "usage: bench_dtb [--events N] [--out PATH] [--baseline PATH] [--skip-naive] \
-                 [--resume DIR] [--threads N] [--expect-parallel-speedup X] [--thread-curve N]"
+                 [--resume DIR] [--threads N] [--expect-parallel-speedup X] [--thread-curve N] \
+                 [--events-out PATH]"
             );
             return ExitCode::FAILURE;
         }
     };
+
+    // `--events-out` opts the whole run into telemetry capture. Without
+    // it no sink is installed and the instrumented hot paths stay a
+    // single disabled-flag load — the throughput floors measure that.
+    let _capture = args
+        .events_out
+        .as_deref()
+        .map(|path| match dtb_obs::FileSink::create(path) {
+            Ok(sink) => dtb_obs::install(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!(
+                    "bench_dtb: cannot capture events to {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        });
 
     let spec = workload(args.events);
     eprintln!(

@@ -37,13 +37,20 @@ fn run() -> std::io::Result<ExitCode> {
         .policies([PolicyKind::Full, PolicyKind::DtbMem, PolicyKind::DtbFm])
         .baselines(false)
         .sim_config(SimConfig::paper().with_curve());
-    let matrix = match RunOpts::from_args().apply(eval).try_run() {
+    // This binary builds its own evaluation (it needs curves), so it
+    // honours the observability flags itself rather than through
+    // `matrix_for_opts`.
+    let opts = RunOpts::from_args();
+    let _capture = opts.capture();
+    opts.spawn_follow();
+    let matrix = match opts.apply(eval).try_run() {
         Ok(m) => m,
         Err(e) => {
             eprintln!("run journal error: {e}");
             std::process::exit(2);
         }
     };
+    dtb_obs::flush();
     let column = matrix.column(Program::Ghost1).expect("requested column");
 
     for cell in &column.cells {

@@ -163,6 +163,8 @@ struct Args {
     events: usize,
     synth_mb: u64,
     max_rss_mb: u64,
+    /// Telemetry capture file (`--events` is taken: the event *count*).
+    events_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -170,6 +172,7 @@ fn parse_args() -> Result<Args, String> {
         events: 300_000,
         synth_mb: 4_000,
         max_rss_mb: 96,
+        events_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -186,6 +189,9 @@ fn parse_args() -> Result<Args, String> {
             "--max-rss-mb" => {
                 let v = value("--max-rss-mb")?;
                 args.max_rss_mb = v.parse().map_err(|_| format!("bad --max-rss-mb: {v}"))?;
+            }
+            "--events-out" => {
+                args.events_out = Some(std::path::PathBuf::from(value("--events-out")?));
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -262,10 +268,28 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("stream_smoke: {e}");
-            eprintln!("usage: stream_smoke [--events N] [--synth-mb MB] [--max-rss-mb MB]");
+            eprintln!(
+                "usage: stream_smoke [--events N] [--synth-mb MB] [--max-rss-mb MB] \
+                 [--events-out PATH]"
+            );
             return ExitCode::FAILURE;
         }
     };
+    // Note: a capture sink buffers in the ring and the file writer, so
+    // the RSS ceiling still holds only because the bus is bounded.
+    let _capture = args
+        .events_out
+        .as_deref()
+        .map(|path| match dtb_obs::FileSink::create(path) {
+            Ok(sink) => dtb_obs::install(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!(
+                    "stream_smoke: cannot capture events to {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        });
     match run(&args) {
         Ok(()) => {
             eprintln!("stream-smoke ok");

@@ -44,14 +44,20 @@ use dtb_sim::engine::SimConfig;
 use dtb_sim::exec::{Evaluation, Matrix};
 use std::path::PathBuf;
 
-/// Crash-safety options shared by the `repro_*` binaries, parsed from
-/// the command line:
+/// Crash-safety and observability options shared by the `repro_*`
+/// binaries, parsed from the command line:
 ///
 /// * `--journal <dir>` — write a durable run journal while evaluating,
 ///   so a later `--resume <dir>` can pick up where a crash stopped;
 /// * `--resume <dir>` — resume from that journal: cells it records as
 ///   completed are reused verbatim, only the missing ones are computed
-///   (and journaled in turn).
+///   (and journaled in turn);
+/// * `--events <path>` — capture the run's full telemetry stream
+///   (per-scavenge spans, cell lifecycle) to a file: JSON lines, or the
+///   compact binary framing when the path ends in `.bin`;
+/// * `--follow <host:port>` — tail a coordinator's `GET /events`
+///   server-push stream on stderr while the run proceeds (pairs with
+///   `--submit` to watch the distributed workers fill the sweep in).
 ///
 /// Unknown flags are rejected with a usage message on stderr and exit
 /// code 2, so each binary stays a one-liner.
@@ -64,6 +70,12 @@ pub struct RunOpts {
     /// Submit the matrix to a running `dtb-coordinator` at this address
     /// instead of evaluating in-process (`--submit HOST:PORT`).
     pub submit: Option<String>,
+    /// Capture the observability event stream to this file
+    /// (`--events PATH`).
+    pub events: Option<PathBuf>,
+    /// Tail this coordinator's `/events` stream on stderr
+    /// (`--follow HOST:PORT`).
+    pub follow: Option<String>,
 }
 
 impl RunOpts {
@@ -75,7 +87,7 @@ impl RunOpts {
         while let Some(flag) = it.next() {
             let dir = |it: &mut dyn Iterator<Item = String>| {
                 it.next().map(PathBuf::from).unwrap_or_else(|| {
-                    eprintln!("{flag} needs a directory");
+                    eprintln!("{flag} needs a path");
                     std::process::exit(2);
                 })
             };
@@ -94,9 +106,21 @@ impl RunOpts {
                         std::process::exit(2)
                     }));
                 }
+                "--events" => {
+                    opts.events = Some(dir(&mut it));
+                }
+                "--follow" => {
+                    opts.follow = Some(it.next().unwrap_or_else(|| {
+                        eprintln!("--follow needs a coordinator address (host:port)");
+                        std::process::exit(2)
+                    }));
+                }
                 other => {
                     eprintln!("unknown flag: {other}");
-                    eprintln!("usage: [--journal <dir> | --resume <dir> | --submit <host:port>]");
+                    eprintln!(
+                        "usage: [--journal <dir> | --resume <dir> | --submit <host:port>] \
+                         [--events <path>] [--follow <host:port>]"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -111,6 +135,44 @@ impl RunOpts {
             Some(dir) => eval.journal(dir),
             None => eval,
         }
+    }
+
+    /// Installs the `--events <path>` capture sink, when asked for.
+    ///
+    /// The returned guard must outlive the run: dropping it uninstalls
+    /// the sink (flushing what the ring still holds). An unwritable
+    /// path is a hard error — same contract as a broken journal.
+    pub fn capture(&self) -> Option<dtb_obs::SinkGuard> {
+        let path = self.events.as_deref()?;
+        match dtb_obs::FileSink::create(path) {
+            Ok(sink) => Some(dtb_obs::install(std::sync::Arc::new(sink))),
+            Err(e) => {
+                eprintln!("cannot capture events to {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Starts the `--follow <addr>` tail, when asked for: a background
+    /// thread streaming the coordinator's `/events` push channel to
+    /// stderr, one JSON event per line. The thread runs until the
+    /// coordinator closes the stream or the process exits; a coordinator
+    /// that cannot be reached is reported on stderr but does not fail
+    /// the run — the tail is a window, not a dependency.
+    pub fn spawn_follow(&self) {
+        let Some(addr) = self.follow.clone() else {
+            return;
+        };
+        std::thread::spawn(move || {
+            static STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+            let followed = dtb_svc::follow_events(&addr, 1, &STOP, |line| {
+                eprintln!("{line}");
+                true
+            });
+            if let Err(e) = followed {
+                eprintln!("--follow {addr}: stream ended: {e}");
+            }
+        });
     }
 }
 
@@ -148,25 +210,56 @@ pub fn matrix_for(cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
 /// and the served result is reassembled into the same [`Matrix`] shape —
 /// the table printers cannot tell the difference.
 pub fn matrix_for_opts(cfg: &PolicyConfig, sim: &SimConfig, opts: &RunOpts) -> Matrix {
+    let _capture = opts.capture();
+    opts.spawn_follow();
     if let Some(addr) = &opts.submit {
         return matrix_served(addr, cfg, sim);
     }
-    let eval = Evaluation::new()
-        .policy_config(*cfg)
-        .sim_config(*sim)
-        .on_cell(|ev| {
-            eprintln!(
-                "[{:>2}/{}] {} × {} in {:.1?}",
-                ev.completed, ev.total, ev.program, ev.row, ev.elapsed
-            );
-        });
-    match opts.apply(eval).try_run() {
+    // Per-cell progress renders from the observability bus — the same
+    // `cell_finished` events a capture file or a coordinator follower
+    // sees — rather than from a private callback, so every consumer of
+    // the run watches one stream.
+    let _progress = progress_sink();
+    let eval = Evaluation::new().policy_config(*cfg).sim_config(*sim);
+    let matrix = match opts.apply(eval).try_run() {
         Ok(matrix) => matrix,
         Err(e) => {
             eprintln!("run journal error: {e}");
             std::process::exit(2);
         }
-    }
+    };
+    // Drain the ring before the table prints so progress lines and the
+    // `--events` capture are complete.
+    dtb_obs::flush();
+    matrix
+}
+
+/// Installs a bus sink that renders cell completions as the classic
+/// stderr progress line. The guard keeps instrumentation enabled for
+/// the evaluation's duration.
+fn progress_sink() -> dtb_obs::SinkGuard {
+    dtb_obs::install(std::sync::Arc::new(dtb_obs::FnSink(
+        |env: &dtb_obs::Envelope| {
+            if let dtb_obs::Event::CellFinished {
+                column,
+                row,
+                elapsed_ns,
+                completed,
+                total,
+                ..
+            } = &env.event
+            {
+                eprintln!(
+                    "[{:>2}/{}] {} × {} in {:.1?}",
+                    completed,
+                    total,
+                    column,
+                    row,
+                    std::time::Duration::from_nanos(*elapsed_ns)
+                );
+            }
+        },
+    )))
 }
 
 /// Submits the paper matrix to the coordinator at `addr`, waits for the
@@ -225,23 +318,13 @@ pub fn exit_reporting_failures(matrix: &Matrix) -> std::process::ExitCode {
         return std::process::ExitCode::SUCCESS;
     }
     eprintln!("\n{} cell(s) failed:", failed.len());
-    for (col, cell) in &failed {
+    for (_, cell) in &failed {
         let failure = cell.failure().expect("filtered to failed cells");
-        // The classification tells the reader what a rerun would do:
-        // transient causes retry (these exhausted the retry budget),
-        // permanent and remote causes fail identically every time.
-        let class = if failure.is_transient() {
-            "transient, retries exhausted"
-        } else {
-            "permanent"
-        };
-        eprintln!(
-            "  {} × {}: {} [{class}; {} attempt(s)]",
-            col.name(),
-            cell.row,
-            failure.cause,
-            cell.attempts
-        );
+        // One formatter for local and served failures
+        // (`CellFailure::render`): a `--submit` run and an in-process
+        // run report the same cell identically, provenance prefix
+        // aside.
+        eprintln!("  {}", failure.render(cell.attempts));
     }
     std::process::ExitCode::FAILURE
 }

@@ -56,6 +56,7 @@ pub mod error;
 pub mod fenwick;
 pub mod framework;
 pub mod history;
+pub mod obs;
 pub mod policy;
 pub mod soa;
 pub mod stats;

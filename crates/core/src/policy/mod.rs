@@ -187,9 +187,20 @@ pub trait SurvivalEstimator {
         trace_max: Bytes,
         candidates: BoundaryCandidates<'_>,
     ) -> Option<VirtualTime> {
-        candidates
-            .times()
-            .find(|&t| self.surviving_born_after(t) <= trace_max)
+        if !crate::obs::enabled() {
+            return candidates
+                .times()
+                .find(|&t| self.surviving_born_after(t) <= trace_max);
+        }
+        // Instrumented twin of the scan above: counts one inverse-query
+        // call and one probe per candidate examined.
+        let mut probes = 0u64;
+        let found = candidates.times().find(|&t| {
+            probes += 1;
+            self.surviving_born_after(t) <= trace_max
+        });
+        crate::obs::note_inverse_query(probes);
+        found
     }
 }
 

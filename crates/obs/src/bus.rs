@@ -1,0 +1,460 @@
+//! The global event bus: a lock-free bounded MPSC ring fanned out to
+//! registered sinks by a single drainer thread.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** [`emit`] is a single relaxed load
+//!    and branch when no sink is installed — the event-constructing
+//!    closure never runs, no allocation, no atomics beyond the flag.
+//!    The drainer thread does not exist until the first sink is
+//!    installed.
+//! 2. **Never block the engine.** Producers push into a bounded
+//!    lock-free ring (Vyukov MPMC algorithm, restricted here to a
+//!    single consumer). When the ring is full the event is *dropped
+//!    and counted*, never waited on: telemetry must not perturb the
+//!    simulation it observes.
+//! 3. **Ordered delivery.** Sequence numbers are assigned from one
+//!    global counter at emit time; the drainer delivers batches in ring
+//!    order, so a single-threaded emitter observes its own events in
+//!    order and gaps in `seq` are an explicit drop signal.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::event::{Envelope, Event};
+use crate::sink::Sink;
+
+/// Ring capacity in envelopes. Power of two is not required; 64Ki
+/// envelopes absorb multi-millisecond sink stalls at engine emit rates.
+const RING_CAPACITY: u64 = 1 << 16;
+
+/// Max envelopes handed to sinks per batch.
+const DRAIN_BATCH: usize = 1024;
+
+/// One ring slot: a stamp that sequences hand-off (see [`Ring`]) and
+/// the possibly-uninitialized payload it guards.
+struct Slot {
+    stamp: AtomicU64,
+    value: UnsafeCell<MaybeUninit<Envelope>>,
+}
+
+/// Bounded multi-producer single-consumer ring (Vyukov's bounded queue
+/// with the consumer side simplified to one thread).
+///
+/// Protocol: slot `i` starts with `stamp == i`. A producer that wins
+/// the CAS on `tail` from `t` to `t+1` owns slot `t % cap`, writes the
+/// value, then publishes with `stamp = t + 1`. The consumer at `head ==
+/// h` may read slot `h % cap` iff `stamp == h + 1`, and releases it for
+/// the next lap with `stamp = h + cap`. `stamp < tail` at a push means
+/// the consumer is a full lap behind: the ring is full.
+///
+/// # Safety
+///
+/// `value` is only written by the producer that won the CAS for that
+/// exact stamp value, and only read by the single consumer after
+/// observing (Acquire) the stamp the producer released. Stamps
+/// therefore totally order every access to a slot's `value`, so no two
+/// threads touch it concurrently. `pop` must only ever be called from
+/// one thread at a time (here: the drainer, or `Drop`).
+struct Ring {
+    head: AtomicU64,
+    tail: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+// SAFETY: see the protocol description on `Ring` — the stamp protocol
+// serializes all access to each `UnsafeCell`.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    fn new(cap: u64) -> Ring {
+        assert!(cap >= 2);
+        let slots = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicU64::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    fn cap(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Attempts to enqueue; returns the value back when the ring is full.
+    fn push(&self, value: Envelope) -> Result<(), Envelope> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(tail % self.cap()) as usize];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == tail {
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS for `tail` grants
+                        // exclusive write access to this slot until we
+                        // publish the new stamp below.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.stamp.store(tail + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(t) => tail = t,
+                }
+            } else if stamp < tail {
+                // Consumer is a full lap behind: full.
+                return Err(value);
+            } else {
+                // Another producer claimed this slot; chase the tail.
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues one envelope. Single-consumer: callers must ensure only
+    /// one thread pops at a time.
+    fn pop(&self) -> Option<Envelope> {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head % self.cap()) as usize];
+        let stamp = slot.stamp.load(Ordering::Acquire);
+        if stamp == head + 1 {
+            // SAFETY: the stamp says the producer published this slot
+            // and no other consumer exists; we take the value out and
+            // release the slot for the next lap.
+            let value = unsafe { (*slot.value.get()).assume_init_read() };
+            slot.stamp.store(head + self.cap(), Ordering::Release);
+            self.head.store(head + 1, Ordering::Relaxed);
+            Some(value)
+        } else {
+            None
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+/// Bus-wide counters, exposed by [`stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusStats {
+    /// Envelopes assigned a sequence number (emitted while enabled).
+    pub emitted: u64,
+    /// Envelopes handed to sinks by the drainer.
+    pub delivered: u64,
+    /// Envelopes dropped because the ring was full.
+    pub dropped: u64,
+}
+
+struct Bus {
+    ring: Ring,
+    seq: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    sinks: Mutex<Vec<(u64, Arc<dyn Sink>)>>,
+    sink_count: AtomicUsize,
+    next_sink_id: AtomicU64,
+}
+
+static BUS: OnceLock<&'static Bus> = OnceLock::new();
+
+fn bus() -> &'static Bus {
+    BUS.get_or_init(|| {
+        let bus: &'static Bus = Box::leak(Box::new(Bus {
+            ring: Ring::new(RING_CAPACITY),
+            seq: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            sinks: Mutex::new(Vec::new()),
+            sink_count: AtomicUsize::new(0),
+            next_sink_id: AtomicU64::new(1),
+        }));
+        std::thread::Builder::new()
+            .name("dtb-obs-drain".into())
+            .spawn(move || drain_loop(bus))
+            .expect("spawn obs drainer");
+        bus
+    })
+}
+
+fn drain_loop(bus: &'static Bus) {
+    let mut batch: Vec<Envelope> = Vec::with_capacity(DRAIN_BATCH);
+    loop {
+        batch.clear();
+        while batch.len() < DRAIN_BATCH {
+            match bus.ring.pop() {
+                Some(env) => batch.push(env),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            std::thread::park_timeout(Duration::from_millis(1));
+            continue;
+        }
+        // Snapshot the sinks so `accept` runs outside the lock: a slow
+        // sink must not block install/uninstall.
+        let sinks: Vec<Arc<dyn Sink>> = {
+            let guard = bus.sinks.lock().unwrap_or_else(|e| e.into_inner());
+            guard.iter().map(|(_, s)| Arc::clone(s)).collect()
+        };
+        for sink in &sinks {
+            sink.accept(&batch);
+        }
+        bus.delivered
+            .fetch_add(batch.len() as u64, Ordering::Release);
+    }
+}
+
+/// True when at least one sink is installed (same flag the `note_*`
+/// facade in `dtb-core` reads).
+#[inline]
+pub fn enabled() -> bool {
+    dtb_core::obs::enabled()
+}
+
+/// Emits an event. When no sink is installed this is one relaxed load
+/// and a branch: `make` never runs. When enabled, the event is stamped
+/// with the next global sequence number and the current thread's run
+/// scope and pushed (never blocking; dropped and counted if the ring is
+/// full).
+#[inline]
+pub fn emit<F: FnOnce() -> Event>(make: F) {
+    if !dtb_core::obs::enabled() {
+        return;
+    }
+    emit_always(make());
+}
+
+/// The enabled-path body of [`emit`], out of line so the disabled fast
+/// path stays tiny.
+#[cold]
+fn emit_always(event: Event) {
+    let bus = bus();
+    let seq = bus.seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let env = Envelope {
+        seq,
+        scope: crate::scope::current(),
+        event,
+    };
+    if bus.ring.push(env).is_err() {
+        bus.dropped.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Current bus counters.
+pub fn stats() -> BusStats {
+    let bus = bus();
+    BusStats {
+        emitted: bus.seq.load(Ordering::Acquire),
+        delivered: bus.delivered.load(Ordering::Acquire),
+        dropped: bus.dropped.load(Ordering::Acquire),
+    }
+}
+
+/// Blocks until everything emitted before this call has been delivered
+/// to sinks (or dropped), or until ~5 s have passed. Returns `true` if
+/// fully drained.
+pub fn flush() -> bool {
+    let bus = bus();
+    let target = bus.seq.load(Ordering::Acquire);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let done = bus.delivered.load(Ordering::Acquire) + bus.dropped.load(Ordering::Acquire);
+        if done >= target {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Keeps a sink installed; uninstalls (after a flush) on drop.
+#[must_use = "dropping the guard uninstalls the sink"]
+pub struct SinkGuard {
+    id: u64,
+}
+
+/// Installs a sink and enables instrumentation everywhere. The sink
+/// stays installed until the returned guard is dropped; dropping the
+/// last guard disables instrumentation again.
+pub fn install(sink: Arc<dyn Sink>) -> SinkGuard {
+    let bus = bus();
+    let id = bus.next_sink_id.fetch_add(1, Ordering::Relaxed);
+    bus.sinks
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((id, sink));
+    if bus.sink_count.fetch_add(1, Ordering::SeqCst) == 0 {
+        dtb_core::obs::set_enabled(true);
+    }
+    SinkGuard { id }
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        let bus = bus();
+        if bus.sink_count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            dtb_core::obs::set_enabled(false);
+        }
+        // Deliver everything emitted while we were installed. Events
+        // racing with the disable flip above may still land in the
+        // ring; they go to whatever sinks remain (best effort).
+        flush();
+        bus.sinks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|(id, _)| *id != self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CaptureSink;
+    use std::sync::MutexGuard;
+
+    /// The bus is process-global; tests that install sinks serialize
+    /// through this.
+    pub(crate) fn test_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn ev(n: u64) -> Event {
+        Event::EvalStarted { cells: n }
+    }
+
+    #[test]
+    fn ring_preserves_fifo_under_concurrent_producers() {
+        let ring = Arc::new(Ring::new(64));
+        let producers = 4;
+        let per = 5_000u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let mut env = Envelope {
+                            seq: p * per + i,
+                            scope: p,
+                            event: ev(i),
+                        };
+                        loop {
+                            match ring.push(env) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    env = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut got = 0u64;
+        let mut last_per_scope = vec![None::<u64>; producers as usize];
+        while got < producers * per {
+            if let Some(env) = ring.pop() {
+                // Per-producer order must be preserved.
+                let slot = &mut last_per_scope[env.scope as usize];
+                if let Some(prev) = *slot {
+                    assert!(env.seq > prev, "producer {} reordered", env.scope);
+                }
+                *slot = Some(env.seq);
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        assert!(ring.pop().is_none());
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn full_ring_rejects_instead_of_blocking() {
+        let ring = Ring::new(4);
+        for i in 0..4 {
+            ring.push(Envelope {
+                seq: i,
+                scope: 0,
+                event: ev(i),
+            })
+            .unwrap();
+        }
+        let back = ring
+            .push(Envelope {
+                seq: 99,
+                scope: 0,
+                event: ev(99),
+            })
+            .unwrap_err();
+        assert_eq!(back.seq, 99);
+        assert_eq!(ring.pop().unwrap().seq, 0);
+        // One slot freed: push succeeds again.
+        ring.push(back).unwrap();
+    }
+
+    #[test]
+    fn install_enables_emit_delivers_and_uninstall_disables() {
+        let _serial = test_lock();
+        assert!(!enabled());
+        let mut ran = false;
+        emit(|| {
+            ran = true;
+            ev(0)
+        });
+        assert!(!ran, "disabled emit must not build the event");
+
+        let sink = Arc::new(CaptureSink::default());
+        let before = stats().emitted;
+        {
+            let _guard = install(Arc::clone(&sink) as Arc<dyn Sink>);
+            assert!(enabled());
+            for i in 0..100 {
+                emit(|| ev(i));
+            }
+            assert!(flush());
+        }
+        assert!(!enabled());
+        let got = sink.take();
+        assert_eq!(got.len(), 100);
+        // Sequence numbers are contiguous for a single-threaded emitter.
+        for (i, env) in got.iter().enumerate() {
+            assert_eq!(env.seq, before + 1 + i as u64);
+            assert_eq!(env.event, ev(i as u64));
+        }
+    }
+
+    #[test]
+    fn two_sinks_both_receive() {
+        let _serial = test_lock();
+        let a = Arc::new(CaptureSink::default());
+        let b = Arc::new(CaptureSink::default());
+        let _ga = install(Arc::clone(&a) as Arc<dyn Sink>);
+        let _gb = install(Arc::clone(&b) as Arc<dyn Sink>);
+        emit(|| ev(7));
+        assert!(flush());
+        assert_eq!(a.take().len(), 1);
+        assert_eq!(b.take().len(), 1);
+    }
+}

@@ -1,0 +1,814 @@
+//! Serde-free wire encoders for [`Envelope`]: a single-line JSON object
+//! (human-greppable, used for `--events PATH` capture and the `/events`
+//! server-push wire) and a compact length-prefixed binary frame (used
+//! for `.bin` capture files), plus a binary decoder so captures can be
+//! replayed and round-tripped in tests.
+//!
+//! # Binary framing
+//!
+//! Each envelope is one frame:
+//!
+//! ```text
+//! [u8 variant tag][u64 seq][u64 scope][fields in declaration order]
+//! ```
+//!
+//! Integers are little-endian; `bool` is one byte; strings are
+//! `u16` LE byte length + UTF-8 bytes. There is no frame-level length:
+//! the tag determines the field schema, so frames are self-delimiting.
+
+use crate::event::{CellOutcome, Envelope, Event};
+
+/// Binary variant tags. Stable: append-only.
+mod tag {
+    pub const RUN_STARTED: u8 = 1;
+    pub const SCAVENGE: u8 = 2;
+    pub const RUN_FINISHED: u8 = 3;
+    pub const EVAL_STARTED: u8 = 4;
+    pub const CELL_STARTED: u8 = 5;
+    pub const CELL_RETRIED: u8 = 6;
+    pub const CELL_FINISHED: u8 = 7;
+    pub const TRACE_SYNTHESIZED: u8 = 8;
+    pub const SWEEP_SUBMITTED: u8 = 9;
+    pub const CELL_LEASED: u8 = 10;
+    pub const CELL_RECORDED: u8 = 11;
+    pub const CELL_REQUEUED: u8 = 12;
+    pub const SWEEP_DRAINED: u8 = 13;
+}
+
+// ───────────────────────── JSON ─────────────────────────
+
+/// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn field_u64(out: &mut String, name: &str, v: u64) {
+    out.push(',');
+    json_str(out, name);
+    out.push(':');
+    out.push_str(&v.to_string());
+}
+
+fn field_bool(out: &mut String, name: &str, v: bool) {
+    out.push(',');
+    json_str(out, name);
+    out.push(':');
+    out.push_str(if v { "true" } else { "false" });
+}
+
+fn field_str(out: &mut String, name: &str, v: &str) {
+    out.push(',');
+    json_str(out, name);
+    out.push(':');
+    json_str(out, v);
+}
+
+/// Encodes one envelope as a single-line JSON object (no trailing
+/// newline). The first three keys are always `seq`, `scope`, `type`.
+pub fn encode_json(env: &Envelope) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"seq\":");
+    out.push_str(&env.seq.to_string());
+    out.push_str(",\"scope\":");
+    out.push_str(&env.scope.to_string());
+    out.push_str(",\"type\":");
+    json_str(&mut out, env.event.tag());
+    match &env.event {
+        Event::RunStarted {
+            policy,
+            source,
+            threads,
+            block_events,
+        } => {
+            field_str(&mut out, "policy", policy);
+            field_str(&mut out, "source", source);
+            field_u64(&mut out, "threads", u64::from(*threads));
+            field_u64(&mut out, "block_events", *block_events);
+        }
+        Event::Scavenge {
+            collection,
+            at,
+            boundary,
+            traced,
+            surviving,
+            reclaimed,
+            tenured,
+            mem_before,
+            events,
+            inverse_queries,
+        } => {
+            field_u64(&mut out, "collection", *collection);
+            field_u64(&mut out, "at", *at);
+            field_u64(&mut out, "boundary", *boundary);
+            field_u64(&mut out, "traced", *traced);
+            field_u64(&mut out, "surviving", *surviving);
+            field_u64(&mut out, "reclaimed", *reclaimed);
+            field_u64(&mut out, "tenured", *tenured);
+            field_u64(&mut out, "mem_before", *mem_before);
+            field_u64(&mut out, "events", *events);
+            field_u64(&mut out, "inverse_queries", *inverse_queries);
+        }
+        Event::RunFinished {
+            collections,
+            ok,
+            inverse_probes,
+        } => {
+            field_u64(&mut out, "collections", *collections);
+            field_bool(&mut out, "ok", *ok);
+            field_u64(&mut out, "inverse_probes", *inverse_probes);
+        }
+        Event::EvalStarted { cells } => {
+            field_u64(&mut out, "cells", *cells);
+        }
+        Event::CellStarted {
+            column,
+            row,
+            attempt,
+        } => {
+            field_str(&mut out, "column", column);
+            field_str(&mut out, "row", row);
+            field_u64(&mut out, "attempt", u64::from(*attempt));
+        }
+        Event::CellRetried {
+            column,
+            row,
+            attempt,
+            delay_ns,
+            cause,
+        } => {
+            field_str(&mut out, "column", column);
+            field_str(&mut out, "row", row);
+            field_u64(&mut out, "attempt", u64::from(*attempt));
+            field_u64(&mut out, "delay_ns", *delay_ns);
+            field_str(&mut out, "cause", cause);
+        }
+        Event::CellFinished {
+            column,
+            row,
+            attempts,
+            elapsed_ns,
+            completed,
+            total,
+            outcome,
+            cause,
+        } => {
+            field_str(&mut out, "column", column);
+            field_str(&mut out, "row", row);
+            field_u64(&mut out, "attempts", u64::from(*attempts));
+            field_u64(&mut out, "elapsed_ns", *elapsed_ns);
+            field_u64(&mut out, "completed", *completed);
+            field_u64(&mut out, "total", *total);
+            field_str(&mut out, "outcome", outcome.label());
+            field_str(&mut out, "cause", cause);
+        }
+        Event::TraceSynthesized {
+            name,
+            events,
+            allocated,
+        } => {
+            field_str(&mut out, "name", name);
+            field_u64(&mut out, "events", *events);
+            field_u64(&mut out, "allocated", *allocated);
+        }
+        Event::SweepSubmitted {
+            sweep,
+            tenant,
+            cells,
+        } => {
+            field_u64(&mut out, "sweep", *sweep);
+            field_str(&mut out, "tenant", tenant);
+            field_u64(&mut out, "cells", *cells);
+        }
+        Event::CellLeased {
+            sweep,
+            cell,
+            lease,
+            worker,
+            tenant,
+            attempt,
+        } => {
+            field_u64(&mut out, "sweep", *sweep);
+            field_u64(&mut out, "cell", *cell);
+            field_u64(&mut out, "lease", *lease);
+            field_str(&mut out, "worker", worker);
+            field_str(&mut out, "tenant", tenant);
+            field_u64(&mut out, "attempt", u64::from(*attempt));
+        }
+        Event::CellRecorded {
+            sweep,
+            cell,
+            lease,
+            worker,
+            tenant,
+            ok,
+        } => {
+            field_u64(&mut out, "sweep", *sweep);
+            field_u64(&mut out, "cell", *cell);
+            field_u64(&mut out, "lease", *lease);
+            field_str(&mut out, "worker", worker);
+            field_str(&mut out, "tenant", tenant);
+            field_bool(&mut out, "ok", *ok);
+        }
+        Event::CellRequeued {
+            sweep,
+            cell,
+            lease,
+            worker,
+            tenant,
+            cause,
+        } => {
+            field_u64(&mut out, "sweep", *sweep);
+            field_u64(&mut out, "cell", *cell);
+            field_u64(&mut out, "lease", *lease);
+            field_str(&mut out, "worker", worker);
+            field_str(&mut out, "tenant", tenant);
+            field_str(&mut out, "cause", cause);
+        }
+        Event::SweepDrained {
+            sweep,
+            tenant,
+            failed,
+        } => {
+            field_u64(&mut out, "sweep", *sweep);
+            field_str(&mut out, "tenant", tenant);
+            field_u64(&mut out, "failed", *failed);
+        }
+    }
+    out.push('}');
+    out
+}
+
+// ───────────────────────── binary ─────────────────────────
+
+/// A malformed binary frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended mid-frame.
+    Truncated,
+    /// Unknown variant tag.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// An enum label field held an unknown value.
+    BadLabel,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated frame"),
+            DecodeError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            DecodeError::BadLabel => write!(f, "unknown enum label"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).unwrap_or(u16::MAX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..usize::from(len)]);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn boolean(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap());
+        let bytes = self.take(usize::from(len))?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+/// Appends one envelope as a binary frame to `out`.
+pub fn encode_binary(env: &Envelope, out: &mut Vec<u8>) {
+    let t = match &env.event {
+        Event::RunStarted { .. } => tag::RUN_STARTED,
+        Event::Scavenge { .. } => tag::SCAVENGE,
+        Event::RunFinished { .. } => tag::RUN_FINISHED,
+        Event::EvalStarted { .. } => tag::EVAL_STARTED,
+        Event::CellStarted { .. } => tag::CELL_STARTED,
+        Event::CellRetried { .. } => tag::CELL_RETRIED,
+        Event::CellFinished { .. } => tag::CELL_FINISHED,
+        Event::TraceSynthesized { .. } => tag::TRACE_SYNTHESIZED,
+        Event::SweepSubmitted { .. } => tag::SWEEP_SUBMITTED,
+        Event::CellLeased { .. } => tag::CELL_LEASED,
+        Event::CellRecorded { .. } => tag::CELL_RECORDED,
+        Event::CellRequeued { .. } => tag::CELL_REQUEUED,
+        Event::SweepDrained { .. } => tag::SWEEP_DRAINED,
+    };
+    out.push(t);
+    put_u64(out, env.seq);
+    put_u64(out, env.scope);
+    match &env.event {
+        Event::RunStarted {
+            policy,
+            source,
+            threads,
+            block_events,
+        } => {
+            put_str(out, policy);
+            put_str(out, source);
+            put_u32(out, *threads);
+            put_u64(out, *block_events);
+        }
+        Event::Scavenge {
+            collection,
+            at,
+            boundary,
+            traced,
+            surviving,
+            reclaimed,
+            tenured,
+            mem_before,
+            events,
+            inverse_queries,
+        } => {
+            for v in [
+                collection,
+                at,
+                boundary,
+                traced,
+                surviving,
+                reclaimed,
+                tenured,
+                mem_before,
+                events,
+                inverse_queries,
+            ] {
+                put_u64(out, *v);
+            }
+        }
+        Event::RunFinished {
+            collections,
+            ok,
+            inverse_probes,
+        } => {
+            put_u64(out, *collections);
+            out.push(u8::from(*ok));
+            put_u64(out, *inverse_probes);
+        }
+        Event::EvalStarted { cells } => put_u64(out, *cells),
+        Event::CellStarted {
+            column,
+            row,
+            attempt,
+        } => {
+            put_str(out, column);
+            put_str(out, row);
+            put_u32(out, *attempt);
+        }
+        Event::CellRetried {
+            column,
+            row,
+            attempt,
+            delay_ns,
+            cause,
+        } => {
+            put_str(out, column);
+            put_str(out, row);
+            put_u32(out, *attempt);
+            put_u64(out, *delay_ns);
+            put_str(out, cause);
+        }
+        Event::CellFinished {
+            column,
+            row,
+            attempts,
+            elapsed_ns,
+            completed,
+            total,
+            outcome,
+            cause,
+        } => {
+            put_str(out, column);
+            put_str(out, row);
+            put_u32(out, *attempts);
+            put_u64(out, *elapsed_ns);
+            put_u64(out, *completed);
+            put_u64(out, *total);
+            put_str(out, outcome.label());
+            put_str(out, cause);
+        }
+        Event::TraceSynthesized {
+            name,
+            events,
+            allocated,
+        } => {
+            put_str(out, name);
+            put_u64(out, *events);
+            put_u64(out, *allocated);
+        }
+        Event::SweepSubmitted {
+            sweep,
+            tenant,
+            cells,
+        } => {
+            put_u64(out, *sweep);
+            put_str(out, tenant);
+            put_u64(out, *cells);
+        }
+        Event::CellLeased {
+            sweep,
+            cell,
+            lease,
+            worker,
+            tenant,
+            attempt,
+        } => {
+            put_u64(out, *sweep);
+            put_u64(out, *cell);
+            put_u64(out, *lease);
+            put_str(out, worker);
+            put_str(out, tenant);
+            put_u32(out, *attempt);
+        }
+        Event::CellRecorded {
+            sweep,
+            cell,
+            lease,
+            worker,
+            tenant,
+            ok,
+        } => {
+            put_u64(out, *sweep);
+            put_u64(out, *cell);
+            put_u64(out, *lease);
+            put_str(out, worker);
+            put_str(out, tenant);
+            out.push(u8::from(*ok));
+        }
+        Event::CellRequeued {
+            sweep,
+            cell,
+            lease,
+            worker,
+            tenant,
+            cause,
+        } => {
+            put_u64(out, *sweep);
+            put_u64(out, *cell);
+            put_u64(out, *lease);
+            put_str(out, worker);
+            put_str(out, tenant);
+            put_str(out, cause);
+        }
+        Event::SweepDrained {
+            sweep,
+            tenant,
+            failed,
+        } => {
+            put_u64(out, *sweep);
+            put_str(out, tenant);
+            put_u64(out, *failed);
+        }
+    }
+}
+
+/// Decodes one binary frame from the front of `buf`, returning the
+/// envelope and the number of bytes consumed.
+pub fn decode_binary(buf: &[u8]) -> Result<(Envelope, usize), DecodeError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let t = c.u8()?;
+    let seq = c.u64()?;
+    let scope = c.u64()?;
+    let event = match t {
+        tag::RUN_STARTED => Event::RunStarted {
+            policy: c.string()?,
+            source: c.string()?,
+            threads: c.u32()?,
+            block_events: c.u64()?,
+        },
+        tag::SCAVENGE => Event::Scavenge {
+            collection: c.u64()?,
+            at: c.u64()?,
+            boundary: c.u64()?,
+            traced: c.u64()?,
+            surviving: c.u64()?,
+            reclaimed: c.u64()?,
+            tenured: c.u64()?,
+            mem_before: c.u64()?,
+            events: c.u64()?,
+            inverse_queries: c.u64()?,
+        },
+        tag::RUN_FINISHED => Event::RunFinished {
+            collections: c.u64()?,
+            ok: c.boolean()?,
+            inverse_probes: c.u64()?,
+        },
+        tag::EVAL_STARTED => Event::EvalStarted { cells: c.u64()? },
+        tag::CELL_STARTED => Event::CellStarted {
+            column: c.string()?,
+            row: c.string()?,
+            attempt: c.u32()?,
+        },
+        tag::CELL_RETRIED => Event::CellRetried {
+            column: c.string()?,
+            row: c.string()?,
+            attempt: c.u32()?,
+            delay_ns: c.u64()?,
+            cause: c.string()?,
+        },
+        tag::CELL_FINISHED => Event::CellFinished {
+            column: c.string()?,
+            row: c.string()?,
+            attempts: c.u32()?,
+            elapsed_ns: c.u64()?,
+            completed: c.u64()?,
+            total: c.u64()?,
+            outcome: {
+                let label = c.string()?;
+                CellOutcome::from_label(&label).ok_or(DecodeError::BadLabel)?
+            },
+            cause: c.string()?,
+        },
+        tag::TRACE_SYNTHESIZED => Event::TraceSynthesized {
+            name: c.string()?,
+            events: c.u64()?,
+            allocated: c.u64()?,
+        },
+        tag::SWEEP_SUBMITTED => Event::SweepSubmitted {
+            sweep: c.u64()?,
+            tenant: c.string()?,
+            cells: c.u64()?,
+        },
+        tag::CELL_LEASED => Event::CellLeased {
+            sweep: c.u64()?,
+            cell: c.u64()?,
+            lease: c.u64()?,
+            worker: c.string()?,
+            tenant: c.string()?,
+            attempt: c.u32()?,
+        },
+        tag::CELL_RECORDED => Event::CellRecorded {
+            sweep: c.u64()?,
+            cell: c.u64()?,
+            lease: c.u64()?,
+            worker: c.string()?,
+            tenant: c.string()?,
+            ok: c.boolean()?,
+        },
+        tag::CELL_REQUEUED => Event::CellRequeued {
+            sweep: c.u64()?,
+            cell: c.u64()?,
+            lease: c.u64()?,
+            worker: c.string()?,
+            tenant: c.string()?,
+            cause: c.string()?,
+        },
+        tag::SWEEP_DRAINED => Event::SweepDrained {
+            sweep: c.u64()?,
+            tenant: c.string()?,
+            failed: c.u64()?,
+        },
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    Ok((Envelope { seq, scope, event }, c.pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Envelope> {
+        let events = vec![
+            Event::RunStarted {
+                policy: "DTBFM".into(),
+                source: "cfrac".into(),
+                threads: 4,
+                block_events: 4096,
+            },
+            Event::Scavenge {
+                collection: 3,
+                at: 4_194_304,
+                boundary: 3_100_000,
+                traced: 120_000,
+                surviving: 90_000,
+                reclaimed: 30_000,
+                tenured: 1_024,
+                mem_before: 210_000,
+                events: 88_123,
+                inverse_queries: 2,
+            },
+            Event::RunFinished {
+                collections: 12,
+                ok: true,
+                inverse_probes: 37,
+            },
+            Event::EvalStarted { cells: 54 },
+            Event::CellStarted {
+                column: "espresso".into(),
+                row: "FIXED(1)".into(),
+                attempt: 1,
+            },
+            Event::CellRetried {
+                column: "gs".into(),
+                row: "DTBMEM".into(),
+                attempt: 2,
+                delay_ns: 1_500_000,
+                cause: "deadline: exceeded 1s at 42".into(),
+            },
+            Event::CellFinished {
+                column: "cfrac".into(),
+                row: "FULL".into(),
+                attempts: 1,
+                elapsed_ns: 9_999,
+                completed: 7,
+                total: 54,
+                outcome: CellOutcome::Completed,
+                cause: String::new(),
+            },
+            Event::CellFinished {
+                column: "perl".into(),
+                row: "DUAL".into(),
+                attempts: 3,
+                elapsed_ns: 123,
+                completed: 8,
+                total: 54,
+                outcome: CellOutcome::Failed,
+                cause: "weird \"quoted\"\ncause".into(),
+            },
+            Event::TraceSynthesized {
+                name: "synth-server".into(),
+                events: 1_000_000,
+                allocated: 1 << 32,
+            },
+            Event::SweepSubmitted {
+                sweep: 1,
+                tenant: "repro".into(),
+                cells: 54,
+            },
+            Event::CellLeased {
+                sweep: 1,
+                cell: 9,
+                lease: 17,
+                worker: "w-1".into(),
+                tenant: "repro".into(),
+                attempt: 1,
+            },
+            Event::CellRecorded {
+                sweep: 1,
+                cell: 9,
+                lease: 17,
+                worker: "w-1".into(),
+                tenant: "repro".into(),
+                ok: true,
+            },
+            Event::CellRequeued {
+                sweep: 1,
+                cell: 10,
+                lease: 0,
+                worker: String::new(),
+                tenant: "repro".into(),
+                cause: "lease expired".into(),
+            },
+            Event::SweepDrained {
+                sweep: 1,
+                tenant: "repro".into(),
+                failed: 0,
+            },
+        ];
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| Envelope {
+                seq: i as u64 + 1,
+                scope: (i as u64) % 3,
+                event,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_round_trips_every_variant() {
+        let mut buf = Vec::new();
+        let envs = samples();
+        for e in &envs {
+            encode_binary(e, &mut buf);
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while pos < buf.len() {
+            let (env, used) = decode_binary(&buf[pos..]).expect("decode");
+            decoded.push(env);
+            pos += used;
+        }
+        assert_eq!(decoded, envs);
+    }
+
+    #[test]
+    fn binary_truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        for e in &samples() {
+            encode_binary(e, &mut buf);
+        }
+        for cut in 0..buf.len().min(64) {
+            // Any prefix either decodes some whole frames or errors.
+            let _ = decode_binary(&buf[..cut]);
+        }
+        assert_eq!(decode_binary(&[]), Err(DecodeError::Truncated));
+        assert!(matches!(
+            decode_binary(&[0xEE, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(DecodeError::BadTag(0xEE))
+        ));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let env = Envelope {
+            seq: 42,
+            scope: 7,
+            event: Event::Scavenge {
+                collection: 0,
+                at: 1_048_576,
+                boundary: 0,
+                traced: 10,
+                surviving: 10,
+                reclaimed: 5,
+                tenured: 0,
+                mem_before: 15,
+                events: 99,
+                inverse_queries: 1,
+            },
+        };
+        assert_eq!(
+            encode_json(&env),
+            "{\"seq\":42,\"scope\":7,\"type\":\"scavenge\",\"collection\":0,\
+             \"at\":1048576,\"boundary\":0,\"traced\":10,\"surviving\":10,\
+             \"reclaimed\":5,\"tenured\":0,\"mem_before\":15,\"events\":99,\
+             \"inverse_queries\":1}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let env = Envelope {
+            seq: 1,
+            scope: 0,
+            event: Event::CellRetried {
+                column: "a\"b".into(),
+                row: "c\\d".into(),
+                attempt: 1,
+                delay_ns: 0,
+                cause: "line1\nline2\ttab\u{1}ctl".into(),
+            },
+        };
+        let json = encode_json(&env);
+        assert!(json.contains("\"a\\\"b\""));
+        assert!(json.contains("\"c\\\\d\""));
+        assert!(json.contains("line1\\nline2\\ttab\\u0001ctl"));
+    }
+}

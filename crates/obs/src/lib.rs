@@ -1,0 +1,56 @@
+//! `dtb-obs` — the unified observability layer.
+//!
+//! One structured telemetry bus spans every layer of the system: the
+//! simulation engine emits per-scavenge spans, the executor emits cell
+//! lifecycle events, the trace tools report synthesis progress, and the
+//! distributed coordinator publishes sweep/lease lifecycle — all as one
+//! typed [`Event`] enum flowing through one global bounded MPSC ring to
+//! pluggable [`Sink`]s.
+//!
+//! # Usage
+//!
+//! Instrumented code calls [`emit`] with a closure; the closure only
+//! runs when a sink is installed:
+//!
+//! ```
+//! use dtb_obs::{emit, install, flush, Event, CaptureSink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(CaptureSink::default());
+//! let guard = install(sink.clone());
+//! emit(|| Event::EvalStarted { cells: 54 });
+//! flush();
+//! assert_eq!(sink.take().len(), 1);
+//! drop(guard); // uninstalls and disables instrumentation
+//! ```
+//!
+//! # Zero cost when disabled
+//!
+//! With no sink installed, [`emit`] is a single relaxed atomic load and
+//! a branch — no allocation, no event construction, no drainer thread.
+//! The engine's zero-allocation regression test and the `bench_dtb`
+//! throughput floors both cover the disabled path.
+//!
+//! # Ordering
+//!
+//! Every envelope carries a bus-global monotonic `seq` (gaps = drops)
+//! and a `scope` tying engine events to the run that emitted them (see
+//! [`scope`]). Delivery to sinks is in ring order.
+
+// The lock-free ring in `bus` is the one place this workspace uses
+// unsafe code; it is documented at each site and every unsafe operation
+// must be inside an explicitly-scoped unsafe block.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod encode;
+pub mod event;
+pub mod scope;
+pub mod sink;
+
+pub use bus::{emit, enabled, flush, install, stats, BusStats, SinkGuard};
+pub use encode::{decode_binary, encode_binary, encode_json, DecodeError};
+pub use event::{CellOutcome, Envelope, Event};
+pub use scope::{add_run_probes, next_run_id, run_probes, RunScope};
+pub use sink::{CaptureSink, FileSink, FnSink, Sink};

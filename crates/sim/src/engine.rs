@@ -477,16 +477,23 @@ impl<'c, H: CheckpointHeap> Sim<'c, H> {
         source: &mut S,
         policy: &mut dyn TbPolicy,
     ) -> Result<SimRun, SimError> {
-        if self.threads > 1 && H::EPOCH_PARALLEL && self.parallel_eligible() {
-            return crate::par::run_parallel(
-                source,
-                policy,
-                &self.config,
-                &self.control,
-                self.threads,
-            );
-        }
-        run_serial::<H, S>(source, policy, &self.config, self.control)
+        // All three execution modes (serial, block, parallel) funnel
+        // through here, and the drive loop always executes on this
+        // thread (the parallel engine only fans out epoch preparation),
+        // so one span guard covers every scavenge event of the run.
+        let span = ObsRunSpan::begin(
+            policy.name(),
+            &source.meta().name,
+            self.threads,
+            self.control.block_events,
+        );
+        let result = if self.threads > 1 && H::EPOCH_PARALLEL && self.parallel_eligible() {
+            crate::par::run_parallel(source, policy, &self.config, &self.control, self.threads)
+        } else {
+            run_serial::<H, S>(source, policy, &self.config, self.control)
+        };
+        span.finish(&result);
+        result
     }
 
     /// Simulates `policy` over a compiled in-memory trace.
@@ -861,6 +868,45 @@ pub(crate) fn run_serial<H: CheckpointHeap, S: EventSource + ?Sized>(
     })
 }
 
+/// Telemetry span covering one engine run: enters a run scope (so every
+/// scavenge event is tagged with this run's id), emits
+/// `RunStarted`/`RunFinished`, and resets the estimator counters so a
+/// previous run on this thread cannot leak probes into ours. Does
+/// nothing — not even an allocation — when no sink is installed.
+struct ObsRunSpan {
+    scope: Option<dtb_obs::RunScope>,
+}
+
+impl ObsRunSpan {
+    fn begin(policy: &str, source: &str, threads: usize, block_events: usize) -> ObsRunSpan {
+        if !dtb_obs::enabled() {
+            return ObsRunSpan { scope: None };
+        }
+        let scope = dtb_obs::RunScope::enter(dtb_obs::next_run_id());
+        let _ = dtb_core::obs::take_inverse_queries();
+        dtb_obs::emit(|| dtb_obs::Event::RunStarted {
+            policy: policy.to_string(),
+            source: source.to_string(),
+            threads: threads as u32,
+            block_events: block_events as u64,
+        });
+        ObsRunSpan { scope: Some(scope) }
+    }
+
+    fn finish(self, result: &Result<SimRun, SimError>) {
+        if self.scope.is_some() {
+            dtb_obs::emit(|| dtb_obs::Event::RunFinished {
+                collections: result
+                    .as_ref()
+                    .map(|run| run.report.collections as u64)
+                    .unwrap_or(0),
+                ok: result.is_ok(),
+                inverse_probes: dtb_obs::run_probes(),
+            });
+        }
+    }
+}
+
 /// Running totals the invariant checker reconciles against the heap.
 #[derive(Default)]
 pub(crate) struct Ledger {
@@ -967,6 +1013,28 @@ pub(crate) fn scavenge_now<H: SimHeap>(
         reclaimed: outcome.reclaimed,
         mem_before,
     });
+    if dtb_core::obs::enabled() {
+        // The scavenge span payload is engine-invariant: `collection`,
+        // the trigger clock/event position, the outcome bytes, and the
+        // inverse-query *call* count are all identical across the
+        // per-event, block, and parallel engines (the determinism suite
+        // pins this). The probe count is not — Fenwick descent vs
+        // candidate scan — so it only feeds the run-level diagnostic.
+        let (inverse_calls, inverse_probes) = dtb_core::obs::take_inverse_queries();
+        dtb_obs::add_run_probes(inverse_probes);
+        dtb_obs::emit(|| dtb_obs::Event::Scavenge {
+            collection: collection as u64,
+            at: now.as_u64(),
+            boundary: tb.as_u64(),
+            traced: outcome.traced.as_u64(),
+            surviving: outcome.surviving.as_u64(),
+            reclaimed: outcome.reclaimed.as_u64(),
+            tenured: outcome.tenured_garbage.as_u64(),
+            mem_before: mem_before.as_u64(),
+            events: ledger.events,
+            inverse_queries: inverse_calls,
+        });
+    }
     if config.record_curve {
         curve.push(CurvePoint {
             at: now,

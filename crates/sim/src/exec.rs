@@ -298,10 +298,18 @@ pub enum FailureCause {
         at: VirtualTime,
     },
     /// The cell was evaluated by the distributed service and quarantined
-    /// there; the string is the coordinator's recorded cause (already
-    /// final — the service spent its own retries before quarantining, so
-    /// a remote failure is never transient here).
-    Remote(String),
+    /// there; the string is the coordinator's recorded cause. The
+    /// quarantine is final — the service spent its own retries before
+    /// quarantining — but `transient` preserves the *class* of the
+    /// underlying failure, so remote and local failures render with the
+    /// same transient/permanent classification.
+    Remote {
+        /// The coordinator's recorded cause.
+        cause: String,
+        /// Whether the underlying failure was transient (the service
+        /// exhausted its retries on it).
+        transient: bool,
+    },
 }
 
 impl FailureCause {
@@ -318,6 +326,10 @@ impl FailureCause {
                     source: SourceError::Shard(CtcError::Io { .. }),
                     ..
                 })
+                | FailureCause::Remote {
+                    transient: true,
+                    ..
+                }
         )
     }
 }
@@ -330,7 +342,7 @@ impl fmt::Display for FailureCause {
             FailureCause::Deadline { limit, at } => {
                 write!(f, "deadline of {limit:?} exceeded at clock {}", at.as_u64())
             }
-            FailureCause::Remote(cause) => write!(f, "remote: {cause}"),
+            FailureCause::Remote { cause, .. } => write!(f, "remote: {cause}"),
         }
     }
 }
@@ -351,6 +363,28 @@ impl CellFailure {
     /// ([`FailureCause::is_transient`]).
     pub fn is_transient(&self) -> bool {
         self.cause.is_transient()
+    }
+
+    /// Renders the failure for a human report: cell, cause,
+    /// transient/permanent class, and attempts consumed.
+    ///
+    /// This is the **one** formatter for failed cells — local runs and
+    /// `--submit` runs served by the distributed service both go
+    /// through it, so the two paths render identically (a served
+    /// failure differs only by its `remote:` provenance prefix). The
+    /// class tells the reader what a rerun would do: transient causes
+    /// retry (these exhausted the retry budget), permanent and remote
+    /// causes fail identically every time.
+    pub fn render(&self, attempts: u32) -> String {
+        let class = if self.is_transient() {
+            "transient, retries exhausted"
+        } else {
+            "permanent"
+        };
+        format!(
+            "{} × {}: {} [{class}; {attempts} attempt(s)]",
+            self.program, self.row, self.cause
+        )
     }
 }
 
@@ -779,6 +813,9 @@ impl Evaluation {
             .filter(|key| !reused.contains_key(key))
             .collect();
         let total = jobs.len();
+        dtb_obs::emit(|| dtb_obs::Event::EvalStarted {
+            cells: total as u64,
+        });
         // Progress callbacks fire from workers in completion order; a
         // dedicated counter keeps `completed` accurate even when the
         // finishing order is scrambled.
@@ -825,13 +862,33 @@ impl Evaluation {
                         .get_or_insert(e);
                 }
             }
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            // The bus carries the canonical lifecycle record; the
+            // `on_cell` callback below is a thin compatibility adapter
+            // over the same moment (same counter, same ordering).
+            dtb_obs::emit(|| dtb_obs::Event::CellFinished {
+                column: names[c].clone(),
+                row: row_labels[r].clone(),
+                attempts,
+                elapsed_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                completed: done as u64,
+                total: total as u64,
+                outcome: match &outcome {
+                    CellOutcome::Completed(_) => dtb_obs::CellOutcome::Completed,
+                    CellOutcome::Failed(_) => dtb_obs::CellOutcome::Failed,
+                },
+                cause: match &outcome {
+                    CellOutcome::Completed(_) => String::new(),
+                    CellOutcome::Failed(f) => f.cause.to_string(),
+                },
+            });
             if let Some(cb) = &self.on_cell {
                 let event = CellEvent {
                     program: &names[c],
                     row: &rows[r].row(),
                     elapsed,
                     failed: matches!(outcome, CellOutcome::Failed(_)),
-                    completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                    completed: done,
                     total,
                 };
                 // A panicking observer must not take the cell down with it.
@@ -929,6 +986,11 @@ fn run_cell_supervised(
     let mut attempts = 0u32;
     loop {
         attempts += 1;
+        dtb_obs::emit(|| dtb_obs::Event::CellStarted {
+            column: name.to_string(),
+            row: spec.row().to_string(),
+            attempt: attempts,
+        });
         let cancel = Arc::new(AtomicBool::new(false));
         let outcome = {
             let _watchdog = deadline.map(|limit| Watchdog::arm(limit, Arc::clone(&cancel)));
@@ -964,7 +1026,15 @@ fn run_cell_supervised(
         };
         match &outcome {
             CellOutcome::Failed(f) if f.is_transient() && attempts <= retry.max_retries => {
-                thread::sleep(retry.delay(salt, attempts - 1));
+                let delay = retry.delay(salt, attempts - 1);
+                dtb_obs::emit(|| dtb_obs::Event::CellRetried {
+                    column: name.to_string(),
+                    row: spec.row().to_string(),
+                    attempt: attempts,
+                    delay_ns: delay.as_nanos().min(u64::MAX as u128) as u64,
+                    cause: f.cause.to_string(),
+                });
+                thread::sleep(delay);
             }
             _ => return (outcome, attempts),
         }

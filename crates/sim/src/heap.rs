@@ -709,6 +709,9 @@ impl SurvivalEstimator for SurvivalSnapshot<'_> {
         trace_max: Bytes,
         candidates: BoundaryCandidates<'_>,
     ) -> Option<VirtualTime> {
+        // One call, one descent: the probe count is what distinguishes
+        // this implementation from the default scan in telemetry.
+        dtb_core::obs::note_inverse_query(1);
         let total = self.index.live_total();
         let budget = trace_max.as_u64();
         if total <= budget {

@@ -8,6 +8,13 @@
 //! warm-up, snapshot + queries + scavenge must perform **zero**
 //! allocations.
 //!
+//! The observability layer rides on the same guarantee: with no sink
+//! installed, [`dtb_obs::emit`] is one relaxed atomic load and a branch
+//! — the event-building closure (which allocates strings) must never
+//! run. The measured region exercises that disabled path too, so
+//! instrumenting a hot loop can never quietly tax the uninstrumented
+//! build.
+//!
 //! The whole file is a single `#[test]` — the counter is process-global,
 //! and a sibling test allocating on another thread would pollute it.
 
@@ -97,6 +104,19 @@ fn steady_state_scavenge_path_is_allocation_free() {
         observed += heap.live_bytes_at(now);
         let outcome = heap.scavenge(tb, now);
         observed += outcome.traced + outcome.reclaimed + outcome.tenured_garbage;
+
+        // The disabled observability path: no sink is installed in this
+        // process, so the closure — which would allocate two strings
+        // and an event — must never run, and `emit` must not allocate
+        // on its own behalf either.
+        assert!(!dtb_obs::enabled(), "this test never installs a sink");
+        for probe in 0..64u64 {
+            dtb_obs::emit(|| dtb_obs::Event::CellStarted {
+                column: format!("probe-{probe}"),
+                row: "zero-alloc".to_string(),
+                attempt: 1,
+            });
+        }
     }
 
     let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;

@@ -16,15 +16,17 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dtb-coordinator [--addr HOST:PORT] [--journal DIR] [--lease-ms N]\n\
-         \x20                      [--retries N] [--idle-ms N] [--quota TENANT=EVENTS]...\n\
+        "usage: dtb-coordinator [--addr HOST:PORT] [--journal DIR] [--results FILE]\n\
+         \x20                      [--lease-ms N] [--retries N] [--idle-ms N]\n\
+         \x20                      [--quota TENANT=EVENTS]...\n\
          \n\
          --addr HOST:PORT   listen address (default 127.0.0.1:7077; port 0 = ephemeral)\n\
          --journal DIR      durable per-sweep journals under DIR/sweep-<id>/\n\
          --lease-ms N       lease validity window in ms (default 60000)\n\
          --retries N        transient-failure retries per cell beyond the first attempt (default 2)\n\
          --idle-ms N        poll backoff handed to idle workers in ms (default 100)\n\
-         --quota T=N        cap tenant T's cells at N simulation events (repeatable)"
+         --quota T=N        cap tenant T's cells at N simulation events (repeatable)\n\
+         --results FILE     append-only results store behind GET /results (DTBRES01)"
     );
     std::process::exit(2);
 }
@@ -44,6 +46,7 @@ fn parse_args() -> (String, CoordinatorConfig) {
         match arg.as_str() {
             "--addr" => addr = value("--addr"),
             "--journal" => config.journal_dir = Some(value("--journal").into()),
+            "--results" => config.results_path = Some(value("--results").into()),
             "--lease-ms" => {
                 config.lease_timeout = Duration::from_millis(parse_num(&value("--lease-ms")))
             }

@@ -1,0 +1,118 @@
+//! `dtb-events`: watch and query a running coordinator.
+//!
+//! ```text
+//! dtb-events tail --addr 127.0.0.1:7077 [--from N]
+//! dtb-events results --addr 127.0.0.1:7077 --sweep 1
+//! ```
+//!
+//! `tail` follows the coordinator's `GET /events` server-push stream and
+//! prints one JSON event per line until the stream ends (coordinator
+//! shutdown) — pipe it through `grep`/`jq` to watch a sweep fill in.
+//! `results` queries the `GET /results` store and prints the reply JSON.
+
+use dtb_svc::events::follow_events;
+use dtb_svc::proto::encode;
+use dtb_svc::Client;
+use std::sync::atomic::AtomicBool;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dtb-events tail --addr HOST:PORT [--from N]\n\
+         \x20      dtb-events results --addr HOST:PORT --sweep N\n\
+         \n\
+         tail     stream /events (one JSON event per line) until the coordinator stops\n\
+         results  print the /results reply for one sweep\n\
+         --addr HOST:PORT  coordinator address (required)\n\
+         --from N          first event sequence number to stream (default 1)\n\
+         --sweep N         sweep id to query"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    command: String,
+    addr: Option<String>,
+    from: u64,
+    sweep: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { usage() };
+    let mut parsed = Args {
+        command,
+        addr: None,
+        from: 1,
+        sweep: None,
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => parsed.addr = Some(value("--addr")),
+            "--from" => parsed.from = parse_num(&value("--from")),
+            "--sweep" => parsed.sweep = Some(parse_num(&value("--sweep"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    parsed
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("`{s}` is not a number");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(addr) = args.addr.clone() else {
+        eprintln!("--addr is required");
+        usage()
+    };
+    match args.command.as_str() {
+        "tail" => {
+            use std::io::Write;
+            let stop = AtomicBool::new(false);
+            let mut out = std::io::stdout();
+            let followed = follow_events(&addr, args.from, &stop, |line| {
+                // A closed pipe downstream (e.g. `| head`) ends the tail.
+                writeln!(out, "{line}").and_then(|()| out.flush()).is_ok()
+            });
+            if let Err(e) = followed {
+                eprintln!("dtb-events: stream from {addr} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        "results" => {
+            let Some(sweep) = args.sweep else {
+                eprintln!("--sweep is required for `results`");
+                usage()
+            };
+            let mut client = Client::connect(addr.clone());
+            match client.results(sweep) {
+                Ok(reply) => {
+                    let json = String::from_utf8(encode(&reply)).expect("wire JSON is UTF-8");
+                    println!("{json}");
+                }
+                Err(e) => {
+                    eprintln!("dtb-events: /results from {addr} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}

@@ -27,6 +27,7 @@ fn usage() -> ! {
          --exit-when-done      exit 0 once the coordinator reports all sweeps done\n\
          --cell-delay-ms N     pause before each cell (crash-test pacing)\n\
          --threads N           intra-cell simulation threads (default 1)\n\
+         --relay-events        relay per-scavenge telemetry into the coordinator's /events\n\
          --net-retries N       wire-failure retries per exchange (default 4)\n\
          --fault-*             deterministic network fault injection (see docs)"
     );
@@ -61,6 +62,7 @@ fn parse_args() -> Args {
                 config.cell_delay = Duration::from_millis(parse_num(&value("--cell-delay-ms")))
             }
             "--threads" => config.threads = parse_num(&value("--threads")) as usize,
+            "--relay-events" => config.relay_events = true,
             "--net-retries" => net_retries = parse_num(&value("--net-retries")) as u32,
             "--fault-drop-every" => plan.drop_every = Some(parse_num(&value("--fault-drop-every"))),
             "--fault-garble-every" => {

@@ -12,8 +12,9 @@
 
 use crate::http::{read_response, write_request, Request, Response, WireError};
 use crate::proto::{
-    decode, encode, CompleteReply, CompleteRequest, LeaseReply, LeaseRequest, StatusReply,
-    SubmitReply, SubmitRequest, SweepReply, SweepSpec, PROTO_VERSION,
+    decode, encode, CellResult, CompleteReply, CompleteRequest, LeaseReply, LeaseRequest,
+    RelayReply, RelayRequest, ResultsReply, StatusReply, SubmitReply, SubmitRequest, SweepReply,
+    SweepSpec, PROTO_VERSION,
 };
 use dtb_core::policy::Row;
 use dtb_sim::exec::{Cell, CellFailure, CellOutcome, Column, FailureCause, Matrix, RetryPolicy};
@@ -243,6 +244,26 @@ impl Client {
         self.exchange(&Self::get(&format!("/sweep?id={id}")))
     }
 
+    /// Queries the results store: cells finalized so far, served even
+    /// while the sweep is still running.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError`] when the exchange fails past retries.
+    pub fn results(&mut self, id: u64) -> Result<ResultsReply, SvcError> {
+        self.exchange(&Self::get(&format!("/results?sweep={id}")))
+    }
+
+    /// Relays a batch of worker-side event lines into the coordinator's
+    /// `/events` stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError`] when the exchange fails past retries.
+    pub fn relay(&mut self, req: &RelayRequest) -> Result<RelayReply, SvcError> {
+        self.exchange(&Self::post("/relay", encode(req)))
+    }
+
     /// Asks the coordinator to stop serving. One shot, no retries — a
     /// dead peer is already shut down.
     ///
@@ -298,9 +319,16 @@ impl Client {
 /// renders or compares an in-process `Evaluation::run` result consumes a
 /// served sweep unchanged.
 pub fn matrix_from_sweep(reply: &SweepReply) -> Matrix {
-    let rows = reply.spec.rows();
-    let columns = reply
-        .spec
+    matrix_from_cells(&reply.spec, &reply.cells)
+}
+
+/// Reassembles served cells into the executor's [`Matrix`] shape
+/// against `spec`'s (programs × rows) grid — the shared core of
+/// [`matrix_from_sweep`] (`GET /sweep`) and the `/results` store path,
+/// so both serve bit-identical matrices.
+pub fn matrix_from_cells(spec: &SweepSpec, served: &[CellResult]) -> Matrix {
+    let rows = spec.rows();
+    let columns = spec
         .programs
         .iter()
         .map(|&program| {
@@ -308,11 +336,10 @@ pub fn matrix_from_sweep(reply: &SweepReply) -> Matrix {
             let cells = rows
                 .iter()
                 .map(|row| {
-                    let served = reply
-                        .cells
+                    let cell = served
                         .iter()
                         .find(|c| c.column == label && c.row == row.to_string());
-                    cell_from_result(label, row, served)
+                    cell_from_result(label, row, cell)
                 })
                 .collect();
             Column {
@@ -328,17 +355,24 @@ pub fn matrix_from_sweep(reply: &SweepReply) -> Matrix {
     Matrix::from_columns(columns)
 }
 
-fn cell_from_result(column: &str, row: &Row, served: Option<&crate::proto::CellResult>) -> Cell {
+fn cell_from_result(column: &str, row: &Row, served: Option<&CellResult>) -> Cell {
     let (outcome, elapsed_ns, attempts) = match served {
         Some(result) => {
             let outcome = match (&result.run, &result.failure) {
                 (Some(run), _) => CellOutcome::Completed(run.clone()),
-                (None, Some(failure)) => failed(column, row, failure.clone()),
-                (None, None) => failed(column, row, "served cell carried no outcome"),
+                // The coordinator preserved the worker's verbatim cause
+                // and transient class, so this renders exactly as the
+                // equivalent local failure would.
+                (None, Some(failure)) => failed(column, row, failure.clone(), result.transient),
+                (None, None) => failed(column, row, "served cell carried no outcome", false),
             };
             (outcome, result.elapsed_ns, result.attempts)
         }
-        None => (failed(column, row, "cell missing from served sweep"), 0, 0),
+        None => (
+            failed(column, row, "cell missing from served sweep", false),
+            0,
+            0,
+        ),
     };
     Cell {
         row: row.clone(),
@@ -348,10 +382,63 @@ fn cell_from_result(column: &str, row: &Row, served: Option<&crate::proto::CellR
     }
 }
 
-fn failed(column: &str, row: &Row, cause: impl Into<String>) -> CellOutcome {
+fn failed(column: &str, row: &Row, cause: impl Into<String>, transient: bool) -> CellOutcome {
     CellOutcome::Failed(CellFailure {
         program: column.to_string(),
         row: row.clone(),
-        cause: FailureCause::Remote(cause.into()),
+        cause: FailureCause::Remote {
+            cause: cause.into(),
+            transient,
+        },
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Satellite of the observability PR: a failure that travelled
+    /// through the service (worker → quarantine → `CellResult` →
+    /// reassembly) renders through the same [`CellFailure::render`]
+    /// formatter as a local one, with the same cause text, the same
+    /// transient/permanent class, and the same attempt count — the only
+    /// difference is the `remote:` provenance prefix.
+    #[test]
+    fn served_failures_render_like_local_ones() {
+        let row = Row::NoGc;
+        let local = CellFailure {
+            program: "SELF".to_string(),
+            row: row.clone(),
+            cause: FailureCause::Deadline {
+                limit: Duration::from_secs(2),
+                at: dtb_core::VirtualTime::from_bytes(500),
+            },
+        };
+        // What the worker reports: the verbatim rendered cause plus the
+        // transient class — exactly what the coordinator stores.
+        let served = CellResult {
+            column: local.program.clone(),
+            row: row.to_string(),
+            attempts: 3,
+            elapsed_ns: 0,
+            run: None,
+            failure: Some(local.cause.to_string()),
+            transient: local.cause.is_transient(),
+        };
+        let cell = cell_from_result(&local.program, &row, Some(&served));
+        assert_eq!(cell.attempts, 3);
+        let remote = cell.failure().expect("served failure survives reassembly");
+        assert!(
+            remote.is_transient(),
+            "transient class must survive the wire"
+        );
+        let cause = local.cause.to_string();
+        assert_eq!(
+            remote.render(cell.attempts),
+            local
+                .render(3)
+                .replacen(&cause, &format!("remote: {cause}"), 1)
+        );
+    }
 }

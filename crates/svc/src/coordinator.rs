@@ -47,13 +47,19 @@
 //! `SimConfig` before it ships, so an over-budget cell fails with the
 //! engine's own typed `BudgetExceeded`, exactly as it would in-process.
 
-use crate::http::{read_request, write_response, Request, Response, WireError};
+use crate::events::{json_string, EventLog, HEARTBEAT};
+use crate::http::{
+    read_request, write_chunk, write_chunk_end, write_chunked_head, write_response, Request,
+    Response, WireError,
+};
 use crate::proto::{
     decode, encode, CellResult, CellTask, CompleteReply, CompleteRequest, CompleteStatus,
-    LeaseReply, LeaseRequest, StatusReply, SubmitReply, SubmitRequest, SweepReply, SweepSpec,
-    SweepStatus, PROTO_VERSION,
+    LeaseReply, LeaseRequest, RelayReply, RelayRequest, ResultsReply, StatusReply, SubmitReply,
+    SubmitRequest, SweepReply, SweepSpec, SweepStatus, MAX_RELAY_LINES, PROTO_VERSION,
 };
+use crate::results::ResultsStore;
 use dtb_core::policy::Row;
+use dtb_obs::{Envelope, Event};
 use dtb_sim::engine::{SimBudget, SimRun};
 use dtb_sim::exec::RetryPolicy;
 use dtb_sim::journal::{JournalCell, JournalHeader, JournalWriter, JOURNAL_VERSION};
@@ -86,6 +92,10 @@ pub struct CoordinatorConfig {
     /// Per-tenant cell quotas, merged into every leased cell's budget.
     /// Tenants not listed get [`SimBudget::UNLIMITED`].
     pub quotas: HashMap<String, SimBudget>,
+    /// File behind the queryable results store (`GET /results`); `None`
+    /// serves results from memory only. An unopenable path degrades to
+    /// memory with a note on stderr — it never stops the coordinator.
+    pub results_path: Option<PathBuf>,
 }
 
 impl Default for CoordinatorConfig {
@@ -96,6 +106,7 @@ impl Default for CoordinatorConfig {
             journal_dir: None,
             idle_retry: Duration::from_millis(100),
             quotas: HashMap::new(),
+            results_path: None,
         }
     }
 }
@@ -110,7 +121,9 @@ enum CellStatus {
     /// Final: the run was journaled.
     Done { run: SimRun },
     /// Final: failed permanently (or out of retries); cause journaled.
-    Quarantined { failure: String },
+    /// `transient` preserves the failure's class (see
+    /// [`CellResult::transient`]).
+    Quarantined { failure: String, transient: bool },
 }
 
 impl CellStatus {
@@ -162,6 +175,7 @@ impl SweepState {
         index: usize,
         run: Option<SimRun>,
         failure: Option<String>,
+        transient: bool,
         elapsed_ns: u64,
     ) -> Result<(), CkpError> {
         let cell = &mut self.cells[index];
@@ -179,11 +193,53 @@ impl SweepState {
         cell.elapsed_ns = elapsed_ns;
         cell.status = match (run, failure) {
             (Some(run), _) => CellStatus::Done { run },
-            (None, Some(failure)) => CellStatus::Quarantined { failure },
+            (None, Some(failure)) => CellStatus::Quarantined { failure, transient },
             (None, None) => unreachable!("finalize needs a run or a failure"),
         };
         Ok(())
     }
+
+    /// Quarantined cells in this sweep.
+    fn failed(&self) -> u64 {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::Quarantined { .. }))
+            .count() as u64
+    }
+}
+
+/// One cell's servable final (or in-flight) state, as `GET /sweep` and
+/// the results store both shape it.
+fn cell_result(cell: &CellState) -> CellResult {
+    CellResult {
+        column: cell.program.label().to_string(),
+        row: cell.row.to_string(),
+        attempts: cell.attempts.max(1),
+        elapsed_ns: cell.elapsed_ns,
+        run: match &cell.status {
+            CellStatus::Done { run } => Some(run.clone()),
+            _ => None,
+        },
+        failure: match &cell.status {
+            CellStatus::Quarantined { failure, .. } => Some(failure.clone()),
+            _ => None,
+        },
+        transient: matches!(
+            cell.status,
+            CellStatus::Quarantined {
+                transient: true,
+                ..
+            }
+        ),
+    }
+}
+
+/// Publishes one coordinator lifecycle event twice: onto the local obs
+/// bus (in-process sinks) and into the `/events` log (followers). The
+/// log's sequence number is authoritative for the wire framing.
+fn publish_event(events: &EventLog, scope: u64, event: Event) {
+    dtb_obs::emit(|| event.clone());
+    events.publish_with(|seq| dtb_obs::encode_json(&Envelope { seq, scope, event }));
 }
 
 struct State {
@@ -195,10 +251,16 @@ struct State {
     /// tick it was last served at.
     serve_tick: u64,
     last_served: HashMap<String, u64>,
+    /// The `/events` log. Shared (`Arc`) so streaming connections tail
+    /// it without holding the state lock.
+    events: Arc<EventLog>,
+    /// The `/results` store. Shared for the same reason.
+    results: Arc<ResultsStore>,
 }
 
 impl State {
     fn new(config: CoordinatorConfig) -> State {
+        let results = ResultsStore::open_or_memory(config.results_path.as_deref());
         State {
             config,
             sweeps: Vec::new(),
@@ -206,6 +268,8 @@ impl State {
             next_lease: 1,
             serve_tick: 0,
             last_served: HashMap::new(),
+            events: Arc::new(EventLog::new(crate::events::DEFAULT_CAPACITY)),
+            results: Arc::new(results),
         }
     }
 
@@ -216,27 +280,69 @@ impl State {
         let now = Instant::now();
         let max_attempts = 1 + self.config.retry.max_retries;
         let lease_timeout = self.config.lease_timeout;
+        let events = Arc::clone(&self.events);
+        let results = Arc::clone(&self.results);
         for sweep in &mut self.sweeps {
             for i in 0..sweep.cells.len() {
                 let cell = &mut sweep.cells[i];
-                let CellStatus::Leased { expires, .. } = cell.status else {
+                let CellStatus::Leased { lease, expires } = cell.status else {
                     continue;
                 };
                 if now < expires {
                     continue;
                 }
+                let tenant = sweep.spec.tenant.clone();
                 if cell.attempts >= max_attempts {
                     let failure = format!(
                         "lease expired after {} attempt(s) (lease timeout {lease_timeout:?})",
                         cell.attempts
                     );
-                    if let Err(e) = sweep.finalize(i, None, Some(failure), 0) {
+                    // A timeout is transient-class: retries ran out, the
+                    // failure itself would not recur deterministically.
+                    if let Err(e) = sweep.finalize(i, None, Some(failure), true, 0) {
                         // Journal unavailable: leave the cell leased (and
                         // expired); the next pass will retry the write.
                         eprintln!("coordinator: journal write failed, cell stays open: {e}");
+                        continue;
+                    }
+                    results.append(sweep.id, i as u64, &cell_result(&sweep.cells[i]));
+                    publish_event(
+                        &events,
+                        sweep.id,
+                        Event::CellRecorded {
+                            sweep: sweep.id,
+                            cell: i as u64,
+                            lease,
+                            worker: String::new(),
+                            tenant: tenant.clone(),
+                            ok: false,
+                        },
+                    );
+                    if sweep.is_done() {
+                        publish_event(
+                            &events,
+                            sweep.id,
+                            Event::SweepDrained {
+                                sweep: sweep.id,
+                                tenant,
+                                failed: sweep.failed(),
+                            },
+                        );
                     }
                 } else {
                     cell.status = CellStatus::Pending;
+                    publish_event(
+                        &events,
+                        sweep.id,
+                        Event::CellRequeued {
+                            sweep: sweep.id,
+                            cell: i as u64,
+                            lease,
+                            worker: String::new(),
+                            tenant,
+                            cause: format!("lease expired ({lease_timeout:?})"),
+                        },
+                    );
                 }
             }
         }
@@ -344,6 +450,17 @@ impl Coordinator {
         self.lock().drained()
     }
 
+    /// The live event log behind `GET /events` — in-process followers
+    /// (and tests) can read it without a socket.
+    pub fn events(&self) -> Arc<EventLog> {
+        Arc::clone(&self.lock().events)
+    }
+
+    /// The results store behind `GET /results`.
+    pub fn results(&self) -> Arc<ResultsStore> {
+        Arc::clone(&self.lock().results)
+    }
+
     /// Blocks until the server thread exits (a `POST /shutdown`
     /// arrived) — the serve loop of the `dtb-coordinator` binary.
     pub fn join(mut self) {
@@ -387,6 +504,13 @@ fn serve(listener: TcpListener, state: Arc<Mutex<State>>, stop: Arc<AtomicBool>)
             }));
         });
     }
+    // Serve loop over: close the event log so `/events` followers see a
+    // clean end-of-stream instead of a timeout.
+    let events = {
+        let state = state.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(&state.events)
+    };
+    events.close();
 }
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<Mutex<State>>, stop: &Arc<AtomicBool>) {
@@ -397,6 +521,25 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<Mutex<State>>, stop: &Ar
             if req.method == "POST" && req.path == "/shutdown" {
                 stop.store(true, Ordering::SeqCst);
                 Response::ok(b"{}".to_vec())
+            } else if req.method == "GET" && req.path.split('?').next() == Some("/events") {
+                // The one streaming route: hold the connection open and
+                // push chunks. Only the Arc is taken under the lock —
+                // the stream tail runs lock-free against the log.
+                let events = {
+                    let state = state.lock().unwrap_or_else(|p| p.into_inner());
+                    Arc::clone(&state.events)
+                };
+                let from = req
+                    .path
+                    .split_once('?')
+                    .and_then(|(_, q)| {
+                        q.split('&')
+                            .find_map(|kv| kv.strip_prefix("from="))
+                            .and_then(|v| v.parse::<u64>().ok())
+                    })
+                    .unwrap_or(1);
+                stream_events(stream, &events, stop.as_ref(), from);
+                return;
             } else {
                 let mut state = state.lock().unwrap_or_else(|p| p.into_inner());
                 handle_request(&mut state, &req)
@@ -414,9 +557,52 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<Mutex<State>>, stop: &Ar
     }
 }
 
+/// Streams the event log to one follower over chunked transfer: event
+/// batches as they arrive, a heartbeat chunk each idle second. Exits on
+/// coordinator stop, log close, or the first write failure (the
+/// follower died — its death never touches the run).
+fn stream_events(mut stream: TcpStream, events: &EventLog, stop: &AtomicBool, from: u64) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    if write_chunked_head(&mut stream, 200).is_err() {
+        return;
+    }
+    let mut from = from;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            let _ = write_chunk_end(&mut stream);
+            return;
+        }
+        let batch = events.read_from(from, Duration::from_secs(1));
+        from = batch.next;
+        if !batch.lines.is_empty() {
+            let mut payload = String::new();
+            for line in &batch.lines {
+                payload.push_str(line);
+                payload.push('\n');
+            }
+            if write_chunk(&mut stream, payload.as_bytes()).is_err() {
+                return;
+            }
+        } else if !batch.closed {
+            let mut beat = String::from(HEARTBEAT);
+            beat.push('\n');
+            if write_chunk(&mut stream, beat.as_bytes()).is_err() {
+                return;
+            }
+        }
+        if batch.closed {
+            let _ = write_chunk_end(&mut stream);
+            return;
+        }
+    }
+}
+
 /// Routes one parsed request. Total: every (method, path, body) maps to
 /// a response — malformed bodies to `400`, unknown routes to `404` —
-/// never a panic (the wire proptests hold this door shut).
+/// never a panic (the wire proptests hold this door shut). `GET
+/// /events` is the exception to one-shot request/response and is
+/// intercepted in [`handle_connection`] before routing reaches here;
+/// through this path it answers `400`.
 fn handle_request(state: &mut State, req: &Request) -> Response {
     let route = req.path.split('?').next().unwrap_or("");
     match (req.method.as_str(), route) {
@@ -438,6 +624,42 @@ fn handle_request(state: &mut State, req: &Request) -> Response {
             Ok(msg) => complete(state, &msg),
             Err(e) => Response::error(400, e),
         },
+        ("POST", "/relay") => match decode::<RelayRequest>(&req.body) {
+            Ok(msg) => relay(state, &msg),
+            Err(e) => Response::error(400, e),
+        },
+        ("GET", "/events") => Response::error(
+            400,
+            "`/events` is a streaming endpoint (chunked transfer); connect a follower over TCP",
+        ),
+        ("GET", "/results") => {
+            state.expire_leases();
+            let id = req.path.split_once('?').and_then(|(_, q)| {
+                q.split('&')
+                    .find_map(|kv| kv.strip_prefix("sweep="))
+                    .and_then(|v| v.parse::<u64>().ok())
+            });
+            let Some(id) = id else {
+                return Response::error(400, "missing or bad `sweep` query parameter");
+            };
+            let cells = state.results.sweep_cells(id);
+            let total = state
+                .sweeps
+                .iter()
+                .find(|s| s.id == id)
+                .map_or(0, |s| s.cells.len() as u64);
+            if total == 0 && cells.is_empty() {
+                return Response::error(404, format!("no results for sweep {id}"));
+            }
+            let stored = cells.len() as u64;
+            Response::ok(encode(&ResultsReply {
+                sweep: id,
+                stored,
+                total,
+                complete: total > 0 && stored == total,
+                cells: cells.into_iter().map(|(_, r)| r).collect(),
+            }))
+        }
         ("GET", "/status") => {
             state.expire_leases();
             let sweeps = state
@@ -480,24 +702,7 @@ fn handle_request(state: &mut State, req: &Request) -> Response {
             };
             let done = sweep.is_done();
             let cells = if done {
-                sweep
-                    .cells
-                    .iter()
-                    .map(|c| CellResult {
-                        column: c.program.label().to_string(),
-                        row: c.row.to_string(),
-                        attempts: c.attempts.max(1),
-                        elapsed_ns: c.elapsed_ns,
-                        run: match &c.status {
-                            CellStatus::Done { run } => Some(run.clone()),
-                            _ => None,
-                        },
-                        failure: match &c.status {
-                            CellStatus::Quarantined { failure } => Some(failure.clone()),
-                            _ => None,
-                        },
-                    })
-                    .collect()
+                sweep.cells.iter().map(cell_result).collect()
             } else {
                 Vec::new()
             };
@@ -550,12 +755,23 @@ fn submit(state: &mut State, spec: SweepSpec) -> Result<u64, CkpError> {
         }
     }
     state.next_sweep += 1;
+    let tenant = spec.tenant.clone();
+    let total = cells.len() as u64;
     state.sweeps.push(SweepState {
         id,
         spec,
         cells,
         journal,
     });
+    publish_event(
+        &state.events,
+        id,
+        Event::SweepSubmitted {
+            sweep: id,
+            tenant,
+            cells: total,
+        },
+    );
     Ok(id)
 }
 
@@ -587,6 +803,7 @@ fn lease(state: &mut State, req: &LeaseRequest) -> Response {
         .get(&state.sweeps[s].spec.tenant)
         .copied()
         .unwrap_or(SimBudget::UNLIMITED);
+    let events = Arc::clone(&state.events);
     let sweep = &mut state.sweeps[s];
     let mut sim = sweep.spec.sim;
     sim.budget = merge_budget(sim.budget, quota);
@@ -596,17 +813,30 @@ fn lease(state: &mut State, req: &LeaseRequest) -> Response {
         lease,
         expires: Instant::now() + lease_timeout,
     };
+    let (program, row, attempt) = (cell.program, cell.row.clone(), cell.attempts);
+    publish_event(
+        &events,
+        sweep.id,
+        Event::CellLeased {
+            sweep: sweep.id,
+            cell: c as u64,
+            lease,
+            worker: req.worker.clone(),
+            tenant: sweep.spec.tenant.clone(),
+            attempt,
+        },
+    );
     Response::ok(encode(&LeaseReply {
         task: Some(CellTask {
             sweep: sweep.id,
             cell: c as u64,
             lease,
             lease_ms: lease_timeout.as_millis().min(u64::MAX as u128) as u64,
-            program: cell.program,
-            row: cell.row.clone(),
+            program,
+            row,
             policy: sweep.spec.policy,
             sim,
-            attempt: cell.attempts,
+            attempt,
         }),
         retry_ms: 0,
         drained: false,
@@ -628,9 +858,49 @@ fn merge_budget(sweep: SimBudget, quota: SimBudget) -> SimBudget {
     }
 }
 
+/// Post-finalize bookkeeping shared by success and quarantine: append
+/// the cell to the results store, publish `cell_recorded`, and publish
+/// `sweep_drained` when this was the sweep's last open cell.
+fn record_published(
+    sweep: &SweepState,
+    index: usize,
+    lease: u64,
+    worker: &str,
+    ok: bool,
+    results: &ResultsStore,
+    events: &EventLog,
+) {
+    results.append(sweep.id, index as u64, &cell_result(&sweep.cells[index]));
+    publish_event(
+        events,
+        sweep.id,
+        Event::CellRecorded {
+            sweep: sweep.id,
+            cell: index as u64,
+            lease,
+            worker: worker.to_string(),
+            tenant: sweep.spec.tenant.clone(),
+            ok,
+        },
+    );
+    if sweep.is_done() {
+        publish_event(
+            events,
+            sweep.id,
+            Event::SweepDrained {
+                sweep: sweep.id,
+                tenant: sweep.spec.tenant.clone(),
+                failed: sweep.failed(),
+            },
+        );
+    }
+}
+
 fn complete(state: &mut State, req: &CompleteRequest) -> Response {
     state.expire_leases();
     let max_attempts = 1 + state.config.retry.max_retries;
+    let events = Arc::clone(&state.events);
+    let results = Arc::clone(&state.results);
     let Some(sweep) = state.sweeps.iter_mut().find(|s| s.id == req.sweep) else {
         return Response::error(404, format!("no sweep {}", req.sweep));
     };
@@ -656,25 +926,109 @@ fn complete(state: &mut State, req: &CompleteRequest) -> Response {
 
     let attempts = cell.attempts;
     match (&req.run, &req.failure) {
-        (Some(run), _) => match sweep.finalize(index, Some(run.clone()), None, req.elapsed_ns) {
-            Ok(()) => reply(CompleteStatus::Recorded),
-            // Journal write failed: the cell stays leased; the worker
-            // sees a 500 (transient) and retries the completion.
-            Err(e) => Response::error(500, format!("journal: {e}")),
-        },
-        (None, Some(_)) if req.transient && attempts < max_attempts => {
+        (Some(run), _) => {
+            match sweep.finalize(index, Some(run.clone()), None, false, req.elapsed_ns) {
+                Ok(()) => {
+                    record_published(
+                        sweep,
+                        index,
+                        req.lease,
+                        &req.worker,
+                        true,
+                        &results,
+                        &events,
+                    );
+                    reply(CompleteStatus::Recorded)
+                }
+                // Journal write failed: the cell stays leased; the worker
+                // sees a 500 (transient) and retries the completion.
+                Err(e) => Response::error(500, format!("journal: {e}")),
+            }
+        }
+        (None, Some(cause)) if req.transient && attempts < max_attempts => {
             sweep.cells[index].status = CellStatus::Pending;
+            publish_event(
+                &events,
+                sweep.id,
+                Event::CellRequeued {
+                    sweep: sweep.id,
+                    cell: index as u64,
+                    lease: req.lease,
+                    worker: req.worker.clone(),
+                    tenant: sweep.spec.tenant.clone(),
+                    cause: cause.clone(),
+                },
+            );
             reply(CompleteStatus::Requeued)
         }
         (None, Some(failure)) => {
-            let quarantine = format!("{failure} (after {attempts} attempt(s))");
-            match sweep.finalize(index, None, Some(quarantine), req.elapsed_ns) {
-                Ok(()) => reply(CompleteStatus::Recorded),
+            // The failure string is stored verbatim — a served failure
+            // must render exactly as a local run's would. The attempt
+            // count already travels separately as `CellResult::attempts`,
+            // and the failure class as `CellResult::transient`.
+            match sweep.finalize(
+                index,
+                None,
+                Some(failure.clone()),
+                req.transient,
+                req.elapsed_ns,
+            ) {
+                Ok(()) => {
+                    record_published(
+                        sweep,
+                        index,
+                        req.lease,
+                        &req.worker,
+                        false,
+                        &results,
+                        &events,
+                    );
+                    reply(CompleteStatus::Recorded)
+                }
                 Err(e) => Response::error(500, format!("journal: {e}")),
             }
         }
         (None, None) => Response::error(400, "completion carries neither run nor failure"),
     }
+}
+
+/// `POST /relay`: splice worker-side event lines into `/events`. Each
+/// accepted line is re-framed as a `worker_event` carrying the sweep's
+/// tenant and the relaying worker; lines failing the single-line JSON
+/// framing check are dropped (counted by the difference between sent
+/// and `accepted`). Best-effort by design: relayed telemetry never
+/// affects cell state.
+fn relay(state: &mut State, req: &RelayRequest) -> Response {
+    if req.lines.len() > MAX_RELAY_LINES {
+        return Response::error(
+            400,
+            format!(
+                "relay batch of {} exceeds {MAX_RELAY_LINES} lines",
+                req.lines.len()
+            ),
+        );
+    }
+    let Some(sweep) = state.sweeps.iter().find(|s| s.id == req.sweep) else {
+        return Response::error(404, format!("no sweep {}", req.sweep));
+    };
+    let tenant = json_string(&sweep.spec.tenant);
+    let worker = json_string(&req.worker);
+    let scope = req.sweep;
+    let cell = req.cell;
+    let mut accepted = 0u64;
+    for line in &req.lines {
+        if !crate::events::is_clean_event_line(line) {
+            continue;
+        }
+        state.events.publish_with(|seq| {
+            format!(
+                "{{\"seq\":{seq},\"scope\":{scope},\"type\":\"worker_event\",\
+                 \"tenant\":{tenant},\"worker\":{worker},\"cell\":{cell},\"event\":{line}}}"
+            )
+        });
+        accepted += 1;
+    }
+    Response::ok(encode(&RelayReply { accepted }))
 }
 
 #[cfg(test)]
@@ -862,11 +1216,21 @@ mod tests {
         assert_eq!(t2.attempt, 2);
         assert_eq!(fail(&mut st, &t2), CompleteStatus::Recorded);
         let cell = &st.sweeps[0].cells[t1.cell as usize];
-        let CellStatus::Quarantined { failure } = &cell.status else {
+        let CellStatus::Quarantined { failure, transient } = &cell.status else {
             panic!("expected quarantine, got {:?}", cell.status);
         };
-        assert!(failure.contains("after 2 attempt(s)"), "{failure}");
+        // The cause is stored verbatim (no "(after N attempts)" suffix):
+        // a served failure renders exactly as a local one; the attempt
+        // count travels separately.
+        assert_eq!(failure, "connection reset by peer");
+        assert!(*transient, "retries-exhausted keeps its transient class");
         assert_eq!(cell.attempts, 2);
+
+        // …and the results store preserves both verbatim.
+        let stored = st.results.get(1, t1.cell).unwrap();
+        assert_eq!(stored.failure.as_deref(), Some("connection reset by peer"));
+        assert!(stored.transient);
+        assert_eq!(stored.attempts, 2);
     }
 
     #[test]
@@ -942,5 +1306,122 @@ mod tests {
         ));
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    /// Event `type` tags published so far, in sequence order.
+    fn event_tags(st: &State) -> Vec<String> {
+        st.events
+            .read_from(1, Duration::ZERO)
+            .lines
+            .iter()
+            .map(|line| {
+                line.split("\"type\":\"")
+                    .nth(1)
+                    .and_then(|rest| rest.split('"').next())
+                    .unwrap_or("?")
+                    .to_string()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lifecycle_events_stream_in_order() {
+        let mut st = State::new(CoordinatorConfig::default());
+        submit(&mut st, spec()).unwrap();
+        let run = tiny_run();
+        while let Some(task) = lease_task(&mut st) {
+            let req = completion(&task, Some(run.clone()));
+            assert_eq!(
+                status_of(&complete(&mut st, &req)),
+                CompleteStatus::Recorded
+            );
+        }
+        assert_eq!(
+            event_tags(&st),
+            [
+                "sweep_submitted",
+                "cell_leased",
+                "cell_recorded",
+                "cell_leased",
+                "cell_recorded",
+                "sweep_drained",
+            ]
+        );
+        // Lines are well-formed envelopes: seq embedded and monotone.
+        let lines = st.events.read_from(1, Duration::ZERO).lines;
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with(&format!("{{\"seq\":{},", i + 1)), "{line}");
+        }
+    }
+
+    #[test]
+    fn results_store_serves_cells_before_the_sweep_is_done() {
+        let mut st = State::new(CoordinatorConfig::default());
+        submit(&mut st, spec()).unwrap();
+        let task = lease_task(&mut st).unwrap();
+        let req = completion(&task, Some(tiny_run()));
+        assert_eq!(
+            status_of(&complete(&mut st, &req)),
+            CompleteStatus::Recorded
+        );
+        // One of two cells final: /sweep withholds cells, /results serves
+        // the finalized one already.
+        assert!(!st.sweeps[0].is_done());
+        let cells = st.results.sweep_cells(1);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].0, task.cell);
+        assert!(cells[0].1.run.is_some());
+    }
+
+    #[test]
+    fn relay_reframes_clean_lines_and_drops_garbage() {
+        let mut st = State::new(CoordinatorConfig::default());
+        submit(&mut st, spec()).unwrap();
+        let resp = relay(
+            &mut st,
+            &RelayRequest {
+                sweep: 1,
+                cell: 0,
+                worker: "w\"1".into(),
+                lines: vec![
+                    "{\"type\":\"scavenge\",\"at\":42}".into(),
+                    "not json".into(),
+                    "{\"multi\":\nline}".into(),
+                ],
+            },
+        );
+        assert_eq!(resp.status, 200);
+        assert_eq!(decode::<RelayReply>(&resp.body).unwrap().accepted, 1);
+        let lines = st.events.read_from(1, Duration::ZERO).lines;
+        let relayed = lines.last().unwrap();
+        assert!(relayed.contains("\"type\":\"worker_event\""), "{relayed}");
+        assert!(relayed.contains("\"tenant\":\"t1\""), "{relayed}");
+        assert!(relayed.contains("\"worker\":\"w\\\"1\""), "{relayed}");
+        assert!(
+            relayed.ends_with("\"event\":{\"type\":\"scavenge\",\"at\":42}}"),
+            "{relayed}"
+        );
+
+        // Unknown sweeps and oversized batches are refused.
+        let resp = relay(
+            &mut st,
+            &RelayRequest {
+                sweep: 99,
+                cell: 0,
+                worker: "w".into(),
+                lines: vec![],
+            },
+        );
+        assert_eq!(resp.status, 404);
+        let resp = relay(
+            &mut st,
+            &RelayRequest {
+                sweep: 1,
+                cell: 0,
+                worker: "w".into(),
+                lines: vec!["{}".to_string(); MAX_RELAY_LINES + 1],
+            },
+        );
+        assert_eq!(resp.status, 400);
     }
 }

@@ -12,9 +12,16 @@
 //!
 //! The framing is deliberately strict (exactly the subset the service
 //! emits): `\r\n` line endings, a `Content-Length` header on every
-//! message that has a body, no chunked encoding, no keep-alive. Strict
-//! parsing is what makes the garbled-bytes proptests meaningful — any
-//! mutation that breaks the frame is rejected with an error.
+//! message that has a body, no keep-alive. Strict parsing is what makes
+//! the garbled-bytes proptests meaningful — any mutation that breaks
+//! the frame is rejected with an error.
+//!
+//! The one exception to one-request/one-response/close is the `/events`
+//! server-push stream: a long-lived response framed with
+//! `Transfer-Encoding: chunked` ([`write_chunked_head`] /
+//! [`write_chunk`] on the server, [`read_chunked_head`] /
+//! [`ChunkedReader`] on the client), carrying one JSON event per line.
+//! Chunk sizes are bounded by [`MAX_BODY`] like everything else.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -265,6 +272,166 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireErr
     Ok(())
 }
 
+// ──────────── chunked transfer (the `/events` stream) ────────────
+
+/// Writes the head of a chunked-transfer response: status line plus
+/// `Transfer-Encoding: chunked`, no `Content-Length`. The body follows
+/// as [`write_chunk`] calls terminated by [`write_chunk_end`].
+pub fn write_chunked_head(w: &mut impl Write, status: u16) -> Result<(), WireError> {
+    let reason = if status == 200 { "OK" } else { "Error" };
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n"
+    )?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes one non-empty chunk (size line, data, CRLF) and flushes, so
+/// each event batch reaches the follower immediately. An empty chunk
+/// would terminate the stream — that is [`write_chunk_end`]'s job.
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> Result<(), WireError> {
+    debug_assert!(!data.is_empty(), "empty chunk terminates the stream");
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Terminates a chunked stream cleanly (the zero-length final chunk).
+pub fn write_chunk_end(w: &mut impl Write) -> Result<(), WireError> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a streaming response head: the status line and headers.
+/// Returns the status code; a `200` that is not chunked is malformed
+/// (the server always streams `/events` chunked).
+pub fn read_chunked_head(r: &mut impl Read) -> Result<u16, WireError> {
+    let start = read_line(r)?;
+    let mut parts = start.split(' ');
+    let status = match (parts.next(), parts.next()) {
+        (Some("HTTP/1.1"), Some(code)) => code
+            .parse::<u16>()
+            .map_err(|_| malformed("status code is not a number"))?,
+        _ => return Err(malformed("status line is not `HTTP/1.1 CODE REASON`")),
+    };
+    let mut chunked = false;
+    for n in 0.. {
+        if n >= MAX_HEADERS {
+            return Err(WireError::TooLarge {
+                what: "headers",
+                size: n,
+            });
+        }
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(malformed("header line without a colon"));
+        };
+        if name.trim().eq_ignore_ascii_case("transfer-encoding")
+            && value.trim().eq_ignore_ascii_case("chunked")
+        {
+            chunked = true;
+        }
+    }
+    if status == 200 && !chunked {
+        return Err(malformed("streaming response is not chunked"));
+    }
+    Ok(status)
+}
+
+/// Decodes a chunked-transfer stream into its underlying bytes: a
+/// [`Read`] adapter that strips the size lines and CRLF framing and
+/// reports end-of-stream at the zero-length final chunk.
+pub struct ChunkedReader<R: Read> {
+    inner: R,
+    remaining: usize,
+    done: bool,
+}
+
+impl<R: Read> ChunkedReader<R> {
+    /// Wraps a stream positioned just after the response head.
+    pub fn new(inner: R) -> ChunkedReader<R> {
+        ChunkedReader {
+            inner,
+            remaining: 0,
+            done: false,
+        }
+    }
+
+    /// Reads the next chunk-size line (setting `done` at the final
+    /// zero-length chunk).
+    fn advance(&mut self) -> Result<(), WireError> {
+        let line = read_line(&mut self.inner)?;
+        let size = usize::from_str_radix(line.trim(), 16)
+            .map_err(|_| malformed("chunk size is not hex"))?;
+        if size > MAX_BODY {
+            return Err(WireError::TooLarge { what: "body", size });
+        }
+        if size == 0 {
+            // Consume the blank line that closes the (empty) trailer.
+            let trailer = read_line(&mut self.inner)?;
+            if !trailer.is_empty() {
+                return Err(malformed("unexpected trailer after final chunk"));
+            }
+            self.done = true;
+        }
+        self.remaining = size;
+        Ok(())
+    }
+
+    /// Consumes the CRLF that closes a fully-read chunk.
+    fn finish_chunk(&mut self) -> Result<(), WireError> {
+        let sep = read_line(&mut self.inner)?;
+        if !sep.is_empty() {
+            return Err(malformed("chunk data not followed by CRLF"));
+        }
+        Ok(())
+    }
+}
+
+fn wire_to_io(e: WireError) -> std::io::Error {
+    match e {
+        WireError::Io(e) => e,
+        other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+impl<R: Read> Read for ChunkedReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.done {
+                return Ok(0);
+            }
+            if self.remaining == 0 {
+                self.advance().map_err(wire_to_io)?;
+                continue;
+            }
+            let want = buf.len().min(self.remaining);
+            if want == 0 {
+                return Ok(0);
+            }
+            let n = self.inner.read(&mut buf[..want])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-chunk",
+                ));
+            }
+            self.remaining -= n;
+            if self.remaining == 0 {
+                self.finish_chunk().map_err(wire_to_io)?;
+            }
+            return Ok(n);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,5 +500,48 @@ mod tests {
         }
         assert!(read_response(&mut &b"HTTP/2 200 OK\r\n\r\n"[..]).is_err());
         assert!(read_response(&mut &b"HTTP/1.1 abc OK\r\n\r\n"[..]).is_err());
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let mut wire = Vec::new();
+        write_chunked_head(&mut wire, 200).unwrap();
+        write_chunk(&mut wire, b"{\"seq\":1}\n").unwrap();
+        write_chunk(&mut wire, b"{\"seq\":2}\n{\"seq\":3}\n").unwrap();
+        write_chunk_end(&mut wire).unwrap();
+
+        let mut r = wire.as_slice();
+        assert_eq!(read_chunked_head(&mut r).unwrap(), 200);
+        let mut body = String::new();
+        ChunkedReader::new(r).read_to_string(&mut body).unwrap();
+        assert_eq!(body, "{\"seq\":1}\n{\"seq\":2}\n{\"seq\":3}\n");
+    }
+
+    #[test]
+    fn chunked_head_requires_chunked_on_200() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 0\r\n\r\n";
+        assert!(matches!(
+            read_chunked_head(&mut raw.as_slice()),
+            Err(WireError::Malformed(_))
+        ));
+        // Error statuses may come back as plain one-shot responses.
+        let raw = b"HTTP/1.1 400 Error\r\ncontent-length: 2\r\n\r\nno";
+        assert_eq!(read_chunked_head(&mut raw.as_slice()).unwrap(), 400);
+    }
+
+    #[test]
+    fn chunked_reader_rejects_garbage_framing() {
+        // Non-hex size line.
+        let raw = b"zz\r\ndata\r\n0\r\n\r\n";
+        let mut s = String::new();
+        assert!(ChunkedReader::new(raw.as_slice())
+            .read_to_string(&mut s)
+            .is_err());
+        // Truncation mid-chunk surfaces as UnexpectedEof, not a hang.
+        let raw = b"a\r\nabc";
+        let mut s = String::new();
+        assert!(ChunkedReader::new(raw.as_slice())
+            .read_to_string(&mut s)
+            .is_err());
     }
 }

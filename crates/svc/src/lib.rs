@@ -23,18 +23,27 @@
 //!   deadline and failure taxonomy;
 //! * [`client`] — retrying protocol client and reassembly of a served
 //!   sweep into the executor's `Matrix` ([`matrix_from_sweep`]);
+//! * [`events`] — the `/events` server-push channel: a bounded event
+//!   log streamed to followers over chunked transfer, with
+//!   [`follow_events`] as the tailing client;
+//! * [`results`] — the checksummed append-only store behind
+//!   `GET /results`, serving finalized cells while a sweep still runs;
 //! * [`fault`] — deterministic network fault injection for the chaos
 //!   suites.
 
 pub mod client;
 pub mod coordinator;
+pub mod events;
 pub mod fault;
 pub mod http;
 pub mod proto;
+pub mod results;
 pub mod worker;
 
-pub use client::{matrix_from_sweep, Client, SvcError, TcpTransport, Transport};
+pub use client::{matrix_from_cells, matrix_from_sweep, Client, SvcError, TcpTransport, Transport};
 pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use events::{follow_events, EventLog};
 pub use fault::{FaultPlan, NetFault};
 pub use proto::{SweepSpec, PROTO_VERSION};
-pub use worker::{run_worker, WorkerConfig, WorkerExit};
+pub use results::ResultsStore;
+pub use worker::{idle_backoff, run_worker, WorkerConfig, WorkerExit};

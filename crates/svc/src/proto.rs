@@ -192,6 +192,12 @@ pub struct CellResult {
     /// The quarantine cause, when the cell failed permanently (or
     /// exhausted its retries).
     pub failure: Option<String>,
+    /// Whether the quarantining failure was transient-class (retries
+    /// exhausted, lease expiries) rather than permanent. Preserved so a
+    /// served failure renders with the same transient/permanent
+    /// classification a local run would give it. `false` for completed
+    /// cells.
+    pub transient: bool,
 }
 
 /// `GET /sweep?id=N` reply.
@@ -236,6 +242,57 @@ pub struct SweepStatus {
     pub quarantined: u64,
     /// Total cells.
     pub total: u64,
+}
+
+/// `POST /relay` body: a batch of worker-side observability event
+/// lines for the coordinator to splice into its `/events` stream.
+///
+/// Each line must be a single-line JSON object (the worker sends
+/// `dtb_obs::encode_json` output); the coordinator re-frames every
+/// accepted line as a `worker_event` tagged with the sweep's tenant and
+/// this worker, and drops lines that fail the framing check. Batches
+/// are capped at [`MAX_RELAY_LINES`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RelayRequest {
+    /// Sweep the events belong to.
+    pub sweep: u64,
+    /// Cell index the events were produced by.
+    pub cell: u64,
+    /// The relaying worker's identity.
+    pub worker: String,
+    /// Single-line JSON event objects, oldest first.
+    pub lines: Vec<String>,
+}
+
+/// Most event lines one `POST /relay` may carry.
+pub const MAX_RELAY_LINES: usize = 256;
+
+/// `POST /relay` reply.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RelayReply {
+    /// Lines accepted into the event stream (the rest failed the
+    /// framing check and were dropped).
+    pub accepted: u64,
+}
+
+/// `GET /results?sweep=N` reply: finalized cells served straight from
+/// the coordinator's results store. Unlike `GET /sweep`, cells are
+/// available as soon as each is final — a sweep can be watched filling
+/// in — and they survive coordinator queries after the in-memory sweep
+/// state would have aged out.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResultsReply {
+    /// The sweep id.
+    pub sweep: u64,
+    /// Cells finalized (and therefore stored) so far.
+    pub stored: u64,
+    /// Total cells in the sweep (0 when the coordinator no longer holds
+    /// the sweep's in-memory state).
+    pub total: u64,
+    /// True when every cell of the sweep is stored.
+    pub complete: bool,
+    /// Stored cells in cell-index order.
+    pub cells: Vec<CellResult>,
 }
 
 /// Encodes a message as its JSON wire bytes.

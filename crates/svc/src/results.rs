@@ -1,0 +1,334 @@
+//! The queryable results store behind `GET /results`.
+//!
+//! An append-only, checksummed record file (format `DTBRES01`) plus an
+//! in-memory index. The coordinator appends one record per *finalized*
+//! cell — the same moment the journal line lands — and `/results`
+//! serves cells straight from the store, so results outlive the
+//! in-memory sweep state and can be queried while a sweep is still
+//! running (unlike `GET /sweep`, which withholds cells until the sweep
+//! is done).
+//!
+//! # On-disk format
+//!
+//! The container reuses the `DTBCTC01`/`DTBCKP01` checksum discipline
+//! (FNV-1a over the payload, hex in a fixed-width header):
+//!
+//! ```text
+//! DTBRES01\n
+//! {fnv:016x} {sweep} {cell} {len}\n
+//! <len bytes of JSON payload>\n
+//! ...
+//! ```
+//!
+//! The payload is the JSON [`CellResult`]. Replay on open is tolerant
+//! of a truncated tail (a crash mid-append): records are read until the
+//! first short or checksum-failing record, and appends resume from
+//! there. The store is a serving cache — the journal remains the
+//! durability story — so append failures are reported to stderr but
+//! never fail a completion.
+
+use crate::proto::{decode, encode, CellResult};
+use dtb_trace::ckp::checksum;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Magic first line of a results file.
+pub const RESULTS_MAGIC: &str = "DTBRES01";
+
+/// Append-only results store: file-backed when opened with a path,
+/// memory-only otherwise.
+pub struct ResultsStore {
+    inner: Mutex<StoreInner>,
+}
+
+struct StoreInner {
+    file: Option<File>,
+    /// `(sweep, cell)` → finalized result. Insertion order is not kept;
+    /// queries sort by cell index.
+    index: HashMap<(u64, u64), CellResult>,
+}
+
+impl ResultsStore {
+    /// A memory-only store (nothing persisted).
+    pub fn memory() -> ResultsStore {
+        ResultsStore {
+            inner: Mutex::new(StoreInner {
+                file: None,
+                index: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Opens (or creates) a file-backed store at `path`, replaying any
+    /// existing records into the index.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures opening or creating the file. A corrupt or
+    /// truncated *tail* is not an error — replay stops there and later
+    /// appends continue after the last good record.
+    pub fn open(path: &Path) -> std::io::Result<ResultsStore> {
+        let mut index = HashMap::new();
+        let existing = match File::open(path) {
+            Ok(f) => Some(f),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        // Byte offset of the first byte past the last good record.
+        let mut good = 0u64;
+        if let Some(f) = existing {
+            good = replay(f, &mut index)?;
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false) // keep good records; set_len drops the torn tail
+            .read(true)
+            .write(true)
+            .open(path)?;
+        file.set_len(good)?;
+        use std::io::Seek;
+        if good == 0 {
+            file.seek(std::io::SeekFrom::Start(0))?;
+            file.write_all(RESULTS_MAGIC.as_bytes())?;
+            file.write_all(b"\n")?;
+        } else {
+            file.seek(std::io::SeekFrom::Start(good))?;
+        }
+        file.sync_data()?;
+        Ok(ResultsStore {
+            inner: Mutex::new(StoreInner {
+                file: Some(file),
+                index,
+            }),
+        })
+    }
+
+    /// Opens a file-backed store, falling back to memory-only (with a
+    /// note on stderr) when the file cannot be opened — the coordinator
+    /// must come up either way.
+    pub fn open_or_memory(path: Option<&Path>) -> ResultsStore {
+        match path {
+            None => ResultsStore::memory(),
+            Some(p) => ResultsStore::open(p).unwrap_or_else(|e| {
+                eprintln!(
+                    "coordinator: results store {} unavailable ({e}); serving from memory",
+                    p.display()
+                );
+                ResultsStore::memory()
+            }),
+        }
+    }
+
+    /// Records one finalized cell. Idempotent per `(sweep, cell)`: a
+    /// re-append of an already-stored cell is ignored (the first
+    /// durable record won, mirroring the journal's exactly-once line).
+    /// File write failures are reported to stderr, never propagated.
+    pub fn append(&self, sweep: u64, cell: u64, result: &CellResult) {
+        let mut inner = self.lock();
+        if inner.index.contains_key(&(sweep, cell)) {
+            return;
+        }
+        if let Some(file) = &mut inner.file {
+            let payload = encode(result);
+            let header = format!(
+                "{:016x} {sweep} {cell} {}\n",
+                checksum(&payload),
+                payload.len()
+            );
+            let write = file
+                .write_all(header.as_bytes())
+                .and_then(|()| file.write_all(&payload))
+                .and_then(|()| file.write_all(b"\n"))
+                .and_then(|()| file.sync_data());
+            if let Err(e) = write {
+                eprintln!("coordinator: results append failed ({e}); record kept in memory");
+            }
+        }
+        inner.index.insert((sweep, cell), result.clone());
+    }
+
+    /// One cell's stored result.
+    pub fn get(&self, sweep: u64, cell: u64) -> Option<CellResult> {
+        self.lock().index.get(&(sweep, cell)).cloned()
+    }
+
+    /// All stored cells of one sweep, sorted by cell index.
+    pub fn sweep_cells(&self, sweep: u64) -> Vec<(u64, CellResult)> {
+        let inner = self.lock();
+        let mut cells: Vec<(u64, CellResult)> = inner
+            .index
+            .iter()
+            .filter(|((s, _), _)| *s == sweep)
+            .map(|((_, c), r)| (*c, r.clone()))
+            .collect();
+        cells.sort_by_key(|(c, _)| *c);
+        cells
+    }
+
+    /// Records stored across all sweeps.
+    pub fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// True when nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Replays a results file into `index`, returning the byte offset just
+/// past the last good record (0 when even the magic line is missing or
+/// wrong — the file is then rewritten from scratch).
+fn replay(file: File, index: &mut HashMap<(u64, u64), CellResult>) -> std::io::Result<u64> {
+    let mut r = BufReader::new(file);
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 || line.trim_end() != RESULTS_MAGIC {
+        return Ok(0);
+    }
+    let mut good = line.len() as u64;
+    loop {
+        line.clear();
+        let header_len = r.read_line(&mut line)?;
+        if header_len == 0 {
+            break;
+        }
+        let Some((fnv, sweep, cell, len)) = parse_header(line.trim_end()) else {
+            break;
+        };
+        let mut payload = vec![0u8; len];
+        if r.read_exact(&mut payload).is_err() {
+            break;
+        }
+        let mut sep = [0u8; 1];
+        if r.read_exact(&mut sep).is_err() || sep[0] != b'\n' {
+            break;
+        }
+        if checksum(&payload) != fnv {
+            break;
+        }
+        let Ok(result) = decode::<CellResult>(&payload) else {
+            break;
+        };
+        index.insert((sweep, cell), result);
+        good += header_len as u64 + len as u64 + 1;
+    }
+    Ok(good)
+}
+
+fn parse_header(line: &str) -> Option<(u64, u64, u64, usize)> {
+    let mut parts = line.split(' ');
+    let fnv = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let sweep = parts.next()?.parse().ok()?;
+    let cell = parts.next()?.parse().ok()?;
+    let len: usize = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || len > 64 << 20 {
+        return None;
+    }
+    Some((fnv, sweep, cell, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn result(row: &str, ok: bool) -> CellResult {
+        CellResult {
+            column: "CFRAC".into(),
+            row: row.into(),
+            attempts: 1,
+            elapsed_ns: 42,
+            run: None,
+            failure: if ok { None } else { Some("injected".into()) },
+            transient: false,
+        }
+    }
+
+    fn tempfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "dtb-res-{tag}-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn memory_store_round_trips_and_sorts() {
+        let store = ResultsStore::memory();
+        store.append(1, 2, &result("FIXED 1.0", true));
+        store.append(1, 0, &result("FULL", true));
+        store.append(2, 0, &result("FULL", false));
+        assert_eq!(store.len(), 3);
+        let cells = store.sweep_cells(1);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].0, 0);
+        assert_eq!(cells[1].0, 2);
+        assert_eq!(
+            store.get(2, 0).unwrap().failure.as_deref(),
+            Some("injected")
+        );
+        // Idempotent: a second append of the same cell changes nothing.
+        store.append(1, 0, &result("FULL", false));
+        assert!(store.get(1, 0).unwrap().failure.is_none());
+    }
+
+    #[test]
+    fn file_store_survives_reopen() {
+        let path = tempfile("reopen");
+        std::fs::remove_file(&path).ok();
+        {
+            let store = ResultsStore::open(&path).unwrap();
+            store.append(1, 0, &result("FULL", true));
+            store.append(1, 1, &result("FIXED 1.0", false));
+        }
+        let store = ResultsStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1, 1).unwrap().row, "FIXED 1.0");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_appends_continue() {
+        let path = tempfile("trunc");
+        std::fs::remove_file(&path).ok();
+        {
+            let store = ResultsStore::open(&path).unwrap();
+            store.append(1, 0, &result("FULL", true));
+            store.append(1, 1, &result("FIXED 1.0", true));
+        }
+        // Chop bytes off the tail: the second record becomes garbage.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let store = ResultsStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1, "torn tail record must be dropped");
+        store.append(1, 1, &result("FIXED 1.0", true));
+        drop(store);
+        let store = ResultsStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay() {
+        let path = tempfile("corrupt");
+        std::fs::remove_file(&path).ok();
+        {
+            let store = ResultsStore::open(&path).unwrap();
+            store.append(1, 0, &result("FULL", true));
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2; // inside the JSON payload
+        bytes[last] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = ResultsStore::open(&path).unwrap();
+        assert_eq!(store.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

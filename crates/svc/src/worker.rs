@@ -16,12 +16,12 @@
 //! rather than spinning.
 
 use crate::client::{Client, SvcError};
-use crate::proto::{CellTask, CompleteRequest, CompleteStatus};
+use crate::proto::{CellTask, CompleteRequest, CompleteStatus, RelayRequest, MAX_RELAY_LINES};
 use dtb_core::policy::Row;
 use dtb_sim::baseline::{live_report, no_gc_report};
 use dtb_sim::curve::MemoryCurve;
 use dtb_sim::engine::{RunControl, Sim, SimRun};
-use dtb_sim::exec::{FailureCause, TraceCache};
+use dtb_sim::exec::{FailureCause, RetryPolicy, TraceCache};
 use dtb_sim::SimError;
 use std::sync::atomic::AtomicBool;
 use std::sync::{mpsc, Arc};
@@ -41,6 +41,10 @@ pub struct WorkerConfig {
     pub cell_delay: Duration,
     /// Intra-cell simulation threads (1 = serial engine).
     pub threads: usize,
+    /// Relay per-scavenge telemetry from completed cells into the
+    /// coordinator's `/events` stream (`POST /relay`). Best-effort: a
+    /// failed relay never fails the cell.
+    pub relay_events: bool,
 }
 
 impl WorkerConfig {
@@ -52,8 +56,27 @@ impl WorkerConfig {
             exit_when_done: false,
             cell_delay: Duration::ZERO,
             threads: 1,
+            relay_events: false,
         }
     }
+}
+
+/// The wait before idle poll number `streak` (0-based count of
+/// consecutive empty leases): the coordinator's suggested `retry_ms` as
+/// the base of the executor's [`RetryPolicy`] schedule — exponential
+/// growth capped at 10 s, with deterministic jitter salted by the
+/// worker's name so an idle fleet fans out instead of polling in
+/// lockstep.
+pub fn idle_backoff(worker: &str, retry_ms: u64, streak: u32) -> Duration {
+    let policy = RetryPolicy {
+        max_retries: 0, // unused by `delay`
+        base_delay: Duration::from_millis(retry_ms.clamp(1, 10_000)),
+        max_delay: Duration::from_secs(10),
+    };
+    let salt = worker.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    policy.delay(salt, streak.min(16))
 }
 
 /// What one finished [`run_cell`] reports back.
@@ -197,6 +220,7 @@ pub enum WorkerExit {
 /// are already recorded, so both just continue the loop.
 pub fn run_worker(client: &mut Client, config: &WorkerConfig) -> WorkerExit {
     let cache = TraceCache::new();
+    let mut idle_streak: u32 = 0;
     loop {
         let reply = match client.lease(&config.name) {
             Ok(reply) => reply,
@@ -206,13 +230,22 @@ pub fn run_worker(client: &mut Client, config: &WorkerConfig) -> WorkerExit {
             if reply.drained && config.exit_when_done {
                 return WorkerExit::Drained;
             }
-            thread::sleep(Duration::from_millis(reply.retry_ms.clamp(1, 10_000)));
+            // Idle: back off jittered-exponentially instead of hammering
+            // the coordinator at a fixed cadence.
+            thread::sleep(idle_backoff(&config.name, reply.retry_ms, idle_streak));
+            idle_streak = idle_streak.saturating_add(1);
             continue;
         };
+        idle_streak = 0;
         if !config.cell_delay.is_zero() {
             thread::sleep(config.cell_delay);
         }
         let done = run_cell(&cache, &task, config.threads);
+        if config.relay_events {
+            if let Some(run) = &done.run {
+                relay_scavenges(client, config, &task, run);
+            }
+        }
         let completion = CompleteRequest {
             sweep: task.sweep,
             cell: task.cell,
@@ -236,6 +269,56 @@ pub fn run_worker(client: &mut Client, config: &WorkerConfig) -> WorkerExit {
             }
             Err(e) => return WorkerExit::Lost(e),
         }
+    }
+}
+
+/// Relays the cell's per-scavenge telemetry, reconstructed from the
+/// completed run's scavenge history. Reconstruction (rather than a live
+/// sink) keeps attribution exact with several workers in one process:
+/// the history *is* the run's, by construction. When the history
+/// overflows one relay batch, the most recent scavenges win. Fields the
+/// history does not record (`events`, `inverse_queries`, `tenured`)
+/// relay as 0; scavenge sequence numbers are relative to the cell.
+fn relay_scavenges(client: &mut Client, config: &WorkerConfig, task: &CellTask, run: &SimRun) {
+    let history = &run.report.history;
+    if history.is_empty() {
+        return;
+    }
+    let skip = history.len().saturating_sub(MAX_RELAY_LINES);
+    let lines: Vec<String> = history
+        .iter()
+        .enumerate()
+        .skip(skip)
+        .map(|(i, rec)| {
+            dtb_obs::encode_json(&dtb_obs::Envelope {
+                seq: (i + 1) as u64,
+                scope: task.sweep,
+                event: dtb_obs::Event::Scavenge {
+                    collection: i as u64,
+                    at: rec.at.as_u64(),
+                    boundary: rec.boundary.as_u64(),
+                    traced: rec.traced.as_u64(),
+                    surviving: rec.surviving.as_u64(),
+                    reclaimed: rec.reclaimed.as_u64(),
+                    tenured: 0,
+                    mem_before: rec.mem_before.as_u64(),
+                    events: 0,
+                    inverse_queries: 0,
+                },
+            })
+        })
+        .collect();
+    let req = RelayRequest {
+        sweep: task.sweep,
+        cell: task.cell,
+        worker: config.name.clone(),
+        lines,
+    };
+    if let Err(e) = client.relay(&req) {
+        eprintln!(
+            "worker {}: event relay for sweep {} cell {} failed (run unaffected): {e}",
+            config.name, task.sweep, task.cell
+        );
     }
 }
 
@@ -283,6 +366,27 @@ mod tests {
             "{:?}",
             done.failure
         );
+    }
+
+    #[test]
+    fn idle_backoff_schedule_grows_jittered_and_capped() {
+        // Deterministic: same (worker, retry_ms, streak) → same delay.
+        assert_eq!(idle_backoff("w1", 100, 3), idle_backoff("w1", 100, 3));
+        // Jittered: different workers desynchronize at the same streak.
+        assert_ne!(idle_backoff("w1", 100, 3), idle_backoff("w2", 100, 3));
+        for streak in 0..20 {
+            let d = idle_backoff("w1", 100, streak);
+            // Every delay sits in the upper half of its exponential
+            // window, capped at 10 s.
+            let window =
+                Duration::from_millis(100 * (1 << streak.min(16))).min(Duration::from_secs(10));
+            assert!(d >= window / 2, "streak {streak}: {d:?} < {:?}", window / 2);
+            assert!(d <= window, "streak {streak}: {d:?} > {window:?}");
+        }
+        // The envelope grows monotonically with the streak until the cap.
+        assert!(idle_backoff("w1", 100, 8) > idle_backoff("w1", 100, 0));
+        // Degenerate retry_ms still sleeps (no busy-poll).
+        assert!(idle_backoff("w1", 0, 0) >= Duration::from_nanos(1));
     }
 
     #[test]

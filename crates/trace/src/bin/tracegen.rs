@@ -28,7 +28,8 @@ fn usage() -> ExitCode {
         "usage:\n  tracegen gen <PROGRAM> <OUT.dtbtrc>\n  tracegen info <FILE.dtbtrc>\n  \
          tracegen survival <FILE.dtbtrc>\n  tracegen compile <IN.dtbtrc> <OUT_DIR>\n  \
          tracegen shard <IN.dtbtrc> <OUT_DIR> <RECORDS_PER_SHARD>\n  \
-         tracegen verify <STORE_DIR>\n  tracegen list"
+         tracegen verify <STORE_DIR>\n  tracegen list\n\
+         \n  global: --events <PATH>  capture telemetry (JSON lines; .bin = binary framing)"
     );
     ExitCode::from(2)
 }
@@ -59,7 +60,27 @@ fn find_program(label: &str) -> Option<Program> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global `--events <path>`: install the observability capture sink
+    // before the subcommand runs, so anything the tool emits (e.g.
+    // `trace_synthesized` from `gen`) lands in the file.
+    let mut capture = None;
+    if let Some(at) = args.iter().position(|a| a == "--events") {
+        if at + 1 >= args.len() {
+            eprintln!("--events needs a path");
+            return usage();
+        }
+        let path = std::path::PathBuf::from(args.remove(at + 1));
+        args.remove(at);
+        match dtb_obs::FileSink::create(&path) {
+            Ok(sink) => capture = Some(dtb_obs::install(std::sync::Arc::new(sink))),
+            Err(e) => {
+                eprintln!("cannot capture events to {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let _capture = capture;
     match args.first().map(String::as_str) {
         Some("list") => {
             for p in Program::ALL {
@@ -84,6 +105,12 @@ fn main() -> ExitCode {
                 eprintln!("cannot write {}: {e}", args[2]);
                 return ExitCode::FAILURE;
             }
+            dtb_obs::emit(|| dtb_obs::Event::TraceSynthesized {
+                name: program.label().to_string(),
+                events: trace.events.len() as u64,
+                allocated: TraceStats::compute(&trace).total_allocated.as_u64(),
+            });
+            dtb_obs::flush();
             println!(
                 "wrote {} ({} events, {} objects)",
                 args[2],
