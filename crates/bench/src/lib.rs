@@ -155,20 +155,27 @@ impl RunOpts {
 
     /// Starts the `--follow <addr>` tail, when asked for: a background
     /// thread streaming the coordinator's `/events` push channel to
-    /// stderr, one JSON event per line. The thread runs until the
-    /// coordinator closes the stream or the process exits; a coordinator
-    /// that cannot be reached is reported on stderr but does not fail
-    /// the run — the tail is a window, not a dependency.
+    /// stderr, one JSON event per line. The tail rides out coordinator
+    /// restarts (it resumes from its epoch-tagged cursor, so a restart
+    /// costs no events and repeats none) and gives up only after a
+    /// minute of continuous unreachability — reported on stderr, never
+    /// failing the run: the tail is a window, not a dependency.
     pub fn spawn_follow(&self) {
         let Some(addr) = self.follow.clone() else {
             return;
         };
         std::thread::spawn(move || {
             static STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
-            let followed = dtb_svc::follow_events(&addr, 1, &STOP, |line| {
-                eprintln!("{line}");
-                true
-            });
+            let followed = dtb_svc::follow_events_resilient(
+                &addr,
+                dtb_svc::EventCursor::start(),
+                std::time::Duration::from_secs(60),
+                &STOP,
+                |line| {
+                    eprintln!("{line}");
+                    true
+                },
+            );
             if let Err(e) = followed {
                 eprintln!("--follow {addr}: stream ended: {e}");
             }
@@ -264,10 +271,15 @@ fn progress_sink() -> dtb_obs::SinkGuard {
 
 /// Submits the paper matrix to the coordinator at `addr`, waits for the
 /// distributed workers to finish it, and reassembles the served sweep.
-/// Any service failure (unreachable coordinator, refused submit) exits
-/// with code 2 — same contract as a broken journal.
+///
+/// The wait survives coordinator restarts: the sweep is durable in the
+/// coordinator's sweep log, so after a crash the poll simply resumes
+/// against the recovered incarnation. Only a permanent protocol refusal
+/// (`4xx`) or a full minute of continuous unreachability exits with
+/// code 2 — same contract as a broken journal.
 fn matrix_served(addr: &str, cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
     use dtb_svc::proto::SweepSpec;
+    use std::time::{Duration, Instant};
     let spec = SweepSpec {
         tenant: "repro".to_string(),
         programs: dtb_trace::programs::Program::ALL.to_vec(),
@@ -276,7 +288,7 @@ fn matrix_served(addr: &str, cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
         policy: *cfg,
         sim: *sim,
     };
-    let mut client = dtb_svc::Client::connect(addr);
+    let mut client = dtb_svc::Client::connect(addr).retry(dtb_sim::exec::RetryPolicy::retries(8));
     let submitted = match client.submit(&spec) {
         Ok(reply) => reply,
         Err(e) => {
@@ -288,12 +300,34 @@ fn matrix_served(addr: &str, cfg: &PolicyConfig, sim: &SimConfig) -> Matrix {
         "submitted sweep {} ({} cells) to {addr}; waiting for workers",
         submitted.sweep, submitted.cells
     );
-    match client.wait_sweep(submitted.sweep, std::time::Duration::from_millis(500), None) {
-        Ok(reply) => dtb_svc::matrix_from_sweep(&reply),
-        Err(e) => {
-            eprintln!("sweep {} failed: {e}", submitted.sweep);
-            std::process::exit(2);
+    // A restart-tolerant wait: each successful poll resets the outage
+    // clock, so only *continuous* downtime counts against the budget.
+    let outage_budget = Duration::from_secs(60);
+    let mut outage_started: Option<Instant> = None;
+    loop {
+        match client.sweep(submitted.sweep) {
+            Ok(reply) if reply.done => return dtb_svc::matrix_from_sweep(&reply),
+            Ok(_) => outage_started = None,
+            Err(e @ dtb_svc::SvcError::Protocol { status, .. }) if (400..500).contains(&status) => {
+                eprintln!("sweep {} refused: {e}", submitted.sweep);
+                std::process::exit(2);
+            }
+            Err(e) => {
+                let started = *outage_started.get_or_insert_with(Instant::now);
+                if started.elapsed() >= outage_budget {
+                    eprintln!(
+                        "sweep {}: coordinator unreachable for {:?}: {e}",
+                        submitted.sweep, outage_budget
+                    );
+                    std::process::exit(2);
+                }
+                eprintln!(
+                    "sweep {}: coordinator away ({e}); retrying until it recovers",
+                    submitted.sweep
+                );
+            }
         }
+        std::thread::sleep(Duration::from_millis(500));
     }
 }
 

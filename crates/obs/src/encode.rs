@@ -33,6 +33,8 @@ mod tag {
     pub const CELL_RECORDED: u8 = 11;
     pub const CELL_REQUEUED: u8 = 12;
     pub const SWEEP_DRAINED: u8 = 13;
+    pub const COORDINATOR_RECOVERED: u8 = 14;
+    pub const CHAOS_INJECTED: u8 = 15;
 }
 
 // ───────────────────────── JSON ─────────────────────────
@@ -247,6 +249,22 @@ pub fn encode_json(env: &Envelope) -> String {
             field_str(&mut out, "tenant", tenant);
             field_u64(&mut out, "failed", *failed);
         }
+        Event::CoordinatorRecovered {
+            epoch,
+            sweeps,
+            finalized,
+            open,
+        } => {
+            field_u64(&mut out, "epoch", *epoch);
+            field_u64(&mut out, "sweeps", *sweeps);
+            field_u64(&mut out, "finalized", *finalized);
+            field_u64(&mut out, "open", *open);
+        }
+        Event::ChaosInjected { kind, target, at } => {
+            field_str(&mut out, "kind", kind);
+            field_str(&mut out, "target", target);
+            field_u64(&mut out, "at", *at);
+        }
     }
     out.push('}');
     out
@@ -349,6 +367,8 @@ pub fn encode_binary(env: &Envelope, out: &mut Vec<u8>) {
         Event::CellRecorded { .. } => tag::CELL_RECORDED,
         Event::CellRequeued { .. } => tag::CELL_REQUEUED,
         Event::SweepDrained { .. } => tag::SWEEP_DRAINED,
+        Event::CoordinatorRecovered { .. } => tag::COORDINATOR_RECOVERED,
+        Event::ChaosInjected { .. } => tag::CHAOS_INJECTED,
     };
     out.push(t);
     put_u64(out, env.seq);
@@ -515,6 +535,22 @@ pub fn encode_binary(env: &Envelope, out: &mut Vec<u8>) {
             put_str(out, tenant);
             put_u64(out, *failed);
         }
+        Event::CoordinatorRecovered {
+            epoch,
+            sweeps,
+            finalized,
+            open,
+        } => {
+            put_u64(out, *epoch);
+            put_u64(out, *sweeps);
+            put_u64(out, *finalized);
+            put_u64(out, *open);
+        }
+        Event::ChaosInjected { kind, target, at } => {
+            put_str(out, kind);
+            put_str(out, target);
+            put_u64(out, *at);
+        }
     }
 }
 
@@ -613,6 +649,17 @@ pub fn decode_binary(buf: &[u8]) -> Result<(Envelope, usize), DecodeError> {
             sweep: c.u64()?,
             tenant: c.string()?,
             failed: c.u64()?,
+        },
+        tag::COORDINATOR_RECOVERED => Event::CoordinatorRecovered {
+            epoch: c.u64()?,
+            sweeps: c.u64()?,
+            finalized: c.u64()?,
+            open: c.u64()?,
+        },
+        tag::CHAOS_INJECTED => Event::ChaosInjected {
+            kind: c.string()?,
+            target: c.string()?,
+            at: c.u64()?,
         },
         other => return Err(DecodeError::BadTag(other)),
     };
@@ -719,6 +766,17 @@ mod tests {
                 sweep: 1,
                 tenant: "repro".into(),
                 failed: 0,
+            },
+            Event::CoordinatorRecovered {
+                epoch: 3,
+                sweeps: 2,
+                finalized: 11,
+                open: 5,
+            },
+            Event::ChaosInjected {
+                kind: "kill".into(),
+                target: "dtb-coordinator".into(),
+                at: 4,
             },
         ];
         events

@@ -220,6 +220,29 @@ pub enum Event {
         /// Cells that ended quarantined.
         failed: u64,
     },
+    /// A coordinator rebuilt its state from durable storage (sweep log,
+    /// finalization journals, results store) after a restart.
+    CoordinatorRecovered {
+        /// The incarnation number this coordinator now runs under.
+        epoch: u64,
+        /// Sweeps replayed from the sweep log.
+        sweeps: u64,
+        /// Cells already finalized by earlier incarnations.
+        finalized: u64,
+        /// Cells still open (re-leasable) after recovery.
+        open: u64,
+    },
+    /// The chaos harness injected one scripted fault.
+    ChaosInjected {
+        /// Fault kind: `kill`, `restart`, `net`, `disk_journal`,
+        /// `disk_results`, `clock_skew`.
+        kind: String,
+        /// What it hit (process name, store path, worker name).
+        target: String,
+        /// The plan's trigger point (finalized-cell count or event
+        /// index, per the kind).
+        at: u64,
+    },
 }
 
 impl Event {
@@ -239,6 +262,8 @@ impl Event {
             Event::CellRecorded { .. } => "cell_recorded",
             Event::CellRequeued { .. } => "cell_requeued",
             Event::SweepDrained { .. } => "sweep_drained",
+            Event::CoordinatorRecovered { .. } => "coordinator_recovered",
+            Event::ChaosInjected { .. } => "chaos_injected",
         }
     }
 }

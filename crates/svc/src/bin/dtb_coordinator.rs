@@ -10,7 +10,7 @@
 
 use dtb_sim::exec::RetryPolicy;
 use dtb_sim::SimBudget;
-use dtb_svc::{Coordinator, CoordinatorConfig};
+use dtb_svc::{Coordinator, CoordinatorConfig, FaultFuse};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -19,6 +19,7 @@ fn usage() -> ! {
         "usage: dtb-coordinator [--addr HOST:PORT] [--journal DIR] [--results FILE]\n\
          \x20                      [--lease-ms N] [--retries N] [--idle-ms N]\n\
          \x20                      [--quota TENANT=EVENTS]...\n\
+         \x20                      [--fault-journal-writes N] [--fault-results-writes N]\n\
          \n\
          --addr HOST:PORT   listen address (default 127.0.0.1:7077; port 0 = ephemeral)\n\
          --journal DIR      durable per-sweep journals under DIR/sweep-<id>/\n\
@@ -26,7 +27,9 @@ fn usage() -> ! {
          --retries N        transient-failure retries per cell beyond the first attempt (default 2)\n\
          --idle-ms N        poll backoff handed to idle workers in ms (default 100)\n\
          --quota T=N        cap tenant T's cells at N simulation events (repeatable)\n\
-         --results FILE     append-only results store behind GET /results (DTBRES01)"
+         --results FILE     append-only results store behind GET /results (DTBRES01)\n\
+         --fault-journal-writes N   chaos: fail the next N journal finalization writes\n\
+         --fault-results-writes N   chaos: tear the next N results-store appends"
     );
     std::process::exit(2);
 }
@@ -55,6 +58,14 @@ fn parse_args() -> (String, CoordinatorConfig) {
             }
             "--idle-ms" => {
                 config.idle_retry = Duration::from_millis(parse_num(&value("--idle-ms")))
+            }
+            "--fault-journal-writes" => {
+                config.disk_faults.journal =
+                    FaultFuse::charges(parse_num(&value("--fault-journal-writes")) as u32)
+            }
+            "--fault-results-writes" => {
+                config.disk_faults.results =
+                    FaultFuse::charges(parse_num(&value("--fault-results-writes")) as u32)
             }
             "--quota" => {
                 let spec = value("--quota");
@@ -94,6 +105,14 @@ fn main() {
     // The test harnesses parse this line for the ephemeral port; flush
     // explicitly — stdout is block-buffered when piped.
     println!("dtb-coordinator listening on {}", coordinator.addr());
+    let report = coordinator.recovery_report();
+    println!(
+        "dtb-coordinator epoch {} (recovered {} sweeps: {} finalized, {} open cells)",
+        coordinator.epoch(),
+        report.sweeps,
+        report.finalized,
+        report.open
+    );
     use std::io::Write;
     let _ = std::io::stdout().flush();
     // Serve until `POST /shutdown` stops the accept loop.

@@ -11,14 +11,16 @@
 use dtb_sim::exec::RetryPolicy;
 use dtb_svc::client::TcpTransport;
 use dtb_svc::fault::{FaultPlan, NetFault};
-use dtb_svc::worker::{run_worker, WorkerConfig, WorkerExit};
+use dtb_svc::worker::{run_worker, serve_healthz, WorkerConfig, WorkerExit, WorkerHealth};
 use dtb_svc::Client;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: dtb-worker --addr HOST:PORT [--name NAME] [--exit-when-done]\n\
          \x20                 [--cell-delay-ms N] [--threads N] [--net-retries N]\n\
+         \x20                 [--reconnect-ms N] [--healthz HOST:PORT]\n\
          \x20                 [--fault-drop-every N] [--fault-garble-every N]\n\
          \x20                 [--fault-replay-every N] [--fault-delay-every N:MS]\n\
          \n\
@@ -29,6 +31,9 @@ fn usage() -> ! {
          --threads N           intra-cell simulation threads (default 1)\n\
          --relay-events        relay per-scavenge telemetry into the coordinator's /events\n\
          --net-retries N       wire-failure retries per exchange (default 4)\n\
+         --reconnect-ms N      ride out up to N ms of continuous coordinator outage\n\
+         \x20                      (default: fail fast once --net-retries is spent)\n\
+         --healthz HOST:PORT   serve GET /healthz liveness counters on this address\n\
          --fault-*             deterministic network fault injection (see docs)"
     );
     std::process::exit(2);
@@ -39,6 +44,7 @@ struct Args {
     config: WorkerConfig,
     net_retries: u32,
     plan: FaultPlan,
+    healthz: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +52,7 @@ fn parse_args() -> Args {
     let mut config = WorkerConfig::new(format!("worker-{}", std::process::id()));
     let mut net_retries = 4u32;
     let mut plan = FaultPlan::none();
+    let mut healthz: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -64,6 +71,10 @@ fn parse_args() -> Args {
             "--threads" => config.threads = parse_num(&value("--threads")) as usize,
             "--relay-events" => config.relay_events = true,
             "--net-retries" => net_retries = parse_num(&value("--net-retries")) as u32,
+            "--reconnect-ms" => {
+                config.reconnect = Some(Duration::from_millis(parse_num(&value("--reconnect-ms"))))
+            }
+            "--healthz" => healthz = Some(value("--healthz")),
             "--fault-drop-every" => plan.drop_every = Some(parse_num(&value("--fault-drop-every"))),
             "--fault-garble-every" => {
                 plan.garble_every = Some(parse_num(&value("--fault-garble-every")))
@@ -95,6 +106,7 @@ fn parse_args() -> Args {
         config,
         net_retries,
         plan,
+        healthz,
     }
 }
 
@@ -106,7 +118,20 @@ fn parse_num(s: &str) -> u64 {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
+    if let Some(healthz) = &args.healthz {
+        let health = Arc::new(WorkerHealth::default());
+        match serve_healthz(healthz, &args.config.name, Arc::clone(&health)) {
+            Ok(bound) => {
+                args.config.health = Some(health);
+                eprintln!("dtb-worker {}: healthz on {bound}", args.config.name);
+            }
+            Err(e) => {
+                eprintln!("dtb-worker: cannot bind healthz {healthz}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let transport = NetFault::new(TcpTransport::new(args.addr.clone()), args.plan);
     let mut client =
         Client::with_transport(Box::new(transport), RetryPolicy::retries(args.net_retries));

@@ -139,6 +139,14 @@ impl Client {
         Client { transport, retry }
     }
 
+    /// Overrides the per-call retry budget. Repro clients that must ride
+    /// out a coordinator restart widen this (more retries, longer cap)
+    /// instead of wrapping every call in their own loop.
+    pub fn retry(mut self, retry: RetryPolicy) -> Client {
+        self.retry = retry;
+        self
+    }
+
     /// One retrying exchange: transient failures (socket, garbled frame
     /// or body, `5xx`) back off and retry; `4xx` returns immediately.
     fn exchange<Rep: Deserialize>(&mut self, req: &Request) -> Result<Rep, SvcError> {

@@ -47,6 +47,7 @@
 //! `SimConfig` before it ships, so an over-budget cell fails with the
 //! engine's own typed `BudgetExceeded`, exactly as it would in-process.
 
+use crate::chaos::{DiskFaults, FaultFuse};
 use crate::events::{json_string, EventLog, HEARTBEAT};
 use crate::http::{
     read_request, write_chunk, write_chunk_end, write_chunked_head, write_response, Request,
@@ -55,19 +56,21 @@ use crate::http::{
 use crate::proto::{
     decode, encode, CellResult, CellTask, CompleteReply, CompleteRequest, CompleteStatus,
     LeaseReply, LeaseRequest, RelayReply, RelayRequest, ResultsReply, StatusReply, SubmitReply,
-    SubmitRequest, SweepReply, SweepSpec, SweepStatus, MAX_RELAY_LINES, PROTO_VERSION,
+    SubmitRequest, SweepReply, SweepSpec, SweepStatus, TenantStatus, MAX_RELAY_LINES,
+    PROTO_VERSION,
 };
 use crate::results::ResultsStore;
+use crate::sweeplog::SweepLog;
 use dtb_core::policy::Row;
 use dtb_obs::{Envelope, Event};
 use dtb_sim::engine::{SimBudget, SimRun};
 use dtb_sim::exec::RetryPolicy;
-use dtb_sim::journal::{JournalCell, JournalHeader, JournalWriter, JOURNAL_VERSION};
+use dtb_sim::journal::{read_journal, JournalCell, JournalHeader, JournalWriter, JOURNAL_VERSION};
 use dtb_sim::CkpError;
 use dtb_trace::programs::Program;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -96,6 +99,9 @@ pub struct CoordinatorConfig {
     /// serves results from memory only. An unopenable path degrades to
     /// memory with a note on stderr — it never stops the coordinator.
     pub results_path: Option<PathBuf>,
+    /// Chaos-harness disk fault fuses over the durable stores. Unarmed
+    /// (the default) in production.
+    pub disk_faults: DiskFaults,
 }
 
 impl Default for CoordinatorConfig {
@@ -107,6 +113,7 @@ impl Default for CoordinatorConfig {
             idle_retry: Duration::from_millis(100),
             quotas: HashMap::new(),
             results_path: None,
+            disk_faults: DiskFaults::default(),
         }
     }
 }
@@ -151,6 +158,9 @@ struct SweepState {
     spec: SweepSpec,
     cells: Vec<CellState>,
     journal: Option<JournalWriter>,
+    /// Chaos fuse over journal appends (shared with the config's
+    /// [`DiskFaults`]); unarmed outside drills.
+    journal_fault: FaultFuse,
 }
 
 impl SweepState {
@@ -180,6 +190,15 @@ impl SweepState {
     ) -> Result<(), CkpError> {
         let cell = &mut self.cells[index];
         debug_assert!(!cell.status.is_final(), "finalize called twice on a cell");
+        if self.journal_fault.trip() {
+            // Injected disk fault: surfaces exactly like a real failed
+            // journal append — before anything hit the file, so there is
+            // no torn line and the cell stays open.
+            return Err(CkpError::Io {
+                path: PathBuf::from(format!("sweep-{}", self.id)),
+                message: "injected journal write fault".to_string(),
+            });
+        }
         if let Some(journal) = &mut self.journal {
             journal.cell(&JournalCell {
                 column: cell.program.label().to_string(),
@@ -236,10 +255,28 @@ fn cell_result(cell: &CellState) -> CellResult {
 
 /// Publishes one coordinator lifecycle event twice: onto the local obs
 /// bus (in-process sinks) and into the `/events` log (followers). The
-/// log's sequence number is authoritative for the wire framing.
+/// log's sequence number is authoritative for the wire framing; the
+/// line leads with `{"epoch":E,"seq":S,` so followers can resume from
+/// an unambiguous cursor across restarts.
 fn publish_event(events: &EventLog, scope: u64, event: Event) {
     dtb_obs::emit(|| event.clone());
-    events.publish_with(|seq| dtb_obs::encode_json(&Envelope { seq, scope, event }));
+    events.publish_with(|epoch, seq| {
+        let env = dtb_obs::encode_json(&Envelope { seq, scope, event });
+        format!("{{\"epoch\":{epoch},{}", &env[1..])
+    });
+}
+
+/// What [`State::recover`] rebuilt from durable storage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// The incarnation number this coordinator now runs under.
+    pub epoch: u64,
+    /// Sweeps replayed from the sweep log.
+    pub sweeps: u64,
+    /// Cells already finalized by earlier incarnations.
+    pub finalized: u64,
+    /// Cells still open (re-leasable) after recovery.
+    pub open: u64,
 }
 
 struct State {
@@ -247,6 +284,14 @@ struct State {
     sweeps: Vec<SweepState>,
     next_sweep: u64,
     next_lease: u64,
+    /// This incarnation's epoch (from the sweep log; 1 without one).
+    /// Folded into every lease token so pre-crash leases cannot collide
+    /// with post-restart ones.
+    epoch: u64,
+    /// The durable intake log; `None` without a `journal_dir`.
+    sweep_log: Option<SweepLog>,
+    /// What recovery rebuilt, for `/status` and the startup banner.
+    recovery: RecoveryReport,
     /// Fairness clock: bumped on every lease; each tenant remembers the
     /// tick it was last served at.
     serve_tick: u64,
@@ -259,18 +304,86 @@ struct State {
 }
 
 impl State {
-    fn new(config: CoordinatorConfig) -> State {
-        let results = ResultsStore::open_or_memory(config.results_path.as_deref());
-        State {
+    /// A fresh or recovered state: with a `journal_dir` this replays the
+    /// sweep log, every per-sweep finalization journal, and the results
+    /// store; without one it is simply empty under epoch 1.
+    ///
+    /// # Errors
+    ///
+    /// Interior corruption of the sweep log or a journal (a missing file
+    /// or torn tail is not corruption), or filesystem failures.
+    fn recover(config: CoordinatorConfig) -> Result<State, CkpError> {
+        let results = Arc::new(ResultsStore::open_or_memory(config.results_path.as_deref()));
+        let (sweep_log, epoch, logged) = match &config.journal_dir {
+            None => (None, 1, Vec::new()),
+            Some(dir) => {
+                let (log, replay) = SweepLog::open(dir)?;
+                (Some(log), replay.epoch, replay.sweeps)
+            }
+        };
+        let events = Arc::new(EventLog::with_epoch(crate::events::DEFAULT_CAPACITY, epoch));
+        let mut sweeps = Vec::with_capacity(logged.len());
+        let mut next_sweep = 1;
+        for (id, spec) in logged {
+            let dir = config.journal_dir.as_deref().expect("logged implies dir");
+            sweeps.push(rebuild_sweep(
+                id,
+                spec,
+                dir,
+                &results,
+                config.disk_faults.journal.clone(),
+            )?);
+            next_sweep = next_sweep.max(id + 1);
+        }
+        let recovery = RecoveryReport {
+            epoch,
+            sweeps: sweeps.len() as u64,
+            finalized: sweeps.iter().map(SweepState::finalized).sum(),
+            open: sweeps
+                .iter()
+                .map(|s| s.cells.len() as u64 - s.finalized())
+                .sum(),
+        };
+        if epoch > 1 || recovery.sweeps > 0 {
+            publish_event(
+                &events,
+                0,
+                Event::CoordinatorRecovered {
+                    epoch,
+                    sweeps: recovery.sweeps,
+                    finalized: recovery.finalized,
+                    open: recovery.open,
+                },
+            );
+        }
+        Ok(State {
             config,
-            sweeps: Vec::new(),
-            next_sweep: 1,
+            sweeps,
+            next_sweep,
             next_lease: 1,
+            epoch,
+            sweep_log,
+            recovery,
             serve_tick: 0,
             last_served: HashMap::new(),
-            events: Arc::new(EventLog::new(crate::events::DEFAULT_CAPACITY)),
-            results: Arc::new(results),
-        }
+            events,
+            results,
+        })
+    }
+
+    #[cfg(test)]
+    fn new(config: CoordinatorConfig) -> State {
+        State::recover(config).expect("recoverable state")
+    }
+
+    /// The next lease token: the epoch in the high 16 bits over a plain
+    /// counter. A lease granted before a crash can therefore never equal
+    /// one granted after the restart — the stale completion answers
+    /// `LeaseLost` instead of finalizing someone else's cell.
+    fn mint_lease(&mut self) -> u64 {
+        let lease = (self.epoch << 48) | self.next_lease;
+        self.next_lease += 1;
+        lease
     }
 
     /// Returns expired leases to the pending queue (or quarantines cells
@@ -408,7 +521,16 @@ impl Coordinator {
     ) -> std::io::Result<Coordinator> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(Mutex::new(State::new(config)));
+        // With a journal_dir this *is* recovery: replay the sweep log,
+        // the finalization journals, and the results store. A fresh dir
+        // recovers to an empty state, so there is one startup path.
+        let state = State::recover(config).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("recovery refused: {e}"),
+            )
+        })?;
+        let state = Arc::new(Mutex::new(state));
         let stop = Arc::new(AtomicBool::new(false));
         let thread = {
             let state = Arc::clone(&state);
@@ -421,6 +543,41 @@ impl Coordinator {
             stop,
             thread: Some(thread),
         })
+    }
+
+    /// Binds `addr` and recovers state from `journal_dir` (sweep log +
+    /// finalization journals) and `results_path` — the restart
+    /// constructor named by the runbook. Equivalent to [`bind`] with
+    /// those paths in the config.
+    ///
+    /// [`bind`]: Coordinator::bind
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, and recovery refusal on interior corruption.
+    pub fn recover(
+        addr: impl ToSocketAddrs,
+        journal_dir: PathBuf,
+        results_path: Option<PathBuf>,
+    ) -> std::io::Result<Coordinator> {
+        Coordinator::bind(
+            addr,
+            CoordinatorConfig {
+                journal_dir: Some(journal_dir),
+                results_path,
+                ..CoordinatorConfig::default()
+            },
+        )
+    }
+
+    /// What startup recovery rebuilt (all zeroes for a fresh state).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.lock().recovery
+    }
+
+    /// The epoch (incarnation number) this coordinator runs under.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
     }
 
     /// The bound address (with the real port when bound to port 0).
@@ -529,15 +686,23 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<Mutex<State>>, stop: &Ar
                     let state = state.lock().unwrap_or_else(|p| p.into_inner());
                     Arc::clone(&state.events)
                 };
-                let from = req
-                    .path
-                    .split_once('?')
-                    .and_then(|(_, q)| {
+                let query = |key: &str| {
+                    req.path.split_once('?').and_then(|(_, q)| {
                         q.split('&')
-                            .find_map(|kv| kv.strip_prefix("from="))
+                            .find_map(|kv| kv.strip_prefix(key))
                             .and_then(|v| v.parse::<u64>().ok())
                     })
-                    .unwrap_or(1);
+                };
+                let mut from = query("from=").unwrap_or(1);
+                // A cursor from another epoch (the follower outlived a
+                // restart): its seq means nothing here, so replay the
+                // whole retained window — the follower dedupes by the
+                // epoch tag on each line. Absent epoch = current epoch.
+                if let Some(epoch) = query("epoch=") {
+                    if epoch != events.epoch() {
+                        from = 1;
+                    }
+                }
                 stream_events(stream, &events, stop.as_ref(), from);
                 return;
             } else {
@@ -662,29 +827,55 @@ fn handle_request(state: &mut State, req: &Request) -> Response {
         }
         ("GET", "/status") => {
             state.expire_leases();
-            let sweeps = state
+            let mut queues: BTreeMap<String, TenantStatus> = BTreeMap::new();
+            let sweeps: Vec<SweepStatus> = state
                 .sweeps
                 .iter()
-                .map(|s| SweepStatus {
-                    sweep: s.id,
-                    tenant: s.spec.tenant.clone(),
-                    finalized: s.finalized(),
-                    leased: s
+                .map(|s| {
+                    let pending = s
+                        .cells
+                        .iter()
+                        .filter(|c| matches!(c.status, CellStatus::Pending))
+                        .count() as u64;
+                    let leased = s
                         .cells
                         .iter()
                         .filter(|c| matches!(c.status, CellStatus::Leased { .. }))
-                        .count() as u64,
-                    quarantined: s
-                        .cells
-                        .iter()
-                        .filter(|c| matches!(c.status, CellStatus::Quarantined { .. }))
-                        .count() as u64,
-                    total: s.cells.len() as u64,
+                        .count() as u64;
+                    let tenant =
+                        queues
+                            .entry(s.spec.tenant.clone())
+                            .or_insert_with(|| TenantStatus {
+                                tenant: s.spec.tenant.clone(),
+                                sweeps: 0,
+                                pending: 0,
+                                leased: 0,
+                            });
+                    tenant.sweeps += 1;
+                    tenant.pending += pending;
+                    tenant.leased += leased;
+                    SweepStatus {
+                        sweep: s.id,
+                        tenant: s.spec.tenant.clone(),
+                        finalized: s.finalized(),
+                        pending,
+                        leased,
+                        quarantined: s
+                            .cells
+                            .iter()
+                            .filter(|c| matches!(c.status, CellStatus::Quarantined { .. }))
+                            .count() as u64,
+                        total: s.cells.len() as u64,
+                    }
                 })
                 .collect();
             Response::ok(encode(&StatusReply {
                 proto: PROTO_VERSION,
+                epoch: state.epoch,
+                recovered_sweeps: state.recovery.sweeps,
+                recovered_finalized: state.recovery.finalized,
                 sweeps,
+                tenants: queues.into_values().collect(),
             }))
         }
         ("GET", "/sweep") => {
@@ -719,32 +910,29 @@ fn handle_request(state: &mut State, req: &Request) -> Response {
     }
 }
 
-fn submit(state: &mut State, spec: SweepSpec) -> Result<u64, CkpError> {
-    let id = state.next_sweep;
-    let rows = spec.rows();
-    let journal = match &state.config.journal_dir {
-        None => None,
-        Some(dir) => {
-            let header = JournalHeader {
-                version: JOURNAL_VERSION,
-                columns: spec
-                    .programs
-                    .iter()
-                    .map(|p| p.label().to_string())
-                    .collect(),
-                rows: rows.iter().map(|r| r.to_string()).collect(),
-                policy: spec.policy,
-                sim: spec.sim,
-            };
-            Some(JournalWriter::create(
-                dir.join(format!("sweep-{id}")),
-                &header,
-            )?)
-        }
-    };
+/// The journal header a sweep's spec determines — shared between fresh
+/// submits and recovery re-creation of a journal that never hit disk.
+fn journal_header(spec: &SweepSpec, rows: &[Row]) -> JournalHeader {
+    JournalHeader {
+        version: JOURNAL_VERSION,
+        columns: spec
+            .programs
+            .iter()
+            .map(|p| p.label().to_string())
+            .collect(),
+        rows: rows.iter().map(|r| r.to_string()).collect(),
+        policy: spec.policy,
+        sim: spec.sim,
+    }
+}
+
+/// The program-major cell grid a spec unfolds to (the same order
+/// `submit` builds, so recovered cell indices line up with the results
+/// store and with clients that cached a sweep's shape).
+fn build_cells(spec: &SweepSpec, rows: &[Row]) -> Vec<CellState> {
     let mut cells = Vec::with_capacity(spec.programs.len() * rows.len());
     for program in &spec.programs {
-        for row in &rows {
+        for row in rows {
             cells.push(CellState {
                 program: *program,
                 row: row.clone(),
@@ -754,6 +942,103 @@ fn submit(state: &mut State, spec: SweepSpec) -> Result<u64, CkpError> {
             });
         }
     }
+    cells
+}
+
+/// Rebuilds one sweep's in-memory state from its durable record: cells
+/// from the logged spec, finality from the journal (each journaled
+/// completion re-marks its cell `Done`/`Quarantined` — exactly-once
+/// survives the restart because `finalize` still refuses final cells),
+/// failure *class* from the results store (the journal does not carry
+/// `transient`). A missing journal is re-created fresh — the sweep was
+/// acked before its journal hit disk — but a corrupt one is refused.
+fn rebuild_sweep(
+    id: u64,
+    spec: SweepSpec,
+    journal_dir: &Path,
+    results: &ResultsStore,
+    journal_fault: FaultFuse,
+) -> Result<SweepState, CkpError> {
+    let rows = spec.rows();
+    let mut cells = build_cells(&spec, &rows);
+    let dir = journal_dir.join(format!("sweep-{id}"));
+    let journal = match read_journal(&dir) {
+        Ok(journal) => {
+            for jc in &journal.cells {
+                let Some(index) = cells.iter().position(|c| {
+                    !c.status.is_final()
+                        && c.program.label() == jc.column
+                        && c.row.to_string() == jc.row
+                }) else {
+                    // A journal line naming no (or only already-final)
+                    // cells: tolerated — recovery never panics on data
+                    // that passed its checksums but fails to line up.
+                    eprintln!(
+                        "coordinator: sweep {id} journal names unknown cell {}/{}; ignored",
+                        jc.column, jc.row
+                    );
+                    continue;
+                };
+                let cell = &mut cells[index];
+                cell.attempts = jc.attempts;
+                cell.elapsed_ns = jc.elapsed_ns;
+                cell.status = match (&jc.run, &jc.failure) {
+                    (Some(run), _) => CellStatus::Done { run: run.clone() },
+                    (None, Some(failure)) => CellStatus::Quarantined {
+                        failure: failure.clone(),
+                        transient: results
+                            .get(id, index as u64)
+                            .map(|r| r.transient)
+                            .unwrap_or(false),
+                    },
+                    (None, None) => continue, // decodes but carries nothing
+                };
+            }
+            JournalWriter::resume(&dir, &journal)?
+        }
+        // Missing (the crash landed between the sweep-log ack and the
+        // journal's first write): start it fresh, all cells open.
+        Err(CkpError::Io { .. }) => JournalWriter::create(&dir, &journal_header(&spec, &rows))?,
+        // Interior corruption: refuse to serve from a ledger we cannot
+        // trust, mirroring `Evaluation::resume`.
+        Err(e) => return Err(e),
+    };
+    let sweep = SweepState {
+        id,
+        spec,
+        cells,
+        journal: Some(journal),
+        journal_fault,
+    };
+    // Backfill the results store from the journal (idempotent): a crash
+    // between the journal fsync and the results append loses only the
+    // serving-cache copy, which the journal is authoritative for.
+    for (index, cell) in sweep.cells.iter().enumerate() {
+        if cell.status.is_final() {
+            results.append(id, index as u64, &cell_result(cell));
+        }
+    }
+    Ok(sweep)
+}
+
+fn submit(state: &mut State, spec: SweepSpec) -> Result<u64, CkpError> {
+    let id = state.next_sweep;
+    let rows = spec.rows();
+    let journal = match &state.config.journal_dir {
+        None => None,
+        Some(dir) => Some(JournalWriter::create(
+            dir.join(format!("sweep-{id}")),
+            &journal_header(&spec, &rows),
+        )?),
+    };
+    // Durable intake: the sweep goes into the fsync'd sweep log *before*
+    // the submit is acked. On failure the id is not consumed and the
+    // freshly-created journal dir is a harmless orphan (recovery ignores
+    // journals the sweep log does not name).
+    if let Some(log) = &mut state.sweep_log {
+        log.sweep(id, &spec)?;
+    }
+    let cells = build_cells(&spec, &rows);
     state.next_sweep += 1;
     let tenant = spec.tenant.clone();
     let total = cells.len() as u64;
@@ -762,6 +1047,7 @@ fn submit(state: &mut State, spec: SweepSpec) -> Result<u64, CkpError> {
         spec,
         cells,
         journal,
+        journal_fault: state.config.disk_faults.journal.clone(),
     });
     publish_event(
         &state.events,
@@ -794,8 +1080,7 @@ fn lease(state: &mut State, req: &LeaseRequest) -> Response {
             drained: state.drained(),
         }));
     };
-    let lease = state.next_lease;
-    state.next_lease += 1;
+    let lease = state.mint_lease();
     let lease_timeout = state.config.lease_timeout;
     let quota = state
         .config
@@ -1020,9 +1305,9 @@ fn relay(state: &mut State, req: &RelayRequest) -> Response {
         if !crate::events::is_clean_event_line(line) {
             continue;
         }
-        state.events.publish_with(|seq| {
+        state.events.publish_with(|epoch, seq| {
             format!(
-                "{{\"seq\":{seq},\"scope\":{scope},\"type\":\"worker_event\",\
+                "{{\"epoch\":{epoch},\"seq\":{seq},\"scope\":{scope},\"type\":\"worker_event\",\
                  \"tenant\":{tenant},\"worker\":{worker},\"cell\":{cell},\"event\":{line}}}"
             )
         });
@@ -1298,6 +1583,146 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    #[test]
+    fn recovery_rebuilds_sweeps_and_fences_stale_leases() {
+        let dir = tempdir("svc-recover");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = CoordinatorConfig {
+            journal_dir: Some(dir.clone()),
+            results_path: Some(dir.join("results.dtbres")),
+            ..CoordinatorConfig::default()
+        };
+        let run = tiny_run();
+        let (stale, done_cell) = {
+            let mut st = State::new(cfg.clone());
+            assert_eq!(st.epoch, 1);
+            submit(&mut st, spec()).unwrap();
+            let done = lease_task(&mut st).unwrap();
+            assert_eq!(
+                status_of(&complete(&mut st, &completion(&done, Some(run.clone())))),
+                CompleteStatus::Recorded
+            );
+            // Leave the second cell leased — its worker "dies" with the
+            // coordinator and will straggle in after the restart.
+            let stale = lease_task(&mut st).unwrap();
+            (stale, done.cell)
+        };
+
+        // "Restart": a new state over the same directories.
+        let mut st = State::new(cfg);
+        assert_eq!(st.epoch, 2, "every open bumps the epoch");
+        assert_eq!(st.recovery.sweeps, 1);
+        assert_eq!(st.recovery.finalized, 1);
+        assert_eq!(st.recovery.open, 1);
+        assert_eq!(st.next_sweep, 2, "sweep ids continue, never reused");
+        assert!(
+            st.sweeps[0].cells[done_cell as usize].status.is_final(),
+            "finalized stays finalized across the restart"
+        );
+
+        // The pre-crash worker's completion arrives late: its lease
+        // token belongs to epoch 1 and can never match an epoch-2 lease.
+        let resp = complete(&mut st, &completion(&stale, Some(run.clone())));
+        assert_eq!(status_of(&resp), CompleteStatus::LeaseLost);
+
+        // The open cell re-leases and finishes normally; re-finalizing
+        // the recovered cell is refused as a duplicate.
+        let fresh = lease_task(&mut st).unwrap();
+        assert_eq!(fresh.cell, stale.cell);
+        assert!(fresh.lease != stale.lease);
+        assert_eq!(fresh.attempt, 1, "recovery re-opens, attempts restart");
+        assert_eq!(
+            status_of(&complete(&mut st, &completion(&fresh, Some(run.clone())))),
+            CompleteStatus::Recorded
+        );
+        let mut dup = completion(&fresh, Some(run));
+        dup.cell = done_cell;
+        assert_eq!(
+            status_of(&complete(&mut st, &dup)),
+            CompleteStatus::Duplicate
+        );
+        assert!(st.sweeps[0].is_done());
+
+        // Exactly one journal line per cell, across both incarnations.
+        let journal = dtb_sim::read_journal(dir.join("sweep-1")).unwrap();
+        assert_eq!(journal.cells.len(), 2);
+        let mut keys: Vec<(String, String)> = journal
+            .cells
+            .iter()
+            .map(|c| (c.column.clone(), c.row.clone()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_sweep_log_refuses_recovery() {
+        let dir = tempdir("svc-refuse");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = CoordinatorConfig {
+            journal_dir: Some(dir.clone()),
+            ..CoordinatorConfig::default()
+        };
+        {
+            let mut st = State::new(cfg.clone());
+            submit(&mut st, spec()).unwrap();
+            submit(&mut st, spec()).unwrap();
+        }
+        let log = dir.join(crate::sweeplog::SWEEP_LOG_FILE);
+        let mut bytes = std::fs::read(&log).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        std::fs::write(&log, &bytes).unwrap();
+        assert!(State::recover(cfg).is_err(), "interior corruption refused");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_disk_fault_leaves_the_cell_open() {
+        let dir = tempdir("svc-diskfault");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = CoordinatorConfig {
+            journal_dir: Some(dir.clone()),
+            disk_faults: DiskFaults {
+                journal: FaultFuse::charges(1),
+                ..DiskFaults::default()
+            },
+            ..CoordinatorConfig::default()
+        };
+        let mut st = State::new(cfg);
+        submit(&mut st, spec()).unwrap();
+        let task = lease_task(&mut st).unwrap();
+        let req = completion(&task, Some(tiny_run()));
+
+        // The armed fuse fails the finalization write: the worker sees a
+        // 500, the cell is NOT final, and nothing reached the journal.
+        let resp = complete(&mut st, &req);
+        assert_eq!(
+            resp.status,
+            500,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        assert!(!st.sweeps[0].cells[task.cell as usize].status.is_final());
+        let journal = dtb_sim::read_journal(dir.join("sweep-1")).unwrap();
+        assert!(journal.cells.is_empty(), "no torn finalization");
+
+        // The fuse is spent; the worker's retry of the same completion
+        // (same lease) lands durably.
+        assert_eq!(
+            status_of(&complete(&mut st, &req)),
+            CompleteStatus::Recorded
+        );
+        let journal = dtb_sim::read_journal(dir.join("sweep-1")).unwrap();
+        assert_eq!(journal.cells.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     fn tempdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "dtb-{tag}-{}-{:?}",
@@ -1347,10 +1772,14 @@ mod tests {
                 "sweep_drained",
             ]
         );
-        // Lines are well-formed envelopes: seq embedded and monotone.
+        // Lines are well-formed envelopes: the epoch-tagged cursor leads
+        // and the seq is monotone.
         let lines = st.events.read_from(1, Duration::ZERO).lines;
         for (i, line) in lines.iter().enumerate() {
-            assert!(line.starts_with(&format!("{{\"seq\":{},", i + 1)), "{line}");
+            assert!(
+                line.starts_with(&format!("{{\"epoch\":1,\"seq\":{},", i + 1)),
+                "{line}"
+            );
         }
     }
 

@@ -29,8 +29,16 @@
 //! * [`results`] — the checksummed append-only store behind
 //!   `GET /results`, serving finalized cells while a sweep still runs;
 //! * [`fault`] — deterministic network fault injection for the chaos
-//!   suites.
+//!   suites;
+//! * [`sweeplog`] — the checksummed sweep-intake log that makes
+//!   submissions durable: [`Coordinator::recover`] replays it (plus the
+//!   journals and the results store) to rebuild state after a crash,
+//!   with lease **epochs** fencing out stale pre-crash workers;
+//! * [`chaos`] — seeded, replayable whole-system fault plans
+//!   ([`ChaosPlan`]) and the continuity/exactly-once verifiers the
+//!   `dtb-chaos` driver and the crash suites share.
 
+pub mod chaos;
 pub mod client;
 pub mod coordinator;
 pub mod events;
@@ -38,12 +46,17 @@ pub mod fault;
 pub mod http;
 pub mod proto;
 pub mod results;
+pub mod sweeplog;
 pub mod worker;
 
+pub use chaos::{
+    journal_exactly_once, stream_continuity, ChaosPlan, DiskFaults, FaultFuse, SplitMix64,
+};
 pub use client::{matrix_from_cells, matrix_from_sweep, Client, SvcError, TcpTransport, Transport};
-pub use coordinator::{Coordinator, CoordinatorConfig};
-pub use events::{follow_events, EventLog};
+pub use coordinator::{Coordinator, CoordinatorConfig, RecoveryReport};
+pub use events::{follow_events, follow_events_resilient, line_cursor, EventCursor, EventLog};
 pub use fault::{FaultPlan, NetFault};
-pub use proto::{SweepSpec, PROTO_VERSION};
+pub use proto::{SweepSpec, TenantStatus, PROTO_VERSION};
 pub use results::ResultsStore;
-pub use worker::{idle_backoff, run_worker, WorkerConfig, WorkerExit};
+pub use sweeplog::SweepLog;
+pub use worker::{idle_backoff, run_worker, serve_healthz, WorkerConfig, WorkerExit, WorkerHealth};

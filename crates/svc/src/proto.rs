@@ -17,8 +17,9 @@ use serde::{Deserialize, Serialize};
 
 /// Protocol version spoken by this build. The coordinator refuses leases
 /// to workers announcing a different version — mixed fleets fail loudly,
-/// not subtly.
-pub const PROTO_VERSION: u32 = 1;
+/// not subtly. Version 2 added epoch-fenced lease tokens, epoch-tagged
+/// `/events` cursors, and the richer `/status` shape.
+pub const PROTO_VERSION: u32 = 2;
 
 /// One submitted sweep: a (programs × policies) matrix to evaluate, owned
 /// by a tenant.
@@ -218,13 +219,23 @@ pub struct SweepReply {
     pub cells: Vec<CellResult>,
 }
 
-/// `GET /status` reply: one line per sweep.
+/// `GET /status` reply: coordinator identity and recovery provenance,
+/// one line per sweep, one queue-depth line per tenant.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatusReply {
     /// Protocol version the coordinator speaks.
     pub proto: u32,
+    /// The coordinator's incarnation number (lease epochs are fenced by
+    /// it; 1 = never restarted, or no durable sweep log).
+    pub epoch: u64,
+    /// Sweeps rebuilt from durable storage at startup.
+    pub recovered_sweeps: u64,
+    /// Cells already finalized by earlier incarnations.
+    pub recovered_finalized: u64,
     /// Per-sweep progress.
     pub sweeps: Vec<SweepStatus>,
+    /// Per-tenant queue depth, sorted by tenant name.
+    pub tenants: Vec<TenantStatus>,
 }
 
 /// Progress of one sweep, as reported by `GET /status`.
@@ -236,12 +247,27 @@ pub struct SweepStatus {
     pub tenant: String,
     /// Cells finalized (done or quarantined).
     pub finalized: u64,
+    /// Cells waiting for a worker.
+    pub pending: u64,
     /// Cells currently leased to workers.
     pub leased: u64,
     /// Cells quarantined (failed permanently or out of retries).
     pub quarantined: u64,
     /// Total cells.
     pub total: u64,
+}
+
+/// One tenant's queue depth, as reported by `GET /status`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantStatus {
+    /// The tenant name.
+    pub tenant: String,
+    /// Sweeps the tenant has submitted (still held in memory).
+    pub sweeps: u64,
+    /// Cells waiting for a worker across those sweeps.
+    pub pending: u64,
+    /// Cells currently leased.
+    pub leased: u64,
 }
 
 /// `POST /relay` body: a batch of worker-side observability event

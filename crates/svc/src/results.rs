@@ -27,6 +27,7 @@
 //! durability story — so append failures are reported to stderr but
 //! never fail a completion.
 
+use crate::chaos::FaultFuse;
 use crate::proto::{decode, encode, CellResult};
 use dtb_trace::ckp::checksum;
 use std::collections::HashMap;
@@ -49,6 +50,8 @@ struct StoreInner {
     /// `(sweep, cell)` → finalized result. Insertion order is not kept;
     /// queries sort by cell index.
     index: HashMap<(u64, u64), CellResult>,
+    /// Chaos fuse: a tripped charge tears the next append mid-record.
+    fault: FaultFuse,
 }
 
 impl ResultsStore {
@@ -58,6 +61,7 @@ impl ResultsStore {
             inner: Mutex::new(StoreInner {
                 file: None,
                 index: HashMap::new(),
+                fault: FaultFuse::none(),
             }),
         }
     }
@@ -102,6 +106,7 @@ impl ResultsStore {
             inner: Mutex::new(StoreInner {
                 file: Some(file),
                 index,
+                fault: FaultFuse::none(),
             }),
         })
     }
@@ -131,6 +136,7 @@ impl ResultsStore {
         if inner.index.contains_key(&(sweep, cell)) {
             return;
         }
+        let torn = inner.file.is_some() && inner.fault.trip();
         if let Some(file) = &mut inner.file {
             let payload = encode(result);
             let header = format!(
@@ -138,16 +144,36 @@ impl ResultsStore {
                 checksum(&payload),
                 payload.len()
             );
-            let write = file
-                .write_all(header.as_bytes())
-                .and_then(|()| file.write_all(&payload))
-                .and_then(|()| file.write_all(b"\n"))
-                .and_then(|()| file.sync_data());
+            let write = if torn {
+                // Injected crash-mid-append: the header and half the
+                // payload land, no separator, no fsync — exactly the
+                // torn tail replay is built to drop. The record stays
+                // servable from memory; recovery backfills it from the
+                // journal.
+                eprintln!("coordinator: results append torn by injected fault (sweep {sweep} cell {cell})");
+                file.write_all(header.as_bytes())
+                    .and_then(|()| file.write_all(&payload[..payload.len() / 2]))
+            } else {
+                file.write_all(header.as_bytes())
+                    .and_then(|()| file.write_all(&payload))
+                    .and_then(|()| file.write_all(b"\n"))
+                    .and_then(|()| file.sync_data())
+            };
             if let Err(e) = write {
                 eprintln!("coordinator: results append failed ({e}); record kept in memory");
             }
         }
         inner.index.insert((sweep, cell), result.clone());
+    }
+
+    /// Arms a chaos fuse over appends: each tripped charge tears one
+    /// record mid-write (header and a half-payload, no separator, no
+    /// fsync) — what a crash in the middle of an append leaves behind.
+    /// Replay on the next open drops everything from the torn record on;
+    /// the coordinator's recovery backfills dropped records from the
+    /// journal, which stays the durability story.
+    pub fn inject_fault(&self, fault: FaultFuse) {
+        self.lock().fault = fault;
     }
 
     /// One cell's stored result.
@@ -312,6 +338,33 @@ mod tests {
         drop(store);
         let store = ResultsStore::open(&path).unwrap();
         assert_eq!(store.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_fault_tears_one_record_and_reopen_drops_it() {
+        let path = tempfile("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let store = ResultsStore::open(&path).unwrap();
+            store.append(1, 0, &result("FULL", true));
+            store.inject_fault(FaultFuse::charges(1));
+            // This append is torn mid-record on disk but stays servable
+            // from the in-memory index.
+            store.append(1, 1, &result("FIXED 1.0", true));
+            assert_eq!(store.len(), 2);
+            assert!(store.get(1, 1).is_some());
+        }
+        // The reopened store drops the torn record — never a garbled one.
+        let store = ResultsStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1, "torn record must be dropped on replay");
+        assert!(store.get(1, 1).is_none());
+        // A journal-style backfill re-append restores it durably.
+        store.append(1, 1, &result("FIXED 1.0", true));
+        drop(store);
+        let store = ResultsStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1, 1).unwrap().row, "FIXED 1.0");
         std::fs::remove_file(&path).ok();
     }
 

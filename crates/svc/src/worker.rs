@@ -11,9 +11,16 @@
 //! policy errors / invariant violations / corruption / panics quarantine.
 //! Wire failures (connection reset, garbled response) never fail a cell
 //! at all — they retry inside [`Client`] with the executor's
-//! [`RetryPolicy`](dtb_sim::exec::RetryPolicy) backoff, and a worker that
-//! cannot reach its coordinator past that budget exits with an error
-//! rather than spinning.
+//! [`RetryPolicy`](dtb_sim::exec::RetryPolicy) backoff. What happens when
+//! even that budget runs out is [`WorkerConfig::reconnect`]'s call: with
+//! no reconnect window the worker exits with an error (fail-fast, the
+//! pre-recovery behaviour), with one it keeps retrying under the idle
+//! backoff schedule until the coordinator returns or the window of
+//! *continuous* outage closes — so a coordinator crash + restart is
+//! something a fleet simply rides out. An unacknowledged completion is
+//! re-sent until the (restarted) coordinator answers `Recorded` /
+//! `Duplicate` / `LeaseLost`; lease-epoch fencing on the coordinator
+//! makes that retry loop safe.
 
 use crate::client::{Client, SvcError};
 use crate::proto::{CellTask, CompleteRequest, CompleteStatus, RelayRequest, MAX_RELAY_LINES};
@@ -23,7 +30,7 @@ use dtb_sim::curve::MemoryCurve;
 use dtb_sim::engine::{RunControl, Sim, SimRun};
 use dtb_sim::exec::{FailureCause, RetryPolicy, TraceCache};
 use dtb_sim::SimError;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -45,11 +52,20 @@ pub struct WorkerConfig {
     /// coordinator's `/events` stream (`POST /relay`). Best-effort: a
     /// failed relay never fails the cell.
     pub relay_events: bool,
+    /// Maximum *continuous* coordinator outage to ride out before giving
+    /// up. `None` = fail fast once the client's own retry budget is
+    /// spent (the pre-recovery behaviour). The outage clock resets on
+    /// every successful exchange.
+    pub reconnect: Option<Duration>,
+    /// Shared liveness counters, published over `GET /healthz` by
+    /// [`serve_healthz`] when wired up.
+    pub health: Option<Arc<WorkerHealth>>,
 }
 
 impl WorkerConfig {
     /// A worker named `name` with defaults: run until drained? no —
-    /// poll forever; no cell delay; serial engine.
+    /// poll forever; no cell delay; serial engine; fail fast on
+    /// coordinator loss; no health endpoint.
     pub fn new(name: impl Into<String>) -> WorkerConfig {
         WorkerConfig {
             name: name.into(),
@@ -57,8 +73,70 @@ impl WorkerConfig {
             cell_delay: Duration::ZERO,
             threads: 1,
             relay_events: false,
+            reconnect: None,
+            health: None,
         }
     }
+}
+
+/// Liveness counters one worker exposes over `GET /healthz`. All fields
+/// are plain atomics so the serving thread, the worker loop, and any
+/// in-process observer share one allocation without locks.
+#[derive(Debug, Default)]
+pub struct WorkerHealth {
+    /// Cells completed successfully (a run was produced).
+    pub cells_completed: AtomicU64,
+    /// Cells that ended in a failure report.
+    pub cells_failed: AtomicU64,
+    /// Coordinator-outage episodes ridden out (one per continuous
+    /// outage, not per retry).
+    pub reconnects: AtomicU64,
+    /// Whether a cell is being executed right now.
+    pub busy: AtomicBool,
+}
+
+/// Serves `GET /healthz` for one worker on `addr` (a `host:port`;
+/// `127.0.0.1:0` picks an ephemeral port) from a background thread, and
+/// returns the bound address. The chaos driver polls this to tell a
+/// worker that is busy simulating from one that is gone.
+///
+/// # Errors
+///
+/// I/O errors binding the listener.
+pub fn serve_healthz(
+    addr: &str,
+    name: &str,
+    health: Arc<WorkerHealth>,
+) -> std::io::Result<std::net::SocketAddr> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let name = name.to_string();
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+            let resp = match crate::http::read_request(&mut stream) {
+                Ok(req) if req.method == "GET" && req.path == "/healthz" => {
+                    crate::http::Response::ok(
+                        format!(
+                            "{{\"worker\":{:?},\"busy\":{},\"cells_completed\":{},\"cells_failed\":{},\"reconnects\":{}}}",
+                            name,
+                            health.busy.load(Ordering::Relaxed),
+                            health.cells_completed.load(Ordering::Relaxed),
+                            health.cells_failed.load(Ordering::Relaxed),
+                            health.reconnects.load(Ordering::Relaxed),
+                        )
+                        .into_bytes(),
+                    )
+                }
+                Ok(_) => crate::http::Response::error(404, "try GET /healthz"),
+                Err(e) => crate::http::Response::error(400, e.to_string()),
+            };
+            let _ = crate::http::write_response(&mut stream, &resp);
+        }
+    });
+    Ok(local)
 }
 
 /// The wait before idle poll number `streak` (0-based count of
@@ -209,20 +287,71 @@ pub enum WorkerExit {
     /// The coordinator reported all sweeps finished
     /// (`exit_when_done`).
     Drained,
-    /// The coordinator became unreachable past the client's retry budget.
+    /// The coordinator became unreachable past the client's retry budget
+    /// (and, with a [`WorkerConfig::reconnect`] window, past that too).
     Lost(SvcError),
+}
+
+/// Retries `call` across a coordinator outage, bounded by the config's
+/// reconnect window of *continuous* downtime. Without a window this is
+/// just `call()` — the client's own retry budget is the only tolerance.
+/// Permanent protocol errors (`4xx`) return immediately either way: a
+/// restarted coordinator would refuse the identical request identically.
+fn call_with_reconnect<T>(
+    config: &WorkerConfig,
+    what: &str,
+    mut call: impl FnMut() -> Result<T, SvcError>,
+) -> Result<T, SvcError> {
+    let Some(window) = config.reconnect else {
+        return call();
+    };
+    let mut outage: Option<Instant> = None;
+    let mut streak: u32 = 0;
+    loop {
+        match call() {
+            Ok(v) => return Ok(v),
+            Err(SvcError::Protocol { status, message }) if status < 500 => {
+                return Err(SvcError::Protocol { status, message });
+            }
+            Err(e) => {
+                let started = *outage.get_or_insert_with(Instant::now);
+                if started.elapsed() >= window {
+                    return Err(e);
+                }
+                if streak == 0 {
+                    eprintln!(
+                        "worker {}: {what} unreachable ({e}); reconnecting for up to {window:?}",
+                        config.name
+                    );
+                    if let Some(h) = &config.health {
+                        h.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // Same jittered-exponential schedule as idle polling, so
+                // a whole fleet reconnecting after a restart fans out.
+                thread::sleep(idle_backoff(&config.name, 200, streak));
+                streak = streak.saturating_add(1);
+            }
+        }
+    }
 }
 
 /// The worker main loop: lease, run, complete, repeat.
 ///
 /// Cells whose completion is refused ([`CompleteStatus::LeaseLost`]) are
 /// simply dropped — the coordinator has re-leased them — and duplicates
-/// are already recorded, so both just continue the loop.
+/// are already recorded, so both just continue the loop. A completion
+/// the coordinator never acknowledged is re-sent (under the reconnect
+/// window) until it answers: exactly-once recording is the
+/// coordinator's journal dedupe + lease fencing, not worker restraint.
 pub fn run_worker(client: &mut Client, config: &WorkerConfig) -> WorkerExit {
     let cache = TraceCache::new();
     let mut idle_streak: u32 = 0;
     loop {
-        let reply = match client.lease(&config.name) {
+        if let Some(h) = &config.health {
+            h.busy.store(false, Ordering::Relaxed);
+        }
+        let reply = match call_with_reconnect(config, "lease", || client.lease(&config.name)) {
             Ok(reply) => reply,
             Err(e) => return WorkerExit::Lost(e),
         };
@@ -237,6 +366,9 @@ pub fn run_worker(client: &mut Client, config: &WorkerConfig) -> WorkerExit {
             continue;
         };
         idle_streak = 0;
+        if let Some(h) = &config.health {
+            h.busy.store(true, Ordering::Relaxed);
+        }
         if !config.cell_delay.is_zero() {
             thread::sleep(config.cell_delay);
         }
@@ -256,16 +388,37 @@ pub fn run_worker(client: &mut Client, config: &WorkerConfig) -> WorkerExit {
             transient: done.transient,
             elapsed_ns: done.elapsed_ns,
         };
-        match client.complete(&completion) {
+        match call_with_reconnect(config, "complete", || client.complete(&completion)) {
             // Recorded / Requeued / Duplicate / LeaseLost all mean the
             // coordinator owns the cell's fate now; just keep working.
             Ok(reply) => {
+                if let Some(h) = &config.health {
+                    let counter = if completion.failure.is_none() {
+                        &h.cells_completed
+                    } else {
+                        &h.cells_failed
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
                 if reply.status == CompleteStatus::LeaseLost {
                     eprintln!(
                         "worker {}: lease {} lost for sweep {} cell {} (result discarded)",
                         config.name, task.lease, task.sweep, task.cell
                     );
                 }
+            }
+            // A coordinator restarted without its journal forgot the
+            // sweep entirely (404). With reconnection on, that is a fact
+            // to survive, not a reason to die: drop the orphaned result
+            // and go back to leasing whatever the new incarnation has.
+            Err(SvcError::Protocol {
+                status: 404,
+                message,
+            }) if config.reconnect.is_some() => {
+                eprintln!(
+                    "worker {}: completion for sweep {} cell {} refused ({message}); dropping",
+                    config.name, task.sweep, task.cell
+                );
             }
             Err(e) => return WorkerExit::Lost(e),
         }
@@ -387,6 +540,87 @@ mod tests {
         assert!(idle_backoff("w1", 100, 8) > idle_backoff("w1", 100, 0));
         // Degenerate retry_ms still sleeps (no busy-poll).
         assert!(idle_backoff("w1", 0, 0) >= Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn reconnect_wrapper_rides_out_transient_failures() {
+        use crate::http::WireError;
+        let mut config = WorkerConfig::new("w-re");
+        config.reconnect = Some(Duration::from_secs(30));
+        config.health = Some(Arc::new(WorkerHealth::default()));
+        let mut calls = 0u32;
+        let out: Result<u32, SvcError> = call_with_reconnect(&config, "lease", || {
+            calls += 1;
+            if calls < 3 {
+                Err(SvcError::Wire(WireError::Malformed("injected".into())))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls, 3, "wrapper retries until the call succeeds");
+        let health = config.health.as_ref().unwrap();
+        assert_eq!(
+            health.reconnects.load(Ordering::Relaxed),
+            1,
+            "one outage episode, not one count per retry"
+        );
+
+        // 4xx is permanent: exactly one call, immediate error.
+        let mut calls = 0u32;
+        let out: Result<u32, SvcError> = call_with_reconnect(&config, "complete", || {
+            calls += 1;
+            Err(SvcError::Protocol {
+                status: 400,
+                message: "bad".into(),
+            })
+        });
+        assert!(matches!(out, Err(SvcError::Protocol { status: 400, .. })));
+        assert_eq!(calls, 1);
+
+        // An exhausted window surfaces the last transient error.
+        config.reconnect = Some(Duration::ZERO);
+        let out: Result<u32, SvcError> = call_with_reconnect(&config, "lease", || {
+            Err(SvcError::Wire(WireError::Malformed("still down".into())))
+        });
+        assert!(matches!(out, Err(SvcError::Wire(_))));
+    }
+
+    #[test]
+    fn healthz_serves_counters() {
+        let health = Arc::new(WorkerHealth::default());
+        health.cells_completed.store(3, Ordering::Relaxed);
+        health.busy.store(true, Ordering::Relaxed);
+        let addr = serve_healthz("127.0.0.1:0", "w-h", Arc::clone(&health)).unwrap();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        crate::http::write_request(
+            &mut stream,
+            &crate::http::Request {
+                method: "GET".into(),
+                path: "/healthz".into(),
+                body: Vec::new(),
+            },
+        )
+        .unwrap();
+        let resp = crate::http::read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"worker\":\"w-h\""), "{body}");
+        assert!(body.contains("\"busy\":true"), "{body}");
+        assert!(body.contains("\"cells_completed\":3"), "{body}");
+        // Unknown paths get a 404, and the listener survives to serve
+        // the next probe.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        crate::http::write_request(
+            &mut stream,
+            &crate::http::Request {
+                method: "GET".into(),
+                path: "/nope".into(),
+                body: Vec::new(),
+            },
+        )
+        .unwrap();
+        assert_eq!(crate::http::read_response(&mut stream).unwrap().status, 404);
     }
 
     #[test]

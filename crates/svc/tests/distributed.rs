@@ -98,6 +98,118 @@ fn spawn_worker(addr: &str, name: &str) -> Child {
         .expect("spawn dtb-worker")
 }
 
+/// The coordinator crashes mid-matrix; real worker *processes* started
+/// with `--reconnect-ms` ride out the downtime, a new incarnation
+/// recovers from the same journal directory on the same port, and the
+/// sweep converges to the clean matrix with exactly one journal line
+/// per cell — no worker restarts, no resubmission.
+#[test]
+fn workers_ride_out_a_coordinator_restart() {
+    let journal_dir = temp_dir("restart");
+    let results_path = journal_dir.join("results.bin");
+    let config = || CoordinatorConfig {
+        lease_timeout: Duration::from_secs(4),
+        retry: RetryPolicy::retries(2),
+        journal_dir: Some(journal_dir.clone()),
+        results_path: Some(results_path.clone()),
+        ..CoordinatorConfig::default()
+    };
+    let coordinator = Coordinator::bind("127.0.0.1:0", config()).expect("bind coordinator");
+    let addr = coordinator.addr().to_string();
+
+    let policies = &PolicyKind::ALL[..];
+    let sweep = coordinator
+        .submit(spec("restart-tenant", policies))
+        .expect("submit sweep");
+    let total = (policies.len() + 2) as u64;
+
+    let spawn_patient = |name: &str| {
+        Command::new(env!("CARGO_BIN_EXE_dtb-worker"))
+            .args([
+                "--addr",
+                &addr,
+                "--name",
+                name,
+                "--exit-when-done",
+                "--cell-delay-ms",
+                "250",
+                "--reconnect-ms",
+                "60000",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn dtb-worker")
+    };
+    let mut workers = vec![spawn_patient("patient-1"), spawn_patient("patient-2")];
+
+    // Let the matrix get demonstrably under way, then take the
+    // coordinator down mid-flight — leases outstanding, workers mid-cell.
+    let mut client = Client::connect(&addr);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "matrix never got under way");
+        let status = client.status().expect("status");
+        let progress = status.sweeps.iter().find(|s| s.sweep == sweep).unwrap();
+        if progress.finalized >= 2 && progress.finalized < total {
+            break;
+        }
+        assert!(progress.finalized < total, "matrix finished too fast");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    coordinator.shutdown();
+    // Let detached in-flight handlers (sharing the old state) finish
+    // before the new incarnation opens the same journal files.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let restarted = {
+        let bind_deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match Coordinator::bind(addr.as_str(), config()) {
+                Ok(c) => break c,
+                Err(e) => {
+                    assert!(Instant::now() < bind_deadline, "cannot rebind {addr}: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    };
+    assert_eq!(restarted.epoch(), 2);
+    assert_eq!(restarted.recovery_report().sweeps, 1);
+
+    // The same worker processes finish the matrix against the new
+    // incarnation.
+    let reply = client
+        .wait_sweep(
+            sweep,
+            Duration::from_millis(100),
+            Some(Duration::from_secs(120)),
+        )
+        .expect("sweep converges across the restart");
+    assert!(reply.done);
+    assert_eq!(reply.total, total);
+    assert_matrices_match(&matrix_from_sweep(&reply), &local_matrix(policies));
+
+    for worker in &mut workers {
+        let exit = worker.wait().expect("reap worker");
+        assert!(exit.success(), "worker exited {exit:?}");
+    }
+
+    // Exactly-once across incarnations: one journal line per cell.
+    let journal =
+        read_journal(journal_dir.join(format!("sweep-{sweep}"))).expect("journal reads back");
+    assert_eq!(journal.cells.len() as u64, total, "one line per cell");
+    let distinct: HashSet<(String, String)> = journal
+        .cells
+        .iter()
+        .map(|c| (c.column.clone(), c.row.clone()))
+        .collect();
+    assert_eq!(distinct.len() as u64, total, "no cell journaled twice");
+
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
 /// Two real worker processes; one is SIGKILLed mid-matrix. The dangling
 /// lease expires, the survivor picks the cell up, and the served matrix
 /// equals the single-process run — with exactly one journal line per

@@ -175,20 +175,19 @@ fn followers_see_the_lifecycle_and_results_match_the_sweep() {
         !lines_of(&lines, "worker_event").is_empty(),
         "the worker's relayed scavenge spans reach followers"
     );
-    // Monotone progress: every line carries the log's own strictly
-    // increasing seq, and the drain closes the lifecycle after the last
-    // recording.
-    let seqs: Vec<u64> = lines
+    // Monotone progress: every line carries the log's epoch-tagged
+    // cursor with a strictly increasing seq, and the drain closes the
+    // lifecycle after the last recording.
+    let cursors: Vec<dtb_svc::EventCursor> = lines
         .iter()
-        .map(|l| {
-            let rest = l.strip_prefix("{\"seq\":").expect("framed with a seq");
-            rest[..rest.find(',').unwrap()]
-                .parse()
-                .expect("numeric seq")
-        })
+        .map(|l| dtb_svc::line_cursor(l).expect("framed with an (epoch, seq) cursor"))
         .collect();
     assert!(
-        seqs.windows(2).all(|w| w[0] < w[1]),
+        cursors.iter().all(|c| c.epoch == 1),
+        "a single incarnation streams a single epoch"
+    );
+    assert!(
+        cursors.windows(2).all(|w| w[0].seq < w[1].seq),
         "seqs strictly increase"
     );
     let last_recorded = lines
